@@ -1,0 +1,205 @@
+"""E1 "Table 1" — per-protocol cost table, P2DRM vs baseline.
+
+Reproduces the paper's cost argument: for each protocol, how many
+public-key operations run, how many messages cross the wire, and how
+many bytes they carry.  The paper's qualitative claim is that the
+privacy layer adds a *constant, small* number of public-key operations
+per transaction (blind signature + Schnorr + KEM) on top of identity
+DRM — the rows let you read the constant off directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import instrument
+from repro.baseline.identity_drm import (
+    BaselineProvider,
+    BaselineUser,
+    baseline_purchase,
+    baseline_transfer,
+)
+from repro.core.identity import SmartCard
+from repro.core.protocols import (
+    Transcript,
+    certify_pseudonym,
+    purchase_content,
+    render_content,
+    transfer_license,
+    withdraw_coins,
+)
+
+_user_counter = itertools.count()
+
+
+def _new_user(deployment, balance=10_000):
+    user = deployment.add_user(f"e1-user-{next(_user_counter)}", balance=balance)
+    return user
+
+
+def _measured(experiment, protocol: str, run) -> None:
+    """Run ``run(transcript)`` once under instrumentation and record."""
+    transcript = Transcript()
+    with instrument.measure() as ops:
+        run(transcript)
+    counts = ops.as_dict()
+    experiment.row(
+        protocol=protocol,
+        rsa_ops=counts.get("rsa.private_op", 0) + counts.get("rsa.public_op", 0),
+        rsa_private=counts.get("rsa.private_op", 0),
+        modexp=counts.get("modexp", 0),
+        messages=transcript.message_count,
+        bytes=transcript.total_bytes,
+    )
+
+
+class TestP2drmProtocolCosts:
+    def test_certification(self, benchmark, bench_deployment, experiment):
+        user = _new_user(bench_deployment)
+        _measured(
+            experiment,
+            "certify-pseudonym",
+            lambda tr: certify_pseudonym(user, bench_deployment.issuer, transcript=tr),
+        )
+        benchmark.pedantic(
+            lambda: certify_pseudonym(user, bench_deployment.issuer),
+            rounds=5,
+            iterations=1,
+        )
+
+    def test_withdrawal(self, benchmark, bench_deployment, experiment):
+        user = _new_user(bench_deployment)
+        _measured(
+            experiment,
+            "withdraw-3-coins",
+            lambda tr: withdraw_coins(user, bench_deployment.bank, 3, transcript=tr),
+        )
+        benchmark.pedantic(
+            lambda: withdraw_coins(user, bench_deployment.bank, 3),
+            rounds=5,
+            iterations=1,
+        )
+
+    def test_purchase(self, benchmark, bench_deployment, experiment):
+        d = bench_deployment
+        user = _new_user(d)
+        _measured(
+            experiment,
+            "purchase (p2drm)",
+            lambda tr: purchase_content(
+                user, d.provider, d.issuer, d.bank, "bench-song", transcript=tr
+            ),
+        )
+        benchmark.pedantic(
+            lambda: purchase_content(user, d.provider, d.issuer, d.bank, "bench-song"),
+            rounds=5,
+            iterations=1,
+        )
+
+    def test_access(self, benchmark, bench_deployment, experiment):
+        d = bench_deployment
+        user = _new_user(d)
+        device = d.add_device()
+        purchase_content(user, d.provider, d.issuer, d.bank, "bench-song")
+        _measured(
+            experiment,
+            "access (local render)",
+            lambda tr: render_content(user, device, d.provider, "bench-song", transcript=tr),
+        )
+        benchmark.pedantic(
+            lambda: render_content(user, device, d.provider, "bench-song"),
+            rounds=5,
+            iterations=1,
+        )
+
+    def test_transfer(self, benchmark, bench_deployment, experiment):
+        d = bench_deployment
+        sender = _new_user(d)
+        receiver = _new_user(d)
+        license_ = purchase_content(sender, d.provider, d.issuer, d.bank, "bench-song")
+        _measured(
+            experiment,
+            "transfer (exchange+redeem)",
+            lambda tr: transfer_license(
+                sender, receiver, d.provider, d.issuer, license_.license_id, transcript=tr
+            ),
+        )
+
+        def full_transfer():
+            new_license = purchase_content(
+                sender, d.provider, d.issuer, d.bank, "bench-song"
+            )
+            return transfer_license(
+                sender, receiver, d.provider, d.issuer, new_license.license_id
+            )
+
+        benchmark.pedantic(full_transfer, rounds=3, iterations=1)
+
+
+class TestBaselineProtocolCosts:
+    @pytest.fixture(scope="class")
+    def baseline(self, bench_deployment):
+        provider = BaselineProvider(
+            rng=bench_deployment.rng.fork("e1-baseline"),
+            clock=bench_deployment.clock,
+            bank=bench_deployment.bank,
+            license_key_bits=1024,
+            name="e1-baseline-provider",
+        )
+        provider.publish("bench-song", b"BENCH" * 64, title="B", price=3)
+        users = []
+        for index in range(2):
+            card = SmartCard(
+                f"e1-bl-{index}".encode().ljust(16, b"_"),
+                bench_deployment.group,
+                rng=bench_deployment.rng.fork(f"e1-bl-card-{index}"),
+                authority_key=bench_deployment.authority.public_key,
+            )
+            user = BaselineUser(f"e1-bl-user-{index}", card)
+            provider.register_user(user)
+            bench_deployment.bank.open_account(user.bank_account, initial_balance=10_000)
+            users.append(user)
+        return provider, users, bench_deployment.clock
+
+    def test_baseline_purchase(self, benchmark, baseline, experiment):
+        provider, users, clock = baseline
+        transcript = Transcript()  # baseline flows have no wrapper; count by hand
+        with instrument.measure() as ops:
+            baseline_purchase(users[0], provider, "bench-song", clock=clock)
+        counts = ops.as_dict()
+        experiment.row(
+            protocol="purchase (baseline)",
+            rsa_ops=counts.get("rsa.private_op", 0) + counts.get("rsa.public_op", 0),
+            rsa_private=counts.get("rsa.private_op", 0),
+            modexp=counts.get("modexp", 0),
+            messages=2,
+            bytes=None,
+        )
+        benchmark.pedantic(
+            lambda: baseline_purchase(users[0], provider, "bench-song", clock=clock),
+            rounds=5,
+            iterations=1,
+        )
+
+    def test_baseline_transfer(self, benchmark, baseline, experiment):
+        provider, users, clock = baseline
+        license_ = baseline_purchase(users[0], provider, "bench-song", clock=clock)
+        with instrument.measure() as ops:
+            baseline_transfer(users[0], users[1], provider, license_.license_id, clock=clock)
+        counts = ops.as_dict()
+        experiment.row(
+            protocol="transfer (baseline)",
+            rsa_ops=counts.get("rsa.private_op", 0) + counts.get("rsa.public_op", 0),
+            rsa_private=counts.get("rsa.private_op", 0),
+            modexp=counts.get("modexp", 0),
+            messages=2,
+            bytes=None,
+        )
+
+        def full_transfer():
+            license_ = baseline_purchase(users[0], provider, "bench-song", clock=clock)
+            baseline_transfer(users[0], users[1], provider, license_.license_id, clock=clock)
+
+        benchmark.pedantic(full_transfer, rounds=3, iterations=1)

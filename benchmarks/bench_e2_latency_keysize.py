@@ -1,0 +1,72 @@
+"""E2 "Figure 1" — protocol latency vs RSA modulus size.
+
+The paper-era objection "public-key cryptography is slow, privacy will
+reduce the rate of simultaneous connections" (quoted in the survey
+literature) is a claim about *how* protocol cost scales with key size.
+This bench sweeps 512/1024/2048-bit provider+issuer+bank keys and times
+the purchase and transfer protocols end to end.
+
+Expected shape: latency grows roughly cubically with modulus size
+(schoolbook modular exponentiation), and the purchase stays within a
+small constant of the baseline purchase at every size — privacy does
+not change the asymptotics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.protocols import purchase_content, transfer_license
+
+_counter = itertools.count()
+
+KEY_SIZES = [512, 1024, 2048]
+
+
+@pytest.mark.parametrize("rsa_bits", KEY_SIZES)
+class TestPurchaseLatency:
+    def test_purchase(self, benchmark, deployment_for_bits, experiment, rsa_bits):
+        deployment = deployment_for_bits(rsa_bits)
+        user = deployment.add_user(f"e2-user-{next(_counter)}", balance=100_000)
+
+        def run():
+            return purchase_content(
+                user, deployment.provider, deployment.issuer, deployment.bank,
+                "bench-song",
+            )
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.content_id == "bench-song"
+        experiment.row(
+            protocol="purchase",
+            rsa_bits=rsa_bits,
+            mean_ms=benchmark.stats["mean"] * 1000,
+        )
+
+
+@pytest.mark.parametrize("rsa_bits", KEY_SIZES)
+class TestTransferLatency:
+    def test_transfer(self, benchmark, deployment_for_bits, experiment, rsa_bits):
+        deployment = deployment_for_bits(rsa_bits)
+        sender = deployment.add_user(f"e2-sender-{next(_counter)}", balance=100_000)
+        receiver = deployment.add_user(f"e2-recv-{next(_counter)}", balance=100_000)
+
+        def run():
+            license_ = purchase_content(
+                sender, deployment.provider, deployment.issuer, deployment.bank,
+                "bench-song",
+            )
+            return transfer_license(
+                sender, receiver, deployment.provider, deployment.issuer,
+                license_.license_id,
+            )
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.content_id == "bench-song"
+        experiment.row(
+            protocol="purchase+transfer",
+            rsa_bits=rsa_bits,
+            mean_ms=benchmark.stats["mean"] * 1000,
+        )

@@ -1,0 +1,68 @@
+"""E3 "Figure 2" — provider purchase throughput, P2DRM vs baseline.
+
+Measures sustained sales per second at the content provider in both
+modes (same substrates, same key sizes), giving the *privacy overhead
+factor* on the provider's hot path.
+
+Expected shape: P2DRM throughput is lower by a small constant factor
+(the blind certification adds one RSA private op at the issuer and the
+certificate + escrow verification adds modexps at the provider), not
+by an order of magnitude — the paper's feasibility claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baseline.identity_drm import (
+    BaselineProvider,
+    BaselineUser,
+    baseline_purchase,
+)
+from repro.core.identity import SmartCard
+from repro.core.protocols import purchase_content
+
+_counter = itertools.count()
+BATCH = 10
+
+
+class TestThroughput:
+    def test_p2drm_purchases(self, benchmark, bench_deployment, experiment):
+        d = bench_deployment
+        user = d.add_user(f"e3-user-{next(_counter)}", balance=1_000_000)
+
+        def batch():
+            for _ in range(BATCH):
+                purchase_content(user, d.provider, d.issuer, d.bank, "bench-song")
+
+        benchmark.pedantic(batch, rounds=3, iterations=1)
+        per_second = BATCH / benchmark.stats["mean"]
+        experiment.row(mode="p2drm", purchases_per_s=per_second)
+
+    def test_baseline_purchases(self, benchmark, bench_deployment, experiment):
+        d = bench_deployment
+        provider = BaselineProvider(
+            rng=d.rng.fork("e3-baseline"),
+            clock=d.clock,
+            bank=d.bank,
+            license_key_bits=1024,
+            name="e3-baseline-provider",
+        )
+        provider.publish("bench-song", b"BENCH" * 64, title="B", price=3)
+        card = SmartCard(
+            b"e3-baseline-card",
+            d.group,
+            rng=d.rng.fork("e3-bl-card"),
+            authority_key=d.authority.public_key,
+        )
+        user = BaselineUser("e3-bl-user", card)
+        provider.register_user(user)
+        d.bank.open_account(user.bank_account, initial_balance=1_000_000)
+
+        def batch():
+            for _ in range(BATCH):
+                baseline_purchase(user, provider, "bench-song", clock=d.clock)
+
+        benchmark.pedantic(batch, rounds=3, iterations=1)
+        per_second = BATCH / benchmark.stats["mean"]
+        experiment.row(mode="baseline", purchases_per_s=per_second)

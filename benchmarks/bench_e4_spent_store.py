@@ -1,0 +1,67 @@
+"""E4 "Figure 3" — spent-token store scaling.
+
+The exactly-once redemption check sits on every redemption and every
+coin deposit; the paper's design silently assumes it stays cheap as
+the store grows.  This bench sweeps store population from 10^2 to 10^5
+(in-memory and on-disk sqlite) and times the check-and-insert path.
+
+Expected shape: near-flat lookup/insert cost across three decades of
+store size (B-tree index), with the file engine a constant factor
+above the in-memory engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.storage.engine import Database
+from repro.storage.spent_tokens import SpentTokenStore
+
+SIZES = [100, 1_000, 10_000, 100_000]
+_counter = itertools.count()
+
+
+def _filled_store(db: Database, size: int) -> SpentTokenStore:
+    store = SpentTokenStore(db, "bench")
+    with db.transaction():
+        for i in range(size):
+            store.try_spend(b"tok-%012d" % i, at=i)
+    return store
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestSpentStoreScaling:
+    def test_memory_engine(self, benchmark, experiment, size):
+        store = _filled_store(Database(), size)
+        fresh = itertools.count(size)
+
+        def spend_and_check():
+            index = next(fresh)
+            assert store.try_spend(b"new-%012d" % index, at=index) is None
+            assert store.is_spent(b"tok-%012d" % (index % size))
+
+        benchmark(spend_and_check)
+        experiment.row(
+            engine="memory",
+            store_size=size,
+            op_us=benchmark.stats["mean"] * 1e6,
+        )
+
+    def test_file_engine(self, benchmark, experiment, size, tmp_path):
+        db = Database(str(tmp_path / f"spent-{size}-{next(_counter)}.db"))
+        store = _filled_store(db, size)
+        fresh = itertools.count(size)
+
+        def spend_and_check():
+            index = next(fresh)
+            assert store.try_spend(b"new-%012d" % index, at=index) is None
+            assert store.is_spent(b"tok-%012d" % (index % size))
+
+        benchmark(spend_and_check)
+        experiment.row(
+            engine="file",
+            store_size=size,
+            op_us=benchmark.stats["mean"] * 1e6,
+        )

@@ -1,0 +1,121 @@
+"""E5 "Figure 4" — device-side revocation checking.
+
+The paper requires devices to consult a revocation list on every
+render; this bench measures that cost as the list grows, with and
+without the Bloom pre-filter, plus the cost of a verified delta sync.
+
+Expected shape: the common case (licence not revoked) is O(1) with the
+Bloom filter regardless of list size; the exact-set fallback is also
+hash-set O(1) here, so the filter's win shows in the *miss* path cost
+and the measured false-positive rate staying near the configured 1%.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.rsa import generate_rsa_key
+from repro.storage.engine import Database
+from repro.storage.revocation import DeviceRevocationView, RevocationList
+
+SIZES = [100, 1_000, 10_000]
+_KEY = generate_rsa_key(1024, rng=DeterministicRandomSource(b"e5-key"))
+_counter = itertools.count()
+
+
+def _synced_view(size: int) -> tuple[RevocationList, DeviceRevocationView]:
+    lrl = RevocationList(Database())
+    db = lrl._db
+    with db.transaction():
+        for i in range(size):
+            db.execute(
+                "INSERT INTO revoked_licenses(license_id, version, revoked_at, reason)"
+                " VALUES (?, ?, ?, ?)",
+                (b"rev-%012d" % i, i + 1, i, "exchanged"),
+            )
+    view = DeviceRevocationView(_KEY.public_key)
+    view.apply_sync(lrl.entries_since(0), lrl.snapshot(_KEY))
+    return lrl, view
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestCheckCost:
+    def test_clean_license_with_bloom(self, benchmark, experiment, size):
+        _, view = _synced_view(size)
+        probe = itertools.count()
+
+        def check():
+            assert not view.check(b"clean-%012d" % next(probe))
+
+        benchmark(check)
+        experiment.row(
+            path="bloom+exact",
+            lrl_size=size,
+            check_us=benchmark.stats["mean"] * 1e6,
+        )
+
+    def test_clean_license_exact_only(self, benchmark, experiment, size):
+        _, view = _synced_view(size)
+        probe = itertools.count()
+
+        def check():
+            assert not view.check_exact_only(b"clean-%012d" % next(probe))
+
+        benchmark(check)
+        experiment.row(
+            path="exact-only",
+            lrl_size=size,
+            check_us=benchmark.stats["mean"] * 1e6,
+        )
+
+    def test_revoked_license(self, benchmark, experiment, size):
+        _, view = _synced_view(size)
+        probe = itertools.count()
+
+        def check():
+            assert view.check(b"rev-%012d" % (next(probe) % size))
+
+        benchmark(check)
+        experiment.row(
+            path="revoked-hit",
+            lrl_size=size,
+            check_us=benchmark.stats["mean"] * 1e6,
+        )
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestSyncAndFpRate:
+    def test_full_sync_cost(self, benchmark, experiment, size):
+        lrl, _ = _synced_view(size)
+        entries = lrl.entries_since(0)
+        snapshot = lrl.snapshot(_KEY)
+
+        def sync():
+            view = DeviceRevocationView(_KEY.public_key)
+            view.apply_sync(entries, snapshot)
+
+        benchmark.pedantic(sync, rounds=3, iterations=1)
+        experiment.row(
+            path="full-sync",
+            lrl_size=size,
+            check_us=benchmark.stats["mean"] * 1e6,
+        )
+
+    def test_bloom_fp_rate(self, benchmark, experiment, size):
+        lrl, _ = _synced_view(size)
+        bloom = lrl.bloom_filter(fp_rate=0.01)
+        probes = [b"fp-probe-%012d" % i for i in range(10_000)]
+
+        def measure_fp():
+            return sum(1 for p in probes if p in bloom)
+
+        false_positives = benchmark.pedantic(measure_fp, rounds=1, iterations=1)
+        experiment.row(
+            path="bloom-fp-rate",
+            lrl_size=size,
+            fp_rate=false_positives / len(probes),
+        )
+        assert false_positives / len(probes) < 0.05

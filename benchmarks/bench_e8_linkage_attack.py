@@ -1,0 +1,92 @@
+"""E8 "Table 3" — end-to-end linkage: who can identify whom.
+
+Three adversaries against the same workload:
+
+1. the **baseline operator**, reading its own records — linkage is
+   total by construction (licences name accounts);
+2. the **P2DRM provider alone** — structurally limited to one-time
+   pseudonyms (profiles shatter to singletons, no user names);
+3. the **P2DRM provider colluding with the issuer** via the timing
+   join — success depends on the pre-fetch defence.
+
+Expected shape: 100% / 0% / (high without pre-fetch → low with).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TimingAttacker
+from repro.baseline.tracking import ProfileBuilder
+from repro.sim import MarketplaceSimulator, WorkloadConfig
+
+
+def _config(prefetch: float = 0.0) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_users=8,
+        n_contents=6,
+        n_events=40,
+        mean_interarrival=60,
+        prefetch_rate=prefetch,
+        seed=180,
+    )
+
+
+class TestLinkageTable:
+    def test_baseline_operator(self, benchmark, experiment):
+        def run():
+            simulator = MarketplaceSimulator(_config(), mode="baseline", rsa_bits=512)
+            simulator.run()
+            return ProfileBuilder(simulator.provider).build()
+
+        report = benchmark.pedantic(run, rounds=1, iterations=1)
+        # Every issued licence is attributed to a named account.
+        experiment.row(
+            adversary="baseline operator (own records)",
+            identified_users=report.profile_count,
+            max_profile=report.max_profile_size,
+            named_transfer_edges=report.named_edges,
+            linkage_rate=1.0 if report.identified else 0.0,
+        )
+        assert report.identified
+
+    def test_p2drm_provider_alone(self, benchmark, experiment):
+        def run():
+            simulator = MarketplaceSimulator(_config(), mode="p2drm", rsa_bits=512)
+            simulator.run()
+            return ProfileBuilder(simulator.provider).build()
+
+        report = benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment.row(
+            adversary="p2drm provider (own records)",
+            identified_users=0,
+            max_profile=report.max_profile_size,
+            named_transfer_edges=report.named_edges,
+            linkage_rate=0.0,
+        )
+        assert not report.identified
+        assert report.max_profile_size == 1
+
+    @pytest.mark.parametrize("prefetch,label", [(0.0, "no-prefetch"), (2.0, "prefetch")])
+    def test_collusion_with_timing(self, benchmark, experiment, prefetch, label):
+        def run():
+            simulator = MarketplaceSimulator(
+                _config(prefetch), mode="p2drm", rsa_bits=512
+            )
+            report = simulator.run()
+            return TimingAttacker(window_seconds=600).attack_deployment(
+                simulator.deployment.issuer, simulator.provider, report.ground_truth
+            )
+
+        outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+        experiment.row(
+            adversary=f"issuer+provider timing join ({label})",
+            identified_users=None,
+            max_profile=None,
+            named_transfer_edges=None,
+            linkage_rate=outcome.success_rate,
+        )
+        if prefetch == 0.0:
+            assert outcome.success_rate > 0.9
+        else:
+            assert outcome.success_rate < 0.9

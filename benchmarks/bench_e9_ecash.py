@@ -1,0 +1,110 @@
+"""E9 "Figure 6" — e-cash operation costs and double-spend DB scaling.
+
+The anonymous payment channel must not become the bottleneck the
+paper's critics predicted.  Measured: withdrawal (blind sign +
+unblind), deposit (verify + exactly-once), and how deposit cost moves
+as the spent-coin database grows.
+
+Expected shape: withdrawal dominated by one RSA private op at the bank;
+deposit by one RSA public op (fast, small exponent) plus an O(1)
+indexed insert — flat across database decades.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.actors.bank import Bank
+from repro.core.actors.user import UserAgent
+from repro.core.protocols.payment import withdraw_coins
+from repro.crypto.rand import DeterministicRandomSource
+
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def bank():
+    bank = Bank(
+        rng=DeterministicRandomSource(b"e9-bank"),
+        clock=SimClock(),
+        denominations=(1, 5, 20),
+        key_bits=1024,
+    )
+    bank.open_account("merchant")
+    return bank
+
+
+def _funded_user(bank) -> UserAgent:
+    user = UserAgent(
+        f"e9-user-{next(_counter)}",
+        rng=DeterministicRandomSource(f"e9-user-{next(_counter)}"),
+        clock=SimClock(),
+    )
+    bank.open_account(user.bank_account, initial_balance=10**9)
+    return user
+
+
+class TestCoinOperations:
+    def test_withdraw_one_coin(self, benchmark, bank, experiment):
+        user = _funded_user(bank)
+        benchmark.pedantic(
+            lambda: withdraw_coins(user, bank, 1), rounds=10, iterations=1
+        )
+        experiment.row(op="withdraw", mean_ms=benchmark.stats["mean"] * 1000)
+
+    def test_verify_coin(self, benchmark, bank, experiment):
+        user = _funded_user(bank)
+        (coin,) = withdraw_coins(user, bank, 1)
+        benchmark(lambda: bank.verify_coin(coin))
+        experiment.row(op="verify", mean_ms=benchmark.stats["mean"] * 1000)
+
+    def test_deposit_coin(self, benchmark, bank, experiment):
+        user = _funded_user(bank)
+        coins = withdraw_coins(user, bank, 30)  # 20+5+5×1 → several coins
+
+        coin_iter = iter(coins)
+
+        def deposit():
+            bank.deposit("merchant", next(coin_iter))
+
+        benchmark.pedantic(deposit, rounds=min(5, len(coins)), iterations=1)
+        experiment.row(op="deposit", mean_ms=benchmark.stats["mean"] * 1000)
+
+
+@pytest.mark.parametrize("spent_count", [100, 1_000, 10_000])
+class TestDoubleSpendDbScaling:
+    def test_deposit_with_populated_db(self, benchmark, experiment, spent_count):
+        bank = Bank(
+            rng=DeterministicRandomSource(b"e9-scale-%d" % spent_count),
+            clock=SimClock(),
+            denominations=(1,),
+            key_bits=512,
+        )
+        bank.open_account("merchant")
+        # Populate the spent store directly (the scaling subject).
+        store = bank._spent
+        with store._db.transaction():
+            for i in range(spent_count):
+                store.try_spend(b"old-%012d" % i, at=i)
+
+        user = UserAgent(
+            "e9-scale-user",
+            rng=DeterministicRandomSource(b"e9-scale-user"),
+            clock=SimClock(),
+        )
+        bank.open_account(user.bank_account, initial_balance=10**6)
+        coins = withdraw_coins(user, bank, 40)
+        coin_iter = iter(coins)
+
+        def deposit():
+            bank.deposit("merchant", next(coin_iter))
+
+        benchmark.pedantic(deposit, rounds=min(10, len(coins)), iterations=1)
+        experiment.row(
+            op="deposit",
+            spent_db_size=spent_count,
+            mean_ms=benchmark.stats["mean"] * 1000,
+        )

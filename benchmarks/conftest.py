@@ -1,0 +1,93 @@
+"""Shared benchmark infrastructure.
+
+Every experiment records its result rows through the ``experiment``
+fixture; a terminal-summary hook prints all tables at the end of the
+run (so ``pytest benchmarks/ --benchmark-only`` shows the paper-style
+rows alongside pytest-benchmark's timing table).  Deployments are
+cached per RSA key size — 2048-bit pure-Python keygen is expensive and
+only needs to happen once per run.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+_RESULT_TABLES: dict[str, list[dict]] = {}
+
+
+class ExperimentRecorder:
+    """Collects result rows for one experiment id."""
+
+    def __init__(self, experiment_id: str):
+        self.experiment_id = experiment_id
+
+    def row(self, **fields) -> None:
+        _RESULT_TABLES.setdefault(self.experiment_id, []).append(fields)
+
+
+@pytest.fixture()
+def experiment(request):
+    """Recorder named after the bench module (one table per experiment)."""
+    module = request.module.__name__.replace("bench_", "")
+    return ExperimentRecorder(module)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULT_TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment result tables")
+    for experiment_id in sorted(_RESULT_TABLES):
+        rows = _RESULT_TABLES[experiment_id]
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment_id} ---")
+        if not rows:
+            continue
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        widths = {
+            column: max(len(column), *(len(_fmt(r.get(column))) for r in rows))
+            for column in columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in columns)
+        terminalreporter.write_line(header)
+        terminalreporter.write_line("-" * len(header))
+        for row in rows:
+            terminalreporter.write_line(
+                "  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+            )
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@functools.lru_cache(maxsize=None)
+def _deployment_for_bits(rsa_bits: int):
+    from repro.core.system import build_deployment
+
+    deployment = build_deployment(seed=f"bench-{rsa_bits}", rsa_bits=rsa_bits)
+    deployment.provider.publish(
+        "bench-song", b"BENCH-PAYLOAD" * 256, title="Bench Song", price=3
+    )
+    return deployment
+
+
+@pytest.fixture(scope="session")
+def deployment_for_bits():
+    """Factory: cached deployment per RSA modulus size."""
+    return _deployment_for_bits
+
+
+@pytest.fixture(scope="session")
+def bench_deployment():
+    """The default 1024-bit deployment."""
+    return _deployment_for_bits(1024)

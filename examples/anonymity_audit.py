@@ -1,0 +1,48 @@
+"""Anonymity audit: how much privacy does the marketplace actually give?
+
+Runs a simulated marketplace, then attacks it with the strongest
+realistic adversary — the provider colluding with the card issuer,
+joining certification timestamps against transaction timestamps — and
+prints anonymity-set sizes and linkage rates across traffic densities
+and the certificate pre-fetch defence.
+
+Run:  python examples/anonymity_audit.py        (takes ~1 minute)
+"""
+
+from repro.analysis import TimingAttacker
+from repro.sim import MarketplaceSimulator, WorkloadConfig
+
+WINDOW = 600  # attacker's correlation window, seconds
+
+print(f"timing attacker, correlation window = {WINDOW}s")
+print(f"{'traffic':>10s} {'prefetch':>9s} {'txns':>5s} "
+      f"{'mean anon set':>14s} {'attacker success':>17s}")
+
+for label, interarrival in (("sparse", 300), ("normal", 90), ("dense", 30)):
+    for prefetch in (0.0, 1.0, 3.0):
+        config = WorkloadConfig(
+            n_users=12,
+            n_contents=8,
+            n_events=40,
+            mean_interarrival=interarrival,
+            prefetch_rate=prefetch,
+            seed=777,
+        )
+        simulator = MarketplaceSimulator(config, mode="p2drm", rsa_bits=512)
+        report = simulator.run()
+        outcome = TimingAttacker(window_seconds=WINDOW).attack_deployment(
+            simulator.deployment.issuer, simulator.provider, report.ground_truth
+        )
+        print(
+            f"{label:>10s} {prefetch:>9.1f} {len(outcome.truths):>5d} "
+            f"{outcome.mean_anonymity_set:>14.2f} {outcome.success_rate:>16.1%}"
+        )
+
+print(
+    "\nReading the table: with certification at transaction time"
+    "\n(prefetch 0.0) the collusion links essentially every transaction"
+    "\nregardless of traffic.  Pre-fetched certificates mix users'"
+    "\ncertification events together, and denser traffic widens the"
+    "\ncrowd — anonymity is a property of the traffic, exactly the"
+    "\ncaveat the paper concedes to traffic analysis."
+)

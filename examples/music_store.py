@@ -1,0 +1,86 @@
+"""Music store: the same shop run twice — identity DRM vs P2DRM.
+
+Several users buy from a small catalog.  Afterwards we mine each
+provider's own records the way a curious operator would, and print the
+dossiers side by side: full purchase histories with names in the
+baseline, unlinkable one-licence shards in P2DRM.
+
+Run:  python examples/music_store.py
+"""
+
+from repro.baseline import BaselineProvider, BaselineUser, ProfileBuilder
+from repro.baseline.identity_drm import baseline_purchase
+from repro.core import build_deployment
+from repro.core.identity import SmartCard
+
+CATALOG = [
+    ("single-01", "Love Song", 2),
+    ("single-02", "Protest Song", 2),
+    ("album-01", "Greatest Hits", 8),
+]
+PURCHASES = [  # (user, content) — the same shopping in both worlds
+    ("alice", "single-01"),
+    ("alice", "album-01"),
+    ("bob", "single-01"),
+    ("alice", "single-02"),
+    ("carol", "album-01"),
+    ("bob", "single-02"),
+]
+
+deployment = build_deployment(seed="music-store", rsa_bits=768)
+for content_id, title, price in CATALOG:
+    deployment.provider.publish(
+        content_id, f"media:{title}".encode() * 50, title=title, price=price
+    )
+
+# ---- world 1: P2DRM --------------------------------------------------------
+for name in ("alice", "bob", "carol"):
+    deployment.add_user(name, balance=50)
+for name, content_id in PURCHASES:
+    deployment.buy(name, content_id)
+
+# ---- world 2: identity-based baseline ------------------------------------------
+baseline = BaselineProvider(
+    rng=deployment.rng.fork("store-baseline"),
+    clock=deployment.clock,
+    bank=deployment.bank,
+    license_key_bits=768,
+)
+for content_id, title, price in CATALOG:
+    baseline.publish(content_id, f"media:{title}".encode() * 50, title=title, price=price)
+baseline_users = {}
+for name in ("alice", "bob", "carol"):
+    card = SmartCard(
+        f"bl-{name}".encode().ljust(16, b"_"),
+        deployment.group,
+        rng=deployment.rng.fork(f"bl-{name}"),
+        authority_key=deployment.authority.public_key,
+    )
+    user = BaselineUser(f"bl-{name}", card)
+    baseline.register_user(user)
+    deployment.bank.open_account(user.bank_account, initial_balance=50)
+    baseline_users[name] = user
+for name, content_id in PURCHASES:
+    baseline_purchase(baseline_users[name], baseline, content_id, clock=deployment.clock)
+
+# ---- what each operator knows ----------------------------------------------------
+
+
+def show(label, provider):
+    report = ProfileBuilder(provider).build()
+    print(f"\n=== {label} ===")
+    print(f"identified users : {report.identified}")
+    print(f"profiles         : {report.profile_count}")
+    for profile in sorted(report.profiles.values(), key=lambda p: p.display):
+        spend = f", spent {profile.total_spent}" if profile.total_spent else ""
+        print(f"  {profile.display:28s} -> {sorted(profile.contents)}{spend}")
+
+
+show("identity DRM operator", baseline)
+show("P2DRM operator", deployment.provider)
+
+print(
+    "\nSame six purchases.  The baseline operator holds three complete"
+    "\ndossiers; the P2DRM operator holds six mutually-unlinkable"
+    "\nsingle-purchase pseudonyms and no names."
+)

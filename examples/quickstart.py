@@ -1,0 +1,47 @@
+"""Quickstart: buy content anonymously, play it on a compliant device.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_deployment
+
+# One call builds the whole cast: compliance authority, card issuer
+# (TTP), bank, content provider — deterministically from a seed.
+deployment = build_deployment(seed="quickstart", rsa_bits=768)
+
+# The provider packages content once; the encrypted package is public.
+deployment.provider.publish(
+    "track-001",
+    b"\x52\x49\x46\x46" + b"fake-wave-data" * 200,   # pretend WAV
+    title="Demo Track",
+    media_type="audio/wav",
+    price=3,
+)
+
+# Alice enrols (the only identified step of her life in the system),
+# gets a smart card, and funds her account.
+alice = deployment.add_user("alice", balance=20)
+
+# She buys anonymously: a fresh blind-certified pseudonym, blind-signed
+# e-cash — the provider learns only "some enrolled user bought track-001".
+license_ = alice.buy(
+    "track-001",
+    provider=deployment.provider,
+    issuer=deployment.issuer,
+    bank=deployment.bank,
+)
+print(f"licence issued : {license_.license_id.hex()}")
+print(f"bound pseudonym: {license_.holder_fingerprint.hex()[:24]}…")
+print(f"rights         : play; display; transfer[count<=1]")
+
+# A certified device renders it; the provider is not involved at all.
+device = deployment.add_device(model="living-room-player")
+payload = alice.play("track-001", device, provider=deployment.provider)
+print(f"rendered {len(payload)} bytes on device {device.device_id}")
+
+# What does the provider's own register say about Alice?  Nothing.
+register = deployment.provider.license_register
+record = register.get(license_.license_id)
+print(f"provider's view of the holder: {record.holder.hex()[:24]}… (a one-time pseudonym)")
+assert b"alice" not in record.blob
+print("the string 'alice' appears nowhere in the provider's records ✓")

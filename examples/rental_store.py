@@ -1,0 +1,78 @@
+"""Rental store: per-content rights templates and restricted gifting.
+
+The provider sells three shapes of rights for the same movie — a
+purchase, a 48-hour rental, and a 3-play rental — and a buyer gifts a
+*play-only* copy of her purchased movie (narrower rights than she
+holds; the provider enforces that restrictions only ever narrow).
+
+Run:  python examples/rental_store.py
+"""
+
+from repro.core import build_deployment
+from repro.errors import ProtocolError, RightsDenied
+from repro.rel.parser import format_timestamp
+
+deployment = build_deployment(seed="rental-store", rsa_bits=768)
+now = deployment.clock.now()
+
+deployment.provider.publish(
+    "movie-buy", b"feature-film" * 300, title="The Film (purchase)", price=10,
+    rights_template="play; display; transfer[count<=1]",
+)
+deployment.provider.publish(
+    "movie-48h", b"feature-film" * 300, title="The Film (48h rental)", price=3,
+    rights_template=f"play[before={now + 48 * 3600}]",
+)
+deployment.provider.publish(
+    "movie-3plays", b"feature-film" * 300, title="The Film (3 plays)", price=2,
+    rights_template="play[count<=3]",
+)
+
+alice = deployment.add_user("alice", balance=50)
+bob = deployment.add_user("bob", balance=50)
+device = deployment.add_device()
+
+# --- the 48-hour rental -----------------------------------------------------------
+rental = alice.buy("movie-48h", provider=deployment.provider,
+                   issuer=deployment.issuer, bank=deployment.bank)
+alice.play("movie-48h", device, provider=deployment.provider)
+print(f"rental plays today ✓ (valid until "
+      f"{format_timestamp(now + 48 * 3600)})")
+deployment.clock.advance(49 * 3600)
+try:
+    alice.play("movie-48h", device, provider=deployment.provider)
+except RightsDenied as denial:
+    print(f"two days later: {denial.reason} ✓")
+try:
+    alice.transfer_out(rental.license_id, provider=deployment.provider)
+except ProtocolError:
+    print("rentals are not transferable ✓")
+
+# --- the 3-play rental -------------------------------------------------------------
+alice.buy("movie-3plays", provider=deployment.provider,
+          issuer=deployment.issuer, bank=deployment.bank)
+for play in range(3):
+    alice.play("movie-3plays", device, provider=deployment.provider)
+print("three plays consumed ✓")
+try:
+    alice.play("movie-3plays", device, provider=deployment.provider)
+except RightsDenied as denial:
+    print(f"fourth play: {denial.reason} ✓")
+
+# --- restricted gift of the purchased copy ----------------------------------------------
+purchase = alice.buy("movie-buy", provider=deployment.provider,
+                     issuer=deployment.issuer, bank=deployment.bank)
+print(f"\nAlice's purchase grants: play; display; transfer[count<=1]")
+anonymous = alice.transfer_out(
+    purchase.license_id, provider=deployment.provider, restrict_to=("play",)
+)
+print(f"she gifts a narrowed copy: "
+      f"{'; '.join(p.action for p in anonymous.rights.permissions)} only")
+gift = bob.redeem(anonymous, provider=deployment.provider, issuer=deployment.issuer)
+device.sync_revocations(deployment.provider)
+bob.play("movie-buy", device, provider=deployment.provider)
+print("Bob plays his gift ✓")
+try:
+    bob.transfer_out(gift.license_id, provider=deployment.provider)
+except ProtocolError:
+    print("…but cannot pass it on: the gift carried no transfer right ✓")

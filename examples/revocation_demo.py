@@ -1,0 +1,66 @@
+"""Revocable anonymity: catching (and proving) a double redemption.
+
+Charlie buys a track, trades it for an anonymous licence, gives the
+bytes to Dana — and then tries to redeem his kept copy too.  The
+provider's spent-token store catches the second redemption, the
+evidence goes to the TTP, and the TTP opens *only the cheater's*
+escrow, with a Chaum–Pedersen proof anyone can audit.
+
+Run:  python examples/revocation_demo.py
+"""
+
+from repro.core import build_deployment
+from repro.core.escrow import verify_opening
+from repro.core.messages import parse_redemption_transcript
+from repro.core.protocols.revocation import report_misuse
+from repro.errors import AuthenticationError, DoubleRedemptionError
+
+deployment = build_deployment(seed="revocation-demo", rsa_bits=768)
+deployment.provider.publish("track-9", b"contraband-beats" * 64, title="Track 9", price=2)
+charlie = deployment.add_user("charlie", balance=20)
+dana = deployment.add_user("dana", balance=20)
+
+license_ = charlie.buy(
+    "track-9", provider=deployment.provider, issuer=deployment.issuer, bank=deployment.bank
+)
+anonymous = charlie.transfer_out(license_.license_id, provider=deployment.provider)
+print(f"anonymous licence token: {anonymous.license_id.hex()[:16]}…")
+
+# Dana (honest) redeems the licence Charlie gave her.
+dana.redeem(anonymous, provider=deployment.provider, issuer=deployment.issuer)
+print("Dana redeems her gift ✓")
+
+# Charlie kept a byte-copy and tries to redeem it again.
+try:
+    charlie.redeem(anonymous, provider=deployment.provider, issuer=deployment.issuer)
+    raise AssertionError("double redemption went through!")
+except DoubleRedemptionError as error:
+    evidence = error.evidence
+    print(f"double redemption detected; evidence holds two transcripts "
+          f"({len(evidence.first_transcript)} and {len(evidence.second_transcript)} bytes)")
+
+# The provider reports the evidence; the TTP re-verifies everything,
+# opens the second redeemer's escrow, and blocks the account.
+result = report_misuse(deployment.provider, deployment.issuer, evidence)
+print(f"TTP opened the escrow  : offender = {result.offender_user_id!r}")
+print(f"account blocked        : {result.blocked}")
+
+# Anyone can audit the opening against the offender's own certificate —
+# a TTP cannot frame an innocent user.
+offender_cert = parse_redemption_transcript(evidence.second_transcript)["cert"]
+verify_opening(offender_cert.escrow, result.opening, deployment.issuer.escrow_key)
+print("Chaum–Pedersen opening proof verifies publicly ✓")
+
+# Dana — the innocent first redeemer — is untouched and keeps playing.
+assert deployment.issuer.accounts.get("dana").status == "active"
+device = deployment.add_device()
+dana.play("track-9", device, provider=deployment.provider)
+print("Dana still plays her track; her anonymity was never touched ✓")
+
+# Charlie can no longer obtain pseudonym certificates.
+try:
+    charlie.buy("track-9", provider=deployment.provider, issuer=deployment.issuer,
+                bank=deployment.bank)
+    raise AssertionError("blocked user bought content!")
+except AuthenticationError:
+    print("Charlie's card is refused further certification ✓")

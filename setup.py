@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment has no ``wheel`` package, so PEP 517
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` takes the ``setup.py develop`` path instead.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""P2DRM — Privacy-Preserving Digital Rights Management.
+
+Reproduction of Conrado, Petković & Jonker, *Privacy-Preserving
+Digital Rights Management* (SDM workshop at VLDB 2004, LNCS 3178).
+
+Quick tour::
+
+    from repro.core import build_deployment
+
+    d = build_deployment(seed="demo")
+    d.provider.publish("track-1", b"...media...", title="Track", price=3)
+    alice = d.add_user("alice", balance=20)
+    licence = alice.buy("track-1", provider=d.provider,
+                        issuer=d.issuer, bank=d.bank)
+    device = d.add_device()
+    media = alice.play("track-1", device, provider=d.provider)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.codec` — canonical binary encoding for signed structures;
+- :mod:`repro.clock` — injectable time;
+- :mod:`repro.instrument` — operation counting for the cost experiments;
+- :mod:`repro.crypto` — the from-scratch cryptographic substrate;
+- :mod:`repro.rel` — the rights expression language;
+- :mod:`repro.storage` — sqlite-backed stores, revocation lists,
+  Merkle trees, Bloom filters, audit logs;
+- :mod:`repro.core` — the paper's system (actors + protocols);
+- :mod:`repro.baseline` — identity-based DRM for comparison;
+- :mod:`repro.analysis` — privacy measurement and attackers;
+- :mod:`repro.sim` — the marketplace workload simulator.
+"""
+
+__version__ = "1.0.0"
+
+from . import codec, errors
+from .clock import Clock, SimClock, SystemClock
+
+__all__ = [
+    "__version__",
+    "codec",
+    "errors",
+    "Clock",
+    "SimClock",
+    "SystemClock",
+]

@@ -1,0 +1,33 @@
+"""Privacy analysis: quantifying what the adversary actually gets.
+
+The paper *claims* unlinkability; this package measures it.  The
+adversary is the honest-but-curious provider, optionally colluding
+with the card issuer (the strongest realistic coalition short of
+breaking crypto), armed with every timestamped record both keep:
+
+- :mod:`repro.analysis.linkability` — transaction graphs over the
+  providers' records (networkx) and anonymity-set extraction;
+- :mod:`repro.analysis.metrics` — anonymity measures: set sizes,
+  Serjantov–Danezis effective entropy, linkage success rates;
+- :mod:`repro.analysis.attacker` — the timing-correlation attacker
+  that joins issuer certification times against provider transaction
+  times (experiments E7/E8).
+"""
+
+from .linkability import TransactionGraph, build_transaction_graph
+from .metrics import (
+    anonymity_set_entropy,
+    effective_anonymity_size,
+    linkage_success_rate,
+)
+from .attacker import TimingAttacker, AttackOutcome
+
+__all__ = [
+    "TransactionGraph",
+    "build_transaction_graph",
+    "anonymity_set_entropy",
+    "effective_anonymity_size",
+    "linkage_success_rate",
+    "TimingAttacker",
+    "AttackOutcome",
+]

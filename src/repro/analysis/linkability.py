@@ -1,0 +1,173 @@
+"""Transaction graphs over provider records.
+
+The provider's audit log is a stream of pseudonymous events.  This
+module assembles them into a graph (networkx) whose nodes are the
+identifiers the provider actually sees — pseudonym fingerprints,
+licence ids, anonymous-licence tokens, content ids — and whose edges
+are the links its own protocol handlers established (issued, exchanged,
+redeemed).  Connected components of the pseudonym projection are the
+provider's best-possible *structural* linkage; everything beyond that
+needs side channels (timing — :mod:`repro.analysis.attacker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+NODE_PSEUDONYM = "pseudonym"
+NODE_LICENSE = "license"
+NODE_TOKEN = "token"
+NODE_CONTENT = "content"
+NODE_USER = "user"
+
+
+@dataclass
+class TransactionGraph:
+    """A provider's knowledge as a typed graph."""
+
+    graph: nx.Graph = field(default_factory=nx.Graph)
+
+    def _add_node(self, kind: str, key) -> str:
+        name = f"{kind}:{key.hex() if isinstance(key, bytes) else key}"
+        if name not in self.graph:
+            self.graph.add_node(name, kind=kind)
+        return name
+
+    def add_issue(self, license_id: bytes, content_id: str, holder, at: int) -> None:
+        license_node = self._add_node(NODE_LICENSE, license_id)
+        content_node = self._add_node(NODE_CONTENT, content_id)
+        self.graph.add_edge(license_node, content_node, kind="covers", at=at)
+        if holder is not None:
+            kind = NODE_USER if isinstance(holder, str) else NODE_PSEUDONYM
+            holder_node = self._add_node(kind, holder)
+            self.graph.add_edge(holder_node, license_node, kind="holds", at=at)
+
+    def add_exchange(self, old_license: bytes, token: bytes, at: int) -> None:
+        old_node = self._add_node(NODE_LICENSE, old_license)
+        token_node = self._add_node(NODE_TOKEN, token)
+        self.graph.add_edge(old_node, token_node, kind="exchanged", at=at)
+
+    def add_redemption(self, token: bytes, new_license: bytes, at: int) -> None:
+        token_node = self._add_node(NODE_TOKEN, token)
+        new_node = self._add_node(NODE_LICENSE, new_license)
+        self.graph.add_edge(token_node, new_node, kind="redeemed", at=at)
+
+    # -- what the operator can conclude -------------------------------------
+
+    def pseudonym_nodes(self) -> list[str]:
+        return [
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == NODE_PSEUDONYM
+        ]
+
+    def user_nodes(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == NODE_USER]
+
+    def linked_pseudonym_clusters(self) -> list[set[str]]:
+        """Groups of pseudonyms the graph structurally connects.
+
+        In plain P2DRM a transfer connects the giver's and receiver's
+        pseudonyms through licence→token→licence; the cluster sizes
+        measure how much pseudonym-level linkage the provider gets for
+        free — and (with fresh pseudonyms) how little that says about
+        *users*.
+        """
+        clusters: list[set[str]] = []
+        content_nodes = {
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == NODE_CONTENT
+        }
+        # Content nodes join everyone who bought the same item; drop them
+        # so components reflect transactional linkage, not taste overlap.
+        view = self.graph.subgraph(set(self.graph.nodes) - content_nodes)
+        for component in nx.connected_components(view):
+            pseudonyms = {
+                n for n in component if self.graph.nodes[n]["kind"] == NODE_PSEUDONYM
+            }
+            if pseudonyms:
+                clusters.append(pseudonyms)
+        return clusters
+
+    def transfer_pairs(self) -> list[tuple[str, str]]:
+        """(giver pseudonym, receiver pseudonym) pairs the provider can
+        read directly off its own records via the token id."""
+        pairs: list[tuple[str, str]] = []
+        for token_node, data in self.graph.nodes(data=True):
+            if data["kind"] != NODE_TOKEN:
+                continue
+            old_license = None
+            new_license = None
+            for neighbor in self.graph.neighbors(token_node):
+                edge = self.graph.edges[token_node, neighbor]
+                if edge["kind"] == "exchanged":
+                    old_license = neighbor
+                elif edge["kind"] == "redeemed":
+                    new_license = neighbor
+            if old_license is None or new_license is None:
+                continue
+            giver = self._holder_of(old_license)
+            receiver = self._holder_of(new_license)
+            if giver and receiver:
+                pairs.append((giver, receiver))
+        return pairs
+
+    def _holder_of(self, license_node: str) -> str | None:
+        for neighbor in self.graph.neighbors(license_node):
+            kind = self.graph.nodes[neighbor]["kind"]
+            if kind in (NODE_PSEUDONYM, NODE_USER):
+                return neighbor
+        return None
+
+    def stats(self) -> dict:
+        clusters = self.linked_pseudonym_clusters()
+        return {
+            "nodes": self.graph.number_of_nodes(),
+            "edges": self.graph.number_of_edges(),
+            "pseudonyms": len(self.pseudonym_nodes()),
+            "users": len(self.user_nodes()),
+            "clusters": len(clusters),
+            "largest_cluster": max((len(c) for c in clusters), default=0),
+            "transfer_pairs": len(self.transfer_pairs()),
+        }
+
+
+def build_transaction_graph(provider) -> TransactionGraph:
+    """Assemble the graph from a provider's audit log and register."""
+    graph = TransactionGraph()
+    register = provider.license_register
+    for event in provider.audit_log.entries():
+        payload = event.payload
+        if event.event == "license_issued":
+            license_id = bytes(payload["license"])
+            record = register.get(license_id)
+            holder: object = None
+            if "user" in payload:
+                holder = str(payload["user"])
+            elif record is not None and record.holder is not None:
+                holder = record.holder
+            graph.add_issue(
+                license_id, str(payload["content"]), holder, event.at
+            )
+        elif event.event == "license_exchanged":
+            graph.add_exchange(
+                bytes(payload["old_license"]), bytes(payload["token"]), event.at
+            )
+        elif event.event == "license_redeemed":
+            new_license = bytes(payload["license"])
+            graph.add_redemption(bytes(payload["token"]), new_license, event.at)
+            # The redeemed licence is an issuance too: it has a holder
+            # pseudonym the provider saw.
+            record = register.get(new_license)
+            holder = (
+                bytes(payload["pseudonym"])
+                if "pseudonym" in payload
+                else (record.holder if record else None)
+            )
+            graph.add_issue(
+                new_license, str(payload["content"]), holder, event.at
+            )
+        elif event.event == "license_transferred":
+            # Baseline: a direct named edge — model it as issue linkage;
+            # the profiles module already counts these explicitly.
+            continue
+    return graph

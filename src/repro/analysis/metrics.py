@@ -1,0 +1,74 @@
+"""Anonymity metrics.
+
+Standard measures from the anonymity literature, applied to attacker
+candidate sets:
+
+- **anonymity set size** — how many subjects could have performed the
+  action, given everything the adversary saw;
+- **effective anonymity** (Serjantov–Danezis) — the entropy of the
+  adversary's posterior over candidates, in bits; ``2**entropy`` is
+  the "effective" set size when candidates are not equally likely;
+- **linkage success rate** — fraction of actions where the adversary's
+  best guess names the true subject (the operational bottom line).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def anonymity_set_entropy(distribution: Mapping[object, float]) -> float:
+    """Shannon entropy (bits) of a candidate distribution.
+
+    The distribution need not be normalized; zero-mass entries are
+    ignored.  An empty or single-candidate distribution has entropy 0.
+    """
+    total = float(sum(v for v in distribution.values() if v > 0))
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for weight in distribution.values():
+        if weight <= 0:
+            continue
+        p = weight / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def effective_anonymity_size(distribution: Mapping[object, float]) -> float:
+    """``2**entropy`` — the equally-likely set size this posterior is
+    worth (Serjantov–Danezis)."""
+    return 2.0 ** anonymity_set_entropy(distribution)
+
+
+def linkage_success_rate(
+    guesses: Sequence[object], truths: Sequence[object]
+) -> float:
+    """Fraction of positions where guess equals truth.
+
+    ``None`` guesses (attacker abstained) count as failures.
+    """
+    if len(guesses) != len(truths):
+        raise ValueError("guesses and truths must align")
+    if not truths:
+        return 0.0
+    hits = sum(
+        1 for guess, truth in zip(guesses, truths) if guess is not None and guess == truth
+    )
+    return hits / len(truths)
+
+
+def mean_anonymity_set_size(sets: Sequence[Sequence[object]]) -> float:
+    """Average candidate-set cardinality across observations."""
+    if not sets:
+        return 0.0
+    return sum(len(s) for s in sets) / len(sets)
+
+
+def uniqueness_rate(sets: Sequence[Sequence[object]]) -> float:
+    """Fraction of observations whose candidate set is a singleton —
+    the cases where "anonymous" collapses to identified."""
+    if not sets:
+        return 0.0
+    return sum(1 for s in sets if len(s) == 1) / len(sets)

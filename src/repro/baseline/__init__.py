@@ -1,0 +1,20 @@
+"""The comparison baseline: identity-based DRM.
+
+The 2004 paper positions its system against the identity-based DRM of
+the era (including the authors' own earlier design): licences name an
+account, payment is a ledger debit, transfers are re-registrations
+naming both parties.  This package implements that baseline **on the
+same substrates** (same crypto, same stores, same devices), so every
+measured difference in the experiments is attributable to the privacy
+layer and not to incidental implementation drift.
+
+- :mod:`repro.baseline.identity_drm` — the baseline provider and user;
+- :mod:`repro.baseline.tracking` — what an honest-but-curious operator
+  extracts from the baseline's own records (the paper's §1 threat
+  list, made executable).
+"""
+
+from .identity_drm import BaselineProvider, BaselineUser
+from .tracking import ProfileBuilder, UserProfile
+
+__all__ = ["BaselineProvider", "BaselineUser", "ProfileBuilder", "UserProfile"]

@@ -1,0 +1,297 @@
+"""Identity-based DRM — the system the paper improves upon.
+
+Differences from the P2DRM provider, each one a privacy leak the
+experiments quantify:
+
+- **accounts, not pseudonyms**: every licence's holder column is the
+  user id itself; one long-term key per user (no blinding, no escrow —
+  there is no anonymity to revoke);
+- **identified payment**: a ledger transfer ("credit card"), so the
+  operator's records link user → content → price → time directly;
+- **identified transfer**: user A asks the provider to re-register a
+  licence to user B — the A→B edge lands in the audit log in clear.
+
+Enforcement strength is *identical* to P2DRM (same licences, devices,
+revocation lists); only the identity handling differs.  That is the
+paper's whole point: privacy is not traded against control.
+"""
+
+from __future__ import annotations
+
+from .. import codec
+from ..clock import Clock
+from ..crypto.rand import RandomSource
+from ..crypto.rsa import RsaPublicKey
+from ..crypto.schnorr import SchnorrSignature, generate_schnorr_key
+from ..errors import (
+    AuthenticationError,
+    ProtocolError,
+    RevokedLicenseError,
+)
+from ..rel.parser import parse_rights
+from ..rel.serializer import rights_to_text
+from ..storage import licenses as license_store
+from ..core.actors.provider import ContentProvider
+from ..core.identity import Pseudonym, SmartCard
+from ..core.licenses import (
+    LICENSE_ID_SIZE,
+    PersonalLicense,
+    kem_context,
+    sign_personal_license,
+)
+
+
+class BaselineUser:
+    """A user of the identity-based system: one account, one key."""
+
+    def __init__(self, user_id: str, card: SmartCard):
+        self.user_id = user_id
+        self.card = card
+        # One long-term identity key for everything.
+        self.identity_pseudonym = card.new_pseudonym()
+        self.licenses: dict[bytes, PersonalLicense] = {}
+        self.bank_account = f"user-{user_id}"
+
+    def add_license(self, license_: PersonalLicense) -> None:
+        self.licenses[license_.license_id] = license_
+
+    def license_for_content(self, content_id: str) -> PersonalLicense:
+        for license_ in self.licenses.values():
+            if license_.content_id == content_id:
+                return license_
+        raise ProtocolError(
+            f"user {self.user_id!r} holds no licence for {content_id!r}"
+        )
+
+    def sign(self, message: bytes) -> SchnorrSignature:
+        return self.card.sign(self.identity_pseudonym, message)
+
+
+def _baseline_request_payload(
+    kind: str, user_id: str, body: dict, at: int
+) -> bytes:
+    return codec.encode(
+        {"what": f"baseline-{kind}", "user": user_id, "at": at, **body}
+    )
+
+
+class BaselineProvider(ContentProvider):
+    """Identity-bound DRM on the P2DRM substrates.
+
+    Inherits catalog, stores, licence signing and revocation machinery;
+    replaces the anonymous handlers with identified ones.  The
+    inherited anonymous endpoints are disabled — a baseline deployment
+    has no pseudonym certificates to verify.
+    """
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource,
+        clock: Clock,
+        bank,
+        db=None,
+        license_key_bits: int = 1024,
+        name: str = "baseline-provider",
+    ):
+        # No issuer key: the baseline trusts account registration.
+        super().__init__(
+            rng=rng,
+            clock=clock,
+            issuer_certificate_key=RsaPublicKey(n=3 * 5, e=3),  # sentinel, unused
+            bank=bank,
+            db=db,
+            license_key_bits=license_key_bits,
+            name=name,
+        )
+        self._known_keys: dict[str, Pseudonym] = {}
+
+    # -- account registration ------------------------------------------------
+
+    def register_user(self, user: BaselineUser) -> None:
+        """Record the user's long-term verification key."""
+        if user.user_id in self._known_keys:
+            raise ProtocolError(f"user {user.user_id!r} already registered")
+        self._known_keys[user.user_id] = user.identity_pseudonym
+
+    def _require_key(self, user_id: str) -> Pseudonym:
+        pseudonym = self._known_keys.get(user_id)
+        if pseudonym is None:
+            raise AuthenticationError(f"unknown user {user_id!r}")
+        return pseudonym
+
+    # -- identified purchase ----------------------------------------------------
+
+    def sell_identified(
+        self, user: BaselineUser, content_id: str, signature: SchnorrSignature, at: int
+    ) -> PersonalLicense:
+        """Sell to a named account, paid by ledger transfer."""
+        pseudonym = self._require_key(user.user_id)
+        payload = _baseline_request_payload(
+            "purchase", user.user_id, {"content": content_id}, at
+        )
+        try:
+            pseudonym.signing_key.verify(payload, signature)
+        except Exception as exc:
+            raise AuthenticationError(f"purchase signature invalid: {exc}") from exc
+        price = self._contents.price(content_id)
+        self._bank.transfer(user.bank_account, self._bank_account, price)
+        license_ = self._issue_identified(
+            content_id=content_id, pseudonym=pseudonym, holder=user.user_id.encode()
+        )
+        self._audit.append(
+            at=self._clock.now(),
+            actor=self.name,
+            event="license_issued",
+            payload={
+                "license": license_.license_id,
+                "content": content_id,
+                # The leak, in one line: the audit trail names the user.
+                "user": user.user_id,
+                "price": price,
+            },
+        )
+        return license_
+
+    # -- identified transfer -------------------------------------------------------
+
+    def transfer_identified(
+        self,
+        sender: BaselineUser,
+        receiver: BaselineUser,
+        license_id: bytes,
+        signature: SchnorrSignature,
+        at: int,
+    ) -> PersonalLicense:
+        """Re-register a licence from one named account to another."""
+        sender_key = self._require_key(sender.user_id)
+        receiver_key = self._require_key(receiver.user_id)
+        record = self._licenses.get(license_id)
+        if record is None:
+            raise ProtocolError("unknown licence")
+        if record.status != license_store.STATUS_ACTIVE:
+            raise RevokedLicenseError(f"licence is {record.status}")
+        if record.holder != sender.user_id.encode():
+            raise AuthenticationError("licence is not held by the sender")
+        old_license = PersonalLicense.from_dict(codec.decode(record.blob))
+        if not old_license.rights.transferable:
+            raise ProtocolError("licence rights do not include transfer")
+        payload = _baseline_request_payload(
+            "transfer",
+            sender.user_id,
+            {"license": license_id, "to": receiver.user_id},
+            at,
+        )
+        try:
+            sender_key.signing_key.verify(payload, signature)
+        except Exception as exc:
+            raise AuthenticationError(f"transfer signature invalid: {exc}") from exc
+
+        now = self._clock.now()
+        self._revocations.revoke(license_id, at=now, reason="transferred")
+        self._licenses.set_status(license_id, license_store.STATUS_EXCHANGED)
+        new_license = self._issue_identified(
+            content_id=old_license.content_id,
+            pseudonym=receiver_key,
+            holder=receiver.user_id.encode(),
+            rights=old_license.rights,
+        )
+        self._audit.append(
+            at=now,
+            actor=self.name,
+            event="license_transferred",
+            payload={
+                "old_license": license_id,
+                "new_license": new_license.license_id,
+                # Both endpoints of the social edge, in clear.
+                "from": sender.user_id,
+                "to": receiver.user_id,
+                "content": old_license.content_id,
+            },
+        )
+        return new_license
+
+    # -- internals -----------------------------------------------------------------
+
+    def _issue_identified(
+        self, *, content_id: str, pseudonym: Pseudonym, holder: bytes, rights=None
+    ) -> PersonalLicense:
+        now = self._clock.now()
+        if rights is None:
+            rights = parse_rights("play; display; transfer[count<=1]")
+        license_id = self._rng.random_bytes(LICENSE_ID_SIZE)
+        content_key = self._contents.content_key(content_id)
+        wrapped = pseudonym.kem_key.kem_wrap(
+            content_key,
+            context=kem_context(license_id, content_id),
+            rng=self._rng,
+        )
+        license_ = sign_personal_license(
+            self._license_key,
+            license_id=license_id,
+            content_id=content_id,
+            rights=rights,
+            pseudonym=pseudonym,
+            wrapped_key=wrapped,
+            issued_at=now,
+        )
+        self._licenses.insert(
+            license_id,
+            kind=license_store.KIND_IDENTITY,
+            content_id=content_id,
+            holder=holder,
+            rights_text=rights_to_text(rights),
+            issued_at=now,
+            blob=codec.encode(license_.as_dict()),
+        )
+        return license_
+
+    # -- anonymous endpoints are not part of the baseline ------------------------
+
+    def sell(self, request):  # pragma: no cover - guard
+        raise ProtocolError("baseline provider has no anonymous sell endpoint")
+
+    def exchange(self, request):  # pragma: no cover - guard
+        raise ProtocolError("baseline provider has no exchange endpoint")
+
+    def redeem(self, request):  # pragma: no cover - guard
+        raise ProtocolError("baseline provider has no redeem endpoint")
+
+
+def baseline_purchase(
+    user: BaselineUser, provider: BaselineProvider, content_id: str, *, clock: Clock
+) -> PersonalLicense:
+    """Client-side purchase flow for the baseline system."""
+    at = clock.now()
+    payload = _baseline_request_payload(
+        "purchase", user.user_id, {"content": content_id}, at
+    )
+    license_ = provider.sell_identified(user, content_id, user.sign(payload), at)
+    license_.verify(provider.license_key)
+    user.add_license(license_)
+    return license_
+
+
+def baseline_transfer(
+    sender: BaselineUser,
+    receiver: BaselineUser,
+    provider: BaselineProvider,
+    license_id: bytes,
+    *,
+    clock: Clock,
+) -> PersonalLicense:
+    """Client-side transfer flow for the baseline system."""
+    at = clock.now()
+    payload = _baseline_request_payload(
+        "transfer",
+        sender.user_id,
+        {"license": license_id, "to": receiver.user_id},
+        at,
+    )
+    new_license = provider.transfer_identified(
+        sender, receiver, license_id, sender.sign(payload), at
+    )
+    new_license.verify(provider.license_key)
+    sender.licenses.pop(license_id, None)
+    receiver.add_license(new_license)
+    return new_license

@@ -1,0 +1,123 @@
+"""What the operator's own records reveal — the paper's §1 threat list,
+made executable.
+
+The paper motivates P2DRM by listing what conventional DRM lets a
+distributor collect: complete purchase histories, transfer
+relationships, payment amounts, all keyed by identity.  This module
+*builds those dossiers* from a provider's licence register and audit
+log — run it against the baseline and you get rich profiles; run it
+against the P2DRM provider and the same code returns one-licence
+pseudonym shards and no user names.  Experiments E8/E10 report the
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UserProfile:
+    """Everything the operator can pin on one holder key."""
+
+    holder: bytes
+    display: str
+    contents: list[str] = field(default_factory=list)
+    license_count: int = 0
+    first_seen: int | None = None
+    last_seen: int | None = None
+    total_spent: int = 0
+
+    @property
+    def span_seconds(self) -> int:
+        if self.first_seen is None or self.last_seen is None:
+            return 0
+        return self.last_seen - self.first_seen
+
+
+@dataclass
+class TrackingReport:
+    """The operator's aggregate knowledge."""
+
+    profiles: dict[bytes, UserProfile]
+    transfer_edges: list[tuple[str, str, str]]   # (from, to, content)
+    identified: bool                             # holders are user ids?
+
+    @property
+    def profile_count(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def max_profile_size(self) -> int:
+        return max((p.license_count for p in self.profiles.values()), default=0)
+
+    @property
+    def mean_profile_size(self) -> float:
+        if not self.profiles:
+            return 0.0
+        return sum(p.license_count for p in self.profiles.values()) / len(self.profiles)
+
+    @property
+    def named_edges(self) -> int:
+        """Transfer edges where both endpoints are user names."""
+        return len(self.transfer_edges)
+
+    def summary(self) -> dict:
+        return {
+            "identified": self.identified,
+            "profiles": self.profile_count,
+            "max_profile": self.max_profile_size,
+            "mean_profile": round(self.mean_profile_size, 3),
+            "transfer_edges": self.named_edges,
+        }
+
+
+class ProfileBuilder:
+    """Honest-but-curious mining of a provider's stores."""
+
+    def __init__(self, provider):
+        self._provider = provider
+
+    def build(self) -> TrackingReport:
+        """Assemble profiles from the licence register and audit log."""
+        profiles: dict[bytes, UserProfile] = {}
+        identified = False
+        register = self._provider.license_register
+        # Walk every licence the provider ever handed to a holder —
+        # direct sales and redemptions of anonymous licences alike.
+        for event in self._provider.audit_log.entries():
+            if event.event not in ("license_issued", "license_redeemed"):
+                continue
+            payload = event.payload
+            license_id = bytes(payload["license"])
+            record = register.get(license_id)
+            if record is None or record.holder is None:
+                continue
+            holder = record.holder
+            if "user" in payload:
+                identified = True
+                display = str(payload["user"])
+            else:
+                display = f"pseudonym:{holder.hex()[:12]}"
+            profile = profiles.get(holder)
+            if profile is None:
+                profile = UserProfile(holder=holder, display=display)
+                profiles[holder] = profile
+            profile.contents.append(record.content_id)
+            profile.license_count += 1
+            moment = event.at
+            if profile.first_seen is None or moment < profile.first_seen:
+                profile.first_seen = moment
+            if profile.last_seen is None or moment > profile.last_seen:
+                profile.last_seen = moment
+            profile.total_spent += int(payload.get("price", 0))
+
+        edges: list[tuple[str, str, str]] = []
+        for event in self._provider.audit_log.entries(event="license_transferred"):
+            payload = event.payload
+            edges.append(
+                (str(payload["from"]), str(payload["to"]), str(payload["content"]))
+            )
+        return TrackingReport(
+            profiles=profiles, transfer_edges=edges, identified=identified
+        )

@@ -1,0 +1,49 @@
+"""Clocks.  No module in this package reads wall time directly.
+
+Licence validity windows, revocation timestamps and the traffic-
+analysis experiments all consume a :class:`Clock`; tests and the
+simulator drive a :class:`SimClock`, applications use
+:class:`SystemClock`.  Injecting time is what makes the unlinkability
+experiments (E7/E8) reproducible — the attacker's power there *is*
+timing, so timing must be controlled.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: seconds since the epoch, as an int."""
+
+    def now(self) -> int:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time."""
+
+    def now(self) -> int:
+        return int(time.time())
+
+
+class SimClock(Clock):
+    """Controllable time for tests and simulation."""
+
+    def __init__(self, start: int = 1_086_300_000):  # 2004-06-04, paper era
+        self._now = int(start)
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("time does not run backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, moment: int) -> None:
+        if moment < self._now:
+            raise ValueError("time does not run backwards")
+        self._now = int(moment)

@@ -1,0 +1,239 @@
+"""Canonical deterministic binary encoding for signable structures.
+
+Every structure that is ever signed, hashed, or stored by the P2DRM
+system — licences, certificates, coins, protocol messages, revocation
+snapshots — is first reduced to a Python value built from ``None``,
+``bool``, ``int``, ``bytes``, ``str``, ``list`` and ``dict`` (with
+``str`` keys), then encoded by :func:`encode`.  The encoding is
+*canonical*: a given value has exactly one byte representation and the
+decoder rejects any non-canonical input.  This removes a whole class of
+signature-malleability problems (two encodings of the same licence with
+the same signature) without pulling in an ASN.1 stack.
+
+Wire format (tag byte, then payload)::
+
+    0x00  None
+    0x01  True
+    0x02  False
+    0x03  int     sign byte (0 non-negative / 1 negative), varint length,
+                  big-endian magnitude with no leading zero byte
+    0x04  bytes   varint length, raw bytes
+    0x05  str     varint length, UTF-8 bytes
+    0x06  list    varint count, encoded items
+    0x07  dict    varint count, (encoded key, encoded value) pairs with
+                  keys strictly increasing in UTF-8 byte order
+
+Varints are unsigned LEB128 with minimal length (no redundant
+continuation groups).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .errors import CodecError, NonCanonicalEncoding
+
+TAG_NONE = 0x00
+TAG_TRUE = 0x01
+TAG_FALSE = 0x02
+TAG_INT = 0x03
+TAG_BYTES = 0x04
+TAG_STR = 0x05
+TAG_LIST = 0x06
+TAG_DICT = 0x07
+
+_MAX_DEPTH = 64
+
+
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise CodecError("varint must be non-negative")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise CodecError("structure too deeply nested")
+    if value is None:
+        out.append(TAG_NONE)
+    elif value is True:
+        out.append(TAG_TRUE)
+    elif value is False:
+        out.append(TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(TAG_INT)
+        magnitude = abs(value)
+        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+        out.append(1 if value < 0 else 0)
+        out += _encode_varint(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(TAG_BYTES)
+        out += _encode_varint(len(raw))
+        out += raw
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(TAG_STR)
+        out += _encode_varint(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(TAG_LIST)
+        out += _encode_varint(len(value))
+        for item in value:
+            _encode_into(item, out, depth + 1)
+    elif isinstance(value, dict):
+        keys = list(value.keys())
+        for key in keys:
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+        encoded_keys = sorted(key.encode("utf-8") for key in keys)
+        if len(set(encoded_keys)) != len(encoded_keys):
+            raise CodecError("duplicate dict keys after UTF-8 encoding")
+        out.append(TAG_DICT)
+        out += _encode_varint(len(value))
+        for raw_key in encoded_keys:
+            key = raw_key.decode("utf-8")
+            out.append(TAG_STR)
+            out += _encode_varint(len(raw_key))
+            out += raw_key
+            _encode_into(value[key], out, depth + 1)
+    else:
+        raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to its unique canonical byte string.
+
+    Raises :class:`~repro.errors.CodecError` for unsupported types,
+    non-string dict keys, or excessive nesting.
+    """
+    out = bytearray()
+    _encode_into(value, out, 0)
+    return bytes(out)
+
+
+class _Reader:
+    """Cursor over an input buffer with canonicality checks."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def read_byte(self) -> int:
+        if self._pos >= len(self._data):
+            raise CodecError("truncated input")
+        byte = self._data[self._pos]
+        self._pos += 1
+        return byte
+
+    def read_bytes(self, count: int) -> bytes:
+        if self.remaining() < count:
+            raise CodecError("truncated input")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.read_byte()
+            if shift and byte == 0:
+                # A zero continuation group means the previous byte's
+                # continuation bit was redundant — non-minimal length.
+                raise NonCanonicalEncoding("non-minimal varint")
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise CodecError("varint too large")
+
+
+def _decode_from(reader: _Reader, depth: int) -> Any:
+    if depth > _MAX_DEPTH:
+        raise CodecError("structure too deeply nested")
+    tag = reader.read_byte()
+    if tag == TAG_NONE:
+        return None
+    if tag == TAG_TRUE:
+        return True
+    if tag == TAG_FALSE:
+        return False
+    if tag == TAG_INT:
+        sign = reader.read_byte()
+        if sign not in (0, 1):
+            raise CodecError("invalid int sign byte")
+        length = reader.read_varint()
+        raw = reader.read_bytes(length)
+        if raw[:1] == b"\x00":
+            raise NonCanonicalEncoding("int magnitude has leading zero")
+        magnitude = int.from_bytes(raw, "big")
+        if sign == 1 and magnitude == 0:
+            raise NonCanonicalEncoding("negative zero")
+        return -magnitude if sign else magnitude
+    if tag == TAG_BYTES:
+        length = reader.read_varint()
+        return reader.read_bytes(length)
+    if tag == TAG_STR:
+        length = reader.read_varint()
+        raw = reader.read_bytes(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError("invalid UTF-8 in string") from exc
+    if tag == TAG_LIST:
+        count = reader.read_varint()
+        return [_decode_from(reader, depth + 1) for _ in range(count)]
+    if tag == TAG_DICT:
+        count = reader.read_varint()
+        result: dict[str, Any] = {}
+        previous_key: bytes | None = None
+        for _ in range(count):
+            key_tag = reader.read_byte()
+            if key_tag != TAG_STR:
+                raise CodecError("dict key must be a string")
+            key_length = reader.read_varint()
+            raw_key = reader.read_bytes(key_length)
+            if previous_key is not None and raw_key <= previous_key:
+                raise NonCanonicalEncoding("dict keys not strictly sorted")
+            previous_key = raw_key
+            try:
+                key = raw_key.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError("invalid UTF-8 in dict key") from exc
+            result[key] = _decode_from(reader, depth + 1)
+        return result
+    raise CodecError(f"unknown tag 0x{tag:02x}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a canonical byte string produced by :func:`encode`.
+
+    Rejects trailing bytes and every non-canonical variant, so
+    ``encode(decode(data)) == data`` holds for every accepted input.
+    """
+    reader = _Reader(bytes(data))
+    value = _decode_from(reader, 0)
+    if reader.remaining():
+        raise CodecError(f"{reader.remaining()} trailing bytes after value")
+    return value
+
+
+def iter_decode(data: bytes) -> Iterator[Any]:
+    """Decode a concatenation of canonical values (a framed stream)."""
+    reader = _Reader(bytes(data))
+    while reader.remaining():
+        yield _decode_from(reader, 0)

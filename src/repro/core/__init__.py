@@ -1,0 +1,49 @@
+"""The P2DRM core: the paper's contribution, on top of the substrates.
+
+Layout mirrors the protocol roles of the 2004 paper:
+
+- :mod:`repro.core.identity` — smart cards and pseudonyms;
+- :mod:`repro.core.escrow` — verifiable identity escrow (revocable
+  anonymity);
+- :mod:`repro.core.certificates` — the small PKI: compliance authority,
+  device certificates, blind-issued pseudonym certificates;
+- :mod:`repro.core.licenses` — personalized and anonymous licences;
+- :mod:`repro.core.content` — content packaging under content keys;
+- :mod:`repro.core.messages` — wire messages with canonical signing
+  payloads;
+- :mod:`repro.core.actors` — SmartCardIssuer (TTP), ContentProvider,
+  UserAgent, CompliantDevice, Bank;
+- :mod:`repro.core.protocols` — orchestrated protocol runs with
+  transcripts (registration, payment, acquisition, access, transfer,
+  revocation);
+- :mod:`repro.core.system` — one-call construction of a full
+  deployment for examples, tests and simulation.
+"""
+
+from .identity import Pseudonym, SmartCard
+from .escrow import IdentityEscrow, EscrowOpening
+from .certificates import (
+    CertificateAuthority,
+    DeviceCertificate,
+    PseudonymCertificate,
+)
+from .licenses import AnonymousLicense, PersonalLicense
+from .content import ContentPackage, pack_content, unpack_content
+from .system import Deployment, build_deployment
+
+__all__ = [
+    "Pseudonym",
+    "SmartCard",
+    "IdentityEscrow",
+    "EscrowOpening",
+    "CertificateAuthority",
+    "DeviceCertificate",
+    "PseudonymCertificate",
+    "PersonalLicense",
+    "AnonymousLicense",
+    "ContentPackage",
+    "pack_content",
+    "unpack_content",
+    "Deployment",
+    "build_deployment",
+]

@@ -1,0 +1,32 @@
+"""The protocol parties.
+
+- :class:`~repro.core.actors.bank.Bank` — blind-signature e-cash mint
+  with double-spend detection;
+- :class:`~repro.core.actors.issuer.SmartCardIssuer` — enrolment,
+  blind pseudonym certification, escrow opening (the TTP);
+- :class:`~repro.core.actors.provider.ContentProvider` — catalog,
+  anonymous sales, licence exchange/redemption, revocation lists;
+- :class:`~repro.core.actors.device.CompliantDevice` — verification
+  and rights enforcement at render time;
+- :class:`~repro.core.actors.user.UserAgent` — the user's software:
+  card, wallet, licences.
+
+Actors communicate by direct method calls carrying the message objects
+from :mod:`repro.core.messages`; the protocol wrappers in
+:mod:`repro.core.protocols` measure those messages as wire bytes.
+"""
+
+from .bank import Bank
+from .issuer import SmartCardIssuer, RevocationResult
+from .provider import ContentProvider
+from .device import CompliantDevice
+from .user import UserAgent
+
+__all__ = [
+    "Bank",
+    "SmartCardIssuer",
+    "RevocationResult",
+    "ContentProvider",
+    "CompliantDevice",
+    "UserAgent",
+]

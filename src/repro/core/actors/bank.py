@@ -1,0 +1,186 @@
+"""The bank: Chaum blind-signature e-cash.
+
+The paper requires an anonymous payment channel ("e.g. prepaid cards");
+blind e-cash is the canonical cryptographic instantiation.  The flow:
+
+- **withdraw** — the user debits their (identified) account and gets a
+  blind signature over a coin whose serial the bank never sees;
+- **pay** — the user hands coins to the provider inside a purchase;
+- **deposit** — the provider deposits the coins; the bank verifies its
+  own signature and the spent store enforces one deposit per serial.
+
+Unlinkability holds by construction: the bank knows *that* Alice
+withdrew two coins and *that* the provider deposited serials X and Y,
+but blinding makes the (withdrawal ↔ serial) map information-
+theoretically hidden.  A double spend surfaces as
+:class:`~repro.errors.DoubleSpendError` with the original deposit
+transcript attached as evidence.
+
+One RSA key pair **per denomination** — a blind signer cannot see what
+it signs, so the key is the only thing scoping a coin's value.
+"""
+
+from __future__ import annotations
+
+from ... import codec
+from ...clock import Clock
+from ...crypto.blind_rsa import BlindSigner, verify_blind_signature
+from ...crypto.rand import RandomSource
+from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from ...errors import DoubleSpendError, PaymentError
+from ...storage.engine import Database
+from ...storage.spent_tokens import SpentTokenStore
+from ..messages import Coin
+
+DEFAULT_DENOMINATIONS = (1, 5, 20)
+
+
+class Bank:
+    """Mint, account ledger and deposit desk."""
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource,
+        clock: Clock,
+        db: Database | None = None,
+        denominations: tuple[int, ...] = DEFAULT_DENOMINATIONS,
+        key_bits: int = 1024,
+    ):
+        if not denominations or any(d <= 0 for d in denominations):
+            raise PaymentError("denominations must be positive")
+        self._rng = rng
+        self._clock = clock
+        self._denominations = tuple(sorted(set(denominations), reverse=True))
+        self._signers: dict[int, BlindSigner] = {}
+        for denomination in self._denominations:
+            key = generate_rsa_key(key_bits, rng=rng.fork(f"bank-denom-{denomination}"))
+            self._signers[denomination] = BlindSigner(key)
+        self._balances: dict[str, int] = {}
+        self._spent = SpentTokenStore(db or Database(), "ecash")
+
+    # -- public parameters ---------------------------------------------------
+
+    @property
+    def denominations(self) -> tuple[int, ...]:
+        """Supported coin values, largest first."""
+        return self._denominations
+
+    def public_key(self, denomination: int) -> RsaPublicKey:
+        """The verification key for one denomination."""
+        signer = self._signers.get(denomination)
+        if signer is None:
+            raise PaymentError(f"unsupported denomination {denomination}")
+        return signer.public_key
+
+    def public_keys(self) -> dict[int, RsaPublicKey]:
+        return {d: s.public_key for d, s in self._signers.items()}
+
+    # -- accounts ------------------------------------------------------------
+
+    def open_account(self, account_id: str, *, initial_balance: int = 0) -> None:
+        if account_id in self._balances:
+            raise PaymentError(f"account {account_id!r} exists")
+        self._balances[account_id] = initial_balance
+
+    def balance(self, account_id: str) -> int:
+        if account_id not in self._balances:
+            raise PaymentError(f"no account {account_id!r}")
+        return self._balances[account_id]
+
+    # -- withdrawal (blind) -----------------------------------------------------
+
+    def withdraw_blind(self, account_id: str, denomination: int, blinded: int) -> int:
+        """Debit the account and blind-sign one coin request.
+
+        The bank sees the *account* but not the coin serial hidden in
+        ``blinded`` — this is the unlinkability anchor for payments.
+        """
+        if account_id not in self._balances:
+            raise PaymentError(f"no account {account_id!r}")
+        signer = self._signers.get(denomination)
+        if signer is None:
+            raise PaymentError(f"unsupported denomination {denomination}")
+        if self._balances[account_id] < denomination:
+            raise PaymentError(
+                f"insufficient funds: balance {self._balances[account_id]}"
+                f" < {denomination}"
+            )
+        self._balances[account_id] -= denomination
+        return signer.sign_blinded(blinded)
+
+    # -- deposit ----------------------------------------------------------------
+
+    def verify_coin(self, coin: Coin) -> None:
+        """Signature-only check (no spend state change)."""
+        key = self.public_key(coin.value)
+        verify_blind_signature(coin.payload(), coin.signature, key)
+
+    def deposit(self, account_id: str, coin: Coin) -> None:
+        """Verify and credit; exactly once per serial.
+
+        Raises :class:`~repro.errors.DoubleSpendError` on a replayed
+        serial, carrying the coin id; the original transcript stays in
+        the spent store as evidence.
+        """
+        if account_id not in self._balances:
+            raise PaymentError(f"no account {account_id!r}")
+        self.verify_coin(coin)
+        transcript = codec.encode(
+            {"depositor": account_id, "at": self._clock.now(), "value": coin.value}
+        )
+        token = coin.value.to_bytes(4, "big") + coin.serial
+        previous = self._spent.try_spend(
+            token, at=self._clock.now(), transcript=transcript
+        )
+        if previous is not None:
+            raise DoubleSpendError(coin.serial)
+        self._balances[account_id] += coin.value
+
+    def is_spent(self, coin: Coin) -> bool:
+        return self._spent.is_spent(coin.value.to_bytes(4, "big") + coin.serial)
+
+    def spent_count(self) -> int:
+        return self._spent.count()
+
+    # -- identified payment (the baseline's "credit card" path) -------------------
+
+    def transfer(self, from_account: str, to_account: str, amount: int) -> None:
+        """Account-to-account payment — fully identified on both ends.
+
+        This is the payment channel the paper says conventional DRM
+        will keep using ("vendors will learn how much someone pays");
+        the baseline system pays with it, and the privacy experiments
+        treat its ledger as attacker-visible.
+        """
+        if amount <= 0:
+            raise PaymentError("amount must be positive")
+        for account in (from_account, to_account):
+            if account not in self._balances:
+                raise PaymentError(f"no account {account!r}")
+        if self._balances[from_account] < amount:
+            raise PaymentError(
+                f"insufficient funds: balance {self._balances[from_account]}"
+                f" < {amount}"
+            )
+        self._balances[from_account] -= amount
+        self._balances[to_account] += amount
+
+    # -- helpers ------------------------------------------------------------------
+
+    def decompose(self, amount: int) -> list[int]:
+        """Greedy denomination split of ``amount`` (raises if impossible)."""
+        if amount <= 0:
+            raise PaymentError("amount must be positive")
+        remaining = amount
+        coins: list[int] = []
+        for denomination in self._denominations:
+            while remaining >= denomination:
+                coins.append(denomination)
+                remaining -= denomination
+        if remaining:
+            raise PaymentError(
+                f"amount {amount} not representable in denominations"
+                f" {self._denominations}"
+            )
+        return coins

@@ -1,0 +1,165 @@
+"""Compliant rendering devices — where rights meet content.
+
+Access in this system is a **local** protocol: licence, package, card
+and device interact with no provider round-trip, which is precisely
+the paper's "usage is not observable by the content provider".  The
+device's job at render time:
+
+1. verify the licence's provider signature;
+2. check the licence against its (signed, synced) revocation view;
+3. evaluate the rights expression against its clock/region/usage;
+4. have the smart card unwrap the content key — which the card only
+   does after checking *this device's* compliance certificate;
+5. decrypt, "render", and persist the usage counter.
+
+A device that skips steps 1–3 gains nothing: step 4 fails without a
+valid device certificate, so content stays protected even against a
+hacked player (the card/device split carries the enforcement).
+"""
+
+from __future__ import annotations
+
+from ...clock import Clock
+from ...crypto.rsa import RsaPublicKey
+from ...errors import RevokedLicenseError, RightsDenied
+from ...rel.evaluator import EvaluationContext, RightsEvaluator
+from ...storage.engine import Database
+from ...storage.revocation import DeviceRevocationView
+from ...storage.usage import UsageStore
+from ..certificates import DeviceCertificate
+from ..content import ContentPackage, unpack_content
+from ..identity import Pseudonym, SmartCard
+from ..licenses import PersonalLicense
+
+
+class CompliantDevice:
+    """One certified rendering device."""
+
+    def __init__(
+        self,
+        certificate: DeviceCertificate,
+        *,
+        clock: Clock,
+        provider_license_key: RsaPublicKey,
+        region: str = "eu",
+        db: Database | None = None,
+        lrl_fp_rate: float = 0.01,
+    ):
+        self.certificate = certificate
+        self._clock = clock
+        self._provider_key = provider_license_key
+        self.region = region
+        database = db or Database()
+        self._usage_store = UsageStore(database)
+        self._evaluator = RightsEvaluator(self._usage_store.load_state())
+        self._revocation_view = DeviceRevocationView(
+            provider_license_key, fp_rate=lrl_fp_rate
+        )
+
+    @property
+    def device_id(self) -> str:
+        return self.certificate.device_id
+
+    @property
+    def revocation_version(self) -> int:
+        return self._revocation_view.version
+
+    @property
+    def revocation_view(self) -> DeviceRevocationView:
+        return self._revocation_view
+
+    # -- revocation sync ----------------------------------------------------
+
+    def sync_revocations(self, provider) -> int:
+        """Pull the LRL delta from the provider; returns entries applied."""
+        entries, snapshot = provider.revocation_sync(self._revocation_view.version)
+        return self._revocation_view.apply_sync(entries, snapshot)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(
+        self,
+        license_: PersonalLicense,
+        package: ContentPackage,
+        card: SmartCard,
+        *,
+        action: str = "play",
+        use_bloom: bool = True,
+    ) -> bytes:
+        """Enforce and render; returns the clear media payload.
+
+        Raises :class:`~repro.errors.InvalidSignature`,
+        :class:`~repro.errors.RevokedLicenseError`,
+        :class:`~repro.errors.RightsDenied`,
+        :class:`~repro.errors.ComplianceError` (card refuses a bad
+        device) or :class:`~repro.errors.DecryptionError` on a
+        package/licence mismatch.
+        """
+        license_.verify(self._provider_key)
+        if package.content_id != license_.content_id:
+            raise RightsDenied(action, "licence does not cover this package")
+        revoked = (
+            self._revocation_view.check(license_.license_id)
+            if use_bloom
+            else self._revocation_view.check_exact_only(license_.license_id)
+        )
+        if revoked:
+            raise RevokedLicenseError(
+                f"licence {license_.license_id.hex()[:16]} is revoked"
+            )
+        context = EvaluationContext(
+            now=self._clock.now(), device_id=self.device_id, region=self.region
+        )
+        self._evaluator.authorize(
+            license_.rights, license_.license_id, action, context
+        )
+        content_key = card.unwrap_content_key(
+            license_.pseudonym,
+            license_.wrapped_key,
+            context=license_.kem_context(),
+            device_certificate=self.certificate,
+        )
+        payload = unpack_content(package, content_key)
+        # Only a fully successful render consumes a use.
+        self._evaluator.record_use(license_.license_id, action)
+        self._usage_store.record_use(license_.license_id, action)
+        return payload
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def remaining_uses(self, license_: PersonalLicense, action: str) -> int | None:
+        return self._evaluator.remaining_uses(
+            license_.rights, license_.license_id, action
+        )
+
+    def usage_events(self) -> int:
+        return self._usage_store.total_events()
+
+
+class NonCompliantDevice:
+    """A hacked player for the security tests: performs **no** checks.
+
+    It forwards the unwrap request to the card without a certificate —
+    the card refuses, demonstrating that enforcement survives a rogue
+    device.  (If handed a clear content key it will happily "render",
+    which is the correct model: DRM protects keys, not physics.)
+    """
+
+    def __init__(self, *, clock: Clock):
+        self._clock = clock
+
+    def render(
+        self,
+        license_: PersonalLicense,
+        package: ContentPackage,
+        card: SmartCard,
+        *,
+        action: str = "play",
+    ) -> bytes:
+        content_key = card.unwrap_content_key(
+            license_.pseudonym,
+            license_.wrapped_key,
+            context=license_.kem_context(),
+            device_certificate=None,  # nothing to show
+        )
+        return unpack_content(package, content_key)

@@ -1,0 +1,212 @@
+"""The smart card issuer — the system's trusted third party.
+
+Three duties, strictly separated in the paper's trust model:
+
+1. **Enrolment** — identify the user once, personalize a smart card,
+   record the card's identity tag.  This is the only step where a
+   real identity meets the system.
+
+2. **Blind pseudonym certification** — sign pseudonym certificates
+   *blindly*.  The issuer authenticates the card (an enrolled, active
+   account) but cannot see the pseudonym or escrow it is signing, so
+   even the issuer cannot map pseudonyms to users afterwards.  What
+   keeps blind signing from being a blank cheque is the smart card:
+   the card (trusted hardware in the paper) only submits well-formed
+   certificate payloads carrying its own true escrow.
+
+3. **Anonymity revocation** — given verifiable misuse evidence (two
+   conflicting redemption transcripts for one token), open the
+   cheater's escrow, identify and block the account, and emit a
+   Chaum–Pedersen opening proof so the de-anonymization itself is
+   auditable.  Evidence is fully re-verified first; bad evidence opens
+   nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...clock import Clock
+from ...crypto.blind_rsa import BlindSigner
+from ...crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey, generate_elgamal_key
+from ...crypto.groups import PrimeGroup
+from ...crypto.rand import RandomSource
+from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from ...errors import AuthenticationError, EscrowError
+from ...storage.accounts import STATUS_ACTIVE, STATUS_BLOCKED, AccountStore
+from ...storage.audit import AuditLog
+from ...storage.engine import Database
+from ..escrow import EscrowOpening, open_escrow, verify_opening
+from ..identity import SmartCard
+from ..messages import MisuseEvidence, parse_redemption_transcript, redeem_signing_payload
+
+
+@dataclass(frozen=True)
+class RevocationResult:
+    """Outcome of opening misuse evidence: who, with proof."""
+
+    token_id: bytes
+    kind: str
+    offender_user_id: str
+    offender_pseudonym_fingerprint: bytes
+    opening: EscrowOpening
+    blocked: bool
+
+
+class SmartCardIssuer:
+    """Enrolment authority, blind certifier, and escrow opener."""
+
+    def __init__(
+        self,
+        group: PrimeGroup,
+        *,
+        rng: RandomSource,
+        clock: Clock,
+        db: Database | None = None,
+        cert_key_bits: int = 1024,
+        authority_key: RsaPublicKey | None = None,
+    ):
+        self.group = group
+        self._rng = rng
+        self._clock = clock
+        database = db or Database()
+        self._accounts = AccountStore(database)
+        self._audit = AuditLog(database)
+        self._cert_signer = BlindSigner(
+            generate_rsa_key(cert_key_bits, rng=rng.fork("issuer-cert-key"))
+        )
+        self._escrow_key: ElGamalPrivateKey = generate_elgamal_key(
+            group, rng=rng.fork("issuer-escrow-key")
+        )
+        # Compliance-authority root baked into cards at personalization.
+        self._authority_key = authority_key
+
+    # -- public keys ----------------------------------------------------------
+
+    @property
+    def certificate_key(self) -> RsaPublicKey:
+        """Verification key for pseudonym certificates."""
+        return self._cert_signer.public_key
+
+    @property
+    def escrow_key(self) -> ElGamalPublicKey:
+        """Public half of the escrow key (cards encrypt tags to it)."""
+        return self._escrow_key.public_key
+
+    @property
+    def audit_log(self) -> AuditLog:
+        return self._audit
+
+    @property
+    def accounts(self) -> AccountStore:
+        return self._accounts
+
+    # -- enrolment --------------------------------------------------------------
+
+    def enrol(self, user_id: str, *, display_name: str = "") -> SmartCard:
+        """Identify a user, personalize and hand over a smart card."""
+        card_id = self._rng.random_bytes(16)
+        card = SmartCard(
+            card_id,
+            self.group,
+            rng=self._rng.fork(f"card-{card_id.hex()}"),
+            authority_key=self._authority_key,
+        )
+        self._accounts.enrol(
+            user_id,
+            card_id=card_id,
+            identity_tag=card.identity_tag_bytes,
+            enrolled_at=self._clock.now(),
+            display_name=display_name,
+        )
+        self._audit.append(
+            at=self._clock.now(),
+            actor="issuer",
+            event="user_enrolled",
+            payload={"card": card_id},
+        )
+        return card
+
+    # -- blind certification -------------------------------------------------------
+
+    def issue_blind_certificate(self, card_id: bytes, blinded: int) -> int:
+        """Blind-sign a pseudonym-certificate request from an enrolled card.
+
+        The audit entry records *that* this card obtained a credential
+        and when — never which pseudonym, because the issuer cannot
+        know.  (Experiment E8's attacker uses exactly these timing
+        records.)
+        """
+        account = self._accounts.by_card(card_id)
+        if account is None:
+            raise AuthenticationError("unknown card")
+        if account.status != STATUS_ACTIVE:
+            raise AuthenticationError(f"card blocked ({account.status})")
+        signature = self._cert_signer.sign_blinded(blinded)
+        self._audit.append(
+            at=self._clock.now(),
+            actor="issuer",
+            event="pseudonym_certified",
+            payload={"card": card_id},
+        )
+        return signature
+
+    # -- anonymity revocation ----------------------------------------------------------
+
+    def open_misuse_evidence(self, evidence: MisuseEvidence) -> RevocationResult:
+        """Verify evidence, open the offending escrow, block the account.
+
+        The *second* transcript is the redemption that hit an already-
+        spent token — its pseudonym is the provable cheater (the first
+        redeemer may be an innocent downstream recipient).  Raises
+        :class:`~repro.errors.EscrowError` if anything fails to verify.
+        """
+        first = parse_redemption_transcript(evidence.first_transcript)
+        second = parse_redemption_transcript(evidence.second_transcript)
+        # Evidence must be two *distinct* redemption attempts.
+        if evidence.first_transcript == evidence.second_transcript:
+            raise EscrowError("evidence transcripts are identical")
+        for transcript in (first, second):
+            certificate = transcript["cert"]
+            certificate.verify(self.certificate_key)
+            payload = redeem_signing_payload(
+                evidence.token_id,
+                certificate.fingerprint,
+                transcript["nonce"],
+                transcript["at"],
+            )
+            try:
+                certificate.pseudonym.signing_key.verify(payload, transcript["sig"])
+            except Exception as exc:
+                raise EscrowError(f"evidence transcript signature invalid: {exc}") from exc
+
+        offender_cert = second["cert"]
+        opening = open_escrow(
+            offender_cert.escrow, self._escrow_key, rng=self._rng
+        )
+        # Self-audit the opening the way any outsider could.
+        verify_opening(offender_cert.escrow, opening, self.escrow_key)
+        account = self._accounts.by_identity_tag(opening.tag_bytes)
+        if account is None:
+            raise EscrowError("escrow opened to an unknown identity tag")
+        blocked = account.status == STATUS_ACTIVE
+        if blocked:
+            self._accounts.set_status(account.user_id, STATUS_BLOCKED)
+        self._audit.append(
+            at=self._clock.now(),
+            actor="issuer",
+            event="escrow_opened",
+            payload={
+                "token": evidence.token_id,
+                "kind": evidence.kind,
+                "card": account.card_id,
+            },
+        )
+        return RevocationResult(
+            token_id=evidence.token_id,
+            kind=evidence.kind,
+            offender_user_id=account.user_id,
+            offender_pseudonym_fingerprint=offender_cert.fingerprint,
+            opening=opening,
+            blocked=blocked,
+        )

@@ -1,0 +1,466 @@
+"""The content provider: anonymous sales, transfers, revocation.
+
+The provider enforces DRM while learning as little as the paper
+allows.  Its whole view of the world is pseudonyms, coins and token
+ids — every handler here verifies cryptographic statements instead of
+identities:
+
+- :meth:`ContentProvider.sell` — anonymous purchase: verify the blind-
+  issued pseudonym certificate, the request signature, and the coins;
+  issue a personalized licence wrapping ``K_C`` to the pseudonym.
+
+- :meth:`ContentProvider.exchange` — the transfer protocol's first
+  half: the holder gives up a personalized licence; it goes on the
+  revocation list and an **anonymous licence** (fresh unique token id,
+  no holder) comes back.
+
+- :meth:`ContentProvider.redeem` — the second half: a fresh pseudonym
+  presents the anonymous licence; the spent-token store admits each
+  token exactly once, and the second presentation of a token yields
+  :class:`~repro.errors.DoubleRedemptionError` carrying verifiable
+  :class:`~repro.core.messages.MisuseEvidence` for the TTP.
+
+The provider is modelled **honest-but-curious**: every event it can
+see lands in its audit log with timestamps, and the analysis package
+later mines that log exactly like a curious operator would.
+"""
+
+from __future__ import annotations
+
+from ... import codec
+from ...clock import Clock
+from ...crypto.rand import RandomSource
+from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from ...errors import (
+    AuthenticationError,
+    DoubleRedemptionError,
+    PaymentError,
+    ProtocolError,
+    RevokedLicenseError,
+    UnknownContentError,
+)
+from ...rel.serializer import rights_to_text
+from ...storage import licenses as license_store
+from ...storage.audit import AuditLog
+from ...storage.contents import CatalogEntry, ContentStore
+from ...storage.engine import Database
+from ...storage.licenses import LicenseStore
+from ...storage.revocation import RevocationList, SignedSnapshot, RevocationEntry
+from ...storage.spent_tokens import SpentTokenStore
+from ..content import ContentPackage, pack_content
+from ..licenses import (
+    LICENSE_ID_SIZE,
+    AnonymousLicense,
+    PersonalLicense,
+    kem_context,
+    sign_anonymous_license,
+    sign_personal_license,
+)
+from ..messages import (
+    ExchangeRequest,
+    MisuseEvidence,
+    PurchaseRequest,
+    RedeemRequest,
+    redemption_transcript,
+)
+
+#: Tolerated clock skew between a request timestamp and the provider clock.
+REQUEST_FRESHNESS_WINDOW = 24 * 3600
+
+
+class ContentProvider:
+    """Catalog, licence issuance and the transfer machinery."""
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource,
+        clock: Clock,
+        issuer_certificate_key: RsaPublicKey,
+        bank,
+        db: Database | None = None,
+        license_key_bits: int = 1024,
+        name: str = "content-provider",
+        bank_account: str | None = None,
+    ):
+        self.name = name
+        self._rng = rng
+        self._clock = clock
+        self._issuer_key = issuer_certificate_key
+        self._bank = bank
+        database = db or Database()
+        self._contents = ContentStore(database)
+        self._licenses = LicenseStore(database)
+        self._revocations = RevocationList(database)
+        self._spent_tokens = SpentTokenStore(database, "anon-license")
+        self._request_nonces = SpentTokenStore(database, "request-nonce")
+        self._audit = AuditLog(database)
+        self._license_key = generate_rsa_key(
+            license_key_bits, rng=rng.fork("provider-license-key")
+        )
+        self._bank_account = bank_account or f"{name}-account"
+        if bank is not None:
+            bank.open_account(self._bank_account)
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def license_key(self) -> RsaPublicKey:
+        """Licence/LRL-snapshot verification key (devices pin this)."""
+        return self._license_key.public_key
+
+    @property
+    def audit_log(self) -> AuditLog:
+        return self._audit
+
+    @property
+    def license_register(self) -> LicenseStore:
+        return self._licenses
+
+    @property
+    def revocation_list(self) -> RevocationList:
+        return self._revocations
+
+    # -- catalog ------------------------------------------------------------
+
+    def publish(
+        self,
+        content_id: str,
+        payload: bytes,
+        *,
+        title: str = "",
+        price: int = 1,
+        media_type: str = "application/octet-stream",
+        rights_template: str | None = None,
+    ) -> ContentPackage:
+        """Package and list a content item (price in credits).
+
+        ``rights_template`` is the rights expression every buyer of this
+        item receives (e.g. a rental:
+        ``"play[count<=3, before=...]"``); default is unlimited
+        play/display plus one transfer.
+        """
+        from ...storage.contents import DEFAULT_RIGHTS_TEMPLATE
+
+        package, content_key = pack_content(
+            content_id,
+            payload,
+            title=title,
+            media_type=media_type,
+            rng=self._rng,
+        )
+        self._contents.add(
+            content_id,
+            title=title,
+            price_cents=price,
+            added_at=self._clock.now(),
+            package=package.to_bytes(),
+            content_key=content_key,
+            rights_template=rights_template or DEFAULT_RIGHTS_TEMPLATE,
+        )
+        return package
+
+    def catalog(self) -> list[CatalogEntry]:
+        return self._contents.catalog()
+
+    def price(self, content_id: str) -> int:
+        return self._contents.price(content_id)
+
+    def download(self, content_id: str) -> ContentPackage:
+        """Anyone may download the encrypted package — no authentication,
+        which is itself part of the privacy story."""
+        return ContentPackage.from_bytes(self._contents.package(content_id))
+
+    # -- purchase ------------------------------------------------------------
+
+    def sell(self, request: PurchaseRequest) -> PersonalLicense:
+        """Anonymous purchase handler.
+
+        Raises :class:`~repro.errors.AuthenticationError`,
+        :class:`~repro.errors.PaymentError`,
+        :class:`~repro.errors.DoubleSpendError` or
+        :class:`~repro.errors.UnknownContentError` as appropriate; on
+        success returns the signed personalized licence.
+        """
+        if not self._contents.exists(request.content_id):
+            raise UnknownContentError(f"content {request.content_id!r} not in catalog")
+        self._verify_request_envelope(
+            certificate=request.certificate,
+            signature=request.signature,
+            payload=request.signing_payload(),
+            nonce=request.nonce,
+            at=request.at,
+        )
+        self._collect_payment(request)
+        rights = self._default_rights(request.content_id)
+        license_ = self._issue_personal(
+            content_id=request.content_id,
+            rights=rights,
+            pseudonym=request.certificate.pseudonym,
+        )
+        self._audit.append(
+            at=self._clock.now(),
+            actor=self.name,
+            event="license_issued",
+            payload={
+                "license": license_.license_id,
+                "content": request.content_id,
+                "pseudonym": request.certificate.fingerprint,
+            },
+        )
+        return license_
+
+    def _default_rights(self, content_id: str):
+        """The rights this content is sold with (per-content template)."""
+        from ...rel.parser import parse_rights
+
+        return parse_rights(self._contents.rights_template(content_id))
+
+    def _collect_payment(self, request: PurchaseRequest) -> None:
+        price = self._contents.price(request.content_id)
+        total = sum(coin.value for coin in request.coins)
+        if total < price:
+            raise PaymentError(f"payment {total} below price {price}")
+        # Verify everything before depositing anything, so a failed sale
+        # cannot strand a coin half-deposited.
+        for coin in request.coins:
+            self._bank.verify_coin(coin)
+            if self._bank.is_spent(coin):
+                from ...errors import DoubleSpendError
+
+                raise DoubleSpendError(coin.serial)
+        for coin in request.coins:
+            self._bank.deposit(self._bank_account, coin)
+
+    # -- exchange: personalized → anonymous -------------------------------------
+
+    def exchange(self, request: ExchangeRequest) -> AnonymousLicense:
+        """Trade an active personalized licence for an anonymous one.
+
+        The old licence is revoked (LRL version bump) in the same
+        transaction scope as the anonymous issuance — the holder never
+        ends up with both usable.
+        """
+        record = self._licenses.get(request.license_id)
+        if record is None:
+            raise ProtocolError("unknown licence")
+        if record.kind != license_store.KIND_PERSONAL:
+            raise ProtocolError(f"cannot exchange a {record.kind} licence")
+        if record.status != license_store.STATUS_ACTIVE:
+            raise RevokedLicenseError(f"licence is {record.status}")
+        old_license = PersonalLicense.from_dict(codec.decode(record.blob))
+        if not old_license.rights.transferable:
+            raise ProtocolError("licence rights do not include transfer")
+        self._check_nonce(old_license.holder_fingerprint, request.nonce)
+        self._check_freshness(request.at)
+        try:
+            old_license.pseudonym.signing_key.verify(
+                request.signing_payload(), request.signature
+            )
+        except Exception as exc:
+            raise AuthenticationError(f"exchange signature invalid: {exc}") from exc
+
+        outgoing_rights = old_license.rights
+        if request.restrict_to is not None:
+            # Monotone restriction: the giver may narrow, never widen —
+            # naming an action the licence does not grant is an error,
+            # not a silent drop (explicit beats implicit here: a client
+            # that *thinks* it is passing on 'copy' must find out).
+            held_actions = {p.action for p in old_license.rights.permissions}
+            ungranted = set(request.restrict_to) - held_actions
+            if ungranted:
+                raise ProtocolError(
+                    f"restriction names ungranted actions: {sorted(ungranted)}"
+                )
+            outgoing_rights = old_license.rights.restricted_to(request.restrict_to)
+            if not outgoing_rights.is_subset_of(old_license.rights):
+                raise ProtocolError("restriction would widen rights")
+
+        now = self._clock.now()
+        token_id = self._rng.random_bytes(LICENSE_ID_SIZE)
+        anonymous = sign_anonymous_license(
+            self._license_key,
+            license_id=token_id,
+            content_id=old_license.content_id,
+            rights=outgoing_rights,
+            issued_at=now,
+        )
+        self._revocations.revoke(request.license_id, at=now, reason="exchanged")
+        self._licenses.set_status(request.license_id, license_store.STATUS_EXCHANGED)
+        self._licenses.insert(
+            token_id,
+            kind=license_store.KIND_ANONYMOUS,
+            content_id=old_license.content_id,
+            holder=None,
+            rights_text=rights_to_text(outgoing_rights),
+            issued_at=now,
+            blob=codec.encode(anonymous.as_dict()),
+        )
+        self._audit.append(
+            at=now,
+            actor=self.name,
+            event="license_exchanged",
+            payload={
+                "old_license": request.license_id,
+                "token": token_id,
+                "content": old_license.content_id,
+            },
+        )
+        return anonymous
+
+    # -- redemption: anonymous → personalized --------------------------------------
+
+    def redeem(self, request: RedeemRequest) -> PersonalLicense:
+        """Personalize an anonymous licence for a (new) pseudonym.
+
+        Exactly-once: the token id transitions to *spent* atomically.
+        A second presentation raises
+        :class:`~repro.errors.DoubleRedemptionError` whose ``evidence``
+        attribute carries both transcripts for the TTP.
+        """
+        anonymous = request.anonymous_license
+        try:
+            anonymous.verify(self.license_key)
+        except Exception as exc:
+            raise AuthenticationError(f"anonymous licence invalid: {exc}") from exc
+        record = self._licenses.get(anonymous.license_id)
+        if record is None or record.kind != license_store.KIND_ANONYMOUS:
+            raise ProtocolError("anonymous licence not on register")
+        self._verify_request_envelope(
+            certificate=request.certificate,
+            signature=request.signature,
+            payload=request.signing_payload(),
+            nonce=request.nonce,
+            at=request.at,
+        )
+        now = self._clock.now()
+        transcript = redemption_transcript(
+            request.certificate, request.signature, request.nonce, request.at
+        )
+        previous = self._spent_tokens.try_spend(
+            anonymous.license_id, at=now, transcript=transcript
+        )
+        if previous is not None:
+            evidence = MisuseEvidence(
+                kind="double-redemption",
+                token_id=anonymous.license_id,
+                content_id=anonymous.content_id,
+                first_transcript=previous.transcript,
+                second_transcript=transcript,
+            )
+            self._audit.append(
+                at=now,
+                actor=self.name,
+                event="double_redemption_detected",
+                payload={"token": anonymous.license_id},
+            )
+            error = DoubleRedemptionError(anonymous.license_id)
+            error.evidence = evidence
+            raise error
+
+        license_ = self._issue_personal(
+            content_id=anonymous.content_id,
+            rights=anonymous.rights,
+            pseudonym=request.certificate.pseudonym,
+        )
+        self._licenses.set_status(anonymous.license_id, license_store.STATUS_REDEEMED)
+        self._audit.append(
+            at=now,
+            actor=self.name,
+            event="license_redeemed",
+            payload={
+                "token": anonymous.license_id,
+                "license": license_.license_id,
+                "content": anonymous.content_id,
+                "pseudonym": request.certificate.fingerprint,
+            },
+        )
+        return license_
+
+    # -- revocation distribution ----------------------------------------------------
+
+    def revocation_sync(
+        self, since_version: int
+    ) -> tuple[list[RevocationEntry], SignedSnapshot]:
+        """Delta entries plus a signed snapshot for device sync."""
+        entries = self._revocations.entries_since(since_version)
+        snapshot = self._revocations.snapshot(self._license_key)
+        return entries, snapshot
+
+    def prove_not_revoked(self, license_id: bytes):
+        """Signed snapshot plus a Merkle non-inclusion proof.
+
+        Lets a holder convince an *offline* third party (a second-hand
+        buyer, an arbiter) that a licence was not revoked as of the
+        snapshot — without that party trusting the provider's word or
+        downloading the whole list.  Returns ``(snapshot, proof)``;
+        verify with
+        :func:`repro.storage.merkle.verify_non_inclusion` against the
+        snapshot's signed root.  Raises
+        :class:`~repro.errors.RevokedLicenseError` if the licence *is*
+        on the list.
+        """
+        if self._revocations.is_revoked(license_id):
+            raise RevokedLicenseError(
+                f"licence {license_id.hex()[:16]} is revoked"
+            )
+        snapshot = self._revocations.snapshot(self._license_key)
+        proof = self._revocations.merkle_tree().prove_non_inclusion(license_id)
+        return snapshot, proof
+
+    # -- internals ----------------------------------------------------------
+
+    def _issue_personal(self, *, content_id: str, rights, pseudonym) -> PersonalLicense:
+        now = self._clock.now()
+        license_id = self._rng.random_bytes(LICENSE_ID_SIZE)
+        content_key = self._contents.content_key(content_id)
+        wrapped = pseudonym.kem_key.kem_wrap(
+            content_key,
+            context=kem_context(license_id, content_id),
+            rng=self._rng,
+        )
+        license_ = sign_personal_license(
+            self._license_key,
+            license_id=license_id,
+            content_id=content_id,
+            rights=rights,
+            pseudonym=pseudonym,
+            wrapped_key=wrapped,
+            issued_at=now,
+        )
+        self._licenses.insert(
+            license_id,
+            kind=license_store.KIND_PERSONAL,
+            content_id=content_id,
+            holder=pseudonym.fingerprint,
+            rights_text=rights_to_text(rights),
+            issued_at=now,
+            blob=codec.encode(license_.as_dict()),
+        )
+        return license_
+
+    def _verify_request_envelope(
+        self, *, certificate, signature, payload: bytes, nonce: bytes, at: int
+    ) -> None:
+        try:
+            certificate.verify(self._issuer_key)
+        except Exception as exc:
+            raise AuthenticationError(f"pseudonym certificate invalid: {exc}") from exc
+        self._check_freshness(at)
+        self._check_nonce(certificate.fingerprint, nonce)
+        try:
+            certificate.pseudonym.signing_key.verify(payload, signature)
+        except Exception as exc:
+            raise AuthenticationError(f"request signature invalid: {exc}") from exc
+
+    def _check_freshness(self, at: int) -> None:
+        if abs(at - self._clock.now()) > REQUEST_FRESHNESS_WINDOW:
+            raise AuthenticationError("request timestamp outside freshness window")
+
+    def _check_nonce(self, scope: bytes, nonce: bytes) -> None:
+        """One-shot request nonces (replay filter), scoped per pseudonym."""
+        previous = self._request_nonces.try_spend(
+            scope + nonce, at=self._clock.now()
+        )
+        if previous is not None:
+            raise AuthenticationError("request nonce replayed")

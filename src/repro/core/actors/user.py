@@ -1,0 +1,189 @@
+"""The user agent: card, wallet, licences, pseudonym policy.
+
+Everything a user does goes through here.  The privacy-relevant policy
+decisions live in this class and are deliberately explicit:
+
+- **fresh pseudonym per transaction** (default): every purchase and
+  every redemption happens under a newly certified pseudonym, so the
+  provider cannot link two of the user's actions;
+- **reused pseudonym** mode exists as a knob because experiment E8
+  quantifies exactly what reuse costs in linkability.
+
+The agent talks to the other actors through the protocol wrappers in
+:mod:`repro.core.protocols`, which also record transcripts for the
+cost experiments.
+"""
+
+from __future__ import annotations
+
+from ...crypto.rand import RandomSource
+from ...errors import PaymentError, ProtocolError
+from ..identity import Pseudonym, SmartCard
+from ..certificates import PseudonymCertificate
+from ..licenses import AnonymousLicense, PersonalLicense
+from ..messages import Coin
+
+
+class UserAgent:
+    """One user's software agent."""
+
+    def __init__(
+        self,
+        user_id: str,
+        *,
+        rng: RandomSource,
+        clock=None,
+        fresh_pseudonym_per_transaction: bool = True,
+    ):
+        from ...clock import SystemClock
+
+        self.user_id = user_id
+        self.rng = rng
+        self.clock = clock if clock is not None else SystemClock()
+        self.card: SmartCard | None = None
+        self.certificates: dict[bytes, PseudonymCertificate] = {}
+        self.licenses: dict[bytes, PersonalLicense] = {}
+        self.wallet: list[Coin] = []
+        self.bank_account = f"user-{user_id}"
+        self.fresh_pseudonym_per_transaction = fresh_pseudonym_per_transaction
+        self._last_certificate: PseudonymCertificate | None = None
+        self._prepared: list[PseudonymCertificate] = []
+
+    # -- card ------------------------------------------------------------------
+
+    def attach_card(self, card: SmartCard) -> None:
+        if self.card is not None:
+            raise ProtocolError("user already holds a card")
+        self.card = card
+
+    def require_card(self) -> SmartCard:
+        if self.card is None:
+            raise ProtocolError(f"user {self.user_id!r} is not enrolled")
+        return self.card
+
+    # -- pseudonym certificates ---------------------------------------------------
+
+    def add_certificate(self, certificate: PseudonymCertificate) -> None:
+        self.certificates[certificate.fingerprint] = certificate
+        self._last_certificate = certificate
+
+    def prepare_certificate(self, issuer) -> PseudonymCertificate:
+        """Pre-fetch a certificate for later use.
+
+        Decoupling certification time from transaction time is the
+        cheap defence against the issuer–provider timing join
+        (experiment E7 quantifies it); agents that expect to transact
+        can stock up on credentials in advance.
+        """
+        from ..protocols.registration import certify_pseudonym
+
+        certificate = certify_pseudonym(self, issuer)
+        self._prepared.append(certificate)
+        return certificate
+
+    def certificate_for_transaction(self, issuer) -> PseudonymCertificate:
+        """The certificate to act under, per the pseudonym policy.
+
+        Order of preference: a pre-fetched certificate; a freshly
+        certified one (fresh-per-transaction policy); the newest
+        existing one (reuse policy).
+        """
+        from ..protocols.registration import certify_pseudonym
+
+        if self._prepared:
+            return self._prepared.pop(0)
+        if self.fresh_pseudonym_per_transaction or self._last_certificate is None:
+            return certify_pseudonym(self, issuer)
+        return self._last_certificate
+
+    # -- wallet ----------------------------------------------------------------------
+
+    def coins_for(self, amount: int, bank) -> list[Coin]:
+        """Pick coins covering ``amount`` exactly, withdrawing if short."""
+        from ..protocols.payment import withdraw_coins
+
+        needed = bank.decompose(amount)
+        chosen: list[Coin] = []
+        pool = list(self.wallet)
+        for denomination in needed:
+            match = next((c for c in pool if c.value == denomination), None)
+            if match is None:
+                chosen = []
+                break
+            pool.remove(match)
+            chosen.append(match)
+        if not chosen:
+            withdraw_coins(self, bank, amount)
+            return self.coins_for(amount, bank)
+        for coin in chosen:
+            self.wallet.remove(coin)
+        return chosen
+
+    def wallet_value(self) -> int:
+        return sum(coin.value for coin in self.wallet)
+
+    # -- licences ---------------------------------------------------------------------
+
+    def add_license(self, license_: PersonalLicense) -> None:
+        self.licenses[license_.license_id] = license_
+
+    def remove_license(self, license_id: bytes) -> PersonalLicense:
+        try:
+            return self.licenses.pop(license_id)
+        except KeyError:
+            raise ProtocolError("user does not hold that licence") from None
+
+    def license_for_content(self, content_id: str) -> PersonalLicense:
+        for license_ in self.licenses.values():
+            if license_.content_id == content_id:
+                return license_
+        raise ProtocolError(
+            f"user {self.user_id!r} holds no licence for {content_id!r}"
+        )
+
+    def owns_content(self, content_id: str) -> bool:
+        return any(
+            license_.content_id == content_id for license_ in self.licenses.values()
+        )
+
+    # -- high-level flows (delegate to protocol wrappers) ------------------------------
+
+    def buy(self, content_id: str, *, provider, issuer, bank, transcript=None) -> PersonalLicense:
+        """Anonymously purchase ``content_id``; returns the licence."""
+        from ..protocols.acquisition import purchase_content
+
+        return purchase_content(
+            self, provider, issuer, bank, content_id, transcript=transcript
+        )
+
+    def transfer_out(
+        self, license_id: bytes, *, provider, restrict_to=None, transcript=None
+    ) -> AnonymousLicense:
+        """Give up a licence; returns the bearer licence to hand over.
+
+        ``restrict_to`` optionally narrows the rights passed on (a gift
+        can be play-only even if the giver held transfer rights).
+        """
+        from ..protocols.transfer import exchange_for_anonymous
+
+        return exchange_for_anonymous(
+            self, provider, license_id, restrict_to=restrict_to, transcript=transcript
+        )
+
+    def redeem(self, anonymous: AnonymousLicense, *, provider, issuer, transcript=None) -> PersonalLicense:
+        """Redeem a received bearer licence under a fresh pseudonym."""
+        from ..protocols.transfer import redeem_anonymous
+
+        return redeem_anonymous(self, provider, issuer, anonymous, transcript=transcript)
+
+    def play(self, content_id: str, device, *, provider, action: str = "play") -> bytes:
+        """Render owned content on ``device`` (local access protocol)."""
+        from ..protocols.access import render_content
+
+        return render_content(self, device, provider, content_id, action=action)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"UserAgent({self.user_id!r}, licences={len(self.licenses)},"
+            f" wallet={self.wallet_value()})"
+        )

@@ -1,0 +1,253 @@
+"""The small PKI: compliance authority, device and pseudonym certificates.
+
+Three certificate shapes, each with one canonical signed payload:
+
+- :class:`AuthorityCertificate` — the compliance authority (the root of
+  trust everyone is personalized with) certifies long-lived actor keys:
+  the provider's licence-signing key, the issuer's certificate key, the
+  bank's coin keys.
+
+- :class:`DeviceCertificate` — "this device is compliant": device id,
+  capabilities, validity window, authority signature.  Smart cards
+  check it before releasing content keys; providers may check it
+  during direct-to-device flows.
+
+- :class:`PseudonymCertificate` — the paper's anonymous credential:
+  a pseudonym public key plus its identity escrow, **blind-signed** by
+  the card issuer.  Verifying it proves "a real enrolled user, openable
+  by the TTP on misuse" while identifying nobody — not even the issuer
+  can link it to the enrolment that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.blind_rsa import verify_blind_signature
+from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from ..errors import ComplianceError, InvalidSignature
+from .escrow import IdentityEscrow
+from .identity import Pseudonym
+
+
+def _authority_payload(kind: str, body: dict) -> bytes:
+    return codec.encode({"what": f"cert:{kind}", "body": body})
+
+
+@dataclass(frozen=True)
+class AuthorityCertificate:
+    """Authority statement binding a role name to an RSA public key."""
+
+    role: str            # e.g. "content-provider", "card-issuer", "bank"
+    subject_name: str
+    subject_key: RsaPublicKey
+    not_before: int
+    not_after: int
+    signature: bytes
+
+    def body(self) -> dict:
+        return {
+            "role": self.role,
+            "name": self.subject_name,
+            "n": self.subject_key.n,
+            "e": self.subject_key.e,
+            "nbf": self.not_before,
+            "naf": self.not_after,
+        }
+
+    def verify(self, authority_key: RsaPublicKey, *, now: int | None = None) -> None:
+        """Raises on bad signature or (when ``now`` given) expiry."""
+        authority_key.verify_pkcs1(
+            _authority_payload("role", self.body()), self.signature
+        )
+        if now is not None and not self.not_before <= now <= self.not_after:
+            raise ComplianceError(
+                f"certificate for {self.subject_name!r} outside validity window"
+            )
+
+    def as_dict(self) -> dict:
+        return {"body": self.body(), "sig": self.signature}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuthorityCertificate":
+        body = data["body"]
+        return cls(
+            role=body["role"],
+            subject_name=body["name"],
+            subject_key=RsaPublicKey(n=int(body["n"]), e=int(body["e"])),
+            not_before=int(body["nbf"]),
+            not_after=int(body["naf"]),
+            signature=bytes(data["sig"]),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceCertificate:
+    """Compliance statement for one rendering device."""
+
+    device_id: str        # lowercase hex fingerprint, used by DeviceConstraint
+    model: str
+    capabilities: tuple[str, ...]   # actions the device is certified for
+    not_before: int
+    not_after: int
+    signature: bytes
+
+    def body(self) -> dict:
+        return {
+            "device": self.device_id,
+            "model": self.model,
+            "caps": list(self.capabilities),
+            "nbf": self.not_before,
+            "naf": self.not_after,
+        }
+
+    def verify(self, authority_key: RsaPublicKey, *, now: int | None = None) -> None:
+        try:
+            authority_key.verify_pkcs1(
+                _authority_payload("device", self.body()), self.signature
+            )
+        except InvalidSignature as exc:
+            raise ComplianceError(f"device certificate invalid: {exc}") from exc
+        if now is not None and not self.not_before <= now <= self.not_after:
+            raise ComplianceError(f"device {self.device_id} certificate expired")
+
+    def as_dict(self) -> dict:
+        return {"body": self.body(), "sig": self.signature}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceCertificate":
+        body = data["body"]
+        return cls(
+            device_id=body["device"],
+            model=body["model"],
+            capabilities=tuple(body["caps"]),
+            not_before=int(body["nbf"]),
+            not_after=int(body["naf"]),
+            signature=bytes(data["sig"]),
+        )
+
+
+class CertificateAuthority:
+    """The compliance authority: issues role and device certificates."""
+
+    def __init__(self, signing_key: RsaPrivateKey, name: str = "compliance-authority"):
+        self._key = signing_key
+        self.name = name
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public_key
+
+    def certify_role(
+        self,
+        role: str,
+        subject_name: str,
+        subject_key: RsaPublicKey,
+        *,
+        not_before: int,
+        not_after: int,
+    ) -> AuthorityCertificate:
+        body = {
+            "role": role,
+            "name": subject_name,
+            "n": subject_key.n,
+            "e": subject_key.e,
+            "nbf": not_before,
+            "naf": not_after,
+        }
+        return AuthorityCertificate(
+            role=role,
+            subject_name=subject_name,
+            subject_key=subject_key,
+            not_before=not_before,
+            not_after=not_after,
+            signature=self._key.sign_pkcs1(_authority_payload("role", body)),
+        )
+
+    def certify_device(
+        self,
+        device_id: str,
+        *,
+        model: str,
+        capabilities: tuple[str, ...],
+        not_before: int,
+        not_after: int,
+    ) -> DeviceCertificate:
+        body = {
+            "device": device_id,
+            "model": model,
+            "caps": list(capabilities),
+            "nbf": not_before,
+            "naf": not_after,
+        }
+        return DeviceCertificate(
+            device_id=device_id,
+            model=model,
+            capabilities=capabilities,
+            not_before=not_before,
+            not_after=not_after,
+            signature=self._key.sign_pkcs1(_authority_payload("device", body)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pseudonym certificates (blind-issued)
+# ---------------------------------------------------------------------------
+
+
+def pseudonym_certificate_payload(pseudonym: Pseudonym, escrow: IdentityEscrow) -> bytes:
+    """The exact bytes the issuer blind-signs — pseudonym plus escrow,
+    so neither can be swapped after issuance."""
+    return codec.encode(
+        {
+            "what": "pseudonym-cert",
+            "pseudonym": pseudonym.as_dict(),
+            "escrow": escrow.as_dict(),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class PseudonymCertificate:
+    """Blind-issued anonymous credential for one pseudonym."""
+
+    pseudonym: Pseudonym
+    escrow: IdentityEscrow
+    signature: bytes     # issuer FDH blind signature over the payload
+
+    def verify(self, issuer_key: RsaPublicKey) -> None:
+        """Full check: issuer signature plus escrow binding.
+
+        Raises :class:`~repro.errors.InvalidSignature` or
+        :class:`~repro.errors.EscrowError`.
+        """
+        verify_blind_signature(
+            pseudonym_certificate_payload(self.pseudonym, self.escrow),
+            self.signature,
+            issuer_key,
+        )
+        self.escrow.verify_binding(self.pseudonym.fingerprint)
+
+    @property
+    def fingerprint(self) -> bytes:
+        return self.pseudonym.fingerprint
+
+    def as_dict(self) -> dict:
+        return {
+            "pseudonym": self.pseudonym.as_dict(),
+            "escrow": self.escrow.as_dict(),
+            "sig": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PseudonymCertificate":
+        return cls(
+            pseudonym=Pseudonym.from_dict(data["pseudonym"]),
+            escrow=IdentityEscrow.from_dict(data["escrow"]),
+            signature=bytes(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (experiment E6)."""
+        return len(codec.encode(self.as_dict()))

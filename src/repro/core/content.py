@@ -1,0 +1,107 @@
+"""Content packaging: encrypt once, distribute identically to everyone.
+
+A content item is encrypted under a fresh random content key ``K_C``
+with authenticated encryption (AES-CTR + HMAC, see
+:mod:`repro.crypto.modes`).  The resulting :class:`ContentPackage` is
+public — the same bytes for every buyer, downloadable without
+authentication, freely super-distributable.  All access control lives
+in the licence layer: only a licence's wrapped key, unwrapped by a
+smart card for a compliant device, turns the package back into media.
+
+The package header (content id, title, codec tag) is bound as
+associated data, so repackaging someone's payload under another id is
+caught at decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.modes import EtmCipher
+from ..crypto.rand import RandomSource
+from ..errors import DecryptionError
+
+CONTENT_KEY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class ContentPackage:
+    """Encrypted content container (safe to hand to anyone)."""
+
+    content_id: str
+    title: str
+    media_type: str
+    ciphertext: bytes          # EtmCipher blob: nonce || ct || tag
+
+    def header(self) -> dict:
+        return {
+            "content": self.content_id,
+            "title": self.title,
+            "media": self.media_type,
+        }
+
+    def header_bytes(self) -> bytes:
+        return codec.encode({"what": "content-package", **self.header()})
+
+    def to_bytes(self) -> bytes:
+        return codec.encode({**self.header(), "ct": self.ciphertext})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ContentPackage":
+        decoded = codec.decode(data)
+        return cls(
+            content_id=decoded["content"],
+            title=decoded["title"],
+            media_type=decoded["media"],
+            ciphertext=bytes(decoded["ct"]),
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.ciphertext)
+
+
+def pack_content(
+    content_id: str,
+    payload: bytes,
+    *,
+    title: str = "",
+    media_type: str = "application/octet-stream",
+    rng: RandomSource,
+) -> tuple[ContentPackage, bytes]:
+    """Encrypt ``payload``; returns the package and the clear ``K_C``.
+
+    The caller (the provider's publishing pipeline) stores ``K_C`` in
+    the key table; the package goes in the public catalog.
+    """
+    content_key = rng.random_bytes(CONTENT_KEY_SIZE)
+    package = ContentPackage(
+        content_id=content_id,
+        title=title,
+        media_type=media_type,
+        ciphertext=b"",
+    )
+    cipher = EtmCipher(content_key)
+    ciphertext = cipher.encrypt(payload, aad=package.header_bytes(), rng=rng)
+    return (
+        ContentPackage(
+            content_id=content_id,
+            title=title,
+            media_type=media_type,
+            ciphertext=ciphertext,
+        ),
+        content_key,
+    )
+
+
+def unpack_content(package: ContentPackage, content_key: bytes) -> bytes:
+    """Decrypt a package with ``K_C``.
+
+    Raises :class:`~repro.errors.DecryptionError` on a wrong key or a
+    tampered package/header.
+    """
+    if len(content_key) != CONTENT_KEY_SIZE:
+        raise DecryptionError("content key has wrong size")
+    cipher = EtmCipher(content_key)
+    return cipher.decrypt(package.ciphertext, aad=package.header_bytes())

@@ -1,0 +1,194 @@
+"""Verifiable identity escrow — revocable anonymity.
+
+Every certified pseudonym carries an ElGamal encryption of the card's
+identity tag under the TTP's escrow key.  Honest users are never
+opened; on cryptographic evidence of misuse (a double-redeemed
+anonymous licence, a double-spent coin) the TTP decrypts and the
+pseudonym's owner is identified.
+
+Two proofs keep the parties honest:
+
+- the **binding proof** (Schnorr PoK of the encryption randomness,
+  with the pseudonym fingerprint in the Fiat–Shamir context) stops an
+  escrow being lifted from one certificate and replayed in another;
+
+- the **opening proof** (Chaum–Pedersen) shows the tag the TTP
+  announces really is the decryption of the escrow in question, so a
+  malicious TTP cannot frame an innocent user.  De-anonymization is
+  *publicly auditable* — anyone holding the certificate can check it.
+
+What the proofs deliberately do *not* show is that the encrypted tag
+is the card's true tag; that rests on card compliance, exactly where
+the paper rests it (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.elgamal import ElGamalCiphertext, ElGamalPrivateKey, ElGamalPublicKey
+from ..crypto.groups import PrimeGroup, named_group
+from ..crypto.hashes import int_to_bytes
+from ..crypto.rand import RandomSource
+from ..crypto.schnorr import (
+    ChaumPedersenProof,
+    DlogProof,
+    prove_equality,
+    prove_knowledge,
+    verify_equality,
+    verify_knowledge,
+)
+from ..crypto.numbers import modinv
+from ..errors import EscrowError
+
+
+@dataclass(frozen=True)
+class IdentityEscrow:
+    """An escrowed identity tag bound to one pseudonym certificate."""
+
+    group: PrimeGroup
+    ciphertext: ElGamalCiphertext
+    binding_proof: DlogProof
+
+    def as_dict(self) -> dict:
+        return {
+            "group": self.group.name,
+            "ct": self.ciphertext.as_dict(),
+            "proof": self.binding_proof.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IdentityEscrow":
+        return cls(
+            group=named_group(data["group"]),
+            ciphertext=ElGamalCiphertext.from_dict(data["ct"]),
+            binding_proof=DlogProof.from_dict(data["proof"]),
+        )
+
+    def verify_binding(self, binding: bytes) -> None:
+        """Check the escrow was created for context ``binding``.
+
+        Raises :class:`~repro.errors.EscrowError` if the proof fails —
+        e.g. the escrow was copied from another certificate.
+        """
+        try:
+            verify_knowledge(
+                self.group,
+                self.group.g,
+                self.ciphertext.c1,
+                self.binding_proof,
+                context=b"escrow-binding:" + binding,
+            )
+        except Exception as exc:
+            raise EscrowError(f"escrow binding proof invalid: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class EscrowOpening:
+    """The TTP's verifiable answer: the tag plus a decryption proof."""
+
+    group: PrimeGroup
+    tag_element: int
+    proof: ChaumPedersenProof
+
+    @property
+    def tag_bytes(self) -> bytes:
+        return int_to_bytes(self.tag_element, (self.group.p.bit_length() + 7) // 8)
+
+    def as_dict(self) -> dict:
+        return {
+            "group": self.group.name,
+            "tag": self.tag_element,
+            "proof": self.proof.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EscrowOpening":
+        return cls(
+            group=named_group(data["group"]),
+            tag_element=int(data["tag"]),
+            proof=ChaumPedersenProof.from_dict(data["proof"]),
+        )
+
+
+def create_escrow(
+    *,
+    tag_element: int,
+    ttp_key: ElGamalPublicKey,
+    binding: bytes,
+    rng: RandomSource,
+) -> IdentityEscrow:
+    """Encrypt ``tag_element`` under ``ttp_key`` bound to ``binding``."""
+    group = ttp_key.group
+    group.require_member(tag_element, "identity tag")
+    k = group.random_exponent(rng)
+    ciphertext = ttp_key.encrypt_element_with_randomness(tag_element, k)
+    proof = prove_knowledge(
+        group,
+        group.g,
+        ciphertext.c1,
+        k,
+        context=b"escrow-binding:" + binding,
+        rng=rng,
+    )
+    return IdentityEscrow(group=group, ciphertext=ciphertext, binding_proof=proof)
+
+
+def open_escrow(
+    escrow: IdentityEscrow,
+    ttp_private: ElGamalPrivateKey,
+    *,
+    rng: RandomSource,
+) -> EscrowOpening:
+    """Decrypt an escrow and prove the decryption correct.
+
+    The Chaum–Pedersen statement: the TTP key ``y = g^x`` and the
+    quotient ``c2/tag = c1^x`` share the exponent ``x`` — i.e. ``tag``
+    is the honest decryption.
+    """
+    group = escrow.group
+    if group.name != ttp_private.group.name:
+        raise EscrowError("escrow group does not match TTP key")
+    tag = ttp_private.decrypt_element(escrow.ciphertext)
+    quotient = (escrow.ciphertext.c2 * modinv(tag, group.p)) % group.p
+    proof = prove_equality(
+        group,
+        group.g,
+        ttp_private.public_key.y,
+        escrow.ciphertext.c1,
+        quotient,
+        ttp_private.x,
+        context=b"escrow-opening",
+        rng=rng,
+    )
+    return EscrowOpening(group=group, tag_element=tag, proof=proof)
+
+
+def verify_opening(
+    escrow: IdentityEscrow,
+    opening: EscrowOpening,
+    ttp_key: ElGamalPublicKey,
+) -> None:
+    """Audit a claimed opening against the escrow and the TTP key.
+
+    Raises :class:`~repro.errors.EscrowError` when the claimed tag is
+    not the true decryption — the "no framing" check.
+    """
+    group = escrow.group
+    if opening.group.name != group.name or ttp_key.group.name != group.name:
+        raise EscrowError("opening/escrow/key group mismatch")
+    if not group.contains(opening.tag_element):
+        raise EscrowError("claimed tag is not a group element")
+    quotient = (escrow.ciphertext.c2 * modinv(opening.tag_element, group.p)) % group.p
+    try:
+        verify_equality(
+            group,
+            group.g,
+            ttp_key.y,
+            escrow.ciphertext.c1,
+            quotient,
+            opening.proof,
+            context=b"escrow-opening",
+        )
+    except Exception as exc:
+        raise EscrowError(f"escrow opening proof invalid: {exc}") from exc

@@ -1,0 +1,186 @@
+"""Smart cards and pseudonyms — the user-side trust anchor.
+
+The paper's architecture hangs off a tamper-proof smart card personal-
+ized by the card issuer.  The card:
+
+- generates and stores **pseudonym keys** (Diffie–Hellman pairs
+  ``y = g^x``); the private halves never cross the card boundary;
+- embeds the card's **identity tag** into an encrypted escrow whenever
+  a pseudonym is certified (see :mod:`repro.core.escrow`), which is
+  what makes anonymity *revocable* rather than absolute;
+- **gates content-key release on device compliance**: the card only
+  unwraps a licence's content key for a device that presents a valid
+  compliance certificate — this is the enforcement point that keeps
+  content protected even though the user is anonymous.
+
+Software stands in for tamper-proof hardware (see DESIGN.md §2): the
+protocols only depend on the card's interface, and the no-key-export
+property is enforced by this module's API surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey
+from ..crypto.groups import PrimeGroup
+from ..crypto.hashes import int_to_bytes, sha256
+from ..crypto.rand import RandomSource
+from ..crypto.schnorr import SchnorrPrivateKey, SchnorrPublicKey, SchnorrSignature
+from ..errors import AuthenticationError, ComplianceError
+from .escrow import IdentityEscrow, create_escrow
+
+
+@dataclass(frozen=True)
+class Pseudonym:
+    """The public face of one pseudonym: a group element plus helpers.
+
+    One discrete-log key serves two domain-separated purposes: Schnorr
+    signatures (authenticating protocol requests) and the hashed-
+    ElGamal KEM (receiving wrapped content keys).  The private exponent
+    stays inside the :class:`SmartCard` that minted it.
+    """
+
+    group: PrimeGroup
+    y: int
+
+    @property
+    def signing_key(self) -> SchnorrPublicKey:
+        return SchnorrPublicKey(group=self.group, y=self.y)
+
+    @property
+    def kem_key(self) -> ElGamalPublicKey:
+        return ElGamalPublicKey(group=self.group, y=self.y)
+
+    @property
+    def fingerprint(self) -> bytes:
+        return self.signing_key.fingerprint()
+
+    def as_dict(self) -> dict:
+        return {"group": self.group.name, "y": self.y}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Pseudonym":
+        from ..crypto.groups import named_group
+
+        return cls(group=named_group(data["group"]), y=int(data["y"]))
+
+
+def identity_tag_for_card(group: PrimeGroup, card_id: bytes) -> int:
+    """The card's identity tag: a group element derived from its id.
+
+    Deterministic, so the issuer can precompute the tag ↔ account map
+    at enrolment and recognize the tag when an escrow is opened.
+    """
+    return group.encode_element(b"identity-tag:" + card_id)
+
+
+class SmartCard:
+    """Per-user key store with a deliberately narrow interface."""
+
+    def __init__(
+        self,
+        card_id: bytes,
+        group: PrimeGroup,
+        *,
+        rng: RandomSource,
+        authority_key=None,
+    ):
+        self.card_id = card_id
+        self.group = group
+        self._rng = rng
+        # Root key of the compliance authority; set at personalization,
+        # used to gate content-key release on device compliance.
+        self._authority_key = authority_key
+        self._identity_tag = identity_tag_for_card(group, card_id)
+        self._pseudonym_secrets: dict[bytes, SchnorrPrivateKey] = {}
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def identity_tag(self) -> int:
+        """The card's tag as a group element (public to the TTP only)."""
+        return self._identity_tag
+
+    @property
+    def identity_tag_bytes(self) -> bytes:
+        """Byte form used as the account-store key."""
+        return int_to_bytes(self._identity_tag, (self.group.p.bit_length() + 7) // 8)
+
+    # -- pseudonym lifecycle ----------------------------------------------------
+
+    def new_pseudonym(self) -> Pseudonym:
+        """Mint a fresh pseudonym; the secret stays on the card."""
+        from ..crypto.schnorr import generate_schnorr_key
+
+        secret = generate_schnorr_key(self.group, rng=self._rng)
+        pseudonym = Pseudonym(group=self.group, y=secret.public_key.y)
+        self._pseudonym_secrets[pseudonym.fingerprint] = secret
+        return pseudonym
+
+    def holds(self, pseudonym: Pseudonym) -> bool:
+        return pseudonym.fingerprint in self._pseudonym_secrets
+
+    def pseudonym_count(self) -> int:
+        return len(self._pseudonym_secrets)
+
+    def make_escrow(
+        self, pseudonym: Pseudonym, ttp_key: ElGamalPublicKey
+    ) -> IdentityEscrow:
+        """Escrow this card's identity tag, bound to ``pseudonym``.
+
+        The card is the component trusted to embed its *true* tag
+        (tamper-proof hardware in the paper; see DESIGN.md §2) — the
+        attached proof binds the escrow to the pseudonym so it cannot
+        be transplanted onto another certificate.
+        """
+        self._require_secret(pseudonym)
+        return create_escrow(
+            tag_element=self._identity_tag,
+            ttp_key=ttp_key,
+            binding=pseudonym.fingerprint,
+            rng=self._rng,
+        )
+
+    # -- protocol operations ------------------------------------------------
+
+    def sign(self, pseudonym: Pseudonym, message: bytes) -> SchnorrSignature:
+        """Schnorr-sign ``message`` under one of this card's pseudonyms."""
+        secret = self._require_secret(pseudonym)
+        return secret.sign(message, rng=self._rng)
+
+    def unwrap_content_key(
+        self,
+        pseudonym: Pseudonym,
+        wrapped: dict,
+        *,
+        context: bytes,
+        device_certificate=None,
+    ) -> bytes:
+        """Release a licence's content key **to a compliant device only**.
+
+        ``device_certificate`` must verify against the compliance
+        authority the card was personalized with; this is where the
+        DRM half of the bargain is enforced on the user side.
+        """
+        if self._authority_key is not None:
+            if device_certificate is None:
+                raise ComplianceError("card requires a device certificate")
+            device_certificate.verify(self._authority_key)
+        secret = self._require_secret(pseudonym)
+        kem_private = ElGamalPrivateKey(group=self.group, x=secret.x)
+        return kem_private.kem_unwrap(wrapped, context=context)
+
+    def _require_secret(self, pseudonym: Pseudonym) -> SchnorrPrivateKey:
+        secret = self._pseudonym_secrets.get(pseudonym.fingerprint)
+        if secret is None:
+            raise AuthenticationError(
+                f"card does not hold pseudonym {pseudonym.fingerprint.hex()[:16]}"
+            )
+        return secret
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SmartCard(id={self.card_id.hex()[:12]},"
+            f" pseudonyms={len(self._pseudonym_secrets)})"
+        )

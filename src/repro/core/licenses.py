@@ -1,0 +1,224 @@
+"""Licence structures: personalized and anonymous.
+
+The two licence shapes carry the paper's central structural idea:
+
+- a :class:`PersonalLicense` binds (content, rights, **pseudonym**)
+  together with the content key wrapped *to that pseudonym* — useless
+  to anyone else, but naming no identity;
+
+- an :class:`AnonymousLicense` binds (content, rights, **unique token
+  id**) and **no holder at all** — a bearer object any user can redeem
+  exactly once.  It carries no wrapped key: the content key is only
+  re-wrapped when the licence is redeemed for a personalized one, so
+  possession of the bearer bytes alone never yields content.
+
+Both are signed by the content provider over a canonical payload; the
+licence id doubles as the revocation-list key and (for anonymous
+licences) the spent-store key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from ..errors import InvalidSignature
+from ..rel.model import Rights
+from .identity import Pseudonym
+
+LICENSE_ID_SIZE = 16
+
+
+def _require_license_id(license_id: bytes) -> bytes:
+    if len(license_id) != LICENSE_ID_SIZE:
+        raise InvalidSignature(
+            f"licence id must be {LICENSE_ID_SIZE} bytes, got {len(license_id)}"
+        )
+    return license_id
+
+
+@dataclass(frozen=True)
+class PersonalLicense:
+    """Pseudonym-bound licence with the wrapped content key."""
+
+    license_id: bytes
+    content_id: str
+    rights: Rights
+    pseudonym: Pseudonym
+    wrapped_key: dict          # hashed-ElGamal KEM blob (c1, ct, tag)
+    issued_at: int
+    signature: bytes
+
+    def __post_init__(self) -> None:
+        _require_license_id(self.license_id)
+
+    @property
+    def holder_fingerprint(self) -> bytes:
+        return self.pseudonym.fingerprint
+
+    def kem_context(self) -> bytes:
+        """Context binding the wrapped key to this exact licence."""
+        return kem_context(self.license_id, self.content_id)
+
+    def payload(self) -> bytes:
+        return codec.encode(
+            {
+                "what": "personal-license",
+                "id": self.license_id,
+                "content": self.content_id,
+                "rights": self.rights.as_dict(),
+                "pseudonym": self.pseudonym.as_dict(),
+                "key": self.wrapped_key,
+                "at": self.issued_at,
+            }
+        )
+
+    def verify(self, provider_key: RsaPublicKey) -> None:
+        """Provider-signature check; raises
+        :class:`~repro.errors.InvalidSignature` on mismatch."""
+        provider_key.verify_pkcs1(self.payload(), self.signature)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.license_id,
+            "content": self.content_id,
+            "rights": self.rights.as_dict(),
+            "pseudonym": self.pseudonym.as_dict(),
+            "key": self.wrapped_key,
+            "at": self.issued_at,
+            "sig": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PersonalLicense":
+        return cls(
+            license_id=bytes(data["id"]),
+            content_id=data["content"],
+            rights=Rights.from_dict(data["rights"]),
+            pseudonym=Pseudonym.from_dict(data["pseudonym"]),
+            wrapped_key=dict(data["key"]),
+            issued_at=int(data["at"]),
+            signature=bytes(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (experiment E6)."""
+        return len(codec.encode(self.as_dict()))
+
+
+@dataclass(frozen=True)
+class AnonymousLicense:
+    """Holder-free bearer licence with a unique, spend-once token id.
+
+    This is the object user A hands to user B over any channel.  The
+    provider remembers issuing token ``license_id`` and will personalize
+    it exactly once; copying the bytes does not copy the right.
+    """
+
+    license_id: bytes          # the unique identifier R from the paper
+    content_id: str
+    rights: Rights
+    issued_at: int
+    signature: bytes
+
+    def __post_init__(self) -> None:
+        _require_license_id(self.license_id)
+
+    def payload(self) -> bytes:
+        return codec.encode(
+            {
+                "what": "anonymous-license",
+                "id": self.license_id,
+                "content": self.content_id,
+                "rights": self.rights.as_dict(),
+                "at": self.issued_at,
+            }
+        )
+
+    def verify(self, provider_key: RsaPublicKey) -> None:
+        provider_key.verify_pkcs1(self.payload(), self.signature)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.license_id,
+            "content": self.content_id,
+            "rights": self.rights.as_dict(),
+            "at": self.issued_at,
+            "sig": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnonymousLicense":
+        return cls(
+            license_id=bytes(data["id"]),
+            content_id=data["content"],
+            rights=Rights.from_dict(data["rights"]),
+            issued_at=int(data["at"]),
+            signature=bytes(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (experiment E6)."""
+        return len(codec.encode(self.as_dict()))
+
+
+def kem_context(license_id: bytes, content_id: str) -> bytes:
+    """The KEM binding context shared by issuance and the smart card."""
+    return b"license-key:" + license_id + b":" + content_id.encode("utf-8")
+
+
+def sign_personal_license(
+    provider_key: RsaPrivateKey,
+    *,
+    license_id: bytes,
+    content_id: str,
+    rights: Rights,
+    pseudonym: Pseudonym,
+    wrapped_key: dict,
+    issued_at: int,
+) -> PersonalLicense:
+    """Assemble and sign a personalized licence."""
+    unsigned = PersonalLicense(
+        license_id=license_id,
+        content_id=content_id,
+        rights=rights,
+        pseudonym=pseudonym,
+        wrapped_key=wrapped_key,
+        issued_at=issued_at,
+        signature=b"",
+    )
+    return PersonalLicense(
+        license_id=license_id,
+        content_id=content_id,
+        rights=rights,
+        pseudonym=pseudonym,
+        wrapped_key=wrapped_key,
+        issued_at=issued_at,
+        signature=provider_key.sign_pkcs1(unsigned.payload()),
+    )
+
+
+def sign_anonymous_license(
+    provider_key: RsaPrivateKey,
+    *,
+    license_id: bytes,
+    content_id: str,
+    rights: Rights,
+    issued_at: int,
+) -> AnonymousLicense:
+    """Assemble and sign an anonymous (bearer) licence."""
+    unsigned = AnonymousLicense(
+        license_id=license_id,
+        content_id=content_id,
+        rights=rights,
+        issued_at=issued_at,
+        signature=b"",
+    )
+    return AnonymousLicense(
+        license_id=license_id,
+        content_id=content_id,
+        rights=rights,
+        issued_at=issued_at,
+        signature=provider_key.sign_pkcs1(unsigned.payload()),
+    )

@@ -1,0 +1,339 @@
+"""Wire messages with canonical signing payloads.
+
+Every request a user sends to the provider is (a) expressed as a codec
+dict so its size on the wire is measurable, and (b) signed under the
+acting pseudonym over a canonical payload that includes a fresh nonce
+and a timestamp — the provider's replay filter stores the nonce, and
+the signature binds every security-relevant field (no coin hijacking,
+no licence-id swapping).
+
+The provider never sees a user identity in any of these messages;
+that is checkable right here — grep for ``user_id``: absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.schnorr import SchnorrSignature
+from .certificates import PseudonymCertificate
+from .licenses import AnonymousLicense
+
+NONCE_SIZE = 16
+
+
+# ---------------------------------------------------------------------------
+# Payment: coins
+# ---------------------------------------------------------------------------
+
+
+def coin_payload(serial: bytes, value: int) -> bytes:
+    """The bytes the bank blind-signs for one coin."""
+    return codec.encode({"what": "coin", "serial": serial, "value": value})
+
+
+@dataclass(frozen=True)
+class Coin:
+    """Bearer e-cash: serial, denomination, bank blind signature."""
+
+    serial: bytes
+    value: int
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return coin_payload(self.serial, self.value)
+
+    def as_dict(self) -> dict:
+        return {"serial": self.serial, "value": self.value, "sig": self.signature}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Coin":
+        return cls(
+            serial=bytes(data["serial"]),
+            value=int(data["value"]),
+            signature=bytes(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
+# ---------------------------------------------------------------------------
+# Purchase
+# ---------------------------------------------------------------------------
+
+
+def purchase_signing_payload(
+    content_id: str,
+    pseudonym_fingerprint: bytes,
+    coin_serials: list[bytes],
+    nonce: bytes,
+    at: int,
+) -> bytes:
+    return codec.encode(
+        {
+            "what": "purchase-request",
+            "content": content_id,
+            "pseudonym": pseudonym_fingerprint,
+            "coins": sorted(coin_serials),
+            "nonce": nonce,
+            "at": at,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class PurchaseRequest:
+    """Anonymous purchase: certificate + payment + pseudonym signature."""
+
+    content_id: str
+    certificate: PseudonymCertificate
+    coins: tuple[Coin, ...]
+    nonce: bytes
+    at: int
+    signature: SchnorrSignature
+
+    def signing_payload(self) -> bytes:
+        return purchase_signing_payload(
+            self.content_id,
+            self.certificate.fingerprint,
+            [coin.serial for coin in self.coins],
+            self.nonce,
+            self.at,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "content": self.content_id,
+            "cert": self.certificate.as_dict(),
+            "coins": [coin.as_dict() for coin in self.coins],
+            "nonce": self.nonce,
+            "at": self.at,
+            "sig": self.signature.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PurchaseRequest":
+        return cls(
+            content_id=data["content"],
+            certificate=PseudonymCertificate.from_dict(data["cert"]),
+            coins=tuple(Coin.from_dict(c) for c in data["coins"]),
+            nonce=bytes(data["nonce"]),
+            at=int(data["at"]),
+            signature=SchnorrSignature.from_dict(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
+# ---------------------------------------------------------------------------
+# Exchange (personalized → anonymous)
+# ---------------------------------------------------------------------------
+
+
+def exchange_signing_payload(
+    license_id: bytes,
+    nonce: bytes,
+    at: int,
+    restrict_to: tuple[str, ...] | None = None,
+) -> bytes:
+    payload = {
+        "what": "exchange-request",
+        "license": license_id,
+        "nonce": nonce,
+        "at": at,
+    }
+    if restrict_to is not None:
+        payload["restrict"] = sorted(restrict_to)
+    return codec.encode(payload)
+
+
+@dataclass(frozen=True)
+class ExchangeRequest:
+    """Give up a personalized licence for an anonymous one.
+
+    Signed by the pseudonym the licence is bound to — only the holder
+    can initiate a transfer.  No certificate needed: the provider
+    already knows the pseudonym from the licence itself.
+
+    ``restrict_to`` optionally names the actions the outgoing anonymous
+    licence keeps (a giver may pass on *fewer* rights than they hold —
+    e.g. play-only, no onward transfer).  Restriction is monotone: the
+    provider refuses any request that would widen rights.
+    """
+
+    license_id: bytes
+    nonce: bytes
+    at: int
+    signature: SchnorrSignature
+    restrict_to: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        # Canonical order, so equality and the signed payload agree for
+        # any input ordering.
+        if self.restrict_to is not None:
+            object.__setattr__(self, "restrict_to", tuple(sorted(self.restrict_to)))
+
+    def signing_payload(self) -> bytes:
+        return exchange_signing_payload(
+            self.license_id, self.nonce, self.at, self.restrict_to
+        )
+
+    def as_dict(self) -> dict:
+        data = {
+            "license": self.license_id,
+            "nonce": self.nonce,
+            "at": self.at,
+            "sig": self.signature.as_dict(),
+        }
+        if self.restrict_to is not None:
+            data["restrict"] = sorted(self.restrict_to)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExchangeRequest":
+        restrict = data.get("restrict")
+        return cls(
+            license_id=bytes(data["license"]),
+            nonce=bytes(data["nonce"]),
+            at=int(data["at"]),
+            signature=SchnorrSignature.from_dict(data["sig"]),
+            restrict_to=tuple(restrict) if restrict is not None else None,
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
+# ---------------------------------------------------------------------------
+# Redemption (anonymous → personalized)
+# ---------------------------------------------------------------------------
+
+
+def redeem_signing_payload(
+    token_id: bytes, pseudonym_fingerprint: bytes, nonce: bytes, at: int
+) -> bytes:
+    return codec.encode(
+        {
+            "what": "redeem-request",
+            "token": token_id,
+            "pseudonym": pseudonym_fingerprint,
+            "nonce": nonce,
+            "at": at,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class RedeemRequest:
+    """Turn a bearer licence into a personalized one for a new pseudonym."""
+
+    anonymous_license: AnonymousLicense
+    certificate: PseudonymCertificate
+    nonce: bytes
+    at: int
+    signature: SchnorrSignature
+
+    def signing_payload(self) -> bytes:
+        return redeem_signing_payload(
+            self.anonymous_license.license_id,
+            self.certificate.fingerprint,
+            self.nonce,
+            self.at,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "anon": self.anonymous_license.as_dict(),
+            "cert": self.certificate.as_dict(),
+            "nonce": self.nonce,
+            "at": self.at,
+            "sig": self.signature.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RedeemRequest":
+        return cls(
+            anonymous_license=AnonymousLicense.from_dict(data["anon"]),
+            certificate=PseudonymCertificate.from_dict(data["cert"]),
+            nonce=bytes(data["nonce"]),
+            at=int(data["at"]),
+            signature=SchnorrSignature.from_dict(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
+def redemption_transcript(
+    certificate: PseudonymCertificate,
+    signature: SchnorrSignature,
+    nonce: bytes,
+    at: int,
+) -> bytes:
+    """What the spent store remembers about a redemption — enough to
+    re-verify the signature later as misuse evidence."""
+    return codec.encode(
+        {
+            "what": "redemption-transcript",
+            "cert": certificate.as_dict(),
+            "sig": signature.as_dict(),
+            "nonce": nonce,
+            "at": at,
+        }
+    )
+
+
+def parse_redemption_transcript(data: bytes) -> dict:
+    decoded = codec.decode(data)
+    return {
+        "cert": PseudonymCertificate.from_dict(decoded["cert"]),
+        "sig": SchnorrSignature.from_dict(decoded["sig"]),
+        "nonce": bytes(decoded["nonce"]),
+        "at": int(decoded["at"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Misuse evidence (input to anonymity revocation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MisuseEvidence:
+    """Two conflicting redemption transcripts for one token id.
+
+    Produced by the provider when a spent token is presented again;
+    consumed by the TTP, which re-verifies everything before opening
+    any escrow.
+    """
+
+    kind: str                  # "double-redemption" | "double-spend"
+    token_id: bytes
+    content_id: str
+    first_transcript: bytes    # redemption_transcript bytes
+    second_transcript: bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "token": self.token_id,
+            "content": self.content_id,
+            "first": self.first_transcript,
+            "second": self.second_transcript,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MisuseEvidence":
+        return cls(
+            kind=data["kind"],
+            token_id=bytes(data["token"]),
+            content_id=data["content"],
+            first_transcript=bytes(data["first"]),
+            second_transcript=bytes(data["second"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))

@@ -1,0 +1,40 @@
+"""Protocol orchestration with measurable transcripts.
+
+Each module runs one of the paper's protocols end to end between actor
+objects, recording every message's direction and wire size in a
+:class:`~repro.core.protocols.base.Transcript`:
+
+- :mod:`~repro.core.protocols.registration` — enrolment and blind
+  pseudonym certification;
+- :mod:`~repro.core.protocols.payment` — e-cash withdrawal;
+- :mod:`~repro.core.protocols.acquisition` — anonymous purchase;
+- :mod:`~repro.core.protocols.access` — local content access;
+- :mod:`~repro.core.protocols.transfer` — exchange + redemption (the
+  paper's unlinkable transfer);
+- :mod:`~repro.core.protocols.revocation` — misuse reporting and
+  verifiable escrow opening.
+
+Experiment E1 wraps these calls in :func:`repro.instrument.measure`
+scopes to produce the per-protocol cost table.
+"""
+
+from .base import Transcript
+from .registration import enrol_user, certify_pseudonym
+from .payment import withdraw_coins
+from .acquisition import purchase_content
+from .access import render_content
+from .transfer import exchange_for_anonymous, redeem_anonymous, transfer_license
+from .revocation import report_misuse
+
+__all__ = [
+    "Transcript",
+    "enrol_user",
+    "certify_pseudonym",
+    "withdraw_coins",
+    "purchase_content",
+    "render_content",
+    "exchange_for_anonymous",
+    "redeem_anonymous",
+    "transfer_license",
+    "report_misuse",
+]

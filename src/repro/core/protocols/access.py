@@ -1,0 +1,35 @@
+"""Local content access — no provider involvement.
+
+The whole point of the paper's architecture is that *consumption* is
+invisible to the provider: licence verification, rights evaluation and
+key unwrapping happen between the device and the smart card.  The only
+provider interaction is the (unauthenticated, cacheable) package
+download, which reveals the device's network presence but neither an
+identity nor a licence.
+"""
+
+from __future__ import annotations
+
+from .base import Transcript
+
+
+def render_content(
+    user,
+    device,
+    provider,
+    content_id: str,
+    *,
+    action: str = "play",
+    transcript: Transcript | None = None,
+) -> bytes:
+    """Download (or re-download) the package and render it locally."""
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "access"
+    card = user.require_card()
+    license_ = user.license_for_content(content_id)
+    package = provider.download(content_id)
+    if transcript is not None:
+        # The download is the only off-device message in the protocol.
+        transcript.add("package-download", "provider", "device", package.to_bytes())
+    payload = device.render(license_, package, card, action=action)
+    return payload

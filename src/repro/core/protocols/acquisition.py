@@ -1,0 +1,67 @@
+"""Anonymous content purchase — the paper's licence acquisition protocol.
+
+What crosses the wire, and what each side learns::
+
+    user → provider : PurchaseRequest
+                        { content id, pseudonym certificate,
+                          coins, nonce, timestamp, Schnorr signature }
+    provider → user : PersonalLicense
+    provider → user : ContentPackage       (public download)
+
+The provider learns: *some enrolled user* bought content X at time t
+under pseudonym P, paying with valid coins.  It does not learn who —
+the certificate is blind-issued, the coins are blind-signed, and with
+the fresh-pseudonym policy P never appears twice.
+"""
+
+from __future__ import annotations
+
+from ..licenses import PersonalLicense
+from ..messages import NONCE_SIZE, PurchaseRequest, purchase_signing_payload
+from .base import Transcript
+
+
+def purchase_content(
+    user,
+    provider,
+    issuer,
+    bank,
+    content_id: str,
+    *,
+    transcript: Transcript | None = None,
+) -> PersonalLicense:
+    """Run the full purchase; returns the verified licence."""
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "purchase"
+    card = user.require_card()
+    certificate = user.certificate_for_transaction(issuer)
+    price = provider.price(content_id)
+    coins = user.coins_for(price, bank)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = purchase_signing_payload(
+        content_id, certificate.fingerprint, [c.serial for c in coins], nonce, at
+    )
+    signature = card.sign(certificate.pseudonym, payload)
+    request = PurchaseRequest(
+        content_id=content_id,
+        certificate=certificate,
+        coins=tuple(coins),
+        nonce=nonce,
+        at=at,
+        signature=signature,
+    )
+    if transcript is not None:
+        transcript.add("purchase-request", "user", "provider", request.as_dict())
+
+    license_ = provider.sell(request)
+
+    license_.verify(provider.license_key)
+    if license_.holder_fingerprint != certificate.fingerprint:
+        from ...errors import ProtocolError
+
+        raise ProtocolError("provider issued licence to a different pseudonym")
+    user.add_license(license_)
+    if transcript is not None:
+        transcript.add("license", "provider", "user", license_.as_dict())
+    return license_

@@ -1,0 +1,63 @@
+"""Transcript recording for protocol runs.
+
+A :class:`Transcript` is a list of message records — step name, sender,
+receiver, payload size — accumulated while a protocol wrapper runs.
+The cost experiments read totals off it; the privacy tests read the
+*absence* of fields off the underlying messages themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ... import codec
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    step: str
+    sender: str
+    receiver: str
+    size: int
+
+
+@dataclass
+class Transcript:
+    """Recorded messages of one protocol run."""
+
+    protocol: str = ""
+    records: list[MessageRecord] = field(default_factory=list)
+
+    def add(self, step: str, sender: str, receiver: str, payload) -> None:
+        """Record a message; ``payload`` may be bytes, an int (size), or
+        any codec-encodable object (dicts from ``as_dict()``)."""
+        if isinstance(payload, int):
+            size = payload
+        elif isinstance(payload, (bytes, bytearray)):
+            size = len(payload)
+        else:
+            size = len(codec.encode(payload))
+        self.records.append(
+            MessageRecord(step=step, sender=sender, receiver=receiver, size=size)
+        )
+
+    @property
+    def message_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.size for record in self.records)
+
+    def bytes_sent_by(self, sender: str) -> int:
+        return sum(r.size for r in self.records if r.sender == sender)
+
+    def steps(self) -> list[str]:
+        return [record.step for record in self.records]
+
+    def summary(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "messages": self.message_count,
+            "bytes": self.total_bytes,
+        }

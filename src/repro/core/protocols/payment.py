@@ -1,0 +1,45 @@
+"""E-cash withdrawal (the Chaum blind-signature flow).
+
+The bank sees the account being debited and a blinded blob; the coin
+serial inside is invisible to it.  When the coin later surfaces at a
+deposit, nothing ties it back to this withdrawal — the payment channel
+leaks amounts and timing, never identity-to-purchase links.
+"""
+
+from __future__ import annotations
+
+from ...crypto.blind_rsa import BlindingClient
+from ..messages import Coin, coin_payload
+from .base import Transcript
+
+_SERIAL_SIZE = 16
+
+
+def withdraw_coins(user, bank, amount: int, *, transcript: Transcript | None = None) -> list[Coin]:
+    """Withdraw ``amount`` (in credits) as coins into the user's wallet."""
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "withdrawal"
+    coins: list[Coin] = []
+    for denomination in bank.decompose(amount):
+        serial = user.rng.random_bytes(_SERIAL_SIZE)
+        payload = coin_payload(serial, denomination)
+        client = BlindingClient(bank.public_key(denomination), rng=user.rng)
+        blinded, state = client.blind(payload)
+        if transcript is not None:
+            transcript.add(
+                "withdraw-request",
+                "user",
+                "bank",
+                {"account": user.bank_account, "denom": denomination, "blinded": blinded},
+            )
+        blind_signature = bank.withdraw_blind(
+            user.bank_account, denomination, blinded
+        )
+        if transcript is not None:
+            transcript.add("withdraw-response", "bank", "user", {"sig": blind_signature})
+        signature = client.unblind(blind_signature, state)
+        coin = Coin(serial=serial, value=denomination, signature=signature)
+        bank.verify_coin(coin)
+        coins.append(coin)
+    user.wallet.extend(coins)
+    return coins

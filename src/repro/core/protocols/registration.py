@@ -1,0 +1,62 @@
+"""Enrolment and blind pseudonym certification.
+
+Enrolment is the single identified step of a user's life in the
+system: the issuer verifies who they are and personalizes a smart
+card.  Everything after runs on pseudonyms.
+
+Certification is where the blind signature earns its keep.  The card
+mints a pseudonym and escrows its identity tag; the *user agent*
+blinds the certificate payload; the issuer authenticates the **card**
+(enrolled, not blocked) and signs without seeing the payload; the
+agent unblinds and verifies.  Outcome: a certificate that proves
+enrolment, opens on misuse, and that even its issuer cannot recognize.
+"""
+
+from __future__ import annotations
+
+from ...crypto.blind_rsa import BlindingClient
+from ..certificates import PseudonymCertificate, pseudonym_certificate_payload
+from .base import Transcript
+
+
+def enrol_user(user, issuer, *, transcript: Transcript | None = None):
+    """Run enrolment; attaches the personalized card to the user agent."""
+    card = issuer.enrol(user.user_id, display_name=user.user_id)
+    user.attach_card(card)
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "registration"
+        transcript.add("identify", user.user_id, "issuer", user.user_id.encode())
+        transcript.add("card", "issuer", user.user_id, card.card_id)
+    return card
+
+
+def certify_pseudonym(user, issuer, *, transcript: Transcript | None = None) -> PseudonymCertificate:
+    """Run blind certification; returns (and stores) the new certificate."""
+    card = user.require_card()
+    pseudonym = card.new_pseudonym()
+    escrow = card.make_escrow(pseudonym, issuer.escrow_key)
+    payload = pseudonym_certificate_payload(pseudonym, escrow)
+
+    # Blinding happens in the user's *agent software*, not on the card —
+    # the blinding factor never needs card protection.
+    client = BlindingClient(issuer.certificate_key, rng=user.rng)
+    blinded, state = client.blind(payload)
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "certification"
+        transcript.add(
+            "blind-request",
+            "user",
+            "issuer",
+            {"card": card.card_id, "blinded": blinded},
+        )
+    blind_signature = issuer.issue_blind_certificate(card.card_id, blinded)
+    if transcript is not None:
+        transcript.add("blind-signature", "issuer", "user", {"sig": blind_signature})
+    signature = client.unblind(blind_signature, state)
+
+    certificate = PseudonymCertificate(
+        pseudonym=pseudonym, escrow=escrow, signature=signature
+    )
+    certificate.verify(issuer.certificate_key)
+    user.add_certificate(certificate)
+    return certificate

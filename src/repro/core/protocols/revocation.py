@@ -1,0 +1,49 @@
+"""Misuse reporting and verifiable anonymity revocation.
+
+The flow the paper sketches, made concrete:
+
+1. the provider's redeem handler detects a double redemption and
+   raises :class:`~repro.errors.DoubleRedemptionError` carrying
+   :class:`~repro.core.messages.MisuseEvidence` (both transcripts);
+2. :func:`report_misuse` ships the evidence to the TTP;
+3. the TTP re-verifies every signature in the evidence, opens the
+   offender's escrow, blocks the account and returns a
+   :class:`~repro.core.actors.issuer.RevocationResult` whose
+   Chaum–Pedersen opening proof **anyone can audit** against the
+   offender's certificate — a TTP cannot quietly frame a user.
+"""
+
+from __future__ import annotations
+
+from ..escrow import verify_opening
+from ..messages import MisuseEvidence, parse_redemption_transcript
+from .base import Transcript
+
+
+def report_misuse(
+    provider,
+    issuer,
+    evidence: MisuseEvidence,
+    *,
+    transcript: Transcript | None = None,
+):
+    """Hand evidence to the TTP; returns the audited revocation result."""
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "revocation"
+        transcript.add("evidence", "provider", "issuer", evidence.as_dict())
+    result = issuer.open_misuse_evidence(evidence)
+    if transcript is not None:
+        transcript.add(
+            "revocation-result",
+            "issuer",
+            "provider",
+            {
+                "user": result.offender_user_id,
+                "opening": result.opening.as_dict(),
+            },
+        )
+    # Public auditability: re-verify the opening proof the way any
+    # third party could, against the offender's own certificate.
+    offender_cert = parse_redemption_transcript(evidence.second_transcript)["cert"]
+    verify_opening(offender_cert.escrow, result.opening, issuer.escrow_key)
+    return result

@@ -1,0 +1,140 @@
+"""Unlinkable licence transfer — the paper's core contribution.
+
+The transfer runs as two provider interactions separated by an
+out-of-band handover::
+
+    A → provider : ExchangeRequest(L_A)          signed by A's pseudonym
+    provider → A : AnonymousLicense(R)           L_A revoked on the LRL
+    A → B        : AnonymousLicense(R)           any channel; not observed
+    B → provider : RedeemRequest(R, cert_B)      fresh pseudonym for B
+    provider → B : PersonalLicense(L_B)          R marked spent
+
+What the provider can link: pseudonym_A gave up a licence for content
+X at t1; token R was redeemed by pseudonym_B at t2.  Both pseudonyms
+are blind-certified one-time identities, so no *user* link follows —
+the analysis package quantifies what remains (timing correlation,
+experiments E7/E8).
+
+Safety: L_A is revoked before the anonymous licence leaves the
+provider, and R redeems exactly once; copying the bearer bytes only
+manufactures :class:`~repro.errors.DoubleRedemptionError` evidence.
+"""
+
+from __future__ import annotations
+
+from ..licenses import AnonymousLicense, PersonalLicense
+from ..messages import (
+    ExchangeRequest,
+    NONCE_SIZE,
+    RedeemRequest,
+    exchange_signing_payload,
+    redeem_signing_payload,
+)
+from .base import Transcript
+
+
+def exchange_for_anonymous(
+    user,
+    provider,
+    license_id: bytes,
+    *,
+    restrict_to: tuple[str, ...] | None = None,
+    transcript: Transcript | None = None,
+) -> AnonymousLicense:
+    """First half: trade a held licence for a bearer licence.
+
+    ``restrict_to`` optionally narrows the rights handed onward (e.g.
+    ``("play", "display")`` to gift a non-retransferable copy).
+    """
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "exchange"
+    card = user.require_card()
+    license_ = user.licenses.get(license_id)
+    if license_ is None:
+        from ...errors import ProtocolError
+
+        raise ProtocolError("user does not hold that licence")
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = exchange_signing_payload(license_id, nonce, at, restrict_to)
+    signature = card.sign(license_.pseudonym, payload)
+    request = ExchangeRequest(
+        license_id=license_id,
+        nonce=nonce,
+        at=at,
+        signature=signature,
+        restrict_to=restrict_to,
+    )
+    if transcript is not None:
+        transcript.add("exchange-request", "user", "provider", request.as_dict())
+
+    anonymous = provider.exchange(request)
+
+    anonymous.verify(provider.license_key)
+    # The licence is gone from the user's shelf the moment it is revoked.
+    user.remove_license(license_id)
+    if transcript is not None:
+        transcript.add("anonymous-license", "provider", "user", anonymous.as_dict())
+    return anonymous
+
+
+def redeem_anonymous(
+    user,
+    provider,
+    issuer,
+    anonymous: AnonymousLicense,
+    *,
+    transcript: Transcript | None = None,
+) -> PersonalLicense:
+    """Second half: personalize a received bearer licence."""
+    if transcript is not None:
+        transcript.protocol = transcript.protocol or "redemption"
+    card = user.require_card()
+    certificate = user.certificate_for_transaction(issuer)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = redeem_signing_payload(
+        anonymous.license_id, certificate.fingerprint, nonce, at
+    )
+    signature = card.sign(certificate.pseudonym, payload)
+    request = RedeemRequest(
+        anonymous_license=anonymous,
+        certificate=certificate,
+        nonce=nonce,
+        at=at,
+        signature=signature,
+    )
+    if transcript is not None:
+        transcript.add("redeem-request", "user", "provider", request.as_dict())
+
+    license_ = provider.redeem(request)
+
+    license_.verify(provider.license_key)
+    user.add_license(license_)
+    if transcript is not None:
+        transcript.add("license", "provider", "user", license_.as_dict())
+    return license_
+
+
+def transfer_license(
+    sender,
+    receiver,
+    provider,
+    issuer,
+    license_id: bytes,
+    *,
+    transcript: Transcript | None = None,
+) -> PersonalLicense:
+    """Full A→B transfer (exchange, out-of-band handover, redemption)."""
+    if transcript is not None:
+        transcript.protocol = "transfer"
+    anonymous = exchange_for_anonymous(
+        sender, provider, license_id, transcript=transcript
+    )
+    if transcript is not None:
+        # The out-of-band handover: invisible to the provider, but it
+        # still costs wire bytes between the users.
+        transcript.add("handover", "sender", "receiver", anonymous.as_dict())
+    return redeem_anonymous(
+        receiver, provider, issuer, anonymous, transcript=transcript
+    )

@@ -1,0 +1,176 @@
+"""One-call construction of a complete P2DRM deployment.
+
+Examples, tests, benchmarks and the marketplace simulator all need the
+same cast: a compliance authority, a card issuer (TTP), a bank, a
+content provider, some devices and some users — wired to one clock and
+one seeded random source.  :func:`build_deployment` builds exactly
+that, deterministically for a given seed.
+
+Key sizes default to small-but-real values so a full deployment
+constructs in well under a second; the key-size sweep experiment (E2)
+passes production sizes explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clock import Clock, SimClock
+from ..crypto.groups import PrimeGroup, named_group
+from ..crypto.rand import DeterministicRandomSource, RandomSource
+from ..crypto.rsa import generate_rsa_key
+from ..storage.engine import Database
+from .actors.bank import Bank
+from .actors.device import CompliantDevice
+from .actors.issuer import SmartCardIssuer
+from .actors.provider import ContentProvider
+from .actors.user import UserAgent
+from .certificates import CertificateAuthority
+from .protocols.registration import enrol_user
+
+#: Validity horizon for certificates minted by :func:`build_deployment`.
+_CERT_LIFETIME = 10 * 365 * 24 * 3600
+
+
+@dataclass
+class Deployment:
+    """A fully wired system instance."""
+
+    clock: SimClock
+    rng: RandomSource
+    group: PrimeGroup
+    authority: CertificateAuthority
+    issuer: SmartCardIssuer
+    bank: Bank
+    provider: ContentProvider
+    devices: list[CompliantDevice] = field(default_factory=list)
+    users: dict[str, UserAgent] = field(default_factory=dict)
+
+    # -- convenience wiring -------------------------------------------------
+
+    def add_user(
+        self,
+        user_id: str,
+        *,
+        balance: int = 100,
+        fresh_pseudonym_per_transaction: bool = True,
+    ) -> UserAgent:
+        """Create, enrol and fund a user."""
+        if user_id in self.users:
+            raise ValueError(f"user {user_id!r} already exists")
+        user = UserAgent(
+            user_id,
+            rng=self.rng.fork(f"user-{user_id}"),
+            clock=self.clock,
+            fresh_pseudonym_per_transaction=fresh_pseudonym_per_transaction,
+        )
+        enrol_user(user, self.issuer)
+        self.bank.open_account(user.bank_account, initial_balance=balance)
+        self.users[user_id] = user
+        return user
+
+    def add_device(
+        self, *, model: str = "player", region: str = "eu", db: Database | None = None
+    ) -> CompliantDevice:
+        """Mint a certified device synced to the current LRL."""
+        device_id = self.rng.random_bytes(8).hex()
+        now = self.clock.now()
+        certificate = self.authority.certify_device(
+            device_id,
+            model=model,
+            capabilities=("play", "display", "print"),
+            not_before=now,
+            not_after=now + _CERT_LIFETIME,
+        )
+        device = CompliantDevice(
+            certificate,
+            clock=self.clock,
+            provider_license_key=self.provider.license_key,
+            region=region,
+            db=db,
+        )
+        device.sync_revocations(self.provider)
+        self.devices.append(device)
+        return device
+
+    # -- shorthands used by examples and benches -----------------------------
+
+    def buy(self, user_id: str, content_id: str):
+        return self.users[user_id].buy(
+            content_id, provider=self.provider, issuer=self.issuer, bank=self.bank
+        )
+
+    def transfer(self, sender_id: str, receiver_id: str, license_id: bytes):
+        from .protocols.transfer import transfer_license
+
+        return transfer_license(
+            self.users[sender_id],
+            self.users[receiver_id],
+            self.provider,
+            self.issuer,
+            license_id,
+        )
+
+
+def build_deployment(
+    *,
+    seed: bytes | str | int = b"p2drm",
+    group_name: str = "test-512",
+    rsa_bits: int = 1024,
+    denominations: tuple[int, ...] = (1, 5, 20),
+    start_time: int = 1_086_300_000,
+    db_path: str = ":memory:",
+) -> Deployment:
+    """Construct a deterministic deployment.
+
+    One sqlite database path serves all actors (separate tables); pass
+    a file path for durability, default is in-memory.
+    """
+    rng = DeterministicRandomSource(seed) if not isinstance(seed, RandomSource) else seed
+    clock = SimClock(start_time)
+    group = named_group(group_name)
+
+    def actor_db(actor: str) -> Database:
+        # Each actor keeps its own database: shared tables would merge
+        # the issuer's and provider's audit logs, which are *supposed*
+        # to be separate views of the world (the collusion experiments
+        # join them explicitly).
+        if db_path == ":memory:":
+            return Database()
+        return Database(f"{db_path}.{actor}")
+
+    authority = CertificateAuthority(
+        generate_rsa_key(rsa_bits, rng=rng.fork("authority-key"))
+    )
+    issuer = SmartCardIssuer(
+        group,
+        rng=rng.fork("issuer"),
+        clock=clock,
+        db=actor_db("issuer"),
+        cert_key_bits=rsa_bits,
+        authority_key=authority.public_key,
+    )
+    bank = Bank(
+        rng=rng.fork("bank"),
+        clock=clock,
+        db=actor_db("bank"),
+        denominations=denominations,
+        key_bits=rsa_bits,
+    )
+    provider = ContentProvider(
+        rng=rng.fork("provider"),
+        clock=clock,
+        issuer_certificate_key=issuer.certificate_key,
+        bank=bank,
+        db=actor_db("provider"),
+        license_key_bits=rsa_bits,
+    )
+    return Deployment(
+        clock=clock,
+        rng=rng,
+        group=group,
+        authority=authority,
+        issuer=issuer,
+        bank=bank,
+        provider=provider,
+    )

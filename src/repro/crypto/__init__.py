@@ -1,0 +1,53 @@
+"""From-scratch cryptographic substrate for the P2DRM system.
+
+The 2004 paper assumes a conventional toolbox — RSA signatures and
+encryption, blind signatures for anonymous credentials and e-cash,
+a discrete-log group for the identity escrow, and a block cipher for
+content protection.  No third-party crypto package is available in the
+reproduction environment, so this package implements the toolbox
+directly on Python integers and ``hashlib``:
+
+- :mod:`repro.crypto.numbers` — primality, prime generation, CRT;
+- :mod:`repro.crypto.rand` — injectable randomness (deterministic in
+  tests and benchmarks, system entropy otherwise);
+- :mod:`repro.crypto.hashes` — SHA-2 helpers, HKDF, MGF1;
+- :mod:`repro.crypto.rsa` — RSA keys, PKCS#1 v1.5 / PSS signatures,
+  OAEP encryption;
+- :mod:`repro.crypto.blind_rsa` — Chaum blind signatures;
+- :mod:`repro.crypto.groups` — named safe-prime groups (RFC 3526);
+- :mod:`repro.crypto.elgamal` — ElGamal encryption for the identity
+  escrow;
+- :mod:`repro.crypto.schnorr` — Schnorr signatures and the
+  Chaum–Pedersen equality proof used to make the escrow verifiable;
+- :mod:`repro.crypto.aes` / :mod:`repro.crypto.modes` — AES and
+  CBC/CTR/GCM for content packaging;
+- :mod:`repro.crypto.keys` — key (de)serialization and fingerprints.
+
+**This code is for research reproduction.**  It is not constant-time
+and must not be used to protect real data.
+"""
+
+from .rand import SystemRandomSource, DeterministicRandomSource, RandomSource
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from .blind_rsa import BlindSigner, BlindingClient
+from .elgamal import ElGamalPrivateKey, ElGamalPublicKey, ElGamalCiphertext
+from .schnorr import SchnorrPrivateKey, SchnorrPublicKey
+from .groups import PrimeGroup, named_group
+
+__all__ = [
+    "RandomSource",
+    "SystemRandomSource",
+    "DeterministicRandomSource",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_rsa_key",
+    "BlindSigner",
+    "BlindingClient",
+    "ElGamalPrivateKey",
+    "ElGamalPublicKey",
+    "ElGamalCiphertext",
+    "SchnorrPrivateKey",
+    "SchnorrPublicKey",
+    "PrimeGroup",
+    "named_group",
+]

@@ -1,0 +1,116 @@
+"""Chaum RSA blind signatures.
+
+This primitive carries the paper's two anonymity mechanisms:
+
+- the **smart card issuer** blind-signs pseudonym certificates, so even
+  the issuer cannot link a pseudonym to the enrolment that produced it;
+- the **bank** blind-signs e-cash coins, so payment at the content
+  provider is unlinkable to the withdrawal.
+
+Scheme (full-domain hash variant):  the message ``m`` is hashed into
+``Z_n`` as ``h = FDH(m)``; the client picks a blinding factor ``r`` and
+submits ``h * r^e mod n``; the signer applies the raw private operation
+and returns ``(h * r^e)^d = h^d * r``; the client divides by ``r`` and
+holds ``s = h^d``, a standard FDH-RSA signature that the signer has
+never seen.  Verification is ``s^e == FDH(m) mod n``.
+
+Each signing *purpose* (certificate issuance, each coin denomination)
+uses its **own key pair** — a blind signer will sign anything it is
+handed, so key separation is what scopes the signature's meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidSignature, ParameterError
+from .hashes import hash_to_int
+from .numbers import gcd, modinv
+from .rand import RandomSource, default_source
+from .rsa import RsaPrivateKey, RsaPublicKey
+
+
+def full_domain_hash(message: bytes, public_key: RsaPublicKey) -> int:
+    """Hash ``message`` into ``Z_n`` (domain-separated from other uses)."""
+    return hash_to_int(b"fdh-blind-rsa:" + message, public_key.n)
+
+
+@dataclass(frozen=True)
+class BlindingState:
+    """Client-side secret state linking a blinded request to its unblinder."""
+
+    message: bytes
+    blinding_factor: int
+
+
+class BlindingClient:
+    """The requesting side: blind, unblind, verify."""
+
+    def __init__(self, public_key: RsaPublicKey, *, rng: RandomSource | None = None):
+        self._public_key = public_key
+        self._rng = rng or default_source()
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._public_key
+
+    def blind(self, message: bytes) -> tuple[int, BlindingState]:
+        """Blind ``message``; returns the value to submit and secret state."""
+        n = self._public_key.n
+        digest = full_domain_hash(message, self._public_key)
+        while True:
+            factor = self._rng.randint_range(2, n - 1)
+            if gcd(factor, n) == 1:
+                break
+        blinded = (digest * pow(factor, self._public_key.e, n)) % n
+        return blinded, BlindingState(message=message, blinding_factor=factor)
+
+    def unblind(self, blind_signature: int, state: BlindingState) -> bytes:
+        """Remove the blinding factor and verify the resulting signature."""
+        n = self._public_key.n
+        if not 0 <= blind_signature < n:
+            raise ParameterError("blind signature out of range")
+        signature = (blind_signature * modinv(state.blinding_factor, n)) % n
+        raw = signature.to_bytes(self._public_key.byte_length, "big")
+        verify_blind_signature(state.message, raw, self._public_key)
+        return raw
+
+
+class BlindSigner:
+    """The signing side: applies the raw private operation to requests.
+
+    The signer deliberately cannot inspect what it signs — that is the
+    point of blinding — so deployments bind meaning via key separation
+    and external controls (the bank debits an account per signature;
+    the issuer checks enrolment before signing).
+    """
+
+    def __init__(self, private_key: RsaPrivateKey):
+        self._private_key = private_key
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._private_key.public_key
+
+    def sign_blinded(self, blinded: int) -> int:
+        """Raw private operation on a blinded request."""
+        if not 0 <= blinded < self._private_key.n:
+            raise ParameterError("blinded value out of range")
+        return self._private_key.private_op(blinded)
+
+
+def verify_blind_signature(
+    message: bytes, signature: bytes, public_key: RsaPublicKey
+) -> None:
+    """Verify an unblinded FDH-RSA signature.
+
+    Raises :class:`~repro.errors.InvalidSignature` on mismatch.
+    """
+    if len(signature) != public_key.byte_length:
+        raise InvalidSignature("blind signature length mismatch")
+    value = int.from_bytes(signature, "big")
+    if value >= public_key.n:
+        raise InvalidSignature("blind signature out of range")
+    expected = full_domain_hash(message, public_key)
+    if public_key.public_op(value) != expected:
+        raise InvalidSignature("blind signature mismatch")

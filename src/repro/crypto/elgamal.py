@@ -1,0 +1,204 @@
+"""ElGamal encryption over a safe-prime group, plus a hashed-ElGamal KEM.
+
+Two distinct jobs in the P2DRM system:
+
+- **Identity escrow** (:class:`ElGamalCiphertext` of a group element):
+  each blind-issued pseudonym certificate embeds an ElGamal encryption
+  of the holder's identity tag under the trusted third party's key.
+  Only the TTP can open it, and opening is *verifiable* via a
+  Chaum–Pedersen decryption proof (:mod:`repro.crypto.schnorr`).
+
+- **Content-key wrapping** (the KEM): pseudonyms are cheap one-
+  exponentiation Diffie–Hellman keys ``y = g^x``; a licence wraps the
+  content key to the pseudonym with hashed ElGamal (ephemeral DH →
+  HKDF → XOR stream + HMAC tag, encrypt-then-MAC).  Using a KEM rather
+  than RSA-OAEP keeps *fresh pseudonym per purchase* affordable — an
+  RSA pseudonym would cost a prime generation each time.
+
+Re-randomization is provided because unlinkability arguments use it:
+a re-randomized escrow decrypts identically but is indistinguishable
+from fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DecryptionError, ParameterError
+from .groups import PrimeGroup
+from .hashes import constant_time_equal, hkdf, hmac_sha256, int_to_bytes
+from .numbers import modinv
+from .rand import RandomSource, default_source
+
+_KEM_TAG_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """ElGamal pair ``(c1, c2) = (g^k, m * y^k)``."""
+
+    c1: int
+    c2: int
+
+    def as_dict(self) -> dict:
+        return {"c1": self.c1, "c2": self.c2}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ElGamalCiphertext":
+        return cls(c1=int(data["c1"]), c2=int(data["c2"]))
+
+
+@dataclass(frozen=True)
+class ElGamalPublicKey:
+    """Public key ``y = g^x`` in a named safe-prime group."""
+
+    group: PrimeGroup
+    y: int
+
+    def __post_init__(self) -> None:
+        self.group.require_member(self.y, "public key")
+
+    def encrypt_element(
+        self, element: int, *, rng: RandomSource | None = None
+    ) -> ElGamalCiphertext:
+        """Encrypt a subgroup element (identity-escrow direction)."""
+        rng = rng or default_source()
+        group = self.group
+        group.require_member(element, "plaintext element")
+        k = group.random_exponent(rng)
+        return ElGamalCiphertext(
+            c1=group.power(group.g, k),
+            c2=(element * group.power(self.y, k)) % group.p,
+        )
+
+    def encrypt_element_with_randomness(
+        self, element: int, k: int
+    ) -> ElGamalCiphertext:
+        """Deterministic variant used when the randomness is proven in ZK."""
+        group = self.group
+        group.require_member(element, "plaintext element")
+        if not 1 <= k < group.q:
+            raise ParameterError("randomness out of range")
+        return ElGamalCiphertext(
+            c1=group.power(group.g, k),
+            c2=(element * group.power(self.y, k)) % group.p,
+        )
+
+    def rerandomize(
+        self, ciphertext: ElGamalCiphertext, *, rng: RandomSource | None = None
+    ) -> ElGamalCiphertext:
+        """Multiply by a fresh encryption of 1; same plaintext, unlinkable."""
+        rng = rng or default_source()
+        group = self.group
+        s = group.random_exponent(rng)
+        return ElGamalCiphertext(
+            c1=(ciphertext.c1 * group.power(group.g, s)) % group.p,
+            c2=(ciphertext.c2 * group.power(self.y, s)) % group.p,
+        )
+
+    # -- hashed-ElGamal KEM ---------------------------------------------------
+
+    def kem_wrap(
+        self,
+        payload: bytes,
+        *,
+        context: bytes = b"",
+        rng: RandomSource | None = None,
+    ) -> dict:
+        """Wrap ``payload`` (e.g. a content key) to this public key.
+
+        Returns a codec-friendly dict ``{"c1": int, "ct": bytes,
+        "tag": bytes}``.  ``context`` is bound into the KDF and the MAC,
+        so a wrap made for one licence cannot be transplanted into
+        another.
+        """
+        rng = rng or default_source()
+        group = self.group
+        k = group.random_exponent(rng)
+        c1 = group.power(group.g, k)
+        shared = group.power(self.y, k)
+        keys = _derive_kem_keys(group, c1, shared, context, len(payload))
+        ciphertext = bytes(p ^ s for p, s in zip(payload, keys.stream))
+        tag = hmac_sha256(keys.mac_key, _kem_mac_input(group, c1, context, ciphertext))
+        return {"c1": c1, "ct": ciphertext, "tag": tag}
+
+
+@dataclass(frozen=True)
+class ElGamalPrivateKey:
+    """Private exponent ``x`` with its public half."""
+
+    group: PrimeGroup
+    x: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.x < self.group.q:
+            raise ParameterError("private exponent out of range")
+
+    @property
+    def public_key(self) -> ElGamalPublicKey:
+        return ElGamalPublicKey(group=self.group, y=self.group.power(self.group.g, self.x))
+
+    def decrypt_element(self, ciphertext: ElGamalCiphertext) -> int:
+        """Recover the encrypted subgroup element."""
+        group = self.group
+        group.require_member(ciphertext.c1, "c1")
+        shared = group.power(ciphertext.c1, self.x)
+        return (ciphertext.c2 * modinv(shared, group.p)) % group.p
+
+    def kem_unwrap(self, wrapped: dict, *, context: bytes = b"") -> bytes:
+        """Unwrap a :meth:`ElGamalPublicKey.kem_wrap` payload.
+
+        Raises :class:`~repro.errors.DecryptionError` if the tag fails
+        (wrong key, tampered ciphertext, or wrong context).
+        """
+        group = self.group
+        try:
+            c1 = int(wrapped["c1"])
+            ciphertext = bytes(wrapped["ct"])
+            tag = bytes(wrapped["tag"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DecryptionError("malformed KEM blob") from exc
+        if not group.contains(c1):
+            raise DecryptionError("KEM ephemeral not in subgroup")
+        shared = group.power(c1, self.x)
+        keys = _derive_kem_keys(group, c1, shared, context, len(ciphertext))
+        expected = hmac_sha256(keys.mac_key, _kem_mac_input(group, c1, context, ciphertext))
+        if not constant_time_equal(expected, tag):
+            raise DecryptionError("KEM tag mismatch")
+        return bytes(c ^ s for c, s in zip(ciphertext, keys.stream))
+
+
+def generate_elgamal_key(
+    group: PrimeGroup, *, rng: RandomSource | None = None
+) -> ElGamalPrivateKey:
+    """Fresh key pair in ``group`` — one modular exponentiation."""
+    rng = rng or default_source()
+    return ElGamalPrivateKey(group=group, x=group.random_exponent(rng))
+
+
+@dataclass(frozen=True)
+class _KemKeys:
+    stream: bytes
+    mac_key: bytes
+
+
+def _derive_kem_keys(
+    group: PrimeGroup, c1: int, shared: int, context: bytes, payload_len: int
+) -> _KemKeys:
+    element_len = (group.p.bit_length() + 7) // 8
+    secret = int_to_bytes(shared, element_len)
+    salt = int_to_bytes(c1, element_len)
+    material = hkdf(
+        secret,
+        payload_len + _KEM_TAG_SIZE,
+        salt=salt,
+        info=b"p2drm-kem:" + group.name.encode() + b":" + context,
+    )
+    return _KemKeys(stream=material[:payload_len], mac_key=material[payload_len:])
+
+
+def _kem_mac_input(group: PrimeGroup, c1: int, context: bytes, ciphertext: bytes) -> bytes:
+    element_len = (group.p.bit_length() + 7) // 8
+    return b"|".join(
+        [group.name.encode(), int_to_bytes(c1, element_len), context, ciphertext]
+    )

@@ -1,0 +1,127 @@
+"""Named safe-prime groups for discrete-log constructions.
+
+The identity escrow (ElGamal + Chaum–Pedersen) and Schnorr signatures
+work in the order-``q`` subgroup of quadratic residues modulo a safe
+prime ``p = 2q + 1``.  Generating safe primes in pure Python is slow,
+so production sizes use the well-known RFC 3526 MODP groups; a locally
+generated 512-bit group keeps the test suite fast.
+
+Within a safe-prime group, ``g = 4`` (a square, hence a quadratic
+residue ≠ 1) always generates the full order-``q`` subgroup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .rand import RandomSource, default_source
+
+# Generated reproducibly (seed 20040601); p and (p-1)/2 both prime.
+_P_TEST_512 = int(
+    "d78f7044d7be00a90dd8e66a1ab2f293e18557a77a5d64fd4b0f5494e6eabc24"
+    "a1f25a0f3465e2b5b6915b08d63464ee317eccaf457070d38032ffe4ff44e1b7",
+    16,
+)
+
+# RFC 3526, group 5 (1536-bit MODP).
+_P_MODP_1536 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+
+# RFC 3526, group 14 (2048-bit MODP).
+_P_MODP_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+@dataclass(frozen=True)
+class PrimeGroup:
+    """Safe-prime group: modulus ``p``, subgroup order ``q``, generator ``g``.
+
+    ``g`` generates the order-``q`` subgroup of quadratic residues; all
+    protocol values live in that subgroup so membership is checkable.
+    """
+
+    name: str
+    p: int
+    g: int = 4
+
+    @property
+    def q(self) -> int:
+        """Order of the quadratic-residue subgroup."""
+        return (self.p - 1) // 2
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+    def contains(self, element: int) -> bool:
+        """Membership test for the order-``q`` subgroup."""
+        if not 1 <= element < self.p:
+            return False
+        return pow(element, self.q, self.p) == 1
+
+    def require_member(self, element: int, what: str = "element") -> int:
+        """Return ``element`` or raise if it is outside the subgroup."""
+        if not self.contains(element):
+            raise ParameterError(f"{what} is not a subgroup member")
+        return element
+
+    def random_exponent(self, rng: RandomSource | None = None) -> int:
+        """Uniform exponent in ``[1, q)``."""
+        rng = rng or default_source()
+        return rng.randint_range(1, self.q)
+
+    def power(self, base: int, exponent: int) -> int:
+        """``base^exponent mod p`` (counted as one ``modexp`` when an
+        instrumentation scope is active)."""
+        from ..instrument import tick
+
+        tick("modexp")
+        return pow(base, exponent, self.p)
+
+    def encode_element(self, value_bytes: bytes) -> int:
+        """Map arbitrary bytes to a subgroup element (square the hash image).
+
+        Squaring lands any residue class in the QR subgroup, so encoded
+        identity tags are always valid protocol values.
+        """
+        from .hashes import hash_to_int
+
+        raw = hash_to_int(b"group-encode:" + value_bytes, self.p - 2) + 2
+        return pow(raw, 2, self.p)
+
+
+_NAMED_GROUPS: dict[str, PrimeGroup] = {
+    "test-512": PrimeGroup(name="test-512", p=_P_TEST_512),
+    "modp-1536": PrimeGroup(name="modp-1536", p=_P_MODP_1536),
+    "modp-2048": PrimeGroup(name="modp-2048", p=_P_MODP_2048),
+}
+
+
+def named_group(name: str) -> PrimeGroup:
+    """Look up a named group (``test-512``, ``modp-1536``, ``modp-2048``)."""
+    try:
+        return _NAMED_GROUPS[name]
+    except KeyError:
+        raise ParameterError(f"unknown group {name!r}") from None
+
+
+def available_groups() -> tuple[str, ...]:
+    """Names of all built-in groups."""
+    return tuple(_NAMED_GROUPS)

@@ -1,0 +1,111 @@
+"""Hashing helpers: SHA-2 wrappers, HKDF, MGF1, integer conversion.
+
+All hashing in the system goes through this module, so the digest
+algorithm is a single point of change.  SHA-256 is the default digest,
+matching what a careful 2004-era design would have picked (the paper
+predates SHA-2 deployment pressure, but SHA-1 would be indefensible in
+a release today and changes nothing structural).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+DIGEST_NAME = "sha256"
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha512(data: bytes) -> bytes:
+    """SHA-512 digest of ``data``."""
+    return hashlib.sha512(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(left: bytes, right: bytes) -> bool:
+    """Timing-safe equality for MACs and padding checks."""
+    return _hmac.compare_digest(left, right)
+
+
+def hkdf(
+    input_key: bytes,
+    length: int,
+    *,
+    salt: bytes = b"",
+    info: bytes = b"",
+) -> bytes:
+    """HKDF-SHA-256 (RFC 5869): extract-then-expand key derivation."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length > 255 * DIGEST_SIZE:
+        raise ValueError("HKDF output too long")
+    pseudo_random_key = _hmac.new(
+        salt or b"\x00" * DIGEST_SIZE, input_key, hashlib.sha256
+    ).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(block) for block in blocks) < length:
+        previous = _hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation (PKCS#1) with SHA-256."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        output += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return bytes(output[:length])
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Big-endian bytes of a non-negative integer.
+
+    With ``length=None`` the minimal width is used (zero encodes to a
+    single zero byte, so the function never returns ``b""``).
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian integer from bytes."""
+    return int.from_bytes(data, "big")
+
+
+def hash_to_int(data: bytes, upper: int) -> int:
+    """Hash ``data`` to a uniform-ish integer in ``[0, upper)``.
+
+    Expands with counter-mode SHA-256 to at least 64 bits beyond the
+    modulus size so that the reduction bias is negligible; used for
+    Fiat–Shamir challenges and signature digest mapping.
+    """
+    if upper <= 0:
+        raise ValueError("upper bound must be positive")
+    target_bytes = (upper.bit_length() + 7) // 8 + 8
+    stream = bytearray()
+    counter = 0
+    while len(stream) < target_bytes:
+        stream += hashlib.sha256(data + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return int.from_bytes(stream[:target_bytes], "big") % upper

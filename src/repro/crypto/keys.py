@@ -1,0 +1,103 @@
+"""Key (de)serialization and fingerprints.
+
+Keys cross trust boundaries constantly in this system — pseudonym keys
+inside certificates, provider keys inside licences, bank keys inside
+coins — so they need one canonical wire form.  Keys serialize to codec
+dicts tagged with a ``kind`` field; fingerprints are SHA-256 over the
+canonical encoding of the *public* form.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .. import codec
+from ..errors import KeyFormatError
+from .elgamal import ElGamalPrivateKey, ElGamalPublicKey
+from .groups import named_group
+from .hashes import sha256
+from .rsa import RsaPrivateKey, RsaPublicKey
+from .schnorr import SchnorrPrivateKey, SchnorrPublicKey
+
+KIND_RSA_PUBLIC = "rsa-pub"
+KIND_RSA_PRIVATE = "rsa-priv"
+KIND_SCHNORR_PUBLIC = "schnorr-pub"
+KIND_SCHNORR_PRIVATE = "schnorr-priv"
+KIND_ELGAMAL_PUBLIC = "elgamal-pub"
+KIND_ELGAMAL_PRIVATE = "elgamal-priv"
+
+PublicKey = RsaPublicKey | SchnorrPublicKey | ElGamalPublicKey
+PrivateKey = RsaPrivateKey | SchnorrPrivateKey | ElGamalPrivateKey
+
+
+def key_to_dict(key: PublicKey | PrivateKey) -> dict[str, Any]:
+    """Serialize any supported key to a codec-friendly dict."""
+    if isinstance(key, RsaPublicKey):
+        return {"kind": KIND_RSA_PUBLIC, "n": key.n, "e": key.e}
+    if isinstance(key, RsaPrivateKey):
+        return {
+            "kind": KIND_RSA_PRIVATE,
+            "n": key.n,
+            "e": key.e,
+            "d": key.d,
+            "p": key.p,
+            "q": key.q,
+        }
+    if isinstance(key, SchnorrPublicKey):
+        return {"kind": KIND_SCHNORR_PUBLIC, "group": key.group.name, "y": key.y}
+    if isinstance(key, SchnorrPrivateKey):
+        return {"kind": KIND_SCHNORR_PRIVATE, "group": key.group.name, "x": key.x}
+    if isinstance(key, ElGamalPublicKey):
+        return {"kind": KIND_ELGAMAL_PUBLIC, "group": key.group.name, "y": key.y}
+    if isinstance(key, ElGamalPrivateKey):
+        return {"kind": KIND_ELGAMAL_PRIVATE, "group": key.group.name, "x": key.x}
+    raise KeyFormatError(f"unsupported key type {type(key).__name__}")
+
+
+def key_from_dict(data: dict[str, Any]) -> PublicKey | PrivateKey:
+    """Inverse of :func:`key_to_dict`; raises
+    :class:`~repro.errors.KeyFormatError` on malformed input."""
+    try:
+        kind = data["kind"]
+        if kind == KIND_RSA_PUBLIC:
+            return RsaPublicKey(n=int(data["n"]), e=int(data["e"]))
+        if kind == KIND_RSA_PRIVATE:
+            return RsaPrivateKey(
+                n=int(data["n"]),
+                e=int(data["e"]),
+                d=int(data["d"]),
+                p=int(data["p"]),
+                q=int(data["q"]),
+            )
+        if kind == KIND_SCHNORR_PUBLIC:
+            return SchnorrPublicKey(group=named_group(data["group"]), y=int(data["y"]))
+        if kind == KIND_SCHNORR_PRIVATE:
+            return SchnorrPrivateKey(group=named_group(data["group"]), x=int(data["x"]))
+        if kind == KIND_ELGAMAL_PUBLIC:
+            return ElGamalPublicKey(group=named_group(data["group"]), y=int(data["y"]))
+        if kind == KIND_ELGAMAL_PRIVATE:
+            return ElGamalPrivateKey(group=named_group(data["group"]), x=int(data["x"]))
+    except KeyFormatError:
+        raise
+    except Exception as exc:
+        raise KeyFormatError(f"malformed key dict: {exc}") from exc
+    raise KeyFormatError(f"unknown key kind {data.get('kind')!r}")
+
+
+def public_part(key: PublicKey | PrivateKey) -> PublicKey:
+    """The public half of any key (public keys pass through)."""
+    if isinstance(key, (RsaPublicKey, SchnorrPublicKey, ElGamalPublicKey)):
+        return key
+    if isinstance(key, (RsaPrivateKey, SchnorrPrivateKey, ElGamalPrivateKey)):
+        return key.public_key
+    raise KeyFormatError(f"unsupported key type {type(key).__name__}")
+
+
+def key_bytes(key: PublicKey | PrivateKey) -> bytes:
+    """Canonical byte encoding (codec over :func:`key_to_dict`)."""
+    return codec.encode(key_to_dict(key))
+
+
+def fingerprint(key: PublicKey | PrivateKey) -> bytes:
+    """SHA-256 fingerprint of the key's public half."""
+    return sha256(b"key-fingerprint:" + key_bytes(public_part(key)))

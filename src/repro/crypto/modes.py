@@ -1,0 +1,166 @@
+"""Block cipher modes over :class:`~repro.crypto.aes.AesCipher`.
+
+Content packaging uses :class:`EtmCipher` — AES-CTR with an
+HMAC-SHA-256 tag, encrypt-then-MAC.  The 2004 paper predates AEAD
+standardization (GCM arrived in 2007); CTR+HMAC is exactly the
+construction a careful 2004 design would have shipped, and it avoids
+a slow pure-Python GF(2^128).  CBC and ECB are provided for tests,
+benchmarks and completeness.
+"""
+
+from __future__ import annotations
+
+from ..errors import DecryptionError, ParameterError
+from .aes import BLOCK_SIZE, AesCipher
+from .hashes import constant_time_equal, hkdf, hmac_sha256
+from .rand import RandomSource, default_source
+
+TAG_SIZE = 32
+NONCE_SIZE = 12
+
+
+def pkcs7_pad(data: bytes) -> bytes:
+    """Pad to a whole number of blocks (always adds at least one byte)."""
+    pad_len = BLOCK_SIZE - len(data) % BLOCK_SIZE
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes) -> bytes:
+    """Strip PKCS#7 padding; raises on malformed padding."""
+    if not data or len(data) % BLOCK_SIZE:
+        raise DecryptionError("padded data length invalid")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= BLOCK_SIZE:
+        raise DecryptionError("invalid padding length")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise DecryptionError("invalid padding bytes")
+    return data[:-pad_len]
+
+
+def encrypt_ecb(key: bytes, plaintext: bytes) -> bytes:
+    """ECB with PKCS#7 padding.  Test/benchmark primitive only —
+    deterministic and structure-leaking by construction."""
+    cipher = AesCipher(key)
+    padded = pkcs7_pad(plaintext)
+    return b"".join(
+        cipher.encrypt_block(padded[i : i + BLOCK_SIZE])
+        for i in range(0, len(padded), BLOCK_SIZE)
+    )
+
+
+def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt_ecb`."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise DecryptionError("ciphertext length invalid")
+    cipher = AesCipher(key)
+    padded = b"".join(
+        cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
+        for i in range(0, len(ciphertext), BLOCK_SIZE)
+    )
+    return pkcs7_unpad(padded)
+
+
+def encrypt_cbc(
+    key: bytes, plaintext: bytes, *, iv: bytes | None = None, rng: RandomSource | None = None
+) -> bytes:
+    """CBC with PKCS#7 padding; returns ``iv || ciphertext``."""
+    if iv is None:
+        iv = (rng or default_source()).random_bytes(BLOCK_SIZE)
+    if len(iv) != BLOCK_SIZE:
+        raise ParameterError("IV must be one block")
+    cipher = AesCipher(key)
+    padded = pkcs7_pad(plaintext)
+    blocks = [iv]
+    previous = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(padded[i : i + BLOCK_SIZE], previous))
+        previous = cipher.encrypt_block(block)
+        blocks.append(previous)
+    return b"".join(blocks)
+
+
+def decrypt_cbc(key: bytes, data: bytes) -> bytes:
+    """Inverse of :func:`encrypt_cbc` (expects ``iv || ciphertext``)."""
+    if len(data) < 2 * BLOCK_SIZE or len(data) % BLOCK_SIZE:
+        raise DecryptionError("CBC data length invalid")
+    cipher = AesCipher(key)
+    iv, ciphertext = data[:BLOCK_SIZE], data[BLOCK_SIZE:]
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_transform(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """AES-CTR keystream XOR (encryption and decryption are identical).
+
+    Counter block layout: ``nonce (12 bytes) || counter (4 bytes BE)``.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise ParameterError(f"nonce must be {NONCE_SIZE} bytes")
+    if len(data) > (2**32 - 1) * BLOCK_SIZE:
+        raise ParameterError("data too long for 32-bit counter")
+    cipher = AesCipher(key)
+    out = bytearray(len(data))
+    for counter in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        keystream = cipher.encrypt_block(nonce + counter.to_bytes(4, "big"))
+        offset = counter * BLOCK_SIZE
+        chunk = data[offset : offset + BLOCK_SIZE]
+        out[offset : offset + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, keystream)
+        )
+    return bytes(out)
+
+
+class EtmCipher:
+    """Authenticated encryption: AES-CTR + HMAC-SHA-256, encrypt-then-MAC.
+
+    The caller's key is split by HKDF into independent encryption and
+    MAC keys; the tag covers ``nonce || len(aad) || aad || ciphertext``
+    so truncation and AAD-swapping are caught.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ParameterError("key must be 16, 24 or 32 bytes")
+        material = hkdf(key, len(key) + 32, info=b"p2drm-etm-split")
+        self._enc_key = material[: len(key)]
+        self._mac_key = material[len(key) :]
+
+    def encrypt(
+        self,
+        plaintext: bytes,
+        *,
+        aad: bytes = b"",
+        nonce: bytes | None = None,
+        rng: RandomSource | None = None,
+    ) -> bytes:
+        """Returns ``nonce || ciphertext || tag``."""
+        if nonce is None:
+            nonce = (rng or default_source()).random_bytes(NONCE_SIZE)
+        if len(nonce) != NONCE_SIZE:
+            raise ParameterError(f"nonce must be {NONCE_SIZE} bytes")
+        ciphertext = ctr_transform(self._enc_key, nonce, plaintext)
+        tag = hmac_sha256(self._mac_key, self._mac_input(nonce, aad, ciphertext))
+        return nonce + ciphertext + tag
+
+    def decrypt(self, blob: bytes, *, aad: bytes = b"") -> bytes:
+        """Verify the tag then decrypt; raises
+        :class:`~repro.errors.DecryptionError` on any failure."""
+        if len(blob) < NONCE_SIZE + TAG_SIZE:
+            raise DecryptionError("AEAD blob too short")
+        nonce = blob[:NONCE_SIZE]
+        ciphertext = blob[NONCE_SIZE:-TAG_SIZE]
+        tag = blob[-TAG_SIZE:]
+        expected = hmac_sha256(self._mac_key, self._mac_input(nonce, aad, ciphertext))
+        if not constant_time_equal(expected, tag):
+            raise DecryptionError("AEAD tag mismatch")
+        return ctr_transform(self._enc_key, nonce, ciphertext)
+
+    @staticmethod
+    def _mac_input(nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        return nonce + len(aad).to_bytes(8, "big") + aad + ciphertext

@@ -1,0 +1,138 @@
+"""Injectable randomness for the whole system.
+
+Every component that needs randomness — key generation, blinding
+factors, nonces, licence identifiers, simulated workloads — receives a
+:class:`RandomSource` instead of calling :mod:`secrets` directly.  Two
+implementations exist:
+
+- :class:`SystemRandomSource` draws from the operating system CSPRNG
+  and is the default for applications;
+- :class:`DeterministicRandomSource` expands a seed with SHA-256 in
+  counter mode, so tests and benchmarks reproduce bit-for-bit.
+
+The deterministic source is *not* a security construction (it exists
+for reproducibility); the protocols themselves never assume more of a
+source than "uniform bytes".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+
+class RandomSource:
+    """Interface: uniform bytes and derived integer helpers."""
+
+    def random_bytes(self, count: int) -> bytes:
+        raise NotImplementedError
+
+    def randbits(self, bits: int) -> int:
+        """Uniform integer in ``[0, 2**bits)``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0
+        nbytes = (bits + 7) // 8
+        raw = int.from_bytes(self.random_bytes(nbytes), "big")
+        return raw >> (nbytes * 8 - bits)
+
+    def randint_below(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)`` via rejection sampling."""
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        bits = upper.bit_length()
+        while True:
+            candidate = self.randbits(bits)
+            if candidate < upper:
+                return candidate
+
+    def randint_range(self, lower: int, upper: int) -> int:
+        """Uniform integer in ``[lower, upper)``."""
+        if lower >= upper:
+            raise ValueError("empty range")
+        return lower + self.randint_below(upper - lower)
+
+    def random_odd(self, bits: int) -> int:
+        """Uniform odd integer with exactly ``bits`` bits (top bit set)."""
+        if bits < 2:
+            raise ValueError("need at least 2 bits")
+        candidate = self.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1
+        return candidate
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle driven by this source."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def choice(self, items):
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from empty sequence")
+        return items[self.randint_below(len(items))]
+
+    def fork(self, label: str) -> "RandomSource":
+        """Derive an independent source for a subcomponent.
+
+        System sources return themselves (entropy is shared anyway);
+        deterministic sources derive a child seed, so components can be
+        re-ordered without perturbing each other's streams.
+        """
+        return self
+
+
+class SystemRandomSource(RandomSource):
+    """Operating-system CSPRNG (``secrets``)."""
+
+    def random_bytes(self, count: int) -> bytes:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return secrets.token_bytes(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "SystemRandomSource()"
+
+
+class DeterministicRandomSource(RandomSource):
+    """SHA-256 counter-mode expansion of a seed — reproducible streams.
+
+    The stream is ``SHA256(seed || counter_0) || SHA256(seed || counter_1)
+    || ...``; distinct seeds give computationally independent streams.
+    """
+
+    def __init__(self, seed: bytes | str | int):
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        elif isinstance(seed, int):
+            seed = seed.to_bytes(8, "big", signed=True)
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def random_bytes(self, count: int) -> bytes:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while len(self._buffer) < count:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:count], self._buffer[count:]
+        return out
+
+    def fork(self, label: str) -> "DeterministicRandomSource":
+        child_seed = hashlib.sha256(
+            b"fork:" + self._seed + b"/" + label.encode("utf-8")
+        ).digest()
+        return DeterministicRandomSource(child_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DeterministicRandomSource(seed={self._seed.hex()[:16]}...)"
+
+
+def default_source() -> RandomSource:
+    """The source used when callers pass ``rng=None``."""
+    return SystemRandomSource()

@@ -1,0 +1,299 @@
+"""RSA keys and the three PKCS#1 constructions the system needs.
+
+- **PKCS#1 v1.5 signatures** — licence and certificate signatures
+  (verifier-friendly, deterministic, what 2004 deployments used);
+- **PSS signatures** — available for comparison benchmarks;
+- **OAEP encryption** — wrapping content keys to a pseudonym;
+- **raw private operation** — the building block Chaum blinding needs
+  (:mod:`repro.crypto.blind_rsa`).
+
+Private operations use the CRT form.  Implementation is pure Python on
+top of ``pow``; it is not constant-time (see package docstring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DecryptionError, InvalidSignature, ParameterError
+from .hashes import (
+    DIGEST_SIZE,
+    bytes_to_int,
+    constant_time_equal,
+    int_to_bytes,
+    mgf1,
+    sha256,
+)
+from .numbers import crt_pair, gcd, generate_prime, lcm, modinv
+from .rand import RandomSource, default_source
+
+# DER DigestInfo prefix for SHA-256 (EMSA-PKCS1-v1_5).
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+_PUBLIC_EXPONENT = 65537
+_MIN_MODULUS_BITS = 384
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)`` with verify/encrypt operations."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    # -- raw operation -----------------------------------------------------
+
+    def public_op(self, value: int) -> int:
+        """Raw ``value^e mod n`` (used by blind-signature verification)."""
+        if not 0 <= value < self.n:
+            raise ParameterError("value out of range for modulus")
+        from ..instrument import tick
+
+        tick("rsa.public_op")
+        return pow(value, self.e, self.n)
+
+    # -- PKCS#1 v1.5 signatures ---------------------------------------------
+
+    def verify_pkcs1(self, message: bytes, signature: bytes) -> None:
+        """Verify an EMSA-PKCS1-v1_5/SHA-256 signature.
+
+        Raises :class:`~repro.errors.InvalidSignature` on any mismatch.
+        """
+        if len(signature) != self.byte_length:
+            raise InvalidSignature("signature length mismatch")
+        encoded = self.public_op(bytes_to_int(signature))
+        expected = _emsa_pkcs1_encode(message, self.byte_length)
+        if not constant_time_equal(int_to_bytes(encoded, self.byte_length), expected):
+            raise InvalidSignature("PKCS#1 v1.5 signature mismatch")
+
+    # -- PSS signatures ------------------------------------------------------
+
+    def verify_pss(self, message: bytes, signature: bytes) -> None:
+        """Verify an EMSA-PSS/SHA-256 signature (salt length = 32)."""
+        if len(signature) != self.byte_length:
+            raise InvalidSignature("signature length mismatch")
+        em_bits = self.n.bit_length() - 1
+        em_len = (em_bits + 7) // 8
+        encoded = self.public_op(bytes_to_int(signature))
+        em = int_to_bytes(encoded, self.byte_length)[-em_len:]
+        _emsa_pss_verify(message, em, em_bits)
+
+    # -- OAEP encryption ------------------------------------------------------
+
+    def encrypt_oaep(
+        self,
+        plaintext: bytes,
+        *,
+        label: bytes = b"",
+        rng: RandomSource | None = None,
+    ) -> bytes:
+        """RSAES-OAEP/SHA-256 encryption of ``plaintext``."""
+        rng = rng or default_source()
+        k = self.byte_length
+        max_len = k - 2 * DIGEST_SIZE - 2
+        if max_len < 0:
+            raise ParameterError("modulus too small for OAEP")
+        if len(plaintext) > max_len:
+            raise ParameterError(
+                f"plaintext too long for OAEP ({len(plaintext)} > {max_len})"
+            )
+        label_hash = sha256(label)
+        padding = b"\x00" * (max_len - len(plaintext))
+        data_block = label_hash + padding + b"\x01" + plaintext
+        seed = rng.random_bytes(DIGEST_SIZE)
+        masked_db = _xor(data_block, mgf1(seed, len(data_block)))
+        masked_seed = _xor(seed, mgf1(masked_db, DIGEST_SIZE))
+        em = b"\x00" + masked_seed + masked_db
+        return int_to_bytes(self.public_op(bytes_to_int(em)), k)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key in CRT form with sign/decrypt operations."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p * self.q != self.n:
+            raise ParameterError("p*q != n")
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    # -- raw operation -----------------------------------------------------
+
+    def private_op(self, value: int) -> int:
+        """Raw ``value^d mod n`` via CRT (blind-signature building block)."""
+        if not 0 <= value < self.n:
+            raise ParameterError("value out of range for modulus")
+        from ..instrument import tick
+
+        tick("rsa.private_op")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        mp = pow(value % self.p, dp, self.p)
+        mq = pow(value % self.q, dq, self.q)
+        return crt_pair(mp, self.p, mq, self.q) % self.n
+
+    # -- PKCS#1 v1.5 signatures ---------------------------------------------
+
+    def sign_pkcs1(self, message: bytes) -> bytes:
+        """Deterministic EMSA-PKCS1-v1_5/SHA-256 signature."""
+        encoded = _emsa_pkcs1_encode(message, self.byte_length)
+        return int_to_bytes(self.private_op(bytes_to_int(encoded)), self.byte_length)
+
+    # -- PSS signatures ------------------------------------------------------
+
+    def sign_pss(self, message: bytes, *, rng: RandomSource | None = None) -> bytes:
+        """Randomized EMSA-PSS/SHA-256 signature (salt length = 32)."""
+        rng = rng or default_source()
+        em_bits = self.n.bit_length() - 1
+        em = _emsa_pss_encode(message, em_bits, rng)
+        return int_to_bytes(self.private_op(bytes_to_int(em)), self.byte_length)
+
+    # -- OAEP decryption ------------------------------------------------------
+
+    def decrypt_oaep(self, ciphertext: bytes, *, label: bytes = b"") -> bytes:
+        """RSAES-OAEP/SHA-256 decryption.
+
+        Raises :class:`~repro.errors.DecryptionError` on any padding or
+        label failure (single error type; no padding oracle surface).
+        """
+        k = self.byte_length
+        if len(ciphertext) != k or k < 2 * DIGEST_SIZE + 2:
+            raise DecryptionError("OAEP ciphertext malformed")
+        value = bytes_to_int(ciphertext)
+        if value >= self.n:
+            raise DecryptionError("OAEP ciphertext out of range")
+        em = int_to_bytes(self.private_op(value), k)
+        first_byte, masked_seed, masked_db = em[0], em[1 : DIGEST_SIZE + 1], em[DIGEST_SIZE + 1 :]
+        seed = _xor(masked_seed, mgf1(masked_db, DIGEST_SIZE))
+        data_block = _xor(masked_db, mgf1(seed, len(masked_db)))
+        label_hash = sha256(label)
+        ok = first_byte == 0
+        ok &= constant_time_equal(data_block[:DIGEST_SIZE], label_hash)
+        separator = data_block.find(b"\x01", DIGEST_SIZE)
+        ok &= separator != -1
+        if separator != -1:
+            ok &= data_block[DIGEST_SIZE:separator] == b"\x00" * (
+                separator - DIGEST_SIZE
+            )
+        if not ok:
+            raise DecryptionError("OAEP decoding failed")
+        return data_block[separator + 1 :]
+
+
+def generate_rsa_key(
+    bits: int = 2048,
+    *,
+    rng: RandomSource | None = None,
+    public_exponent: int = _PUBLIC_EXPONENT,
+) -> RsaPrivateKey:
+    """Generate an RSA key whose modulus has exactly ``bits`` bits."""
+    if bits < _MIN_MODULUS_BITS:
+        raise ParameterError(f"modulus must be at least {_MIN_MODULUS_BITS} bits")
+    if bits % 2:
+        raise ParameterError("modulus size must be even")
+    rng = rng or default_source()
+    half = bits // 2
+    while True:
+        p = _generate_rsa_prime(half, public_exponent, rng)
+        q = _generate_rsa_prime(half, public_exponent, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        lam = lcm(p - 1, q - 1)
+        d = modinv(public_exponent, lam)
+        return RsaPrivateKey(n=n, e=public_exponent, d=d, p=p, q=q)
+
+
+def _generate_rsa_prime(bits: int, public_exponent: int, rng: RandomSource) -> int:
+    """Prime with the top two bits set (so p*q reaches full width) and
+    ``gcd(e, p-1) == 1``."""
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if gcd(public_exponent, candidate - 1) != 1:
+            continue
+        from .numbers import is_probable_prime
+
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers (EMSA-PKCS1-v1_5, EMSA-PSS)
+# ---------------------------------------------------------------------------
+
+
+def _emsa_pkcs1_encode(message: bytes, em_len: int) -> bytes:
+    digest_info = _SHA256_DIGEST_INFO + sha256(message)
+    padding_len = em_len - len(digest_info) - 3
+    if padding_len < 8:
+        raise ParameterError("modulus too small for PKCS#1 v1.5")
+    return b"\x00\x01" + b"\xff" * padding_len + b"\x00" + digest_info
+
+
+def _emsa_pss_encode(message: bytes, em_bits: int, rng: RandomSource) -> bytes:
+    em_len = (em_bits + 7) // 8
+    salt_len = DIGEST_SIZE
+    if em_len < DIGEST_SIZE + salt_len + 2:
+        raise ParameterError("modulus too small for PSS")
+    message_hash = sha256(message)
+    salt = rng.random_bytes(salt_len)
+    h = sha256(b"\x00" * 8 + message_hash + salt)
+    padding = b"\x00" * (em_len - salt_len - DIGEST_SIZE - 2)
+    data_block = padding + b"\x01" + salt
+    masked_db = bytearray(_xor(data_block, mgf1(h, len(data_block))))
+    # Clear the leftmost 8*em_len - em_bits bits.
+    masked_db[0] &= 0xFF >> (8 * em_len - em_bits)
+    return bytes(masked_db) + h + b"\xbc"
+
+
+def _emsa_pss_verify(message: bytes, em: bytes, em_bits: int) -> None:
+    em_len = (em_bits + 7) // 8
+    salt_len = DIGEST_SIZE
+    if em_len < DIGEST_SIZE + salt_len + 2 or em[-1] != 0xBC:
+        raise InvalidSignature("PSS trailer mismatch")
+    masked_db = bytearray(em[: em_len - DIGEST_SIZE - 1])
+    h = em[em_len - DIGEST_SIZE - 1 : -1]
+    top_bits = 8 * em_len - em_bits
+    if masked_db[0] >> (8 - top_bits) if top_bits else 0:
+        raise InvalidSignature("PSS leftmost bits not zero")
+    data_block = bytearray(_xor(bytes(masked_db), mgf1(h, len(masked_db))))
+    data_block[0] &= 0xFF >> top_bits
+    padding_len = em_len - salt_len - DIGEST_SIZE - 2
+    if bytes(data_block[:padding_len]) != b"\x00" * padding_len:
+        raise InvalidSignature("PSS padding mismatch")
+    if data_block[padding_len] != 0x01:
+        raise InvalidSignature("PSS separator mismatch")
+    salt = bytes(data_block[padding_len + 1 :])
+    message_hash = sha256(message)
+    expected = sha256(b"\x00" * 8 + message_hash + salt)
+    if not constant_time_equal(expected, h):
+        raise InvalidSignature("PSS hash mismatch")
+
+
+def _xor(left: bytes, right: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(left, right, strict=True))

@@ -1,0 +1,271 @@
+"""Schnorr signatures and discrete-log zero-knowledge proofs.
+
+Pseudonyms in this system are Diffie–Hellman keys ``y = g^x``.  Three
+constructions over them, all made non-interactive with Fiat–Shamir
+(challenges are hashes over a domain-separation label, the full public
+statement, the commitment, and a caller-supplied context):
+
+- :class:`SchnorrPrivateKey` / :class:`SchnorrPublicKey` — signatures.
+  A purchase or redemption request is signed under the pseudonym, which
+  proves possession of the pseudonym secret without identifying anyone.
+
+- :func:`prove_knowledge` / :func:`verify_knowledge` — proof of
+  knowledge of a discrete log.  Binds an identity escrow to the
+  pseudonym certificate it was created for (the context includes the
+  pseudonym), so an escrow cannot be copied between certificates.
+
+- :class:`ChaumPedersenProof` — proof that two pairs share one
+  discrete log (a DH tuple).  The TTP attaches one to every anonymity
+  revocation: it shows the published identity tag really is the
+  decryption of the escrow, making de-anonymization publicly
+  auditable instead of "trust me".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidProof, InvalidSignature, ParameterError
+from .groups import PrimeGroup
+from .hashes import hash_to_int, int_to_bytes
+from .rand import RandomSource, default_source
+
+
+def _element_bytes(group: PrimeGroup, value: int) -> bytes:
+    return int_to_bytes(value, (group.p.bit_length() + 7) // 8)
+
+
+def _challenge(group: PrimeGroup, label: bytes, parts: list[int], context: bytes) -> int:
+    material = b"|".join(
+        [b"p2drm-zk", label, group.name.encode()]
+        + [_element_bytes(group, part) for part in parts]
+        + [context]
+    )
+    return hash_to_int(material, group.q)
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """Fiat–Shamir Schnorr signature ``(challenge, response)``."""
+
+    challenge: int
+    response: int
+
+    def as_dict(self) -> dict:
+        return {"c": self.challenge, "s": self.response}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchnorrSignature":
+        return cls(challenge=int(data["c"]), response=int(data["s"]))
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """Verification key ``y = g^x``."""
+
+    group: PrimeGroup
+    y: int
+
+    def __post_init__(self) -> None:
+        self.group.require_member(self.y, "public key")
+
+    def verify(self, message: bytes, signature: SchnorrSignature) -> None:
+        """Verify; raises :class:`~repro.errors.InvalidSignature`."""
+        group = self.group
+        if not 0 <= signature.challenge < group.q or not 0 <= signature.response < group.q:
+            raise InvalidSignature("signature scalars out of range")
+        # R = g^s * y^c ; valid iff challenge recomputes.
+        commitment = (
+            group.power(group.g, signature.response)
+            * group.power(self.y, signature.challenge)
+        ) % group.p
+        expected = _challenge(group, b"schnorr-sig", [self.y, commitment], message)
+        if expected != signature.challenge:
+            raise InvalidSignature("Schnorr signature mismatch")
+
+    def fingerprint(self) -> bytes:
+        """Stable identifier for the pseudonym (hash of group+element)."""
+        from .hashes import sha256
+
+        return sha256(b"pseudonym:" + self.group.name.encode() + b":" + _element_bytes(self.group, self.y))
+
+
+@dataclass(frozen=True)
+class SchnorrPrivateKey:
+    """Signing key ``x`` with its public half."""
+
+    group: PrimeGroup
+    x: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.x < self.group.q:
+            raise ParameterError("private exponent out of range")
+
+    @property
+    def public_key(self) -> SchnorrPublicKey:
+        return SchnorrPublicKey(group=self.group, y=self.group.power(self.group.g, self.x))
+
+    def sign(self, message: bytes, *, rng: RandomSource | None = None) -> SchnorrSignature:
+        """Sign ``message`` (randomized nonce; Fiat–Shamir challenge)."""
+        rng = rng or default_source()
+        group = self.group
+        nonce = group.random_exponent(rng)
+        commitment = group.power(group.g, nonce)
+        challenge = _challenge(
+            group, b"schnorr-sig", [self.public_key.y, commitment], message
+        )
+        response = (nonce - challenge * self.x) % group.q
+        return SchnorrSignature(challenge=challenge, response=response)
+
+
+def generate_schnorr_key(
+    group: PrimeGroup, *, rng: RandomSource | None = None
+) -> SchnorrPrivateKey:
+    """Fresh signing key in ``group``."""
+    rng = rng or default_source()
+    return SchnorrPrivateKey(group=group, x=group.random_exponent(rng))
+
+
+# ---------------------------------------------------------------------------
+# Proof of knowledge of a discrete log (Schnorr, Fiat–Shamir)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DlogProof:
+    """Non-interactive proof of knowledge of ``x`` in ``public = base^x``."""
+
+    challenge: int
+    response: int
+
+    def as_dict(self) -> dict:
+        return {"c": self.challenge, "s": self.response}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DlogProof":
+        return cls(challenge=int(data["c"]), response=int(data["s"]))
+
+
+def prove_knowledge(
+    group: PrimeGroup,
+    base: int,
+    public: int,
+    secret: int,
+    *,
+    context: bytes = b"",
+    rng: RandomSource | None = None,
+) -> DlogProof:
+    """Prove knowledge of ``secret`` with ``public == base^secret``."""
+    rng = rng or default_source()
+    group.require_member(base, "base")
+    group.require_member(public, "public value")
+    if group.power(base, secret) != public:
+        raise ParameterError("secret does not match public value")
+    nonce = group.random_exponent(rng)
+    commitment = group.power(base, nonce)
+    challenge = _challenge(group, b"dlog-pok", [base, public, commitment], context)
+    response = (nonce - challenge * secret) % group.q
+    return DlogProof(challenge=challenge, response=response)
+
+
+def verify_knowledge(
+    group: PrimeGroup,
+    base: int,
+    public: int,
+    proof: DlogProof,
+    *,
+    context: bytes = b"",
+) -> None:
+    """Verify a :func:`prove_knowledge` proof; raises on failure."""
+    group.require_member(base, "base")
+    group.require_member(public, "public value")
+    if not 0 <= proof.challenge < group.q or not 0 <= proof.response < group.q:
+        raise InvalidProof("proof scalars out of range")
+    commitment = (
+        group.power(base, proof.response) * group.power(public, proof.challenge)
+    ) % group.p
+    expected = _challenge(group, b"dlog-pok", [base, public, commitment], context)
+    if expected != proof.challenge:
+        raise InvalidProof("discrete-log proof mismatch")
+
+
+# ---------------------------------------------------------------------------
+# Chaum–Pedersen equality-of-discrete-logs proof
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaumPedersenProof:
+    """Proof that ``(base1, public1)`` and ``(base2, public2)`` share one
+    exponent: ``public1 = base1^x`` and ``public2 = base2^x``."""
+
+    challenge: int
+    response: int
+
+    def as_dict(self) -> dict:
+        return {"c": self.challenge, "s": self.response}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaumPedersenProof":
+        return cls(challenge=int(data["c"]), response=int(data["s"]))
+
+
+def prove_equality(
+    group: PrimeGroup,
+    base1: int,
+    public1: int,
+    base2: int,
+    public2: int,
+    secret: int,
+    *,
+    context: bytes = b"",
+    rng: RandomSource | None = None,
+) -> ChaumPedersenProof:
+    """Produce a Chaum–Pedersen proof for a DH tuple."""
+    rng = rng or default_source()
+    for value, what in ((base1, "base1"), (public1, "public1"), (base2, "base2"), (public2, "public2")):
+        group.require_member(value, what)
+    if group.power(base1, secret) != public1 or group.power(base2, secret) != public2:
+        raise ParameterError("secret does not match the statement")
+    nonce = group.random_exponent(rng)
+    commitment1 = group.power(base1, nonce)
+    commitment2 = group.power(base2, nonce)
+    challenge = _challenge(
+        group,
+        b"chaum-pedersen",
+        [base1, public1, base2, public2, commitment1, commitment2],
+        context,
+    )
+    response = (nonce - challenge * secret) % group.q
+    return ChaumPedersenProof(challenge=challenge, response=response)
+
+
+def verify_equality(
+    group: PrimeGroup,
+    base1: int,
+    public1: int,
+    base2: int,
+    public2: int,
+    proof: ChaumPedersenProof,
+    *,
+    context: bytes = b"",
+) -> None:
+    """Verify a Chaum–Pedersen proof; raises on failure."""
+    for value, what in ((base1, "base1"), (public1, "public1"), (base2, "base2"), (public2, "public2")):
+        group.require_member(value, what)
+    if not 0 <= proof.challenge < group.q or not 0 <= proof.response < group.q:
+        raise InvalidProof("proof scalars out of range")
+    commitment1 = (
+        group.power(base1, proof.response) * group.power(public1, proof.challenge)
+    ) % group.p
+    commitment2 = (
+        group.power(base2, proof.response) * group.power(public2, proof.challenge)
+    ) % group.p
+    expected = _challenge(
+        group,
+        b"chaum-pedersen",
+        [base1, public1, base2, public2, commitment1, commitment2],
+        context,
+    )
+    if expected != proof.challenge:
+        raise InvalidProof("Chaum–Pedersen proof mismatch")

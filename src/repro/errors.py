@@ -1,0 +1,169 @@
+"""Exception hierarchy for the P2DRM reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch one base class at integration boundaries.  The
+sub-hierarchies mirror the package layout: codec, crypto, rights
+language, storage and protocol failures are distinguishable because
+callers react to them differently (a :class:`DoubleRedemptionError` is
+*evidence of misuse* that feeds the anonymity-revocation protocol,
+whereas a :class:`CodecError` is a malformed message to be dropped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding
+# ---------------------------------------------------------------------------
+
+
+class CodecError(ReproError):
+    """A value could not be canonically encoded or decoded."""
+
+
+class NonCanonicalEncoding(CodecError):
+    """Decoded input is valid data but not the canonical byte form.
+
+    Signed structures must have exactly one byte representation;
+    accepting alternates would allow signature-stripping games, so the
+    decoder rejects them outright.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature did not verify under the claimed public key."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext failed to decrypt (padding, tag, or key mismatch)."""
+
+
+class InvalidProof(CryptoError):
+    """A zero-knowledge proof failed verification."""
+
+
+class KeyFormatError(CryptoError):
+    """Serialized key material was malformed or of the wrong type."""
+
+
+class ParameterError(ReproError):
+    """Parameters are unusable (sizes, ranges, group membership).
+
+    Raised across the package — crypto parameter checks, store sizing,
+    workload configuration — wherever the *caller* supplied an
+    impossible value.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Rights expression language
+# ---------------------------------------------------------------------------
+
+
+class RelError(ReproError):
+    """Base class for rights-expression failures."""
+
+
+class RightsParseError(RelError):
+    """A rights expression string or document could not be parsed."""
+
+
+class RightsDenied(RelError):
+    """An action was requested that the rights expression does not grant.
+
+    Carries the machine-readable reason so devices can show users *why*
+    playback was refused (FIP "openness").
+    """
+
+    def __init__(self, action: str, reason: str):
+        super().__init__(f"action {action!r} denied: {reason}")
+        self.action = action
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for store failures."""
+
+
+class StoreIntegrityError(StorageError):
+    """A store's integrity invariant was violated (audit chain, Merkle)."""
+
+
+class MigrationError(StorageError):
+    """Schema migration could not be applied."""
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for protocol-level failures."""
+
+
+class AuthenticationError(ProtocolError):
+    """A party failed to prove what the protocol step requires."""
+
+
+class ComplianceError(ProtocolError):
+    """A device or card failed the compliance-certificate check."""
+
+
+class PaymentError(ProtocolError):
+    """Payment was missing, malformed, or insufficient."""
+
+
+class DoubleSpendError(PaymentError):
+    """An e-cash coin was presented more than once.
+
+    Instances carry the coin identifier so the bank can produce
+    evidence for the revocation protocol.
+    """
+
+    def __init__(self, coin_id: bytes):
+        super().__init__(f"coin {coin_id.hex()} already spent")
+        self.coin_id = coin_id
+
+
+class DoubleRedemptionError(ProtocolError):
+    """An anonymous licence identifier was redeemed more than once.
+
+    This is the misuse event the paper's revocable-anonymity mechanism
+    exists for: the provider keeps both redemption transcripts as
+    evidence and hands them to the TTP.
+    """
+
+    def __init__(self, token_id: bytes):
+        super().__init__(f"anonymous licence {token_id.hex()} already redeemed")
+        self.token_id = token_id
+
+
+class RevokedLicenseError(ProtocolError):
+    """A licence on the revocation list was presented for use."""
+
+
+class UnknownContentError(ProtocolError):
+    """The requested content identifier is not in the catalog."""
+
+
+class EscrowError(ProtocolError):
+    """Identity escrow could not be opened or evidence did not verify."""

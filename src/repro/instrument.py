@@ -1,0 +1,61 @@
+"""Operation counting for the cost experiments.
+
+Experiment E1 reproduces the paper's cost argument — *which party pays
+how many public-key operations in each protocol* — so the crypto layer
+reports its expensive operations here.  Counting is off unless a
+:func:`measure` scope is active, and the hot-path cost when off is one
+``if`` on a module global.
+
+Usage::
+
+    with measure() as ops:
+        run_purchase(...)
+    print(ops.counts)   # {"rsa.private_op": 1, "modexp": 6, ...}
+
+Scopes nest; every active scope sees every tick.  Counters are plain
+dicts — this is a single-threaded research harness, not telemetry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+_ACTIVE: list["OpCounter"] = []
+
+
+@dataclass
+class OpCounter:
+    """Accumulated operation counts for one measurement scope."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self.counts.items() if k.startswith(prefix))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(sorted(self.counts.items()))
+
+
+def tick(name: str, amount: int = 1) -> None:
+    """Record ``amount`` occurrences of operation ``name`` (no-op when
+    no scope is active)."""
+    if _ACTIVE:
+        for counter in _ACTIVE:
+            counter.add(name, amount)
+
+
+@contextmanager
+def measure() -> Iterator[OpCounter]:
+    """Activate a counting scope and yield its counter."""
+    counter = OpCounter()
+    _ACTIVE.append(counter)
+    try:
+        yield counter
+    finally:
+        _ACTIVE.remove(counter)

@@ -1,0 +1,54 @@
+"""Rights Expression Language (REL) for P2DRM licences.
+
+Licences in the 2004 paper carry a "rights expression" — which actions
+the holder may perform, under which constraints.  The paper treats the
+language as a given (industrial systems of the era used XrML or
+ODRL); this package implements a compact REL with the constraint types
+those languages supported and DRM devices actually enforced:
+
+- actions: ``play``, ``display``, ``print``, ``copy``, ``transfer``,
+  ``export``, ``burn``;
+- constraints: use counts, validity intervals, device binding,
+  region binding.
+
+The pieces:
+
+- :mod:`repro.rel.model` — the data model (:class:`Rights`,
+  :class:`Permission`, constraint classes);
+- :mod:`repro.rel.parser` — a compact text grammar
+  (``"play[count<=10, before=2005-01-01T00:00:00Z]; transfer"``);
+- :mod:`repro.rel.evaluator` — stateful authorization decisions with
+  injected clock and usage state;
+- :mod:`repro.rel.serializer` — the canonical byte form covered by
+  licence signatures.
+"""
+
+from .model import (
+    ACTIONS,
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+)
+from .parser import parse_rights
+from .evaluator import EvaluationContext, RightsEvaluator, UsageState
+from .serializer import rights_to_bytes, rights_from_bytes, rights_to_text
+
+__all__ = [
+    "ACTIONS",
+    "Rights",
+    "Permission",
+    "CountConstraint",
+    "IntervalConstraint",
+    "DeviceConstraint",
+    "RegionConstraint",
+    "parse_rights",
+    "RightsEvaluator",
+    "EvaluationContext",
+    "UsageState",
+    "rights_to_bytes",
+    "rights_from_bytes",
+    "rights_to_text",
+]

@@ -1,0 +1,149 @@
+"""Stateful rights evaluation — the device-side enforcement point.
+
+A compliant device calls :meth:`RightsEvaluator.authorize` before every
+render and :meth:`RightsEvaluator.record_use` after a successful one.
+Authorization is a pure function of the rights expression, the
+:class:`EvaluationContext` (what/where/when) and the accumulated
+:class:`UsageState` (how often already) — no hidden globals, no wall
+clock, so devices, tests and simulations all evaluate identically.
+
+Denials raise :class:`~repro.errors.RightsDenied` carrying a
+machine-readable reason (FIP "openness": the user is told *why*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RightsDenied
+from .model import (
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+)
+
+
+@dataclass(frozen=True)
+class EvaluationContext:
+    """Everything outside the licence that a decision depends on."""
+
+    now: int
+    device_id: str = ""
+    region: str = ""
+
+
+@dataclass
+class UsageState:
+    """Accumulated use counters, keyed by ``(licence_id, action)``.
+
+    Devices persist this (see :mod:`repro.storage`); the evaluator only
+    needs mapping semantics, so tests can use a bare instance.
+    """
+
+    counts: dict[tuple[bytes, str], int] = field(default_factory=dict)
+
+    def uses(self, licence_id: bytes, action: str) -> int:
+        return self.counts.get((licence_id, action), 0)
+
+    def record(self, licence_id: bytes, action: str) -> int:
+        """Increment and return the new count."""
+        key = (licence_id, action)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        return self.counts[key]
+
+    def merge_from(self, other: "UsageState") -> None:
+        """Pointwise-max merge (device sync never *forgets* uses)."""
+        for key, count in other.counts.items():
+            if count > self.counts.get(key, 0):
+                self.counts[key] = count
+
+
+class RightsEvaluator:
+    """Authorization decisions over rights expressions."""
+
+    def __init__(self, usage: UsageState | None = None):
+        self.usage = usage if usage is not None else UsageState()
+
+    def authorize(
+        self,
+        rights: Rights,
+        licence_id: bytes,
+        action: str,
+        context: EvaluationContext,
+    ) -> Permission:
+        """Check that ``action`` is currently permitted.
+
+        Returns the matching permission on success; raises
+        :class:`~repro.errors.RightsDenied` otherwise.  Does **not**
+        consume a use — call :meth:`record_use` after the action
+        actually succeeds, so failed renders don't burn plays.
+        """
+        permission = rights.permission_for(action)
+        if permission is None:
+            raise RightsDenied(action, "action not granted by licence")
+        for constraint in permission.constraints:
+            self._check_constraint(constraint, licence_id, action, context)
+        return permission
+
+    def record_use(self, licence_id: bytes, action: str) -> int:
+        """Record one successful exercise; returns the new total."""
+        return self.usage.record(licence_id, action)
+
+    def remaining_uses(
+        self, rights: Rights, licence_id: bytes, action: str
+    ) -> int | None:
+        """Uses left under a count constraint, or ``None`` if unlimited."""
+        permission = rights.permission_for(action)
+        if permission is None:
+            return 0
+        maximum = permission.max_count()
+        if maximum is None:
+            return None
+        return max(0, maximum - self.usage.uses(licence_id, action))
+
+    # ------------------------------------------------------------------
+
+    def _check_constraint(
+        self,
+        constraint,
+        licence_id: bytes,
+        action: str,
+        context: EvaluationContext,
+    ) -> None:
+        if isinstance(constraint, CountConstraint):
+            used = self.usage.uses(licence_id, action)
+            if used >= constraint.max_uses:
+                raise RightsDenied(
+                    action,
+                    f"use count exhausted ({used}/{constraint.max_uses})",
+                )
+        elif isinstance(constraint, IntervalConstraint):
+            if constraint.not_before is not None and context.now < constraint.not_before:
+                raise RightsDenied(
+                    action,
+                    f"not valid before t={constraint.not_before} (now t={context.now})",
+                )
+            if constraint.not_after is not None and context.now > constraint.not_after:
+                raise RightsDenied(
+                    action,
+                    f"expired at t={constraint.not_after} (now t={context.now})",
+                )
+        elif isinstance(constraint, DeviceConstraint):
+            if context.device_id not in constraint.device_ids:
+                raise RightsDenied(
+                    action,
+                    f"device {context.device_id or '<unset>'} not among "
+                    f"{len(constraint.device_ids)} bound device(s)",
+                )
+        elif isinstance(constraint, RegionConstraint):
+            if context.region not in constraint.regions:
+                raise RightsDenied(
+                    action,
+                    f"region {context.region or '<unset>'} not among "
+                    f"{sorted(constraint.regions)}",
+                )
+        else:  # pragma: no cover - model guarantees exhaustiveness
+            raise RightsDenied(action, f"unknown constraint {constraint!r}")

@@ -1,0 +1,240 @@
+"""REL data model: rights, permissions, constraints.
+
+A :class:`Rights` value is an immutable set of :class:`Permission`
+grants; each permission names one action and zero or more constraints,
+all of which must hold for the action to be authorized.  Everything
+here is a frozen dataclass with a canonical dict form, so rights can be
+hashed, compared, embedded in licences and covered by signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import RightsParseError
+
+#: Actions known to the language, in canonical order.
+ACTIONS: tuple[str, ...] = (
+    "play",
+    "display",
+    "print",
+    "copy",
+    "transfer",
+    "export",
+    "burn",
+)
+
+#: Actions that consume the licence when exercised (transfer semantics).
+CONSUMING_ACTIONS: frozenset[str] = frozenset({"transfer", "burn"})
+
+
+@dataclass(frozen=True)
+class CountConstraint:
+    """At most ``max_uses`` exercises of the action, ever."""
+
+    max_uses: int
+
+    def __post_init__(self) -> None:
+        if self.max_uses < 1:
+            raise RightsParseError("count constraint must allow at least one use")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "count", "max": self.max_uses}
+
+
+@dataclass(frozen=True)
+class IntervalConstraint:
+    """Action valid only within ``[not_before, not_after]`` (epoch seconds).
+
+    Either bound may be ``None`` (open-ended).
+    """
+
+    not_before: int | None = None
+    not_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.not_before is None and self.not_after is None:
+            raise RightsParseError("interval constraint needs at least one bound")
+        if (
+            self.not_before is not None
+            and self.not_after is not None
+            and self.not_before > self.not_after
+        ):
+            raise RightsParseError("interval constraint is empty")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "interval", "after": self.not_before, "before": self.not_after}
+
+
+@dataclass(frozen=True)
+class DeviceConstraint:
+    """Action allowed only on the listed device identifiers (hex fingerprints)."""
+
+    device_ids: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.device_ids:
+            raise RightsParseError("device constraint must list at least one device")
+        for device_id in self.device_ids:
+            if not device_id or any(c not in "0123456789abcdef" for c in device_id):
+                raise RightsParseError(
+                    f"device id must be lowercase hex, got {device_id!r}"
+                )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "device", "ids": sorted(self.device_ids)}
+
+
+@dataclass(frozen=True)
+class RegionConstraint:
+    """Action allowed only in the listed region codes (e.g. ``eu``, ``us``)."""
+
+    regions: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise RightsParseError("region constraint must list at least one region")
+        for region in self.regions:
+            if not region.isalpha() or not region.islower() or len(region) > 8:
+                raise RightsParseError(f"invalid region code {region!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "region", "codes": sorted(self.regions)}
+
+
+Constraint = CountConstraint | IntervalConstraint | DeviceConstraint | RegionConstraint
+
+# Canonical ordering of constraint types within a permission.
+_CONSTRAINT_ORDER = {"count": 0, "interval": 1, "device": 2, "region": 3}
+
+
+def constraint_from_dict(data: dict[str, Any]) -> Constraint:
+    """Rebuild a constraint from its dict form."""
+    kind = data.get("type")
+    if kind == "count":
+        return CountConstraint(max_uses=int(data["max"]))
+    if kind == "interval":
+        after = data.get("after")
+        before = data.get("before")
+        return IntervalConstraint(
+            not_before=None if after is None else int(after),
+            not_after=None if before is None else int(before),
+        )
+    if kind == "device":
+        return DeviceConstraint(device_ids=frozenset(data["ids"]))
+    if kind == "region":
+        return RegionConstraint(regions=frozenset(data["codes"]))
+    raise RightsParseError(f"unknown constraint type {kind!r}")
+
+
+@dataclass(frozen=True)
+class Permission:
+    """One granted action with its conjunction of constraints."""
+
+    action: str
+    constraints: tuple[Constraint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise RightsParseError(f"unknown action {self.action!r}")
+        seen_types = set()
+        for constraint in self.constraints:
+            kind = constraint.as_dict()["type"]
+            if kind in seen_types:
+                raise RightsParseError(
+                    f"duplicate {kind!r} constraint on action {self.action!r}"
+                )
+            seen_types.add(kind)
+        # Freeze a canonical constraint order so equal permissions compare equal.
+        ordered = tuple(
+            sorted(self.constraints, key=lambda c: _CONSTRAINT_ORDER[c.as_dict()["type"]])
+        )
+        object.__setattr__(self, "constraints", ordered)
+
+    def max_count(self) -> int | None:
+        """The count bound if present, else ``None`` (unlimited)."""
+        for constraint in self.constraints:
+            if isinstance(constraint, CountConstraint):
+                return constraint.max_uses
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "action": self.action,
+            "constraints": [c.as_dict() for c in self.constraints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Permission":
+        return cls(
+            action=data["action"],
+            constraints=tuple(
+                constraint_from_dict(c) for c in data.get("constraints", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Rights:
+    """An immutable rights expression: the set of granted permissions."""
+
+    permissions: tuple[Permission, ...]
+
+    def __post_init__(self) -> None:
+        if not self.permissions:
+            raise RightsParseError("rights must grant at least one permission")
+        actions = [p.action for p in self.permissions]
+        if len(set(actions)) != len(actions):
+            raise RightsParseError("duplicate action in rights expression")
+        ordered = tuple(
+            sorted(self.permissions, key=lambda p: ACTIONS.index(p.action))
+        )
+        object.__setattr__(self, "permissions", ordered)
+
+    def permission_for(self, action: str) -> Permission | None:
+        """The permission granting ``action``, or ``None``."""
+        for permission in self.permissions:
+            if permission.action == action:
+                return permission
+        return None
+
+    @property
+    def transferable(self) -> bool:
+        """Whether the paper's transfer protocol applies to this licence."""
+        return self.permission_for("transfer") is not None
+
+    def without_action(self, action: str) -> "Rights":
+        """A copy with ``action`` removed (used when rights are restricted
+        on transfer, e.g. the anonymous licence drops ``transfer`` itself)."""
+        remaining = tuple(p for p in self.permissions if p.action != action)
+        if not remaining:
+            raise RightsParseError("cannot remove the last permission")
+        return Rights(permissions=remaining)
+
+    def restricted_to(self, actions: Iterable[str]) -> "Rights":
+        """A copy keeping only the listed actions (monotone restriction)."""
+        wanted = set(actions)
+        remaining = tuple(p for p in self.permissions if p.action in wanted)
+        if not remaining:
+            raise RightsParseError("restriction removes every permission")
+        return Rights(permissions=remaining)
+
+    def is_subset_of(self, other: "Rights") -> bool:
+        """True when every grant here also appears (identically) in ``other``.
+
+        Used to check that a redeemed licence never *widens* the rights
+        of the anonymous licence it came from.
+        """
+        return all(
+            other.permission_for(p.action) == p for p in self.permissions
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"permissions": [p.as_dict() for p in self.permissions]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Rights":
+        return cls(
+            permissions=tuple(Permission.from_dict(p) for p in data["permissions"])
+        )

@@ -1,0 +1,133 @@
+"""Compact text grammar for rights expressions.
+
+Grammar (whitespace-insensitive)::
+
+    rights      := permission ( ";" permission )*
+    permission  := ACTION [ "[" constraint ( "," constraint )* "]" ]
+    constraint  := "count" "<=" INT
+                 | "after"  "=" TIME
+                 | "before" "=" TIME
+                 | "device" "=" HEXID ( "|" HEXID )*
+                 | "region" "=" CODE ( "|" CODE )*
+    TIME        := ISO-8601 "YYYY-MM-DDTHH:MM:SSZ" | epoch seconds
+
+Examples::
+
+    play
+    play[count<=10]; transfer[count<=1]
+    play[after=2004-06-01T00:00:00Z, before=2005-06-01T00:00:00Z]
+    copy[device=ab12|cd34]; play[region=eu|us]
+
+``after``/``before`` on one action merge into a single interval
+constraint.  The parser is the only place the text form is interpreted;
+everything downstream works on the :class:`~repro.rel.model.Rights`
+value.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timezone
+
+from ..errors import RightsParseError
+from .model import (
+    ACTIONS,
+    Constraint,
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+)
+
+_ISO_RE = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$")
+
+
+def parse_timestamp(text: str) -> int:
+    """Parse ``TIME`` (ISO-8601 Zulu or epoch seconds) to epoch seconds."""
+    text = text.strip()
+    if _ISO_RE.match(text):
+        moment = datetime.strptime(text, "%Y-%m-%dT%H:%M:%SZ")
+        return int(moment.replace(tzinfo=timezone.utc).timestamp())
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    raise RightsParseError(f"invalid timestamp {text!r}")
+
+
+def format_timestamp(epoch: int) -> str:
+    """Render epoch seconds as the grammar's ISO-8601 form."""
+    moment = datetime.fromtimestamp(epoch, tz=timezone.utc)
+    return moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _parse_constraints(body: str, action: str) -> tuple[Constraint, ...]:
+    constraints: list[Constraint] = []
+    not_before: int | None = None
+    not_after: int | None = None
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            raise RightsParseError(f"empty constraint on {action!r}")
+        if part.startswith("count"):
+            match = re.fullmatch(r"count\s*<=\s*(\d+)", part)
+            if not match:
+                raise RightsParseError(f"malformed count constraint {part!r}")
+            constraints.append(CountConstraint(max_uses=int(match.group(1))))
+        elif part.startswith("after"):
+            match = re.fullmatch(r"after\s*=\s*(\S+)", part)
+            if not match:
+                raise RightsParseError(f"malformed after constraint {part!r}")
+            if not_before is not None:
+                raise RightsParseError(f"duplicate 'after' on {action!r}")
+            not_before = parse_timestamp(match.group(1))
+        elif part.startswith("before"):
+            match = re.fullmatch(r"before\s*=\s*(\S+)", part)
+            if not match:
+                raise RightsParseError(f"malformed before constraint {part!r}")
+            if not_after is not None:
+                raise RightsParseError(f"duplicate 'before' on {action!r}")
+            not_after = parse_timestamp(match.group(1))
+        elif part.startswith("device"):
+            match = re.fullmatch(r"device\s*=\s*([0-9a-f|]+)", part)
+            if not match:
+                raise RightsParseError(f"malformed device constraint {part!r}")
+            ids = frozenset(x for x in match.group(1).split("|") if x)
+            constraints.append(DeviceConstraint(device_ids=ids))
+        elif part.startswith("region"):
+            match = re.fullmatch(r"region\s*=\s*([a-z|]+)", part)
+            if not match:
+                raise RightsParseError(f"malformed region constraint {part!r}")
+            codes = frozenset(x for x in match.group(1).split("|") if x)
+            constraints.append(RegionConstraint(regions=codes))
+        else:
+            raise RightsParseError(f"unknown constraint {part!r} on {action!r}")
+    if not_before is not None or not_after is not None:
+        constraints.append(
+            IntervalConstraint(not_before=not_before, not_after=not_after)
+        )
+    return tuple(constraints)
+
+
+def parse_rights(text: str) -> Rights:
+    """Parse the compact grammar into a :class:`~repro.rel.model.Rights`.
+
+    Raises :class:`~repro.errors.RightsParseError` with a pointed
+    message on any malformed input.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise RightsParseError("empty rights expression")
+    permissions: list[Permission] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            raise RightsParseError("empty permission clause")
+        match = re.fullmatch(r"([a-z]+)\s*(?:\[(.*)\])?", clause, re.DOTALL)
+        if not match:
+            raise RightsParseError(f"malformed permission clause {clause!r}")
+        action, body = match.group(1), match.group(2)
+        if action not in ACTIONS:
+            raise RightsParseError(f"unknown action {action!r}")
+        constraints = _parse_constraints(body, action) if body is not None else ()
+        permissions.append(Permission(action=action, constraints=constraints))
+    return Rights(permissions=tuple(permissions))

@@ -1,0 +1,70 @@
+"""Canonical and human-readable serialization of rights expressions.
+
+:func:`rights_to_bytes` is the form covered by licence signatures —
+it round-trips through :mod:`repro.codec`, so a rights expression has
+exactly one byte representation.  :func:`rights_to_text` renders the
+parser grammar back out (``parse_rights(rights_to_text(r)) == r``),
+which devices use to *display* rights to users.
+"""
+
+from __future__ import annotations
+
+from .. import codec
+from ..errors import RightsParseError
+from .model import (
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+)
+from .parser import format_timestamp
+
+
+def rights_to_bytes(rights: Rights) -> bytes:
+    """Canonical byte encoding (the signed form)."""
+    return codec.encode(rights.as_dict())
+
+
+def rights_from_bytes(data: bytes) -> Rights:
+    """Decode :func:`rights_to_bytes` output.
+
+    Raises :class:`~repro.errors.RightsParseError` when the bytes are
+    valid codec but not a valid rights expression.
+    """
+    decoded = codec.decode(data)
+    if not isinstance(decoded, dict):
+        raise RightsParseError("rights encoding must be a dict")
+    return Rights.from_dict(decoded)
+
+
+def _constraint_to_text(constraint) -> list[str]:
+    if isinstance(constraint, CountConstraint):
+        return [f"count<={constraint.max_uses}"]
+    if isinstance(constraint, IntervalConstraint):
+        parts = []
+        if constraint.not_before is not None:
+            parts.append(f"after={format_timestamp(constraint.not_before)}")
+        if constraint.not_after is not None:
+            parts.append(f"before={format_timestamp(constraint.not_after)}")
+        return parts
+    if isinstance(constraint, DeviceConstraint):
+        return [f"device={'|'.join(sorted(constraint.device_ids))}"]
+    if isinstance(constraint, RegionConstraint):
+        return [f"region={'|'.join(sorted(constraint.regions))}"]
+    raise RightsParseError(f"unknown constraint {constraint!r}")
+
+
+def _permission_to_text(permission: Permission) -> str:
+    if not permission.constraints:
+        return permission.action
+    parts: list[str] = []
+    for constraint in permission.constraints:
+        parts.extend(_constraint_to_text(constraint))
+    return f"{permission.action}[{', '.join(parts)}]"
+
+
+def rights_to_text(rights: Rights) -> str:
+    """Render the parser grammar (lossless round-trip)."""
+    return "; ".join(_permission_to_text(p) for p in rights.permissions)

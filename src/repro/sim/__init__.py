@@ -1,0 +1,24 @@
+"""Marketplace simulation: synthetic users for the privacy experiments.
+
+The paper has no user study and we have no production traces (none
+exist for a system nobody deployed); the simulator supplies the
+missing workload per the substitution rule in DESIGN.md §2.  It
+generates a content marketplace with Zipf-popular items, Poisson user
+arrivals and a configurable buy/play/transfer mix, runs it against
+either the P2DRM or the baseline deployment, and — crucially for the
+attack experiments — records the **ground truth** (pseudonym → user)
+that the adversary is later scored against.
+
+- :mod:`repro.sim.workload` — distributions and action streams;
+- :mod:`repro.sim.marketplace` — the simulation driver and report.
+"""
+
+from .workload import WorkloadConfig, WorkloadGenerator
+from .marketplace import MarketplaceSimulator, SimulationReport
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "MarketplaceSimulator",
+    "SimulationReport",
+]

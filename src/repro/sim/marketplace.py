@@ -1,0 +1,273 @@
+"""The marketplace simulation driver.
+
+Runs one workload against a full deployment in either mode:
+
+- ``mode="p2drm"`` — the paper's system: anonymous purchases under
+  fresh blind-certified pseudonyms, transfers via anonymous licences;
+- ``mode="baseline"`` — identity-based DRM: named accounts, ledger
+  payments, named transfers.
+
+Both modes execute the *same* event stream (same seed → same users,
+contents, actions, timing), so the providers' resulting records differ
+only by the privacy layer — which is the comparison experiments E8 and
+E10 report.  The simulator additionally keeps the **ground truth** map
+(pseudonym fingerprint → card id) that only an omniscient observer
+has; attackers are scored against it, never given it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baseline.identity_drm import (
+    BaselineProvider,
+    BaselineUser,
+    baseline_purchase,
+    baseline_transfer,
+)
+from ..clock import SimClock
+from ..core.identity import SmartCard
+from ..core.system import Deployment, build_deployment
+from ..errors import ReproError
+from .workload import (
+    ACTION_BUY,
+    ACTION_PLAY,
+    ACTION_TRANSFER,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+MODE_P2DRM = "p2drm"
+MODE_BASELINE = "baseline"
+
+
+@dataclass
+class SimulationReport:
+    """What one run produced and what the operator ended up knowing."""
+
+    mode: str
+    config: WorkloadConfig
+    purchases: int = 0
+    plays: int = 0
+    transfers: int = 0
+    denials: int = 0
+    skipped: int = 0
+    sim_seconds: int = 0
+    ground_truth: dict[bytes, bytes] = field(default_factory=dict)
+    user_of_card: dict[bytes, str] = field(default_factory=dict)
+    operator_knowledge: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        return {
+            "mode": self.mode,
+            "events": self.purchases + self.plays + self.transfers,
+            "purchases": self.purchases,
+            "plays": self.plays,
+            "transfers": self.transfers,
+            "denials": self.denials,
+            "skipped": self.skipped,
+            "sim_seconds": self.sim_seconds,
+            **{f"operator_{k}": v for k, v in self.operator_knowledge.items()},
+        }
+
+
+class MarketplaceSimulator:
+    """Drive one workload against one deployment mode."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        *,
+        mode: str = MODE_P2DRM,
+        rsa_bits: int = 768,
+        group_name: str = "test-512",
+    ):
+        if mode not in (MODE_P2DRM, MODE_BASELINE):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.config = config
+        self.mode = mode
+        self.workload = WorkloadGenerator(config)
+        self.deployment: Deployment = build_deployment(
+            seed=f"marketplace-{config.seed}",
+            rsa_bits=rsa_bits,
+            group_name=group_name,
+        )
+        self._content_ids = [f"content-{i:04d}" for i in range(config.n_contents)]
+        self._publish_catalog()
+        if mode == MODE_P2DRM:
+            self.provider = self.deployment.provider
+            self._setup_p2drm_users()
+        else:
+            self.provider = BaselineProvider(
+                rng=self.deployment.rng.fork("baseline-provider"),
+                clock=self.deployment.clock,
+                bank=self.deployment.bank,
+                license_key_bits=rsa_bits,
+            )
+            self._publish_catalog(self.provider)
+            self._setup_baseline_users()
+        self.device = self._make_device()
+
+    # -- setup ------------------------------------------------------------
+
+    def _publish_catalog(self, provider=None) -> None:
+        target = provider or self.deployment.provider
+        for index, content_id in enumerate(self._content_ids):
+            target.publish(
+                content_id,
+                f"media-{index}".encode() * 8,
+                title=f"Title {index}",
+                price=self.workload.pick_price() if provider is None else
+                self.deployment.provider.price(content_id),
+            )
+
+    def _setup_p2drm_users(self) -> None:
+        self._users: dict[int, object] = {}
+        for index in range(self.config.n_users):
+            user = self.deployment.add_user(f"user-{index:03d}", balance=10_000)
+            self._users[index] = user
+
+    def _setup_baseline_users(self) -> None:
+        self._users = {}
+        for index in range(self.config.n_users):
+            user_id = f"user-{index:03d}"
+            card = SmartCard(
+                self.deployment.rng.fork(f"bl-card-{index}").random_bytes(16),
+                self.deployment.group,
+                rng=self.deployment.rng.fork(f"bl-card-rng-{index}"),
+                authority_key=self.deployment.authority.public_key,
+            )
+            user = BaselineUser(user_id, card)
+            self.provider.register_user(user)
+            self.deployment.bank.open_account(user.bank_account, initial_balance=10_000)
+            self._users[index] = user
+
+    def _make_device(self):
+        deployment = self.deployment
+        now = deployment.clock.now()
+        certificate = deployment.authority.certify_device(
+            deployment.rng.random_bytes(8).hex(),
+            model="sim-player",
+            capabilities=("play", "display"),
+            not_before=now,
+            not_after=now + 10 * 365 * 24 * 3600,
+        )
+        from ..core.actors.device import CompliantDevice
+
+        device = CompliantDevice(
+            certificate,
+            clock=deployment.clock,
+            provider_license_key=self.provider.license_key,
+        )
+        device.sync_revocations(self.provider)
+        return device
+
+    # -- event execution -----------------------------------------------------
+
+    def run(self) -> SimulationReport:
+        """Execute the configured number of events; returns the report."""
+        report = SimulationReport(mode=self.mode, config=self.config)
+        start = self.deployment.clock.now()
+        for _ in range(self.config.n_events):
+            self.deployment.clock.advance(self.workload.next_gap())
+            self._run_prefetches()
+            action = self.workload.pick_action()
+            user_index = self.workload.pick_user()
+            try:
+                if action == ACTION_BUY:
+                    self._do_buy(user_index, report)
+                elif action == ACTION_PLAY:
+                    self._do_play(user_index, report)
+                else:
+                    self._do_transfer(user_index, report)
+            except ReproError:
+                report.denials += 1
+        report.sim_seconds = self.deployment.clock.now() - start
+        report.operator_knowledge = self._operator_knowledge()
+        return report
+
+    def _run_prefetches(self) -> None:
+        """Certificate cover traffic: random users stock up credentials
+        ahead of need.  Decoupling certification time from use time is
+        the defence against the issuer–provider timing join — the
+        ``prefetch_rate`` knob is what experiment E7 sweeps."""
+        if self.mode != MODE_P2DRM:
+            return
+        for _ in range(self.workload.pick_prefetch_count()):
+            user = self._users[self.workload.pick_user()]
+            user.prepare_certificate(self.deployment.issuer)
+
+    def _do_buy(self, user_index: int, report: SimulationReport) -> None:
+        content_id = self._content_ids[self.workload.pick_content()]
+        user = self._users[user_index]
+        if self.mode == MODE_P2DRM:
+            license_ = user.buy(
+                content_id,
+                provider=self.provider,
+                issuer=self.deployment.issuer,
+                bank=self.deployment.bank,
+            )
+            report.ground_truth[license_.holder_fingerprint] = user.card.card_id
+            report.user_of_card[user.card.card_id] = user.user_id
+        else:
+            baseline_purchase(
+                user, self.provider, content_id, clock=self.deployment.clock
+            )
+        report.purchases += 1
+
+    def _do_play(self, user_index: int, report: SimulationReport) -> None:
+        user = self._users[user_index]
+        owned = list(user.licenses.values())
+        if not owned:
+            report.skipped += 1
+            return
+        license_ = owned[int(self.workload.pick_content()) % len(owned)]
+        package = self.provider.download(license_.content_id)
+        self.device.render(license_, package, user.card, action="play")
+        report.plays += 1
+
+    def _do_transfer(self, user_index: int, report: SimulationReport) -> None:
+        sender = self._users[user_index]
+        transferable = [
+            l for l in sender.licenses.values() if l.rights.transferable
+        ]
+        if not transferable or self.config.n_users < 2:
+            report.skipped += 1
+            return
+        license_ = transferable[0]
+        receiver_index = self.workload.pick_other_user(user_index)
+        receiver = self._users[receiver_index]
+        if self.mode == MODE_P2DRM:
+            anonymous = sender.transfer_out(
+                license_.license_id, provider=self.provider
+            )
+            new_license = receiver.redeem(
+                anonymous, provider=self.provider, issuer=self.deployment.issuer
+            )
+            report.ground_truth[new_license.holder_fingerprint] = (
+                receiver.card.card_id
+            )
+            report.user_of_card[receiver.card.card_id] = receiver.user_id
+        else:
+            baseline_transfer(
+                sender,
+                receiver,
+                self.provider,
+                license_.license_id,
+                clock=self.deployment.clock,
+            )
+        report.transfers += 1
+
+    # -- what the operator knows at the end ---------------------------------------
+
+    def _operator_knowledge(self) -> dict:
+        from ..baseline.tracking import ProfileBuilder
+
+        tracking = ProfileBuilder(self.provider).build().summary()
+        if self.mode == MODE_P2DRM:
+            from ..analysis.linkability import build_transaction_graph
+
+            tracking.update(
+                {"graph_" + k: v for k, v in build_transaction_graph(self.provider).stats().items()}
+            )
+        return tracking

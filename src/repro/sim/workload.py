@@ -1,0 +1,116 @@
+"""Workload distributions: who does what, when, to which content.
+
+Choices follow the standard content-market stylized facts:
+
+- content popularity is **Zipf** (rank-``r`` item drawn with
+  probability ∝ ``1/r^s``, default ``s = 1.2``) — a few hits, a long
+  tail;
+- event arrivals are **Poisson** (exponential inter-arrival times),
+  so traffic density is a single tunable ``mean_interarrival`` — the
+  knob experiments E7/E8 sweep, because anonymity under timing attack
+  *is* traffic density;
+- users are drawn uniformly; the action mix (buy/play/transfer) is a
+  weighted choice.
+
+All randomness comes from one numpy ``Generator`` seeded from the
+config, independent of the crypto RNG — reshaping the workload never
+perturbs key material and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ACTION_BUY = "buy"
+ACTION_PLAY = "play"
+ACTION_TRANSFER = "transfer"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for one simulated marketplace run."""
+
+    n_users: int = 20
+    n_contents: int = 30
+    n_events: int = 200
+    zipf_s: float = 1.2
+    mean_interarrival: float = 60.0      # seconds between events
+    action_weights: dict = field(
+        default_factory=lambda: {ACTION_BUY: 0.45, ACTION_PLAY: 0.40, ACTION_TRANSFER: 0.15}
+    )
+    min_price: int = 1
+    max_price: int = 8
+    #: Expected number of certificate pre-fetches per marketplace event
+    #: (Poisson).  0 = every certificate is obtained at transaction
+    #: time, the worst case for the timing attack of experiment E7;
+    #: higher rates decouple certification time from use time and mix
+    #: users' certifications together.
+    prefetch_rate: float = 0.0
+    seed: int = 2004
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.n_contents < 1 or self.n_events < 0:
+            raise ValueError("population sizes must be positive")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if not self.action_weights or min(self.action_weights.values()) < 0:
+            raise ValueError("action weights must be non-negative")
+        if self.min_price < 1 or self.max_price < self.min_price:
+            raise ValueError("invalid price range")
+
+
+class WorkloadGenerator:
+    """Samples users, contents, actions and inter-arrival gaps."""
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        self._rng = np.random.Generator(np.random.PCG64(config.seed))
+        ranks = np.arange(1, config.n_contents + 1, dtype=float)
+        weights = 1.0 / np.power(ranks, config.zipf_s)
+        self._content_probs = weights / weights.sum()
+        actions = sorted(config.action_weights)
+        action_weights = np.array(
+            [config.action_weights[a] for a in actions], dtype=float
+        )
+        self._actions = actions
+        self._action_probs = action_weights / action_weights.sum()
+
+    def next_gap(self) -> int:
+        """Next exponential inter-arrival gap, at least 1 second."""
+        return max(1, int(round(self._rng.exponential(self.config.mean_interarrival))))
+
+    def pick_user(self) -> int:
+        return int(self._rng.integers(0, self.config.n_users))
+
+    def pick_other_user(self, not_this: int) -> int:
+        """A counterparty for transfers (uniform among the rest)."""
+        if self.config.n_users < 2:
+            raise ValueError("need at least two users for a transfer")
+        while True:
+            other = self.pick_user()
+            if other != not_this:
+                return other
+
+    def pick_content(self) -> int:
+        """Zipf-popular content rank (0-based index)."""
+        return int(self._rng.choice(self.config.n_contents, p=self._content_probs))
+
+    def pick_action(self) -> str:
+        return str(self._rng.choice(self._actions, p=self._action_probs))
+
+    def pick_price(self) -> int:
+        return int(
+            self._rng.integers(self.config.min_price, self.config.max_price + 1)
+        )
+
+    def pick_prefetch_count(self) -> int:
+        """How many users pre-fetch a certificate before this event."""
+        if self.config.prefetch_rate <= 0:
+            return 0
+        return int(self._rng.poisson(self.config.prefetch_rate))
+
+    def content_popularity(self) -> np.ndarray:
+        """The Zipf pmf over content ranks (diagnostics/plots)."""
+        return self._content_probs.copy()

@@ -1,0 +1,53 @@
+"""Storage substrate: the databases behind every P2DRM party.
+
+The paper's protocols quietly assume several server-side stores — a
+spent-token store ("the CP checks the anonymous licence was not
+redeemed before"), a licence revocation list "distributed to devices",
+a licence register, the TTP's enrolment registry — without specifying
+them.  This package supplies them on sqlite3 (durable file or
+in-memory), plus the data structures the distribution story needs:
+
+- :mod:`repro.storage.engine` — connection, migrations, transactions;
+- :mod:`repro.storage.spent_tokens` — exactly-once redemption/spend;
+- :mod:`repro.storage.revocation` — versioned LRL with signed
+  Merkle-root snapshots and delta sync;
+- :mod:`repro.storage.licenses` — the provider's licence register;
+- :mod:`repro.storage.accounts` — the TTP's enrolment registry
+  (identity-tag ↔ user map used by escrow opening);
+- :mod:`repro.storage.contents` — catalog + encrypted packages;
+- :mod:`repro.storage.audit` — hash-chained append-only audit log;
+- :mod:`repro.storage.usage` — device-side persisted usage counters;
+- :mod:`repro.storage.bloom` — Bloom filter (device LRL pre-check);
+- :mod:`repro.storage.merkle` — Merkle trees with inclusion and
+  sorted-adjacency *non*-inclusion proofs.
+"""
+
+from .engine import Database
+from .bloom import BloomFilter
+from .merkle import MerkleTree
+from .spent_tokens import SpentTokenStore, SpentRecord
+from .revocation import RevocationList, SignedSnapshot
+from .licenses import LicenseStore, LicenseRecord
+from .accounts import AccountStore, AccountRecord
+from .contents import ContentStore, CatalogEntry
+from .audit import AuditLog, AuditEntry
+from .usage import UsageStore
+
+__all__ = [
+    "Database",
+    "BloomFilter",
+    "MerkleTree",
+    "SpentTokenStore",
+    "SpentRecord",
+    "RevocationList",
+    "SignedSnapshot",
+    "LicenseStore",
+    "LicenseRecord",
+    "AccountStore",
+    "AccountRecord",
+    "ContentStore",
+    "CatalogEntry",
+    "AuditLog",
+    "AuditEntry",
+    "UsageStore",
+]

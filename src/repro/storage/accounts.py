@@ -1,0 +1,124 @@
+"""The TTP's enrolment registry.
+
+The smart card issuer is the only party that may ever map protocol
+artefacts back to people, and only through the escrow-opening protocol.
+This store holds that mapping: each enrolled user's identity tag (the
+group element their smart card embeds in escrows) keyed both ways.
+
+The registry also records card status so a de-anonymized cheater's
+card can be blocked from future certification (the paper's sanction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .engine import Database
+
+STATUS_ACTIVE = "active"
+STATUS_BLOCKED = "blocked"
+
+_MIGRATION = [
+    """
+    CREATE TABLE accounts (
+        user_id     TEXT    PRIMARY KEY,
+        card_id     BLOB    NOT NULL UNIQUE,
+        identity_tag BLOB   NOT NULL UNIQUE,
+        enrolled_at INTEGER NOT NULL,
+        status      TEXT    NOT NULL,
+        display_name TEXT   NOT NULL
+    )
+    """,
+]
+
+
+@dataclass(frozen=True)
+class AccountRecord:
+    user_id: str
+    card_id: bytes
+    identity_tag: bytes
+    enrolled_at: int
+    status: str
+    display_name: str
+
+
+class AccountStore:
+    """Enrolled users, addressable by user id, card id or identity tag."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("accounts_v1", _MIGRATION)
+
+    def enrol(
+        self,
+        user_id: str,
+        *,
+        card_id: bytes,
+        identity_tag: bytes,
+        enrolled_at: int,
+        display_name: str = "",
+    ) -> None:
+        with self._db.transaction():
+            if self.get(user_id) is not None:
+                raise StorageError(f"user {user_id!r} already enrolled")
+            self._db.execute(
+                "INSERT INTO accounts(user_id, card_id, identity_tag,"
+                " enrolled_at, status, display_name) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    user_id,
+                    card_id,
+                    identity_tag,
+                    enrolled_at,
+                    STATUS_ACTIVE,
+                    display_name or user_id,
+                ),
+            )
+
+    def get(self, user_id: str) -> AccountRecord | None:
+        row = self._db.query_one(
+            "SELECT user_id, card_id, identity_tag, enrolled_at, status,"
+            " display_name FROM accounts WHERE user_id = ?",
+            (user_id,),
+        )
+        return self._to_record(row) if row else None
+
+    def by_identity_tag(self, identity_tag: bytes) -> AccountRecord | None:
+        """The escrow-opening lookup: tag → enrolled user."""
+        row = self._db.query_one(
+            "SELECT user_id, card_id, identity_tag, enrolled_at, status,"
+            " display_name FROM accounts WHERE identity_tag = ?",
+            (identity_tag,),
+        )
+        return self._to_record(row) if row else None
+
+    def by_card(self, card_id: bytes) -> AccountRecord | None:
+        row = self._db.query_one(
+            "SELECT user_id, card_id, identity_tag, enrolled_at, status,"
+            " display_name FROM accounts WHERE card_id = ?",
+            (card_id,),
+        )
+        return self._to_record(row) if row else None
+
+    def set_status(self, user_id: str, status: str) -> None:
+        if status not in (STATUS_ACTIVE, STATUS_BLOCKED):
+            raise StorageError(f"unknown status {status!r}")
+        cursor = self._db.execute(
+            "UPDATE accounts SET status = ? WHERE user_id = ?", (status, user_id)
+        )
+        if cursor.rowcount != 1:
+            raise StorageError(f"user {user_id!r} not found")
+
+    def count(self) -> int:
+        return self._db.query_value("SELECT COUNT(*) FROM accounts", default=0)
+
+    @staticmethod
+    def _to_record(row: tuple) -> AccountRecord:
+        return AccountRecord(
+            user_id=row[0],
+            card_id=row[1],
+            identity_tag=row[2],
+            enrolled_at=row[3],
+            status=row[4],
+            display_name=row[5],
+        )

@@ -1,0 +1,136 @@
+"""Hash-chained append-only audit log.
+
+Fair-information-practice "openness and accountability" made concrete:
+every privacy-relevant event at the provider and the TTP (licence
+issued, anonymous licence redeemed, escrow opened, ...) is appended
+here, each entry hashing over its predecessor, so after-the-fact
+tampering is detectable by :meth:`AuditLog.verify_chain`.  The escrow-
+opening protocol *requires* a log entry — a TTP that de-anonymizes
+quietly fails its own audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.hashes import sha256
+from ..errors import StoreIntegrityError
+from .engine import Database
+
+_MIGRATION = [
+    """
+    CREATE TABLE audit_log (
+        seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+        at         INTEGER NOT NULL,
+        actor      TEXT    NOT NULL,
+        event      TEXT    NOT NULL,
+        payload    BLOB    NOT NULL,
+        prev_hash  BLOB    NOT NULL,
+        entry_hash BLOB    NOT NULL
+    )
+    """,
+]
+
+_GENESIS = sha256(b"p2drm-audit-genesis")
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    seq: int
+    at: int
+    actor: str
+    event: str
+    payload: dict
+    prev_hash: bytes
+    entry_hash: bytes
+
+
+def _entry_hash(at: int, actor: str, event: str, payload_bytes: bytes, prev: bytes) -> bytes:
+    material = codec.encode(
+        {"at": at, "actor": actor, "event": event, "payload": payload_bytes, "prev": prev}
+    )
+    return sha256(material)
+
+
+class AuditLog:
+    """Append-only, hash-chained event log."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("audit_v1", _MIGRATION)
+
+    def append(self, *, at: int, actor: str, event: str, payload: dict) -> AuditEntry:
+        """Append an event; returns the stored entry with its chain hash."""
+        payload_bytes = codec.encode(payload)
+        with self._db.transaction():
+            prev = self._last_hash()
+            entry_hash = _entry_hash(at, actor, event, payload_bytes, prev)
+            cursor = self._db.execute(
+                "INSERT INTO audit_log(at, actor, event, payload, prev_hash,"
+                " entry_hash) VALUES (?, ?, ?, ?, ?, ?)",
+                (at, actor, event, payload_bytes, prev, entry_hash),
+            )
+            return AuditEntry(
+                seq=cursor.lastrowid,
+                at=at,
+                actor=actor,
+                event=event,
+                payload=payload,
+                prev_hash=prev,
+                entry_hash=entry_hash,
+            )
+
+    def _last_hash(self) -> bytes:
+        row = self._db.query_one(
+            "SELECT entry_hash FROM audit_log ORDER BY seq DESC LIMIT 1"
+        )
+        return row[0] if row else _GENESIS
+
+    def entries(self, *, event: str | None = None) -> list[AuditEntry]:
+        sql = (
+            "SELECT seq, at, actor, event, payload, prev_hash, entry_hash"
+            " FROM audit_log"
+        )
+        params: tuple = ()
+        if event is not None:
+            sql += " WHERE event = ?"
+            params = (event,)
+        sql += " ORDER BY seq"
+        return [
+            AuditEntry(
+                seq=r[0],
+                at=r[1],
+                actor=r[2],
+                event=r[3],
+                payload=codec.decode(r[4]),
+                prev_hash=r[5],
+                entry_hash=r[6],
+            )
+            for r in self._db.query_all(sql, params)
+        ]
+
+    def count(self) -> int:
+        return self._db.query_value("SELECT COUNT(*) FROM audit_log", default=0)
+
+    def verify_chain(self) -> int:
+        """Recompute the whole chain; returns the number of entries.
+
+        Raises :class:`~repro.errors.StoreIntegrityError` at the first
+        entry whose hash or back-link does not check out.
+        """
+        previous = _GENESIS
+        checked = 0
+        for row in self._db.query_all(
+            "SELECT seq, at, actor, event, payload, prev_hash, entry_hash"
+            " FROM audit_log ORDER BY seq"
+        ):
+            seq, at, actor, event, payload_bytes, prev_hash, entry_hash = row
+            if prev_hash != previous:
+                raise StoreIntegrityError(f"audit entry {seq}: broken back-link")
+            expected = _entry_hash(at, actor, event, payload_bytes, prev_hash)
+            if expected != entry_hash:
+                raise StoreIntegrityError(f"audit entry {seq}: hash mismatch")
+            previous = entry_hash
+            checked += 1
+        return checked

@@ -1,0 +1,109 @@
+"""Bloom filter — the device-side revocation pre-check.
+
+Devices must refuse licences on the revocation list, but checking a
+large list on every play is exactly the kind of cost the paper's
+"legacy systems expect different performance" warning is about.  A
+Bloom filter over the revoked licence identifiers answers "definitely
+not revoked" in a few hashes; only the (rare) positive falls through
+to the exact store.  Experiment E5 measures the effect.
+
+Parameters follow the textbook optimum: for capacity ``n`` and target
+false-positive rate ``p``, ``m = -n·ln(p)/ln(2)²`` bits and
+``k = (m/n)·ln(2)`` hash functions.  Hashes are derived from SHA-256
+with an index prefix, so the filter is deterministic and serializable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from ..errors import ParameterError, StorageError
+
+
+class BloomFilter:
+    """Fixed-capacity Bloom filter over byte-string items."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01):
+        if capacity < 1:
+            raise ParameterError("capacity must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ParameterError("fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        bits = math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))
+        self.num_bits = max(8, bits)
+        self.num_hashes = max(1, round((self.num_bits / capacity) * math.log(2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, item: bytes):
+        # Two independent 64-bit hashes combined Kirsch–Mitzenmacher style.
+        digest = hashlib.sha256(b"bloom:" + item).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item`` (idempotent w.r.t. membership)."""
+        for position in self._positions(item):
+            self._bits[position // 8] |= 1 << (position % 8)
+        self.count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._bits[position // 8] & (1 << (position % 8))
+            for position in self._positions(item)
+        )
+
+    def expected_fp_rate(self) -> float:
+        """Predicted false-positive rate at the current fill level."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (diagnostic)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    # -- serialization (devices receive filters with LRL snapshots) --------
+
+    def to_bytes(self) -> bytes:
+        header = (
+            self.capacity.to_bytes(8, "big")
+            + int(self.fp_rate * 1_000_000).to_bytes(4, "big")
+            + self.count.to_bytes(8, "big")
+        )
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        if len(data) < 20:
+            raise StorageError("bloom filter blob too short")
+        capacity = int.from_bytes(data[:8], "big")
+        fp_rate = int.from_bytes(data[8:12], "big") / 1_000_000
+        count = int.from_bytes(data[12:20], "big")
+        filt = cls(capacity=capacity, fp_rate=fp_rate)
+        body = data[20:]
+        if len(body) != len(filt._bits):
+            raise StorageError("bloom filter bit-array size mismatch")
+        filt._bits = bytearray(body)
+        filt.count = count
+        return filt
+
+    @classmethod
+    def build(cls, items: list[bytes], fp_rate: float = 0.01) -> "BloomFilter":
+        """Filter sized for exactly these items (LRL snapshot helper)."""
+        filt = cls(capacity=max(1, len(items)), fp_rate=fp_rate)
+        for item in items:
+            filt.add(item)
+        return filt
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BloomFilter(capacity={self.capacity}, bits={self.num_bits}, "
+            f"hashes={self.num_hashes}, count={self.count})"
+        )

@@ -1,0 +1,167 @@
+"""Catalog and encrypted-content store at the provider.
+
+Content items are packaged once (encrypted under a random content key
+``K_C``, see :mod:`repro.core.content`) and the package is what every
+buyer downloads — identical bytes for everyone, which is itself a
+privacy property (the download reveals *what*, never *who*, and with
+superdistribution not even what was *bought*).  The clear content keys
+live in a separate table that only licence issuance reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError, UnknownContentError
+from .engine import Database
+
+_MIGRATION = [
+    """
+    CREATE TABLE contents (
+        content_id  TEXT    PRIMARY KEY,
+        title       TEXT    NOT NULL,
+        price_cents INTEGER NOT NULL,
+        added_at    INTEGER NOT NULL,
+        package     BLOB    NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE content_keys (
+        content_id  TEXT PRIMARY KEY REFERENCES contents(content_id),
+        content_key BLOB NOT NULL
+    )
+    """,
+]
+
+#: Rights granted when the publisher does not specify a template.
+DEFAULT_RIGHTS_TEMPLATE = "play; display; transfer[count<=1]"
+
+_MIGRATION_V2 = [
+    "ALTER TABLE contents ADD COLUMN rights_template TEXT NOT NULL"
+    f" DEFAULT '{DEFAULT_RIGHTS_TEMPLATE}'",
+]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """What a browsing user sees (no key material)."""
+
+    content_id: str
+    title: str
+    price_cents: int
+    added_at: int
+    package_size: int
+
+
+class ContentStore:
+    """Provider-side catalog, packages and content keys."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("contents_v1", _MIGRATION)
+        db.migrate("contents_v2_rights_template", _MIGRATION_V2)
+
+    def add(
+        self,
+        content_id: str,
+        *,
+        title: str,
+        price_cents: int,
+        added_at: int,
+        package: bytes,
+        content_key: bytes,
+        rights_template: str = DEFAULT_RIGHTS_TEMPLATE,
+    ) -> None:
+        if price_cents < 0:
+            raise StorageError("price must be non-negative")
+        # Fail at publish time, not at first sale, if the template is bad.
+        from ..rel.parser import parse_rights
+
+        parse_rights(rights_template)
+        with self._db.transaction():
+            if self.exists(content_id):
+                raise StorageError(f"content {content_id!r} already in catalog")
+            self._db.execute(
+                "INSERT INTO contents(content_id, title, price_cents, added_at,"
+                " package, rights_template) VALUES (?, ?, ?, ?, ?, ?)",
+                (content_id, title, price_cents, added_at, package, rights_template),
+            )
+            self._db.execute(
+                "INSERT INTO content_keys(content_id, content_key) VALUES (?, ?)",
+                (content_id, content_key),
+            )
+
+    def rights_template(self, content_id: str) -> str:
+        """The rights expression sold with this content."""
+        row = self._db.query_one(
+            "SELECT rights_template FROM contents WHERE content_id = ?",
+            (content_id,),
+        )
+        if row is None:
+            raise UnknownContentError(f"content {content_id!r} not in catalog")
+        return row[0]
+
+    def exists(self, content_id: str) -> bool:
+        return (
+            self._db.query_one(
+                "SELECT 1 FROM contents WHERE content_id = ?", (content_id,)
+            )
+            is not None
+        )
+
+    def entry(self, content_id: str) -> CatalogEntry:
+        row = self._db.query_one(
+            "SELECT content_id, title, price_cents, added_at, LENGTH(package)"
+            " FROM contents WHERE content_id = ?",
+            (content_id,),
+        )
+        if row is None:
+            raise UnknownContentError(f"content {content_id!r} not in catalog")
+        return CatalogEntry(
+            content_id=row[0],
+            title=row[1],
+            price_cents=row[2],
+            added_at=row[3],
+            package_size=row[4],
+        )
+
+    def catalog(self) -> list[CatalogEntry]:
+        rows = self._db.query_all(
+            "SELECT content_id, title, price_cents, added_at, LENGTH(package)"
+            " FROM contents ORDER BY content_id"
+        )
+        return [
+            CatalogEntry(
+                content_id=r[0],
+                title=r[1],
+                price_cents=r[2],
+                added_at=r[3],
+                package_size=r[4],
+            )
+            for r in rows
+        ]
+
+    def package(self, content_id: str) -> bytes:
+        """The encrypted package (what anyone may download)."""
+        row = self._db.query_one(
+            "SELECT package FROM contents WHERE content_id = ?", (content_id,)
+        )
+        if row is None:
+            raise UnknownContentError(f"content {content_id!r} not in catalog")
+        return row[0]
+
+    def content_key(self, content_id: str) -> bytes:
+        """The clear content key — licence-issuance path only."""
+        row = self._db.query_one(
+            "SELECT content_key FROM content_keys WHERE content_id = ?",
+            (content_id,),
+        )
+        if row is None:
+            raise UnknownContentError(f"content {content_id!r} has no key")
+        return row[0]
+
+    def price(self, content_id: str) -> int:
+        return self.entry(content_id).price_cents
+
+    def count(self) -> int:
+        return self._db.query_value("SELECT COUNT(*) FROM contents", default=0)

@@ -1,0 +1,135 @@
+"""sqlite3 engine: connections, migrations, transactions.
+
+Every store in this package holds a :class:`Database` and registers its
+schema through :meth:`Database.migrate`.  Migrations are (name, SQL)
+pairs applied once and recorded in ``_migrations``, so two stores can
+share one database file and a store can be opened repeatedly without
+re-running DDL.  ``path=":memory:"`` gives the fast engine used by
+benchmarks' in-memory sweeps.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import MigrationError, StorageError
+
+
+class Database:
+    """A thin, explicit wrapper over one sqlite3 connection."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._path = path
+        try:
+            # isolation_level=None puts sqlite3 in autocommit mode; all
+            # transaction boundaries are explicit BEGIN/COMMIT below.
+            # (The legacy mode does not wrap DDL, which would make
+            # failed migrations non-atomic.)
+            self._conn = sqlite3.connect(path, isolation_level=None)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open database {path!r}: {exc}") from exc
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        # WAL only applies to file databases; in-memory silently ignores it.
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS _migrations ("
+            " name TEXT PRIMARY KEY,"
+            " applied_at TEXT NOT NULL DEFAULT (datetime('now'))"
+            ")"
+        )
+        self._conn.commit()
+        self._in_transaction = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def migrate(self, name: str, statements: list[str]) -> bool:
+        """Apply a named migration once; returns True if it ran now."""
+        row = self._conn.execute(
+            "SELECT 1 FROM _migrations WHERE name = ?", (name,)
+        ).fetchone()
+        if row:
+            return False
+        self._conn.execute("BEGIN")
+        try:
+            for statement in statements:
+                self._conn.execute(statement)
+            self._conn.execute("INSERT INTO _migrations(name) VALUES (?)", (name,))
+            self._conn.execute("COMMIT")
+        except sqlite3.Error as exc:
+            self._conn.execute("ROLLBACK")
+            raise MigrationError(f"migration {name!r} failed: {exc}") from exc
+        return True
+
+    def applied_migrations(self) -> list[str]:
+        """Names of migrations applied, in application order."""
+        rows = self._conn.execute(
+            "SELECT name FROM _migrations ORDER BY rowid"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """All-or-nothing scope; nested use joins the outer transaction."""
+        if self._in_transaction:
+            yield
+            return
+        self._in_transaction = True
+        self._conn.execute("BEGIN")
+        try:
+            yield
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        finally:
+            self._in_transaction = False
+
+    def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement (autocommits when outside a transaction)."""
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise StorageError(f"sql failed: {exc}") from exc
+
+    def executemany(self, sql: str, rows: list[tuple]) -> None:
+        """Bulk statement (autocommits when outside a transaction)."""
+        try:
+            self._conn.executemany(sql, rows)
+        except sqlite3.Error as exc:
+            raise StorageError(f"sql failed: {exc}") from exc
+
+    def query_one(self, sql: str, params: tuple = ()) -> tuple | None:
+        """First row of a query, or ``None``."""
+        try:
+            return self._conn.execute(sql, params).fetchone()
+        except sqlite3.Error as exc:
+            raise StorageError(f"query failed: {exc}") from exc
+
+    def query_all(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """All rows of a query."""
+        try:
+            return self._conn.execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise StorageError(f"query failed: {exc}") from exc
+
+    def query_value(self, sql: str, params: tuple = (), default: Any = None) -> Any:
+        """First column of the first row, or ``default``."""
+        row = self.query_one(sql, params)
+        return default if row is None else row[0]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Database(path={self._path!r})"

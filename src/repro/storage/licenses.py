@@ -1,0 +1,177 @@
+"""The content provider's licence register.
+
+Every licence the CP ever issues is recorded here with its lifecycle
+status.  Crucially for the privacy analysis, the register holds exactly
+what an honest-but-curious CP would hold: for personalized licences a
+*pseudonym fingerprint* (not an identity), for anonymous licences no
+holder at all.  The baseline identity-bound DRM stores a real account
+id in the same column — experiments E8/E10 diff what the two variants
+can infer from this very table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .engine import Database
+
+STATUS_ACTIVE = "active"
+STATUS_EXCHANGED = "exchanged"  # personalized licence traded for anonymous
+STATUS_REDEEMED = "redeemed"    # anonymous licence turned into personalized
+STATUS_REVOKED = "revoked"
+
+_VALID_STATUS = {STATUS_ACTIVE, STATUS_EXCHANGED, STATUS_REDEEMED, STATUS_REVOKED}
+
+KIND_PERSONAL = "personal"
+KIND_ANONYMOUS = "anonymous"
+KIND_IDENTITY = "identity"  # baseline DRM
+
+_MIGRATION = [
+    """
+    CREATE TABLE licenses (
+        license_id  BLOB    PRIMARY KEY,
+        kind        TEXT    NOT NULL,
+        content_id  TEXT    NOT NULL,
+        holder      BLOB,
+        rights_text TEXT    NOT NULL,
+        issued_at   INTEGER NOT NULL,
+        status      TEXT    NOT NULL,
+        blob        BLOB    NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_licenses_content ON licenses(content_id)",
+    "CREATE INDEX idx_licenses_holder ON licenses(holder)",
+    "CREATE INDEX idx_licenses_issued ON licenses(issued_at)",
+]
+
+
+@dataclass(frozen=True)
+class LicenseRecord:
+    license_id: bytes
+    kind: str
+    content_id: str
+    holder: bytes | None
+    rights_text: str
+    issued_at: int
+    status: str
+    blob: bytes
+
+
+class LicenseStore:
+    """Issued-licence register with lifecycle transitions."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("licenses_v1", _MIGRATION)
+
+    def insert(
+        self,
+        license_id: bytes,
+        *,
+        kind: str,
+        content_id: str,
+        holder: bytes | None,
+        rights_text: str,
+        issued_at: int,
+        blob: bytes,
+    ) -> None:
+        if kind not in (KIND_PERSONAL, KIND_ANONYMOUS, KIND_IDENTITY):
+            raise StorageError(f"unknown licence kind {kind!r}")
+        with self._db.transaction():
+            if self.get(license_id) is not None:
+                raise StorageError(
+                    f"licence {license_id.hex()[:16]} already registered"
+                )
+            self._db.execute(
+                "INSERT INTO licenses(license_id, kind, content_id, holder,"
+                " rights_text, issued_at, status, blob)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    license_id,
+                    kind,
+                    content_id,
+                    holder,
+                    rights_text,
+                    issued_at,
+                    STATUS_ACTIVE,
+                    blob,
+                ),
+            )
+
+    def get(self, license_id: bytes) -> LicenseRecord | None:
+        row = self._db.query_one(
+            "SELECT license_id, kind, content_id, holder, rights_text,"
+            " issued_at, status, blob FROM licenses WHERE license_id = ?",
+            (license_id,),
+        )
+        return self._to_record(row) if row else None
+
+    def set_status(self, license_id: bytes, status: str) -> None:
+        if status not in _VALID_STATUS:
+            raise StorageError(f"unknown status {status!r}")
+        cursor = self._db.execute(
+            "UPDATE licenses SET status = ? WHERE license_id = ?",
+            (status, license_id),
+        )
+        if cursor.rowcount != 1:
+            raise StorageError(f"licence {license_id.hex()[:16]} not found")
+
+    def by_holder(self, holder: bytes) -> list[LicenseRecord]:
+        rows = self._db.query_all(
+            "SELECT license_id, kind, content_id, holder, rights_text,"
+            " issued_at, status, blob FROM licenses WHERE holder = ?"
+            " ORDER BY issued_at",
+            (holder,),
+        )
+        return [self._to_record(r) for r in rows]
+
+    def by_content(self, content_id: str) -> list[LicenseRecord]:
+        rows = self._db.query_all(
+            "SELECT license_id, kind, content_id, holder, rights_text,"
+            " issued_at, status, blob FROM licenses WHERE content_id = ?"
+            " ORDER BY issued_at",
+            (content_id,),
+        )
+        return [self._to_record(r) for r in rows]
+
+    def issued_between(self, start: int, end: int) -> list[LicenseRecord]:
+        rows = self._db.query_all(
+            "SELECT license_id, kind, content_id, holder, rights_text,"
+            " issued_at, status, blob FROM licenses"
+            " WHERE issued_at >= ? AND issued_at < ? ORDER BY issued_at",
+            (start, end),
+        )
+        return [self._to_record(r) for r in rows]
+
+    def count(self, *, kind: str | None = None, status: str | None = None) -> int:
+        sql = "SELECT COUNT(*) FROM licenses WHERE 1=1"
+        params: list = []
+        if kind is not None:
+            sql += " AND kind = ?"
+            params.append(kind)
+        if status is not None:
+            sql += " AND status = ?"
+            params.append(status)
+        return self._db.query_value(sql, tuple(params), default=0)
+
+    def distinct_holders(self) -> int:
+        """How many distinct holder values the register links licences to
+        — the CP's linkage surface (E10 reports this for both variants)."""
+        return self._db.query_value(
+            "SELECT COUNT(DISTINCT holder) FROM licenses WHERE holder IS NOT NULL",
+            default=0,
+        )
+
+    @staticmethod
+    def _to_record(row: tuple) -> LicenseRecord:
+        return LicenseRecord(
+            license_id=row[0],
+            kind=row[1],
+            content_id=row[2],
+            holder=row[3],
+            rights_text=row[4],
+            issued_at=row[5],
+            status=row[6],
+            blob=row[7],
+        )

@@ -1,0 +1,229 @@
+"""Merkle trees over sorted leaves, with inclusion and non-inclusion proofs.
+
+The provider publishes its licence revocation list as a *signed
+snapshot*: one signature over ``(version, merkle_root, count)`` instead
+of one per entry.  Because leaves are kept sorted, the tree supports
+two proof shapes:
+
+- **inclusion** — a licence *is* revoked (audit path to the root);
+- **non-inclusion** — a licence is *not* revoked, shown by the two
+  adjacent leaves that bracket where it would sit (both proven
+  included, adjacency implied by their positions).
+
+Hashing is domain-separated RFC 6962 style: leaf = ``H(0x00 || data)``,
+node = ``H(0x01 || left || right)``; an odd node is promoted unchanged,
+so the tree of ``n`` leaves is unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashes import sha256
+from ..errors import StoreIntegrityError
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Audit path for one leaf: index plus sibling hashes bottom-up."""
+
+    leaf_index: int
+    total_leaves: int
+    path: tuple[bytes, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.leaf_index,
+            "total": self.total_leaves,
+            "path": list(self.path),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InclusionProof":
+        return cls(
+            leaf_index=int(data["index"]),
+            total_leaves=int(data["total"]),
+            path=tuple(bytes(p) for p in data["path"]),
+        )
+
+
+@dataclass(frozen=True)
+class NonInclusionProof:
+    """Sorted-adjacency proof that a value is absent.
+
+    ``left``/``right`` are the bracketing leaves (``None`` at the ends)
+    with their inclusion proofs; verification checks ordering and that
+    the two proofs sit at adjacent indices.
+    """
+
+    left_leaf: bytes | None
+    left_proof: InclusionProof | None
+    right_leaf: bytes | None
+    right_proof: InclusionProof | None
+
+
+class MerkleTree:
+    """Merkle tree over a list of (kept-sorted) byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes]):
+        ordered = sorted(leaves)
+        if any(ordered[i] == ordered[i + 1] for i in range(len(ordered) - 1)):
+            raise StoreIntegrityError("duplicate leaves")
+        self._leaves = ordered
+        self._levels = self._build_levels(ordered)
+
+    @staticmethod
+    def _build_levels(leaves: list[bytes]) -> list[list[bytes]]:
+        if not leaves:
+            return [[sha256(b"empty-tree")]]
+        level = [leaf_hash(leaf) for leaf in leaves]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(node_hash(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])  # odd node promoted
+            level = nxt
+            levels.append(level)
+        return levels
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaves(self) -> list[bytes]:
+        return list(self._leaves)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    # -- inclusion ----------------------------------------------------------
+
+    def prove_inclusion(self, value: bytes) -> InclusionProof:
+        """Audit path for ``value``; raises if it is not a leaf."""
+        index = self._find(value)
+        if index is None:
+            raise StoreIntegrityError("value not in tree")
+        return self._prove_index(index)
+
+    def _prove_index(self, index: int) -> InclusionProof:
+        path: list[bytes] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling = position ^ 1
+            if sibling < len(level):
+                path.append(level[sibling])
+            position //= 2
+        return InclusionProof(
+            leaf_index=index, total_leaves=len(self._leaves), path=tuple(path)
+        )
+
+    def _find(self, value: bytes) -> int | None:
+        # Leaves are sorted: binary search.
+        lo, hi = 0, len(self._leaves)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._leaves[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._leaves) and self._leaves[lo] == value:
+            return lo
+        return None
+
+    # -- non-inclusion --------------------------------------------------------
+
+    def prove_non_inclusion(self, value: bytes) -> NonInclusionProof:
+        """Adjacency proof that ``value`` is not a leaf; raises if it is."""
+        if self._find(value) is not None:
+            raise StoreIntegrityError("value is in the tree")
+        lo, hi = 0, len(self._leaves)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._leaves[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        left_index = lo - 1
+        right_index = lo
+        left_leaf = self._leaves[left_index] if left_index >= 0 else None
+        right_leaf = self._leaves[right_index] if right_index < len(self._leaves) else None
+        return NonInclusionProof(
+            left_leaf=left_leaf,
+            left_proof=self._prove_index(left_index) if left_leaf is not None else None,
+            right_leaf=right_leaf,
+            right_proof=self._prove_index(right_index) if right_leaf is not None else None,
+        )
+
+
+def verify_inclusion(root: bytes, value: bytes, proof: InclusionProof) -> bool:
+    """Check an audit path against ``root``."""
+    if not 0 <= proof.leaf_index < proof.total_leaves:
+        return False
+    current = leaf_hash(value)
+    position = proof.leaf_index
+    level_size = proof.total_leaves
+    path = list(proof.path)
+    while level_size > 1:
+        sibling_index = position ^ 1
+        if sibling_index < level_size:
+            if not path:
+                return False
+            sibling = path.pop(0)
+            if position % 2:
+                current = node_hash(sibling, current)
+            else:
+                current = node_hash(current, sibling)
+        position //= 2
+        level_size = (level_size + 1) // 2
+    return not path and current == root
+
+
+def verify_non_inclusion(
+    root: bytes, total_leaves: int, value: bytes, proof: NonInclusionProof
+) -> bool:
+    """Check a sorted-adjacency absence proof against ``root``.
+
+    For an empty tree (``total_leaves == 0``) both sides must be absent.
+    """
+    if total_leaves == 0:
+        return proof.left_leaf is None and proof.right_leaf is None
+    if proof.left_leaf is None and proof.right_leaf is None:
+        return False
+    left_index = -1
+    if proof.left_leaf is not None:
+        if proof.left_leaf >= value or proof.left_proof is None:
+            return False
+        if proof.left_proof.total_leaves != total_leaves:
+            return False
+        if not verify_inclusion(root, proof.left_leaf, proof.left_proof):
+            return False
+        left_index = proof.left_proof.leaf_index
+    if proof.right_leaf is not None:
+        if proof.right_leaf <= value or proof.right_proof is None:
+            return False
+        if proof.right_proof.total_leaves != total_leaves:
+            return False
+        if not verify_inclusion(root, proof.right_leaf, proof.right_proof):
+            return False
+        right_index = proof.right_proof.leaf_index
+    else:
+        # value would sit after the last leaf.
+        return left_index == total_leaves - 1
+    if proof.left_leaf is None:
+        # value would sit before the first leaf.
+        return right_index == 0
+    return right_index == left_index + 1

@@ -1,0 +1,234 @@
+"""Versioned licence revocation list (LRL) with signed snapshots.
+
+The paper requires that when user A exchanges a personalized licence
+for an anonymous one, A's old licence lands on a revocation list
+"distributed to compliant devices" — otherwise A keeps both.  The
+paper does not say *how* it is distributed; this module supplies the
+mechanism:
+
+- every revocation bumps a monotonically increasing **version**;
+- :meth:`RevocationList.snapshot` emits a :class:`SignedSnapshot` —
+  one provider signature over ``(version, merkle_root, count)``;
+- devices pull :meth:`entries_since` their last version (delta sync),
+  rebuild the Merkle root locally and check it against the signed
+  snapshot, so a tampering distribution channel is caught;
+- a Bloom filter built from the list makes the per-play check cheap
+  (see :mod:`repro.storage.bloom`, experiment E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import codec
+from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from .bloom import BloomFilter
+from .engine import Database
+from .merkle import MerkleTree
+
+_MIGRATION = [
+    """
+    CREATE TABLE revoked_licenses (
+        license_id BLOB    PRIMARY KEY,
+        version    INTEGER NOT NULL,
+        revoked_at INTEGER NOT NULL,
+        reason     TEXT    NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_revoked_version ON revoked_licenses(version)",
+]
+
+
+@dataclass(frozen=True)
+class RevocationEntry:
+    license_id: bytes
+    version: int
+    revoked_at: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class SignedSnapshot:
+    """Provider-signed summary of the LRL at one version."""
+
+    version: int
+    merkle_root: bytes
+    count: int
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return _snapshot_payload(self.version, self.merkle_root, self.count)
+
+    def verify(self, public_key: RsaPublicKey) -> None:
+        """Raises :class:`~repro.errors.InvalidSignature` on mismatch."""
+        public_key.verify_pkcs1(self.signed_payload(), self.signature)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "root": self.merkle_root,
+            "count": self.count,
+            "sig": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignedSnapshot":
+        return cls(
+            version=int(data["version"]),
+            merkle_root=bytes(data["root"]),
+            count=int(data["count"]),
+            signature=bytes(data["sig"]),
+        )
+
+
+def _snapshot_payload(version: int, root: bytes, count: int) -> bytes:
+    return codec.encode({"what": "lrl-snapshot", "version": version, "root": root, "count": count})
+
+
+class RevocationList:
+    """The provider's authoritative LRL."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("revocation_v1", _MIGRATION)
+
+    def revoke(self, license_id: bytes, *, at: int, reason: str) -> int:
+        """Add ``license_id``; returns the new list version.
+
+        Idempotent: re-revoking returns the existing version without a
+        bump.
+        """
+        with self._db.transaction():
+            row = self._db.query_one(
+                "SELECT version FROM revoked_licenses WHERE license_id = ?",
+                (license_id,),
+            )
+            if row is not None:
+                return self.current_version()
+            version = self.current_version() + 1
+            self._db.execute(
+                "INSERT INTO revoked_licenses(license_id, version, revoked_at, reason)"
+                " VALUES (?, ?, ?, ?)",
+                (license_id, version, at, reason),
+            )
+            return version
+
+    def is_revoked(self, license_id: bytes) -> bool:
+        row = self._db.query_one(
+            "SELECT 1 FROM revoked_licenses WHERE license_id = ?", (license_id,)
+        )
+        return row is not None
+
+    def current_version(self) -> int:
+        return self._db.query_value(
+            "SELECT COALESCE(MAX(version), 0) FROM revoked_licenses", default=0
+        )
+
+    def count(self) -> int:
+        return self._db.query_value(
+            "SELECT COUNT(*) FROM revoked_licenses", default=0
+        )
+
+    def all_ids(self) -> list[bytes]:
+        rows = self._db.query_all(
+            "SELECT license_id FROM revoked_licenses ORDER BY license_id"
+        )
+        return [row[0] for row in rows]
+
+    def entries_since(self, version: int) -> list[RevocationEntry]:
+        """Delta for device sync: entries with version > ``version``."""
+        rows = self._db.query_all(
+            "SELECT license_id, version, revoked_at, reason FROM revoked_licenses"
+            " WHERE version > ? ORDER BY version",
+            (version,),
+        )
+        return [
+            RevocationEntry(
+                license_id=r[0], version=r[1], revoked_at=r[2], reason=r[3]
+            )
+            for r in rows
+        ]
+
+    # -- snapshot / distribution ------------------------------------------
+
+    def merkle_tree(self) -> MerkleTree:
+        return MerkleTree(self.all_ids())
+
+    def snapshot(self, signing_key: RsaPrivateKey) -> SignedSnapshot:
+        """Signed summary of the current list state."""
+        version = self.current_version()
+        tree = self.merkle_tree()
+        count = len(tree)
+        payload = _snapshot_payload(version, tree.root, count)
+        return SignedSnapshot(
+            version=version,
+            merkle_root=tree.root,
+            count=count,
+            signature=signing_key.sign_pkcs1(payload),
+        )
+
+    def bloom_filter(self, fp_rate: float = 0.01) -> BloomFilter:
+        """Filter over the current revoked set (shipped with snapshots)."""
+        return BloomFilter.build(self.all_ids(), fp_rate=fp_rate)
+
+
+class DeviceRevocationView:
+    """A compliant device's local, verified copy of the LRL.
+
+    Holds the exact set (for correctness), the Bloom filter (for the
+    fast path) and the last verified snapshot version.  ``check`` is
+    the call on the play path.
+    """
+
+    def __init__(self, provider_public_key: RsaPublicKey, *, fp_rate: float = 0.01):
+        self._provider_key = provider_public_key
+        self._fp_rate = fp_rate
+        self._ids: set[bytes] = set()
+        self._bloom = BloomFilter(capacity=64, fp_rate=fp_rate)
+        self.version = 0
+
+    @property
+    def count(self) -> int:
+        return len(self._ids)
+
+    def apply_sync(
+        self, entries: list[RevocationEntry], snapshot: SignedSnapshot
+    ) -> int:
+        """Ingest a delta plus signed snapshot; returns entries applied.
+
+        Verifies the provider signature and that the local set now
+        matches the signed Merkle root — a lying or lossy channel is
+        detected here (:class:`~repro.errors.StoreIntegrityError`).
+        """
+        from ..errors import StoreIntegrityError
+
+        snapshot.verify(self._provider_key)
+        applied = 0
+        for entry in entries:
+            if entry.license_id not in self._ids:
+                self._ids.add(entry.license_id)
+                applied += 1
+        if len(self._ids) != snapshot.count:
+            raise StoreIntegrityError(
+                f"LRL sync count mismatch: have {len(self._ids)}, "
+                f"snapshot says {snapshot.count}"
+            )
+        local_root = MerkleTree(sorted(self._ids)).root
+        if local_root != snapshot.merkle_root:
+            raise StoreIntegrityError("LRL sync root mismatch")
+        self.version = snapshot.version
+        self._rebuild_bloom()
+        return applied
+
+    def _rebuild_bloom(self) -> None:
+        self._bloom = BloomFilter.build(sorted(self._ids), fp_rate=self._fp_rate)
+
+    def check(self, license_id: bytes) -> bool:
+        """True when ``license_id`` is revoked (Bloom fast path first)."""
+        if license_id not in self._bloom:
+            return False
+        return license_id in self._ids
+
+    def check_exact_only(self, license_id: bytes) -> bool:
+        """Exact-set check, bypassing the Bloom filter (benchmark arm)."""
+        return license_id in self._ids

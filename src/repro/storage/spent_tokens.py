@@ -1,0 +1,130 @@
+"""Spent-token store: the exactly-once gate for bearer instruments.
+
+Two bearer objects circulate in P2DRM — anonymous licences and e-cash
+coins.  Both are trivially copyable bytes, so the *only* thing standing
+between the system and double redemption is this store: a token
+identifier may transition to "spent" exactly once, atomically, and the
+original transcript is retained as evidence for the anonymity
+revocation protocol.
+
+``kind`` namespaces the table so one database can serve several token
+families (coins per denomination, anonymous licence ids) without
+cross-talk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import Database
+
+_MIGRATION = [
+    """
+    CREATE TABLE spent_tokens (
+        kind      TEXT    NOT NULL,
+        token_id  BLOB    NOT NULL,
+        spent_at  INTEGER NOT NULL,
+        transcript BLOB   NOT NULL,
+        PRIMARY KEY (kind, token_id)
+    )
+    """,
+    "CREATE INDEX idx_spent_tokens_at ON spent_tokens(kind, spent_at)",
+]
+
+
+@dataclass(frozen=True)
+class SpentRecord:
+    """What the store remembers about a spend event."""
+
+    kind: str
+    token_id: bytes
+    spent_at: int
+    transcript: bytes
+
+
+class SpentTokenStore:
+    """Exactly-once marking of token identifiers."""
+
+    def __init__(self, db: Database, kind: str):
+        if not kind:
+            raise ValueError("kind must be non-empty")
+        self._db = db
+        self._kind = kind
+        db.migrate("spent_tokens_v1", _MIGRATION)
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def try_spend(
+        self, token_id: bytes, *, at: int, transcript: bytes = b""
+    ) -> SpentRecord | None:
+        """Atomically mark ``token_id`` spent.
+
+        Returns ``None`` on success (first spend).  If the token was
+        already spent, returns the **original** :class:`SpentRecord` —
+        the caller pairs it with the new attempt as double-spend
+        evidence.
+        """
+        with self._db.transaction():
+            row = self._db.query_one(
+                "SELECT spent_at, transcript FROM spent_tokens"
+                " WHERE kind = ? AND token_id = ?",
+                (self._kind, token_id),
+            )
+            if row is not None:
+                return SpentRecord(
+                    kind=self._kind,
+                    token_id=token_id,
+                    spent_at=row[0],
+                    transcript=row[1],
+                )
+            self._db.execute(
+                "INSERT INTO spent_tokens(kind, token_id, spent_at, transcript)"
+                " VALUES (?, ?, ?, ?)",
+                (self._kind, token_id, at, transcript),
+            )
+            return None
+
+    def is_spent(self, token_id: bytes) -> bool:
+        """Read-only check (no state change)."""
+        row = self._db.query_one(
+            "SELECT 1 FROM spent_tokens WHERE kind = ? AND token_id = ?",
+            (self._kind, token_id),
+        )
+        return row is not None
+
+    def record_for(self, token_id: bytes) -> SpentRecord | None:
+        """The spend record for ``token_id`` if any."""
+        row = self._db.query_one(
+            "SELECT spent_at, transcript FROM spent_tokens"
+            " WHERE kind = ? AND token_id = ?",
+            (self._kind, token_id),
+        )
+        if row is None:
+            return None
+        return SpentRecord(
+            kind=self._kind, token_id=token_id, spent_at=row[0], transcript=row[1]
+        )
+
+    def count(self) -> int:
+        """Number of spent tokens of this kind."""
+        return self._db.query_value(
+            "SELECT COUNT(*) FROM spent_tokens WHERE kind = ?",
+            (self._kind,),
+            default=0,
+        )
+
+    def spent_between(self, start: int, end: int) -> list[SpentRecord]:
+        """Spend events with ``start <= spent_at < end`` (traffic analysis
+        experiments read the store the way a curious operator would)."""
+        rows = self._db.query_all(
+            "SELECT token_id, spent_at, transcript FROM spent_tokens"
+            " WHERE kind = ? AND spent_at >= ? AND spent_at < ?"
+            " ORDER BY spent_at",
+            (self._kind, start, end),
+        )
+        return [
+            SpentRecord(kind=self._kind, token_id=r[0], spent_at=r[1], transcript=r[2])
+            for r in rows
+        ]

@@ -1,0 +1,82 @@
+"""Device-side persisted usage counters.
+
+Count-constrained rights ("play at most 10 times") only mean something
+if the counter survives device restarts; this store is the persistence
+behind :class:`repro.rel.evaluator.UsageState`.  Privacy property worth
+stating: usage lives **only on the device** — the provider never sees
+these rows, which is exactly the paper's "usage tracking without user
+tracking" split.
+"""
+
+from __future__ import annotations
+
+from ..rel.evaluator import UsageState
+from .engine import Database
+
+_MIGRATION = [
+    """
+    CREATE TABLE usage_counts (
+        license_id BLOB    NOT NULL,
+        action     TEXT    NOT NULL,
+        count      INTEGER NOT NULL,
+        PRIMARY KEY (license_id, action)
+    )
+    """,
+]
+
+
+class UsageStore:
+    """Load/store usage counters for one device."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("usage_v1", _MIGRATION)
+
+    def record_use(self, license_id: bytes, action: str) -> int:
+        """Atomic increment; returns the new count."""
+        with self._db.transaction():
+            self._db.execute(
+                "INSERT INTO usage_counts(license_id, action, count)"
+                " VALUES (?, ?, 1)"
+                " ON CONFLICT(license_id, action)"
+                " DO UPDATE SET count = count + 1",
+                (license_id, action),
+            )
+            return self._db.query_value(
+                "SELECT count FROM usage_counts WHERE license_id = ? AND action = ?",
+                (license_id, action),
+                default=0,
+            )
+
+    def uses(self, license_id: bytes, action: str) -> int:
+        return self._db.query_value(
+            "SELECT count FROM usage_counts WHERE license_id = ? AND action = ?",
+            (license_id, action),
+            default=0,
+        )
+
+    def load_state(self) -> UsageState:
+        """Materialize the full counter map for the evaluator."""
+        state = UsageState()
+        for license_id, action, count in self._db.query_all(
+            "SELECT license_id, action, count FROM usage_counts"
+        ):
+            state.counts[(license_id, action)] = count
+        return state
+
+    def save_state(self, state: UsageState) -> None:
+        """Write back a counter map (pointwise max — never forget uses)."""
+        with self._db.transaction():
+            for (license_id, action), count in state.counts.items():
+                self._db.execute(
+                    "INSERT INTO usage_counts(license_id, action, count)"
+                    " VALUES (?, ?, ?)"
+                    " ON CONFLICT(license_id, action)"
+                    " DO UPDATE SET count = MAX(count, excluded.count)",
+                    (license_id, action, count),
+                )
+
+    def total_events(self) -> int:
+        return self._db.query_value(
+            "SELECT COALESCE(SUM(count), 0) FROM usage_counts", default=0
+        )

@@ -1,0 +1,94 @@
+"""Transaction graphs over provider records."""
+
+import pytest
+
+from repro.analysis.linkability import TransactionGraph, build_transaction_graph
+
+
+class TestGraphAssembly:
+    def test_issue_creates_nodes(self):
+        graph = TransactionGraph()
+        graph.add_issue(b"L1" * 8, "song", b"PSEUD-1", at=10)
+        stats = graph.stats()
+        assert stats["pseudonyms"] == 1
+        assert stats["nodes"] == 3  # licence, content, pseudonym
+
+    def test_transfer_links_pseudonyms(self):
+        graph = TransactionGraph()
+        graph.add_issue(b"L1" * 8, "song", b"PSEUD-A", at=10)
+        graph.add_exchange(b"L1" * 8, b"TOK" + b"0" * 13, at=20)
+        graph.add_redemption(b"TOK" + b"0" * 13, b"L2" * 8, at=30)
+        graph.add_issue(b"L2" * 8, "song", b"PSEUD-B", at=30)
+        pairs = graph.transfer_pairs()
+        assert len(pairs) == 1
+        clusters = graph.linked_pseudonym_clusters()
+        assert max(len(c) for c in clusters) == 2
+
+    def test_shared_content_does_not_cluster(self):
+        """Two buyers of the same song must NOT be structurally linked —
+        content nodes are excluded from the component analysis."""
+        graph = TransactionGraph()
+        graph.add_issue(b"L1" * 8, "hit-song", b"PSEUD-A", at=10)
+        graph.add_issue(b"L2" * 8, "hit-song", b"PSEUD-B", at=11)
+        clusters = graph.linked_pseudonym_clusters()
+        assert all(len(c) == 1 for c in clusters)
+        assert len(clusters) == 2
+
+    def test_identity_holders_typed_as_users(self):
+        graph = TransactionGraph()
+        graph.add_issue(b"L1" * 8, "song", "alice", at=10)
+        stats = graph.stats()
+        assert stats["users"] == 1
+        assert stats["pseudonyms"] == 0
+
+    def test_anonymous_issue_has_no_holder_edge(self):
+        graph = TransactionGraph()
+        graph.add_issue(b"T1" * 8, "song", None, at=10)
+        assert graph.stats()["pseudonyms"] == 0
+
+
+class TestFromDeployment:
+    def test_p2drm_graph_shape(self, fresh_deployment):
+        d = fresh_deployment("graph-p2drm")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = d.buy("alice", "song-1")
+        d.buy("bob", "song-1")
+        d.transfer("alice", "bob", license_.license_id)
+        graph = build_transaction_graph(d.provider)
+        stats = graph.stats()
+        # 3 purchases+redemption pseudonyms: alice, bob, bob-redeem.
+        assert stats["pseudonyms"] == 3
+        assert stats["users"] == 0
+        assert stats["transfer_pairs"] == 1
+        # The transfer links exactly two pseudonyms; the other stays alone.
+        assert stats["largest_cluster"] == 2
+
+    def test_fresh_pseudonyms_mean_one_license_per_cluster(self, fresh_deployment):
+        d = fresh_deployment("graph-fresh")
+        d.add_user("u", balance=100)
+        for _ in range(3):
+            d.buy("u", "song-1")
+        graph = build_transaction_graph(d.provider)
+        # Same human, three purchases — provider sees three unrelated
+        # singleton pseudonym clusters.
+        clusters = graph.linked_pseudonym_clusters()
+        assert len(clusters) == 3
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_reused_pseudonym_clusters_purchases(self, fresh_deployment):
+        d = fresh_deployment("graph-reuse")
+        d.add_user("u", balance=100, fresh_pseudonym_per_transaction=False)
+        for _ in range(3):
+            d.buy("u", "song-1")
+        graph = build_transaction_graph(d.provider)
+        clusters = graph.linked_pseudonym_clusters()
+        assert len(clusters) == 1  # one pseudonym node carries all three
+        (cluster,) = clusters
+        assert len(cluster) == 1
+        pseudonym_node = next(iter(cluster))
+        licence_neighbors = [
+            n for n in graph.graph.neighbors(pseudonym_node)
+            if graph.graph.nodes[n]["kind"] == "license"
+        ]
+        assert len(licence_neighbors) == 3

@@ -1,0 +1,72 @@
+"""Anonymity metrics: entropy, effective set size, linkage rates."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    anonymity_set_entropy,
+    effective_anonymity_size,
+    linkage_success_rate,
+    mean_anonymity_set_size,
+    uniqueness_rate,
+)
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        distribution = {f"u{i}": 1.0 for i in range(8)}
+        assert anonymity_set_entropy(distribution) == pytest.approx(3.0)
+        assert effective_anonymity_size(distribution) == pytest.approx(8.0)
+
+    def test_single_candidate_zero_entropy(self):
+        assert anonymity_set_entropy({"u": 5.0}) == 0.0
+        assert effective_anonymity_size({"u": 5.0}) == 1.0
+
+    def test_empty_distribution(self):
+        assert anonymity_set_entropy({}) == 0.0
+
+    def test_zero_mass_entries_ignored(self):
+        distribution = {"a": 1.0, "b": 1.0, "dead": 0.0}
+        assert anonymity_set_entropy(distribution) == pytest.approx(1.0)
+
+    def test_skew_reduces_effective_size(self):
+        uniform = {f"u{i}": 1.0 for i in range(4)}
+        skewed = {"u0": 100.0, "u1": 1.0, "u2": 1.0, "u3": 1.0}
+        assert effective_anonymity_size(skewed) < effective_anonymity_size(uniform)
+
+    def test_unnormalized_invariance(self):
+        a = {"x": 1.0, "y": 3.0}
+        b = {"x": 10.0, "y": 30.0}
+        assert anonymity_set_entropy(a) == pytest.approx(anonymity_set_entropy(b))
+
+    def test_known_binary_entropy(self):
+        distribution = {"x": 0.25, "y": 0.75}
+        expected = -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        assert anonymity_set_entropy(distribution) == pytest.approx(expected)
+
+
+class TestLinkageRate:
+    def test_perfect_and_zero(self):
+        assert linkage_success_rate(["a", "b"], ["a", "b"]) == 1.0
+        assert linkage_success_rate(["x", "y"], ["a", "b"]) == 0.0
+
+    def test_abstentions_count_as_failures(self):
+        assert linkage_success_rate([None, "a"], ["a", "a"]) == 0.5
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            linkage_success_rate(["a"], ["a", "b"])
+
+    def test_empty(self):
+        assert linkage_success_rate([], []) == 0.0
+
+
+class TestSetStatistics:
+    def test_mean_size(self):
+        assert mean_anonymity_set_size([["a"], ["a", "b", "c"]]) == 2.0
+        assert mean_anonymity_set_size([]) == 0.0
+
+    def test_uniqueness_rate(self):
+        assert uniqueness_rate([["a"], ["a", "b"], ["c"]]) == pytest.approx(2 / 3)
+        assert uniqueness_rate([]) == 0.0

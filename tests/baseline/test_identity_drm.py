@@ -1,0 +1,153 @@
+"""Baseline identity-bound DRM: same enforcement, none of the privacy."""
+
+import pytest
+
+from repro.baseline.identity_drm import (
+    BaselineProvider,
+    BaselineUser,
+    baseline_purchase,
+    baseline_transfer,
+)
+from repro.core.identity import SmartCard
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import (
+    AuthenticationError,
+    PaymentError,
+    ProtocolError,
+    RevokedLicenseError,
+)
+
+
+@pytest.fixture(scope="module")
+def world(deployment):
+    provider = BaselineProvider(
+        rng=deployment.rng.fork("bl-provider"),
+        clock=deployment.clock,
+        bank=deployment.bank,
+        license_key_bits=512,
+    )
+    provider.publish("song-1", b"SONG" * 16, title="Song", price=3)
+    users = {}
+    for name in ("alice", "bob", "mallory"):
+        card = SmartCard(
+            f"bl-card-{name}".encode().ljust(16, b"0"),
+            deployment.group,
+            rng=DeterministicRandomSource(f"bl-{name}"),
+            authority_key=deployment.authority.public_key,
+        )
+        user = BaselineUser(name, card)
+        provider.register_user(user)
+        deployment.bank.open_account(user.bank_account, initial_balance=100)
+        users[name] = user
+    return provider, users, deployment
+
+
+class TestPurchase:
+    def test_happy_path_debits_ledger(self, world):
+        provider, users, deployment = world
+        alice = users["alice"]
+        before = deployment.bank.balance(alice.bank_account)
+        license_ = baseline_purchase(alice, provider, "song-1", clock=deployment.clock)
+        assert deployment.bank.balance(alice.bank_account) == before - 3
+        assert license_.license_id in alice.licenses
+
+    def test_license_names_account(self, world):
+        provider, users, deployment = world
+        license_ = baseline_purchase(
+            users["alice"], provider, "song-1", clock=deployment.clock
+        )
+        record = provider.license_register.get(license_.license_id)
+        assert record.holder == b"alice"
+        assert record.kind == "identity"
+
+    def test_audit_names_user_and_price(self, world):
+        provider, users, deployment = world
+        baseline_purchase(users["bob"], provider, "song-1", clock=deployment.clock)
+        events = provider.audit_log.entries(event="license_issued")
+        assert any(e.payload.get("user") == "bob" and e.payload.get("price") == 3 for e in events)
+
+    def test_unknown_user_rejected(self, world):
+        provider, users, deployment = world
+        card = SmartCard(
+            b"ghost-card-00000",
+            deployment.group,
+            rng=DeterministicRandomSource(b"ghost"),
+        )
+        stranger = BaselineUser("ghost", card)
+        deployment.bank.open_account(stranger.bank_account, initial_balance=10)
+        with pytest.raises(AuthenticationError):
+            baseline_purchase(stranger, provider, "song-1", clock=deployment.clock)
+
+    def test_insufficient_funds(self, world):
+        provider, users, deployment = world
+        card = SmartCard(
+            b"poor-card-000000",
+            deployment.group,
+            rng=DeterministicRandomSource(b"poor"),
+        )
+        poor = BaselineUser("poor", card)
+        provider.register_user(poor)
+        deployment.bank.open_account(poor.bank_account, initial_balance=1)
+        with pytest.raises(PaymentError):
+            baseline_purchase(poor, provider, "song-1", clock=deployment.clock)
+
+
+class TestTransfer:
+    def test_happy_path_moves_license(self, world):
+        provider, users, deployment = world
+        alice, bob = users["alice"], users["bob"]
+        license_ = baseline_purchase(alice, provider, "song-1", clock=deployment.clock)
+        new_license = baseline_transfer(
+            alice, bob, provider, license_.license_id, clock=deployment.clock
+        )
+        assert license_.license_id not in alice.licenses
+        assert new_license.license_id in bob.licenses
+        assert provider.revocation_list.is_revoked(license_.license_id)
+
+    def test_transfer_logs_social_edge(self, world):
+        """The leak the paper targets: the operator records who gave
+        what to whom."""
+        provider, users, deployment = world
+        alice, bob = users["alice"], users["bob"]
+        license_ = baseline_purchase(alice, provider, "song-1", clock=deployment.clock)
+        baseline_transfer(alice, bob, provider, license_.license_id, clock=deployment.clock)
+        events = provider.audit_log.entries(event="license_transferred")
+        assert any(
+            e.payload.get("from") == "alice" and e.payload.get("to") == "bob"
+            for e in events
+        )
+
+    def test_non_holder_cannot_transfer(self, world):
+        provider, users, deployment = world
+        alice, mallory, bob = users["alice"], users["mallory"], users["bob"]
+        license_ = baseline_purchase(alice, provider, "song-1", clock=deployment.clock)
+        with pytest.raises(AuthenticationError):
+            baseline_transfer(
+                mallory, bob, provider, license_.license_id, clock=deployment.clock
+            )
+
+    def test_double_transfer_rejected(self, world):
+        provider, users, deployment = world
+        alice, bob = users["alice"], users["bob"]
+        license_ = baseline_purchase(alice, provider, "song-1", clock=deployment.clock)
+        baseline_transfer(alice, bob, provider, license_.license_id, clock=deployment.clock)
+        with pytest.raises(RevokedLicenseError):
+            baseline_transfer(
+                alice, bob, provider, license_.license_id, clock=deployment.clock
+            )
+
+
+class TestEndpointsDisabled:
+    def test_anonymous_endpoints_refused(self, world):
+        provider, *_ = world
+        with pytest.raises(ProtocolError):
+            provider.sell(None)
+        with pytest.raises(ProtocolError):
+            provider.exchange(None)
+        with pytest.raises(ProtocolError):
+            provider.redeem(None)
+
+    def test_duplicate_registration_rejected(self, world):
+        provider, users, _ = world
+        with pytest.raises(ProtocolError):
+            provider.register_user(users["alice"])

@@ -1,0 +1,106 @@
+"""Tracking/profiles: the operator-knowledge diff between the systems."""
+
+import pytest
+
+from repro.baseline.identity_drm import (
+    BaselineProvider,
+    BaselineUser,
+    baseline_purchase,
+    baseline_transfer,
+)
+from repro.baseline.tracking import ProfileBuilder
+from repro.core.identity import SmartCard
+from repro.crypto.rand import DeterministicRandomSource
+
+
+@pytest.fixture()
+def baseline_world(fresh_deployment):
+    d = fresh_deployment("tracking")
+    provider = BaselineProvider(
+        rng=d.rng.fork("bl"),
+        clock=d.clock,
+        bank=d.bank,
+        license_key_bits=512,
+    )
+    provider.publish("song-1", b"S1" * 8, title="One", price=2)
+    provider.publish("song-2", b"S2" * 8, title="Two", price=4)
+    users = {}
+    for name in ("alice", "bob"):
+        card = SmartCard(
+            f"tr-{name}".encode().ljust(16, b"_"),
+            d.group,
+            rng=DeterministicRandomSource(f"tr-{name}"),
+        )
+        user = BaselineUser(name, card)
+        provider.register_user(user)
+        d.bank.open_account(user.bank_account, initial_balance=100)
+        users[name] = user
+    return d, provider, users
+
+
+class TestBaselineProfiles:
+    def test_full_dossier(self, baseline_world):
+        d, provider, users = baseline_world
+        baseline_purchase(users["alice"], provider, "song-1", clock=d.clock)
+        d.clock.advance(1000)
+        baseline_purchase(users["alice"], provider, "song-2", clock=d.clock)
+        baseline_purchase(users["bob"], provider, "song-1", clock=d.clock)
+        report = ProfileBuilder(provider).build()
+        assert report.identified
+        assert report.profile_count == 2
+        alice_profile = report.profiles[b"alice"]
+        assert sorted(alice_profile.contents) == ["song-1", "song-2"]
+        assert alice_profile.total_spent == 6
+        assert alice_profile.span_seconds == 1000
+
+    def test_transfer_edges_recorded(self, baseline_world):
+        d, provider, users = baseline_world
+        license_ = baseline_purchase(users["alice"], provider, "song-1", clock=d.clock)
+        baseline_transfer(users["alice"], users["bob"], provider, license_.license_id, clock=d.clock)
+        report = ProfileBuilder(provider).build()
+        assert ("alice", "bob", "song-1") in report.transfer_edges
+
+    def test_summary_shape(self, baseline_world):
+        d, provider, users = baseline_world
+        baseline_purchase(users["alice"], provider, "song-1", clock=d.clock)
+        summary = ProfileBuilder(provider).build().summary()
+        assert summary["identified"] is True
+        assert summary["profiles"] == 1
+        assert summary["max_profile"] == 1
+
+
+class TestP2drmProfiles:
+    def test_profiles_shatter_to_singletons(self, fresh_deployment):
+        """The same mining code against the P2DRM provider: one human,
+        three purchases, three unlinkable one-licence 'profiles' and no
+        names anywhere."""
+        d = fresh_deployment("tracking-p2drm")
+        d.add_user("alice", balance=100)
+        for _ in range(3):
+            d.buy("alice", "song-1")
+        report = ProfileBuilder(d.provider).build()
+        assert not report.identified
+        assert report.profile_count == 3
+        assert report.max_profile_size == 1
+        assert report.transfer_edges == []
+        assert all("alice" not in p.display for p in report.profiles.values())
+
+    def test_anonymous_licences_not_profiled(self, fresh_deployment):
+        d = fresh_deployment("tracking-anon")
+        d.add_user("a", balance=100)
+        d.add_user("b", balance=100)
+        license_ = d.buy("a", "song-1")
+        d.transfer("a", "b", license_.license_id)
+        report = ProfileBuilder(d.provider).build()
+        # Issued licences: a's purchase + b's redemption = 2 profiles;
+        # the anonymous intermediate has no holder and appears in none.
+        assert report.profile_count == 2
+
+    def test_total_spend_invisible(self, fresh_deployment):
+        """Coins carry no account info, so P2DRM profiles show zero
+        attributable spending."""
+        d = fresh_deployment("tracking-spend")
+        d.add_user("alice", balance=100)
+        d.buy("alice", "song-1")
+        report = ProfileBuilder(d.provider).build()
+        assert all(p.total_spent == 0 for p in report.profiles.values())

@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Key generation dominates test runtime, so RSA keys are generated once
+per session (deterministically) and deployments once per module.
+Tests that mutate global deployment state build their own via the
+``fresh_deployment`` factory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.crypto.groups import named_group
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.rsa import generate_rsa_key
+
+
+@pytest.fixture()
+def rng(request):
+    """A deterministic random source, seeded per test.
+
+    Per-test seeding keeps runs reproducible while preventing identical
+    streams from colliding in module-scoped stores (e.g. two tests
+    minting coins with the same serial).
+    """
+    return DeterministicRandomSource(f"test-rng-{request.node.nodeid}")
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+@pytest.fixture(scope="session")
+def test_group():
+    return named_group("test-512")
+
+
+@pytest.fixture(scope="session")
+def rsa512():
+    return generate_rsa_key(512, rng=DeterministicRandomSource(b"rsa512"))
+
+
+@pytest.fixture(scope="session")
+def rsa768():
+    return generate_rsa_key(768, rng=DeterministicRandomSource(b"rsa768"))
+
+
+@pytest.fixture(scope="session")
+def rsa1024():
+    return generate_rsa_key(1024, rng=DeterministicRandomSource(b"rsa1024"))
+
+
+@pytest.fixture(scope="module")
+def deployment(request):
+    """A module-scoped deployment with one published content item.
+
+    Seeded by module name, so modules never share key material but
+    each module is reproducible in isolation.
+    """
+    from repro.core.system import build_deployment
+
+    d = build_deployment(seed=f"module-{request.module.__name__}", rsa_bits=512)
+    d.provider.publish(
+        "song-1", b"SONG-ONE-PAYLOAD" * 64, title="Song One", price=3
+    )
+    return d
+
+
+@pytest.fixture()
+def fresh_deployment():
+    """Factory for isolated deployments (tests that mutate state)."""
+    from repro.core.system import build_deployment
+
+    def make(seed: str = "fresh", **kwargs):
+        kwargs.setdefault("rsa_bits", 512)
+        d = build_deployment(seed=seed, **kwargs)
+        d.provider.publish(
+            "song-1", b"SONG-ONE-PAYLOAD" * 64, title="Song One", price=3
+        )
+        return d
+
+    return make

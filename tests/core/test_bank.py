@@ -1,0 +1,157 @@
+"""Bank: blind withdrawal, deposits, double-spend detection, ledger."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.actors.bank import Bank
+from repro.core.messages import Coin
+from repro.core.protocols.payment import withdraw_coins
+from repro.core.actors.user import UserAgent
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import DoubleSpendError, InvalidSignature, PaymentError
+
+
+@pytest.fixture(scope="module")
+def bank():
+    bank = Bank(
+        rng=DeterministicRandomSource(b"bank-tests"),
+        clock=SimClock(),
+        denominations=(1, 5, 20),
+        key_bits=512,
+    )
+    bank.open_account("merchant")
+    return bank
+
+
+@pytest.fixture()
+def user(bank, rng):
+    import uuid
+
+    user = UserAgent(f"u-{uuid.uuid4().hex[:8]}", rng=rng, clock=SimClock())
+    bank.open_account(user.bank_account, initial_balance=100)
+    return user
+
+
+class TestAccounts:
+    def test_open_and_balance(self, bank):
+        bank.open_account("acct-x", initial_balance=7)
+        assert bank.balance("acct-x") == 7
+
+    def test_duplicate_account_rejected(self, bank):
+        bank.open_account("acct-dup")
+        with pytest.raises(PaymentError):
+            bank.open_account("acct-dup")
+
+    def test_unknown_account_rejected(self, bank):
+        with pytest.raises(PaymentError):
+            bank.balance("ghost")
+
+    def test_transfer(self, bank):
+        bank.open_account("from-acct", initial_balance=10)
+        bank.open_account("to-acct")
+        bank.transfer("from-acct", "to-acct", 4)
+        assert bank.balance("from-acct") == 6
+        assert bank.balance("to-acct") == 4
+
+    def test_transfer_insufficient(self, bank):
+        bank.open_account("poor-acct", initial_balance=1)
+        with pytest.raises(PaymentError):
+            bank.transfer("poor-acct", "merchant", 5)
+
+    def test_transfer_validation(self, bank):
+        with pytest.raises(PaymentError):
+            bank.transfer("merchant", "merchant", 0)
+        with pytest.raises(PaymentError):
+            bank.transfer("merchant", "ghost", 1)
+
+
+class TestWithdrawal:
+    def test_withdraw_debits_and_mints(self, bank, user):
+        coins = withdraw_coins(user, bank, 26)
+        assert sorted(c.value for c in coins) == [1, 5, 20]
+        assert bank.balance(user.bank_account) == 74
+        for coin in coins:
+            bank.verify_coin(coin)
+
+    def test_decompose(self, bank):
+        assert bank.decompose(26) == [20, 5, 1]
+        assert bank.decompose(3) == [1, 1, 1]
+        with pytest.raises(PaymentError):
+            bank.decompose(0)
+
+    def test_insufficient_funds(self, bank, user):
+        with pytest.raises(PaymentError):
+            withdraw_coins(user, bank, 1000)
+
+    def test_unsupported_denomination(self, bank):
+        with pytest.raises(PaymentError):
+            bank.withdraw_blind("merchant", 7, 12345)
+        with pytest.raises(PaymentError):
+            bank.public_key(7)
+
+
+class TestDeposits:
+    def test_deposit_credits(self, bank, user):
+        (coin,) = withdraw_coins(user, bank, 1)
+        before = bank.balance("merchant")
+        bank.deposit("merchant", coin)
+        assert bank.balance("merchant") == before + 1
+
+    def test_double_spend_detected(self, bank, user):
+        (coin,) = withdraw_coins(user, bank, 1)
+        bank.deposit("merchant", coin)
+        assert bank.is_spent(coin)
+        with pytest.raises(DoubleSpendError) as err:
+            bank.deposit("merchant", coin)
+        assert err.value.coin_id == coin.serial
+
+    def test_forged_coin_rejected(self, bank, rng):
+        forged = Coin(serial=rng.random_bytes(16), value=1, signature=b"\x01" * 64)
+        with pytest.raises(InvalidSignature):
+            bank.deposit("merchant", forged)
+
+    def test_denomination_swap_rejected(self, bank, user):
+        """A 1-credit coin cannot be deposited as a 20 — the value is
+        pinned by which key signed it."""
+        (coin,) = withdraw_coins(user, bank, 1)
+        upgraded = Coin(serial=coin.serial, value=20, signature=coin.signature)
+        with pytest.raises(InvalidSignature):
+            bank.deposit("merchant", upgraded)
+
+    def test_same_serial_different_denomination_is_distinct(self, bank, user, rng):
+        """Spent-store keys include the denomination, so two honest
+        coins that happen to share a serial across denominations don't
+        collide.  (Withdraw both, deposit both.)"""
+        from repro.crypto.blind_rsa import BlindingClient
+        from repro.core.messages import coin_payload
+
+        serial = rng.random_bytes(16)
+        coins = []
+        for denomination in (1, 5):
+            client = BlindingClient(bank.public_key(denomination), rng=rng)
+            blinded, state = client.blind(coin_payload(serial, denomination))
+            signature = client.unblind(
+                bank.withdraw_blind(user.bank_account, denomination, blinded), state
+            )
+            coins.append(Coin(serial=serial, value=denomination, signature=signature))
+        for coin in coins:
+            bank.deposit("merchant", coin)  # both land
+
+
+class TestUnlinkability:
+    def test_bank_never_sees_serial_at_withdrawal(self, bank, user):
+        """Structural check: the withdrawal API receives only a blinded
+        integer; the serial appears first at deposit time."""
+        import inspect
+
+        signature = inspect.signature(bank.withdraw_blind)
+        assert list(signature.parameters) == ["account_id", "denomination", "blinded"]
+
+    def test_parameters(self):
+        with pytest.raises(PaymentError):
+            Bank(
+                rng=DeterministicRandomSource(b"x"),
+                clock=SimClock(),
+                denominations=(),
+                key_bits=512,
+            )

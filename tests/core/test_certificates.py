@@ -1,0 +1,160 @@
+"""Certificates: authority roles, device compliance, blind pseudonym certs."""
+
+import pytest
+
+from repro.core.certificates import (
+    AuthorityCertificate,
+    CertificateAuthority,
+    DeviceCertificate,
+    PseudonymCertificate,
+    pseudonym_certificate_payload,
+)
+from repro.core.identity import SmartCard
+from repro.crypto.blind_rsa import BlindingClient, BlindSigner
+from repro.crypto.elgamal import generate_elgamal_key
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ComplianceError, EscrowError, InvalidSignature
+
+
+@pytest.fixture()
+def authority(rsa512):
+    return CertificateAuthority(rsa512)
+
+
+class TestAuthorityCertificates:
+    def test_role_certificate_verifies(self, authority, rsa768):
+        cert = authority.certify_role(
+            "content-provider", "acme", rsa768.public_key, not_before=0, not_after=100
+        )
+        cert.verify(authority.public_key)
+        cert.verify(authority.public_key, now=50)
+
+    def test_expiry_enforced(self, authority, rsa768):
+        cert = authority.certify_role(
+            "content-provider", "acme", rsa768.public_key, not_before=10, not_after=20
+        )
+        with pytest.raises(ComplianceError):
+            cert.verify(authority.public_key, now=21)
+        with pytest.raises(ComplianceError):
+            cert.verify(authority.public_key, now=9)
+
+    def test_wrong_authority_rejected(self, authority, rsa768):
+        cert = authority.certify_role(
+            "bank", "acme-bank", rsa768.public_key, not_before=0, not_after=100
+        )
+        with pytest.raises(InvalidSignature):
+            cert.verify(rsa768.public_key)
+
+    def test_dict_roundtrip(self, authority, rsa768):
+        cert = authority.certify_role(
+            "card-issuer", "idt", rsa768.public_key, not_before=0, not_after=9
+        )
+        assert AuthorityCertificate.from_dict(cert.as_dict()) == cert
+
+
+class TestDeviceCertificates:
+    def test_verifies(self, authority):
+        cert = authority.certify_device(
+            "ab12", model="m", capabilities=("play",), not_before=0, not_after=100
+        )
+        cert.verify(authority.public_key)
+
+    def test_tamper_rejected(self, authority):
+        cert = authority.certify_device(
+            "ab12", model="m", capabilities=("play",), not_before=0, not_after=100
+        )
+        forged = DeviceCertificate(
+            device_id="ff99",  # claim a different device
+            model=cert.model,
+            capabilities=cert.capabilities,
+            not_before=cert.not_before,
+            not_after=cert.not_after,
+            signature=cert.signature,
+        )
+        with pytest.raises(ComplianceError):
+            forged.verify(authority.public_key)
+
+    def test_expiry(self, authority):
+        cert = authority.certify_device(
+            "ab12", model="m", capabilities=("play",), not_before=10, not_after=20
+        )
+        with pytest.raises(ComplianceError):
+            cert.verify(authority.public_key, now=25)
+
+    def test_dict_roundtrip(self, authority):
+        cert = authority.certify_device(
+            "ab12", model="m", capabilities=("play", "copy"), not_before=0, not_after=9
+        )
+        assert DeviceCertificate.from_dict(cert.as_dict()) == cert
+
+
+@pytest.fixture()
+def pseudonym_cert_parts(test_group, rsa768, rng):
+    """Build a pseudonym certificate the way the registration protocol does."""
+    card = SmartCard(b"card-000000000001", test_group, rng=DeterministicRandomSource(b"c"))
+    ttp_key = generate_elgamal_key(test_group, rng=rng)
+    issuer_signer = BlindSigner(rsa768)
+    pseudonym = card.new_pseudonym()
+    escrow = card.make_escrow(pseudonym, ttp_key.public_key)
+    payload = pseudonym_certificate_payload(pseudonym, escrow)
+    client = BlindingClient(rsa768.public_key, rng=rng)
+    blinded, state = client.blind(payload)
+    signature = client.unblind(issuer_signer.sign_blinded(blinded), state)
+    certificate = PseudonymCertificate(
+        pseudonym=pseudonym, escrow=escrow, signature=signature
+    )
+    return card, ttp_key, issuer_signer, certificate
+
+
+class TestPseudonymCertificates:
+    def test_verifies(self, pseudonym_cert_parts, rsa768):
+        *_, certificate = pseudonym_cert_parts
+        certificate.verify(rsa768.public_key)
+
+    def test_wrong_issuer_key_rejected(self, pseudonym_cert_parts, rsa512):
+        *_, certificate = pseudonym_cert_parts
+        with pytest.raises(InvalidSignature):
+            certificate.verify(rsa512.public_key)
+
+    def test_swapped_pseudonym_rejected(self, pseudonym_cert_parts, test_group, rsa768):
+        card, ttp_key, _, certificate = pseudonym_cert_parts
+        other_pseudonym = card.new_pseudonym()
+        forged = PseudonymCertificate(
+            pseudonym=other_pseudonym,
+            escrow=certificate.escrow,
+            signature=certificate.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            forged.verify(rsa768.public_key)
+
+    def test_swapped_escrow_rejected(self, pseudonym_cert_parts, test_group, rsa768, rng):
+        card, ttp_key, _, certificate = pseudonym_cert_parts
+        other_pseudonym = card.new_pseudonym()
+        other_escrow = card.make_escrow(other_pseudonym, ttp_key.public_key)
+        forged = PseudonymCertificate(
+            pseudonym=certificate.pseudonym,
+            escrow=other_escrow,
+            signature=certificate.signature,
+        )
+        # Either the signature or the binding check must catch it.
+        with pytest.raises((InvalidSignature, EscrowError)):
+            forged.verify(rsa768.public_key)
+
+    def test_dict_roundtrip(self, pseudonym_cert_parts, rsa768):
+        *_, certificate = pseudonym_cert_parts
+        restored = PseudonymCertificate.from_dict(certificate.as_dict())
+        restored.verify(rsa768.public_key)
+        assert restored.fingerprint == certificate.fingerprint
+
+    def test_wire_size_reported(self, pseudonym_cert_parts):
+        *_, certificate = pseudonym_cert_parts
+        assert certificate.wire_size() > 100
+
+    def test_contains_no_identity(self, pseudonym_cert_parts):
+        """The certificate dict carries no user or card identifier —
+        checkable field by field."""
+        *_, certificate = pseudonym_cert_parts
+        data = certificate.as_dict()
+        assert set(data) == {"pseudonym", "escrow", "sig"}
+        assert set(data["pseudonym"]) == {"group", "y"}
+        assert set(data["escrow"]) == {"group", "ct", "proof"}

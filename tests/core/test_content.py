@@ -1,0 +1,95 @@
+"""Content packaging: confidentiality, header binding, determinism."""
+
+import pytest
+
+from repro.core.content import (
+    CONTENT_KEY_SIZE,
+    ContentPackage,
+    pack_content,
+    unpack_content,
+)
+from repro.errors import DecryptionError
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, rng):
+        payload = b"MEDIA" * 1000
+        package, key = pack_content("c1", payload, title="T", rng=rng)
+        assert unpack_content(package, key) == payload
+        assert len(key) == CONTENT_KEY_SIZE
+
+    def test_wrong_key_rejected(self, rng):
+        package, _ = pack_content("c1", b"media", rng=rng)
+        with pytest.raises(DecryptionError):
+            unpack_content(package, rng.random_bytes(CONTENT_KEY_SIZE))
+
+    def test_bad_key_size_rejected(self, rng):
+        package, _ = pack_content("c1", b"media", rng=rng)
+        with pytest.raises(DecryptionError):
+            unpack_content(package, b"short")
+
+    def test_fresh_key_per_packaging(self, rng):
+        _, key_a = pack_content("c1", b"m", rng=rng)
+        _, key_b = pack_content("c1", b"m", rng=rng)
+        assert key_a != key_b
+
+    def test_empty_payload(self, rng):
+        package, key = pack_content("c1", b"", rng=rng)
+        assert unpack_content(package, key) == b""
+
+
+class TestHeaderBinding:
+    def test_repackaging_under_other_id_rejected(self, rng):
+        """Moving ciphertext into a container with a different content
+        id breaks the AAD binding — catalog-swap attacks fail."""
+        package, key = pack_content("real-id", b"media", title="T", rng=rng)
+        forged = ContentPackage(
+            content_id="other-id",
+            title=package.title,
+            media_type=package.media_type,
+            ciphertext=package.ciphertext,
+        )
+        with pytest.raises(DecryptionError):
+            unpack_content(forged, key)
+
+    def test_title_is_bound_too(self, rng):
+        package, key = pack_content("c1", b"media", title="Real", rng=rng)
+        forged = ContentPackage(
+            content_id=package.content_id,
+            title="Forged",
+            media_type=package.media_type,
+            ciphertext=package.ciphertext,
+        )
+        with pytest.raises(DecryptionError):
+            unpack_content(forged, key)
+
+    def test_ciphertext_tamper_rejected(self, rng):
+        package, key = pack_content("c1", b"media-payload", rng=rng)
+        body = bytearray(package.ciphertext)
+        body[20] ^= 1
+        forged = ContentPackage(
+            content_id=package.content_id,
+            title=package.title,
+            media_type=package.media_type,
+            ciphertext=bytes(body),
+        )
+        with pytest.raises(DecryptionError):
+            unpack_content(forged, key)
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self, rng):
+        package, key = pack_content("c1", b"payload", title="T", media_type="audio/mp3", rng=rng)
+        restored = ContentPackage.from_bytes(package.to_bytes())
+        assert restored == package
+        assert unpack_content(restored, key) == b"payload"
+
+    def test_identical_package_for_everyone(self, rng):
+        """The same package bytes serve every buyer — the download step
+        cannot distinguish users."""
+        package, _ = pack_content("c1", b"payload", rng=rng)
+        assert package.to_bytes() == package.to_bytes()
+
+    def test_size_property(self, rng):
+        package, _ = pack_content("c1", b"x" * 100, rng=rng)
+        assert package.size == len(package.ciphertext)

@@ -1,0 +1,172 @@
+"""Compliant devices: enforcement at render time."""
+
+import pytest
+
+from repro.core.actors.device import NonCompliantDevice
+from repro.errors import (
+    ComplianceError,
+    InvalidSignature,
+    RevokedLicenseError,
+    RightsDenied,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(deployment):
+    user = deployment.add_user("device-user", balance=1000)
+    device = deployment.add_device()
+    license_ = user.buy(
+        "song-1", provider=deployment.provider, issuer=deployment.issuer, bank=deployment.bank
+    )
+    package = deployment.provider.download("song-1")
+    return user, device, license_, package
+
+
+class TestRender:
+    def test_renders_content(self, deployment, setup):
+        user, device, license_, package = setup
+        payload = device.render(license_, package, user.require_card())
+        assert payload == b"SONG-ONE-PAYLOAD" * 64
+
+    def test_usage_recorded(self, deployment, setup):
+        user, device, license_, package = setup
+        before = device.usage_events()
+        device.render(license_, package, user.require_card())
+        assert device.usage_events() == before + 1
+
+    def test_forged_license_rejected(self, deployment, setup):
+        from repro.core.licenses import PersonalLicense
+        from repro.rel.parser import parse_rights
+
+        user, device, license_, package = setup
+        forged = PersonalLicense(
+            license_id=license_.license_id,
+            content_id=license_.content_id,
+            rights=parse_rights("play; copy; export; burn"),
+            pseudonym=license_.pseudonym,
+            wrapped_key=license_.wrapped_key,
+            issued_at=license_.issued_at,
+            signature=license_.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            device.render(forged, package, user.require_card())
+
+    def test_license_package_mismatch_rejected(self, deployment, setup):
+        user, device, license_, _ = setup
+        deployment.provider.publish("song-x", b"OTHER", title="X", price=1)
+        other_package = deployment.provider.download("song-x")
+        with pytest.raises(RightsDenied):
+            device.render(license_, other_package, user.require_card())
+
+    def test_ungranted_action_rejected(self, deployment, setup):
+        user, device, license_, package = setup
+        with pytest.raises(RightsDenied):
+            device.render(license_, package, user.require_card(), action="burn")
+
+    def test_foreign_card_cannot_unwrap(self, deployment, setup):
+        _, device, license_, package = setup
+        stranger = deployment.add_user("device-stranger", balance=10)
+        from repro.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            device.render(license_, package, stranger.require_card())
+
+
+class TestRevocationEnforcement:
+    def test_revoked_license_refused_after_sync(self, fresh_deployment):
+        d = fresh_deployment("dev-revoke")
+        user = d.add_user("u", balance=100)
+        device = d.add_device()
+        license_ = user.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        package = d.provider.download("song-1")
+        device.render(license_, package, user.require_card())
+        user.transfer_out(license_.license_id, provider=d.provider)
+        assert device.sync_revocations(d.provider) == 1
+        with pytest.raises(RevokedLicenseError):
+            device.render(license_, package, user.require_card())
+
+    def test_stale_device_would_play(self, fresh_deployment):
+        """Documents the paper's distribution caveat: a device that has
+        not synced still honours a since-revoked licence."""
+        d = fresh_deployment("dev-stale")
+        user = d.add_user("u", balance=100)
+        device = d.add_device()
+        license_ = user.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        package = d.provider.download("song-1")
+        user.transfer_out(license_.license_id, provider=d.provider)
+        # no sync_revocations call
+        payload = device.render(license_, package, user.require_card())
+        assert payload  # stale view: plays
+
+    def test_bloom_and_exact_paths_agree(self, fresh_deployment):
+        d = fresh_deployment("dev-bloom")
+        user = d.add_user("u", balance=100)
+        device = d.add_device()
+        license_ = user.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        package = d.provider.download("song-1")
+        user.transfer_out(license_.license_id, provider=d.provider)
+        device.sync_revocations(d.provider)
+        with pytest.raises(RevokedLicenseError):
+            device.render(license_, package, user.require_card(), use_bloom=True)
+        with pytest.raises(RevokedLicenseError):
+            device.render(license_, package, user.require_card(), use_bloom=False)
+
+
+class TestCompliance:
+    def test_non_compliant_device_gets_nothing(self, deployment, setup):
+        """A hacked player that skips every check still cannot decrypt:
+        the card refuses to unwrap for it."""
+        user, _, license_, package = setup
+        rogue = NonCompliantDevice(clock=deployment.clock)
+        with pytest.raises(ComplianceError):
+            rogue.render(license_, package, user.require_card())
+
+    def test_count_constraint_enforced_across_renders(self, fresh_deployment, monkeypatch):
+        from repro.rel.parser import parse_rights
+
+        d = fresh_deployment("dev-count")
+        monkeypatch.setattr(
+            type(d.provider),
+            "_default_rights",
+            lambda self, content_id: parse_rights("play[count<=2]"),
+        )
+        user = d.add_user("u", balance=100)
+        device = d.add_device()
+        license_ = user.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        package = d.provider.download("song-1")
+        device.render(license_, package, user.require_card())
+        device.render(license_, package, user.require_card())
+        assert device.remaining_uses(license_, "play") == 0
+        with pytest.raises(RightsDenied):
+            device.render(license_, package, user.require_card())
+
+    def test_usage_survives_device_restart(self, fresh_deployment, monkeypatch, tmp_path):
+        """Counters persist: a 'reboot' (new device object, same db and
+        certificate) still refuses the third play."""
+        from repro.core.actors.device import CompliantDevice
+        from repro.rel.parser import parse_rights
+        from repro.storage.engine import Database
+
+        d = fresh_deployment("dev-restart")
+        monkeypatch.setattr(
+            type(d.provider),
+            "_default_rights",
+            lambda self, content_id: parse_rights("play[count<=2]"),
+        )
+        user = d.add_user("u", balance=100)
+        db_path = str(tmp_path / "device.db")
+        device = d.add_device(db=Database(db_path))
+        license_ = user.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        package = d.provider.download("song-1")
+        device.render(license_, package, user.require_card())
+        device.render(license_, package, user.require_card())
+
+        rebooted = CompliantDevice(
+            device.certificate,
+            clock=d.clock,
+            provider_license_key=d.provider.license_key,
+            db=Database(db_path),
+        )
+        rebooted.sync_revocations(d.provider)
+        with pytest.raises(RightsDenied):
+            rebooted.render(license_, package, user.require_card())

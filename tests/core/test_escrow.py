@@ -1,0 +1,117 @@
+"""Identity escrow: binding, verifiable opening, framing resistance."""
+
+import pytest
+
+from repro.core.escrow import (
+    EscrowOpening,
+    IdentityEscrow,
+    create_escrow,
+    open_escrow,
+    verify_opening,
+)
+from repro.crypto.elgamal import generate_elgamal_key
+from repro.errors import EscrowError
+
+
+@pytest.fixture()
+def ttp(test_group, rng):
+    return generate_elgamal_key(test_group, rng=rng)
+
+
+@pytest.fixture()
+def tag(test_group):
+    return test_group.encode_element(b"card-tag")
+
+
+class TestCreation:
+    def test_escrow_decrypts_to_tag(self, ttp, tag, rng):
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"pseud-fp", rng=rng
+        )
+        assert ttp.decrypt_element(escrow.ciphertext) == tag
+
+    def test_binding_verifies(self, ttp, tag, rng):
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"pseud-fp", rng=rng
+        )
+        escrow.verify_binding(b"pseud-fp")
+
+    def test_wrong_binding_rejected(self, ttp, tag, rng):
+        """An escrow lifted from one certificate cannot be attached to
+        another pseudonym — the transplant the proof exists to stop."""
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"pseud-A", rng=rng
+        )
+        with pytest.raises(EscrowError):
+            escrow.verify_binding(b"pseud-B")
+
+    def test_dict_roundtrip(self, ttp, tag, rng):
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"fp", rng=rng
+        )
+        restored = IdentityEscrow.from_dict(escrow.as_dict())
+        assert restored == escrow
+        restored.verify_binding(b"fp")
+
+
+class TestOpening:
+    def test_open_recovers_tag_with_proof(self, test_group, ttp, tag, rng):
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"fp", rng=rng
+        )
+        opening = open_escrow(escrow, ttp, rng=rng)
+        assert opening.tag_element == tag
+        verify_opening(escrow, opening, ttp.public_key)
+
+    def test_framing_rejected(self, test_group, ttp, tag, rng):
+        """A malicious TTP announcing a *different* tag (framing an
+        innocent user) cannot produce a valid opening proof."""
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"fp", rng=rng
+        )
+        opening = open_escrow(escrow, ttp, rng=rng)
+        innocent_tag = test_group.encode_element(b"innocent-card")
+        forged = EscrowOpening(
+            group=opening.group, tag_element=innocent_tag, proof=opening.proof
+        )
+        with pytest.raises(EscrowError):
+            verify_opening(escrow, forged, ttp.public_key)
+
+    def test_wrong_ttp_key_cannot_open_verifiably(self, test_group, tag, rng):
+        real_ttp = generate_elgamal_key(test_group, rng=rng)
+        fake_ttp = generate_elgamal_key(test_group, rng=rng)
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=real_ttp.public_key, binding=b"fp", rng=rng
+        )
+        opening = open_escrow(escrow, fake_ttp, rng=rng)  # wrong key, wrong tag
+        with pytest.raises(EscrowError):
+            verify_opening(escrow, opening, real_ttp.public_key)
+
+    def test_group_mismatch_rejected(self, test_group, ttp, tag, rng):
+        from repro.crypto.groups import named_group
+
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"fp", rng=rng
+        )
+        other_group_key = generate_elgamal_key(named_group("modp-1536"), rng=rng)
+        with pytest.raises(EscrowError):
+            open_escrow(escrow, other_group_key, rng=rng)
+
+    def test_opening_dict_roundtrip(self, ttp, tag, rng):
+        escrow = create_escrow(
+            tag_element=tag, ttp_key=ttp.public_key, binding=b"fp", rng=rng
+        )
+        opening = open_escrow(escrow, ttp, rng=rng)
+        assert EscrowOpening.from_dict(opening.as_dict()) == opening
+
+
+class TestUnlinkability:
+    def test_two_escrows_of_same_tag_look_unrelated(self, ttp, tag, rng):
+        """The same card's escrows across two certificates share no
+        visible structure (semantic security of ElGamal)."""
+        a = create_escrow(tag_element=tag, ttp_key=ttp.public_key, binding=b"A", rng=rng)
+        b = create_escrow(tag_element=tag, ttp_key=ttp.public_key, binding=b"B", rng=rng)
+        assert a.ciphertext.c1 != b.ciphertext.c1
+        assert a.ciphertext.c2 != b.ciphertext.c2
+        # Yet both open to the same tag.
+        assert ttp.decrypt_element(a.ciphertext) == ttp.decrypt_element(b.ciphertext)

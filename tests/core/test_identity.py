@@ -1,0 +1,141 @@
+"""Smart cards and pseudonyms."""
+
+import pytest
+
+from repro.core.identity import Pseudonym, SmartCard, identity_tag_for_card
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import AuthenticationError, ComplianceError
+
+
+@pytest.fixture()
+def card(test_group):
+    return SmartCard(
+        b"card-id-16bytes!",
+        test_group,
+        rng=DeterministicRandomSource(b"card"),
+    )
+
+
+class TestIdentityTag:
+    def test_deterministic_per_card(self, test_group):
+        a = identity_tag_for_card(test_group, b"card-1")
+        b = identity_tag_for_card(test_group, b"card-1")
+        assert a == b
+
+    def test_distinct_cards_distinct_tags(self, test_group):
+        assert identity_tag_for_card(test_group, b"card-1") != identity_tag_for_card(
+            test_group, b"card-2"
+        )
+
+    def test_tag_is_group_member(self, test_group, card):
+        assert test_group.contains(card.identity_tag)
+
+    def test_tag_bytes_fixed_width(self, test_group, card):
+        assert len(card.identity_tag_bytes) == (test_group.p.bit_length() + 7) // 8
+
+
+class TestPseudonyms:
+    def test_new_pseudonym_held(self, card):
+        pseudonym = card.new_pseudonym()
+        assert card.holds(pseudonym)
+        assert card.pseudonym_count() == 1
+
+    def test_pseudonyms_are_distinct(self, card):
+        a = card.new_pseudonym()
+        b = card.new_pseudonym()
+        assert a.fingerprint != b.fingerprint
+
+    def test_foreign_pseudonym_not_held(self, test_group, card):
+        other = SmartCard(
+            b"other-card-00000", test_group, rng=DeterministicRandomSource(b"o")
+        )
+        foreign = other.new_pseudonym()
+        assert not card.holds(foreign)
+        with pytest.raises(AuthenticationError):
+            card.sign(foreign, b"message")
+
+    def test_pseudonym_dict_roundtrip(self, card):
+        pseudonym = card.new_pseudonym()
+        assert Pseudonym.from_dict(pseudonym.as_dict()) == pseudonym
+
+    def test_signing_key_and_kem_key_share_element(self, card):
+        pseudonym = card.new_pseudonym()
+        assert pseudonym.signing_key.y == pseudonym.kem_key.y
+
+
+class TestCardOperations:
+    def test_sign_verifies_under_pseudonym(self, card):
+        pseudonym = card.new_pseudonym()
+        signature = card.sign(pseudonym, b"message")
+        pseudonym.signing_key.verify(b"message", signature)
+
+    def test_kem_roundtrip_through_card(self, card, rng):
+        pseudonym = card.new_pseudonym()
+        wrapped = pseudonym.kem_key.kem_wrap(b"content-key-0123", context=b"c", rng=rng)
+        key = card.unwrap_content_key(pseudonym, wrapped, context=b"c")
+        assert key == b"content-key-0123"
+
+    def test_escrow_created_and_bound(self, test_group, card, rng):
+        from repro.crypto.elgamal import generate_elgamal_key
+
+        ttp = generate_elgamal_key(test_group, rng=rng)
+        pseudonym = card.new_pseudonym()
+        escrow = card.make_escrow(pseudonym, ttp.public_key)
+        escrow.verify_binding(pseudonym.fingerprint)
+        assert ttp.decrypt_element(escrow.ciphertext) == card.identity_tag
+
+
+class TestComplianceGate:
+    def test_card_refuses_without_device_certificate(self, test_group, rng, rsa512):
+        card = SmartCard(
+            b"gated-card-00000",
+            test_group,
+            rng=DeterministicRandomSource(b"g"),
+            authority_key=rsa512.public_key,
+        )
+        pseudonym = card.new_pseudonym()
+        wrapped = pseudonym.kem_key.kem_wrap(b"key", context=b"c", rng=rng)
+        with pytest.raises(ComplianceError):
+            card.unwrap_content_key(pseudonym, wrapped, context=b"c")
+
+    def test_card_refuses_bogus_certificate(self, test_group, rng, rsa512, rsa768):
+        from repro.core.certificates import CertificateAuthority
+
+        card = SmartCard(
+            b"gated-card-00001",
+            test_group,
+            rng=DeterministicRandomSource(b"g2"),
+            authority_key=rsa512.public_key,
+        )
+        rogue_authority = CertificateAuthority(rsa768)  # not the trusted root
+        certificate = rogue_authority.certify_device(
+            "ab12", model="evil", capabilities=("play",), not_before=0, not_after=10**10
+        )
+        pseudonym = card.new_pseudonym()
+        wrapped = pseudonym.kem_key.kem_wrap(b"key", context=b"c", rng=rng)
+        with pytest.raises(ComplianceError):
+            card.unwrap_content_key(
+                pseudonym, wrapped, context=b"c", device_certificate=certificate
+            )
+
+    def test_card_accepts_valid_certificate(self, test_group, rng, rsa512):
+        from repro.core.certificates import CertificateAuthority
+
+        authority = CertificateAuthority(rsa512)
+        card = SmartCard(
+            b"gated-card-00002",
+            test_group,
+            rng=DeterministicRandomSource(b"g3"),
+            authority_key=rsa512.public_key,
+        )
+        certificate = authority.certify_device(
+            "ab12", model="ok", capabilities=("play",), not_before=0, not_after=10**10
+        )
+        pseudonym = card.new_pseudonym()
+        wrapped = pseudonym.kem_key.kem_wrap(b"key!", context=b"c", rng=rng)
+        assert (
+            card.unwrap_content_key(
+                pseudonym, wrapped, context=b"c", device_certificate=certificate
+            )
+            == b"key!"
+        )

@@ -1,0 +1,145 @@
+"""Smart card issuer: enrolment, blind certification, escrow opening."""
+
+import pytest
+
+from repro.core.messages import MisuseEvidence
+from repro.errors import AuthenticationError, EscrowError
+
+
+class TestEnrolment:
+    def test_enrol_creates_card_and_account(self, fresh_deployment):
+        d = fresh_deployment("enrol")
+        user = d.add_user("alice")
+        card = user.require_card()
+        account = d.issuer.accounts.by_card(card.card_id)
+        assert account is not None
+        assert account.user_id == "alice"
+        assert account.identity_tag == card.identity_tag_bytes
+
+    def test_double_enrolment_rejected(self, fresh_deployment):
+        d = fresh_deployment("enrol2")
+        d.add_user("alice")
+        with pytest.raises(Exception):
+            d.issuer.enrol("alice")
+
+    def test_enrolment_audited(self, fresh_deployment):
+        d = fresh_deployment("enrol3")
+        d.add_user("alice")
+        events = d.issuer.audit_log.entries(event="user_enrolled")
+        assert len(events) == 1
+
+
+class TestBlindCertification:
+    def test_unknown_card_rejected(self, fresh_deployment):
+        d = fresh_deployment("cert1")
+        with pytest.raises(AuthenticationError, match="unknown card"):
+            d.issuer.issue_blind_certificate(b"ghost-card", 12345)
+
+    def test_blocked_card_rejected(self, fresh_deployment):
+        d = fresh_deployment("cert2")
+        user = d.add_user("alice")
+        d.issuer.accounts.set_status("alice", "blocked")
+        with pytest.raises(AuthenticationError, match="blocked"):
+            user.prepare_certificate(d.issuer)
+
+    def test_certification_logs_card_not_pseudonym(self, fresh_deployment):
+        """The issuer's own audit record proves what it can and cannot
+        see: the card id is there, the pseudonym is not."""
+        d = fresh_deployment("cert3")
+        user = d.add_user("alice")
+        certificate = user.prepare_certificate(d.issuer)
+        (event,) = d.issuer.audit_log.entries(event="pseudonym_certified")
+        assert bytes(event.payload["card"]) == user.require_card().card_id
+        flattened = repr(event.payload)
+        assert certificate.fingerprint.hex() not in flattened
+        assert str(certificate.pseudonym.y) not in flattened
+
+    def test_certificate_verifies_under_issuer_key(self, fresh_deployment):
+        d = fresh_deployment("cert4")
+        user = d.add_user("alice")
+        certificate = user.prepare_certificate(d.issuer)
+        certificate.verify(d.issuer.certificate_key)
+
+
+class TestEscrowOpening:
+    def _double_redemption_evidence(self, d):
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        cheat = d.add_user("cheat", balance=100)
+        license_ = cheat.buy(
+            "song-1", provider=d.provider, issuer=d.issuer, bank=d.bank
+        )
+        anonymous = cheat.transfer_out(license_.license_id, provider=d.provider)
+        bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        from repro.errors import DoubleRedemptionError
+
+        with pytest.raises(DoubleRedemptionError) as err:
+            cheat.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        return err.value.evidence
+
+    def test_opening_identifies_second_redeemer(self, fresh_deployment):
+        d = fresh_deployment("open1")
+        evidence = self._double_redemption_evidence(d)
+        result = d.issuer.open_misuse_evidence(evidence)
+        assert result.offender_user_id == "cheat"
+        assert result.blocked
+
+    def test_offender_account_blocked(self, fresh_deployment):
+        d = fresh_deployment("open2")
+        evidence = self._double_redemption_evidence(d)
+        d.issuer.open_misuse_evidence(evidence)
+        assert d.issuer.accounts.get("cheat").status == "blocked"
+
+    def test_opening_is_audited(self, fresh_deployment):
+        d = fresh_deployment("open3")
+        evidence = self._double_redemption_evidence(d)
+        d.issuer.open_misuse_evidence(evidence)
+        events = d.issuer.audit_log.entries(event="escrow_opened")
+        assert len(events) == 1
+        assert bytes(events[0].payload["token"]) == evidence.token_id
+
+    def test_identical_transcripts_rejected(self, fresh_deployment):
+        d = fresh_deployment("open4")
+        evidence = self._double_redemption_evidence(d)
+        forged = MisuseEvidence(
+            kind=evidence.kind,
+            token_id=evidence.token_id,
+            content_id=evidence.content_id,
+            first_transcript=evidence.first_transcript,
+            second_transcript=evidence.first_transcript,
+        )
+        with pytest.raises(EscrowError, match="identical"):
+            d.issuer.open_misuse_evidence(forged)
+
+    def test_tampered_transcript_rejected(self, fresh_deployment):
+        """A provider cannot get a user de-anonymized with made-up
+        evidence: the transcript signatures must verify for the token."""
+        d = fresh_deployment("open5")
+        evidence = self._double_redemption_evidence(d)
+        forged = MisuseEvidence(
+            kind=evidence.kind,
+            token_id=b"\x13" * 16,  # different token than was signed
+            content_id=evidence.content_id,
+            first_transcript=evidence.first_transcript,
+            second_transcript=evidence.second_transcript,
+        )
+        with pytest.raises(EscrowError):
+            d.issuer.open_misuse_evidence(forged)
+
+    def test_opening_publicly_auditable(self, fresh_deployment):
+        from repro.core.escrow import verify_opening
+        from repro.core.messages import parse_redemption_transcript
+
+        d = fresh_deployment("open6")
+        evidence = self._double_redemption_evidence(d)
+        result = d.issuer.open_misuse_evidence(evidence)
+        offender_cert = parse_redemption_transcript(evidence.second_transcript)["cert"]
+        verify_opening(offender_cert.escrow, result.opening, d.issuer.escrow_key)
+
+    def test_honest_user_never_opened(self, fresh_deployment):
+        """No misuse → no escrow_opened events, structural guarantee of
+        the audit requirement."""
+        d = fresh_deployment("open7")
+        alice = d.add_user("alice", balance=100)
+        alice.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        assert d.issuer.audit_log.entries(event="escrow_opened") == []

@@ -1,0 +1,151 @@
+"""Licence structures: signing, verification, structural privacy claims."""
+
+import pytest
+
+from repro.core.identity import SmartCard
+from repro.core.licenses import (
+    LICENSE_ID_SIZE,
+    AnonymousLicense,
+    PersonalLicense,
+    kem_context,
+    sign_anonymous_license,
+    sign_personal_license,
+)
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import InvalidSignature
+from repro.rel.parser import parse_rights
+
+
+@pytest.fixture()
+def card(test_group):
+    return SmartCard(b"lic-test-card-01", test_group, rng=DeterministicRandomSource(b"c"))
+
+
+@pytest.fixture()
+def personal(card, rsa512, rng):
+    pseudonym = card.new_pseudonym()
+    license_id = rng.random_bytes(LICENSE_ID_SIZE)
+    wrapped = pseudonym.kem_key.kem_wrap(
+        b"K" * 16, context=kem_context(license_id, "song-1"), rng=rng
+    )
+    return sign_personal_license(
+        rsa512,
+        license_id=license_id,
+        content_id="song-1",
+        rights=parse_rights("play; transfer[count<=1]"),
+        pseudonym=pseudonym,
+        wrapped_key=wrapped,
+        issued_at=1000,
+    )
+
+
+@pytest.fixture()
+def anonymous(rsa512, rng):
+    return sign_anonymous_license(
+        rsa512,
+        license_id=rng.random_bytes(LICENSE_ID_SIZE),
+        content_id="song-1",
+        rights=parse_rights("play; transfer[count<=1]"),
+        issued_at=2000,
+    )
+
+
+class TestPersonalLicense:
+    def test_verifies(self, personal, rsa512):
+        personal.verify(rsa512.public_key)
+
+    def test_wrong_key_rejected(self, personal, rsa768):
+        with pytest.raises(InvalidSignature):
+            personal.verify(rsa768.public_key)
+
+    def test_tampered_rights_rejected(self, personal, rsa512):
+        forged = PersonalLicense(
+            license_id=personal.license_id,
+            content_id=personal.content_id,
+            rights=parse_rights("play; copy; transfer[count<=1]"),  # self-upgrade
+            pseudonym=personal.pseudonym,
+            wrapped_key=personal.wrapped_key,
+            issued_at=personal.issued_at,
+            signature=personal.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            forged.verify(rsa512.public_key)
+
+    def test_tampered_content_rejected(self, personal, rsa512):
+        forged = PersonalLicense(
+            license_id=personal.license_id,
+            content_id="different-song",
+            rights=personal.rights,
+            pseudonym=personal.pseudonym,
+            wrapped_key=personal.wrapped_key,
+            issued_at=personal.issued_at,
+            signature=personal.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            forged.verify(rsa512.public_key)
+
+    def test_dict_roundtrip(self, personal, rsa512):
+        restored = PersonalLicense.from_dict(personal.as_dict())
+        restored.verify(rsa512.public_key)
+        assert restored == personal
+
+    def test_kem_context_binds_license_and_content(self, personal):
+        assert personal.kem_context() == kem_context(
+            personal.license_id, personal.content_id
+        )
+
+    def test_holder_is_pseudonym_fingerprint(self, personal):
+        assert personal.holder_fingerprint == personal.pseudonym.fingerprint
+
+    def test_bad_license_id_size_rejected(self, personal):
+        with pytest.raises(InvalidSignature):
+            PersonalLicense(
+                license_id=b"short",
+                content_id=personal.content_id,
+                rights=personal.rights,
+                pseudonym=personal.pseudonym,
+                wrapped_key=personal.wrapped_key,
+                issued_at=personal.issued_at,
+                signature=personal.signature,
+            )
+
+
+class TestAnonymousLicense:
+    def test_verifies(self, anonymous, rsa512):
+        anonymous.verify(rsa512.public_key)
+
+    def test_tamper_rejected(self, anonymous, rsa512):
+        forged = AnonymousLicense(
+            license_id=anonymous.license_id,
+            content_id=anonymous.content_id,
+            rights=parse_rights("play; copy"),
+            issued_at=anonymous.issued_at,
+            signature=anonymous.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            forged.verify(rsa512.public_key)
+
+    def test_dict_roundtrip(self, anonymous, rsa512):
+        restored = AnonymousLicense.from_dict(anonymous.as_dict())
+        restored.verify(rsa512.public_key)
+        assert restored == anonymous
+
+    def test_carries_no_holder(self, anonymous):
+        """The paper's structural claim: no user key, no pseudonym, no
+        wrapped content key — only content, rights, token id."""
+        data = anonymous.as_dict()
+        assert set(data) == {"id", "content", "rights", "at", "sig"}
+
+    def test_smaller_than_personal(self, personal, anonymous):
+        assert anonymous.wire_size() < personal.wire_size()
+
+
+class TestKemContext:
+    def test_distinct_per_license(self, rng):
+        a = kem_context(rng.random_bytes(16), "c1")
+        b = kem_context(rng.random_bytes(16), "c1")
+        assert a != b
+
+    def test_distinct_per_content(self, rng):
+        license_id = rng.random_bytes(16)
+        assert kem_context(license_id, "c1") != kem_context(license_id, "c2")

@@ -1,0 +1,148 @@
+"""Wire messages: round-trips, signing payload stability, evidence."""
+
+import pytest
+
+from repro import codec
+from repro.core.messages import (
+    Coin,
+    ExchangeRequest,
+    MisuseEvidence,
+    PurchaseRequest,
+    RedeemRequest,
+    coin_payload,
+    exchange_signing_payload,
+    parse_redemption_transcript,
+    purchase_signing_payload,
+    redeem_signing_payload,
+    redemption_transcript,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts(deployment):
+    """One of each message, built through the real protocols."""
+    user = deployment.add_user("msg-user", balance=100)
+    receiver = deployment.add_user("msg-receiver", balance=100)
+    license_ = user.buy(
+        "song-1", provider=deployment.provider, issuer=deployment.issuer,
+        bank=deployment.bank,
+    )
+    anonymous = user.transfer_out(license_.license_id, provider=deployment.provider)
+    certificate = receiver.certificate_for_transaction(deployment.issuer)
+    coin = receiver.coins_for(1, deployment.bank)[0]
+    return deployment, user, receiver, license_, anonymous, certificate, coin
+
+
+class TestCoin:
+    def test_roundtrip(self, artifacts):
+        *_, coin = artifacts
+        assert Coin.from_dict(coin.as_dict()) == coin
+
+    def test_payload_depends_on_both_fields(self):
+        assert coin_payload(b"s1", 1) != coin_payload(b"s1", 5)
+        assert coin_payload(b"s1", 1) != coin_payload(b"s2", 1)
+
+    def test_wire_size_positive(self, artifacts):
+        *_, coin = artifacts
+        assert coin.wire_size() > 100
+
+
+class TestRequests:
+    def test_purchase_request_roundtrip(self, artifacts):
+        d, user, receiver, license_, anonymous, certificate, coin = artifacts
+        nonce = user.rng.random_bytes(16)
+        at = d.clock.now()
+        payload = purchase_signing_payload(
+            "song-1", certificate.fingerprint, [coin.serial], nonce, at
+        )
+        request = PurchaseRequest(
+            content_id="song-1",
+            certificate=certificate,
+            coins=(coin,),
+            nonce=nonce,
+            at=at,
+            signature=receiver.require_card().sign(certificate.pseudonym, payload),
+        )
+        restored = PurchaseRequest.from_dict(
+            codec.decode(codec.encode(request.as_dict()))
+        )
+        assert restored.signing_payload() == request.signing_payload()
+        assert restored.wire_size() == request.wire_size()
+
+    def test_exchange_request_roundtrip_with_restriction(self, artifacts):
+        d, user, *_ = artifacts
+        from repro.crypto.schnorr import SchnorrSignature
+
+        request = ExchangeRequest(
+            license_id=b"L" * 16,
+            nonce=b"N" * 16,
+            at=100,
+            signature=SchnorrSignature(challenge=1, response=2),
+            restrict_to=("play", "display"),
+        )
+        restored = ExchangeRequest.from_dict(request.as_dict())
+        assert restored == request
+        assert restored.signing_payload() == request.signing_payload()
+
+    def test_exchange_payload_distinguishes_restriction(self):
+        base = exchange_signing_payload(b"L" * 16, b"N" * 16, 1)
+        restricted = exchange_signing_payload(b"L" * 16, b"N" * 16, 1, ("play",))
+        unrestricted_explicit = exchange_signing_payload(b"L" * 16, b"N" * 16, 1, None)
+        assert base == unrestricted_explicit
+        assert base != restricted
+
+    def test_redeem_request_roundtrip(self, artifacts):
+        d, user, receiver, license_, anonymous, certificate, coin = artifacts
+        nonce = receiver.rng.random_bytes(16)
+        at = d.clock.now()
+        payload = redeem_signing_payload(
+            anonymous.license_id, certificate.fingerprint, nonce, at
+        )
+        request = RedeemRequest(
+            anonymous_license=anonymous,
+            certificate=certificate,
+            nonce=nonce,
+            at=at,
+            signature=receiver.require_card().sign(certificate.pseudonym, payload),
+        )
+        restored = RedeemRequest.from_dict(
+            codec.decode(codec.encode(request.as_dict()))
+        )
+        assert restored.signing_payload() == request.signing_payload()
+
+    def test_signing_payloads_disjoint_across_kinds(self, artifacts):
+        """A signature for one request kind can never verify as another:
+        payloads carry distinct 'what' tags."""
+        purchase = purchase_signing_payload("c", b"F" * 32, [], b"N" * 16, 1)
+        exchange = exchange_signing_payload(b"L" * 16, b"N" * 16, 1)
+        redeem = redeem_signing_payload(b"L" * 16, b"F" * 32, b"N" * 16, 1)
+        tags = set()
+        for payload in (purchase, exchange, redeem):
+            tags.add(codec.decode(payload)["what"])
+        assert len(tags) == 3
+
+
+class TestTranscriptsAndEvidence:
+    def test_redemption_transcript_roundtrip(self, artifacts):
+        d, user, receiver, license_, anonymous, certificate, coin = artifacts
+        signature = receiver.require_card().sign(certificate.pseudonym, b"payload")
+        blob = redemption_transcript(certificate, signature, b"N" * 16, 42)
+        parsed = parse_redemption_transcript(blob)
+        assert parsed["cert"].fingerprint == certificate.fingerprint
+        assert parsed["sig"] == signature
+        assert parsed["nonce"] == b"N" * 16
+        assert parsed["at"] == 42
+
+    def test_misuse_evidence_roundtrip(self):
+        evidence = MisuseEvidence(
+            kind="double-redemption",
+            token_id=b"T" * 16,
+            content_id="song-1",
+            first_transcript=b"first",
+            second_transcript=b"second",
+        )
+        restored = MisuseEvidence.from_dict(
+            codec.decode(codec.encode(evidence.as_dict()))
+        )
+        assert restored == evidence
+        assert restored.wire_size() > 0

@@ -1,0 +1,85 @@
+"""Offline non-revocation proofs: snapshot + Merkle non-inclusion."""
+
+import pytest
+
+from repro.errors import RevokedLicenseError
+from repro.storage.merkle import verify_non_inclusion
+
+
+class TestProveNotRevoked:
+    def test_valid_license_gets_verifiable_proof(self, fresh_deployment):
+        d = fresh_deployment("nrp1")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_a = d.buy("alice", "song-1")
+        license_b = d.buy("bob", "song-1")
+        # Create some revocations so the tree is non-trivial.
+        anonymous = alice.transfer_out(license_a.license_id, provider=d.provider)
+        bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+
+        snapshot, proof = d.provider.prove_not_revoked(license_b.license_id)
+        # An offline verifier checks: signature, then the proof.
+        snapshot.verify(d.provider.license_key)
+        assert verify_non_inclusion(
+            snapshot.merkle_root, snapshot.count, license_b.license_id, proof
+        )
+
+    def test_revoked_license_refused(self, fresh_deployment):
+        d = fresh_deployment("nrp2")
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        alice.transfer_out(license_.license_id, provider=d.provider)
+        with pytest.raises(RevokedLicenseError):
+            d.provider.prove_not_revoked(license_.license_id)
+
+    def test_proof_does_not_transfer_to_other_license(self, fresh_deployment):
+        d = fresh_deployment("nrp3")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_a = d.buy("alice", "song-1")
+        license_b = d.buy("bob", "song-1")
+        anonymous = alice.transfer_out(license_a.license_id, provider=d.provider)
+        bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+
+        snapshot, proof = d.provider.prove_not_revoked(license_b.license_id)
+        # Using bob's proof to claim *alice's revoked* licence is clean fails.
+        assert not verify_non_inclusion(
+            snapshot.merkle_root, snapshot.count, license_a.license_id, proof
+        )
+
+    def test_empty_lrl_proof(self, fresh_deployment):
+        d = fresh_deployment("nrp4")
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        snapshot, proof = d.provider.prove_not_revoked(license_.license_id)
+        snapshot.verify(d.provider.license_key)
+        assert snapshot.count == 0
+        assert verify_non_inclusion(
+            snapshot.merkle_root, snapshot.count, license_.license_id, proof
+        )
+
+    def test_stale_proof_detectable_by_version(self, fresh_deployment):
+        """A proof is a statement about one snapshot; after a later
+        revocation, the version/root change and the verifier can demand
+        a fresher snapshot."""
+        d = fresh_deployment("nrp5")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = d.buy("alice", "song-1")
+        old_snapshot, old_proof = d.provider.prove_not_revoked(license_.license_id)
+        anonymous = alice.transfer_out(license_.license_id, provider=d.provider)
+        bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        new_snapshot = d.provider.revocation_list.snapshot
+        assert d.provider.revocation_list.current_version() > old_snapshot.version
+        # The old proof still verifies against the OLD root (it is a
+        # true statement about the past) but not against the new one.
+        assert verify_non_inclusion(
+            old_snapshot.merkle_root, old_snapshot.count, license_.license_id, old_proof
+        )
+        current = d.provider.revocation_list
+        from repro.storage.merkle import MerkleTree
+
+        new_root = MerkleTree(current.all_ids()).root
+        assert not verify_non_inclusion(
+            new_root, current.count(), license_.license_id, old_proof
+        )

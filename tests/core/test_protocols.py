@@ -1,0 +1,158 @@
+"""Protocol wrappers: end-to-end flows, transcripts, message privacy."""
+
+import pytest
+
+from repro import codec, instrument
+from repro.core.protocols import (
+    Transcript,
+    certify_pseudonym,
+    purchase_content,
+    render_content,
+    report_misuse,
+    transfer_license,
+    withdraw_coins,
+)
+from repro.errors import DoubleRedemptionError
+
+
+@pytest.fixture(scope="module")
+def cast(deployment):
+    alice = deployment.add_user("proto-alice", balance=1000)
+    bob = deployment.add_user("proto-bob", balance=1000)
+    device = deployment.add_device()
+    return alice, bob, device
+
+
+class TestTranscripts:
+    def test_purchase_transcript(self, deployment, cast):
+        alice, _, _ = cast
+        transcript = Transcript()
+        purchase_content(
+            alice, deployment.provider, deployment.issuer, deployment.bank,
+            "song-1", transcript=transcript,
+        )
+        assert transcript.protocol == "purchase"
+        assert "purchase-request" in transcript.steps()
+        assert "license" in transcript.steps()
+        assert transcript.total_bytes > 500
+
+    def test_certification_transcript(self, deployment, cast):
+        alice, _, _ = cast
+        transcript = Transcript()
+        certify_pseudonym(alice, deployment.issuer, transcript=transcript)
+        assert transcript.steps() == ["blind-request", "blind-signature"]
+
+    def test_withdrawal_transcript(self, deployment, cast):
+        alice, _, _ = cast
+        transcript = Transcript()
+        withdraw_coins(alice, deployment.bank, 26, transcript=transcript)
+        # 26 = 20 + 5 + 1 → three request/response pairs.
+        assert transcript.message_count == 6
+
+    def test_transfer_transcript_includes_handover(self, deployment, cast):
+        alice, bob, _ = cast
+        license_ = alice.buy(
+            "song-1", provider=deployment.provider, issuer=deployment.issuer,
+            bank=deployment.bank,
+        )
+        transcript = Transcript()
+        transfer_license(
+            alice, bob, deployment.provider, deployment.issuer,
+            license_.license_id, transcript=transcript,
+        )
+        steps = transcript.steps()
+        assert steps.index("exchange-request") < steps.index("handover")
+        assert steps.index("handover") < steps.index("redeem-request")
+
+    def test_access_transcript_has_single_offdevice_message(self, deployment, cast):
+        alice, _, device = cast
+        if not alice.owns_content("song-1"):
+            alice.buy(
+                "song-1", provider=deployment.provider, issuer=deployment.issuer,
+                bank=deployment.bank,
+            )
+        transcript = Transcript()
+        render_content(
+            alice, device, deployment.provider, "song-1", transcript=transcript
+        )
+        assert transcript.steps() == ["package-download"]
+
+    def test_byte_accounting(self, deployment, cast):
+        alice, _, _ = cast
+        transcript = Transcript()
+        transcript.add("step", "a", "b", b"12345")
+        transcript.add("step2", "b", "a", {"k": 1})
+        assert transcript.total_bytes == 5 + len(codec.encode({"k": 1}))
+        assert transcript.bytes_sent_by("a") == 5
+
+
+class TestOpCounting:
+    def test_purchase_costs_counted(self, deployment, cast):
+        alice, _, _ = cast
+        with instrument.measure() as ops:
+            purchase_content(
+                alice, deployment.provider, deployment.issuer, deployment.bank, "song-1"
+            )
+        counts = ops.as_dict()
+        assert counts.get("rsa.private_op", 0) >= 2   # blind cert + licence sig
+        assert counts.get("modexp", 0) >= 6           # schnorr + kem + escrow
+
+    def test_nested_scopes_both_count(self, deployment, cast):
+        alice, _, _ = cast
+        with instrument.measure() as outer:
+            with instrument.measure() as inner:
+                certify_pseudonym(alice, deployment.issuer)
+        assert inner.counts == outer.counts
+        assert inner.total("rsa") > 0
+
+    def test_no_scope_no_cost(self, deployment, cast):
+        """Ticks outside a measure() scope are dropped, not accumulated."""
+        alice, _, _ = cast
+        certify_pseudonym(alice, deployment.issuer)
+        with instrument.measure() as ops:
+            pass
+        assert ops.counts == {}
+
+
+class TestMessagePrivacy:
+    def test_purchase_request_carries_no_identity(self, deployment, cast):
+        """Field-by-field: nothing in the purchase request names the
+        user, the card, or the bank account."""
+        from repro.core.messages import PurchaseRequest, purchase_signing_payload
+
+        alice, _, _ = cast
+        certificate = alice.certificate_for_transaction(deployment.issuer)
+        coins = alice.coins_for(3, deployment.bank)
+        nonce = alice.rng.random_bytes(16)
+        at = deployment.clock.now()
+        payload = purchase_signing_payload(
+            "song-1", certificate.fingerprint, [c.serial for c in coins], nonce, at
+        )
+        request = PurchaseRequest(
+            content_id="song-1",
+            certificate=certificate,
+            coins=tuple(coins),
+            nonce=nonce,
+            at=at,
+            signature=alice.require_card().sign(certificate.pseudonym, payload),
+        )
+        wire = codec.encode(request.as_dict())
+        assert b"proto-alice" not in wire
+        assert alice.require_card().card_id not in wire
+        assert alice.bank_account.encode() not in wire
+
+    def test_report_misuse_roundtrip(self, fresh_deployment):
+        d = fresh_deployment("proto-misuse")
+        cheat = d.add_user("cheat", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = cheat.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        anonymous = cheat.transfer_out(license_.license_id, provider=d.provider)
+        bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        with pytest.raises(DoubleRedemptionError) as err:
+            cheat.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        transcript = Transcript()
+        result = report_misuse(
+            d.provider, d.issuer, err.value.evidence, transcript=transcript
+        )
+        assert result.offender_user_id == "cheat"
+        assert transcript.steps() == ["evidence", "revocation-result"]

@@ -1,0 +1,321 @@
+"""Content provider: sale/exchange/redeem handlers and their refusals."""
+
+import pytest
+
+from repro.core.messages import (
+    ExchangeRequest,
+    PurchaseRequest,
+    RedeemRequest,
+    exchange_signing_payload,
+    purchase_signing_payload,
+    redeem_signing_payload,
+)
+from repro.core.protocols.payment import withdraw_coins
+from repro.errors import (
+    AuthenticationError,
+    DoubleRedemptionError,
+    DoubleSpendError,
+    PaymentError,
+    ProtocolError,
+    RevokedLicenseError,
+    UnknownContentError,
+)
+
+
+@pytest.fixture(scope="module")
+def users(deployment):
+    return {
+        name: deployment.add_user(name, balance=1000)
+        for name in ("buyer", "seller", "receiver", "mallory")
+    }
+
+
+def make_purchase_request(deployment, user, content_id="song-1", *, coins=None, at=None, nonce=None):
+    """Assemble a raw purchase request (so tests can tamper with it)."""
+    certificate = user.certificate_for_transaction(deployment.issuer)
+    if coins is None:
+        coins = user.coins_for(deployment.provider.price(content_id), deployment.bank)
+    nonce = nonce or user.rng.random_bytes(16)
+    at = at if at is not None else deployment.clock.now()
+    payload = purchase_signing_payload(
+        content_id, certificate.fingerprint, [c.serial for c in coins], nonce, at
+    )
+    signature = user.require_card().sign(certificate.pseudonym, payload)
+    return PurchaseRequest(
+        content_id=content_id,
+        certificate=certificate,
+        coins=tuple(coins),
+        nonce=nonce,
+        at=at,
+        signature=signature,
+    )
+
+
+class TestSell:
+    def test_happy_path(self, deployment, users):
+        request = make_purchase_request(deployment, users["buyer"])
+        license_ = deployment.provider.sell(request)
+        license_.verify(deployment.provider.license_key)
+        assert license_.content_id == "song-1"
+        assert license_.holder_fingerprint == request.certificate.fingerprint
+
+    def test_unknown_content_rejected(self, deployment, users):
+        request = make_purchase_request(deployment, users["buyer"])
+        forged = PurchaseRequest(
+            content_id="ghost-content",
+            certificate=request.certificate,
+            coins=request.coins,
+            nonce=request.nonce,
+            at=request.at,
+            signature=request.signature,
+        )
+        with pytest.raises(UnknownContentError):
+            deployment.provider.sell(forged)
+
+    def test_replayed_request_rejected(self, deployment, users):
+        request = make_purchase_request(deployment, users["buyer"])
+        deployment.provider.sell(request)
+        with pytest.raises((AuthenticationError, DoubleSpendError)):
+            deployment.provider.sell(request)
+
+    def test_underpayment_rejected(self, deployment, users):
+        user = users["buyer"]
+        coins = user.coins_for(1, deployment.bank)  # price is 3
+        request = make_purchase_request(deployment, user, coins=coins)
+        with pytest.raises(PaymentError):
+            deployment.provider.sell(request)
+
+    def test_spent_coin_rejected_without_side_effects(self, deployment, users):
+        from repro.errors import PaymentError as PE
+
+        user = users["buyer"]
+        coins = user.coins_for(3, deployment.bank)
+        # Deposit one coin out-of-band first (simulates a copied coin).
+        try:
+            deployment.bank.open_account("merchant-x")
+        except PE:
+            pass
+        deployment.bank.deposit("merchant-x", coins[0])
+        request = make_purchase_request(deployment, user, coins=coins)
+        with pytest.raises(DoubleSpendError):
+            deployment.provider.sell(request)
+        # The other coins were not swallowed by the failed sale.
+        assert not deployment.bank.is_spent(coins[1])
+
+    def test_stale_timestamp_rejected(self, deployment, users):
+        request = make_purchase_request(
+            deployment, users["buyer"], at=deployment.clock.now() - 100_000
+        )
+        with pytest.raises(AuthenticationError, match="freshness"):
+            deployment.provider.sell(request)
+
+    def test_tampered_signature_rejected(self, deployment, users):
+        request = make_purchase_request(deployment, users["buyer"])
+        forged = PurchaseRequest(
+            content_id=request.content_id,
+            certificate=request.certificate,
+            coins=request.coins,
+            nonce=b"\x00" * 16,  # signature no longer covers this nonce
+            at=request.at,
+            signature=request.signature,
+        )
+        with pytest.raises(AuthenticationError):
+            deployment.provider.sell(forged)
+
+    def test_uncertified_pseudonym_rejected(self, deployment, users):
+        """A self-made certificate (no issuer signature) is refused."""
+        from repro.core.certificates import PseudonymCertificate
+
+        user = users["mallory"]
+        card = user.require_card()
+        pseudonym = card.new_pseudonym()
+        escrow = card.make_escrow(pseudonym, deployment.issuer.escrow_key)
+        fake = PseudonymCertificate(
+            pseudonym=pseudonym, escrow=escrow, signature=b"\x01" * 64
+        )
+        coins = user.coins_for(3, deployment.bank)
+        nonce = user.rng.random_bytes(16)
+        at = deployment.clock.now()
+        payload = purchase_signing_payload(
+            "song-1", fake.fingerprint, [c.serial for c in coins], nonce, at
+        )
+        request = PurchaseRequest(
+            content_id="song-1",
+            certificate=fake,
+            coins=tuple(coins),
+            nonce=nonce,
+            at=at,
+            signature=card.sign(pseudonym, payload),
+        )
+        with pytest.raises(AuthenticationError, match="certificate"):
+            deployment.provider.sell(request)
+
+
+class TestExchange:
+    def _buy(self, deployment, user):
+        return deployment.provider.sell(make_purchase_request(deployment, user))
+
+    def _exchange_request(self, deployment, user, license_, *, nonce=None, at=None):
+        nonce = nonce or user.rng.random_bytes(16)
+        at = at if at is not None else deployment.clock.now()
+        payload = exchange_signing_payload(license_.license_id, nonce, at)
+        signature = user.require_card().sign(license_.pseudonym, payload)
+        return ExchangeRequest(
+            license_id=license_.license_id, nonce=nonce, at=at, signature=signature
+        )
+
+    def test_happy_path_revokes_and_issues(self, deployment, users):
+        user = users["seller"]
+        license_ = self._buy(deployment, user)
+        user.add_license(license_)
+        request = self._exchange_request(deployment, user, license_)
+        anonymous = deployment.provider.exchange(request)
+        anonymous.verify(deployment.provider.license_key)
+        assert anonymous.content_id == license_.content_id
+        assert deployment.provider.revocation_list.is_revoked(license_.license_id)
+
+    def test_unknown_license_rejected(self, deployment, users):
+        user = users["seller"]
+        request = ExchangeRequest(
+            license_id=b"\x99" * 16,
+            nonce=user.rng.random_bytes(16),
+            at=deployment.clock.now(),
+            signature=user.require_card().sign(
+                user.certificate_for_transaction(deployment.issuer).pseudonym, b"x"
+            ),
+        )
+        with pytest.raises(ProtocolError, match="unknown licence"):
+            deployment.provider.exchange(request)
+
+    def test_non_holder_cannot_exchange(self, deployment, users):
+        """Mallory cannot exchange Bob's licence: she cannot produce the
+        holder-pseudonym signature."""
+        seller, mallory = users["seller"], users["mallory"]
+        license_ = self._buy(deployment, seller)
+        nonce = mallory.rng.random_bytes(16)
+        at = deployment.clock.now()
+        payload = exchange_signing_payload(license_.license_id, nonce, at)
+        mallory_cert = mallory.certificate_for_transaction(deployment.issuer)
+        forged = ExchangeRequest(
+            license_id=license_.license_id,
+            nonce=nonce,
+            at=at,
+            signature=mallory.require_card().sign(mallory_cert.pseudonym, payload),
+        )
+        with pytest.raises(AuthenticationError):
+            deployment.provider.exchange(forged)
+
+    def test_double_exchange_rejected(self, deployment, users):
+        user = users["seller"]
+        license_ = self._buy(deployment, user)
+        deployment.provider.exchange(self._exchange_request(deployment, user, license_))
+        with pytest.raises(RevokedLicenseError):
+            deployment.provider.exchange(
+                self._exchange_request(deployment, user, license_)
+            )
+
+    def test_non_transferable_rights_rejected(self, deployment, users, monkeypatch):
+        from repro.rel.parser import parse_rights
+
+        user = users["seller"]
+        monkeypatch.setattr(
+            type(deployment.provider),
+            "_default_rights",
+            lambda self, content_id: parse_rights("play"),
+        )
+        license_ = self._buy(deployment, user)
+        monkeypatch.undo()
+        with pytest.raises(ProtocolError, match="transfer"):
+            deployment.provider.exchange(
+                self._exchange_request(deployment, user, license_)
+            )
+
+
+class TestRedeem:
+    def _anonymous(self, deployment, user):
+        license_ = deployment.provider.sell(make_purchase_request(deployment, user))
+        user.add_license(license_)
+        return user.transfer_out(license_.license_id, provider=deployment.provider)
+
+    def _redeem_request(self, deployment, user, anonymous):
+        certificate = user.certificate_for_transaction(deployment.issuer)
+        nonce = user.rng.random_bytes(16)
+        at = deployment.clock.now()
+        payload = redeem_signing_payload(
+            anonymous.license_id, certificate.fingerprint, nonce, at
+        )
+        return RedeemRequest(
+            anonymous_license=anonymous,
+            certificate=certificate,
+            nonce=nonce,
+            at=at,
+            signature=user.require_card().sign(certificate.pseudonym, payload),
+        )
+
+    def test_happy_path(self, deployment, users):
+        anonymous = self._anonymous(deployment, users["seller"])
+        request = self._redeem_request(deployment, users["receiver"], anonymous)
+        license_ = deployment.provider.redeem(request)
+        license_.verify(deployment.provider.license_key)
+        assert license_.content_id == anonymous.content_id
+        assert license_.rights == anonymous.rights
+
+    def test_double_redemption_detected_with_evidence(self, deployment, users):
+        anonymous = self._anonymous(deployment, users["seller"])
+        deployment.provider.redeem(
+            self._redeem_request(deployment, users["receiver"], anonymous)
+        )
+        with pytest.raises(DoubleRedemptionError) as err:
+            deployment.provider.redeem(
+                self._redeem_request(deployment, users["mallory"], anonymous)
+            )
+        evidence = err.value.evidence
+        assert evidence.token_id == anonymous.license_id
+        assert evidence.first_transcript != evidence.second_transcript
+
+    def test_forged_anonymous_license_rejected(self, deployment, users):
+        from repro.core.licenses import AnonymousLicense
+        from repro.rel.parser import parse_rights
+
+        forged = AnonymousLicense(
+            license_id=b"\x42" * 16,
+            content_id="song-1",
+            rights=parse_rights("play; copy; export"),
+            issued_at=deployment.clock.now(),
+            signature=b"\x01" * 64,
+        )
+        with pytest.raises(AuthenticationError):
+            deployment.provider.redeem(
+                self._redeem_request(deployment, users["receiver"], forged)
+            )
+
+    def test_redeemed_license_wraps_key_for_new_pseudonym(self, deployment, users):
+        anonymous = self._anonymous(deployment, users["seller"])
+        request = self._redeem_request(deployment, users["receiver"], anonymous)
+        license_ = deployment.provider.redeem(request)
+        key = users["receiver"].require_card().unwrap_content_key(
+            license_.pseudonym,
+            license_.wrapped_key,
+            context=license_.kem_context(),
+            device_certificate=deployment.authority.certify_device(
+                "ab12", model="m", capabilities=("play",),
+                not_before=0, not_after=10**12,
+            ),
+        )
+        assert len(key) == 16
+
+
+class TestCatalog:
+    def test_publish_and_browse(self, fresh_deployment):
+        d = fresh_deployment("catalog")
+        d.provider.publish("song-2", b"PAYLOAD2", title="Two", price=5)
+        entries = {e.content_id: e for e in d.provider.catalog()}
+        assert set(entries) == {"song-1", "song-2"}
+        assert entries["song-2"].price_cents == 5
+
+    def test_download_is_unauthenticated(self, deployment):
+        package = deployment.provider.download("song-1")
+        assert package.content_id == "song-1"
+
+    def test_audit_chain_stays_valid(self, deployment):
+        assert deployment.provider.audit_log.verify_chain() >= 0

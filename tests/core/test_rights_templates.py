@@ -1,0 +1,107 @@
+"""Per-content rights templates: rentals, regional sales, device binding."""
+
+import pytest
+
+from repro.errors import RightsDenied, RightsParseError, StorageError
+
+
+class TestTemplatePlumbing:
+    def test_default_template(self, fresh_deployment):
+        d = fresh_deployment("tmpl1")
+        license_ = d.add_user("u", balance=100) and d.buy("u", "song-1")
+        assert license_.rights.transferable
+        assert license_.rights.permission_for("play").max_count() is None
+
+    def test_bad_template_rejected_at_publish(self, fresh_deployment):
+        d = fresh_deployment("tmpl2")
+        with pytest.raises(RightsParseError):
+            d.provider.publish("bad", b"X", title="B", price=1, rights_template="fly")
+
+    def test_template_recorded_per_content(self, fresh_deployment):
+        d = fresh_deployment("tmpl3")
+        d.provider.publish(
+            "rental", b"X" * 32, title="R", price=1,
+            rights_template="play[count<=2]",
+        )
+        assert d.provider._contents.rights_template("rental") == "play[count<=2]"
+        assert "transfer" in d.provider._contents.rights_template("song-1")
+
+
+class TestRentalScenario:
+    def test_play_count_rental(self, fresh_deployment):
+        d = fresh_deployment("rental1")
+        d.provider.publish(
+            "rental-movie", b"MOVIE" * 64, title="Rental", price=2,
+            rights_template="play[count<=2]",
+        )
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "rental-movie")
+        assert not license_.rights.transferable
+        device = d.add_device()
+        package = d.provider.download("rental-movie")
+        device.render(license_, package, user.require_card())
+        device.render(license_, package, user.require_card())
+        with pytest.raises(RightsDenied, match="exhausted"):
+            device.render(license_, package, user.require_card())
+
+    def test_expiring_rental(self, fresh_deployment):
+        d = fresh_deployment("rental2")
+        expiry = d.clock.now() + 3600
+        d.provider.publish(
+            "day-pass", b"PASS" * 32, title="Pass", price=1,
+            rights_template=f"play[before={expiry}]",
+        )
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "day-pass")
+        device = d.add_device()
+        package = d.provider.download("day-pass")
+        device.render(license_, package, user.require_card())
+        d.clock.advance(3601)
+        with pytest.raises(RightsDenied, match="expired"):
+            device.render(license_, package, user.require_card())
+
+    def test_rental_cannot_be_transferred(self, fresh_deployment):
+        from repro.errors import ProtocolError
+
+        d = fresh_deployment("rental3")
+        d.provider.publish(
+            "no-transfer", b"X" * 32, title="NT", price=1,
+            rights_template="play",
+        )
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "no-transfer")
+        with pytest.raises(ProtocolError, match="transfer"):
+            user.transfer_out(license_.license_id, provider=d.provider)
+
+
+class TestRegionalScenario:
+    def test_region_locked_content(self, fresh_deployment):
+        d = fresh_deployment("region1")
+        d.provider.publish(
+            "eu-only", b"X" * 32, title="EU", price=1,
+            rights_template="play[region=eu]",
+        )
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "eu-only")
+        eu_device = d.add_device(region="eu")
+        us_device = d.add_device(region="us")
+        package = d.provider.download("eu-only")
+        eu_device.render(license_, package, user.require_card())
+        with pytest.raises(RightsDenied, match="region"):
+            us_device.render(license_, package, user.require_card())
+
+    def test_rights_survive_transfer_with_template(self, fresh_deployment):
+        """Template constraints ride along through exchange+redeem."""
+        d = fresh_deployment("region2")
+        d.provider.publish(
+            "eu-transferable", b"X" * 32, title="EU-T", price=1,
+            rights_template="play[region=eu]; transfer[count<=1]",
+        )
+        a = d.add_user("a", balance=100)
+        b = d.add_user("b", balance=100)
+        license_ = d.buy("a", "eu-transferable")
+        new_license = d.transfer("a", "b", license_.license_id)
+        us_device = d.add_device(region="us")
+        package = d.provider.download("eu-transferable")
+        with pytest.raises(RightsDenied, match="region"):
+            us_device.render(new_license, package, b.require_card())

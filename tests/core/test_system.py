@@ -1,0 +1,105 @@
+"""Deployment construction and the user-agent surface."""
+
+import pytest
+
+from repro.core.system import build_deployment
+from repro.errors import PaymentError, ProtocolError
+
+
+class TestBuildDeployment:
+    def test_deterministic_for_seed(self):
+        a = build_deployment(seed="same-seed", rsa_bits=512)
+        b = build_deployment(seed="same-seed", rsa_bits=512)
+        assert a.provider.license_key == b.provider.license_key
+        assert a.issuer.certificate_key == b.issuer.certificate_key
+
+    def test_distinct_seeds_distinct_keys(self):
+        a = build_deployment(seed="seed-a", rsa_bits=512)
+        b = build_deployment(seed="seed-b", rsa_bits=512)
+        assert a.provider.license_key != b.provider.license_key
+
+    def test_duplicate_user_rejected(self, fresh_deployment):
+        d = fresh_deployment("dup-user")
+        d.add_user("alice")
+        with pytest.raises(ValueError):
+            d.add_user("alice")
+
+    def test_devices_synced_at_creation(self, fresh_deployment):
+        d = fresh_deployment("dev-sync")
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "song-1")
+        user.transfer_out(license_.license_id, provider=d.provider)
+        device = d.add_device()  # created after the revocation
+        assert device.revocation_version == d.provider.revocation_list.current_version()
+
+
+class TestUserAgentSurface:
+    def test_unenrolled_user_cannot_act(self, rng):
+        from repro.core.actors.user import UserAgent
+
+        user = UserAgent("loner", rng=rng)
+        with pytest.raises(ProtocolError):
+            user.require_card()
+
+    def test_wallet_management(self, fresh_deployment):
+        d = fresh_deployment("wallet")
+        user = d.add_user("u", balance=50)
+        coins = user.coins_for(26, d.bank)
+        assert sum(c.value for c in coins) == 26
+        assert d.bank.balance(user.bank_account) == 24
+        # Exact coins removed from the wallet, leftovers stay.
+        assert user.wallet_value() == 0
+
+    def test_wallet_reuses_existing_coins(self, fresh_deployment):
+        d = fresh_deployment("wallet2")
+        user = d.add_user("u", balance=50)
+        from repro.core.protocols.payment import withdraw_coins
+
+        withdraw_coins(user, d.bank, 26)
+        assert user.wallet_value() == 26
+        coins = user.coins_for(26, d.bank)
+        assert sum(c.value for c in coins) == 26
+        assert d.bank.balance(user.bank_account) == 24  # no second withdrawal
+
+    def test_license_bookkeeping(self, fresh_deployment):
+        d = fresh_deployment("books")
+        user = d.add_user("u", balance=100)
+        license_ = d.buy("u", "song-1")
+        assert user.owns_content("song-1")
+        assert user.license_for_content("song-1") == license_
+        with pytest.raises(ProtocolError):
+            user.license_for_content("ghost")
+        user.remove_license(license_.license_id)
+        assert not user.owns_content("song-1")
+        with pytest.raises(ProtocolError):
+            user.remove_license(license_.license_id)
+
+    def test_transfer_shorthand(self, fresh_deployment):
+        d = fresh_deployment("shorthand")
+        d.add_user("a", balance=100)
+        d.add_user("b", balance=100)
+        license_ = d.buy("a", "song-1")
+        new_license = d.transfer("a", "b", license_.license_id)
+        assert not d.users["a"].owns_content("song-1")
+        assert d.users["b"].owns_content("song-1")
+        assert new_license.content_id == "song-1"
+
+    def test_insufficient_funds_fail_purchase(self, fresh_deployment):
+        d = fresh_deployment("broke")
+        d.add_user("poor", balance=0)
+        with pytest.raises(PaymentError):
+            d.buy("poor", "song-1")
+
+    def test_pseudonym_policy_fresh(self, fresh_deployment):
+        d = fresh_deployment("fresh-policy")
+        user = d.add_user("u", balance=100)
+        first = d.buy("u", "song-1")
+        second = d.buy("u", "song-1")
+        assert first.holder_fingerprint != second.holder_fingerprint
+
+    def test_pseudonym_policy_reuse(self, fresh_deployment):
+        d = fresh_deployment("reuse-policy")
+        user = d.add_user("u", balance=100, fresh_pseudonym_per_transaction=False)
+        first = d.buy("u", "song-1")
+        second = d.buy("u", "song-1")
+        assert first.holder_fingerprint == second.holder_fingerprint

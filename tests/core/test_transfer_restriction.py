@@ -1,0 +1,99 @@
+"""Rights restriction on transfer: narrowing is allowed, widening is not."""
+
+import pytest
+
+from repro.errors import ProtocolError, RightsDenied
+
+
+class TestRestrictedTransfer:
+    def test_play_only_gift(self, fresh_deployment):
+        """Alice holds play+display+transfer; she gifts a play-only
+        copy.  Bob can play but cannot transfer onward."""
+        d = fresh_deployment("restrict1")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = d.buy("alice", "song-1")
+        anonymous = alice.transfer_out(
+            license_.license_id, provider=d.provider, restrict_to=("play",)
+        )
+        assert [p.action for p in anonymous.rights.permissions] == ["play"]
+        license_b = bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        assert not license_b.rights.transferable
+        # Bob plays fine…
+        device = d.add_device()
+        device.sync_revocations(d.provider)
+        bob.play("song-1", device, provider=d.provider)
+        # …but cannot pass it on.
+        with pytest.raises(ProtocolError, match="transfer"):
+            bob.transfer_out(license_b.license_id, provider=d.provider)
+
+    def test_restricted_action_denied_on_device(self, fresh_deployment):
+        d = fresh_deployment("restrict2")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = d.buy("alice", "song-1")
+        anonymous = alice.transfer_out(
+            license_.license_id, provider=d.provider, restrict_to=("play",)
+        )
+        license_b = bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        device = d.add_device()
+        device.sync_revocations(d.provider)
+        package = d.provider.download("song-1")
+        with pytest.raises(RightsDenied):
+            device.render(license_b, package, bob.require_card(), action="display")
+
+    def test_widening_rejected(self, fresh_deployment):
+        """Asking for an action the licence never granted fails."""
+        d = fresh_deployment("restrict3")
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        # Default rights: play; display; transfer[count<=1] — no 'copy'.
+        with pytest.raises(Exception):
+            alice.transfer_out(
+                license_.license_id, provider=d.provider, restrict_to=("play", "copy")
+            )
+        # The failed attempt must not have consumed the licence.
+        assert not d.provider.revocation_list.is_revoked(license_.license_id)
+
+    def test_empty_restriction_rejected(self, fresh_deployment):
+        d = fresh_deployment("restrict4")
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        with pytest.raises(Exception):
+            alice.transfer_out(
+                license_.license_id, provider=d.provider, restrict_to=()
+            )
+
+    def test_restriction_covered_by_signature(self, fresh_deployment):
+        """A man-in-the-middle cannot strip the restriction: it is part
+        of the signed payload."""
+        from repro.core.messages import ExchangeRequest, exchange_signing_payload
+        from repro.errors import AuthenticationError
+
+        d = fresh_deployment("restrict5")
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        nonce = alice.rng.random_bytes(16)
+        at = d.clock.now()
+        payload = exchange_signing_payload(license_.license_id, nonce, at, ("play",))
+        signature = alice.require_card().sign(license_.pseudonym, payload)
+        stripped = ExchangeRequest(
+            license_id=license_.license_id,
+            nonce=nonce,
+            at=at,
+            signature=signature,
+            restrict_to=None,  # restriction removed in flight
+        )
+        with pytest.raises(AuthenticationError):
+            d.provider.exchange(stripped)
+
+    def test_unrestricted_transfer_unchanged(self, fresh_deployment):
+        """The default path (no restriction) carries rights unchanged."""
+        d = fresh_deployment("restrict6")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        license_ = d.buy("alice", "song-1")
+        anonymous = alice.transfer_out(license_.license_id, provider=d.provider)
+        assert anonymous.rights == license_.rights
+        license_b = bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
+        assert license_b.rights == license_.rights

@@ -1,0 +1,69 @@
+"""AES: FIPS-197 vectors, inversion, key handling."""
+
+import pytest
+
+from repro.crypto.aes import BLOCK_SIZE, AesCipher
+from repro.errors import ParameterError
+
+# FIPS-197 Appendix C vectors: key 000102..., plaintext 00112233...
+_FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_FIPS_VECTORS = {
+    16: "69c4e0d86a7b0430d8cdb78070b4c55a",
+    24: "dda97ca4864cdfe06eaf70a0ec0d7191",
+    32: "8ea2b7ca516745bfeafc49904b496089",
+}
+
+# FIPS-197 Appendix B example.
+_APP_B_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_APP_B_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+_APP_B_CIPHERTEXT = "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestVectors:
+    @pytest.mark.parametrize("key_len,expected", sorted(_FIPS_VECTORS.items()))
+    def test_fips197_appendix_c(self, key_len, expected):
+        cipher = AesCipher(bytes(range(key_len)))
+        assert cipher.encrypt_block(_FIPS_PLAINTEXT).hex() == expected
+
+    def test_fips197_appendix_b(self):
+        cipher = AesCipher(_APP_B_KEY)
+        assert cipher.encrypt_block(_APP_B_PLAINTEXT).hex() == _APP_B_CIPHERTEXT
+
+
+class TestInversion:
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_encrypt(self, key_len, rng):
+        cipher = AesCipher(rng.random_bytes(key_len))
+        for _ in range(10):
+            block = rng.random_bytes(BLOCK_SIZE)
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_distinct_keys_distinct_ciphertexts(self, rng):
+        block = rng.random_bytes(16)
+        a = AesCipher(rng.random_bytes(16)).encrypt_block(block)
+        b = AesCipher(rng.random_bytes(16)).encrypt_block(block)
+        assert a != b
+
+    def test_avalanche(self, rng):
+        """One flipped plaintext bit changes about half the output bits."""
+        key = rng.random_bytes(16)
+        cipher = AesCipher(key)
+        block = bytearray(rng.random_bytes(16))
+        base = cipher.encrypt_block(bytes(block))
+        block[0] ^= 1
+        flipped = cipher.encrypt_block(bytes(block))
+        differing = sum(bin(a ^ b).count("1") for a, b in zip(base, flipped))
+        assert 40 <= differing <= 88  # ~64 expected out of 128
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ParameterError):
+            AesCipher(b"short")
+
+    def test_bad_block_length(self, rng):
+        cipher = AesCipher(rng.random_bytes(16))
+        with pytest.raises(ParameterError):
+            cipher.encrypt_block(b"not-16-bytes")
+        with pytest.raises(ParameterError):
+            cipher.decrypt_block(b"x" * 17)

@@ -1,0 +1,160 @@
+"""Canonical codec: round-trips, canonicality enforcement, rejection."""
+
+import pytest
+
+from repro import codec
+from repro.errors import CodecError, NonCanonicalEncoding
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            255,
+            256,
+            -(2**70),
+            2**200,
+            b"",
+            b"\x00\x01\x02",
+            "",
+            "hello",
+            "päper ünïcode ✓",
+            [],
+            [1, 2, 3],
+            [None, True, b"x", "y", [-5]],
+            {},
+            {"a": 1},
+            {"z": None, "a": [1, {"nested": b"bytes"}], "m": "mid"},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_reencode_is_identity(self):
+        value = {"k": [1, b"\xff", {"x": -9}], "a": "s"}
+        encoded = codec.encode(value)
+        assert codec.encode(codec.decode(encoded)) == encoded
+
+    def test_deep_nesting_roundtrip(self):
+        value = [0]
+        for _ in range(60):
+            value = [value]
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert codec.decode(codec.encode((1, 2))) == [1, 2]
+
+    def test_bytearray_and_memoryview_encode_as_bytes(self):
+        assert codec.decode(codec.encode(bytearray(b"ab"))) == b"ab"
+        assert codec.decode(codec.encode(memoryview(b"ab"))) == b"ab"
+
+
+class TestDeterminism:
+    def test_dict_key_order_irrelevant(self):
+        left = codec.encode({"a": 1, "b": 2})
+        right = codec.encode({"b": 2, "a": 1})
+        assert left == right
+
+    def test_distinct_values_distinct_encodings(self):
+        values = [None, True, False, 0, 1, "", "0", b"", b"0", [], {}, [0], {"0": 0}]
+        encodings = {codec.encode(v) for v in values}
+        assert len(encodings) == len(values)
+
+    def test_int_zero_is_empty_magnitude(self):
+        # tag, sign, varint-length 0
+        assert codec.encode(0) == bytes([codec.TAG_INT, 0, 0])
+
+
+class TestRejection:
+    def test_unsupported_type(self):
+        with pytest.raises(CodecError):
+            codec.encode(1.5)
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(CodecError):
+            codec.encode({1: "x"})
+
+    def test_excessive_nesting(self):
+        value = [0]
+        for _ in range(70):
+            value = [value]
+        with pytest.raises(CodecError):
+            codec.encode(value)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode(codec.encode(1) + b"\x00")
+
+    def test_truncated_input_rejected(self):
+        encoded = codec.encode(b"hello-world")
+        with pytest.raises(CodecError):
+            codec.decode(encoded[:-1])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError, match="unknown tag"):
+            codec.decode(b"\x7f")
+
+    def test_invalid_utf8_rejected(self):
+        raw = bytes([codec.TAG_STR, 2, 0xFF, 0xFE])
+        with pytest.raises(CodecError):
+            codec.decode(raw)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode(b"")
+
+
+class TestCanonicality:
+    def test_leading_zero_int_rejected(self):
+        # int 1 encoded with a leading zero byte in the magnitude
+        raw = bytes([codec.TAG_INT, 0, 2, 0x00, 0x01])
+        with pytest.raises(NonCanonicalEncoding):
+            codec.decode(raw)
+
+    def test_negative_zero_rejected(self):
+        raw = bytes([codec.TAG_INT, 1, 0])
+        with pytest.raises(NonCanonicalEncoding):
+            codec.decode(raw)
+
+    def test_invalid_sign_byte_rejected(self):
+        raw = bytes([codec.TAG_INT, 2, 0])
+        with pytest.raises(CodecError):
+            codec.decode(raw)
+
+    def test_unsorted_dict_keys_rejected(self):
+        good = codec.encode({"a": 1, "b": 2})
+        # Build a dict encoding with keys out of order: swap the two
+        # (key, value) groups after the header.
+        header = bytes([codec.TAG_DICT, 2])
+        key_a = bytes([codec.TAG_STR, 1]) + b"a" + codec.encode(1)
+        key_b = bytes([codec.TAG_STR, 1]) + b"b" + codec.encode(2)
+        assert header + key_a + key_b == good
+        with pytest.raises(NonCanonicalEncoding):
+            codec.decode(header + key_b + key_a)
+
+    def test_duplicate_dict_keys_rejected(self):
+        header = bytes([codec.TAG_DICT, 2])
+        entry = bytes([codec.TAG_STR, 1]) + b"a" + codec.encode(1)
+        with pytest.raises(NonCanonicalEncoding):
+            codec.decode(header + entry + entry)
+
+    def test_non_minimal_varint_rejected(self):
+        # length 1 written as two varint groups (0x81 0x00)
+        raw = bytes([codec.TAG_BYTES, 0x81, 0x00]) + b"x"
+        with pytest.raises(NonCanonicalEncoding):
+            codec.decode(raw)
+
+
+class TestIterDecode:
+    def test_stream_of_values(self):
+        stream = codec.encode(1) + codec.encode("two") + codec.encode([3])
+        assert list(codec.iter_decode(stream)) == [1, "two", [3]]
+
+    def test_empty_stream(self):
+        assert list(codec.iter_decode(b"")) == []

@@ -1,0 +1,135 @@
+"""ElGamal: element encryption, re-randomization, the KEM."""
+
+import pytest
+
+from repro.crypto.elgamal import (
+    ElGamalCiphertext,
+    ElGamalPrivateKey,
+    ElGamalPublicKey,
+    generate_elgamal_key,
+)
+from repro.errors import DecryptionError, ParameterError
+
+
+@pytest.fixture()
+def key(test_group, rng):
+    return generate_elgamal_key(test_group, rng=rng)
+
+
+class TestElementEncryption:
+    def test_roundtrip(self, test_group, key, rng):
+        element = test_group.encode_element(b"identity-tag")
+        ciphertext = key.public_key.encrypt_element(element, rng=rng)
+        assert key.decrypt_element(ciphertext) == element
+
+    def test_randomized(self, test_group, key, rng):
+        element = test_group.encode_element(b"tag")
+        a = key.public_key.encrypt_element(element, rng=rng)
+        b = key.public_key.encrypt_element(element, rng=rng)
+        assert (a.c1, a.c2) != (b.c1, b.c2)
+
+    def test_wrong_key_decrypts_to_garbage(self, test_group, key, rng):
+        other = generate_elgamal_key(test_group, rng=rng)
+        element = test_group.encode_element(b"tag")
+        ciphertext = key.public_key.encrypt_element(element, rng=rng)
+        assert other.decrypt_element(ciphertext) != element
+
+    def test_non_member_plaintext_rejected(self, test_group, key, rng):
+        with pytest.raises(ParameterError):
+            key.public_key.encrypt_element(test_group.p - 1, rng=rng)
+
+    def test_deterministic_with_explicit_randomness(self, test_group, key):
+        element = test_group.encode_element(b"tag")
+        a = key.public_key.encrypt_element_with_randomness(element, 12345)
+        b = key.public_key.encrypt_element_with_randomness(element, 12345)
+        assert a == b
+        assert key.decrypt_element(a) == element
+
+    def test_randomness_range_checked(self, test_group, key):
+        element = test_group.encode_element(b"tag")
+        with pytest.raises(ParameterError):
+            key.public_key.encrypt_element_with_randomness(element, 0)
+        with pytest.raises(ParameterError):
+            key.public_key.encrypt_element_with_randomness(element, test_group.q)
+
+    def test_ciphertext_dict_roundtrip(self, test_group, key, rng):
+        element = test_group.encode_element(b"tag")
+        ciphertext = key.public_key.encrypt_element(element, rng=rng)
+        assert ElGamalCiphertext.from_dict(ciphertext.as_dict()) == ciphertext
+
+
+class TestRerandomization:
+    def test_same_plaintext_new_ciphertext(self, test_group, key, rng):
+        element = test_group.encode_element(b"tag")
+        original = key.public_key.encrypt_element(element, rng=rng)
+        rerandomized = key.public_key.rerandomize(original, rng=rng)
+        assert (original.c1, original.c2) != (rerandomized.c1, rerandomized.c2)
+        assert key.decrypt_element(rerandomized) == element
+
+    def test_chain_of_rerandomizations(self, test_group, key, rng):
+        element = test_group.encode_element(b"tag")
+        ciphertext = key.public_key.encrypt_element(element, rng=rng)
+        for _ in range(5):
+            ciphertext = key.public_key.rerandomize(ciphertext, rng=rng)
+        assert key.decrypt_element(ciphertext) == element
+
+
+class TestKem:
+    def test_wrap_unwrap(self, key, rng):
+        payload = rng.random_bytes(16)
+        wrapped = key.public_key.kem_wrap(payload, context=b"ctx", rng=rng)
+        assert key.kem_unwrap(wrapped, context=b"ctx") == payload
+
+    def test_context_binding(self, key, rng):
+        wrapped = key.public_key.kem_wrap(b"secret-key-1234", context=b"lic-A", rng=rng)
+        with pytest.raises(DecryptionError):
+            key.kem_unwrap(wrapped, context=b"lic-B")
+
+    def test_wrong_key_rejected(self, test_group, key, rng):
+        other = generate_elgamal_key(test_group, rng=rng)
+        wrapped = key.public_key.kem_wrap(b"secret", context=b"c", rng=rng)
+        with pytest.raises(DecryptionError):
+            other.kem_unwrap(wrapped, context=b"c")
+
+    def test_ciphertext_tamper_rejected(self, key, rng):
+        wrapped = key.public_key.kem_wrap(b"secret-payload", context=b"c", rng=rng)
+        tampered = dict(wrapped)
+        body = bytearray(tampered["ct"])
+        body[0] ^= 1
+        tampered["ct"] = bytes(body)
+        with pytest.raises(DecryptionError):
+            key.kem_unwrap(tampered, context=b"c")
+
+    def test_ephemeral_tamper_rejected(self, key, rng):
+        wrapped = key.public_key.kem_wrap(b"secret", context=b"c", rng=rng)
+        tampered = dict(wrapped)
+        tampered["c1"] = 1  # valid member, wrong shared secret
+        with pytest.raises(DecryptionError):
+            key.kem_unwrap(tampered, context=b"c")
+
+    def test_non_member_ephemeral_rejected(self, test_group, key, rng):
+        wrapped = key.public_key.kem_wrap(b"secret", context=b"c", rng=rng)
+        tampered = dict(wrapped)
+        tampered["c1"] = test_group.p - 1
+        with pytest.raises(DecryptionError):
+            key.kem_unwrap(tampered, context=b"c")
+
+    def test_malformed_blob_rejected(self, key):
+        with pytest.raises(DecryptionError):
+            key.kem_unwrap({"bogus": 1}, context=b"c")
+
+    def test_empty_payload(self, key, rng):
+        wrapped = key.public_key.kem_wrap(b"", context=b"c", rng=rng)
+        assert key.kem_unwrap(wrapped, context=b"c") == b""
+
+
+class TestKeyValidation:
+    def test_public_key_membership_checked(self, test_group):
+        with pytest.raises(ParameterError):
+            ElGamalPublicKey(group=test_group, y=test_group.p - 1)
+
+    def test_private_exponent_range_checked(self, test_group):
+        with pytest.raises(ParameterError):
+            ElGamalPrivateKey(group=test_group, x=0)
+        with pytest.raises(ParameterError):
+            ElGamalPrivateKey(group=test_group, x=test_group.q)

@@ -1,0 +1,91 @@
+"""Named groups: structure, membership, element encoding."""
+
+import pytest
+
+from repro.crypto.groups import available_groups, named_group
+from repro.crypto.numbers import is_probable_prime
+from repro.crypto.rand import DeterministicRandomSource
+from repro.errors import ParameterError
+
+
+class TestNamedGroups:
+    def test_available_groups(self):
+        assert set(available_groups()) == {"test-512", "modp-1536", "modp-2048"}
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ParameterError):
+            named_group("modp-9999")
+
+    def test_test_group_is_safe_prime(self, test_group):
+        assert is_probable_prime(test_group.p)
+        assert is_probable_prime(test_group.q)
+        assert test_group.p == 2 * test_group.q + 1
+
+    @pytest.mark.parametrize("name,bits", [("modp-1536", 1536), ("modp-2048", 2048)])
+    def test_modp_group_sizes(self, name, bits):
+        group = named_group(name)
+        assert group.bits == bits
+
+    def test_generator_in_subgroup(self, test_group):
+        assert test_group.contains(test_group.g)
+
+
+class TestMembership:
+    def test_identity_is_member(self, test_group):
+        assert test_group.contains(1)
+
+    def test_zero_and_p_not_members(self, test_group):
+        assert not test_group.contains(0)
+        assert not test_group.contains(test_group.p)
+
+    def test_squares_are_members(self, test_group):
+        rng = DeterministicRandomSource(b"sq")
+        for _ in range(5):
+            x = rng.randint_range(2, test_group.p - 1)
+            assert test_group.contains(pow(x, 2, test_group.p))
+
+    def test_non_residue_not_member(self, test_group):
+        # -1 is a non-residue mod a safe prime p ≡ 3 (mod 4).
+        assert test_group.p % 4 == 3
+        assert not test_group.contains(test_group.p - 1)
+
+    def test_require_member_raises(self, test_group):
+        with pytest.raises(ParameterError, match="not a subgroup member"):
+            test_group.require_member(test_group.p - 1, "value")
+
+
+class TestOperations:
+    def test_power_matches_pow(self, test_group):
+        assert test_group.power(test_group.g, 5) == pow(
+            test_group.g, 5, test_group.p
+        )
+
+    def test_random_exponent_range(self, test_group):
+        rng = DeterministicRandomSource(b"exp")
+        for _ in range(20):
+            e = test_group.random_exponent(rng)
+            assert 1 <= e < test_group.q
+
+    def test_exponent_arithmetic_mod_q(self, test_group):
+        rng = DeterministicRandomSource(b"arith")
+        a = test_group.random_exponent(rng)
+        b = test_group.random_exponent(rng)
+        left = test_group.power(test_group.g, (a + b) % test_group.q)
+        right = (
+            test_group.power(test_group.g, a) * test_group.power(test_group.g, b)
+        ) % test_group.p
+        assert left == right
+
+
+class TestEncodeElement:
+    def test_encoded_elements_are_members(self, test_group):
+        for i in range(10):
+            element = test_group.encode_element(f"tag-{i}".encode())
+            assert test_group.contains(element)
+
+    def test_deterministic(self, test_group):
+        assert test_group.encode_element(b"x") == test_group.encode_element(b"x")
+
+    def test_distinct_inputs_distinct_elements(self, test_group):
+        elements = {test_group.encode_element(str(i).encode()) for i in range(50)}
+        assert len(elements) == 50

@@ -1,0 +1,126 @@
+"""Hash helpers: known vectors, HKDF behaviour, integer mapping."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashes import (
+    bytes_to_int,
+    constant_time_equal,
+    hash_to_int,
+    hkdf,
+    hmac_sha256,
+    int_to_bytes,
+    mgf1,
+    sha256,
+    sha512,
+)
+
+
+class TestDigests:
+    def test_sha256_empty_vector(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_sha256_abc_vector(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_sha512_matches_hashlib(self):
+        assert sha512(b"data") == hashlib.sha512(b"data").digest()
+
+    def test_hmac_rfc4231_case(self):
+        # RFC 4231 test case 2.
+        tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        okm = hkdf(
+            bytes.fromhex("0b" * 22),
+            42,
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+        )
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_length_zero(self):
+        assert hkdf(b"ikm", 0) == b""
+
+    def test_distinct_info_distinct_output(self):
+        assert hkdf(b"k", 32, info=b"a") != hkdf(b"k", 32, info=b"b")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"k", 255 * 32 + 1)
+
+    def test_prefix_property(self):
+        assert hkdf(b"k", 64, info=b"x")[:32] == hkdf(b"k", 32, info=b"x")
+
+
+class TestMgf1:
+    def test_known_behaviour(self):
+        # MGF1 output must be the concatenation of H(seed||counter).
+        seed = b"seed"
+        expected = hashlib.sha256(seed + b"\x00\x00\x00\x00").digest()
+        assert mgf1(seed, 32) == expected
+        assert mgf1(seed, 16) == expected[:16]
+
+    def test_spans_counters(self):
+        seed = b"s"
+        block0 = hashlib.sha256(seed + (0).to_bytes(4, "big")).digest()
+        block1 = hashlib.sha256(seed + (1).to_bytes(4, "big")).digest()
+        assert mgf1(seed, 48) == (block0 + block1)[:48]
+
+
+class TestIntBytes:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**64, 2**127 - 1):
+            assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_fixed_length(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_zero_is_single_byte(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+
+class TestHashToInt:
+    def test_in_range_and_deterministic(self):
+        upper = 2**255 - 19
+        value = hash_to_int(b"input", upper)
+        assert 0 <= value < upper
+        assert value == hash_to_int(b"input", upper)
+
+    def test_distinct_inputs(self):
+        upper = 2**128
+        assert hash_to_int(b"a", upper) != hash_to_int(b"b", upper)
+
+    def test_small_upper(self):
+        seen = {hash_to_int(str(i).encode(), 7) for i in range(100)}
+        assert seen == set(range(7))
+
+    def test_invalid_upper(self):
+        with pytest.raises(ValueError):
+            hash_to_int(b"x", 0)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"abc", b"abd")
+        assert not constant_time_equal(b"abc", b"abcd")

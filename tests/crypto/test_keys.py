@@ -1,0 +1,78 @@
+"""Key serialization and fingerprints."""
+
+import pytest
+
+from repro.crypto import keys as keymod
+from repro.crypto.elgamal import generate_elgamal_key
+from repro.crypto.schnorr import generate_schnorr_key
+from repro.errors import KeyFormatError
+
+
+@pytest.fixture()
+def all_keys(test_group, rsa512, rng):
+    schnorr = generate_schnorr_key(test_group, rng=rng)
+    elgamal = generate_elgamal_key(test_group, rng=rng)
+    return [
+        rsa512,
+        rsa512.public_key,
+        schnorr,
+        schnorr.public_key,
+        elgamal,
+        elgamal.public_key,
+    ]
+
+
+class TestRoundTrips:
+    def test_all_kinds_roundtrip(self, all_keys):
+        for key in all_keys:
+            data = keymod.key_to_dict(key)
+            assert keymod.key_from_dict(data) == key
+
+    def test_bytes_roundtrip(self, all_keys):
+        from repro import codec
+
+        for key in all_keys:
+            assert keymod.key_from_dict(codec.decode(keymod.key_bytes(key))) == key
+
+
+class TestPublicPart:
+    def test_private_maps_to_public(self, all_keys):
+        private_keys = all_keys[::2]
+        public_keys = all_keys[1::2]
+        for private, public in zip(private_keys, public_keys):
+            assert keymod.public_part(private) == public
+
+    def test_public_passes_through(self, all_keys):
+        for key in all_keys[1::2]:
+            assert keymod.public_part(key) is key
+
+
+class TestFingerprints:
+    def test_private_and_public_share_fingerprint(self, all_keys):
+        for private, public in zip(all_keys[::2], all_keys[1::2]):
+            assert keymod.fingerprint(private) == keymod.fingerprint(public)
+
+    def test_distinct_keys_distinct_fingerprints(self, all_keys):
+        fingerprints = {keymod.fingerprint(k).hex() for k in all_keys[1::2]}
+        assert len(fingerprints) == 3
+
+    def test_fingerprint_is_32_bytes(self, all_keys):
+        assert all(len(keymod.fingerprint(k)) == 32 for k in all_keys)
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(KeyFormatError):
+            keymod.key_from_dict({"kind": "dsa-pub"})
+
+    def test_malformed_dict(self):
+        with pytest.raises(KeyFormatError):
+            keymod.key_from_dict({"kind": "rsa-pub", "n": "not-an-int-able"})
+        with pytest.raises(KeyFormatError):
+            keymod.key_from_dict({"kind": "schnorr-pub", "group": "nope", "y": 4})
+
+    def test_unsupported_object(self):
+        with pytest.raises(KeyFormatError):
+            keymod.key_to_dict(object())
+        with pytest.raises(KeyFormatError):
+            keymod.public_part("not-a-key")

@@ -1,0 +1,172 @@
+"""Cipher modes: padding, CBC/CTR/ECB, the EtM AEAD."""
+
+import pytest
+
+from repro.crypto.modes import (
+    EtmCipher,
+    ctr_transform,
+    decrypt_cbc,
+    decrypt_ecb,
+    encrypt_cbc,
+    encrypt_ecb,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.errors import DecryptionError, ParameterError
+
+
+class TestPadding:
+    @pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 31, 32, 100])
+    def test_roundtrip(self, length):
+        data = bytes(range(256))[:length] * 1
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_always_pads(self):
+        assert len(pkcs7_pad(b"x" * 16)) == 32
+
+    def test_malformed_padding_rejected(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15 + b"\x00")
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15 + b"\x11")  # 17 > block
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 14 + b"\x01\x02")  # inconsistent
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"")
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15)  # not block multiple
+
+
+class TestEcb:
+    def test_roundtrip(self, rng):
+        key = rng.random_bytes(16)
+        data = rng.random_bytes(100)
+        assert decrypt_ecb(key, encrypt_ecb(key, data)) == data
+
+    def test_determinism_leak_documented(self, rng):
+        """ECB is deterministic — the very property that disqualifies it
+        for content; the test pins the behaviour the docstring warns of."""
+        key = rng.random_bytes(16)
+        assert encrypt_ecb(key, b"A" * 32) == encrypt_ecb(key, b"A" * 32)
+
+    def test_bad_length_rejected(self, rng):
+        with pytest.raises(DecryptionError):
+            decrypt_ecb(rng.random_bytes(16), b"x" * 15)
+
+
+class TestCbc:
+    def test_roundtrip(self, rng):
+        key = rng.random_bytes(16)
+        data = rng.random_bytes(333)
+        assert decrypt_cbc(key, encrypt_cbc(key, data, rng=rng)) == data
+
+    def test_random_iv_randomizes(self, rng):
+        key = rng.random_bytes(16)
+        assert encrypt_cbc(key, b"msg", rng=rng) != encrypt_cbc(key, b"msg", rng=rng)
+
+    def test_explicit_iv(self, rng):
+        key = rng.random_bytes(16)
+        iv = bytes(16)
+        a = encrypt_cbc(key, b"msg", iv=iv)
+        b = encrypt_cbc(key, b"msg", iv=iv)
+        assert a == b
+
+    def test_bad_iv_length(self, rng):
+        with pytest.raises(ParameterError):
+            encrypt_cbc(rng.random_bytes(16), b"m", iv=b"short")
+
+    def test_truncated_rejected(self, rng):
+        key = rng.random_bytes(16)
+        blob = encrypt_cbc(key, b"message", rng=rng)
+        with pytest.raises(DecryptionError):
+            decrypt_cbc(key, blob[:16])
+
+    def test_wrong_key_fails(self, rng):
+        blob = encrypt_cbc(rng.random_bytes(16), b"message-is-long-enough", rng=rng)
+        with pytest.raises(DecryptionError):
+            decrypt_cbc(rng.random_bytes(16), blob)
+
+
+class TestCtr:
+    def test_involution(self, rng):
+        key = rng.random_bytes(16)
+        nonce = rng.random_bytes(12)
+        data = rng.random_bytes(1000)
+        assert ctr_transform(key, nonce, ctr_transform(key, nonce, data)) == data
+
+    def test_empty(self, rng):
+        assert ctr_transform(rng.random_bytes(16), bytes(12), b"") == b""
+
+    def test_nonce_length_checked(self, rng):
+        with pytest.raises(ParameterError):
+            ctr_transform(rng.random_bytes(16), b"short", b"data")
+
+    def test_distinct_nonces_distinct_streams(self, rng):
+        key = rng.random_bytes(16)
+        data = bytes(64)
+        a = ctr_transform(key, bytes(12), data)
+        b = ctr_transform(key, b"\x01" + bytes(11), data)
+        assert a != b
+
+    def test_partial_block(self, rng):
+        key = rng.random_bytes(16)
+        nonce = rng.random_bytes(12)
+        data = rng.random_bytes(20)
+        full = ctr_transform(key, nonce, data + bytes(12))
+        assert ctr_transform(key, nonce, data) == full[:20]
+
+
+class TestEtmCipher:
+    def test_roundtrip(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        blob = cipher.encrypt(b"payload", aad=b"header", rng=rng)
+        assert cipher.decrypt(blob, aad=b"header") == b"payload"
+
+    def test_aad_mismatch_rejected(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        blob = cipher.encrypt(b"payload", aad=b"header", rng=rng)
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(blob, aad=b"other")
+
+    def test_ciphertext_tamper_rejected(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        blob = bytearray(cipher.encrypt(b"payload-data", rng=rng))
+        blob[14] ^= 1
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(blob))
+
+    def test_tag_tamper_rejected(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        blob = bytearray(cipher.encrypt(b"payload", rng=rng))
+        blob[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(blob))
+
+    def test_truncation_rejected(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"short")
+
+    def test_wrong_key_rejected(self, rng):
+        blob = EtmCipher(rng.random_bytes(16)).encrypt(b"payload", rng=rng)
+        with pytest.raises(DecryptionError):
+            EtmCipher(rng.random_bytes(16)).decrypt(blob)
+
+    def test_empty_plaintext(self, rng):
+        cipher = EtmCipher(rng.random_bytes(16))
+        assert cipher.decrypt(cipher.encrypt(b"", rng=rng)) == b""
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_key_sizes(self, key_len, rng):
+        cipher = EtmCipher(rng.random_bytes(key_len))
+        assert cipher.decrypt(cipher.encrypt(b"x", rng=rng)) == b"x"
+
+    def test_bad_key_size(self):
+        with pytest.raises(ParameterError):
+            EtmCipher(b"tiny")
+
+    def test_explicit_nonce_deterministic_ciphertext(self, rng):
+        key = rng.random_bytes(16)
+        cipher = EtmCipher(key)
+        nonce = bytes(12)
+        assert cipher.encrypt(b"m", nonce=nonce) == cipher.encrypt(b"m", nonce=nonce)

@@ -1,0 +1,107 @@
+"""Number theory: primality, generation, inverses, CRT, Jacobi."""
+
+import pytest
+
+from repro.crypto.numbers import (
+    crt_pair,
+    gcd,
+    generate_prime,
+    generate_safe_prime,
+    is_probable_prime,
+    jacobi_symbol,
+    lcm,
+    modinv,
+)
+from repro.crypto.rand import DeterministicRandomSource
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 100, 7917, 2**31 + 1, 561, 41041, 825265]  # incl. Carmichael
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_not_prime(self):
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+        assert not is_probable_prime(2**127 + 1)
+
+
+class TestGeneration:
+    def test_generate_prime_size_and_primality(self):
+        rng = DeterministicRandomSource(b"prime-gen")
+        p = generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_generate_prime_deterministic(self):
+        assert generate_prime(64, DeterministicRandomSource(b"a")) == generate_prime(
+            64, DeterministicRandomSource(b"a")
+        )
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_generate_safe_prime(self):
+        rng = DeterministicRandomSource(b"safe-gen")
+        p = generate_safe_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+
+class TestModularArithmetic:
+    def test_modinv(self):
+        assert modinv(3, 11) == 4
+        assert (7 * modinv(7, 97)) % 97 == 1
+
+    def test_modinv_nonexistent(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_crt_pair(self):
+        p, q = 17, 29
+        x = 123
+        assert crt_pair(x % p, p, x % q, q) == x % (p * q)
+
+    def test_crt_pair_roundtrip_random(self):
+        rng = DeterministicRandomSource(b"crt")
+        p = generate_prime(32, rng)
+        q = generate_prime(32, rng)
+        for _ in range(10):
+            x = rng.randint_below(p * q)
+            assert crt_pair(x % p, p, x % q, q) == x
+
+    def test_gcd_lcm(self):
+        assert gcd(12, 18) == 6
+        assert gcd(0, 5) == 5
+        assert gcd(-12, 18) == 6
+        assert lcm(4, 6) == 12
+        assert lcm(0, 7) == 0
+
+
+class TestJacobi:
+    def test_quadratic_residues_mod_prime(self):
+        p = 23
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            expected = 1 if a in residues else -1
+            assert jacobi_symbol(a, p) == expected
+
+    def test_zero_when_shared_factor(self):
+        assert jacobi_symbol(15, 9) == 0
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 8)

@@ -1,0 +1,107 @@
+"""Random sources: determinism, ranges, forking."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource, SystemRandomSource
+
+
+class TestDeterministicSource:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandomSource(b"seed")
+        b = DeterministicRandomSource(b"seed")
+        assert a.random_bytes(100) == b.random_bytes(100)
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRandomSource(b"seed-1")
+        b = DeterministicRandomSource(b"seed-2")
+        assert a.random_bytes(32) != b.random_bytes(32)
+
+    def test_chunking_does_not_change_stream(self):
+        a = DeterministicRandomSource(b"s")
+        b = DeterministicRandomSource(b"s")
+        left = a.random_bytes(10) + a.random_bytes(22)
+        assert left == b.random_bytes(32)
+
+    @pytest.mark.parametrize("seed", [b"bytes", "string", 1234, -5])
+    def test_seed_types(self, seed):
+        source = DeterministicRandomSource(seed)
+        assert len(source.random_bytes(8)) == 8
+
+    def test_fork_independent_and_deterministic(self):
+        a = DeterministicRandomSource(b"root")
+        b = DeterministicRandomSource(b"root")
+        fork_a = a.fork("child")
+        fork_b = b.fork("child")
+        assert fork_a.random_bytes(16) == fork_b.random_bytes(16)
+        other = DeterministicRandomSource(b"root").fork("other")
+        assert other.random_bytes(16) != DeterministicRandomSource(b"root").fork(
+            "child"
+        ).random_bytes(16)
+
+    def test_fork_does_not_disturb_parent(self):
+        a = DeterministicRandomSource(b"root")
+        b = DeterministicRandomSource(b"root")
+        a.fork("x")
+        assert a.random_bytes(16) == b.random_bytes(16)
+
+
+class TestIntegerHelpers:
+    def test_randbits_range(self):
+        source = DeterministicRandomSource(b"bits")
+        for bits in (1, 7, 8, 9, 64, 200):
+            for _ in range(20):
+                value = source.randbits(bits)
+                assert 0 <= value < 2**bits
+
+    def test_randbits_zero(self):
+        assert DeterministicRandomSource(b"z").randbits(0) == 0
+
+    def test_randint_below_covers_range(self):
+        source = DeterministicRandomSource(b"below")
+        seen = {source.randint_below(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_randint_below_rejects_nonpositive(self):
+        source = DeterministicRandomSource(b"x")
+        with pytest.raises(ValueError):
+            source.randint_below(0)
+
+    def test_randint_range(self):
+        source = DeterministicRandomSource(b"range")
+        for _ in range(100):
+            value = source.randint_range(10, 15)
+            assert 10 <= value < 15
+
+    def test_random_odd_has_exact_bits(self):
+        source = DeterministicRandomSource(b"odd")
+        for _ in range(20):
+            value = source.random_odd(64)
+            assert value % 2 == 1
+            assert value.bit_length() == 64
+
+    def test_shuffle_is_permutation(self):
+        source = DeterministicRandomSource(b"shuffle")
+        items = list(range(50))
+        shuffled = list(items)
+        source.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_choice(self):
+        source = DeterministicRandomSource(b"choice")
+        items = ["a", "b", "c"]
+        assert all(source.choice(items) in items for _ in range(20))
+        with pytest.raises(ValueError):
+            source.choice([])
+
+
+class TestSystemSource:
+    def test_basic_properties(self):
+        source = SystemRandomSource()
+        assert len(source.random_bytes(16)) == 16
+        assert source.random_bytes(16) != source.random_bytes(16)
+        assert source.fork("x") is source
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemRandomSource().random_bytes(-1)

@@ -1,0 +1,141 @@
+"""RSA: keygen invariants, signature schemes, OAEP, tampering."""
+
+import pytest
+
+from repro.crypto.numbers import gcd
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.rsa import generate_rsa_key
+from repro.errors import DecryptionError, InvalidSignature, ParameterError
+
+
+class TestKeyGeneration:
+    def test_modulus_size_exact(self, rsa768):
+        assert rsa768.n.bit_length() == 768
+
+    def test_key_equation(self, rsa768):
+        lam_multiple = (rsa768.p - 1) * (rsa768.q - 1)
+        assert (rsa768.e * rsa768.d) % (lam_multiple // gcd(rsa768.p - 1, rsa768.q - 1)) == 1
+
+    def test_deterministic_generation(self):
+        a = generate_rsa_key(512, rng=DeterministicRandomSource(b"k"))
+        b = generate_rsa_key(512, rng=DeterministicRandomSource(b"k"))
+        assert a == b
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ParameterError):
+            generate_rsa_key(256)
+
+    def test_rejects_odd_bits(self):
+        with pytest.raises(ParameterError):
+            generate_rsa_key(511)
+
+    def test_mismatched_factors_rejected(self, rsa512):
+        from repro.crypto.rsa import RsaPrivateKey
+
+        with pytest.raises(ParameterError):
+            RsaPrivateKey(n=rsa512.n + 2, e=rsa512.e, d=rsa512.d, p=rsa512.p, q=rsa512.q)
+
+
+class TestRawOps:
+    def test_private_public_inverse(self, rsa512):
+        value = 0xDEADBEEF
+        assert rsa512.public_key.public_op(rsa512.private_op(value)) == value
+
+    def test_out_of_range_rejected(self, rsa512):
+        with pytest.raises(ParameterError):
+            rsa512.private_op(rsa512.n)
+        with pytest.raises(ParameterError):
+            rsa512.public_key.public_op(-1)
+
+
+class TestPkcs1Signatures:
+    def test_sign_verify(self, rsa768):
+        signature = rsa768.sign_pkcs1(b"message")
+        rsa768.public_key.verify_pkcs1(b"message", signature)
+
+    def test_deterministic(self, rsa768):
+        assert rsa768.sign_pkcs1(b"m") == rsa768.sign_pkcs1(b"m")
+
+    def test_wrong_message_rejected(self, rsa768):
+        signature = rsa768.sign_pkcs1(b"message")
+        with pytest.raises(InvalidSignature):
+            rsa768.public_key.verify_pkcs1(b"other", signature)
+
+    def test_bitflip_rejected(self, rsa768):
+        signature = bytearray(rsa768.sign_pkcs1(b"message"))
+        signature[5] ^= 1
+        with pytest.raises(InvalidSignature):
+            rsa768.public_key.verify_pkcs1(b"message", bytes(signature))
+
+    def test_wrong_key_rejected(self, rsa768, rsa512):
+        signature = rsa768.sign_pkcs1(b"message")
+        with pytest.raises(InvalidSignature):
+            rsa512.public_key.verify_pkcs1(b"message", signature)
+
+    def test_wrong_length_rejected(self, rsa768):
+        with pytest.raises(InvalidSignature):
+            rsa768.public_key.verify_pkcs1(b"message", b"\x00" * 10)
+
+    def test_empty_message_ok(self, rsa768):
+        rsa768.public_key.verify_pkcs1(b"", rsa768.sign_pkcs1(b""))
+
+
+class TestPssSignatures:
+    def test_sign_verify(self, rsa768, rng):
+        signature = rsa768.sign_pss(b"message", rng=rng)
+        rsa768.public_key.verify_pss(b"message", signature)
+
+    def test_randomized(self, rsa768, rng):
+        a = rsa768.sign_pss(b"m", rng=rng)
+        b = rsa768.sign_pss(b"m", rng=rng)
+        assert a != b
+        rsa768.public_key.verify_pss(b"m", a)
+        rsa768.public_key.verify_pss(b"m", b)
+
+    def test_wrong_message_rejected(self, rsa768, rng):
+        signature = rsa768.sign_pss(b"message", rng=rng)
+        with pytest.raises(InvalidSignature):
+            rsa768.public_key.verify_pss(b"other", signature)
+
+    def test_tamper_rejected(self, rsa768, rng):
+        signature = bytearray(rsa768.sign_pss(b"message", rng=rng))
+        signature[-1] ^= 0xFF
+        with pytest.raises(InvalidSignature):
+            rsa768.public_key.verify_pss(b"message", bytes(signature))
+
+
+class TestOaep:
+    def test_roundtrip(self, rsa768, rng):
+        ciphertext = rsa768.public_key.encrypt_oaep(b"content-key", rng=rng)
+        assert rsa768.decrypt_oaep(ciphertext) == b"content-key"
+
+    def test_label_mismatch_rejected(self, rsa768, rng):
+        ciphertext = rsa768.public_key.encrypt_oaep(b"secret", label=b"L1", rng=rng)
+        with pytest.raises(DecryptionError):
+            rsa768.decrypt_oaep(ciphertext, label=b"L2")
+        assert rsa768.decrypt_oaep(ciphertext, label=b"L1") == b"secret"
+
+    def test_randomized_encryption(self, rsa768, rng):
+        a = rsa768.public_key.encrypt_oaep(b"x", rng=rng)
+        b = rsa768.public_key.encrypt_oaep(b"x", rng=rng)
+        assert a != b
+
+    def test_tamper_rejected(self, rsa768, rng):
+        ciphertext = bytearray(rsa768.public_key.encrypt_oaep(b"x", rng=rng))
+        ciphertext[10] ^= 1
+        with pytest.raises(DecryptionError):
+            rsa768.decrypt_oaep(bytes(ciphertext))
+
+    def test_empty_plaintext(self, rsa768, rng):
+        ciphertext = rsa768.public_key.encrypt_oaep(b"", rng=rng)
+        assert rsa768.decrypt_oaep(ciphertext) == b""
+
+    def test_max_length_enforced(self, rsa768, rng):
+        max_len = rsa768.byte_length - 2 * 32 - 2
+        rsa768.public_key.encrypt_oaep(b"x" * max_len, rng=rng)
+        with pytest.raises(ParameterError):
+            rsa768.public_key.encrypt_oaep(b"x" * (max_len + 1), rng=rng)
+
+    def test_modulus_too_small_for_oaep(self, rsa512, rng):
+        with pytest.raises(ParameterError):
+            rsa512.public_key.encrypt_oaep(b"x", rng=rng)

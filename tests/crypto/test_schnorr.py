@@ -1,0 +1,164 @@
+"""Schnorr signatures, discrete-log PoK, Chaum–Pedersen proofs."""
+
+import pytest
+
+from repro.crypto.schnorr import (
+    SchnorrPrivateKey,
+    SchnorrPublicKey,
+    SchnorrSignature,
+    generate_schnorr_key,
+    prove_equality,
+    prove_knowledge,
+    verify_equality,
+    verify_knowledge,
+)
+from repro.errors import InvalidProof, InvalidSignature, ParameterError
+
+
+@pytest.fixture()
+def key(test_group, rng):
+    return generate_schnorr_key(test_group, rng=rng)
+
+
+class TestSignatures:
+    def test_sign_verify(self, key, rng):
+        signature = key.sign(b"message", rng=rng)
+        key.public_key.verify(b"message", signature)
+
+    def test_wrong_message_rejected(self, key, rng):
+        signature = key.sign(b"message", rng=rng)
+        with pytest.raises(InvalidSignature):
+            key.public_key.verify(b"other", signature)
+
+    def test_wrong_key_rejected(self, test_group, key, rng):
+        other = generate_schnorr_key(test_group, rng=rng)
+        signature = key.sign(b"message", rng=rng)
+        with pytest.raises(InvalidSignature):
+            other.public_key.verify(b"message", signature)
+
+    def test_randomized(self, key, rng):
+        a = key.sign(b"m", rng=rng)
+        b = key.sign(b"m", rng=rng)
+        assert a != b
+
+    def test_scalar_range_checked(self, test_group, key, rng):
+        signature = key.sign(b"m", rng=rng)
+        bad = SchnorrSignature(challenge=test_group.q, response=signature.response)
+        with pytest.raises(InvalidSignature):
+            key.public_key.verify(b"m", bad)
+
+    def test_signature_dict_roundtrip(self, key, rng):
+        signature = key.sign(b"m", rng=rng)
+        assert SchnorrSignature.from_dict(signature.as_dict()) == signature
+
+    def test_fingerprint_stable_and_distinct(self, test_group, key, rng):
+        other = generate_schnorr_key(test_group, rng=rng)
+        assert key.public_key.fingerprint() == key.public_key.fingerprint()
+        assert key.public_key.fingerprint() != other.public_key.fingerprint()
+
+    def test_key_validation(self, test_group):
+        with pytest.raises(ParameterError):
+            SchnorrPrivateKey(group=test_group, x=0)
+        with pytest.raises(ParameterError):
+            SchnorrPublicKey(group=test_group, y=test_group.p - 1)
+
+
+class TestDlogProof:
+    def test_prove_verify(self, test_group, key, rng):
+        proof = prove_knowledge(
+            test_group, test_group.g, key.public_key.y, key.x, context=b"ctx", rng=rng
+        )
+        verify_knowledge(test_group, test_group.g, key.public_key.y, proof, context=b"ctx")
+
+    def test_context_binding(self, test_group, key, rng):
+        proof = prove_knowledge(
+            test_group, test_group.g, key.public_key.y, key.x, context=b"A", rng=rng
+        )
+        with pytest.raises(InvalidProof):
+            verify_knowledge(
+                test_group, test_group.g, key.public_key.y, proof, context=b"B"
+            )
+
+    def test_wrong_statement_rejected(self, test_group, key, rng):
+        proof = prove_knowledge(
+            test_group, test_group.g, key.public_key.y, key.x, rng=rng
+        )
+        other_public = test_group.power(test_group.g, key.x + 1)
+        with pytest.raises(InvalidProof):
+            verify_knowledge(test_group, test_group.g, other_public, proof)
+
+    def test_mismatched_secret_rejected_at_prove(self, test_group, key, rng):
+        with pytest.raises(ParameterError):
+            prove_knowledge(
+                test_group, test_group.g, key.public_key.y, key.x + 1, rng=rng
+            )
+
+    def test_non_generator_base(self, test_group, key, rng):
+        base = test_group.power(test_group.g, 7)
+        public = test_group.power(base, key.x)
+        proof = prove_knowledge(test_group, base, public, key.x, rng=rng)
+        verify_knowledge(test_group, base, public, proof)
+
+
+class TestChaumPedersen:
+    def test_prove_verify_dh_tuple(self, test_group, key, rng):
+        base2 = test_group.power(test_group.g, 3)
+        public2 = test_group.power(base2, key.x)
+        proof = prove_equality(
+            test_group,
+            test_group.g,
+            key.public_key.y,
+            base2,
+            public2,
+            key.x,
+            context=b"ctx",
+            rng=rng,
+        )
+        verify_equality(
+            test_group,
+            test_group.g,
+            key.public_key.y,
+            base2,
+            public2,
+            proof,
+            context=b"ctx",
+        )
+
+    def test_non_dh_tuple_rejected(self, test_group, key, rng):
+        base2 = test_group.power(test_group.g, 3)
+        public2 = test_group.power(base2, key.x)
+        proof = prove_equality(
+            test_group, test_group.g, key.public_key.y, base2, public2, key.x, rng=rng
+        )
+        wrong_public2 = test_group.power(base2, key.x + 1)
+        with pytest.raises(InvalidProof):
+            verify_equality(
+                test_group,
+                test_group.g,
+                key.public_key.y,
+                base2,
+                wrong_public2,
+                proof,
+            )
+
+    def test_context_binding(self, test_group, key, rng):
+        base2 = test_group.power(test_group.g, 3)
+        public2 = test_group.power(base2, key.x)
+        proof = prove_equality(
+            test_group, test_group.g, key.public_key.y, base2, public2, key.x,
+            context=b"A", rng=rng,
+        )
+        with pytest.raises(InvalidProof):
+            verify_equality(
+                test_group, test_group.g, key.public_key.y, base2, public2, proof,
+                context=b"B",
+            )
+
+    def test_inconsistent_secret_rejected_at_prove(self, test_group, key, rng):
+        base2 = test_group.power(test_group.g, 3)
+        public2 = test_group.power(base2, key.x + 1)  # different exponent
+        with pytest.raises(ParameterError):
+            prove_equality(
+                test_group, test_group.g, key.public_key.y, base2, public2, key.x,
+                rng=rng,
+            )

@@ -1,0 +1,104 @@
+"""Full-system happy paths: the paper's lifecycle, uninterrupted."""
+
+import pytest
+
+from repro.core.protocols import Transcript, transfer_license
+
+
+@pytest.fixture(scope="module")
+def world(deployment):
+    deployment.provider.publish(
+        "album-2", b"ALBUM-TWO" * 128, title="Album Two", price=7
+    )
+    alice = deployment.add_user("e2e-alice", balance=500)
+    bob = deployment.add_user("e2e-bob", balance=500)
+    carol = deployment.add_user("e2e-carol", balance=500)
+    device = deployment.add_device()
+    return deployment, alice, bob, carol, device
+
+
+class TestLifecycle:
+    def test_buy_play_transfer_play(self, world):
+        d, alice, bob, _, device = world
+        license_ = alice.buy(
+            "song-1", provider=d.provider, issuer=d.issuer, bank=d.bank
+        )
+        payload = alice.play("song-1", device, provider=d.provider)
+        assert payload == b"SONG-ONE-PAYLOAD" * 64
+
+        new_license = transfer_license(
+            alice, bob, d.provider, d.issuer, license_.license_id
+        )
+        device.sync_revocations(d.provider)
+        assert bob.play("song-1", device, provider=d.provider) == payload
+        assert not alice.owns_content("song-1")
+
+    def test_transfer_chain(self, world):
+        """A → B → C: rights survive a chain of transfers; every hop
+        revokes the previous licence."""
+        d, alice, bob, carol, device = world
+        license_a = alice.buy(
+            "album-2", provider=d.provider, issuer=d.issuer, bank=d.bank
+        )
+        license_b = transfer_license(
+            alice, bob, d.provider, d.issuer, license_a.license_id
+        )
+        license_c = transfer_license(
+            bob, carol, d.provider, d.issuer, license_b.license_id
+        )
+        device.sync_revocations(d.provider)
+        assert carol.play("album-2", device, provider=d.provider)
+        assert d.provider.revocation_list.is_revoked(license_a.license_id)
+        assert d.provider.revocation_list.is_revoked(license_b.license_id)
+        assert not d.provider.revocation_list.is_revoked(license_c.license_id)
+
+    def test_multiple_contents_multiple_devices(self, world):
+        d, alice, *_ = world
+        device_eu = d.add_device(region="eu")
+        device_us = d.add_device(region="us")
+        alice.buy("song-1", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        alice.buy("album-2", provider=d.provider, issuer=d.issuer, bank=d.bank)
+        assert alice.play("song-1", device_eu, provider=d.provider)
+        assert alice.play("album-2", device_us, provider=d.provider)
+
+    def test_money_conservation(self, fresh_deployment):
+        """Credits never appear or vanish: user debit == provider credit
+        across an arbitrary session."""
+        d = fresh_deployment("money")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=50)
+        d.buy("alice", "song-1")
+        d.buy("bob", "song-1")
+        license_ = d.buy("alice", "song-1")
+        d.transfer("alice", "bob", license_.license_id)
+        user_balances = (
+            d.bank.balance(alice.bank_account)
+            + d.bank.balance(bob.bank_account)
+            + alice.wallet_value()
+            + bob.wallet_value()
+        )
+        provider_balance = d.bank.balance("content-provider-account")
+        assert user_balances + provider_balance == 150
+
+    def test_audit_chains_valid_after_everything(self, world):
+        d, *_ = world
+        assert d.provider.audit_log.verify_chain() > 0
+        assert d.issuer.audit_log.verify_chain() > 0
+
+    def test_full_transcripted_run(self, fresh_deployment):
+        d = fresh_deployment("transcripted")
+        alice = d.add_user("alice", balance=100)
+        bob = d.add_user("bob", balance=100)
+        transcript = Transcript()
+        license_ = alice.buy(
+            "song-1", provider=d.provider, issuer=d.issuer, bank=d.bank,
+            transcript=transcript,
+        )
+        assert transcript.total_bytes > 0
+        transfer = Transcript()
+        transfer_license(
+            alice, bob, d.provider, d.issuer, license_.license_id,
+            transcript=transfer,
+        )
+        assert transfer.protocol == "transfer"
+        assert transfer.message_count == 5

@@ -1,0 +1,187 @@
+"""Extended scenarios: multi-provider markets, production-size groups,
+baseline device sync, freshness boundaries, wallet behaviour."""
+
+import pytest
+
+from repro.core.actors.provider import REQUEST_FRESHNESS_WINDOW, ContentProvider
+from repro.errors import AuthenticationError, RevokedLicenseError
+
+
+class TestMultiProviderMarket:
+    def test_one_credential_system_many_stores(self, fresh_deployment):
+        """Pseudonym certificates are issuer-scoped, not store-scoped:
+        the same card shops at two independent providers; neither can
+        link the two purchases, and each keeps its own records."""
+        d = fresh_deployment("multi1")
+        second = ContentProvider(
+            rng=d.rng.fork("second-provider"),
+            clock=d.clock,
+            issuer_certificate_key=d.issuer.certificate_key,
+            bank=d.bank,
+            license_key_bits=512,
+            name="second-store",
+        )
+        second.publish("other-album", b"OTHER" * 64, title="Other", price=2)
+        alice = d.add_user("alice", balance=100)
+        first_license = alice.buy(
+            "song-1", provider=d.provider, issuer=d.issuer, bank=d.bank
+        )
+        second_license = alice.buy(
+            "other-album", provider=second, issuer=d.issuer, bank=d.bank
+        )
+        assert first_license.holder_fingerprint != second_license.holder_fingerprint
+        assert d.provider.license_register.get(second_license.license_id) is None
+        assert second.license_register.get(first_license.license_id) is None
+
+    def test_license_from_one_store_invalid_at_other(self, fresh_deployment):
+        """A licence signed by store A fails verification against store
+        B's key — devices pin the provider key."""
+        from repro.errors import InvalidSignature
+
+        d = fresh_deployment("multi2")
+        second = ContentProvider(
+            rng=d.rng.fork("second-provider-2"),
+            clock=d.clock,
+            issuer_certificate_key=d.issuer.certificate_key,
+            bank=d.bank,
+            license_key_bits=512,
+            name="second-store-2",
+        )
+        alice = d.add_user("alice", balance=100)
+        license_ = d.buy("alice", "song-1")
+        with pytest.raises(InvalidSignature):
+            license_.verify(second.license_key)
+
+
+class TestProductionGroup:
+    def test_full_flow_on_modp1536(self):
+        """One end-to-end purchase+transfer on the production-size
+        group (1536-bit MODP) — the fast test group is not load-bearing
+        for correctness."""
+        from repro.core.system import build_deployment
+
+        d = build_deployment(seed="modp-e2e", rsa_bits=512, group_name="modp-1536")
+        d.provider.publish("song-1", b"BIGGROUP" * 32, title="S", price=1)
+        alice = d.add_user("alice", balance=10)
+        bob = d.add_user("bob", balance=10)
+        license_ = d.buy("alice", "song-1")
+        d.transfer("alice", "bob", license_.license_id)
+        device = d.add_device()
+        device.sync_revocations(d.provider)
+        assert bob.play("song-1", device, provider=d.provider)
+
+
+class TestFreshnessBoundaries:
+    def _request(self, d, user, at):
+        from repro.core.messages import PurchaseRequest, purchase_signing_payload
+
+        certificate = user.certificate_for_transaction(d.issuer)
+        coins = user.coins_for(3, d.bank)
+        nonce = user.rng.random_bytes(16)
+        payload = purchase_signing_payload(
+            "song-1", certificate.fingerprint, [c.serial for c in coins], nonce, at
+        )
+        return PurchaseRequest(
+            content_id="song-1",
+            certificate=certificate,
+            coins=tuple(coins),
+            nonce=nonce,
+            at=at,
+            signature=user.require_card().sign(certificate.pseudonym, payload),
+        )
+
+    def test_request_at_window_edge_accepted(self, fresh_deployment):
+        d = fresh_deployment("fresh1")
+        user = d.add_user("u", balance=100)
+        request = self._request(d, user, d.clock.now() - REQUEST_FRESHNESS_WINDOW)
+        d.provider.sell(request)  # exactly at the boundary: accepted
+
+    def test_future_timestamp_rejected(self, fresh_deployment):
+        d = fresh_deployment("fresh2")
+        user = d.add_user("u", balance=100)
+        request = self._request(
+            d, user, d.clock.now() + REQUEST_FRESHNESS_WINDOW + 1
+        )
+        with pytest.raises(AuthenticationError, match="freshness"):
+            d.provider.sell(request)
+
+
+class TestWalletBehaviour:
+    def test_partial_wallet_triggers_one_withdrawal(self, fresh_deployment):
+        """Holding a 20 but needing 20+5+1: the agent withdraws the
+        full decomposition fresh rather than mixing (simple policy,
+        pinned by test)."""
+        from repro.core.protocols.payment import withdraw_coins
+
+        d = fresh_deployment("wallet-partial")
+        user = d.add_user("u", balance=100)
+        withdraw_coins(user, d.bank, 20)
+        assert user.wallet_value() == 20
+        coins = user.coins_for(26, d.bank)
+        assert sum(c.value for c in coins) == 26
+        # The lone 20 stays in the wallet; a fresh 26 was withdrawn.
+        assert user.wallet_value() == 20
+        assert d.bank.balance(user.bank_account) == 100 - 20 - 26
+
+    def test_overpayment_never_happens(self, fresh_deployment):
+        d = fresh_deployment("wallet-exact")
+        user = d.add_user("u", balance=100)
+        for amount in (1, 3, 7, 26, 41):
+            coins = user.coins_for(amount, d.bank)
+            assert sum(c.value for c in coins) == amount
+
+
+class TestBaselineDeviceSync:
+    def test_baseline_transfer_revocation_reaches_devices(self, fresh_deployment):
+        """The baseline shares the LRL machinery: after an identified
+        transfer, the sender's old licence dies on synced devices."""
+        from repro.baseline.identity_drm import (
+            BaselineProvider,
+            BaselineUser,
+            baseline_purchase,
+            baseline_transfer,
+        )
+        from repro.core.actors.device import CompliantDevice
+        from repro.core.identity import SmartCard
+        from repro.core.licenses import PersonalLicense
+
+        d = fresh_deployment("bl-sync")
+        provider = BaselineProvider(
+            rng=d.rng.fork("bl-sync-provider"),
+            clock=d.clock,
+            bank=d.bank,
+            license_key_bits=512,
+            name="bl-sync-provider",
+        )
+        provider.publish("song-1", b"X" * 64, title="S", price=1)
+        users = {}
+        for name in ("alice", "bob"):
+            card = SmartCard(
+                f"bls-{name}".encode().ljust(16, b"_"),
+                d.group,
+                rng=d.rng.fork(f"bls-{name}"),
+                authority_key=d.authority.public_key,
+            )
+            user = BaselineUser(name, card)
+            provider.register_user(user)
+            d.bank.open_account(user.bank_account, initial_balance=10)
+            users[name] = user
+        license_ = baseline_purchase(users["alice"], provider, "song-1", clock=d.clock)
+        kept = PersonalLicense.from_dict(license_.as_dict())
+        baseline_transfer(
+            users["alice"], users["bob"], provider, license_.license_id, clock=d.clock
+        )
+        now = d.clock.now()
+        certificate = d.authority.certify_device(
+            "b15c0de5", model="bl-player", capabilities=("play",),
+            not_before=now, not_after=now + 10**9,
+        )
+        device = CompliantDevice(
+            certificate, clock=d.clock, provider_license_key=provider.license_key
+        )
+        device.sync_revocations(provider)
+        with pytest.raises(RevokedLicenseError):
+            device.render(kept, provider.download("song-1"), users["alice"].card)
+        # Bob's new licence plays.
+        new_license = next(iter(users["bob"].licenses.values()))
+        assert device.render(new_license, provider.download("song-1"), users["bob"].card)

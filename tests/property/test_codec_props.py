@@ -1,0 +1,75 @@
+"""Property-based tests for the canonical codec (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import codec
+
+# Codec value space: recursive None/bool/int/bytes/str/list/dict.
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**200), max_value=2**200)
+    | st.binary(max_size=64)
+    | st.text(max_size=32)
+)
+values = st.recursive(
+    _scalars,
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestCodecProperties:
+    @given(values)
+    @settings(max_examples=300)
+    def test_roundtrip(self, value):
+        decoded = codec.decode(codec.encode(value))
+        assert decoded == _normalize(value)
+
+    @given(values)
+    @settings(max_examples=200)
+    def test_encoding_is_fixed_point(self, value):
+        """decode∘encode then encode again reproduces the same bytes —
+        canonical form is a fixed point."""
+        encoded = codec.encode(value)
+        assert codec.encode(codec.decode(encoded)) == encoded
+
+    @given(values, values)
+    @settings(max_examples=200)
+    def test_injective_on_distinct_values(self, left, right):
+        if _normalize(left) != _normalize(right):
+            assert codec.encode(left) != codec.encode(right)
+        else:
+            assert codec.encode(left) == codec.encode(right)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_decoder_total_on_garbage(self, blob):
+        """Arbitrary bytes either decode to a value whose re-encoding is
+        exactly the input, or raise CodecError — never crash, never
+        accept non-canonical input."""
+        try:
+            value = codec.decode(blob)
+        except codec.CodecError:
+            return
+        assert codec.encode(value) == blob
+
+    @given(st.lists(values, max_size=4))
+    @settings(max_examples=100)
+    def test_stream_roundtrip(self, items):
+        stream = b"".join(codec.encode(item) for item in items)
+        assert list(codec.iter_decode(stream)) == [_normalize(i) for i in items]
+
+
+def _normalize(value):
+    """What the codec canonically preserves (tuples→lists)."""
+    if isinstance(value, tuple):
+        return [_normalize(v) for v in value]
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    return value

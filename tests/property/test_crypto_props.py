@@ -1,0 +1,168 @@
+"""Property-based tests over the crypto substrate.
+
+Keys are generated once at module scope (hypothesis then varies
+messages, payloads and contexts), keeping runtime sane while still
+exercising the algebra on hundreds of inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.blind_rsa import (
+    BlindingClient,
+    BlindSigner,
+    verify_blind_signature,
+)
+from repro.crypto.elgamal import generate_elgamal_key
+from repro.crypto.groups import named_group
+from repro.crypto.modes import EtmCipher, ctr_transform, decrypt_cbc, encrypt_cbc
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.rsa import generate_rsa_key
+from repro.crypto.schnorr import generate_schnorr_key
+from repro.errors import DecryptionError
+
+_GROUP = named_group("test-512")
+_RSA = generate_rsa_key(512, rng=DeterministicRandomSource(b"prop-rsa"))
+_RSA_OAEP = generate_rsa_key(768, rng=DeterministicRandomSource(b"prop-rsa-768"))
+_SCHNORR = generate_schnorr_key(_GROUP, rng=DeterministicRandomSource(b"prop-schnorr"))
+_ELGAMAL = generate_elgamal_key(_GROUP, rng=DeterministicRandomSource(b"prop-eg"))
+
+
+def _rng(seed: bytes) -> DeterministicRandomSource:
+    return DeterministicRandomSource(b"prop:" + seed)
+
+
+class TestRsaProperties:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=50)
+    def test_pkcs1_roundtrip(self, message):
+        _RSA.public_key.verify_pkcs1(message, _RSA.sign_pkcs1(message))
+
+    @given(st.binary(max_size=128), st.binary(max_size=16))
+    @settings(max_examples=50)
+    def test_pkcs1_rejects_other_message(self, message, suffix):
+        from repro.errors import InvalidSignature
+
+        signature = _RSA.sign_pkcs1(message)
+        other = message + b"|" + suffix
+        if other == message:
+            return
+        with pytest.raises(InvalidSignature):
+            _RSA.public_key.verify_pkcs1(other, signature)
+
+    # OAEP capacity at 768 bits is 96 - 2·32 - 2 = 30 bytes.
+    @given(st.binary(max_size=30), st.binary(max_size=8))
+    @settings(max_examples=30)
+    def test_oaep_roundtrip(self, plaintext, seed):
+        ciphertext = _RSA_OAEP.public_key.encrypt_oaep(plaintext, rng=_rng(seed))
+        assert _RSA_OAEP.decrypt_oaep(ciphertext) == plaintext
+
+    @given(st.binary(min_size=31, max_size=64), st.binary(max_size=8))
+    @settings(max_examples=20)
+    def test_oaep_overlong_always_rejected(self, plaintext, seed):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            _RSA_OAEP.public_key.encrypt_oaep(plaintext, rng=_rng(seed))
+
+
+class TestBlindRsaProperties:
+    @given(st.binary(max_size=64), st.binary(max_size=8))
+    @settings(max_examples=40)
+    def test_blind_roundtrip(self, message, seed):
+        signer = BlindSigner(_RSA)
+        client = BlindingClient(_RSA.public_key, rng=_rng(seed))
+        blinded, state = client.blind(message)
+        signature = client.unblind(signer.sign_blinded(blinded), state)
+        verify_blind_signature(message, signature, _RSA.public_key)
+
+    @given(st.binary(max_size=64), st.binary(min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_unblinded_signature_deterministic(self, message, seed):
+        """Whatever blinding factor was used, the unblinded signature is
+        the unique FDH signature of the message."""
+        signer = BlindSigner(_RSA)
+        first = BlindingClient(_RSA.public_key, rng=_rng(seed))
+        second = BlindingClient(_RSA.public_key, rng=_rng(seed + b"x"))
+        results = []
+        for client in (first, second):
+            blinded, state = client.blind(message)
+            results.append(client.unblind(signer.sign_blinded(blinded), state))
+        assert results[0] == results[1]
+
+
+class TestSchnorrProperties:
+    @given(st.binary(max_size=128), st.binary(max_size=8))
+    @settings(max_examples=50)
+    def test_sign_verify(self, message, seed):
+        signature = _SCHNORR.sign(message, rng=_rng(seed))
+        _SCHNORR.public_key.verify(message, signature)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64), st.binary(max_size=8))
+    @settings(max_examples=50)
+    def test_signature_not_transferable(self, message, other, seed):
+        from repro.errors import InvalidSignature
+
+        if message == other:
+            return
+        signature = _SCHNORR.sign(message, rng=_rng(seed))
+        with pytest.raises(InvalidSignature):
+            _SCHNORR.public_key.verify(other, signature)
+
+
+class TestKemProperties:
+    @given(st.binary(max_size=64), st.binary(max_size=16), st.binary(max_size=8))
+    @settings(max_examples=50)
+    def test_wrap_unwrap(self, payload, context, seed):
+        wrapped = _ELGAMAL.public_key.kem_wrap(payload, context=context, rng=_rng(seed))
+        assert _ELGAMAL.kem_unwrap(wrapped, context=context) == payload
+
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.binary(max_size=8),
+        st.binary(min_size=1, max_size=8),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=50)
+    def test_context_separation(self, payload, context, delta, seed):
+        wrapped = _ELGAMAL.public_key.kem_wrap(payload, context=context, rng=_rng(seed))
+        other_context = context + delta
+        with pytest.raises(DecryptionError):
+            _ELGAMAL.kem_unwrap(wrapped, context=other_context)
+
+
+class TestModeProperties:
+    @given(st.binary(max_size=500), st.binary(min_size=16, max_size=16), st.binary(max_size=8))
+    @settings(max_examples=50)
+    def test_cbc_roundtrip(self, data, key, seed):
+        assert decrypt_cbc(key, encrypt_cbc(key, data, rng=_rng(seed))) == data
+
+    @given(st.binary(max_size=500), st.binary(min_size=16, max_size=16), st.binary(min_size=12, max_size=12))
+    @settings(max_examples=50)
+    def test_ctr_involution(self, data, key, nonce):
+        assert ctr_transform(key, nonce, ctr_transform(key, nonce, data)) == data
+
+    @given(
+        st.binary(max_size=300),
+        st.binary(min_size=16, max_size=16),
+        st.binary(max_size=32),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=50)
+    def test_etm_roundtrip(self, data, key, aad, seed):
+        cipher = EtmCipher(key)
+        assert cipher.decrypt(cipher.encrypt(data, aad=aad, rng=_rng(seed)), aad=aad) == data
+
+    @given(
+        st.binary(max_size=100),
+        st.binary(min_size=16, max_size=16),
+        st.integers(min_value=0),
+        st.binary(max_size=8),
+    )
+    @settings(max_examples=50)
+    def test_etm_bitflip_always_detected(self, data, key, position, seed):
+        cipher = EtmCipher(key)
+        blob = bytearray(cipher.encrypt(data, rng=_rng(seed)))
+        blob[position % len(blob)] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(blob))

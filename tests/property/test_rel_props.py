@@ -1,0 +1,147 @@
+"""Property-based tests for the rights expression language."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rel.evaluator import EvaluationContext, RightsEvaluator
+from repro.rel.model import (
+    ACTIONS,
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+)
+from repro.rel.parser import parse_rights
+from repro.rel.serializer import rights_from_bytes, rights_to_bytes, rights_to_text
+
+_device_ids = st.text(alphabet="0123456789abcdef", min_size=2, max_size=8)
+_regions = st.text(alphabet="abcdefghij", min_size=2, max_size=4)
+
+_count = st.integers(min_value=1, max_value=1000).map(
+    lambda n: CountConstraint(max_uses=n)
+)
+_interval = st.tuples(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**9),
+).map(
+    lambda pair: IntervalConstraint(
+        not_before=min(pair), not_after=max(pair)
+    )
+)
+_device = st.frozensets(_device_ids, min_size=1, max_size=4).map(
+    lambda ids: DeviceConstraint(device_ids=ids)
+)
+_region = st.frozensets(_regions, min_size=1, max_size=3).map(
+    lambda codes: RegionConstraint(regions=codes)
+)
+
+
+@st.composite
+def rights_values(draw):
+    actions = draw(
+        st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=4, unique=True)
+    )
+    permissions = []
+    for action in actions:
+        constraint_pool = draw(
+            st.lists(
+                st.sampled_from(["count", "interval", "device", "region"]),
+                max_size=3,
+                unique=True,
+            )
+        )
+        constraints = []
+        for kind in constraint_pool:
+            if kind == "count":
+                constraints.append(draw(_count))
+            elif kind == "interval":
+                constraints.append(draw(_interval))
+            elif kind == "device":
+                constraints.append(draw(_device))
+            else:
+                constraints.append(draw(_region))
+        permissions.append(Permission(action=action, constraints=tuple(constraints)))
+    return Rights(permissions=tuple(permissions))
+
+
+class TestSerializationProperties:
+    @given(rights_values())
+    @settings(max_examples=200)
+    def test_bytes_roundtrip(self, rights):
+        assert rights_from_bytes(rights_to_bytes(rights)) == rights
+
+    @given(rights_values())
+    @settings(max_examples=200)
+    def test_text_roundtrip(self, rights):
+        assert parse_rights(rights_to_text(rights)) == rights
+
+    @given(rights_values(), rights_values())
+    @settings(max_examples=100)
+    def test_bytes_injective(self, left, right):
+        assert (rights_to_bytes(left) == rights_to_bytes(right)) == (left == right)
+
+
+class TestAlgebraProperties:
+    @given(rights_values())
+    @settings(max_examples=100)
+    def test_subset_reflexive(self, rights):
+        assert rights.is_subset_of(rights)
+
+    @given(rights_values())
+    @settings(max_examples=100)
+    def test_restriction_is_subset(self, rights):
+        actions = [p.action for p in rights.permissions]
+        restricted = rights.restricted_to(actions[:1])
+        assert restricted.is_subset_of(rights)
+
+    @given(rights_values())
+    @settings(max_examples=100)
+    def test_without_action_is_subset(self, rights):
+        if len(rights.permissions) < 2:
+            return
+        reduced = rights.without_action(rights.permissions[0].action)
+        assert reduced.is_subset_of(rights)
+
+
+class TestEvaluatorProperties:
+    @given(
+        rights_values(),
+        st.integers(min_value=0, max_value=2 * 10**9),
+        _device_ids,
+        _regions,
+        st.sampled_from(ACTIONS),
+    )
+    @settings(max_examples=200)
+    def test_decisions_deterministic_and_consistent(
+        self, rights, now, device_id, region, action
+    ):
+        """Same state, same context → same decision; and a granted
+        action always corresponds to a permission in the expression."""
+        from repro.errors import RightsDenied
+
+        context = EvaluationContext(now=now, device_id=device_id, region=region)
+        evaluator = RightsEvaluator()
+        outcomes = []
+        for _ in range(2):
+            try:
+                permission = evaluator.authorize(rights, b"L" * 16, action, context)
+                outcomes.append(("granted", permission.action))
+            except RightsDenied as denial:
+                outcomes.append(("denied", denial.action))
+        assert outcomes[0] == outcomes[1]
+        if outcomes[0][0] == "granted":
+            assert rights.permission_for(action) is not None
+
+    @given(rights_values(), st.sampled_from(ACTIONS), st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_count_monotone(self, rights, action, uses):
+        """Recording uses never *increases* remaining allowance."""
+        evaluator = RightsEvaluator()
+        previous = evaluator.remaining_uses(rights, b"L" * 16, action)
+        for _ in range(uses):
+            evaluator.record_use(b"L" * 16, action)
+            current = evaluator.remaining_uses(rights, b"L" * 16, action)
+            if previous is not None:
+                assert current is not None and current <= previous
+            previous = current

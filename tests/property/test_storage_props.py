@@ -1,0 +1,81 @@
+"""Property-based tests over the storage structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.engine import Database
+from repro.storage.merkle import (
+    MerkleTree,
+    verify_inclusion,
+    verify_non_inclusion,
+)
+from repro.storage.spent_tokens import SpentTokenStore
+
+_tokens = st.binary(min_size=1, max_size=24)
+
+
+class TestSpentTokenProperties:
+    @given(st.lists(st.tuples(_tokens, st.integers(0, 10**6)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_once_under_any_interleaving(self, events):
+        """For any sequence of spend attempts, each token succeeds
+        exactly once — on its first appearance — and every replay
+        returns the original record."""
+        store = SpentTokenStore(Database(), "prop")
+        first_seen: dict[bytes, int] = {}
+        for token, at in events:
+            result = store.try_spend(token, at=at, transcript=at.to_bytes(4, "big"))
+            if token not in first_seen:
+                assert result is None
+                first_seen[token] = at
+            else:
+                assert result is not None
+                assert result.spent_at == first_seen[token]
+        assert store.count() == len(first_seen)
+
+
+class TestMerkleProperties:
+    @given(st.sets(_tokens, min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_every_leaf_has_valid_proof(self, leaves):
+        tree = MerkleTree(sorted(leaves))
+        for leaf in leaves:
+            assert verify_inclusion(tree.root, leaf, tree.prove_inclusion(leaf))
+
+    @given(st.sets(_tokens, min_size=1, max_size=60), _tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_absence_provable_exactly_when_absent(self, leaves, probe):
+        tree = MerkleTree(sorted(leaves))
+        if probe in leaves:
+            proof = tree.prove_inclusion(probe)
+            assert verify_inclusion(tree.root, probe, proof)
+        else:
+            proof = tree.prove_non_inclusion(probe)
+            assert verify_non_inclusion(tree.root, len(tree), probe, proof)
+
+    @given(st.sets(_tokens, min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_root_commits_to_set(self, leaves):
+        """Removing any single leaf changes the root."""
+        leaf_list = sorted(leaves)
+        full = MerkleTree(leaf_list).root
+        for index in range(len(leaf_list)):
+            reduced = MerkleTree(leaf_list[:index] + leaf_list[index + 1 :]).root
+            assert reduced != full
+
+
+class TestBloomProperties:
+    @given(st.sets(_tokens, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_never_false_negative(self, items):
+        filt = BloomFilter.build(sorted(items), fp_rate=0.01)
+        assert all(item in filt for item in items)
+
+    @given(st.sets(_tokens, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_preserves_semantics(self, items):
+        filt = BloomFilter.build(sorted(items), fp_rate=0.02)
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        probes = [b"probe:" + item for item in items] + sorted(items)
+        for probe in probes:
+            assert (probe in filt) == (probe in restored)

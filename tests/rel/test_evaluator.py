@@ -1,0 +1,125 @@
+"""REL evaluator: constraint enforcement, usage accounting."""
+
+import pytest
+
+from repro.errors import RightsDenied
+from repro.rel.evaluator import EvaluationContext, RightsEvaluator, UsageState
+from repro.rel.parser import parse_rights
+
+LICENSE = b"L" * 16
+OTHER = b"M" * 16
+
+
+@pytest.fixture()
+def evaluator():
+    return RightsEvaluator()
+
+
+def ctx(now=1000, device_id="ab12", region="eu"):
+    return EvaluationContext(now=now, device_id=device_id, region=region)
+
+
+class TestActionGrant:
+    def test_granted_action_allowed(self, evaluator):
+        rights = parse_rights("play")
+        permission = evaluator.authorize(rights, LICENSE, "play", ctx())
+        assert permission.action == "play"
+
+    def test_ungranted_action_denied(self, evaluator):
+        rights = parse_rights("play")
+        with pytest.raises(RightsDenied) as err:
+            evaluator.authorize(rights, LICENSE, "copy", ctx())
+        assert err.value.action == "copy"
+        assert "not granted" in err.value.reason
+
+
+class TestCountConstraint:
+    def test_counts_per_license_and_action(self, evaluator):
+        rights = parse_rights("play[count<=2]")
+        for _ in range(2):
+            evaluator.authorize(rights, LICENSE, "play", ctx())
+            evaluator.record_use(LICENSE, "play")
+        with pytest.raises(RightsDenied, match="exhausted"):
+            evaluator.authorize(rights, LICENSE, "play", ctx())
+        # A different licence has its own counter.
+        evaluator.authorize(rights, OTHER, "play", ctx())
+
+    def test_authorize_does_not_consume(self, evaluator):
+        rights = parse_rights("play[count<=1]")
+        evaluator.authorize(rights, LICENSE, "play", ctx())
+        evaluator.authorize(rights, LICENSE, "play", ctx())  # still fine
+        evaluator.record_use(LICENSE, "play")
+        with pytest.raises(RightsDenied):
+            evaluator.authorize(rights, LICENSE, "play", ctx())
+
+    def test_remaining_uses(self, evaluator):
+        rights = parse_rights("play[count<=3]; display")
+        assert evaluator.remaining_uses(rights, LICENSE, "play") == 3
+        evaluator.record_use(LICENSE, "play")
+        assert evaluator.remaining_uses(rights, LICENSE, "play") == 2
+        assert evaluator.remaining_uses(rights, LICENSE, "display") is None
+        assert evaluator.remaining_uses(rights, LICENSE, "copy") == 0
+
+
+class TestIntervalConstraint:
+    def test_window_enforced(self, evaluator):
+        rights = parse_rights("play[after=500, before=1500]")
+        evaluator.authorize(rights, LICENSE, "play", ctx(now=1000))
+        with pytest.raises(RightsDenied, match="not valid before"):
+            evaluator.authorize(rights, LICENSE, "play", ctx(now=499))
+        with pytest.raises(RightsDenied, match="expired"):
+            evaluator.authorize(rights, LICENSE, "play", ctx(now=1501))
+
+    def test_boundaries_inclusive(self, evaluator):
+        rights = parse_rights("play[after=500, before=1500]")
+        evaluator.authorize(rights, LICENSE, "play", ctx(now=500))
+        evaluator.authorize(rights, LICENSE, "play", ctx(now=1500))
+
+
+class TestDeviceConstraint:
+    def test_binding(self, evaluator):
+        rights = parse_rights("play[device=ab12|cd34]")
+        evaluator.authorize(rights, LICENSE, "play", ctx(device_id="cd34"))
+        with pytest.raises(RightsDenied, match="device"):
+            evaluator.authorize(rights, LICENSE, "play", ctx(device_id="ffff"))
+        with pytest.raises(RightsDenied):
+            evaluator.authorize(
+                rights, LICENSE, "play", EvaluationContext(now=1000)
+            )
+
+
+class TestRegionConstraint:
+    def test_binding(self, evaluator):
+        rights = parse_rights("play[region=eu]")
+        evaluator.authorize(rights, LICENSE, "play", ctx(region="eu"))
+        with pytest.raises(RightsDenied, match="region"):
+            evaluator.authorize(rights, LICENSE, "play", ctx(region="us"))
+
+
+class TestUsageState:
+    def test_record_and_read(self):
+        state = UsageState()
+        assert state.uses(LICENSE, "play") == 0
+        assert state.record(LICENSE, "play") == 1
+        assert state.record(LICENSE, "play") == 2
+        assert state.uses(LICENSE, "play") == 2
+        assert state.uses(LICENSE, "copy") == 0
+
+    def test_merge_is_pointwise_max(self):
+        a = UsageState()
+        b = UsageState()
+        a.record(LICENSE, "play")
+        a.record(LICENSE, "play")
+        b.record(LICENSE, "play")
+        b.record(LICENSE, "copy")
+        a.merge_from(b)
+        assert a.uses(LICENSE, "play") == 2  # max, not sum
+        assert a.uses(LICENSE, "copy") == 1
+
+    def test_evaluator_accepts_preloaded_state(self):
+        state = UsageState()
+        state.record(LICENSE, "play")
+        evaluator = RightsEvaluator(state)
+        rights = parse_rights("play[count<=1]")
+        with pytest.raises(RightsDenied):
+            evaluator.authorize(rights, LICENSE, "play", ctx())

@@ -1,0 +1,193 @@
+"""REL data model: validation, canonical ordering, set operations."""
+
+import pytest
+
+from repro.errors import RightsParseError
+from repro.rel.model import (
+    ACTIONS,
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    Permission,
+    RegionConstraint,
+    Rights,
+    constraint_from_dict,
+)
+
+
+class TestConstraints:
+    def test_count_validation(self):
+        assert CountConstraint(max_uses=1).max_uses == 1
+        with pytest.raises(RightsParseError):
+            CountConstraint(max_uses=0)
+
+    def test_interval_validation(self):
+        IntervalConstraint(not_before=1, not_after=2)
+        IntervalConstraint(not_before=None, not_after=5)
+        with pytest.raises(RightsParseError):
+            IntervalConstraint(not_before=None, not_after=None)
+        with pytest.raises(RightsParseError):
+            IntervalConstraint(not_before=10, not_after=5)
+
+    def test_device_validation(self):
+        DeviceConstraint(device_ids=frozenset({"ab12"}))
+        with pytest.raises(RightsParseError):
+            DeviceConstraint(device_ids=frozenset())
+        with pytest.raises(RightsParseError):
+            DeviceConstraint(device_ids=frozenset({"XY"}))  # uppercase
+
+    def test_region_validation(self):
+        RegionConstraint(regions=frozenset({"eu", "us"}))
+        with pytest.raises(RightsParseError):
+            RegionConstraint(regions=frozenset({"E1"}))
+        with pytest.raises(RightsParseError):
+            RegionConstraint(regions=frozenset())
+
+    def test_constraint_dict_roundtrip(self):
+        constraints = [
+            CountConstraint(max_uses=5),
+            IntervalConstraint(not_before=1, not_after=9),
+            DeviceConstraint(device_ids=frozenset({"aa", "bb"})),
+            RegionConstraint(regions=frozenset({"eu"})),
+        ]
+        for constraint in constraints:
+            assert constraint_from_dict(constraint.as_dict()) == constraint
+
+    def test_unknown_constraint_dict(self):
+        with pytest.raises(RightsParseError):
+            constraint_from_dict({"type": "weather"})
+
+
+class TestPermission:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(RightsParseError):
+            Permission(action="teleport")
+
+    def test_duplicate_constraint_type_rejected(self):
+        with pytest.raises(RightsParseError):
+            Permission(
+                action="play",
+                constraints=(CountConstraint(max_uses=1), CountConstraint(max_uses=2)),
+            )
+
+    def test_constraints_canonically_ordered(self):
+        p = Permission(
+            action="play",
+            constraints=(
+                RegionConstraint(regions=frozenset({"eu"})),
+                CountConstraint(max_uses=3),
+            ),
+        )
+        kinds = [c.as_dict()["type"] for c in p.constraints]
+        assert kinds == ["count", "region"]
+
+    def test_equality_independent_of_input_order(self):
+        a = Permission(
+            action="play",
+            constraints=(
+                CountConstraint(max_uses=3),
+                RegionConstraint(regions=frozenset({"eu"})),
+            ),
+        )
+        b = Permission(
+            action="play",
+            constraints=(
+                RegionConstraint(regions=frozenset({"eu"})),
+                CountConstraint(max_uses=3),
+            ),
+        )
+        assert a == b
+
+    def test_max_count(self):
+        assert Permission(action="play").max_count() is None
+        assert (
+            Permission(action="play", constraints=(CountConstraint(max_uses=7),)).max_count()
+            == 7
+        )
+
+    def test_dict_roundtrip(self):
+        p = Permission(
+            action="copy",
+            constraints=(
+                CountConstraint(max_uses=2),
+                DeviceConstraint(device_ids=frozenset({"ab"})),
+            ),
+        )
+        assert Permission.from_dict(p.as_dict()) == p
+
+
+class TestRights:
+    def test_requires_permission(self):
+        with pytest.raises(RightsParseError):
+            Rights(permissions=())
+
+    def test_duplicate_action_rejected(self):
+        with pytest.raises(RightsParseError):
+            Rights(
+                permissions=(Permission(action="play"), Permission(action="play"))
+            )
+
+    def test_actions_canonically_ordered(self):
+        r = Rights(
+            permissions=(Permission(action="transfer"), Permission(action="play"))
+        )
+        assert [p.action for p in r.permissions] == ["play", "transfer"]
+
+    def test_permission_for(self):
+        r = Rights(permissions=(Permission(action="play"),))
+        assert r.permission_for("play") is not None
+        assert r.permission_for("copy") is None
+
+    def test_transferable(self):
+        assert Rights(permissions=(Permission(action="transfer"),)).transferable
+        assert not Rights(permissions=(Permission(action="play"),)).transferable
+
+    def test_without_action(self):
+        r = Rights(
+            permissions=(Permission(action="play"), Permission(action="transfer"))
+        )
+        stripped = r.without_action("transfer")
+        assert not stripped.transferable
+        assert stripped.permission_for("play") is not None
+        with pytest.raises(RightsParseError):
+            stripped.without_action("play")
+
+    def test_restricted_to(self):
+        r = Rights(
+            permissions=(
+                Permission(action="play"),
+                Permission(action="copy"),
+                Permission(action="transfer"),
+            )
+        )
+        restricted = r.restricted_to(["play", "copy"])
+        assert restricted.permission_for("transfer") is None
+        with pytest.raises(RightsParseError):
+            r.restricted_to(["burn"])
+
+    def test_is_subset_of(self):
+        big = Rights(
+            permissions=(Permission(action="play"), Permission(action="transfer"))
+        )
+        small = big.without_action("transfer")
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        # Same action but different constraints is NOT a subset.
+        constrained = Rights(
+            permissions=(
+                Permission(action="play", constraints=(CountConstraint(max_uses=1),)),
+            )
+        )
+        assert not constrained.is_subset_of(big)
+
+    def test_dict_roundtrip(self):
+        r = Rights(
+            permissions=(
+                Permission(action="play", constraints=(CountConstraint(max_uses=9),)),
+                Permission(action="export"),
+            )
+        )
+        assert Rights.from_dict(r.as_dict()) == r
+
+    def test_all_actions_known(self):
+        assert set(ACTIONS) >= {"play", "copy", "transfer", "export", "burn"}

@@ -1,0 +1,118 @@
+"""REL parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import RightsParseError
+from repro.rel.model import (
+    CountConstraint,
+    DeviceConstraint,
+    IntervalConstraint,
+    RegionConstraint,
+)
+from repro.rel.parser import format_timestamp, parse_rights, parse_timestamp
+
+
+class TestTimestamps:
+    def test_iso_roundtrip(self):
+        assert parse_timestamp("2004-06-04T12:00:00Z") == 1086350400
+        assert format_timestamp(1086350400) == "2004-06-04T12:00:00Z"
+
+    def test_epoch_accepted(self):
+        assert parse_timestamp("12345") == 12345
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RightsParseError):
+            parse_timestamp("yesterday")
+        with pytest.raises(RightsParseError):
+            parse_timestamp("2004-06-04")  # date only
+
+
+class TestBasicParsing:
+    def test_single_action(self):
+        r = parse_rights("play")
+        assert [p.action for p in r.permissions] == ["play"]
+        assert r.permissions[0].constraints == ()
+
+    def test_multiple_actions(self):
+        r = parse_rights("play; transfer; copy")
+        assert {p.action for p in r.permissions} == {"play", "transfer", "copy"}
+
+    def test_whitespace_tolerant(self):
+        assert parse_rights("  play ;  transfer ") == parse_rights("play; transfer")
+
+    def test_count_constraint(self):
+        r = parse_rights("play[count<=10]")
+        assert r.permission_for("play").constraints == (CountConstraint(max_uses=10),)
+
+    def test_interval_merging(self):
+        r = parse_rights(
+            "play[after=2004-01-01T00:00:00Z, before=2005-01-01T00:00:00Z]"
+        )
+        (constraint,) = r.permission_for("play").constraints
+        assert isinstance(constraint, IntervalConstraint)
+        assert constraint.not_before < constraint.not_after
+
+    def test_before_only(self):
+        r = parse_rights("play[before=2005-01-01T00:00:00Z]")
+        (constraint,) = r.permission_for("play").constraints
+        assert constraint.not_before is None
+
+    def test_device_list(self):
+        r = parse_rights("copy[device=ab12|cd34]")
+        (constraint,) = r.permission_for("copy").constraints
+        assert constraint == DeviceConstraint(device_ids=frozenset({"ab12", "cd34"}))
+
+    def test_region_list(self):
+        r = parse_rights("play[region=eu|us]")
+        (constraint,) = r.permission_for("play").constraints
+        assert constraint == RegionConstraint(regions=frozenset({"eu", "us"}))
+
+    def test_combined_constraints(self):
+        r = parse_rights("play[count<=3, region=eu, after=1000, before=2000]")
+        kinds = {c.as_dict()["type"] for c in r.permission_for("play").constraints}
+        assert kinds == {"count", "interval", "region"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            ";",
+            "play;; transfer",
+            "fly",
+            "play[count<=0]",
+            "play[count=5]",
+            "play[count<=abc]",
+            "play[unknown=1]",
+            "play[]",
+            "play[after=xx]",
+            "play[device=XY]",
+            "play[region=EU]",
+            "play[after=5, after=6]",
+            "play; play",
+            "play[before=1000, after=2000]",  # empty interval
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(RightsParseError):
+            parse_rights(text)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(RightsParseError):
+            parse_rights(None)
+
+
+class TestPaperTemplates:
+    """The rights templates the P2DRM deployment actually issues."""
+
+    def test_default_catalog_rights(self):
+        r = parse_rights("play; display; transfer[count<=1]")
+        assert r.transferable
+        assert r.permission_for("transfer").max_count() == 1
+        assert r.permission_for("play").max_count() is None
+
+    def test_rental_rights(self):
+        r = parse_rights("play[count<=5, before=2004-12-31T23:59:59Z]")
+        assert not r.transferable

@@ -1,0 +1,51 @@
+"""REL serialization: canonical bytes and text round-trips."""
+
+import pytest
+
+from repro.errors import RightsParseError
+from repro.rel.parser import parse_rights
+from repro.rel.serializer import rights_from_bytes, rights_to_bytes, rights_to_text
+
+EXPRESSIONS = [
+    "play",
+    "play[count<=10]",
+    "play[after=2004-01-01T00:00:00Z, before=2005-01-01T00:00:00Z]",
+    "copy[device=ab12|cd34]; play[region=eu|us]",
+    "play[count<=2]; display; transfer[count<=1]",
+    "burn[count<=1, device=ff00]",
+]
+
+
+class TestBytesRoundTrip:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_roundtrip(self, text):
+        rights = parse_rights(text)
+        assert rights_from_bytes(rights_to_bytes(rights)) == rights
+
+    def test_canonical_bytes_stable(self):
+        a = parse_rights("transfer; play")
+        b = parse_rights("play; transfer")
+        assert rights_to_bytes(a) == rights_to_bytes(b)
+
+    def test_distinct_rights_distinct_bytes(self):
+        encodings = {rights_to_bytes(parse_rights(t)) for t in EXPRESSIONS}
+        assert len(encodings) == len(EXPRESSIONS)
+
+    def test_bad_bytes_rejected(self):
+        from repro import codec
+
+        with pytest.raises(RightsParseError):
+            rights_from_bytes(codec.encode([1, 2, 3]))
+
+
+class TestTextRoundTrip:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_text_roundtrip(self, text):
+        rights = parse_rights(text)
+        assert parse_rights(rights_to_text(rights)) == rights
+
+    def test_text_is_human_readable(self):
+        rights = parse_rights("play[count<=5, before=2005-01-01T00:00:00Z]")
+        text = rights_to_text(rights)
+        assert "count<=5" in text
+        assert "before=2005-01-01T00:00:00Z" in text

@@ -1,0 +1,99 @@
+"""Marketplace simulator: both modes run; the privacy diff is measurable."""
+
+import pytest
+
+from repro.sim.marketplace import MODE_BASELINE, MODE_P2DRM, MarketplaceSimulator
+from repro.sim.workload import WorkloadConfig
+
+
+def small_config(**overrides):
+    defaults = dict(n_users=4, n_contents=5, n_events=25, seed=11)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def p2drm_report():
+    simulator = MarketplaceSimulator(small_config(), mode=MODE_P2DRM, rsa_bits=512)
+    return simulator, simulator.run()
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    simulator = MarketplaceSimulator(small_config(), mode=MODE_BASELINE, rsa_bits=512)
+    return simulator, simulator.run()
+
+
+class TestRuns:
+    def test_events_accounted(self, p2drm_report):
+        _, report = p2drm_report
+        total = report.purchases + report.plays + report.transfers
+        assert total + report.skipped + report.denials == 25
+
+    def test_identical_event_streams_across_modes(self, p2drm_report, baseline_report):
+        """Same seed → same workload → same action counts in both modes
+        (the comparison is apples-to-apples)."""
+        _, p2 = p2drm_report
+        _, bl = baseline_report
+        assert (p2.purchases, p2.plays, p2.transfers) == (
+            bl.purchases,
+            bl.plays,
+            bl.transfers,
+        )
+
+    def test_time_advances(self, p2drm_report):
+        _, report = p2drm_report
+        assert report.sim_seconds > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MarketplaceSimulator(small_config(), mode="quantum")
+
+
+class TestGroundTruth:
+    def test_ground_truth_covers_transactions(self, p2drm_report):
+        simulator, report = p2drm_report
+        assert len(report.ground_truth) >= report.purchases
+        cards = {u.card.card_id for u in simulator._users.values()}
+        assert set(report.ground_truth.values()) <= cards
+
+    def test_baseline_needs_no_ground_truth(self, baseline_report):
+        _, report = baseline_report
+        assert report.ground_truth == {}
+
+
+class TestOperatorKnowledgeDiff:
+    def test_baseline_identifies_p2drm_does_not(self, p2drm_report, baseline_report):
+        _, p2 = p2drm_report
+        _, bl = baseline_report
+        assert bl.operator_knowledge["identified"] is True
+        assert p2.operator_knowledge["identified"] is False
+
+    def test_profile_granularity(self, p2drm_report, baseline_report):
+        """Baseline: profiles ≈ users with multi-item dossiers.
+        P2DRM: one licence per profile shard."""
+        simulator, p2 = p2drm_report
+        _, bl = baseline_report
+        if bl.purchases >= 2:
+            assert bl.operator_knowledge["max_profile"] >= 1
+            assert bl.operator_knowledge["profiles"] <= simulator.config.n_users
+        assert p2.operator_knowledge["max_profile"] == 1
+
+    def test_p2drm_transfer_edges_pseudonymous_only(self, p2drm_report):
+        _, report = p2drm_report
+        assert report.operator_knowledge["transfer_edges"] == 0
+        if report.transfers:
+            assert report.operator_knowledge["graph_transfer_pairs"] == report.transfers
+
+
+class TestPrefetch:
+    def test_prefetch_certifications_appear(self):
+        config = small_config(prefetch_rate=1.0, n_events=15)
+        simulator = MarketplaceSimulator(config, mode=MODE_P2DRM, rsa_bits=512)
+        report = simulator.run()
+        certifications = simulator.deployment.issuer.audit_log.entries(
+            event="pseudonym_certified"
+        )
+        # More certs than transactions: the cover traffic exists.
+        transactions = report.purchases + report.transfers
+        assert len(certifications) >= transactions

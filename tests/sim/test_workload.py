@@ -1,0 +1,96 @@
+"""Workload generator: distributions and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    ACTION_BUY,
+    ACTION_PLAY,
+    ACTION_TRANSFER,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"n_contents": 0},
+            {"mean_interarrival": 0},
+            {"action_weights": {}},
+            {"action_weights": {"buy": -1}},
+            {"min_price": 0},
+            {"max_price": 0, "min_price": 2},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestDistributions:
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(WorkloadConfig(seed=42))
+        b = WorkloadGenerator(WorkloadConfig(seed=42))
+        assert [a.pick_content() for _ in range(20)] == [
+            b.pick_content() for _ in range(20)
+        ]
+        assert [a.pick_action() for _ in range(20)] == [
+            b.pick_action() for _ in range(20)
+        ]
+
+    def test_zipf_head_heavier_than_tail(self):
+        generator = WorkloadGenerator(
+            WorkloadConfig(n_contents=50, zipf_s=1.2, seed=1)
+        )
+        draws = [generator.pick_content() for _ in range(3000)]
+        head = sum(1 for d in draws if d < 5)
+        tail = sum(1 for d in draws if d >= 45)
+        assert head > 5 * tail
+
+    def test_popularity_pmf_normalized_and_decreasing(self):
+        generator = WorkloadGenerator(WorkloadConfig(n_contents=10))
+        pmf = generator.content_popularity()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert all(pmf[i] >= pmf[i + 1] for i in range(9))
+
+    def test_action_mix_respected(self):
+        config = WorkloadConfig(
+            action_weights={ACTION_BUY: 1.0, ACTION_PLAY: 0.0, ACTION_TRANSFER: 0.0}
+        )
+        generator = WorkloadGenerator(config)
+        assert all(generator.pick_action() == ACTION_BUY for _ in range(50))
+
+    def test_gaps_positive_with_mean(self):
+        generator = WorkloadGenerator(WorkloadConfig(mean_interarrival=30, seed=3))
+        gaps = [generator.next_gap() for _ in range(2000)]
+        assert min(gaps) >= 1
+        assert 20 < np.mean(gaps) < 40
+
+    def test_user_ranges(self):
+        generator = WorkloadGenerator(WorkloadConfig(n_users=5))
+        assert all(0 <= generator.pick_user() < 5 for _ in range(100))
+        assert all(
+            generator.pick_other_user(2) != 2 for _ in range(100)
+        )
+
+    def test_other_user_needs_two(self):
+        generator = WorkloadGenerator(WorkloadConfig(n_users=1))
+        with pytest.raises(ValueError):
+            generator.pick_other_user(0)
+
+    def test_prices_in_range(self):
+        generator = WorkloadGenerator(WorkloadConfig(min_price=2, max_price=4))
+        assert all(2 <= generator.pick_price() <= 4 for _ in range(100))
+
+    def test_prefetch_counts(self):
+        off = WorkloadGenerator(WorkloadConfig(prefetch_rate=0.0))
+        assert all(off.pick_prefetch_count() == 0 for _ in range(20))
+        on = WorkloadGenerator(WorkloadConfig(prefetch_rate=2.0, seed=5))
+        counts = [on.pick_prefetch_count() for _ in range(500)]
+        assert 1.5 < np.mean(counts) < 2.5

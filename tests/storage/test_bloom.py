@@ -1,0 +1,80 @@
+"""Bloom filter: no false negatives, bounded false positives, wire form."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.storage.bloom import BloomFilter
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        items = [f"item-{i}".encode() for i in range(500)]
+        filt = BloomFilter.build(items, fp_rate=0.01)
+        assert all(item in filt for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        items = [f"member-{i}".encode() for i in range(2000)]
+        filt = BloomFilter.build(items, fp_rate=0.01)
+        probes = [f"absent-{i}".encode() for i in range(20000)]
+        false_positives = sum(1 for p in probes if p in filt)
+        rate = false_positives / len(probes)
+        assert rate < 0.03  # target 0.01 with slack
+
+    def test_empty_filter_rejects_everything(self):
+        filt = BloomFilter(capacity=100)
+        assert b"anything" not in filt
+        assert filt.expected_fp_rate() == 0.0
+
+    def test_fill_ratio_grows(self):
+        filt = BloomFilter(capacity=100)
+        empty_ratio = filt.fill_ratio()
+        for i in range(100):
+            filt.add(str(i).encode())
+        assert filt.fill_ratio() > empty_ratio
+
+    def test_expected_fp_rate_at_capacity(self):
+        filt = BloomFilter(capacity=1000, fp_rate=0.01)
+        for i in range(1000):
+            filt.add(str(i).encode())
+        assert 0.001 < filt.expected_fp_rate() < 0.05
+
+
+class TestParameters:
+    def test_invalid_capacity(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(capacity=0)
+
+    def test_invalid_fp_rate(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(capacity=10, fp_rate=0.0)
+        with pytest.raises(ParameterError):
+            BloomFilter(capacity=10, fp_rate=1.0)
+
+    def test_sizing_monotone_in_capacity(self):
+        small = BloomFilter(capacity=100, fp_rate=0.01)
+        large = BloomFilter(capacity=10000, fp_rate=0.01)
+        assert large.num_bits > small.num_bits
+
+    def test_sizing_monotone_in_fp_rate(self):
+        loose = BloomFilter(capacity=1000, fp_rate=0.1)
+        tight = BloomFilter(capacity=1000, fp_rate=0.001)
+        assert tight.num_bits > loose.num_bits
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_membership(self):
+        items = [f"x{i}".encode() for i in range(100)]
+        filt = BloomFilter.build(items, fp_rate=0.02)
+        restored = BloomFilter.from_bytes(filt.to_bytes())
+        assert all(item in restored for item in items)
+        assert restored.count == filt.count
+        assert restored.num_bits == filt.num_bits
+
+    def test_truncated_blob_rejected(self):
+        from repro.errors import StorageError
+
+        filt = BloomFilter.build([b"a"], fp_rate=0.01)
+        with pytest.raises(StorageError):
+            BloomFilter.from_bytes(filt.to_bytes()[:10])
+        with pytest.raises(StorageError):
+            BloomFilter.from_bytes(filt.to_bytes()[:-1])

@@ -1,0 +1,67 @@
+"""Content-store rights templates and migration behaviour."""
+
+import pytest
+
+from repro.errors import RightsParseError, UnknownContentError
+from repro.storage.contents import DEFAULT_RIGHTS_TEMPLATE, ContentStore
+from repro.storage.engine import Database
+
+
+class TestTemplates:
+    def test_default_template_applied(self):
+        store = ContentStore(Database())
+        store.add("c1", title="T", price_cents=1, added_at=1, package=b"P", content_key=b"K")
+        assert store.rights_template("c1") == DEFAULT_RIGHTS_TEMPLATE
+
+    def test_custom_template_stored(self):
+        store = ContentStore(Database())
+        store.add(
+            "c1", title="T", price_cents=1, added_at=1, package=b"P",
+            content_key=b"K", rights_template="play[count<=3]",
+        )
+        assert store.rights_template("c1") == "play[count<=3]"
+
+    def test_invalid_template_rejected_before_insert(self):
+        store = ContentStore(Database())
+        with pytest.raises(RightsParseError):
+            store.add(
+                "c1", title="T", price_cents=1, added_at=1, package=b"P",
+                content_key=b"K", rights_template="levitate",
+            )
+        assert not store.exists("c1")
+
+    def test_unknown_content_template(self):
+        store = ContentStore(Database())
+        with pytest.raises(UnknownContentError):
+            store.rights_template("ghost")
+
+    def test_migration_idempotent_across_reopen(self, tmp_path):
+        path = str(tmp_path / "contents.db")
+        first = ContentStore(Database(path))
+        first.add(
+            "c1", title="T", price_cents=1, added_at=1, package=b"P",
+            content_key=b"K", rights_template="play",
+        )
+        # Reopening applies no duplicate migrations and sees the data.
+        second = ContentStore(Database(path))
+        assert second.rights_template("c1") == "play"
+
+    def test_v1_rows_get_default_template(self, tmp_path):
+        """Rows inserted before the template column existed read back
+        the default (the ALTER TABLE default covers legacy rows)."""
+        path = str(tmp_path / "legacy.db")
+        db = Database(path)
+        # Simulate a v1-era database: apply only the first migration.
+        from repro.storage.contents import _MIGRATION
+
+        db.migrate("contents_v1", _MIGRATION)
+        db.execute(
+            "INSERT INTO contents(content_id, title, price_cents, added_at, package)"
+            " VALUES ('legacy', 'L', 1, 1, X'00')"
+        )
+        db.execute(
+            "INSERT INTO content_keys(content_id, content_key) VALUES ('legacy', X'00')"
+        )
+        # Now the store opens and runs the v2 migration.
+        store = ContentStore(db)
+        assert store.rights_template("legacy") == DEFAULT_RIGHTS_TEMPLATE

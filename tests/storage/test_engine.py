@@ -1,0 +1,99 @@
+"""Database engine: migrations, transactions, query helpers."""
+
+import pytest
+
+from repro.errors import MigrationError, StorageError
+from repro.storage.engine import Database
+
+
+@pytest.fixture()
+def db():
+    return Database()
+
+
+class TestMigrations:
+    def test_migration_applies_once(self, db):
+        ddl = ["CREATE TABLE t (x INTEGER)"]
+        assert db.migrate("m1", ddl) is True
+        assert db.migrate("m1", ddl) is False
+        assert "m1" in db.applied_migrations()
+
+    def test_bad_migration_rolls_back(self, db):
+        with pytest.raises(MigrationError):
+            db.migrate("bad", ["CREATE TABLE t (x INTEGER)", "NOT SQL AT ALL"])
+        # Nothing recorded, first statement rolled back.
+        assert "bad" not in db.applied_migrations()
+        assert db.migrate("good", ["CREATE TABLE t (x INTEGER)"]) is True
+
+    def test_migration_order_preserved(self, db):
+        db.migrate("a", ["CREATE TABLE ta (x)"])
+        db.migrate("b", ["CREATE TABLE tb (x)"])
+        assert db.applied_migrations() == ["a", "b"]
+
+
+class TestTransactions:
+    def test_commit_on_success(self, db):
+        db.migrate("t", ["CREATE TABLE t (x INTEGER)"])
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+        assert db.query_value("SELECT COUNT(*) FROM t") == 1
+
+    def test_rollback_on_error(self, db):
+        db.migrate("t", ["CREATE TABLE t (x INTEGER)"])
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        assert db.query_value("SELECT COUNT(*) FROM t") == 0
+
+    def test_nested_transactions_join(self, db):
+        db.migrate("t", ["CREATE TABLE t (x INTEGER)"])
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t VALUES (1)")
+                with db.transaction():
+                    db.execute("INSERT INTO t VALUES (2)")
+                raise RuntimeError("outer fails after inner")
+        # Inner joined outer; everything rolled back together.
+        assert db.query_value("SELECT COUNT(*) FROM t") == 0
+
+
+class TestQueries:
+    def test_query_helpers(self, db):
+        db.migrate("t", ["CREATE TABLE t (x INTEGER, y TEXT)"])
+        db.executemany("INSERT INTO t VALUES (?, ?)", [(1, "a"), (2, "b")])
+        assert db.query_one("SELECT y FROM t WHERE x = ?", (2,)) == ("b",)
+        assert db.query_one("SELECT y FROM t WHERE x = ?", (9,)) is None
+        assert len(db.query_all("SELECT * FROM t")) == 2
+        assert db.query_value("SELECT MAX(x) FROM t") == 2
+        assert db.query_value("SELECT x FROM t WHERE x = 99", default=-1) == -1
+
+    def test_sql_errors_wrapped(self, db):
+        with pytest.raises(StorageError):
+            db.execute("SELECT * FROM missing_table")
+        with pytest.raises(StorageError):
+            db.query_all("NOT SQL")
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "test.db")
+        with Database(path) as db:
+            db.migrate("t", ["CREATE TABLE t (x INTEGER)"])
+            db.execute("INSERT INTO t VALUES (42)")
+        reopened = Database(path)
+        assert reopened.query_value("SELECT x FROM t") == 42
+        reopened.close()
+
+    def test_file_persistence_of_migrations(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        first = Database(path)
+        first.migrate("m", ["CREATE TABLE t (x INTEGER)"])
+        first.close()
+        second = Database(path)
+        assert second.migrate("m", ["CREATE TABLE t (x INTEGER)"]) is False
+        second.close()
+
+    def test_bad_path_raises(self):
+        with pytest.raises(StorageError):
+            Database("/nonexistent-dir-xyz/db.sqlite")

@@ -1,0 +1,148 @@
+"""Merkle trees: roots, inclusion and non-inclusion proofs, forgeries."""
+
+import pytest
+
+from repro.errors import StoreIntegrityError
+from repro.storage.merkle import (
+    InclusionProof,
+    MerkleTree,
+    verify_inclusion,
+    verify_non_inclusion,
+)
+
+
+def leaves(n):
+    return [f"leaf-{i:04d}".encode() for i in range(n)]
+
+
+class TestConstruction:
+    def test_root_deterministic_and_order_independent(self):
+        a = MerkleTree([b"c", b"a", b"b"])
+        b = MerkleTree([b"a", b"b", b"c"])
+        assert a.root == b.root
+
+    def test_distinct_sets_distinct_roots(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_duplicate_leaves_rejected(self):
+        with pytest.raises(StoreIntegrityError):
+            MerkleTree([b"a", b"a"])
+
+    def test_empty_tree_has_root(self):
+        assert len(MerkleTree([]).root) == 32
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        proof = tree.prove_inclusion(b"only")
+        assert verify_inclusion(tree.root, b"only", proof)
+
+    def test_second_preimage_domain_separation(self):
+        """Leaf hashing and node hashing are domain-separated, so a
+        2-leaf tree's root cannot be reproduced as a leaf."""
+        tree = MerkleTree([b"a", b"b"])
+        attacker_tree = MerkleTree([tree.root])
+        assert attacker_tree.root != tree.root
+
+
+class TestInclusion:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 9, 100])
+    def test_all_leaves_provable(self, n):
+        tree = MerkleTree(leaves(n))
+        for leaf in leaves(n):
+            proof = tree.prove_inclusion(leaf)
+            assert verify_inclusion(tree.root, leaf, proof)
+
+    def test_wrong_value_fails(self):
+        tree = MerkleTree(leaves(10))
+        proof = tree.prove_inclusion(b"leaf-0003")
+        assert not verify_inclusion(tree.root, b"leaf-0004", proof)
+
+    def test_wrong_root_fails(self):
+        tree = MerkleTree(leaves(10))
+        other = MerkleTree(leaves(11))
+        proof = tree.prove_inclusion(b"leaf-0003")
+        assert not verify_inclusion(other.root, b"leaf-0003", proof)
+
+    def test_absent_value_unprovable(self):
+        tree = MerkleTree(leaves(10))
+        with pytest.raises(StoreIntegrityError):
+            tree.prove_inclusion(b"not-a-leaf")
+
+    def test_tampered_path_fails(self):
+        tree = MerkleTree(leaves(16))
+        proof = tree.prove_inclusion(b"leaf-0005")
+        bad_path = (b"\x00" * 32,) + proof.path[1:]
+        tampered = InclusionProof(
+            leaf_index=proof.leaf_index,
+            total_leaves=proof.total_leaves,
+            path=bad_path,
+        )
+        assert not verify_inclusion(tree.root, b"leaf-0005", tampered)
+
+    def test_wrong_index_fails(self):
+        tree = MerkleTree(leaves(16))
+        proof = tree.prove_inclusion(b"leaf-0005")
+        moved = InclusionProof(
+            leaf_index=proof.leaf_index + 1,
+            total_leaves=proof.total_leaves,
+            path=proof.path,
+        )
+        assert not verify_inclusion(tree.root, b"leaf-0005", moved)
+
+    def test_proof_dict_roundtrip(self):
+        tree = MerkleTree(leaves(9))
+        proof = tree.prove_inclusion(b"leaf-0004")
+        assert InclusionProof.from_dict(proof.as_dict()) == proof
+
+
+class TestNonInclusion:
+    def test_middle_gap(self):
+        tree = MerkleTree([b"a", b"c", b"e"])
+        proof = tree.prove_non_inclusion(b"b")
+        assert verify_non_inclusion(tree.root, len(tree), b"b", proof)
+
+    def test_before_first(self):
+        tree = MerkleTree([b"b", b"c"])
+        proof = tree.prove_non_inclusion(b"a")
+        assert verify_non_inclusion(tree.root, len(tree), b"a", proof)
+
+    def test_after_last(self):
+        tree = MerkleTree([b"a", b"b"])
+        proof = tree.prove_non_inclusion(b"z")
+        assert verify_non_inclusion(tree.root, len(tree), b"z", proof)
+
+    def test_empty_tree(self):
+        tree = MerkleTree([])
+        proof = tree.prove_non_inclusion(b"x")
+        assert verify_non_inclusion(tree.root, 0, b"x", proof)
+
+    def test_present_value_unprovable(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(StoreIntegrityError):
+            tree.prove_non_inclusion(b"a")
+
+    def test_proof_for_wrong_value_fails(self):
+        tree = MerkleTree([b"a", b"c", b"e"])
+        proof = tree.prove_non_inclusion(b"b")
+        # The same adjacency does not prove absence of "d".
+        assert not verify_non_inclusion(tree.root, len(tree), b"d", proof)
+
+    def test_non_adjacent_bracket_rejected(self):
+        """Leaves that are not adjacent cannot prove a gap — otherwise
+        one could 'prove' absence of a value that sits between them."""
+        tree = MerkleTree([b"a", b"c", b"e"])
+        wide = tree.prove_non_inclusion(b"b")
+        forged = type(wide)(
+            left_leaf=wide.left_leaf,
+            left_proof=wide.left_proof,
+            right_leaf=b"e",
+            right_proof=tree.prove_inclusion(b"e"),
+        )
+        assert not verify_non_inclusion(tree.root, len(tree), b"b", forged)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+    def test_systematic_gaps(self, n):
+        tree = MerkleTree(leaves(n))
+        for probe in (b"leaf-0000a", b"leaf-", b"zzz", b"\x00"):
+            proof = tree.prove_non_inclusion(probe)
+            assert verify_non_inclusion(tree.root, len(tree), probe, proof)

@@ -1,0 +1,118 @@
+"""Revocation list: versioning, snapshots, verified device sync."""
+
+import pytest
+
+from repro.errors import InvalidSignature, StoreIntegrityError
+from repro.storage.engine import Database
+from repro.storage.revocation import (
+    DeviceRevocationView,
+    RevocationList,
+    SignedSnapshot,
+)
+
+
+@pytest.fixture()
+def lrl():
+    return RevocationList(Database())
+
+
+class TestVersioning:
+    def test_versions_increase(self, lrl):
+        assert lrl.current_version() == 0
+        assert lrl.revoke(b"a", at=1, reason="r") == 1
+        assert lrl.revoke(b"b", at=2, reason="r") == 2
+
+    def test_idempotent_revocation(self, lrl):
+        lrl.revoke(b"a", at=1, reason="r")
+        version = lrl.revoke(b"b", at=2, reason="r")
+        assert lrl.revoke(b"a", at=3, reason="again") == version
+        assert lrl.count() == 2
+
+    def test_is_revoked(self, lrl):
+        lrl.revoke(b"a", at=1, reason="r")
+        assert lrl.is_revoked(b"a")
+        assert not lrl.is_revoked(b"b")
+
+    def test_entries_since(self, lrl):
+        for i in range(5):
+            lrl.revoke(f"lic-{i}".encode(), at=i, reason="r")
+        delta = lrl.entries_since(3)
+        assert [e.version for e in delta] == [4, 5]
+        assert lrl.entries_since(5) == []
+
+
+class TestSnapshots:
+    def test_snapshot_verifies(self, lrl, rsa512):
+        lrl.revoke(b"a", at=1, reason="r")
+        snapshot = lrl.snapshot(rsa512)
+        snapshot.verify(rsa512.public_key)
+        assert snapshot.version == 1 and snapshot.count == 1
+
+    def test_snapshot_wrong_key_rejected(self, lrl, rsa512, rsa768):
+        snapshot = lrl.snapshot(rsa512)
+        with pytest.raises(InvalidSignature):
+            snapshot.verify(rsa768.public_key)
+
+    def test_tampered_snapshot_rejected(self, lrl, rsa512):
+        lrl.revoke(b"a", at=1, reason="r")
+        snapshot = lrl.snapshot(rsa512)
+        forged = SignedSnapshot(
+            version=snapshot.version,
+            merkle_root=snapshot.merkle_root,
+            count=snapshot.count + 1,
+            signature=snapshot.signature,
+        )
+        with pytest.raises(InvalidSignature):
+            forged.verify(rsa512.public_key)
+
+    def test_snapshot_dict_roundtrip(self, lrl, rsa512):
+        snapshot = lrl.snapshot(rsa512)
+        assert SignedSnapshot.from_dict(snapshot.as_dict()) == snapshot
+
+
+class TestDeviceSync:
+    def test_full_then_delta_sync(self, lrl, rsa512):
+        view = DeviceRevocationView(rsa512.public_key)
+        lrl.revoke(b"a", at=1, reason="r")
+        lrl.revoke(b"b", at=2, reason="r")
+        assert view.apply_sync(lrl.entries_since(0), lrl.snapshot(rsa512)) == 2
+        assert view.version == 2
+        lrl.revoke(b"c", at=3, reason="r")
+        assert view.apply_sync(lrl.entries_since(view.version), lrl.snapshot(rsa512)) == 1
+        assert view.check(b"c")
+
+    def test_check_semantics(self, lrl, rsa512):
+        view = DeviceRevocationView(rsa512.public_key)
+        lrl.revoke(b"revoked", at=1, reason="r")
+        view.apply_sync(lrl.entries_since(0), lrl.snapshot(rsa512))
+        assert view.check(b"revoked")
+        assert not view.check(b"clean")
+        assert view.check_exact_only(b"revoked")
+        assert not view.check_exact_only(b"clean")
+
+    def test_lossy_channel_detected(self, lrl, rsa512):
+        """A distribution channel that drops entries cannot fool the
+        device: the Merkle root will not match the signed snapshot."""
+        view = DeviceRevocationView(rsa512.public_key)
+        lrl.revoke(b"a", at=1, reason="r")
+        lrl.revoke(b"b", at=2, reason="r")
+        entries = lrl.entries_since(0)[:1]  # drop one entry
+        with pytest.raises(StoreIntegrityError):
+            view.apply_sync(entries, lrl.snapshot(rsa512))
+
+    def test_forged_entries_detected(self, lrl, rsa512):
+        """A channel that injects an extra revocation is also caught."""
+        from repro.storage.revocation import RevocationEntry
+
+        view = DeviceRevocationView(rsa512.public_key)
+        lrl.revoke(b"a", at=1, reason="r")
+        entries = lrl.entries_since(0) + [
+            RevocationEntry(license_id=b"evil", version=2, revoked_at=2, reason="x")
+        ]
+        with pytest.raises(StoreIntegrityError):
+            view.apply_sync(entries, lrl.snapshot(rsa512))
+
+    def test_empty_list_sync(self, lrl, rsa512):
+        view = DeviceRevocationView(rsa512.public_key)
+        assert view.apply_sync([], lrl.snapshot(rsa512)) == 0
+        assert not view.check(b"anything")

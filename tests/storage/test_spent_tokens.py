@@ -1,0 +1,78 @@
+"""Spent-token store: the exactly-once invariant."""
+
+import pytest
+
+from repro.storage.engine import Database
+from repro.storage.spent_tokens import SpentTokenStore
+
+
+@pytest.fixture()
+def store():
+    return SpentTokenStore(Database(), "anon-license")
+
+
+class TestExactlyOnce:
+    def test_first_spend_succeeds(self, store):
+        assert store.try_spend(b"tok", at=100, transcript=b"first") is None
+        assert store.is_spent(b"tok")
+
+    def test_second_spend_returns_original(self, store):
+        store.try_spend(b"tok", at=100, transcript=b"first")
+        record = store.try_spend(b"tok", at=200, transcript=b"second")
+        assert record is not None
+        assert record.spent_at == 100
+        assert record.transcript == b"first"
+
+    def test_second_spend_does_not_overwrite(self, store):
+        store.try_spend(b"tok", at=100, transcript=b"first")
+        store.try_spend(b"tok", at=200, transcript=b"second")
+        assert store.record_for(b"tok").transcript == b"first"
+
+    def test_unspent_token(self, store):
+        assert not store.is_spent(b"other")
+        assert store.record_for(b"other") is None
+
+    def test_count(self, store):
+        for i in range(5):
+            store.try_spend(f"t{i}".encode(), at=i)
+        assert store.count() == 5
+        store.try_spend(b"t0", at=99)
+        assert store.count() == 5
+
+
+class TestKindNamespacing:
+    def test_kinds_are_independent(self):
+        db = Database()
+        coins = SpentTokenStore(db, "coins")
+        licenses = SpentTokenStore(db, "licenses")
+        coins.try_spend(b"id", at=1)
+        assert not licenses.is_spent(b"id")
+        assert licenses.try_spend(b"id", at=2) is None
+        assert coins.count() == 1 and licenses.count() == 1
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SpentTokenStore(Database(), "")
+
+
+class TestTimeWindow:
+    def test_spent_between(self, store):
+        for i, moment in enumerate((10, 20, 30, 40)):
+            store.try_spend(f"t{i}".encode(), at=moment)
+        window = store.spent_between(15, 35)
+        assert [r.spent_at for r in window] == [20, 30]
+
+    def test_window_is_half_open(self, store):
+        store.try_spend(b"a", at=10)
+        store.try_spend(b"b", at=20)
+        assert [r.spent_at for r in store.spent_between(10, 20)] == [10]
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "spent.db")
+        first = SpentTokenStore(Database(path), "k")
+        first.try_spend(b"tok", at=5, transcript=b"tr")
+        second = SpentTokenStore(Database(path), "k")
+        assert second.is_spent(b"tok")
+        assert second.record_for(b"tok").transcript == b"tr"

@@ -1,0 +1,216 @@
+"""Licence register, accounts, contents, audit log, usage store."""
+
+import pytest
+
+from repro.errors import StorageError, StoreIntegrityError, UnknownContentError
+from repro.storage.accounts import AccountStore
+from repro.storage.audit import AuditLog
+from repro.storage.contents import ContentStore
+from repro.storage.engine import Database
+from repro.storage.licenses import (
+    KIND_ANONYMOUS,
+    KIND_PERSONAL,
+    STATUS_EXCHANGED,
+    LicenseStore,
+)
+from repro.storage.usage import UsageStore
+
+
+@pytest.fixture()
+def db():
+    return Database()
+
+
+class TestLicenseStore:
+    def insert_one(self, store, license_id=b"L" * 16, holder=b"H1"):
+        store.insert(
+            license_id,
+            kind=KIND_PERSONAL,
+            content_id="song",
+            holder=holder,
+            rights_text="play",
+            issued_at=10,
+            blob=b"blob",
+        )
+
+    def test_insert_get(self, db):
+        store = LicenseStore(db)
+        self.insert_one(store)
+        record = store.get(b"L" * 16)
+        assert record.kind == KIND_PERSONAL
+        assert record.status == "active"
+        assert record.holder == b"H1"
+
+    def test_duplicate_rejected(self, db):
+        store = LicenseStore(db)
+        self.insert_one(store)
+        with pytest.raises(StorageError):
+            self.insert_one(store)
+
+    def test_unknown_kind_rejected(self, db):
+        store = LicenseStore(db)
+        with pytest.raises(StorageError):
+            store.insert(
+                b"X" * 16,
+                kind="bogus",
+                content_id="c",
+                holder=None,
+                rights_text="play",
+                issued_at=1,
+                blob=b"",
+            )
+
+    def test_status_transition(self, db):
+        store = LicenseStore(db)
+        self.insert_one(store)
+        store.set_status(b"L" * 16, STATUS_EXCHANGED)
+        assert store.get(b"L" * 16).status == STATUS_EXCHANGED
+        with pytest.raises(StorageError):
+            store.set_status(b"L" * 16, "bogus")
+        with pytest.raises(StorageError):
+            store.set_status(b"M" * 16, STATUS_EXCHANGED)
+
+    def test_queries(self, db):
+        store = LicenseStore(db)
+        self.insert_one(store, b"A" * 16, holder=b"H1")
+        self.insert_one(store, b"B" * 16, holder=b"H1")
+        store.insert(
+            b"C" * 16,
+            kind=KIND_ANONYMOUS,
+            content_id="song",
+            holder=None,
+            rights_text="play",
+            issued_at=20,
+            blob=b"",
+        )
+        assert len(store.by_holder(b"H1")) == 2
+        assert len(store.by_content("song")) == 3
+        assert store.count(kind=KIND_PERSONAL) == 2
+        assert store.count(kind=KIND_ANONYMOUS) == 1
+        assert store.distinct_holders() == 1
+        assert len(store.issued_between(0, 15)) == 2
+
+
+class TestAccountStore:
+    def test_enrol_and_lookups(self, db):
+        store = AccountStore(db)
+        store.enrol("alice", card_id=b"c1", identity_tag=b"t1", enrolled_at=1)
+        assert store.get("alice").card_id == b"c1"
+        assert store.by_identity_tag(b"t1").user_id == "alice"
+        assert store.by_card(b"c1").user_id == "alice"
+        assert store.by_identity_tag(b"none") is None
+        assert store.count() == 1
+
+    def test_duplicate_enrolment_rejected(self, db):
+        store = AccountStore(db)
+        store.enrol("alice", card_id=b"c1", identity_tag=b"t1", enrolled_at=1)
+        with pytest.raises(StorageError):
+            store.enrol("alice", card_id=b"c2", identity_tag=b"t2", enrolled_at=2)
+
+    def test_blocking(self, db):
+        store = AccountStore(db)
+        store.enrol("alice", card_id=b"c1", identity_tag=b"t1", enrolled_at=1)
+        store.set_status("alice", "blocked")
+        assert store.get("alice").status == "blocked"
+        with pytest.raises(StorageError):
+            store.set_status("alice", "vip")
+        with pytest.raises(StorageError):
+            store.set_status("ghost", "blocked")
+
+
+class TestContentStore:
+    def test_add_and_read(self, db):
+        store = ContentStore(db)
+        store.add(
+            "c1", title="T", price_cents=5, added_at=1, package=b"PKG",
+            content_key=b"K" * 16,
+        )
+        assert store.exists("c1")
+        assert store.entry("c1").package_size == 3
+        assert store.package("c1") == b"PKG"
+        assert store.content_key("c1") == b"K" * 16
+        assert store.price("c1") == 5
+        assert store.count() == 1
+        assert [e.content_id for e in store.catalog()] == ["c1"]
+
+    def test_unknown_content(self, db):
+        store = ContentStore(db)
+        with pytest.raises(UnknownContentError):
+            store.package("missing")
+        with pytest.raises(UnknownContentError):
+            store.content_key("missing")
+        with pytest.raises(UnknownContentError):
+            store.entry("missing")
+
+    def test_duplicate_rejected(self, db):
+        store = ContentStore(db)
+        store.add("c1", title="T", price_cents=1, added_at=1, package=b"P", content_key=b"K")
+        with pytest.raises(StorageError):
+            store.add("c1", title="T2", price_cents=2, added_at=2, package=b"P", content_key=b"K")
+
+    def test_negative_price_rejected(self, db):
+        with pytest.raises(StorageError):
+            ContentStore(db).add(
+                "c1", title="T", price_cents=-1, added_at=1, package=b"P", content_key=b"K"
+            )
+
+
+class TestAuditLog:
+    def test_append_and_read(self, db):
+        log = AuditLog(db)
+        log.append(at=1, actor="cp", event="e1", payload={"x": 1})
+        log.append(at=2, actor="cp", event="e2", payload={"y": b"b"})
+        assert log.count() == 2
+        assert [e.event for e in log.entries()] == ["e1", "e2"]
+        assert [e.event for e in log.entries(event="e2")] == ["e2"]
+        assert log.entries()[1].payload == {"y": b"b"}
+
+    def test_chain_verifies(self, db):
+        log = AuditLog(db)
+        for i in range(10):
+            log.append(at=i, actor="a", event="e", payload={"i": i})
+        assert log.verify_chain() == 10
+
+    def test_tampered_payload_detected(self, db):
+        log = AuditLog(db)
+        log.append(at=1, actor="a", event="e", payload={"i": 1})
+        log.append(at=2, actor="a", event="e", payload={"i": 2})
+        db.execute("UPDATE audit_log SET at = 99 WHERE seq = 1")
+        with pytest.raises(StoreIntegrityError):
+            log.verify_chain()
+
+    def test_deleted_entry_detected(self, db):
+        log = AuditLog(db)
+        for i in range(3):
+            log.append(at=i, actor="a", event="e", payload={"i": i})
+        db.execute("DELETE FROM audit_log WHERE seq = 2")
+        with pytest.raises(StoreIntegrityError):
+            log.verify_chain()
+
+    def test_empty_chain_ok(self, db):
+        assert AuditLog(db).verify_chain() == 0
+
+
+class TestUsageStore:
+    def test_record_and_load(self, db):
+        store = UsageStore(db)
+        assert store.record_use(b"L", "play") == 1
+        assert store.record_use(b"L", "play") == 2
+        assert store.record_use(b"L", "copy") == 1
+        assert store.uses(b"L", "play") == 2
+        state = store.load_state()
+        assert state.uses(b"L", "play") == 2
+        assert store.total_events() == 3
+
+    def test_save_state_is_max_merge(self, db):
+        from repro.rel.evaluator import UsageState
+
+        store = UsageStore(db)
+        store.record_use(b"L", "play")
+        store.record_use(b"L", "play")
+        stale = UsageState()
+        stale.record(b"L", "play")          # only 1 — stale
+        stale.record(b"M", "play")          # new licence
+        store.save_state(stale)
+        assert store.uses(b"L", "play") == 2  # not clobbered down
+        assert store.uses(b"M", "play") == 1

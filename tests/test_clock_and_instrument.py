@@ -1,0 +1,121 @@
+"""Top-level utilities: clocks and the operation counter."""
+
+import pytest
+
+from repro import instrument
+from repro.clock import SimClock, SystemClock
+
+
+class TestSimClock:
+    def test_starts_in_paper_era(self):
+        clock = SimClock()
+        assert 1_000_000_000 < clock.now() < 1_200_000_000  # 2001–2008
+
+    def test_advance(self):
+        clock = SimClock(1000)
+        assert clock.advance(60) == 1060
+        assert clock.now() == 1060
+
+    def test_no_time_travel(self):
+        clock = SimClock(1000)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(999)
+
+    def test_set_forward(self):
+        clock = SimClock(1000)
+        clock.set(5000)
+        assert clock.now() == 5000
+
+
+class TestSystemClock:
+    def test_roughly_now(self):
+        import time
+
+        assert abs(SystemClock().now() - time.time()) < 5
+
+
+class TestOpCounter:
+    def test_tick_outside_scope_is_noop(self):
+        instrument.tick("orphan")  # must not raise or leak anywhere
+        with instrument.measure() as ops:
+            pass
+        assert ops.counts == {}
+
+    def test_tick_inside_scope(self):
+        with instrument.measure() as ops:
+            instrument.tick("op.a")
+            instrument.tick("op.a", 2)
+            instrument.tick("op.b")
+        assert ops.counts == {"op.a": 3, "op.b": 1}
+        assert ops.total("op.") == 4
+        assert ops.total("op.a") == 3
+
+    def test_nested_scopes_see_everything(self):
+        with instrument.measure() as outer:
+            instrument.tick("before")
+            with instrument.measure() as inner:
+                instrument.tick("during")
+            instrument.tick("after")
+        assert inner.counts == {"during": 1}
+        assert outer.counts == {"before": 1, "during": 1, "after": 1}
+
+    def test_scope_cleanup_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with instrument.measure():
+                raise RuntimeError("boom")
+        # A later scope is unaffected.
+        with instrument.measure() as ops:
+            instrument.tick("clean")
+        assert ops.counts == {"clean": 1}
+
+    def test_as_dict_sorted(self):
+        with instrument.measure() as ops:
+            instrument.tick("z")
+            instrument.tick("a")
+        assert list(ops.as_dict()) == ["a", "z"]
+
+
+class TestDurableDeployment:
+    def test_actor_databases_are_separate_files(self, tmp_path):
+        from repro.core.system import build_deployment
+
+        base = str(tmp_path / "deploy.db")
+        d = build_deployment(seed="durable", rsa_bits=512, db_path=base)
+        d.provider.publish("song-1", b"X" * 64, title="S", price=1)
+        d.add_user("alice", balance=10)
+        d.buy("alice", "song-1")
+        # Distinct files exist and hold distinct table contents.
+        assert (tmp_path / "deploy.db.issuer").exists()
+        assert (tmp_path / "deploy.db.provider").exists()
+        assert (tmp_path / "deploy.db.bank").exists()
+        # The two audit logs are separate views (no cross-pollution).
+        issuer_events = {e.event for e in d.issuer.audit_log.entries()}
+        provider_events = {e.event for e in d.provider.audit_log.entries()}
+        assert "user_enrolled" in issuer_events
+        assert "user_enrolled" not in provider_events
+        assert "license_issued" in provider_events
+        assert "license_issued" not in issuer_events
+
+    def test_provider_state_survives_reopen(self, tmp_path):
+        """The provider's stores are durable: a fresh store object over
+        the same file sees the licences, revocations and audit chain."""
+        from repro.core.system import build_deployment
+        from repro.storage.engine import Database
+        from repro.storage.licenses import LicenseStore
+        from repro.storage.audit import AuditLog
+        from repro.storage.revocation import RevocationList
+
+        base = str(tmp_path / "persist.db")
+        d = build_deployment(seed="persist", rsa_bits=512, db_path=base)
+        d.provider.publish("song-1", b"X" * 64, title="S", price=1)
+        d.add_user("alice", balance=10)
+        d.add_user("bob", balance=10)
+        license_ = d.buy("alice", "song-1")
+        d.transfer("alice", "bob", license_.license_id)
+
+        reopened = Database(base + ".provider")
+        assert LicenseStore(reopened).get(license_.license_id) is not None
+        assert RevocationList(reopened).is_revoked(license_.license_id)
+        assert AuditLog(reopened).verify_chain() > 0
