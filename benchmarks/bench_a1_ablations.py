@@ -85,7 +85,6 @@ class TestPseudonymPolicyAblation:
             iterations=1,
         )
         # Linkage the provider gets for free: licences per distinct holder.
-        register = d.provider.license_register
         holders = {
             lic.holder_fingerprint for lic in user.licenses.values()
         }

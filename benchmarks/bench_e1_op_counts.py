@@ -50,6 +50,8 @@ def _measured(experiment, protocol: str, run) -> None:
         rsa_ops=counts.get("rsa.private_op", 0) + counts.get("rsa.public_op", 0),
         rsa_private=counts.get("rsa.private_op", 0),
         modexp=counts.get("modexp", 0),
+        modexp_warm=counts.get("modexp.fixed_base", 0),
+        modexp_multi=counts.get("modexp.multi", 0),
         messages=transcript.message_count,
         bytes=transcript.total_bytes,
     )
@@ -165,7 +167,6 @@ class TestBaselineProtocolCosts:
 
     def test_baseline_purchase(self, benchmark, baseline, experiment):
         provider, users, clock = baseline
-        transcript = Transcript()  # baseline flows have no wrapper; count by hand
         with instrument.measure() as ops:
             baseline_purchase(users[0], provider, "bench-song", clock=clock)
         counts = ops.as_dict()

@@ -8,6 +8,12 @@ Expected shape: P2DRM throughput is lower by a small constant factor
 (the blind certification adds one RSA private op at the issuer and the
 certificate + escrow verification adds modexps at the provider), not
 by an order of magnitude — the paper's feasibility claim.
+
+Two extra rows quantify the fast-exponentiation kernel on this hot
+path: ``p2drm-no-tables`` re-runs the purchase loop with the fixed-base
+tables disabled (the pre-kernel cost), and ``p2drm-batch`` sells the
+whole batch through :meth:`ContentProvider.sell_batch` (aggregated
+Schnorr verification + batched coin deposits).
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from repro.baseline.identity_drm import (
 )
 from repro.core.identity import SmartCard
 from repro.core.protocols import purchase_content
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.crypto import fastexp
 
 _counter = itertools.count()
 BATCH = 10
@@ -38,6 +46,41 @@ class TestThroughput:
         benchmark.pedantic(batch, rounds=3, iterations=1)
         per_second = BATCH / benchmark.stats["mean"]
         experiment.row(mode="p2drm", purchases_per_s=per_second)
+
+    def test_p2drm_purchases_no_tables(self, benchmark, bench_deployment, experiment):
+        """The same loop with every exponentiation on the cold path."""
+        d = bench_deployment
+        user = d.add_user(f"e3-user-{next(_counter)}", balance=1_000_000)
+
+        def batch():
+            with fastexp.tables_disabled():
+                for _ in range(BATCH):
+                    purchase_content(user, d.provider, d.issuer, d.bank, "bench-song")
+
+        benchmark.pedantic(batch, rounds=3, iterations=1)
+        per_second = BATCH / benchmark.stats["mean"]
+        experiment.row(mode="p2drm-no-tables", purchases_per_s=per_second)
+
+    def test_p2drm_batch_sales(self, benchmark, bench_deployment, experiment):
+        """Queue the whole batch and validate it with sell_batch."""
+        d = bench_deployment
+        user = d.add_user(f"e3-user-{next(_counter)}", balance=1_000_000)
+
+        def build():
+            requests = [
+                build_purchase_request(user, d.provider, d.issuer, d.bank, "bench-song")
+                for _ in range(BATCH)
+            ]
+            return (requests,), {}
+
+        def sell(requests):
+            results = d.provider.sell_batch(requests)
+            bad = [r for r in results if isinstance(r, Exception)]
+            assert not bad, bad
+
+        benchmark.pedantic(sell, setup=build, rounds=3, iterations=1)
+        per_second = BATCH / benchmark.stats["mean"]
+        experiment.row(mode="p2drm-batch (provider only)", purchases_per_s=per_second)
 
     def test_baseline_purchases(self, benchmark, bench_deployment, experiment):
         d = bench_deployment

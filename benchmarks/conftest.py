@@ -11,8 +11,16 @@ only needs to happen once per run.
 from __future__ import annotations
 
 import functools
+import os
 
 import pytest
+
+#: CI smoke mode: ``P2DRM_BENCH_SMOKE=1`` clamps RSA key sizes so every
+#: bench module exercises its full code path in seconds (key generation
+#: and private operations dominate bench runtime).  Timing numbers are
+#: meaningless in this mode — the job exists to catch import/API
+#: breakage, not regressions.
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
 
 _RESULT_TABLES: dict[str, list[dict]] = {}
 
@@ -74,6 +82,8 @@ def _fmt(value) -> str:
 def _deployment_for_bits(rsa_bits: int):
     from repro.core.system import build_deployment
 
+    if BENCH_SMOKE:
+        rsa_bits = min(rsa_bits, 512)
     deployment = build_deployment(seed=f"bench-{rsa_bits}", rsa_bits=rsa_bits)
     deployment.provider.publish(
         "bench-song", b"BENCH-PAYLOAD" * 256, title="Bench Song", price=3

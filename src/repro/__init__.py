@@ -30,10 +30,10 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.sim` — the marketplace workload simulator.
 """
 
-__version__ = "1.0.0"
-
 from . import codec, errors
 from .clock import Clock, SimClock, SystemClock
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

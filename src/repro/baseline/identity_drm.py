@@ -22,7 +22,7 @@ from .. import codec
 from ..clock import Clock
 from ..crypto.rand import RandomSource
 from ..crypto.rsa import RsaPublicKey
-from ..crypto.schnorr import SchnorrSignature, generate_schnorr_key
+from ..crypto.schnorr import SchnorrSignature
 from ..errors import (
     AuthenticationError,
     ProtocolError,

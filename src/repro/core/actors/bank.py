@@ -24,9 +24,13 @@ from __future__ import annotations
 
 from ... import codec
 from ...clock import Clock
-from ...crypto.blind_rsa import BlindSigner, verify_blind_signature
+from ...crypto.blind_rsa import (
+    BlindSigner,
+    batch_verify_blind_signatures,
+    verify_blind_signature,
+)
 from ...crypto.rand import RandomSource
-from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from ...crypto.rsa import RsaPublicKey, generate_rsa_key
 from ...errors import DoubleSpendError, PaymentError
 from ...storage.engine import Database
 from ...storage.spent_tokens import SpentTokenStore
@@ -115,6 +119,50 @@ class Bank:
         """Signature-only check (no spend state change)."""
         key = self.public_key(coin.value)
         verify_blind_signature(coin.payload(), coin.signature, key)
+
+    def verify_coins(self, coins: list[Coin]) -> None:
+        """Batch signature check (no spend state change).
+
+        Coins are grouped per denomination key and screened with one
+        RSA public operation per denomination instead of one per coin
+        (see :func:`~repro.crypto.blind_rsa.batch_verify_blind_signatures`).
+        """
+        by_denomination: dict[int, list[Coin]] = {}
+        for coin in coins:
+            by_denomination.setdefault(coin.value, []).append(coin)
+        for denomination, batch in by_denomination.items():
+            key = self.public_key(denomination)
+            batch_verify_blind_signatures(
+                [(coin.payload(), coin.signature) for coin in batch], key
+            )
+
+    def deposit_batch(self, account_id: str, coins: list[Coin]) -> None:
+        """Verify and credit a whole payment's coins; exactly once each.
+
+        Same guarantees as per-coin :meth:`deposit`, amortized: every
+        signature (batched per denomination) and the spent store are
+        checked before any balance changes, so a rejected batch leaves
+        no coin half-deposited.  Raises
+        :class:`~repro.errors.DoubleSpendError` on a replayed serial —
+        including a serial repeated within the batch itself.
+        """
+        coins = list(coins)
+        if account_id not in self._balances:
+            raise PaymentError(f"no account {account_id!r}")
+        self.verify_coins(coins)
+        tokens = [coin.value.to_bytes(4, "big") + coin.serial for coin in coins]
+        seen: set[bytes] = set()
+        for coin, token in zip(coins, tokens):
+            if token in seen or self._spent.is_spent(token):
+                raise DoubleSpendError(coin.serial)
+            seen.add(token)
+        now = self._clock.now()
+        for coin, token in zip(coins, tokens):
+            transcript = codec.encode(
+                {"depositor": account_id, "at": now, "value": coin.value}
+            )
+            self._spent.try_spend(token, at=now, transcript=transcript)
+            self._balances[account_id] += coin.value
 
     def deposit(self, account_id: str, coin: Coin) -> None:
         """Verify and credit; exactly once per serial.

@@ -28,7 +28,7 @@ from ...storage.revocation import DeviceRevocationView
 from ...storage.usage import UsageStore
 from ..certificates import DeviceCertificate
 from ..content import ContentPackage, unpack_content
-from ..identity import Pseudonym, SmartCard
+from ..identity import SmartCard
 from ..licenses import PersonalLicense
 
 

@@ -31,7 +31,8 @@ from ...crypto.blind_rsa import BlindSigner
 from ...crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey, generate_elgamal_key
 from ...crypto.groups import PrimeGroup
 from ...crypto.rand import RandomSource
-from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
+from ...crypto.rsa import RsaPublicKey, generate_rsa_key
+from ...crypto.schnorr import batch_verify
 from ...errors import AuthenticationError, EscrowError
 from ...storage.accounts import STATUS_ACTIVE, STATUS_BLOCKED, AccountStore
 from ...storage.audit import AuditLog
@@ -80,6 +81,12 @@ class SmartCardIssuer:
         )
         # Compliance-authority root baked into cards at personalization.
         self._authority_key = authority_key
+        # Hot-path exponentiation tables: the generator serves every
+        # protocol, and the escrow key is raised to a fresh exponent by
+        # every certified pseudonym (cards share these tables through
+        # the process-wide fastexp registry).
+        group.precompute_generator()
+        self._escrow_key.public_key.precompute()
 
     # -- public keys ----------------------------------------------------------
 
@@ -137,19 +144,37 @@ class SmartCardIssuer:
         know.  (Experiment E8's attacker uses exactly these timing
         records.)
         """
+        return self.issue_blind_certificates(card_id, [blinded])[0]
+
+    def issue_blind_certificates(
+        self, card_id: bytes, blinded_values: list[int]
+    ) -> list[int]:
+        """Blind-sign a queue of certificate requests from one card.
+
+        The enrolment/status lookup is paid once for the whole queue —
+        the natural shape for agents that stock up on pseudonym
+        credentials in advance (see
+        :meth:`~repro.core.actors.user.UserAgent.prepare_certificate`).
+        Each certification still gets its own audit entry: batching is
+        an efficiency detail and must not change what the timing-join
+        experiments can observe.
+        """
         account = self._accounts.by_card(card_id)
         if account is None:
             raise AuthenticationError("unknown card")
         if account.status != STATUS_ACTIVE:
             raise AuthenticationError(f"card blocked ({account.status})")
-        signature = self._cert_signer.sign_blinded(blinded)
-        self._audit.append(
-            at=self._clock.now(),
-            actor="issuer",
-            event="pseudonym_certified",
-            payload={"card": card_id},
-        )
-        return signature
+        signatures = [
+            self._cert_signer.sign_blinded(blinded) for blinded in blinded_values
+        ]
+        for _ in signatures:
+            self._audit.append(
+                at=self._clock.now(),
+                actor="issuer",
+                event="pseudonym_certified",
+                payload={"card": card_id},
+            )
+        return signatures
 
     # -- anonymity revocation ----------------------------------------------------------
 
@@ -166,6 +191,7 @@ class SmartCardIssuer:
         # Evidence must be two *distinct* redemption attempts.
         if evidence.first_transcript == evidence.second_transcript:
             raise EscrowError("evidence transcripts are identical")
+        signature_items = []
         for transcript in (first, second):
             certificate = transcript["cert"]
             certificate.verify(self.certificate_key)
@@ -175,10 +201,13 @@ class SmartCardIssuer:
                 transcript["nonce"],
                 transcript["at"],
             )
-            try:
-                certificate.pseudonym.signing_key.verify(payload, transcript["sig"])
-            except Exception as exc:
-                raise EscrowError(f"evidence transcript signature invalid: {exc}") from exc
+            signature_items.append(
+                (certificate.pseudonym.signing_key, payload, transcript["sig"])
+            )
+        try:
+            batch_verify(signature_items, rng=self._rng)
+        except Exception as exc:
+            raise EscrowError(f"evidence transcript signature invalid: {exc}") from exc
 
         offender_cert = second["cert"]
         opening = open_escrow(

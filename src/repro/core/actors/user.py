@@ -17,8 +17,8 @@ cost experiments.
 from __future__ import annotations
 
 from ...crypto.rand import RandomSource
-from ...errors import PaymentError, ProtocolError
-from ..identity import Pseudonym, SmartCard
+from ...errors import ProtocolError
+from ..identity import SmartCard
 from ..certificates import PseudonymCertificate
 from ..licenses import AnonymousLicense, PersonalLicense
 from ..messages import Coin

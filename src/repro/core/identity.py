@@ -20,11 +20,11 @@ property is enforced by this module's API surface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey
 from ..crypto.groups import PrimeGroup
-from ..crypto.hashes import int_to_bytes, sha256
+from ..crypto.hashes import int_to_bytes
 from ..crypto.rand import RandomSource
 from ..crypto.schnorr import SchnorrPrivateKey, SchnorrPublicKey, SchnorrSignature
 from ..errors import AuthenticationError, ComplianceError

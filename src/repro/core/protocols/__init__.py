@@ -21,7 +21,7 @@ scopes to produce the per-protocol cost table.
 from .base import Transcript
 from .registration import enrol_user, certify_pseudonym
 from .payment import withdraw_coins
-from .acquisition import purchase_content
+from .acquisition import accept_license, build_purchase_request, purchase_content
 from .access import render_content
 from .transfer import exchange_for_anonymous, redeem_anonymous, transfer_license
 from .revocation import report_misuse
@@ -31,6 +31,8 @@ __all__ = [
     "enrol_user",
     "certify_pseudonym",
     "withdraw_coins",
+    "accept_license",
+    "build_purchase_request",
     "purchase_content",
     "render_content",
     "exchange_for_anonymous",

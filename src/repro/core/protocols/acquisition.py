@@ -21,6 +21,45 @@ from ..messages import NONCE_SIZE, PurchaseRequest, purchase_signing_payload
 from .base import Transcript
 
 
+def build_purchase_request(
+    user, provider, issuer, bank, content_id: str
+) -> PurchaseRequest:
+    """The user-side half of a purchase: certify, pay, sign.
+
+    Split out from :func:`purchase_content` so a queue of requests can
+    be prepared first and submitted together through
+    :meth:`~repro.core.actors.provider.ContentProvider.sell_batch`.
+    """
+    card = user.require_card()
+    certificate = user.certificate_for_transaction(issuer)
+    price = provider.price(content_id)
+    coins = user.coins_for(price, bank)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = purchase_signing_payload(
+        content_id, certificate.fingerprint, [c.serial for c in coins], nonce, at
+    )
+    signature = card.sign(certificate.pseudonym, payload)
+    return PurchaseRequest(
+        content_id=content_id,
+        certificate=certificate,
+        coins=tuple(coins),
+        nonce=nonce,
+        at=at,
+        signature=signature,
+    )
+
+
+def accept_license(user, provider, request: PurchaseRequest, license_) -> None:
+    """The user-side close of a purchase: verify and store the licence."""
+    license_.verify(provider.license_key)
+    if license_.holder_fingerprint != request.certificate.fingerprint:
+        from ...errors import ProtocolError
+
+        raise ProtocolError("provider issued licence to a different pseudonym")
+    user.add_license(license_)
+
+
 def purchase_content(
     user,
     provider,
@@ -33,35 +72,13 @@ def purchase_content(
     """Run the full purchase; returns the verified licence."""
     if transcript is not None:
         transcript.protocol = transcript.protocol or "purchase"
-    card = user.require_card()
-    certificate = user.certificate_for_transaction(issuer)
-    price = provider.price(content_id)
-    coins = user.coins_for(price, bank)
-    nonce = user.rng.random_bytes(NONCE_SIZE)
-    at = user.clock.now()
-    payload = purchase_signing_payload(
-        content_id, certificate.fingerprint, [c.serial for c in coins], nonce, at
-    )
-    signature = card.sign(certificate.pseudonym, payload)
-    request = PurchaseRequest(
-        content_id=content_id,
-        certificate=certificate,
-        coins=tuple(coins),
-        nonce=nonce,
-        at=at,
-        signature=signature,
-    )
+    request = build_purchase_request(user, provider, issuer, bank, content_id)
     if transcript is not None:
         transcript.add("purchase-request", "user", "provider", request.as_dict())
 
     license_ = provider.sell(request)
 
-    license_.verify(provider.license_key)
-    if license_.holder_fingerprint != certificate.fingerprint:
-        from ...errors import ProtocolError
-
-        raise ProtocolError("provider issued licence to a different pseudonym")
-    user.add_license(license_)
+    accept_license(user, provider, request, license_)
     if transcript is not None:
         transcript.add("license", "provider", "user", license_.as_dict())
     return license_

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..clock import Clock, SimClock
+from ..clock import SimClock
 from ..crypto.groups import PrimeGroup, named_group
 from ..crypto.rand import DeterministicRandomSource, RandomSource
 from ..crypto.rsa import generate_rsa_key
@@ -129,6 +129,9 @@ def build_deployment(
     rng = DeterministicRandomSource(seed) if not isinstance(seed, RandomSource) else seed
     clock = SimClock(start_time)
     group = named_group(group_name)
+    # Warm the generator's fixed-base table before any actor starts
+    # exponentiating (the issuer additionally registers its escrow key).
+    group.precompute_generator()
 
     def actor_db(actor: str) -> Database:
         # Each actor keeps its own database: shared tables would merge

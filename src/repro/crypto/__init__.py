@@ -15,6 +15,9 @@ directly on Python integers and ``hashlib``:
   OAEP encryption;
 - :mod:`repro.crypto.blind_rsa` — Chaum blind signatures;
 - :mod:`repro.crypto.groups` — named safe-prime groups (RFC 3526);
+- :mod:`repro.crypto.fastexp` — fixed-base precomputation tables and
+  simultaneous multi-exponentiation (the fast-exponentiation kernel
+  under every hot protocol path);
 - :mod:`repro.crypto.elgamal` — ElGamal encryption for the identity
   escrow;
 - :mod:`repro.crypto.schnorr` — Schnorr signatures and the
@@ -31,10 +34,15 @@ from .rand import SystemRandomSource, DeterministicRandomSource, RandomSource
 from .rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
 from .blind_rsa import BlindSigner, BlindingClient
 from .elgamal import ElGamalPrivateKey, ElGamalPublicKey, ElGamalCiphertext
-from .schnorr import SchnorrPrivateKey, SchnorrPublicKey
+from .schnorr import SchnorrPrivateKey, SchnorrPublicKey, batch_verify
 from .groups import PrimeGroup, named_group
+from .fastexp import FixedBaseExp, multi_pow, tables_disabled
 
 __all__ = [
+    "FixedBaseExp",
+    "batch_verify",
+    "multi_pow",
+    "tables_disabled",
     "RandomSource",
     "SystemRandomSource",
     "DeterministicRandomSource",

@@ -58,6 +58,16 @@ class ElGamalPublicKey:
     def __post_init__(self) -> None:
         self.group.require_member(self.y, "public key")
 
+    def precompute(self) -> None:
+        """Register ``y`` for fixed-base exponentiation.
+
+        The TTP's escrow key is raised to a fresh exponent by every
+        certified pseudonym (`y^k` in :meth:`encrypt_element` and
+        :meth:`kem_wrap`), so a precomputed table amortizes within a
+        handful of certifications.
+        """
+        self.group.precompute_base(self.y)
+
     def encrypt_element(
         self, element: int, *, rng: RandomSource | None = None
     ) -> ElGamalCiphertext:

@@ -1,0 +1,256 @@
+"""Fast modular exponentiation: fixed-base tables and multi-exponentiation.
+
+Every protocol in the system bottoms out in ``pow(base, e, m)`` over a
+:class:`~repro.crypto.groups.PrimeGroup` or an RSA modulus, and most of
+those exponentiations share structure that naive ``pow`` cannot see:
+
+- **Fixed bases** — the group generator ``g``, the TTP's escrow key and
+  other long-lived public keys are raised to fresh exponents thousands
+  of times.  :class:`FixedBaseExp` precomputes a BGMW/comb-style
+  windowed table ``base^(d · 2^(w·j))`` once, after which each
+  exponentiation costs only ~``bits/w`` multiplications and **zero**
+  squarings (versus ~``1.5 · bits`` multiplications for square-and-
+  multiply).
+
+- **Simultaneous products** — verification equations have the shape
+  ``g^s · y^c`` (Schnorr) or ``Π b_i^{e_i}`` (batch verification).
+  :func:`multi_pow` evaluates the whole product in one shared
+  square-and-multiply chain (Shamir's trick, generalized with chunked
+  combination tables), so ``n`` exponentiations cost one chain of
+  squarings plus ~``n/4`` multiplications per bit.
+
+Tables live in a process-wide registry keyed by ``(base, modulus)`` so
+that every holder of the issuer's escrow key — cards, the TTP, the
+analysis code — shares one table.  Only explicitly registered bases
+(plus group generators, which :class:`~repro.crypto.groups.PrimeGroup`
+registers lazily) get tables; ephemeral pseudonym keys do not, keeping
+the registry bounded.
+
+The registry can be switched off globally (:func:`set_tables_enabled`,
+or the :func:`tables_disabled` context manager) so benchmarks can
+measure the speedup honestly.
+
+Instrumentation happens at the call sites (``PrimeGroup.power`` /
+``PrimeGroup.multi_power``), not here — this module is pure integer
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from ..errors import ParameterError
+
+#: Bases per combination table in :func:`multi_pow`.  2^chunk products
+#: are precomputed per chunk, so 4 keeps precomputation at 16 entries
+#: while cutting per-bit multiplications by ~4x.
+_MULTI_CHUNK = 4
+
+
+def _default_window(exponent_bits: int) -> int:
+    """Window width balancing table size against per-exponent savings."""
+    if exponent_bits <= 256:
+        return 4
+    if exponent_bits <= 1024:
+        return 5
+    return 6
+
+
+class FixedBaseExp:
+    """Windowed fixed-base exponentiation table (BGMW/comb style).
+
+    For window width ``w`` the table stores ``base^(d · 2^(w·j))`` for
+    every window index ``j`` and digit ``d < 2^w``.  Raising the base to
+    any exponent up to ``exponent_bits`` bits is then the product of one
+    table entry per non-zero window digit.
+    """
+
+    __slots__ = ("base", "modulus", "window", "exponent_bits", "_rows")
+
+    def __init__(
+        self,
+        base: int,
+        modulus: int,
+        *,
+        exponent_bits: int,
+        window: int | None = None,
+    ):
+        if modulus <= 1:
+            raise ParameterError("modulus must exceed 1")
+        if exponent_bits <= 0:
+            raise ParameterError("exponent_bits must be positive")
+        if window is None:
+            window = _default_window(exponent_bits)
+        if not 1 <= window <= 16:
+            raise ParameterError("window width out of range")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.exponent_bits = exponent_bits
+        radix = 1 << window
+        rows: list[list[int]] = []
+        row_base = self.base
+        for _ in range((exponent_bits + window - 1) // window):
+            row = [1] * radix
+            for digit in range(1, radix):
+                row[digit] = (row[digit - 1] * row_base) % modulus
+            rows.append(row)
+            row_base = (row[radix - 1] * row_base) % modulus
+        self._rows = rows
+
+    @property
+    def table_entries(self) -> int:
+        """Total precomputed entries (memory diagnostic)."""
+        return sum(len(row) for row in self._rows)
+
+    def pow(self, exponent: int) -> int:
+        """``base^exponent mod modulus``.
+
+        Exponents outside the precomputed range (negative, or wider
+        than ``exponent_bits``) fall back to plain ``pow`` so the table
+        is never a correctness hazard.
+        """
+        if exponent < 0 or exponent.bit_length() > self.exponent_bits:
+            return pow(self.base, exponent, self.modulus)
+        modulus = self.modulus
+        mask = (1 << self.window) - 1
+        acc = 1
+        index = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                acc = (acc * self._rows[index][digit]) % modulus
+            exponent >>= self.window
+            index += 1
+        return acc % modulus
+
+
+# ---------------------------------------------------------------------------
+# Table registry
+# ---------------------------------------------------------------------------
+
+_TABLES: dict[tuple[int, int], FixedBaseExp] = {}
+_ENABLED = True
+
+
+def precompute(
+    base: int,
+    modulus: int,
+    *,
+    exponent_bits: int,
+    window: int | None = None,
+) -> FixedBaseExp:
+    """Build (or fetch) the shared table for ``base`` mod ``modulus``.
+
+    Idempotent: a second registration with at least as many exponent
+    bits reuses the existing table.
+    """
+    key = (base % modulus, modulus)
+    table = _TABLES.get(key)
+    if table is not None and table.exponent_bits >= exponent_bits:
+        return table
+    table = FixedBaseExp(base, modulus, exponent_bits=exponent_bits, window=window)
+    _TABLES[key] = table
+    return table
+
+
+def lookup(base: int, modulus: int) -> FixedBaseExp | None:
+    """The registered table for ``(base, modulus)``, or ``None``.
+
+    Returns ``None`` while tables are disabled, which is how
+    benchmarks compare warm and cold paths.
+    """
+    if not _ENABLED:
+        return None
+    return _TABLES.get((base % modulus, modulus))
+
+
+def has_table(base: int, modulus: int) -> bool:
+    """Whether a table is registered (ignores the enabled switch)."""
+    return (base % modulus, modulus) in _TABLES
+
+
+def clear_tables() -> None:
+    """Drop every registered table (test isolation)."""
+    _TABLES.clear()
+
+
+def table_count() -> int:
+    return len(_TABLES)
+
+
+def tables_enabled() -> bool:
+    return _ENABLED
+
+
+def set_tables_enabled(enabled: bool) -> None:
+    """Globally enable/disable table lookups (tables stay registered)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def tables_disabled() -> Iterator[None]:
+    """Scope in which every exponentiation takes the cold path."""
+    previous = _ENABLED
+    set_tables_enabled(False)
+    try:
+        yield
+    finally:
+        set_tables_enabled(previous)
+
+
+# ---------------------------------------------------------------------------
+# Simultaneous multi-exponentiation
+# ---------------------------------------------------------------------------
+
+
+def multi_pow(pairs: Iterable[tuple[int, int]], modulus: int) -> int:
+    """``Π base_i^{exponent_i} mod modulus`` in one shared chain.
+
+    Implements interleaved Shamir's trick: bases are grouped into
+    chunks of :data:`_MULTI_CHUNK`; each chunk precomputes the 2^chunk
+    products of its bases; one squaring chain over the longest exponent
+    then consumes one bit of every exponent per step.  Exponents must
+    be non-negative (callers reduce modulo the group order first).
+    """
+    if modulus <= 0:
+        raise ParameterError("modulus must be positive")
+    entries: list[tuple[int, int]] = []
+    for base, exponent in pairs:
+        if exponent < 0:
+            raise ParameterError("multi_pow exponents must be non-negative")
+        base %= modulus
+        if exponent == 0 or base == 1:
+            continue
+        if base == 0:
+            return 0
+        entries.append((base, exponent))
+    if not entries:
+        return 1 % modulus
+
+    chunks = [
+        entries[i : i + _MULTI_CHUNK] for i in range(0, len(entries), _MULTI_CHUNK)
+    ]
+    prepared: list[tuple[list[int], list[int]]] = []
+    for chunk in chunks:
+        table = [1] * (1 << len(chunk))
+        for index in range(1, len(table)):
+            low = index & -index
+            table[index] = (
+                table[index ^ low] * chunk[low.bit_length() - 1][0]
+            ) % modulus
+        prepared.append((table, [exponent for _, exponent in chunk]))
+
+    top = max(exponent.bit_length() for _, exponent in entries)
+    acc = 1
+    for bit in range(top - 1, -1, -1):
+        acc = (acc * acc) % modulus
+        for table, exponents in prepared:
+            index = 0
+            for position, exponent in enumerate(exponents):
+                index |= ((exponent >> bit) & 1) << position
+            if index:
+                acc = (acc * table[index]) % modulus
+    return acc

@@ -71,10 +71,18 @@ class PrimeGroup:
         return self.p.bit_length()
 
     def contains(self, element: int) -> bool:
-        """Membership test for the order-``q`` subgroup."""
+        """Membership test for the order-``q`` subgroup.
+
+        For a safe prime ``p = 2q + 1`` the order-``q`` subgroup is
+        exactly the set of quadratic residues, so membership reduces to
+        a Jacobi-symbol computation — ``O(log² p)`` instead of the full
+        exponentiation ``element^q mod p``.
+        """
         if not 1 <= element < self.p:
             return False
-        return pow(element, self.q, self.p) == 1
+        from .numbers import jacobi_symbol
+
+        return jacobi_symbol(element, self.p) == 1
 
     def require_member(self, element: int, what: str = "element") -> int:
         """Return ``element`` or raise if it is outside the subgroup."""
@@ -88,12 +96,53 @@ class PrimeGroup:
         return rng.randint_range(1, self.q)
 
     def power(self, base: int, exponent: int) -> int:
-        """``base^exponent mod p`` (counted as one ``modexp`` when an
-        instrumentation scope is active)."""
+        """``base^exponent mod p``.
+
+        Counted as one ``modexp`` per call; the sub-counters
+        ``modexp.fixed_base`` / ``modexp.cold`` record whether a
+        precomputed fixed-base table served the call.  The generator's
+        table is built lazily on first use (it pays for itself after a
+        handful of exponentiations); other long-lived bases are
+        registered via :meth:`precompute_base`.
+        """
         from ..instrument import tick
+        from . import fastexp
+
+        table = fastexp.lookup(base, self.p)
+        if table is None and base == self.g and fastexp.tables_enabled():
+            table = self.precompute_generator()
+        tick("modexp")
+        if table is not None:
+            tick("modexp.fixed_base")
+            return table.pow(exponent)
+        tick("modexp.cold")
+        return pow(base, exponent, self.p)
+
+    def multi_power(self, pairs: list[tuple[int, int]]) -> int:
+        """``Π base_i^{exponent_i} mod p`` in one shared chain.
+
+        Simultaneous multi-exponentiation (Shamir's trick): the whole
+        product costs one chain of squarings, so it is counted as one
+        ``modexp`` (sub-counter ``modexp.multi``) however many pairs it
+        covers.  Exponents must lie in ``[0, q)``.
+        """
+        from ..instrument import tick
+        from . import fastexp
 
         tick("modexp")
-        return pow(base, exponent, self.p)
+        tick("modexp.multi")
+        return fastexp.multi_pow(pairs, self.p)
+
+    def precompute_generator(self):
+        """Build (or fetch) the fixed-base table for ``g``."""
+        return self.precompute_base(self.g)
+
+    def precompute_base(self, base: int):
+        """Register a long-lived base (e.g. a TTP public key) for
+        fixed-base exponentiation; returns the shared table."""
+        from . import fastexp
+
+        return fastexp.precompute(base, self.p, exponent_bits=self.p.bit_length())
 
     def encode_element(self, value_bytes: bytes) -> int:
         """Map arbitrary bytes to a subgroup element (square the hash image).

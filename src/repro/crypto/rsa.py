@@ -24,7 +24,7 @@ from .hashes import (
     mgf1,
     sha256,
 )
-from .numbers import crt_pair, gcd, generate_prime, lcm, modinv
+from .numbers import gcd, lcm, modinv
 from .rand import RandomSource, default_source
 
 # DER DigestInfo prefix for SHA-256 (EMSA-PKCS1-v1_5).
@@ -130,6 +130,12 @@ class RsaPrivateKey:
     def __post_init__(self) -> None:
         if self.p * self.q != self.n:
             raise ParameterError("p*q != n")
+        # CRT parameters are fixed per key; computing them (two big
+        # divisions and a modular inverse) once instead of per private
+        # operation matters on the bank/issuer signing hot paths.
+        object.__setattr__(self, "_dp", self.d % (self.p - 1))
+        object.__setattr__(self, "_dq", self.d % (self.q - 1))
+        object.__setattr__(self, "_q_inv_p", modinv(self.q % self.p, self.p))
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -148,11 +154,11 @@ class RsaPrivateKey:
         from ..instrument import tick
 
         tick("rsa.private_op")
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        mp = pow(value % self.p, dp, self.p)
-        mq = pow(value % self.q, dq, self.q)
-        return crt_pair(mp, self.p, mq, self.q) % self.n
+        mp = pow(value % self.p, self._dp, self.p)
+        mq = pow(value % self.q, self._dq, self.q)
+        # Garner recombination with the cached inverse of q mod p.
+        h = ((mp - mq) * self._q_inv_p) % self.p
+        return (mq + h * self.q) % self.n
 
     # -- PKCS#1 v1.5 signatures ---------------------------------------------
 

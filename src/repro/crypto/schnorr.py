@@ -46,17 +46,36 @@ def _challenge(group: PrimeGroup, label: bytes, parts: list[int], context: bytes
 
 @dataclass(frozen=True)
 class SchnorrSignature:
-    """Fiat–Shamir Schnorr signature ``(challenge, response)``."""
+    """Fiat–Shamir Schnorr signature ``(challenge, response)``.
+
+    ``commitment`` optionally carries the signing nonce's public image
+    ``R = g^nonce``.  It is redundant for single verification (the
+    verifier recomputes ``R = g^s · y^c``), but carrying it is what
+    makes small-exponent **batch verification** possible: the batch
+    verifier checks the cheap hash ``c == H(y, R, m)`` per signature
+    and folds all the group equations ``g^s · y^c == R`` into one
+    random linear combination.  Signatures without it (e.g. parsed from
+    old transcripts) still verify — just not in a batch.
+    """
 
     challenge: int
     response: int
+    commitment: int | None = None
 
     def as_dict(self) -> dict:
-        return {"c": self.challenge, "s": self.response}
+        data = {"c": self.challenge, "s": self.response}
+        if self.commitment is not None:
+            data["R"] = self.commitment
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SchnorrSignature":
-        return cls(challenge=int(data["c"]), response=int(data["s"]))
+        commitment = data.get("R")
+        return cls(
+            challenge=int(data["c"]),
+            response=int(data["s"]),
+            commitment=int(commitment) if commitment is not None else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -74,14 +93,30 @@ class SchnorrPublicKey:
         group = self.group
         if not 0 <= signature.challenge < group.q or not 0 <= signature.response < group.q:
             raise InvalidSignature("signature scalars out of range")
-        # R = g^s * y^c ; valid iff challenge recomputes.
-        commitment = (
-            group.power(group.g, signature.response)
-            * group.power(self.y, signature.challenge)
-        ) % group.p
+        # R = g^s * y^c ; valid iff challenge recomputes.  One shared
+        # Shamir chain instead of two independent exponentiations.
+        commitment = group.multi_power(
+            [(group.g, signature.response), (self.y, signature.challenge)]
+        )
+        if signature.commitment is not None and signature.commitment != commitment:
+            # A claimed R that disagrees with (c, s) would slip past the
+            # hash check here but poison batch verification; reject it
+            # so single and batch verification accept the same set.
+            raise InvalidSignature("Schnorr commitment mismatch")
         expected = _challenge(group, b"schnorr-sig", [self.y, commitment], message)
         if expected != signature.challenge:
             raise InvalidSignature("Schnorr signature mismatch")
+
+    def precompute(self) -> None:
+        """Register ``y`` for fixed-base exponentiation.
+
+        Worthwhile for long-lived keys that verify or encrypt many
+        times (a provider pseudonym, the TTP escrow key); fresh
+        per-purchase pseudonyms should not be registered — the table
+        costs a few exponentiations to build and registry entries are
+        process-lived.
+        """
+        self.group.precompute_base(self.y)
 
     def fingerprint(self) -> bytes:
         """Stable identifier for the pseudonym (hash of group+element)."""
@@ -115,7 +150,9 @@ class SchnorrPrivateKey:
             group, b"schnorr-sig", [self.public_key.y, commitment], message
         )
         response = (nonce - challenge * self.x) % group.q
-        return SchnorrSignature(challenge=challenge, response=response)
+        return SchnorrSignature(
+            challenge=challenge, response=response, commitment=commitment
+        )
 
 
 def generate_schnorr_key(
@@ -124,6 +161,111 @@ def generate_schnorr_key(
     """Fresh signing key in ``group``."""
     rng = rng or default_source()
     return SchnorrPrivateKey(group=group, x=group.random_exponent(rng))
+
+
+# ---------------------------------------------------------------------------
+# Batch verification (small-random-exponent aggregation)
+# ---------------------------------------------------------------------------
+
+#: Bit width of the random batching exponents; a forged signature
+#: survives a batch with probability 2^-BATCH_EXPONENT_BITS.
+BATCH_EXPONENT_BITS = 64
+
+
+def batch_verify(
+    items: list[tuple[SchnorrPublicKey, bytes, SchnorrSignature]],
+    *,
+    rng: RandomSource | None = None,
+) -> None:
+    """Verify many Schnorr signatures with ~one full-size exponentiation.
+
+    ``items`` is a sequence of ``(public_key, message, signature)``
+    triples, all over the same group.  Instead of ``2n`` independent
+    exponentiations (or ``n`` Shamir chains), the verifier draws small
+    random exponents ``z_i`` and checks the single aggregate equation::
+
+        g^(Σ z_i·s_i)  ·  Π y_i^(z_i·c_i)   ==   Π R_i^(z_i)      (mod p)
+
+    plus the per-signature hash ``c_i == H(y_i, R_i, m_i)`` (hashes,
+    not group operations).  The left side is one fixed-base
+    exponentiation of ``g`` plus one multi-exponentiation; the right
+    side is one multi-exponentiation with 64-bit exponents.  Soundness:
+    every ``R_i`` is checked to lie in the prime-order subgroup (a
+    Jacobi-symbol test, closing the cofactor-2 sign ambiguity), after
+    which a batch containing any forged signature passes with
+    probability at most ``2^-64``.
+
+    Signatures that do not carry their commitment (legacy transcripts)
+    are verified individually — correctness never depends on the
+    fast path.  On an aggregate mismatch the batch falls back to
+    individual verification so the error names the offending
+    signature.  Raises :class:`~repro.errors.InvalidSignature` on any
+    invalid member; returns ``None`` when every signature verifies.
+    """
+    from ..instrument import tick
+
+    items = list(items)
+    if not items:
+        return
+    group = items[0][0].group
+    for public_key, _, _ in items:
+        if public_key.group.p != group.p or public_key.group.g != group.g:
+            raise ParameterError("batch mixes signatures from different groups")
+
+    batchable: list[tuple[SchnorrPublicKey, bytes, SchnorrSignature]] = []
+    for public_key, message, signature in items:
+        if signature.commitment is None:
+            public_key.verify(message, signature)
+        else:
+            batchable.append((public_key, message, signature))
+    if len(batchable) <= 1:
+        for public_key, message, signature in batchable:
+            public_key.verify(message, signature)
+        return
+
+    tick("schnorr.batch_verify")
+    tick("schnorr.batch_verify.signatures", len(batchable))
+    for public_key, message, signature in batchable:
+        if (
+            not 0 <= signature.challenge < group.q
+            or not 0 <= signature.response < group.q
+        ):
+            raise InvalidSignature("signature scalars out of range")
+        commitment = signature.commitment
+        assert commitment is not None
+        if not group.contains(commitment):
+            raise InvalidSignature("signature commitment outside the subgroup")
+        expected = _challenge(
+            group, b"schnorr-sig", [public_key.y, commitment], message
+        )
+        if expected != signature.challenge:
+            raise InvalidSignature("Schnorr signature mismatch")
+
+    rng = rng or default_source()
+    scales = [rng.randbits(BATCH_EXPONENT_BITS) | 1 for _ in batchable]
+    aggregate_response = (
+        sum(z * signature.response for z, (_, _, signature) in zip(scales, batchable))
+        % group.q
+    )
+    left = (
+        group.power(group.g, aggregate_response)
+        * group.multi_power(
+            [
+                (public_key.y, (z * signature.challenge) % group.q)
+                for z, (public_key, _, signature) in zip(scales, batchable)
+            ]
+        )
+    ) % group.p
+    right = group.multi_power(
+        [(signature.commitment, z) for z, (_, _, signature) in zip(scales, batchable)]
+    )
+    if left == right:
+        return
+    # Aggregate mismatch: find the culprit so the caller learns *which*
+    # request to reject (and honest members of the batch still pass).
+    for public_key, message, signature in batchable:
+        public_key.verify(message, signature)
+    raise InvalidSignature("Schnorr batch verification mismatch")
 
 
 # ---------------------------------------------------------------------------
@@ -181,9 +323,9 @@ def verify_knowledge(
     group.require_member(public, "public value")
     if not 0 <= proof.challenge < group.q or not 0 <= proof.response < group.q:
         raise InvalidProof("proof scalars out of range")
-    commitment = (
-        group.power(base, proof.response) * group.power(public, proof.challenge)
-    ) % group.p
+    commitment = group.multi_power(
+        [(base, proof.response), (public, proof.challenge)]
+    )
     expected = _challenge(group, b"dlog-pok", [base, public, commitment], context)
     if expected != proof.challenge:
         raise InvalidProof("discrete-log proof mismatch")
@@ -255,12 +397,12 @@ def verify_equality(
         group.require_member(value, what)
     if not 0 <= proof.challenge < group.q or not 0 <= proof.response < group.q:
         raise InvalidProof("proof scalars out of range")
-    commitment1 = (
-        group.power(base1, proof.response) * group.power(public1, proof.challenge)
-    ) % group.p
-    commitment2 = (
-        group.power(base2, proof.response) * group.power(public2, proof.challenge)
-    ) % group.p
+    commitment1 = group.multi_power(
+        [(base1, proof.response), (public1, proof.challenge)]
+    )
+    commitment2 = group.multi_power(
+        [(base2, proof.response), (public2, proof.challenge)]
+    )
     expected = _challenge(
         group,
         b"chaum-pedersen",

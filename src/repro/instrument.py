@@ -14,6 +14,22 @@ Usage::
 
 Scopes nest; every active scope sees every tick.  Counters are plain
 dicts — this is a single-threaded research harness, not telemetry.
+
+Counter taxonomy for the fast-exponentiation kernel
+(:mod:`repro.crypto.fastexp`): ``modexp`` counts *chains* — one
+square-and-multiply-equivalent pass, whether it served a single
+exponentiation or a whole simultaneous product.  Sub-counters break a
+chain's provenance down:
+
+- ``modexp.fixed_base`` — served from a precomputed fixed-base table;
+- ``modexp.cold``       — plain ``pow`` with no table;
+- ``modexp.multi``      — one shared Shamir chain covering a product
+  of powers (however many pairs it folded);
+- ``schnorr.batch_verify`` / ``rsa.batch_verify`` — one aggregated
+  batch check, with ``.signatures`` recording the batch size.
+
+So ``counts["modexp"]`` is the number of full-length exponentiation
+passes actually executed — the quantity the batching work drives down.
 """
 
 from __future__ import annotations
@@ -33,6 +49,10 @@ class OpCounter:
 
     def add(self, name: str, amount: int = 1) -> None:
         self.counts[name] = self.counts.get(name, 0) + amount
+
+    def get(self, name: str, default: int = 0) -> int:
+        """The count for one exact counter name."""
+        return self.counts.get(name, default)
 
     def total(self, prefix: str = "") -> int:
         """Sum of all counters whose name starts with ``prefix``."""

@@ -25,14 +25,12 @@ from ..baseline.identity_drm import (
     baseline_purchase,
     baseline_transfer,
 )
-from ..clock import SimClock
 from ..core.identity import SmartCard
 from ..core.system import Deployment, build_deployment
 from ..errors import ReproError
 from .workload import (
     ACTION_BUY,
     ACTION_PLAY,
-    ACTION_TRANSFER,
     WorkloadConfig,
     WorkloadGenerator,
 )
@@ -229,7 +227,7 @@ class MarketplaceSimulator:
     def _do_transfer(self, user_index: int, report: SimulationReport) -> None:
         sender = self._users[user_index]
         transferable = [
-            l for l in sender.licenses.values() if l.rights.transferable
+            lic for lic in sender.licenses.values() if lic.rights.transferable
         ]
         if not transferable or self.config.n_users < 2:
             report.skipped += 1

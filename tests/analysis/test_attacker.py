@@ -78,8 +78,8 @@ class TestJoinLogic:
 class TestEventExtraction:
     def test_deployment_extraction(self, fresh_deployment):
         d = fresh_deployment("extract")
-        alice = d.add_user("alice", balance=100)
-        bob = d.add_user("bob", balance=100)
+        d.add_user("alice", balance=100)
+        d.add_user("bob", balance=100)
         license_ = d.buy("alice", "song-1")
         d.clock.advance(100)
         d.transfer("alice", "bob", license_.license_id)

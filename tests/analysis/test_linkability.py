@@ -1,6 +1,5 @@
 """Transaction graphs over provider records."""
 
-import pytest
 
 from repro.analysis.linkability import TransactionGraph, build_transaction_graph
 
@@ -50,8 +49,8 @@ class TestGraphAssembly:
 class TestFromDeployment:
     def test_p2drm_graph_shape(self, fresh_deployment):
         d = fresh_deployment("graph-p2drm")
-        alice = d.add_user("alice", balance=100)
-        bob = d.add_user("bob", balance=100)
+        d.add_user("alice", balance=100)
+        d.add_user("bob", balance=100)
         license_ = d.buy("alice", "song-1")
         d.buy("bob", "song-1")
         d.transfer("alice", "bob", license_.license_id)

@@ -1,0 +1,199 @@
+"""Batch validation paths: provider.sell_batch, bank.deposit_batch,
+issuer.issue_blind_certificates."""
+
+import dataclasses
+
+import pytest
+
+from repro import instrument
+from repro.core.messages import Coin
+from repro.core.protocols import withdraw_coins
+from repro.core.protocols.acquisition import accept_license, build_purchase_request
+from repro.crypto.schnorr import SchnorrSignature
+from repro.errors import (
+    AuthenticationError,
+    DoubleSpendError,
+    InvalidSignature,
+    PaymentError,
+    UnknownContentError,
+)
+
+
+@pytest.fixture()
+def batch_deployment(fresh_deployment):
+    return fresh_deployment(seed="batch-actors")
+
+
+def _requests(deployment, count, *, content_id="song-1", user=None):
+    user = user or deployment.add_user(f"batch-buyer-{count}", balance=1000)
+    return user, [
+        build_purchase_request(
+            user, deployment.provider, deployment.issuer, deployment.bank, content_id
+        )
+        for _ in range(count)
+    ]
+
+
+class TestSellBatch:
+    def test_all_valid_requests_yield_licenses(self, batch_deployment):
+        d = batch_deployment
+        user, requests = _requests(d, 5)
+        results = d.provider.sell_batch(requests)
+        assert len(results) == 5
+        for request, license_ in zip(requests, results):
+            assert not isinstance(license_, Exception)
+            accept_license(user, d.provider, request, license_)
+        assert len(user.licenses) == 5
+
+    def test_batch_cheaper_than_sequential_in_group_ops(self, fresh_deployment):
+        d_batch = fresh_deployment(seed="batch-cost-a")
+        d_seq = fresh_deployment(seed="batch-cost-b")
+        _, requests = _requests(d_batch, 6)
+        _, sequential = _requests(d_seq, 6)
+        with instrument.measure() as batched:
+            d_batch.provider.sell_batch(requests)
+        with instrument.measure() as one_by_one:
+            for request in sequential:
+                d_seq.provider.sell(request)
+        assert batched.get("modexp") < one_by_one.get("modexp")
+        assert batched.get("schnorr.batch_verify") == 1
+
+    def test_one_forged_signature_rejects_only_that_request(self, batch_deployment):
+        d = batch_deployment
+        user, requests = _requests(d, 4)
+        bad = requests[2]
+        requests[2] = dataclasses.replace(
+            bad,
+            signature=SchnorrSignature(
+                challenge=bad.signature.challenge,
+                response=(bad.signature.response + 1) % d.group.q,
+                commitment=bad.signature.commitment,
+            ),
+        )
+        results = d.provider.sell_batch(requests)
+        assert isinstance(results[2], AuthenticationError)
+        for index in (0, 1, 3):
+            assert not isinstance(results[index], Exception)
+
+    def test_unknown_content_rejected_per_request(self, batch_deployment):
+        d = batch_deployment
+        user, requests = _requests(d, 2)
+        ghost = build_purchase_request(user, d.provider, d.issuer, d.bank, "song-1")
+        ghost = dataclasses.replace(ghost, content_id="no-such-song")
+        results = d.provider.sell_batch(requests + [ghost])
+        assert isinstance(results[2], (UnknownContentError, AuthenticationError))
+        assert not isinstance(results[0], Exception)
+        assert not isinstance(results[1], Exception)
+
+    def test_replayed_request_in_batch_rejected_once(self, batch_deployment):
+        d = batch_deployment
+        user, requests = _requests(d, 1)
+        results = d.provider.sell_batch([requests[0], requests[0]])
+        outcomes = [isinstance(result, Exception) for result in results]
+        assert outcomes == [False, True]
+        assert isinstance(results[1], AuthenticationError)
+
+    def test_double_spent_coin_across_batch(self, batch_deployment):
+        d = batch_deployment
+        user, requests = _requests(d, 1)
+        first = requests[0]
+        second = build_purchase_request(user, d.provider, d.issuer, d.bank, "song-1")
+        second = dataclasses.replace(second, coins=first.coins)
+        # The coin swap invalidates the signature over the coin serials,
+        # so re-sign the second request under its own pseudonym.
+        signature = user.card.sign(
+            second.certificate.pseudonym, second.signing_payload()
+        )
+        second = dataclasses.replace(second, signature=signature)
+        results = d.provider.sell_batch([first, second])
+        assert not isinstance(results[0], Exception)
+        assert isinstance(results[1], DoubleSpendError)
+
+    def test_empty_batch(self, batch_deployment):
+        assert batch_deployment.provider.sell_batch([]) == []
+
+
+class TestBankBatch:
+    def test_deposit_batch_credits_once_per_coin(self, batch_deployment):
+        d = batch_deployment
+        user = d.add_user("depositor", balance=100)
+        coins = withdraw_coins(user, d.bank, 26)  # 20 + 5 + 1
+        before = d.bank.balance("content-provider-account")
+        with instrument.measure() as ops:
+            d.bank.deposit_batch("content-provider-account", coins)
+        assert d.bank.balance("content-provider-account") == before + 26
+        # one screening op per denomination key at most
+        assert ops.get("rsa.public_op") <= len({coin.value for coin in coins})
+        for coin in coins:
+            assert d.bank.is_spent(coin)
+
+    def test_duplicate_serial_within_batch_rejected(self, batch_deployment):
+        d = batch_deployment
+        user = d.add_user("doubler", balance=100)
+        (coin,) = withdraw_coins(user, d.bank, 1)
+        before = d.bank.balance("content-provider-account")
+        with pytest.raises(DoubleSpendError):
+            d.bank.deposit_batch("content-provider-account", [coin, coin])
+        # rejected before any balance change
+        assert d.bank.balance("content-provider-account") == before
+        assert not d.bank.is_spent(coin)
+
+    def test_already_spent_coin_rejected(self, batch_deployment):
+        d = batch_deployment
+        user = d.add_user("spender", balance=100)
+        coins = withdraw_coins(user, d.bank, 2)
+        d.bank.deposit("content-provider-account", coins[0])
+        with pytest.raises(DoubleSpendError):
+            d.bank.deposit_batch("content-provider-account", coins)
+        assert not d.bank.is_spent(coins[1])
+
+    def test_forged_coin_rejected(self, batch_deployment):
+        d = batch_deployment
+        user = d.add_user("forger", balance=100)
+        coins = withdraw_coins(user, d.bank, 2)
+        fake = Coin(
+            serial=coins[0].serial,
+            value=coins[0].value,
+            signature=bytes(len(coins[0].signature)),
+        )
+        with pytest.raises(InvalidSignature):
+            d.bank.deposit_batch("content-provider-account", [coins[1], fake])
+
+    def test_unknown_account_rejected(self, batch_deployment):
+        with pytest.raises(PaymentError):
+            batch_deployment.bank.deposit_batch("nobody", [])
+
+    def test_verify_coins_spans_denominations(self, batch_deployment):
+        d = batch_deployment
+        user = d.add_user("mixed", balance=100)
+        coins = withdraw_coins(user, d.bank, 26)
+        assert len({coin.value for coin in coins}) > 1
+        d.bank.verify_coins(coins)
+
+
+class TestIssuerBatch:
+    def test_batch_blind_certification(self, batch_deployment, rng):
+        d = batch_deployment
+        user = d.add_user("heavy-user", balance=10)
+        card = user.card
+        blinded = [rng.randint_range(1, d.issuer.certificate_key.n) for _ in range(3)]
+        before = len(d.issuer.audit_log.entries(event="pseudonym_certified"))
+        signatures = d.issuer.issue_blind_certificates(card.card_id, blinded)
+        assert len(signatures) == 3
+        after = len(d.issuer.audit_log.entries(event="pseudonym_certified"))
+        assert after - before == 3  # one audit record per credential
+        for blind, signature in zip(blinded, signatures):
+            assert d.issuer.certificate_key.public_op(signature) == blind
+
+    def test_unknown_card_rejected(self, batch_deployment):
+        with pytest.raises(AuthenticationError):
+            batch_deployment.issuer.issue_blind_certificates(b"\x00" * 16, [1, 2])
+
+    def test_blocked_card_rejected(self, batch_deployment, rng):
+        from repro.storage.accounts import STATUS_BLOCKED
+
+        d = batch_deployment
+        user = d.add_user("blocked-user", balance=10)
+        d.issuer.accounts.set_status(user.user_id, STATUS_BLOCKED)
+        with pytest.raises(AuthenticationError):
+            d.issuer.issue_blind_certificates(user.card.card_id, [123])

@@ -63,7 +63,7 @@ class TestBlindCertification:
 
 class TestEscrowOpening:
     def _double_redemption_evidence(self, d):
-        alice = d.add_user("alice", balance=100)
+        d.add_user("alice", balance=100)
         bob = d.add_user("bob", balance=100)
         cheat = d.add_user("cheat", balance=100)
         license_ = cheat.buy(

@@ -49,7 +49,7 @@ class TestProveNotRevoked:
 
     def test_empty_lrl_proof(self, fresh_deployment):
         d = fresh_deployment("nrp4")
-        alice = d.add_user("alice", balance=100)
+        d.add_user("alice", balance=100)
         license_ = d.buy("alice", "song-1")
         snapshot, proof = d.provider.prove_not_revoked(license_.license_id)
         snapshot.verify(d.provider.license_key)
@@ -69,7 +69,6 @@ class TestProveNotRevoked:
         old_snapshot, old_proof = d.provider.prove_not_revoked(license_.license_id)
         anonymous = alice.transfer_out(license_.license_id, provider=d.provider)
         bob.redeem(anonymous, provider=d.provider, issuer=d.issuer)
-        new_snapshot = d.provider.revocation_list.snapshot
         assert d.provider.revocation_list.current_version() > old_snapshot.version
         # The old proof still verifies against the OLD root (it is a
         # true statement about the past) but not against the new one.

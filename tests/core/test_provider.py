@@ -10,7 +10,6 @@ from repro.core.messages import (
     purchase_signing_payload,
     redeem_signing_payload,
 )
-from repro.core.protocols.payment import withdraw_coins
 from repro.errors import (
     AuthenticationError,
     DoubleRedemptionError,

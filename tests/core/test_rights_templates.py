@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RightsDenied, RightsParseError, StorageError
+from repro.errors import RightsDenied, RightsParseError
 
 
 class TestTemplatePlumbing:
@@ -97,7 +97,7 @@ class TestRegionalScenario:
             "eu-transferable", b"X" * 32, title="EU-T", price=1,
             rights_template="play[region=eu]; transfer[count<=1]",
         )
-        a = d.add_user("a", balance=100)
+        d.add_user("a", balance=100)
         b = d.add_user("b", balance=100)
         license_ = d.buy("a", "eu-transferable")
         new_license = d.transfer("a", "b", license_.license_id)

@@ -92,14 +92,14 @@ class TestUserAgentSurface:
 
     def test_pseudonym_policy_fresh(self, fresh_deployment):
         d = fresh_deployment("fresh-policy")
-        user = d.add_user("u", balance=100)
+        d.add_user("u", balance=100)
         first = d.buy("u", "song-1")
         second = d.buy("u", "song-1")
         assert first.holder_fingerprint != second.holder_fingerprint
 
     def test_pseudonym_policy_reuse(self, fresh_deployment):
         d = fresh_deployment("reuse-policy")
-        user = d.add_user("u", balance=100, fresh_pseudonym_per_transaction=False)
+        d.add_user("u", balance=100, fresh_pseudonym_per_transaction=False)
         first = d.buy("u", "song-1")
         second = d.buy("u", "song-1")
         assert first.holder_fingerprint == second.holder_fingerprint

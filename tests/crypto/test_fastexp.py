@@ -1,0 +1,319 @@
+"""Fast-exponentiation kernel: fixed-base tables, multi-exp, batching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import instrument
+from repro.crypto import fastexp
+from repro.crypto.blind_rsa import (
+    BlindingClient,
+    BlindSigner,
+    batch_verify_blind_signatures,
+)
+from repro.crypto.fastexp import FixedBaseExp, multi_pow
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    batch_verify,
+    generate_schnorr_key,
+)
+from repro.errors import InvalidSignature, ParameterError
+
+# A small safe prime (p = 2q + 1, q = 11) keeps pure-arithmetic
+# property tests fast; group-level tests use the real test-512 group.
+_SMALL_P = 23
+
+
+class TestFixedBaseExp:
+    def test_matches_pow_small(self):
+        table = FixedBaseExp(5, _SMALL_P, exponent_bits=16, window=3)
+        for exponent in range(200):
+            assert table.pow(exponent) == pow(5, exponent, _SMALL_P)
+
+    @given(exponent=st.integers(min_value=0, max_value=2**512 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_pow_group_sized(self, test_group, exponent):
+        table = FixedBaseExp(
+            test_group.g, test_group.p, exponent_bits=test_group.p.bit_length()
+        )
+        assert table.pow(exponent) == pow(test_group.g, exponent, test_group.p)
+
+    @given(window=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_every_window_width_agrees(self, window):
+        table = FixedBaseExp(7, 1009, exponent_bits=24, window=window)
+        for exponent in (0, 1, 2, 255, 1000, (1 << 24) - 1):
+            assert table.pow(exponent) == pow(7, exponent, 1009)
+
+    def test_out_of_range_exponents_fall_back(self):
+        table = FixedBaseExp(3, _SMALL_P, exponent_bits=8)
+        assert table.pow(1 << 20) == pow(3, 1 << 20, _SMALL_P)
+        assert table.pow(-3) == pow(3, -3, _SMALL_P)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FixedBaseExp(3, 1, exponent_bits=8)
+        with pytest.raises(ParameterError):
+            FixedBaseExp(3, _SMALL_P, exponent_bits=0)
+        with pytest.raises(ParameterError):
+            FixedBaseExp(3, _SMALL_P, exponent_bits=8, window=0)
+
+
+class TestRegistry:
+    def test_precompute_idempotent(self, test_group):
+        first = fastexp.precompute(
+            test_group.g, test_group.p, exponent_bits=test_group.p.bit_length()
+        )
+        second = fastexp.precompute(
+            test_group.g, test_group.p, exponent_bits=test_group.p.bit_length()
+        )
+        assert first is second
+
+    def test_lookup_honours_disable_switch(self, test_group):
+        fastexp.precompute(test_group.g, test_group.p, exponent_bits=64)
+        assert fastexp.lookup(test_group.g, test_group.p) is not None
+        with fastexp.tables_disabled():
+            assert fastexp.lookup(test_group.g, test_group.p) is None
+            assert fastexp.has_table(test_group.g, test_group.p)
+        assert fastexp.lookup(test_group.g, test_group.p) is not None
+
+    def test_power_identical_with_and_without_tables(self, test_group, rng):
+        exponent = test_group.random_exponent(rng)
+        test_group.precompute_generator()
+        warm = test_group.power(test_group.g, exponent)
+        with fastexp.tables_disabled():
+            cold = test_group.power(test_group.g, exponent)
+        assert warm == cold == pow(test_group.g, exponent, test_group.p)
+
+    def test_table_hits_are_counted(self, test_group, rng):
+        test_group.precompute_generator()
+        with instrument.measure() as ops:
+            test_group.power(test_group.g, test_group.random_exponent(rng))
+        assert ops.get("modexp") == 1
+        assert ops.get("modexp.fixed_base") == 1
+        assert ops.get("modexp.cold") == 0
+        with fastexp.tables_disabled():
+            with instrument.measure() as ops:
+                test_group.power(test_group.g, test_group.random_exponent(rng))
+        assert ops.get("modexp.cold") == 1
+        assert ops.get("modexp.fixed_base") == 0
+
+
+class TestMultiPow:
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1008),
+                st.integers(min_value=0, max_value=2**64),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_product_of_pows(self, pairs):
+        expected = 1
+        for base, exponent in pairs:
+            expected = (expected * pow(base, exponent, 1009)) % 1009
+        assert multi_pow(pairs, 1009) == expected
+
+    def test_empty_product_is_one(self):
+        assert multi_pow([], 1009) == 1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            multi_pow([(3, -1)], 1009)
+
+    def test_group_multi_power_counts_one_chain(self, test_group, rng):
+        pairs = [
+            (test_group.power(test_group.g, test_group.random_exponent(rng)),
+             test_group.random_exponent(rng))
+            for _ in range(5)
+        ]
+        with instrument.measure() as ops:
+            result = test_group.multi_power(pairs)
+        assert ops.get("modexp") == 1
+        assert ops.get("modexp.multi") == 1
+        expected = 1
+        for base, exponent in pairs:
+            expected = (expected * pow(base, exponent, test_group.p)) % test_group.p
+        assert result == expected
+
+
+class TestSubgroupMembership:
+    @given(exponent=st.integers(min_value=1, max_value=2**64))
+    @settings(max_examples=30, deadline=None)
+    def test_jacobi_contains_matches_exponentiation(self, test_group, exponent):
+        element = pow(test_group.g, exponent, test_group.p)
+        assert test_group.contains(element)
+        assert pow(element, test_group.q, test_group.p) == 1
+
+    @given(value=st.integers(min_value=2, max_value=2**64))
+    @settings(max_examples=30, deadline=None)
+    def test_jacobi_contains_matches_on_arbitrary_values(self, test_group, value):
+        value %= test_group.p
+        by_jacobi = test_group.contains(value)
+        by_pow = (
+            1 <= value < test_group.p
+            and pow(value, test_group.q, test_group.p) == 1
+        )
+        assert by_jacobi == by_pow
+
+
+def _signed_batch(group, rng, count):
+    keys = [generate_schnorr_key(group, rng=rng) for _ in range(count)]
+    messages = [f"batch-message-{index}".encode() for index in range(count)]
+    signatures = [key.sign(message, rng=rng) for key, message in zip(keys, messages)]
+    return [
+        (key.public_key, message, signature)
+        for key, message, signature in zip(keys, messages, signatures)
+    ]
+
+
+class TestSchnorrBatchVerify:
+    def test_valid_batch_accepted(self, test_group, rng):
+        batch_verify(_signed_batch(test_group, rng, 8), rng=rng)
+
+    def test_empty_and_singleton(self, test_group, rng):
+        batch_verify([], rng=rng)
+        batch_verify(_signed_batch(test_group, rng, 1), rng=rng)
+
+    @given(position=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_one_forged_signature_rejects_batch(self, test_group, position):
+        rng = DeterministicRandomSource(f"forge-{position}")
+        items = _signed_batch(test_group, rng, 8)
+        key, message, signature = items[position]
+        forged = SchnorrSignature(
+            challenge=signature.challenge,
+            response=(signature.response + 1) % test_group.q,
+            commitment=signature.commitment,
+        )
+        items[position] = (key, message, forged)
+        with pytest.raises(InvalidSignature):
+            batch_verify(items, rng=rng)
+
+    def test_tampered_message_rejects_batch(self, test_group, rng):
+        items = _signed_batch(test_group, rng, 4)
+        key, _, signature = items[2]
+        items[2] = (key, b"tampered", signature)
+        with pytest.raises(InvalidSignature):
+            batch_verify(items, rng=rng)
+
+    def test_wrong_commitment_rejects_batch(self, test_group, rng):
+        items = _signed_batch(test_group, rng, 4)
+        key, message, signature = items[1]
+        bogus = test_group.power(test_group.g, 12345)
+        items[1] = (
+            key,
+            message,
+            SchnorrSignature(
+                challenge=signature.challenge,
+                response=signature.response,
+                commitment=bogus,
+            ),
+        )
+        with pytest.raises(InvalidSignature):
+            batch_verify(items, rng=rng)
+
+    def test_non_subgroup_commitment_rejected(self, test_group, rng):
+        items = _signed_batch(test_group, rng, 3)
+        key, message, signature = items[0]
+        # p - R is the cofactor-2 sign flip: same square, not in the
+        # order-q subgroup.  The Jacobi membership check must catch it.
+        items[0] = (
+            key,
+            message,
+            SchnorrSignature(
+                challenge=signature.challenge,
+                response=signature.response,
+                commitment=test_group.p - signature.commitment,
+            ),
+        )
+        with pytest.raises(InvalidSignature):
+            batch_verify(items, rng=rng)
+
+    def test_legacy_signatures_without_commitment_still_verify(self, test_group, rng):
+        items = _signed_batch(test_group, rng, 4)
+        legacy = [
+            (key, message, SchnorrSignature(sig.challenge, sig.response))
+            for key, message, sig in items
+        ]
+        batch_verify(legacy, rng=rng)
+        bad = list(legacy)
+        key, message, sig = bad[3]
+        bad[3] = (key, message, SchnorrSignature(sig.challenge, (sig.response + 1) % test_group.q))
+        with pytest.raises(InvalidSignature):
+            batch_verify(bad, rng=rng)
+
+    def test_mixed_groups_rejected(self, test_group, rng):
+        from repro.crypto.groups import named_group
+
+        other = named_group("modp-1536")
+        items = _signed_batch(test_group, rng, 2)
+        other_key = generate_schnorr_key(other, rng=rng)
+        items.append((other_key.public_key, b"m", other_key.sign(b"m", rng=rng)))
+        with pytest.raises(ParameterError):
+            batch_verify(items, rng=rng)
+
+    def test_batch_uses_fewer_exponentiations_than_individual(self, test_group):
+        """The acceptance criterion: 64 signatures, counted via instrument."""
+        rng = DeterministicRandomSource("batch-64")
+        items = _signed_batch(test_group, rng, 64)
+        with instrument.measure() as individual:
+            for public_key, message, signature in items:
+                public_key.verify(message, signature)
+        with instrument.measure() as batched:
+            batch_verify(items, rng=rng)
+        assert batched.get("modexp") < individual.get("modexp")
+        # The aggregate equation needs ~3 chains: g^Σ, Π y^zc, Π R^z.
+        assert batched.get("modexp") <= 4
+        assert individual.get("modexp") >= 64
+        assert batched.get("schnorr.batch_verify") == 1
+        assert batched.get("schnorr.batch_verify.signatures") == 64
+
+
+class TestBlindRsaBatch:
+    @pytest.fixture()
+    def signed_coins(self, rsa512, rng):
+        client = BlindingClient(rsa512.public_key, rng=rng)
+        signer = BlindSigner(rsa512)
+        items = []
+        for index in range(6):
+            message = f"coin-{index}".encode()
+            blinded, state = client.blind(message)
+            signature = client.unblind(signer.sign_blinded(blinded), state)
+            items.append((message, signature))
+        return items
+
+    def test_valid_batch_accepted(self, rsa512, signed_coins):
+        with instrument.measure() as ops:
+            batch_verify_blind_signatures(signed_coins, rsa512.public_key)
+        assert ops.get("rsa.public_op") == 1
+        assert ops.get("rsa.batch_verify") == 1
+
+    def test_forged_member_rejected(self, rsa512, signed_coins):
+        message, signature = signed_coins[3]
+        forged = bytes([signature[0] ^ 1]) + signature[1:]
+        signed_coins[3] = (message, forged)
+        with pytest.raises(InvalidSignature):
+            batch_verify_blind_signatures(signed_coins, rsa512.public_key)
+
+    def test_duplicate_messages_fall_back_to_individual(self, rsa512, signed_coins):
+        duplicated = signed_coins + [signed_coins[0]]
+        with instrument.measure() as ops:
+            batch_verify_blind_signatures(duplicated, rsa512.public_key)
+        # Screening needs distinct messages; the duplicate path verifies
+        # one by one (no aggregate counter, one public op per item).
+        assert ops.get("rsa.batch_verify") == 0
+        assert ops.get("rsa.public_op") == len(duplicated)
+
+    def test_empty_batch(self, rsa512):
+        batch_verify_blind_signatures([], rsa512.public_key)
+
+
+class TestCrtPrivateOp:
+    def test_private_op_matches_plain_pow(self, rsa512):
+        value = 0xDEADBEEF % rsa512.n
+        assert rsa512.private_op(value) == pow(value, rsa512.d, rsa512.n)

@@ -173,7 +173,7 @@ class TestPaymentAbuse:
         alice = d.add_user("alice", balance=100)
         thief = d.add_user("thief", balance=0)
         coins = alice.coins_for(3, d.bank)
-        thief_cert = thief.certificate_for_transaction(d.issuer)
+        thief.certificate_for_transaction(d.issuer)
         nonce = thief.rng.random_bytes(16)
         at = d.clock.now()
         # Thief cannot produce a signature binding Alice's coins under
@@ -212,8 +212,8 @@ class TestComplianceBoundary:
         from repro.core.actors.device import CompliantDevice
 
         d = fresh_deployment("expired")
-        alice = d.add_user("alice", balance=100)
-        license_ = d.buy("alice", "song-1")
+        d.add_user("alice", balance=100)
+        d.buy("alice", "song-1")
         now = d.clock.now()
         stale_cert = d.authority.certify_device(
             "dead00", model="old", capabilities=("play",),

@@ -26,7 +26,7 @@ class TestLifecycle:
         payload = alice.play("song-1", device, provider=d.provider)
         assert payload == b"SONG-ONE-PAYLOAD" * 64
 
-        new_license = transfer_license(
+        transfer_license(
             alice, bob, d.provider, d.issuer, license_.license_id
         )
         device.sync_revocations(d.provider)

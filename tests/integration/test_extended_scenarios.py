@@ -47,12 +47,13 @@ class TestMultiProviderMarket:
             license_key_bits=512,
             name="second-store-2",
         )
-        alice = d.add_user("alice", balance=100)
+        d.add_user("alice", balance=100)
         license_ = d.buy("alice", "song-1")
         with pytest.raises(InvalidSignature):
             license_.verify(second.license_key)
 
 
+@pytest.mark.slow
 class TestProductionGroup:
     def test_full_flow_on_modp1536(self):
         """One end-to-end purchase+transfer on the production-size
@@ -62,7 +63,7 @@ class TestProductionGroup:
 
         d = build_deployment(seed="modp-e2e", rsa_bits=512, group_name="modp-1536")
         d.provider.publish("song-1", b"BIGGROUP" * 32, title="S", price=1)
-        alice = d.add_user("alice", balance=10)
+        d.add_user("alice", balance=10)
         bob = d.add_user("bob", balance=10)
         license_ = d.buy("alice", "song-1")
         d.transfer("alice", "bob", license_.license_id)

@@ -134,7 +134,7 @@ class TestEnforcementDespiteAnonymity:
         from repro.errors import ProtocolError
 
         d = fresh_deployment("priv9")
-        alice = d.add_user("alice", balance=100)
+        d.add_user("alice", balance=100)
         freeloader = d.add_user("freeloader", balance=100)
         device = d.add_device()
         d.buy("alice", "song-1")

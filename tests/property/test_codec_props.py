@@ -1,8 +1,13 @@
 """Property-based tests for the canonical codec (hypothesis)."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import codec
+
+# Heavy hypothesis sweeps: the fast CI lane deselects these with
+# ``-m "not slow"``; the full lane runs them.
+pytestmark = pytest.mark.slow
 
 # Codec value space: recursive None/bool/int/bytes/str/list/dict.
 _scalars = (

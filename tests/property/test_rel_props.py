@@ -1,5 +1,6 @@
 """Property-based tests for the rights expression language."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rel.evaluator import EvaluationContext, RightsEvaluator
@@ -14,6 +15,10 @@ from repro.rel.model import (
 )
 from repro.rel.parser import parse_rights
 from repro.rel.serializer import rights_from_bytes, rights_to_bytes, rights_to_text
+
+# Heavy hypothesis sweeps: the fast CI lane deselects these with
+# ``-m "not slow"``; the full lane runs them.
+pytestmark = pytest.mark.slow
 
 _device_ids = st.text(alphabet="0123456789abcdef", min_size=2, max_size=8)
 _regions = st.text(alphabet="abcdefghij", min_size=2, max_size=4)
