@@ -9,17 +9,28 @@ Expected shape: P2DRM throughput is lower by a small constant factor
 certificate + escrow verification adds modexps at the provider), not
 by an order of magnitude — the paper's feasibility claim.
 
-Two extra rows quantify the fast-exponentiation kernel on this hot
-path: ``p2drm-no-tables`` re-runs the purchase loop with the fixed-base
-tables disabled (the pre-kernel cost), and ``p2drm-batch`` sells the
-whole batch through :meth:`ContentProvider.sell_batch` (aggregated
-Schnorr verification + batched coin deposits).
+Extra rows quantify the fast-exponentiation kernel on this hot path:
+``p2drm-no-tables`` re-runs the purchase loop with the fixed-base
+tables disabled (the pre-kernel cost), ``p2drm-no-tables-wnaf`` does
+the same with the windowed-NAF cold path selected (comb vs wNAF vs
+naive, measured honestly), and ``p2drm-batch`` sells the whole batch
+through :meth:`ContentProvider.sell_batch` (aggregated Schnorr
+verification + batched coin deposits).
+
+The redemption rows measure the other half of every transfer session:
+``p2drm-redeem`` personalizes bearer licences one at a time,
+``p2drm-redeem-batch`` pushes the same queue through
+:meth:`ContentProvider.redeem_batch` (PKCS#1 screening + certificate
+screening + aggregated escrow bindings + Schnorr batch verification +
+one revocation-list pass); the ``redeem-speedup`` row reports the
+provider-side ratio.
 """
 
 from __future__ import annotations
 
 import itertools
 
+from repro import instrument
 from repro.baseline.identity_drm import (
     BaselineProvider,
     BaselineUser,
@@ -27,11 +38,24 @@ from repro.baseline.identity_drm import (
 )
 from repro.core.identity import SmartCard
 from repro.core.protocols import purchase_content
-from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.protocols.acquisition import accept_license, build_purchase_request
+from repro.core.protocols.transfer import (
+    build_redeem_request,
+    exchange_for_anonymous,
+)
 from repro.crypto import fastexp
 
 _counter = itertools.count()
 BATCH = 10
+#: Queue length for the redemption rows.  The aggregated checks keep
+#: amortizing as the queue grows (the per-item share of each folded
+#: equation shrinks), so the redemption desk is measured at a burst
+#: size a loaded provider would actually coalesce.
+REDEEM_BATCH = 64
+
+#: Mean per-item redemption times, filled by the single/batch redemption
+#: tests so the speedup row can report the ratio.
+_REDEEM_SECONDS: dict[str, float] = {}
 
 
 class TestThroughput:
@@ -61,6 +85,22 @@ class TestThroughput:
         per_second = BATCH / benchmark.stats["mean"]
         experiment.row(mode="p2drm-no-tables", purchases_per_s=per_second)
 
+    def test_p2drm_purchases_no_tables_wnaf(
+        self, benchmark, bench_deployment, experiment
+    ):
+        """Cold path again, but with signed-digit wNAF exponentiation."""
+        d = bench_deployment
+        user = d.add_user(f"e3-user-{next(_counter)}", balance=1_000_000)
+
+        def batch():
+            with fastexp.tables_disabled(), fastexp.exp_mode_set(fastexp.MODE_WNAF):
+                for _ in range(BATCH):
+                    purchase_content(user, d.provider, d.issuer, d.bank, "bench-song")
+
+        benchmark.pedantic(batch, rounds=3, iterations=1)
+        per_second = BATCH / benchmark.stats["mean"]
+        experiment.row(mode="p2drm-no-tables-wnaf", purchases_per_s=per_second)
+
     def test_p2drm_batch_sales(self, benchmark, bench_deployment, experiment):
         """Queue the whole batch and validate it with sell_batch."""
         d = bench_deployment
@@ -81,6 +121,163 @@ class TestThroughput:
         benchmark.pedantic(sell, setup=build, rounds=3, iterations=1)
         per_second = BATCH / benchmark.stats["mean"]
         experiment.row(mode="p2drm-batch (provider only)", purchases_per_s=per_second)
+
+    def _redeem_queue(self, deployment):
+        """A fresh queue of REDEEM_BATCH redeem requests (user-side work done)."""
+        d = deployment
+        sender = d.add_user(f"e3-sender-{next(_counter)}", balance=1_000_000)
+        receiver = d.add_user(f"e3-receiver-{next(_counter)}", balance=1_000_000)
+        purchase_requests = [
+            build_purchase_request(sender, d.provider, d.issuer, d.bank, "bench-song")
+            for _ in range(REDEEM_BATCH)
+        ]
+        requests = []
+        for purchase, license_ in zip(
+            purchase_requests, d.provider.sell_batch(purchase_requests)
+        ):
+            assert not isinstance(license_, Exception), license_
+            accept_license(sender, d.provider, purchase, license_)
+            anonymous = exchange_for_anonymous(
+                sender, d.provider, license_.license_id
+            )
+            requests.append(
+                build_redeem_request(receiver, d.provider, d.issuer, anonymous)
+            )
+        return requests
+
+    def test_p2drm_single_redemptions(self, benchmark, bench_deployment, experiment):
+        """Provider-side redemption, one request at a time."""
+        d = bench_deployment
+
+        def build():
+            return (self._redeem_queue(d),), {}
+
+        def redeem(requests):
+            for request in requests:
+                d.provider.redeem(request)
+
+        benchmark.pedantic(redeem, setup=build, rounds=3, iterations=1)
+        _REDEEM_SECONDS["single"] = benchmark.stats["mean"] / REDEEM_BATCH
+        per_second = REDEEM_BATCH / benchmark.stats["mean"]
+        count_queue = self._redeem_queue(d)
+        with instrument.measure() as ops:
+            redeem(count_queue)
+        experiment.row(
+            mode="p2drm-redeem (provider only)",
+            redemptions_per_s=per_second,
+            modexp=ops.get("modexp"),
+        )
+
+    def test_p2drm_batch_redemptions(self, benchmark, bench_deployment, experiment):
+        """The same queue through the batched redemption desk."""
+        d = bench_deployment
+
+        def build():
+            return (self._redeem_queue(d),), {}
+
+        def redeem(requests):
+            results = d.provider.redeem_batch(requests)
+            bad = [r for r in results if isinstance(r, Exception)]
+            assert not bad, bad
+
+        benchmark.pedantic(redeem, setup=build, rounds=3, iterations=1)
+        _REDEEM_SECONDS["batch"] = benchmark.stats["mean"] / REDEEM_BATCH
+        per_second = REDEEM_BATCH / benchmark.stats["mean"]
+        count_queue = self._redeem_queue(d)
+        with instrument.measure() as ops:
+            redeem(count_queue)
+        experiment.row(
+            mode="p2drm-redeem-batch (provider only)",
+            redemptions_per_s=per_second,
+            modexp=ops.get("modexp"),
+        )
+        if "single" in _REDEEM_SECONDS:
+            experiment.row(
+                mode="redeem-speedup (batch vs single)",
+                redemptions_per_s=None,
+                speedup=_REDEEM_SECONDS["single"] / _REDEEM_SECONDS["batch"],
+            )
+
+    def _spent_queue(self, deployment):
+        """Requests for bearer licences that are already redeemed.
+
+        Every request carries valid signatures, a valid certificate and
+        a fresh nonce, so the full screening pipeline runs — but the
+        spent store rejects each token before any licence is minted.
+        This isolates the verification desk (what batching actually
+        amortizes) from per-licence issuance, and it is the throughput
+        that matters under a replayed-bearer-token flood — the abuse
+        case the spent store exists to absorb.
+        """
+        d = deployment
+        requests = self._redeem_queue(d)
+        for result in d.provider.redeem_batch(requests):
+            assert not isinstance(result, Exception), result
+        receiver = d.add_user(f"e3-receiver-{next(_counter)}", balance=1_000_000)
+        return [
+            build_redeem_request(
+                receiver, d.provider, d.issuer, request.anonymous_license
+            )
+            for request in requests
+        ]
+
+    def test_p2drm_single_redemption_screening(
+        self, benchmark, bench_deployment, experiment
+    ):
+        """Screening a spent queue one request at a time."""
+        from repro.errors import DoubleRedemptionError
+
+        d = bench_deployment
+
+        def build():
+            return (self._spent_queue(d),), {}
+
+        def screen(requests):
+            for request in requests:
+                try:
+                    d.provider.redeem(request)
+                except DoubleRedemptionError:
+                    continue
+                raise AssertionError("spent token was redeemed")
+
+        benchmark.pedantic(screen, setup=build, rounds=3, iterations=1)
+        _REDEEM_SECONDS["screen-single"] = benchmark.stats["mean"] / REDEEM_BATCH
+        per_second = REDEEM_BATCH / benchmark.stats["mean"]
+        experiment.row(
+            mode="p2drm-redeem-screen (provider only)", redemptions_per_s=per_second
+        )
+
+    def test_p2drm_batch_redemption_screening(
+        self, benchmark, bench_deployment, experiment
+    ):
+        """The same spent queue through the batched desk."""
+        from repro.errors import DoubleRedemptionError
+
+        d = bench_deployment
+
+        def build():
+            return (self._spent_queue(d),), {}
+
+        def screen(requests):
+            results = d.provider.redeem_batch(requests)
+            assert all(isinstance(r, DoubleRedemptionError) for r in results)
+
+        benchmark.pedantic(screen, setup=build, rounds=3, iterations=1)
+        _REDEEM_SECONDS["screen-batch"] = benchmark.stats["mean"] / REDEEM_BATCH
+        per_second = REDEEM_BATCH / benchmark.stats["mean"]
+        experiment.row(
+            mode="p2drm-redeem-batch-screen (provider only)",
+            redemptions_per_s=per_second,
+        )
+        if "screen-single" in _REDEEM_SECONDS:
+            experiment.row(
+                mode="redeem-screen-speedup (batch vs single)",
+                redemptions_per_s=None,
+                speedup=(
+                    _REDEEM_SECONDS["screen-single"]
+                    / _REDEEM_SECONDS["screen-batch"]
+                ),
+            )
 
     def test_baseline_purchases(self, benchmark, bench_deployment, experiment):
         d = bench_deployment

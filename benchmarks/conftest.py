@@ -6,11 +6,17 @@ run (so ``pytest benchmarks/ --benchmark-only`` shows the paper-style
 rows alongside pytest-benchmark's timing table).  Deployments are
 cached per RSA key size — 2048-bit pure-Python keygen is expensive and
 only needs to happen once per run.
+
+Setting ``P2DRM_BENCH_JSON=<path>`` additionally dumps every table to
+that file as JSON — the artifact the ``bench-regression`` CI lane
+compares against its committed baseline (see ``check_regression.py``)
+and the nightly workflow uploads.
 """
 
 from __future__ import annotations
 
 import functools
+import json
 import os
 
 import pytest
@@ -42,7 +48,36 @@ def experiment(request):
     return ExperimentRecorder(module)
 
 
+def _dump_json_tables(path: str) -> None:
+    """Write the experiment tables (plus run metadata) as JSON."""
+    payload = {
+        "meta": {"smoke": BENCH_SMOKE},
+        "experiments": {
+            experiment_id: [
+                {key: _jsonable(value) for key, value in row.items()}
+                for row in rows
+            ]
+            for experiment_id, rows in sorted(_RESULT_TABLES.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _jsonable(value):
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    json_path = os.environ.get("P2DRM_BENCH_JSON", "")
+    if json_path and _RESULT_TABLES:
+        _dump_json_tables(json_path)
+        terminalreporter.write_line(f"experiment tables written to {json_path}")
     if not _RESULT_TABLES:
         return
     terminalreporter.write_sep("=", "experiment result tables")

@@ -95,8 +95,12 @@ class ContentProvider:
         self._spent_tokens = SpentTokenStore(database, "anon-license")
         self._request_nonces = SpentTokenStore(database, "request-nonce")
         self._audit = AuditLog(database)
+        # Three-prime key (RFC 8017 multi-prime): licence signing is the
+        # one RSA private operation on the sell/redeem hot path that no
+        # batch check amortizes, and the narrower CRT primes make it
+        # ~2x cheaper at the same modulus size.
         self._license_key = generate_rsa_key(
-            license_key_bits, rng=rng.fork("provider-license-key")
+            license_key_bits, rng=rng.fork("provider-license-key"), prime_count=3
         )
         self._bank_account = bank_account or f"{name}-account"
         if bank is not None:
@@ -387,11 +391,209 @@ class ContentProvider:
         :class:`~repro.errors.DoubleRedemptionError` whose ``evidence``
         attribute carries both transcripts for the TTP.
         """
+        self._preredeem_checks(request)
+        if self._revocations.is_revoked(request.anonymous_license.license_id):
+            raise RevokedLicenseError("anonymous licence is revoked")
+        return self._finalize_redemption(request)
+
+    def redeem_batch(self, requests: list[RedeemRequest]) -> list:
+        """Validate and personalize a queue of bearer licences together.
+
+        The redemption desk under load: every signature family in the
+        queue is screened in one aggregated check instead of one chain
+        per request —
+
+        - the provider's own licence signatures via PKCS#1 screening
+          (:func:`~repro.crypto.rsa.batch_verify_pkcs1`, one RSA public
+          operation);
+        - the issuer-blind-signed pseudonym certificates plus their
+          escrow binding proofs
+          (:func:`~repro.core.certificates.batch_verify_certificates`);
+        - the Schnorr request envelopes
+          (:func:`~repro.crypto.schnorr.batch_verify`);
+        - non-revocation with one revocation-list pass
+          (:meth:`~repro.storage.revocation.RevocationList.revoked_subset`).
+
+        Queue semantics match :meth:`sell_batch`: one bad request must
+        not poison the batch.  Whenever an aggregate check fails, the
+        stage re-verifies its members individually so only the
+        offenders are rejected.  Returns a list aligned with
+        ``requests`` where each entry is either the issued
+        :class:`~repro.core.licenses.PersonalLicense` or the exception
+        that rejected that request (a
+        :class:`~repro.errors.DoubleRedemptionError` entry carries its
+        ``evidence`` for the TTP).
+        """
+        from ...crypto.rsa import batch_verify_pkcs1
+        from ...crypto.schnorr import batch_verify
+        from ..certificates import batch_verify_certificates
+
+        requests = list(requests)
+        results: list = [None] * len(requests)
+        pending: list[int] = []
+        for index, request in enumerate(requests):
+            try:
+                self._preredeem_checks(
+                    request,
+                    check_license_signature=False,
+                    check_certificate=False,
+                    check_nonce=False,
+                    check_signature=False,
+                )
+            except Exception as exc:
+                results[index] = exc
+            else:
+                pending.append(index)
+
+        def _screen(indices: list[int], batch_check, item_check) -> list[int]:
+            """Run the aggregate check; on failure isolate offenders."""
+            if not indices:
+                return indices
+            try:
+                batch_check([requests[index] for index in indices])
+            except Exception:
+                survivors: list[int] = []
+                for index in indices:
+                    try:
+                        item_check(requests[index])
+                    except Exception as exc:
+                        results[index] = exc
+                    else:
+                        survivors.append(index)
+                return survivors
+            return indices
+
+        # Stage 1: the provider's own signatures over the bearer
+        # licences — one screening op for the whole queue.
+        def _check_own_signature(request: RedeemRequest) -> None:
+            try:
+                request.anonymous_license.verify(self.license_key)
+            except Exception as exc:
+                raise AuthenticationError(
+                    f"anonymous licence invalid: {exc}"
+                ) from exc
+
+        pending = _screen(
+            pending,
+            lambda batch: batch_verify_pkcs1(
+                [
+                    (item.anonymous_license.payload(), item.anonymous_license.signature)
+                    for item in batch
+                ],
+                self.license_key,
+            ),
+            _check_own_signature,
+        )
+
+        # Stage 2: one revocation-list pass for the whole queue.
+        revoked = self._revocations.revoked_subset(
+            requests[index].anonymous_license.license_id for index in pending
+        )
+        if revoked:
+            survivors = []
+            for index in pending:
+                if requests[index].anonymous_license.license_id in revoked:
+                    results[index] = RevokedLicenseError(
+                        "anonymous licence is revoked"
+                    )
+                else:
+                    survivors.append(index)
+            pending = survivors
+
+        # Stage 3: blind-signature screening + aggregated escrow
+        # binding proofs for the pseudonym certificates.
+        def _check_certificate(request: RedeemRequest) -> None:
+            try:
+                request.certificate.verify(self._issuer_key)
+            except Exception as exc:
+                raise AuthenticationError(
+                    f"pseudonym certificate invalid: {exc}"
+                ) from exc
+
+        pending = _screen(
+            pending,
+            lambda batch: batch_verify_certificates(
+                [item.certificate for item in batch], self._issuer_key, rng=self._rng
+            ),
+            _check_certificate,
+        )
+
+        # One-shot request nonces, spent only now that the licence and
+        # certificate have checked out — the single-item path orders it
+        # the same way, so a request rejected for a provider-side
+        # reason (stale issuer key, tampered licence) never burns its
+        # nonce and can be resubmitted verbatim.
+        survivors = []
+        for index in pending:
+            request = requests[index]
+            try:
+                self._check_nonce(request.certificate.fingerprint, request.nonce)
+            except Exception as exc:
+                results[index] = exc
+            else:
+                survivors.append(index)
+        pending = survivors
+
+        # Stage 4: the Schnorr request envelopes, folded into one
+        # random linear combination (legacy commitment-less signatures
+        # fall back to scalar verification inside batch_verify).
+        def _check_envelope(request: RedeemRequest) -> None:
+            try:
+                request.certificate.pseudonym.signing_key.verify(
+                    request.signing_payload(), request.signature
+                )
+            except Exception as exc:
+                raise AuthenticationError(
+                    f"request signature invalid: {exc}"
+                ) from exc
+
+        pending = _screen(
+            pending,
+            lambda batch: batch_verify(
+                [
+                    (
+                        item.certificate.pseudonym.signing_key,
+                        item.signing_payload(),
+                        item.signature,
+                    )
+                    for item in batch
+                ],
+                rng=self._rng,
+            ),
+            _check_envelope,
+        )
+
+        # Stage 5: spend each token and issue the personalized licences
+        # (per-item: the spent store is the atomic exactly-once gate and
+        # every licence wraps the key to a different pseudonym).
+        for index in pending:
+            try:
+                results[index] = self._finalize_redemption(requests[index])
+            except Exception as exc:
+                results[index] = exc
+        return results
+
+    def _preredeem_checks(
+        self,
+        request: RedeemRequest,
+        *,
+        check_license_signature: bool = True,
+        check_certificate: bool = True,
+        check_nonce: bool = True,
+        check_signature: bool = True,
+    ) -> None:
+        """Everything `redeem` validates before any state changes.
+
+        The ``check_*`` flags let :meth:`redeem_batch` skip the three
+        signature families it verifies in aggregate, and defer the
+        nonce spend until after those aggregates pass.
+        """
         anonymous = request.anonymous_license
-        try:
-            anonymous.verify(self.license_key)
-        except Exception as exc:
-            raise AuthenticationError(f"anonymous licence invalid: {exc}") from exc
+        if check_license_signature:
+            try:
+                anonymous.verify(self.license_key)
+            except Exception as exc:
+                raise AuthenticationError(f"anonymous licence invalid: {exc}") from exc
         record = self._licenses.get(anonymous.license_id)
         if record is None or record.kind != license_store.KIND_ANONYMOUS:
             raise ProtocolError("anonymous licence not on register")
@@ -401,7 +603,14 @@ class ContentProvider:
             payload=request.signing_payload(),
             nonce=request.nonce,
             at=request.at,
+            check_certificate=check_certificate,
+            check_nonce=check_nonce,
+            check_signature=check_signature,
         )
+
+    def _finalize_redemption(self, request: RedeemRequest) -> PersonalLicense:
+        """Spend the token and issue the licence (after validation)."""
+        anonymous = request.anonymous_license
         now = self._clock.now()
         transcript = redemption_transcript(
             request.certificate, request.signature, request.nonce, request.at
@@ -516,14 +725,24 @@ class ContentProvider:
         payload: bytes,
         nonce: bytes,
         at: int,
+        check_certificate: bool = True,
+        check_nonce: bool = True,
         check_signature: bool = True,
     ) -> None:
-        try:
-            certificate.verify(self._issuer_key)
-        except Exception as exc:
-            raise AuthenticationError(f"pseudonym certificate invalid: {exc}") from exc
+        if check_certificate:
+            # The batch path screens the whole queue's certificates in
+            # one aggregated check instead.
+            try:
+                certificate.verify(self._issuer_key)
+            except Exception as exc:
+                raise AuthenticationError(
+                    f"pseudonym certificate invalid: {exc}"
+                ) from exc
         self._check_freshness(at)
-        self._check_nonce(certificate.fingerprint, nonce)
+        if check_nonce:
+            # The batch path spends nonces after its aggregate licence
+            # and certificate checks pass, matching this ordering.
+            self._check_nonce(certificate.fingerprint, nonce)
         if not check_signature:
             # Caller verifies the Schnorr signature itself (the batch
             # path folds a whole queue into one aggregated check).

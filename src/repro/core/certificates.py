@@ -216,17 +216,25 @@ class PseudonymCertificate:
     escrow: IdentityEscrow
     signature: bytes     # issuer FDH blind signature over the payload
 
+    def signed_payload(self) -> bytes:
+        """The blind-signed bytes, memoized — every verifier (and every
+        batch screening stage) needs them, and canonical encoding of a
+        certificate-sized structure is not free."""
+        from ..memo import cached_bytes
+
+        return cached_bytes(
+            self,
+            "_signed_payload",
+            lambda: pseudonym_certificate_payload(self.pseudonym, self.escrow),
+        )
+
     def verify(self, issuer_key: RsaPublicKey) -> None:
         """Full check: issuer signature plus escrow binding.
 
         Raises :class:`~repro.errors.InvalidSignature` or
         :class:`~repro.errors.EscrowError`.
         """
-        verify_blind_signature(
-            pseudonym_certificate_payload(self.pseudonym, self.escrow),
-            self.signature,
-            issuer_key,
-        )
+        verify_blind_signature(self.signed_payload(), self.signature, issuer_key)
         self.escrow.verify_binding(self.pseudonym.fingerprint)
 
     @property
@@ -251,3 +259,44 @@ class PseudonymCertificate:
     def wire_size(self) -> int:
         """Encoded size in bytes (experiment E6)."""
         return len(codec.encode(self.as_dict()))
+
+
+def batch_verify_certificates(
+    certificates: list[PseudonymCertificate],
+    issuer_key: RsaPublicKey,
+    *,
+    rng=None,
+) -> None:
+    """Verify a queue of pseudonym certificates together.
+
+    Accepts exactly the set that per-certificate
+    :meth:`PseudonymCertificate.verify` accepts, but amortized two
+    ways: the issuer blind signatures are screened with one RSA public
+    operation (Bellare–Garay–Rabin, duplicates fall back individually)
+    and the escrow binding proofs are folded into one small-exponent
+    aggregated check
+    (:func:`~repro.crypto.schnorr.batch_verify_knowledge`).  Raises on
+    any invalid member; callers that need to *isolate* the offender
+    re-verify individually on failure.
+    """
+    from ..crypto.blind_rsa import batch_verify_blind_signatures
+    from ..crypto.schnorr import batch_verify_knowledge
+    from ..errors import EscrowError
+
+    certificates = list(certificates)
+    if not certificates:
+        return
+    batch_verify_blind_signatures(
+        [(cert.signed_payload(), cert.signature) for cert in certificates],
+        issuer_key,
+    )
+    try:
+        batch_verify_knowledge(
+            [
+                cert.escrow.binding_statement(cert.pseudonym.fingerprint)
+                for cert in certificates
+            ],
+            rng=rng,
+        )
+    except Exception as exc:
+        raise EscrowError(f"escrow binding proof invalid: {exc}") from exc

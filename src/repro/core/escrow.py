@@ -65,20 +65,30 @@ class IdentityEscrow:
             binding_proof=DlogProof.from_dict(data["proof"]),
         )
 
+    def binding_statement(
+        self, binding: bytes
+    ) -> tuple[PrimeGroup, int, int, DlogProof, bytes]:
+        """The ``(group, base, public, proof, context)`` tuple whose
+        proof-of-knowledge check *is* the binding check — the shape
+        :func:`~repro.crypto.schnorr.batch_verify_knowledge` folds a
+        whole queue of into one aggregated equation."""
+        return (
+            self.group,
+            self.group.g,
+            self.ciphertext.c1,
+            self.binding_proof,
+            b"escrow-binding:" + binding,
+        )
+
     def verify_binding(self, binding: bytes) -> None:
         """Check the escrow was created for context ``binding``.
 
         Raises :class:`~repro.errors.EscrowError` if the proof fails —
         e.g. the escrow was copied from another certificate.
         """
+        group, base, public, proof, context = self.binding_statement(binding)
         try:
-            verify_knowledge(
-                self.group,
-                self.group.g,
-                self.ciphertext.c1,
-                self.binding_proof,
-                context=b"escrow-binding:" + binding,
-            )
+            verify_knowledge(group, base, public, proof, context=context)
         except Exception as exc:
             raise EscrowError(f"escrow binding proof invalid: {exc}") from exc
 

@@ -21,6 +21,7 @@ property is enforced by this module's API surface.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey
 from ..crypto.groups import PrimeGroup
@@ -44,15 +45,24 @@ class Pseudonym:
     group: PrimeGroup
     y: int
 
-    @property
+    # The derived key views and the fingerprint are pure functions of
+    # (group, y) but not free: each key construction re-checks subgroup
+    # membership (a Jacobi symbol) and the fingerprint hashes the
+    # element.  Request validation touches them several times per
+    # message — and the batch desks dozens of times per queue — so they
+    # are cached properties (which write the instance ``__dict__``
+    # directly, working on a frozen dataclass and staying invisible to
+    # equality/replace).
+
+    @cached_property
     def signing_key(self) -> SchnorrPublicKey:
         return SchnorrPublicKey(group=self.group, y=self.y)
 
-    @property
+    @cached_property
     def kem_key(self) -> ElGamalPublicKey:
         return ElGamalPublicKey(group=self.group, y=self.y)
 
-    @property
+    @cached_property
     def fingerprint(self) -> bytes:
         return self.signing_key.fingerprint()
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from .. import codec
 from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from ..memo import cached_bytes
 from ..errors import InvalidSignature
 from ..rel.model import Rights
 from .identity import Pseudonym
@@ -62,16 +63,23 @@ class PersonalLicense:
         return kem_context(self.license_id, self.content_id)
 
     def payload(self) -> bytes:
-        return codec.encode(
-            {
-                "what": "personal-license",
-                "id": self.license_id,
-                "content": self.content_id,
-                "rights": self.rights.as_dict(),
-                "pseudonym": self.pseudonym.as_dict(),
-                "key": self.wrapped_key,
-                "at": self.issued_at,
-            }
+        # Memoized: every verifying party re-derives it otherwise.  The
+        # signature field is not part of the payload, so the cache is
+        # safe across sign-then-carry flows.
+        return cached_bytes(
+            self,
+            "_payload",
+            lambda: codec.encode(
+                {
+                    "what": "personal-license",
+                    "id": self.license_id,
+                    "content": self.content_id,
+                    "rights": self.rights.as_dict(),
+                    "pseudonym": self.pseudonym.as_dict(),
+                    "key": self.wrapped_key,
+                    "at": self.issued_at,
+                }
+            ),
         )
 
     def verify(self, provider_key: RsaPublicKey) -> None:
@@ -126,14 +134,18 @@ class AnonymousLicense:
         _require_license_id(self.license_id)
 
     def payload(self) -> bytes:
-        return codec.encode(
-            {
-                "what": "anonymous-license",
-                "id": self.license_id,
-                "content": self.content_id,
-                "rights": self.rights.as_dict(),
-                "at": self.issued_at,
-            }
+        return cached_bytes(
+            self,
+            "_payload",
+            lambda: codec.encode(
+                {
+                    "what": "anonymous-license",
+                    "id": self.license_id,
+                    "content": self.content_id,
+                    "rights": self.rights.as_dict(),
+                    "at": self.issued_at,
+                }
+            ),
         )
 
     def verify(self, provider_key: RsaPublicKey) -> None:
@@ -188,15 +200,20 @@ def sign_personal_license(
         issued_at=issued_at,
         signature=b"",
     )
-    return PersonalLicense(
+    payload = unsigned.payload()
+    signed = PersonalLicense(
         license_id=license_id,
         content_id=content_id,
         rights=rights,
         pseudonym=pseudonym,
         wrapped_key=wrapped_key,
         issued_at=issued_at,
-        signature=provider_key.sign_pkcs1(unsigned.payload()),
+        signature=provider_key.sign_pkcs1(payload),
     )
+    # The payload excludes the signature, so the signed instance can
+    # inherit the cache instead of re-encoding at first verification.
+    object.__setattr__(signed, "_payload", payload)
+    return signed
 
 
 def sign_anonymous_license(
@@ -215,10 +232,13 @@ def sign_anonymous_license(
         issued_at=issued_at,
         signature=b"",
     )
-    return AnonymousLicense(
+    payload = unsigned.payload()
+    signed = AnonymousLicense(
         license_id=license_id,
         content_id=content_id,
         rights=rights,
         issued_at=issued_at,
-        signature=provider_key.sign_pkcs1(unsigned.payload()),
+        signature=provider_key.sign_pkcs1(payload),
     )
+    object.__setattr__(signed, "_payload", payload)
+    return signed

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from .. import codec
 from ..crypto.schnorr import SchnorrSignature
+from ..memo import cached_bytes
 from .certificates import PseudonymCertificate
 from .licenses import AnonymousLicense
 
@@ -95,12 +96,17 @@ class PurchaseRequest:
     signature: SchnorrSignature
 
     def signing_payload(self) -> bytes:
-        return purchase_signing_payload(
-            self.content_id,
-            self.certificate.fingerprint,
-            [coin.serial for coin in self.coins],
-            self.nonce,
-            self.at,
+        # Memoized: the batch desks re-derive it per screening stage.
+        return cached_bytes(
+            self,
+            "_signing_payload",
+            lambda: purchase_signing_payload(
+                self.content_id,
+                self.certificate.fingerprint,
+                [coin.serial for coin in self.coins],
+                self.nonce,
+                self.at,
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -237,11 +243,16 @@ class RedeemRequest:
     signature: SchnorrSignature
 
     def signing_payload(self) -> bytes:
-        return redeem_signing_payload(
-            self.anonymous_license.license_id,
-            self.certificate.fingerprint,
-            self.nonce,
-            self.at,
+        # Memoized: the batch desks re-derive it per screening stage.
+        return cached_bytes(
+            self,
+            "_signing_payload",
+            lambda: redeem_signing_payload(
+                self.anonymous_license.license_id,
+                self.certificate.fingerprint,
+                self.nonce,
+                self.at,
+            ),
         )
 
     def as_dict(self) -> dict:
@@ -274,11 +285,19 @@ def redemption_transcript(
     at: int,
 ) -> bytes:
     """What the spent store remembers about a redemption — enough to
-    re-verify the signature later as misuse evidence."""
+    re-verify the signature later as misuse evidence.
+
+    The certificate is embedded as its already-canonical signed payload
+    plus the issuer signature, rather than re-encoded field by field —
+    the payload bytes are memoized on the certificate, so building a
+    transcript costs one flat encode instead of re-serializing the
+    whole credential on every redemption.
+    """
     return codec.encode(
         {
             "what": "redemption-transcript",
-            "cert": certificate.as_dict(),
+            "cert_payload": certificate.signed_payload(),
+            "cert_sig": certificate.signature,
             "sig": signature.as_dict(),
             "nonce": nonce,
             "at": at,
@@ -287,9 +306,24 @@ def redemption_transcript(
 
 
 def parse_redemption_transcript(data: bytes) -> dict:
+    from ..errors import CodecError
+    from .escrow import IdentityEscrow
+    from .identity import Pseudonym
+
     decoded = codec.decode(data)
+    payload = codec.decode(decoded["cert_payload"])
+    if payload.get("what") != "pseudonym-cert":
+        raise CodecError("transcript does not embed a pseudonym certificate")
+    certificate = PseudonymCertificate(
+        pseudonym=Pseudonym.from_dict(payload["pseudonym"]),
+        escrow=IdentityEscrow.from_dict(payload["escrow"]),
+        signature=bytes(decoded["cert_sig"]),
+    )
+    # The embedded bytes are the certificate's canonical payload; seed
+    # the memo so re-verification does not re-encode it.
+    object.__setattr__(certificate, "_signed_payload", bytes(decoded["cert_payload"]))
     return {
-        "cert": PseudonymCertificate.from_dict(decoded["cert"]),
+        "cert": certificate,
         "sig": SchnorrSignature.from_dict(decoded["sig"]),
         "nonce": bytes(decoded["nonce"]),
         "at": int(decoded["at"]),

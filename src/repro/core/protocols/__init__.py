@@ -23,7 +23,13 @@ from .registration import enrol_user, certify_pseudonym
 from .payment import withdraw_coins
 from .acquisition import accept_license, build_purchase_request, purchase_content
 from .access import render_content
-from .transfer import exchange_for_anonymous, redeem_anonymous, transfer_license
+from .transfer import (
+    accept_redeemed_license,
+    build_redeem_request,
+    exchange_for_anonymous,
+    redeem_anonymous,
+    transfer_license,
+)
 from .revocation import report_misuse
 
 __all__ = [
@@ -35,6 +41,8 @@ __all__ = [
     "build_purchase_request",
     "purchase_content",
     "render_content",
+    "accept_redeemed_license",
+    "build_redeem_request",
     "exchange_for_anonymous",
     "redeem_anonymous",
     "transfer_license",

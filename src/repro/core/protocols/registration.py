@@ -57,6 +57,9 @@ def certify_pseudonym(user, issuer, *, transcript: Transcript | None = None) -> 
     certificate = PseudonymCertificate(
         pseudonym=pseudonym, escrow=escrow, signature=signature
     )
+    # The payload was already canonically encoded for blinding; seed the
+    # certificate's memo so verifiers do not re-encode it.
+    object.__setattr__(certificate, "_signed_payload", payload)
     certificate.verify(issuer.certificate_key)
     user.add_certificate(certificate)
     return certificate

@@ -78,6 +78,42 @@ def exchange_for_anonymous(
     return anonymous
 
 
+def build_redeem_request(
+    user, provider, issuer, anonymous: AnonymousLicense
+) -> RedeemRequest:
+    """The user-side half of a redemption: certify, sign.
+
+    Split out from :func:`redeem_anonymous` so a queue of requests can
+    be prepared first and submitted together through
+    :meth:`~repro.core.actors.provider.ContentProvider.redeem_batch`.
+    """
+    card = user.require_card()
+    certificate = user.certificate_for_transaction(issuer)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = redeem_signing_payload(
+        anonymous.license_id, certificate.fingerprint, nonce, at
+    )
+    signature = card.sign(certificate.pseudonym, payload)
+    return RedeemRequest(
+        anonymous_license=anonymous,
+        certificate=certificate,
+        nonce=nonce,
+        at=at,
+        signature=signature,
+    )
+
+
+def accept_redeemed_license(user, provider, request: RedeemRequest, license_) -> None:
+    """The user-side close of a redemption: verify and store the licence."""
+    license_.verify(provider.license_key)
+    if license_.holder_fingerprint != request.certificate.fingerprint:
+        from ...errors import ProtocolError
+
+        raise ProtocolError("provider issued licence to a different pseudonym")
+    user.add_license(license_)
+
+
 def redeem_anonymous(
     user,
     provider,
@@ -89,28 +125,13 @@ def redeem_anonymous(
     """Second half: personalize a received bearer licence."""
     if transcript is not None:
         transcript.protocol = transcript.protocol or "redemption"
-    card = user.require_card()
-    certificate = user.certificate_for_transaction(issuer)
-    nonce = user.rng.random_bytes(NONCE_SIZE)
-    at = user.clock.now()
-    payload = redeem_signing_payload(
-        anonymous.license_id, certificate.fingerprint, nonce, at
-    )
-    signature = card.sign(certificate.pseudonym, payload)
-    request = RedeemRequest(
-        anonymous_license=anonymous,
-        certificate=certificate,
-        nonce=nonce,
-        at=at,
-        signature=signature,
-    )
+    request = build_redeem_request(user, provider, issuer, anonymous)
     if transcript is not None:
         transcript.add("redeem-request", "user", "provider", request.as_dict())
 
     license_ = provider.redeem(request)
 
-    license_.verify(provider.license_key)
-    user.add_license(license_)
+    accept_redeemed_license(user, provider, request, license_)
     if transcript is not None:
         transcript.add("license", "provider", "user", license_.as_dict())
     return license_

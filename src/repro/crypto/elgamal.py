@@ -32,6 +32,16 @@ from .rand import RandomSource, default_source
 
 _KEM_TAG_SIZE = 32
 
+#: Bit length of the KEM's ephemeral exponent.  Short Diffie–Hellman
+#: exponents are standard practice (NIST SP 800-56A sizes the private
+#: exponent to twice the targeted security strength, not to the group
+#: order): generic discrete-log attacks on a 256-bit exponent cost
+#: ~2^128, beyond what any of the built-in groups offer against index
+#: calculus anyway.  This halves both exponentiations on the licence-
+#: issuance hot path.  Only the one-shot KEM ephemeral uses it — Schnorr
+#: signing nonces must stay full-width (nonce bias leaks the key).
+KEM_EPHEMERAL_BITS = 256
+
 
 @dataclass(frozen=True)
 class ElGamalCiphertext:
@@ -124,7 +134,7 @@ class ElGamalPublicKey:
         """
         rng = rng or default_source()
         group = self.group
-        k = group.random_exponent(rng)
+        k = _kem_ephemeral(group, rng)
         c1 = group.power(group.g, k)
         shared = group.power(self.y, k)
         keys = _derive_kem_keys(group, c1, shared, context, len(payload))
@@ -184,6 +194,12 @@ def generate_elgamal_key(
     """Fresh key pair in ``group`` — one modular exponentiation."""
     rng = rng or default_source()
     return ElGamalPrivateKey(group=group, x=group.random_exponent(rng))
+
+
+def _kem_ephemeral(group: PrimeGroup, rng: RandomSource) -> int:
+    """Uniform ephemeral in ``[1, min(2^KEM_EPHEMERAL_BITS, q))``."""
+    ceiling = min(1 << KEM_EPHEMERAL_BITS, group.q)
+    return rng.randint_range(1, ceiling)
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,17 @@ those exponentiations share structure that naive ``pow`` cannot see:
   combination tables), so ``n`` exponentiations cost one chain of
   squarings plus ~``n/4`` multiplications per bit.
 
+- **Cold bases** — a base seen once (a fresh pseudonym key, a batch
+  commitment) gets no table.  :func:`wnaf_pow` implements windowed-NAF
+  (signed-digit) exponentiation for that case: recoding the exponent
+  into sparse odd digits cuts the expected multiplications from
+  ~``bits/2`` to ~``bits/(w+1)`` at the cost of one modular inverse.
+  :func:`multi_pow_wnaf` is the interleaved-wNAF variant of
+  :func:`multi_pow`.  :func:`set_exp_mode` selects which implementation
+  :func:`cold_pow` / :func:`multi_pow` dispatch to (``"naive"`` —
+  CPython's C ``pow`` and the binary Shamir chain — or ``"wnaf"``), so
+  the benchmarks can report comb vs wNAF vs naive honestly.
+
 Tables live in a process-wide registry keyed by ``(base, modulus)`` so
 that every holder of the issuer's escrow key — cards, the TTP, the
 analysis code — shares one table.  Only explicitly registered bases
@@ -46,6 +57,16 @@ from ..errors import ParameterError
 #: are precomputed per chunk, so 4 keeps precomputation at 16 entries
 #: while cutting per-bit multiplications by ~4x.
 _MULTI_CHUNK = 4
+
+#: Chunk width for large products (the aggregated batch-verification
+#: equations).  Each chunk costs ~one multiplication per exponent bit
+#: regardless of width, so once enough bases share the chain the wider
+#: 2^7-entry tables pay for themselves within one equation.
+_MULTI_CHUNK_WIDE = 7
+
+#: Base count at which :func:`multi_pow_shamir` switches to wide chunks
+#: (precomputation of 2^7 entries amortizes past ~2 full chunks).
+_MULTI_WIDE_THRESHOLD = 16
 
 
 def _default_window(exponent_bits: int) -> int:
@@ -202,6 +223,191 @@ def tables_disabled() -> Iterator[None]:
 
 
 # ---------------------------------------------------------------------------
+# Exponentiation mode (naive vs windowed-NAF)
+# ---------------------------------------------------------------------------
+
+#: Cold exponentiations go through CPython's C ``pow`` and products
+#: through the binary Shamir chain.
+MODE_NAIVE = "naive"
+#: Cold exponentiations use signed-digit wNAF recoding and products the
+#: interleaved-wNAF chain.
+MODE_WNAF = "wnaf"
+
+_EXP_MODES = (MODE_NAIVE, MODE_WNAF)
+_EXP_MODE = MODE_NAIVE
+
+
+def exp_mode() -> str:
+    """The active cold-exponentiation implementation."""
+    return _EXP_MODE
+
+
+def set_exp_mode(mode: str) -> None:
+    """Select the implementation behind :func:`cold_pow` / :func:`multi_pow`."""
+    global _EXP_MODE
+    if mode not in _EXP_MODES:
+        raise ParameterError(f"unknown exponentiation mode {mode!r}")
+    _EXP_MODE = mode
+
+
+@contextmanager
+def exp_mode_set(mode: str) -> Iterator[None]:
+    """Scope with the given exponentiation mode active (benchmark arms)."""
+    previous = _EXP_MODE
+    set_exp_mode(mode)
+    try:
+        yield
+    finally:
+        set_exp_mode(previous)
+
+
+def cold_pow(base: int, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` for a base with no table.
+
+    Dispatches on the active mode; both implementations are exact, so
+    switching modes is a performance knob, never a correctness one.
+    """
+    if _EXP_MODE == MODE_WNAF:
+        return wnaf_pow(base, exponent, modulus)
+    return pow(base, exponent, modulus)
+
+
+# ---------------------------------------------------------------------------
+# Windowed-NAF (signed-digit) exponentiation
+# ---------------------------------------------------------------------------
+
+#: Default wNAF window width: odd digits ``|d| < 2^(w-1)``, expected
+#: non-zero digit density ``1/(w+1)``.
+_WNAF_WIDTH = 5
+
+
+def wnaf_digits(exponent: int, width: int = _WNAF_WIDTH) -> list[int]:
+    """Width-``w`` NAF recoding of a non-negative exponent.
+
+    Returns little-endian digits, each either zero or odd with
+    ``|digit| < 2^(width-1)``; at most one of any ``width`` consecutive
+    digits is non-zero, which is what makes the multiplication count
+    ``~bits/(width+1)`` instead of ``bits/2``.
+    """
+    if exponent < 0:
+        raise ParameterError("wNAF exponents must be non-negative")
+    if not 2 <= width <= 16:
+        raise ParameterError("wNAF width out of range")
+    radix = 1 << width
+    half = radix >> 1
+    digits: list[int] = []
+    while exponent:
+        if exponent & 1:
+            digit = exponent & (radix - 1)
+            if digit >= half:
+                digit -= radix
+            exponent -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        exponent >>= 1
+    return digits
+
+
+def _wnaf_odd_powers(base: int, modulus: int, width: int) -> list[int]:
+    """``[base^1, base^3, …, base^(2^(width-1)-1)] mod modulus``."""
+    base %= modulus
+    square = (base * base) % modulus
+    powers = [base]
+    for _ in range((1 << (width - 2)) - 1):
+        powers.append((powers[-1] * square) % modulus)
+    return powers
+
+
+def wnaf_pow(
+    base: int, exponent: int, modulus: int, *, width: int = _WNAF_WIDTH
+) -> int:
+    """``base^exponent mod modulus`` via width-``w`` NAF recoding.
+
+    Negative digits multiply by precomputed inverse odd powers, so the
+    base must be invertible; when it is not (or the exponent is
+    negative), the call falls back to plain ``pow`` — the recoding is
+    never a correctness hazard.
+    """
+    if modulus <= 1:
+        raise ParameterError("modulus must exceed 1")
+    base %= modulus
+    if exponent < 0 or base == 0 or exponent.bit_length() < 2 * width:
+        # Tiny exponents never amortize the inverse; let pow have them.
+        return pow(base, exponent, modulus)
+    try:
+        inverse = pow(base, -1, modulus)
+    except ValueError:
+        return pow(base, exponent, modulus)
+    powers = _wnaf_odd_powers(base, modulus, width)
+    inverse_powers = _wnaf_odd_powers(inverse, modulus, width)
+    acc = 1
+    for digit in reversed(wnaf_digits(exponent, width)):
+        acc = (acc * acc) % modulus
+        if digit > 0:
+            acc = (acc * powers[digit >> 1]) % modulus
+        elif digit < 0:
+            acc = (acc * inverse_powers[(-digit) >> 1]) % modulus
+    return acc
+
+
+def multi_pow_wnaf(
+    pairs: Iterable[tuple[int, int]], modulus: int, *, width: int = 4
+) -> int:
+    """``Π base_i^{exponent_i} mod modulus`` via interleaved wNAF.
+
+    One shared squaring chain; every base contributes one multiplication
+    per non-zero signed digit (density ``1/(width+1)``), against one per
+    set bit (density ``1/2``) for the binary interleaving.  Bases that
+    are not invertible fall back into a plain product, keeping the
+    contract of :func:`multi_pow` exactly.
+    """
+    if modulus <= 0:
+        raise ParameterError("modulus must be positive")
+    entries: list[tuple[int, int, int]] = []
+    fallback = 1
+    for base, exponent in pairs:
+        if exponent < 0:
+            raise ParameterError("multi_pow exponents must be non-negative")
+        base %= modulus
+        if exponent == 0 or base == 1:
+            continue
+        if base == 0:
+            return 0
+        try:
+            inverse = pow(base, -1, modulus)
+        except ValueError:
+            fallback = (fallback * pow(base, exponent, modulus)) % modulus
+            continue
+        entries.append((base, inverse, exponent))
+    if not entries:
+        return fallback % modulus
+
+    prepared = []
+    for base, inverse, exponent in entries:
+        prepared.append(
+            (
+                _wnaf_odd_powers(base, modulus, width),
+                _wnaf_odd_powers(inverse, modulus, width),
+                wnaf_digits(exponent, width),
+            )
+        )
+    top = max(len(digits) for _, _, digits in prepared)
+    acc = 1
+    for position in range(top - 1, -1, -1):
+        acc = (acc * acc) % modulus
+        for powers, inverse_powers, digits in prepared:
+            if position >= len(digits):
+                continue
+            digit = digits[position]
+            if digit > 0:
+                acc = (acc * powers[digit >> 1]) % modulus
+            elif digit < 0:
+                acc = (acc * inverse_powers[(-digit) >> 1]) % modulus
+    return (acc * fallback) % modulus
+
+
+# ---------------------------------------------------------------------------
 # Simultaneous multi-exponentiation
 # ---------------------------------------------------------------------------
 
@@ -209,11 +415,21 @@ def tables_disabled() -> Iterator[None]:
 def multi_pow(pairs: Iterable[tuple[int, int]], modulus: int) -> int:
     """``Π base_i^{exponent_i} mod modulus`` in one shared chain.
 
-    Implements interleaved Shamir's trick: bases are grouped into
+    Dispatches on the active exponentiation mode:
+    :func:`multi_pow_shamir` (binary interleaving, the default) or
+    :func:`multi_pow_wnaf` (signed-digit interleaving).  Exponents must
+    be non-negative (callers reduce modulo the group order first).
+    """
+    if _EXP_MODE == MODE_WNAF:
+        return multi_pow_wnaf(pairs, modulus)
+    return multi_pow_shamir(pairs, modulus)
+
+
+def multi_pow_shamir(pairs: Iterable[tuple[int, int]], modulus: int) -> int:
+    """Binary interleaved Shamir's trick: bases are grouped into
     chunks of :data:`_MULTI_CHUNK`; each chunk precomputes the 2^chunk
     products of its bases; one squaring chain over the longest exponent
-    then consumes one bit of every exponent per step.  Exponents must
-    be non-negative (callers reduce modulo the group order first).
+    then consumes one bit of every exponent per step.
     """
     if modulus <= 0:
         raise ParameterError("modulus must be positive")
@@ -230,8 +446,11 @@ def multi_pow(pairs: Iterable[tuple[int, int]], modulus: int) -> int:
     if not entries:
         return 1 % modulus
 
+    chunk_size = (
+        _MULTI_CHUNK_WIDE if len(entries) >= _MULTI_WIDE_THRESHOLD else _MULTI_CHUNK
+    )
     chunks = [
-        entries[i : i + _MULTI_CHUNK] for i in range(0, len(entries), _MULTI_CHUNK)
+        entries[i : i + chunk_size] for i in range(0, len(entries), chunk_size)
     ]
     prepared: list[tuple[list[int], list[int]]] = []
     for chunk in chunks:

@@ -116,7 +116,9 @@ class PrimeGroup:
             tick("modexp.fixed_base")
             return table.pow(exponent)
         tick("modexp.cold")
-        return pow(base, exponent, self.p)
+        if fastexp.exp_mode() == fastexp.MODE_WNAF:
+            tick("modexp.cold.wnaf")
+        return fastexp.cold_pow(base, exponent, self.p)
 
     def multi_power(self, pairs: list[tuple[int, int]]) -> int:
         """``Π base_i^{exponent_i} mod p`` in one shared chain.
@@ -131,6 +133,8 @@ class PrimeGroup:
 
         tick("modexp")
         tick("modexp.multi")
+        if fastexp.exp_mode() == fastexp.MODE_WNAF:
+            tick("modexp.multi.wnaf")
         return fastexp.multi_pow(pairs, self.p)
 
     def precompute_generator(self):

@@ -35,7 +35,7 @@ def key_to_dict(key: PublicKey | PrivateKey) -> dict[str, Any]:
     if isinstance(key, RsaPublicKey):
         return {"kind": KIND_RSA_PUBLIC, "n": key.n, "e": key.e}
     if isinstance(key, RsaPrivateKey):
-        return {
+        data: dict[str, Any] = {
             "kind": KIND_RSA_PRIVATE,
             "n": key.n,
             "e": key.e,
@@ -43,6 +43,11 @@ def key_to_dict(key: PublicKey | PrivateKey) -> dict[str, Any]:
             "p": key.p,
             "q": key.q,
         }
+        if key.extra_primes:
+            # Multi-prime keys (RFC 8017 §3.2); absent for the classical
+            # two-prime form so old serializations stay valid.
+            data["r"] = list(key.extra_primes)
+        return data
     if isinstance(key, SchnorrPublicKey):
         return {"kind": KIND_SCHNORR_PUBLIC, "group": key.group.name, "y": key.y}
     if isinstance(key, SchnorrPrivateKey):
@@ -68,6 +73,7 @@ def key_from_dict(data: dict[str, Any]) -> PublicKey | PrivateKey:
                 d=int(data["d"]),
                 p=int(data["p"]),
                 q=int(data["q"]),
+                extra_primes=tuple(int(r) for r in data.get("r", [])),
             )
         if kind == KIND_SCHNORR_PUBLIC:
             return SchnorrPublicKey(group=named_group(data["group"]), y=int(data["y"]))

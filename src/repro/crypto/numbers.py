@@ -113,18 +113,24 @@ def lcm(a: int, b: int) -> int:
 
 
 def jacobi_symbol(a: int, n: int) -> int:
-    """Jacobi symbol (a/n) for odd positive ``n``."""
-    if n <= 0 or n % 2 == 0:
+    """Jacobi symbol (a/n) for odd positive ``n``.
+
+    Binary algorithm with all factors of two stripped in one shift per
+    round and the mod-8 / mod-4 sign rules done bitwise — subgroup
+    membership checks run this on full-width elements on every
+    verification path, so constant factors matter.
+    """
+    if n <= 0 or not n & 1:
         raise ValueError("n must be odd and positive")
     a %= n
     result = 1
     while a:
-        while a % 2 == 0:
-            a //= 2
-            if n % 8 in (3, 5):
+        twos = (a & -a).bit_length() - 1
+        if twos:
+            a >>= twos
+            if twos & 1 and n & 7 in (3, 5):
                 result = -result
-        a, n = n, a
-        if a % 4 == 3 and n % 4 == 3:
+        if a & 3 == 3 and n & 3 == 3:
             result = -result
-        a %= n
+        a, n = n % a, a
     return result if n == 1 else 0

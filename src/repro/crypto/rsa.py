@@ -119,23 +119,48 @@ class RsaPublicKey:
 
 @dataclass(frozen=True)
 class RsaPrivateKey:
-    """RSA private key in CRT form with sign/decrypt operations."""
+    """RSA private key in CRT form with sign/decrypt operations.
+
+    ``extra_primes`` holds any primes beyond ``p`` and ``q`` —
+    multi-prime RSA per RFC 8017 §3.2.  Splitting the modulus over
+    ``k`` primes makes the private operation ~``k²/4`` times cheaper
+    (``k`` exponentiations costing ``(n/k)³`` each instead of two
+    costing ``(n/2)³``; ~2.25x for ``k = 3``), which is why the
+    content provider's licence-signing key uses three primes: licence
+    issuance is the one private operation on the redemption/purchase
+    hot path that nothing else amortizes.  Factoring hardness is
+    unchanged for NFS and still far beyond ECM range for the prime
+    sizes any supported modulus yields.
+    """
 
     n: int
     e: int
     d: int
     p: int
     q: int
+    extra_primes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.p * self.q != self.n:
-            raise ParameterError("p*q != n")
-        # CRT parameters are fixed per key; computing them (two big
-        # divisions and a modular inverse) once instead of per private
+        primes = (self.p, self.q, *self.extra_primes)
+        product = 1
+        for prime in primes:
+            product *= prime
+        if product != self.n:
+            raise ParameterError("prime product != n")
+        # CRT parameters are fixed per key; computing them (big
+        # divisions and modular inverses) once instead of per private
         # operation matters on the bank/issuer signing hot paths.
-        object.__setattr__(self, "_dp", self.d % (self.p - 1))
-        object.__setattr__(self, "_dq", self.d % (self.q - 1))
-        object.__setattr__(self, "_q_inv_p", modinv(self.q % self.p, self.p))
+        # Garner recombination: residue exponents per prime plus the
+        # inverse of each partial product modulo the next prime.
+        exponents = tuple(self.d % (prime - 1) for prime in primes)
+        coefficients = []
+        partial = primes[0]
+        for prime in primes[1:]:
+            coefficients.append(modinv(partial % prime, prime))
+            partial *= prime
+        object.__setattr__(self, "_crt_primes", primes)
+        object.__setattr__(self, "_crt_exponents", exponents)
+        object.__setattr__(self, "_crt_coefficients", tuple(coefficients))
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -154,11 +179,21 @@ class RsaPrivateKey:
         from ..instrument import tick
 
         tick("rsa.private_op")
-        mp = pow(value % self.p, self._dp, self.p)
-        mq = pow(value % self.q, self._dq, self.q)
-        # Garner recombination with the cached inverse of q mod p.
-        h = ((mp - mq) * self._q_inv_p) % self.p
-        return (mq + h * self.q) % self.n
+        primes = self._crt_primes
+        residues = [
+            pow(value % prime, exponent, prime)
+            for prime, exponent in zip(primes, self._crt_exponents)
+        ]
+        # Garner recombination with the cached partial-product inverses.
+        result = residues[0]
+        partial = primes[0]
+        for prime, residue, coefficient in zip(
+            primes[1:], residues[1:], self._crt_coefficients
+        ):
+            step = ((residue - result) * coefficient) % prime
+            result += partial * step
+            partial *= prime
+        return result % self.n
 
     # -- PKCS#1 v1.5 signatures ---------------------------------------------
 
@@ -208,30 +243,112 @@ class RsaPrivateKey:
         return data_block[separator + 1 :]
 
 
+def batch_verify_pkcs1(
+    items: list[tuple[bytes, bytes]], public_key: RsaPublicKey
+) -> None:
+    """Screen a batch of PKCS#1 v1.5 signatures with **one** public op.
+
+    ``items`` is a sequence of ``(message, signature)`` pairs under one
+    key.  Bellare–Garay–Rabin screening over the deterministic
+    EMSA-PKCS1 encodings::
+
+        (Π s_i)^e  ==  Π EM(m_i)     (mod n)
+
+    Screening guarantees no message outside the signer's history slips
+    through — exactly what the provider's redemption desk needs: no
+    anonymous licence it never signed gets personalized.  It requires
+    pairwise-distinct messages, so duplicates (the same bearer token
+    presented twice in one batch) are verified individually instead.
+    On an aggregate mismatch the batch falls back to individual
+    verification so the raised
+    :class:`~repro.errors.InvalidSignature` names a real offender.
+    """
+    from ..instrument import tick
+
+    items = list(items)
+    if len(items) <= 1 or len({message for message, _ in items}) != len(items):
+        for message, signature in items:
+            public_key.verify_pkcs1(message, signature)
+        return
+    tick("rsa.batch_verify")
+    tick("rsa.batch_verify.signatures", len(items))
+    n = public_key.n
+    k = public_key.byte_length
+    signature_product = 1
+    encoded_product = 1
+    try:
+        for message, signature in items:
+            if len(signature) != k:
+                raise InvalidSignature("signature length mismatch")
+            value = bytes_to_int(signature)
+            if value >= n:
+                raise InvalidSignature("signature out of range")
+            signature_product = (signature_product * value) % n
+            encoded_product = (
+                encoded_product * bytes_to_int(_emsa_pkcs1_encode(message, k))
+            ) % n
+    except InvalidSignature:
+        # A malformed member: point at it via the individual path.
+        for message, signature in items:
+            public_key.verify_pkcs1(message, signature)
+        raise
+    if public_key.public_op(signature_product) == encoded_product:
+        return
+    # A bad member is in the batch (a product of valid signatures can
+    # never fail); verify one by one so the error names it.
+    for message, signature in items:
+        public_key.verify_pkcs1(message, signature)
+    raise InvalidSignature("PKCS#1 batch verification mismatch")
+
+
 def generate_rsa_key(
     bits: int = 2048,
     *,
     rng: RandomSource | None = None,
     public_exponent: int = _PUBLIC_EXPONENT,
+    prime_count: int = 2,
 ) -> RsaPrivateKey:
-    """Generate an RSA key whose modulus has exactly ``bits`` bits."""
+    """Generate an RSA key whose modulus has exactly ``bits`` bits.
+
+    ``prime_count > 2`` produces a multi-prime key (RFC 8017 §3.2):
+    same modulus, same public operation, but the CRT private operation
+    runs over narrower primes — roughly ``prime_count²/4`` times
+    faster.  Callers on a private-op hot path (the provider's licence
+    signing) opt in; everything else keeps the classical two-prime
+    form.
+    """
     if bits < _MIN_MODULUS_BITS:
         raise ParameterError(f"modulus must be at least {_MIN_MODULUS_BITS} bits")
     if bits % 2:
         raise ParameterError("modulus size must be even")
+    if not 2 <= prime_count <= 4:
+        raise ParameterError("prime_count must be between 2 and 4")
     rng = rng or default_source()
-    half = bits // 2
+    share = bits // prime_count
+    sizes = [bits - share * (prime_count - 1)] + [share] * (prime_count - 1)
     while True:
-        p = _generate_rsa_prime(half, public_exponent, rng)
-        q = _generate_rsa_prime(half, public_exponent, rng)
-        if p == q:
+        primes = [
+            _generate_rsa_prime(size, public_exponent, rng) for size in sizes
+        ]
+        if len(set(primes)) != prime_count:
             continue
-        n = p * q
+        n = 1
+        for prime in primes:
+            n *= prime
         if n.bit_length() != bits:
             continue
-        lam = lcm(p - 1, q - 1)
+        lam = primes[0] - 1
+        for prime in primes[1:]:
+            lam = lcm(lam, prime - 1)
         d = modinv(public_exponent, lam)
-        return RsaPrivateKey(n=n, e=public_exponent, d=d, p=p, q=q)
+        return RsaPrivateKey(
+            n=n,
+            e=public_exponent,
+            d=d,
+            p=primes[0],
+            q=primes[1],
+            extra_primes=tuple(primes[2:]),
+        )
 
 
 def _generate_rsa_prime(bits: int, public_exponent: int, rng: RandomSource) -> int:

@@ -1,0 +1,30 @@
+"""Memoization on frozen dataclasses.
+
+Signable structures (licences, certificates, protocol messages) are
+frozen dataclasses whose canonical byte payloads get re-derived by
+every party that verifies them — and by every screening stage of the
+batch desks.  Canonical encoding is not free, so those classes cache
+the bytes on first use via :func:`cached_bytes`, which writes through
+``object.__setattr__`` (instance ``__dict__`` entries are invisible to
+dataclass equality, repr and ``dataclasses.replace``, so the cache is
+safe for value semantics).
+
+Issuing code may pre-seed a cache the same way when it already holds
+the canonical bytes (e.g. the registration protocol seeds
+``_signed_payload`` on a fresh certificate).  Simple derived *values*
+on frozen dataclasses can use :class:`functools.cached_property`
+instead, which writes the instance ``__dict__`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def cached_bytes(obj, attribute: str, build: Callable[[], bytes]) -> bytes:
+    """Return ``obj.<attribute>``, computing it via ``build`` once."""
+    cached = obj.__dict__.get(attribute)
+    if cached is None:
+        cached = build()
+        object.__setattr__(obj, attribute, cached)
+    return cached

@@ -31,6 +31,7 @@ from ..errors import ReproError
 from .workload import (
     ACTION_BUY,
     ACTION_PLAY,
+    ACTION_REDEEM,
     WorkloadConfig,
     WorkloadGenerator,
 )
@@ -48,6 +49,9 @@ class SimulationReport:
     purchases: int = 0
     plays: int = 0
     transfers: int = 0
+    redemptions: int = 0          # bearer licences personalized
+    batched_redemptions: int = 0  # …of which through redeem_batch
+    pending_redemptions: int = 0  # still parked when the run ended
     denials: int = 0
     skipped: int = 0
     sim_seconds: int = 0
@@ -62,6 +66,9 @@ class SimulationReport:
             "purchases": self.purchases,
             "plays": self.plays,
             "transfers": self.transfers,
+            "redemptions": self.redemptions,
+            "batched_redemptions": self.batched_redemptions,
+            "pending_redemptions": self.pending_redemptions,
             "denials": self.denials,
             "skipped": self.skipped,
             "sim_seconds": self.sim_seconds,
@@ -91,6 +98,10 @@ class MarketplaceSimulator:
             group_name=group_name,
         )
         self._content_ids = [f"content-{i:04d}" for i in range(config.n_contents)]
+        #: Bearer licences handed over but not yet personalized:
+        #: ``(receiver index, AnonymousLicense)``.  Only populated in
+        #: deferred-redemption runs (ACTION_REDEEM carries weight).
+        self._pending_redemptions: list[tuple[int, object]] = []
         self._publish_catalog()
         if mode == MODE_P2DRM:
             self.provider = self.deployment.provider
@@ -176,10 +187,13 @@ class MarketplaceSimulator:
                     self._do_buy(user_index, report)
                 elif action == ACTION_PLAY:
                     self._do_play(user_index, report)
+                elif action == ACTION_REDEEM:
+                    self._do_redeem(report)
                 else:
                     self._do_transfer(user_index, report)
             except ReproError:
                 report.denials += 1
+        report.pending_redemptions = len(self._pending_redemptions)
         report.sim_seconds = self.deployment.clock.now() - start
         report.operator_knowledge = self._operator_knowledge()
         return report
@@ -239,13 +253,15 @@ class MarketplaceSimulator:
             anonymous = sender.transfer_out(
                 license_.license_id, provider=self.provider
             )
-            new_license = receiver.redeem(
-                anonymous, provider=self.provider, issuer=self.deployment.issuer
-            )
-            report.ground_truth[new_license.holder_fingerprint] = (
-                receiver.card.card_id
-            )
-            report.user_of_card[receiver.card.card_id] = receiver.user_id
+            if self._deferred_redemption:
+                # The out-of-band handover happened; personalization
+                # waits for a redeem event (possibly batched).
+                self._pending_redemptions.append((receiver_index, anonymous))
+            else:
+                new_license = receiver.redeem(
+                    anonymous, provider=self.provider, issuer=self.deployment.issuer
+                )
+                self._record_redemption(receiver, new_license, report)
         else:
             baseline_transfer(
                 sender,
@@ -255,6 +271,65 @@ class MarketplaceSimulator:
                 clock=self.deployment.clock,
             )
         report.transfers += 1
+
+    @property
+    def _deferred_redemption(self) -> bool:
+        """Whether transfers park their bearer licence for later
+        redemption instead of personalizing inline."""
+        return (
+            self.mode == MODE_P2DRM
+            and self.config.action_weights.get(ACTION_REDEEM, 0) > 0
+        )
+
+    def _record_redemption(self, receiver, new_license, report) -> None:
+        report.ground_truth[new_license.holder_fingerprint] = receiver.card.card_id
+        report.user_of_card[receiver.card.card_id] = receiver.user_id
+
+    def _do_redeem(self, report: SimulationReport) -> None:
+        """Drain up to ``redeem_batch_size`` parked bearer licences.
+
+        A single waiting licence goes through the per-item protocol;
+        more than one goes through the provider's batched redemption
+        desk, with per-item failures counted as denials (one offender
+        never poisons the queue).
+        """
+        if self.mode != MODE_P2DRM or not self._pending_redemptions:
+            report.skipped += 1
+            return
+        from ..core.protocols.transfer import (
+            accept_redeemed_license,
+            build_redeem_request,
+            redeem_anonymous,
+        )
+
+        take = min(self.config.redeem_batch_size, len(self._pending_redemptions))
+        drained = self._pending_redemptions[:take]
+        del self._pending_redemptions[:take]
+        if take == 1:
+            receiver_index, anonymous = drained[0]
+            receiver = self._users[receiver_index]
+            new_license = redeem_anonymous(
+                receiver, self.provider, self.deployment.issuer, anonymous
+            )
+            self._record_redemption(receiver, new_license, report)
+            report.redemptions += 1
+            return
+        receivers = [self._users[receiver_index] for receiver_index, _ in drained]
+        requests = [
+            build_redeem_request(
+                receiver, self.provider, self.deployment.issuer, anonymous
+            )
+            for receiver, (_, anonymous) in zip(receivers, drained)
+        ]
+        results = self.provider.redeem_batch(requests)
+        for receiver, request, result in zip(receivers, requests, results):
+            if isinstance(result, Exception):
+                report.denials += 1
+                continue
+            accept_redeemed_license(receiver, self.provider, request, result)
+            self._record_redemption(receiver, result, report)
+            report.redemptions += 1
+            report.batched_redemptions += 1
 
     # -- what the operator knows at the end ---------------------------------------
 

@@ -26,6 +26,12 @@ import numpy as np
 ACTION_BUY = "buy"
 ACTION_PLAY = "play"
 ACTION_TRANSFER = "transfer"
+#: Redeem received bearer licences.  Weighting this action switches the
+#: simulator to *deferred* redemption: a transfer event only runs the
+#: exchange half and parks the anonymous licence; redeem events drain
+#: the pool (up to ``redeem_batch_size`` at a time, through
+#: ``ContentProvider.redeem_batch`` when more than one is waiting).
+ACTION_REDEEM = "redeem"
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,12 @@ class WorkloadConfig:
     #: higher rates decouple certification time from use time and mix
     #: users' certifications together.
     prefetch_rate: float = 0.0
+    #: How many parked bearer licences one redeem event personalizes at
+    #: most.  1 keeps redemption per-item; larger values let the
+    #: provider's batched redemption desk amortize its aggregate
+    #: signature checks.  Only meaningful when :data:`ACTION_REDEEM`
+    #: carries weight in ``action_weights``.
+    redeem_batch_size: int = 1
     seed: int = 2004
 
     def __post_init__(self) -> None:
@@ -59,6 +71,8 @@ class WorkloadConfig:
             raise ValueError("action weights must be non-negative")
         if self.min_price < 1 or self.max_price < self.min_price:
             raise ValueError("invalid price range")
+        if self.redeem_batch_size < 1:
+            raise ValueError("redeem_batch_size must be positive")
 
 
 class WorkloadGenerator:

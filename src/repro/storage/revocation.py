@@ -119,6 +119,27 @@ class RevocationList:
         )
         return row is not None
 
+    def revoked_subset(self, license_ids) -> set[bytes]:
+        """Which of ``license_ids`` are revoked — one list pass.
+
+        The batch-redemption desk screens a whole queue with one query
+        (chunked to stay under SQLite's parameter limit) instead of one
+        ``is_revoked`` round-trip per request.
+        """
+        ids = list(dict.fromkeys(license_ids))
+        revoked: set[bytes] = set()
+        chunk_size = 500
+        for start in range(0, len(ids), chunk_size):
+            chunk = ids[start : start + chunk_size]
+            placeholders = ", ".join("?" * len(chunk))
+            rows = self._db.query_all(
+                "SELECT license_id FROM revoked_licenses"
+                f" WHERE license_id IN ({placeholders})",
+                tuple(chunk),
+            )
+            revoked.update(row[0] for row in rows)
+        return revoked
+
     def current_version(self) -> int:
         return self._db.query_value(
             "SELECT COALESCE(MAX(version), 0) FROM revoked_licenses", default=0

@@ -158,3 +158,74 @@ class TestPseudonymCertificates:
         assert set(data) == {"pseudonym", "escrow", "sig"}
         assert set(data["pseudonym"]) == {"group", "y"}
         assert set(data["escrow"]) == {"group", "ct", "proof"}
+
+
+class TestBatchCertificateVerification:
+    def _certificates(self, test_group, rsa768, rng, count):
+        card = SmartCard(
+            b"card-batch-000001", test_group, rng=DeterministicRandomSource(b"bc")
+        )
+        ttp_key = generate_elgamal_key(test_group, rng=rng)
+        signer = BlindSigner(rsa768)
+        client = BlindingClient(rsa768.public_key, rng=rng)
+        certificates = []
+        for _ in range(count):
+            pseudonym = card.new_pseudonym()
+            escrow = card.make_escrow(pseudonym, ttp_key.public_key)
+            payload = pseudonym_certificate_payload(pseudonym, escrow)
+            blinded, state = client.blind(payload)
+            signature = client.unblind(signer.sign_blinded(blinded), state)
+            certificates.append(
+                PseudonymCertificate(
+                    pseudonym=pseudonym, escrow=escrow, signature=signature
+                )
+            )
+        return certificates
+
+    def test_valid_batch_amortizes(self, test_group, rsa768, rng):
+        from repro import instrument
+        from repro.core.certificates import batch_verify_certificates
+
+        certificates = self._certificates(test_group, rsa768, rng, 5)
+        with instrument.measure() as individual:
+            for certificate in certificates:
+                certificate.verify(rsa768.public_key)
+        with instrument.measure() as batched:
+            batch_verify_certificates(certificates, rsa768.public_key, rng=rng)
+        assert batched.get("modexp") < individual.get("modexp")
+        assert batched.get("rsa.public_op") == 1
+        assert batched.get("schnorr.batch_knowledge") == 1
+
+    def test_forged_signature_rejected(self, test_group, rsa768, rng):
+        from repro.core.certificates import batch_verify_certificates
+        from repro.errors import InvalidSignature as Invalid
+
+        certificates = self._certificates(test_group, rsa768, rng, 3)
+        certificates[1] = PseudonymCertificate(
+            pseudonym=certificates[1].pseudonym,
+            escrow=certificates[1].escrow,
+            signature=bytes(len(certificates[1].signature)),
+        )
+        with pytest.raises(Invalid):
+            batch_verify_certificates(certificates, rsa768.public_key, rng=rng)
+
+    def test_transplanted_escrow_rejected(self, test_group, rsa768, rng):
+        """An escrow lifted onto a different pseudonym's certificate must
+        fail the aggregated binding check the way it fails the single one."""
+        from repro.core.certificates import batch_verify_certificates
+
+        certificates = self._certificates(test_group, rsa768, rng, 3)
+        forged = PseudonymCertificate(
+            pseudonym=certificates[0].pseudonym,
+            escrow=certificates[1].escrow,
+            signature=certificates[0].signature,
+        )
+        with pytest.raises((InvalidSignature, EscrowError)):
+            batch_verify_certificates(
+                [forged, certificates[2]], rsa768.public_key, rng=rng
+            )
+
+    def test_empty_batch(self, rsa768, rng):
+        from repro.core.certificates import batch_verify_certificates
+
+        batch_verify_certificates([], rsa768.public_key, rng=rng)

@@ -133,3 +133,20 @@ class TestKeyValidation:
             ElGamalPrivateKey(group=test_group, x=0)
         with pytest.raises(ParameterError):
             ElGamalPrivateKey(group=test_group, x=test_group.q)
+
+
+class TestKemEphemeralSize:
+    def test_short_ephemeral_bounds(self, test_group, rng):
+        from repro.crypto.elgamal import KEM_EPHEMERAL_BITS, _kem_ephemeral
+
+        ceiling = min(1 << KEM_EPHEMERAL_BITS, test_group.q)
+        for _ in range(20):
+            k = _kem_ephemeral(test_group, rng)
+            assert 1 <= k < ceiling
+
+    def test_wrap_unwrap_with_short_ephemeral(self, test_group, rng):
+        from repro.crypto.elgamal import generate_elgamal_key
+
+        key = generate_elgamal_key(test_group, rng=rng)
+        wrapped = key.public_key.kem_wrap(b"content-key", context=b"ctx", rng=rng)
+        assert key.kem_unwrap(wrapped, context=b"ctx") == b"content-key"

@@ -317,3 +317,128 @@ class TestCrtPrivateOp:
     def test_private_op_matches_plain_pow(self, rsa512):
         value = 0xDEADBEEF % rsa512.n
         assert rsa512.private_op(value) == pow(value, rsa512.d, rsa512.n)
+
+
+class TestWnaf:
+    @given(
+        exponent=st.integers(min_value=0, max_value=2**300),
+        width=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_digits_reconstruct_exponent(self, exponent, width):
+        digits = fastexp.wnaf_digits(exponent, width)
+        assert sum(d << i for i, d in enumerate(digits)) == exponent
+        half = 1 << (width - 1)
+        for position, digit in enumerate(digits):
+            if digit:
+                assert digit % 2 != 0 and abs(digit) < half
+                # wNAF sparsity: one non-zero digit per width window.
+                assert all(d == 0 for d in digits[position + 1 : position + width])
+
+    def test_digit_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            fastexp.wnaf_digits(-1)
+        with pytest.raises(ParameterError):
+            fastexp.wnaf_digits(5, 1)
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**64),
+        exponent=st.integers(min_value=0, max_value=2**256),
+        modulus=st.integers(min_value=2, max_value=2**64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_wnaf_pow_matches_builtin(self, base, exponent, modulus):
+        """Including non-invertible bases, which must fall back."""
+        assert fastexp.wnaf_pow(base, exponent, modulus) == pow(base, exponent, modulus)
+
+    def test_wnaf_pow_group_sized(self, test_group, rng):
+        for _ in range(5):
+            exponent = test_group.random_exponent(rng)
+            assert fastexp.wnaf_pow(test_group.g, exponent, test_group.p) == pow(
+                test_group.g, exponent, test_group.p
+            )
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1008),
+                st.integers(min_value=0, max_value=2**128),
+            ),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multi_pow_wnaf_matches_product(self, pairs):
+        expected = 1
+        for base, exponent in pairs:
+            expected = (expected * pow(base, exponent, 1009)) % 1009
+        assert fastexp.multi_pow_wnaf(pairs, 1009) == expected
+
+    def test_multi_pow_wnaf_negative_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            fastexp.multi_pow_wnaf([(3, -1)], 1009)
+
+    def test_multi_pow_wnaf_non_invertible_base_falls_back(self):
+        # 15 shares a factor with 1005; the product must still be exact.
+        pairs = [(15, 77), (7, 123)]
+        expected = pow(15, 77, 1005) * pow(7, 123, 1005) % 1005
+        assert fastexp.multi_pow_wnaf(pairs, 1005) == expected
+
+
+class TestExpMode:
+    def test_default_is_naive(self):
+        assert fastexp.exp_mode() == fastexp.MODE_NAIVE
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            fastexp.set_exp_mode("montgomery")
+
+    def test_context_manager_restores_mode(self):
+        with fastexp.exp_mode_set(fastexp.MODE_WNAF):
+            assert fastexp.exp_mode() == fastexp.MODE_WNAF
+        assert fastexp.exp_mode() == fastexp.MODE_NAIVE
+
+    def test_cold_pow_dispatches_identically(self, test_group, rng):
+        exponent = test_group.random_exponent(rng)
+        base = pow(test_group.g, 3, test_group.p)
+        naive = fastexp.cold_pow(base, exponent, test_group.p)
+        with fastexp.exp_mode_set(fastexp.MODE_WNAF):
+            wnaf = fastexp.cold_pow(base, exponent, test_group.p)
+        assert naive == wnaf == pow(base, exponent, test_group.p)
+
+    def test_group_power_routes_through_wnaf_and_counts(self, test_group, rng):
+        exponent = test_group.random_exponent(rng)
+        base = pow(test_group.g, 5, test_group.p)
+        with fastexp.tables_disabled(), fastexp.exp_mode_set(fastexp.MODE_WNAF):
+            with instrument.measure() as ops:
+                result = test_group.power(base, exponent)
+        assert result == pow(base, exponent, test_group.p)
+        assert ops.get("modexp.cold") == 1
+        assert ops.get("modexp.cold.wnaf") == 1
+
+    def test_multi_power_wnaf_mode_counts(self, test_group, rng):
+        pairs = [
+            (pow(test_group.g, k + 2, test_group.p), test_group.random_exponent(rng))
+            for k in range(3)
+        ]
+        with fastexp.exp_mode_set(fastexp.MODE_WNAF):
+            with instrument.measure() as ops:
+                result = test_group.multi_power(pairs)
+        expected = 1
+        for base, exponent in pairs:
+            expected = (expected * pow(base, exponent, test_group.p)) % test_group.p
+        assert result == expected
+        assert ops.get("modexp.multi.wnaf") == 1
+
+    def test_wide_products_stay_exact(self, test_group, rng):
+        """The wide-chunk switch in multi_pow_shamir is exercised by
+        aggregation-sized products (>= threshold bases)."""
+        pairs = [
+            (pow(test_group.g, k + 2, test_group.p), test_group.random_exponent(rng))
+            for k in range(20)
+        ]
+        expected = 1
+        for base, exponent in pairs:
+            expected = (expected * pow(base, exponent, test_group.p)) % test_group.p
+        assert fastexp.multi_pow_shamir(pairs, test_group.p) == expected

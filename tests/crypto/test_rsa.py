@@ -139,3 +139,129 @@ class TestOaep:
     def test_modulus_too_small_for_oaep(self, rsa512, rng):
         with pytest.raises(ParameterError):
             rsa512.public_key.encrypt_oaep(b"x", rng=rng)
+
+
+class TestBatchVerifyPkcs1:
+    @pytest.fixture()
+    def signed_batch(self, rsa512):
+        return [
+            (f"msg-{index}".encode(), rsa512.sign_pkcs1(f"msg-{index}".encode()))
+            for index in range(6)
+        ]
+
+    def test_valid_batch_one_public_op(self, rsa512, signed_batch):
+        from repro import instrument
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        with instrument.measure() as ops:
+            batch_verify_pkcs1(signed_batch, rsa512.public_key)
+        assert ops.get("rsa.public_op") == 1
+        assert ops.get("rsa.batch_verify") == 1
+        assert ops.get("rsa.batch_verify.signatures") == 6
+
+    def test_forged_member_named(self, rsa512, signed_batch):
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        message, signature = signed_batch[2]
+        signed_batch[2] = (message, bytes([signature[0] ^ 1]) + signature[1:])
+        with pytest.raises(InvalidSignature):
+            batch_verify_pkcs1(signed_batch, rsa512.public_key)
+
+    def test_tampered_message_rejected(self, rsa512, signed_batch):
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        _, signature = signed_batch[0]
+        signed_batch[0] = (b"tampered", signature)
+        with pytest.raises(InvalidSignature):
+            batch_verify_pkcs1(signed_batch, rsa512.public_key)
+
+    def test_duplicate_messages_fall_back_to_individual(self, rsa512, signed_batch):
+        from repro import instrument
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        duplicated = signed_batch + [signed_batch[0]]
+        with instrument.measure() as ops:
+            batch_verify_pkcs1(duplicated, rsa512.public_key)
+        assert ops.get("rsa.batch_verify") == 0
+        assert ops.get("rsa.public_op") == len(duplicated)
+
+    def test_malformed_signature_rejected(self, rsa512, signed_batch):
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        message, _ = signed_batch[1]
+        signed_batch[1] = (message, b"\x01")
+        with pytest.raises(InvalidSignature):
+            batch_verify_pkcs1(signed_batch, rsa512.public_key)
+
+    def test_empty_and_singleton(self, rsa512, signed_batch):
+        from repro.crypto.rsa import batch_verify_pkcs1
+
+        batch_verify_pkcs1([], rsa512.public_key)
+        batch_verify_pkcs1(signed_batch[:1], rsa512.public_key)
+
+
+class TestMultiPrime:
+    @pytest.fixture(scope="class")
+    def rsa3p(self):
+        from repro.crypto.rand import DeterministicRandomSource
+        from repro.crypto.rsa import generate_rsa_key
+
+        return generate_rsa_key(
+            768, rng=DeterministicRandomSource("rsa-3p"), prime_count=3
+        )
+
+    def test_modulus_width_and_prime_product(self, rsa3p):
+        assert rsa3p.n.bit_length() == 768
+        assert len(rsa3p.extra_primes) == 1
+        product = rsa3p.p * rsa3p.q
+        for prime in rsa3p.extra_primes:
+            product *= prime
+        assert product == rsa3p.n
+
+    def test_private_op_matches_plain_pow(self, rsa3p):
+        value = 0xC0FFEE % rsa3p.n
+        assert rsa3p.private_op(value) == pow(value, rsa3p.d, rsa3p.n)
+
+    def test_sign_verify_and_oaep(self, rsa3p, rng):
+        signature = rsa3p.sign_pkcs1(b"multi-prime")
+        rsa3p.public_key.verify_pkcs1(b"multi-prime", signature)
+        ciphertext = rsa3p.public_key.encrypt_oaep(b"key material", rng=rng)
+        assert rsa3p.decrypt_oaep(ciphertext) == b"key material"
+
+    def test_blind_signature_roundtrip(self, rsa3p, rng):
+        from repro.crypto.blind_rsa import BlindingClient, BlindSigner
+
+        client = BlindingClient(rsa3p.public_key, rng=rng)
+        blinded, state = client.blind(b"coin")
+        signature = client.unblind(BlindSigner(rsa3p).sign_blinded(blinded), state)
+        from repro.crypto.blind_rsa import verify_blind_signature
+
+        verify_blind_signature(b"coin", signature, rsa3p.public_key)
+
+    def test_wrong_prime_product_rejected(self, rsa3p):
+        from repro.crypto.rsa import RsaPrivateKey
+
+        with pytest.raises(ParameterError):
+            RsaPrivateKey(
+                n=rsa3p.n,
+                e=rsa3p.e,
+                d=rsa3p.d,
+                p=rsa3p.p,
+                q=rsa3p.q,
+                extra_primes=(),
+            )
+
+    def test_prime_count_validated(self, rng):
+        from repro.crypto.rsa import generate_rsa_key
+
+        with pytest.raises(ParameterError):
+            generate_rsa_key(512, rng=rng, prime_count=1)
+        with pytest.raises(ParameterError):
+            generate_rsa_key(512, rng=rng, prime_count=5)
+
+    def test_serialization_roundtrip(self, rsa3p):
+        from repro.crypto.keys import key_from_dict, key_to_dict
+
+        data = key_to_dict(rsa3p)
+        assert data["r"] == list(rsa3p.extra_primes)
+        assert key_from_dict(data) == rsa3p

@@ -162,3 +162,118 @@ class TestChaumPedersen:
                 test_group, test_group.g, key.public_key.y, base2, public2, key.x,
                 rng=rng,
             )
+
+
+class TestBatchVerifyKnowledge:
+    def _proof_batch(self, test_group, rng, count):
+        items = []
+        for index in range(count):
+            key = generate_schnorr_key(test_group, rng=rng)
+            context = f"batch-ctx-{index}".encode()
+            proof = prove_knowledge(
+                test_group, test_group.g, key.public_key.y, key.x,
+                context=context, rng=rng,
+            )
+            items.append((test_group, test_group.g, key.public_key.y, proof, context))
+        return items
+
+    def test_valid_batch_accepted_in_few_chains(self, test_group, rng):
+        from repro import instrument
+        from repro.crypto.schnorr import batch_verify_knowledge
+
+        items = self._proof_batch(test_group, rng, 8)
+        with instrument.measure() as individual:
+            for group, base, public, proof, context in items:
+                verify_knowledge(group, base, public, proof, context=context)
+        with instrument.measure() as batched:
+            batch_verify_knowledge(items, rng=rng)
+        assert batched.get("modexp") < individual.get("modexp")
+        assert batched.get("modexp") <= 3
+        assert batched.get("schnorr.batch_knowledge") == 1
+        assert batched.get("schnorr.batch_knowledge.proofs") == 8
+
+    def test_forged_member_rejected(self, test_group, rng):
+        from repro.crypto.schnorr import DlogProof, batch_verify_knowledge
+
+        items = self._proof_batch(test_group, rng, 5)
+        group, base, public, proof, context = items[3]
+        items[3] = (
+            group, base, public,
+            DlogProof(proof.challenge, (proof.response + 1) % test_group.q,
+                      proof.commitment),
+            context,
+        )
+        with pytest.raises(InvalidProof):
+            batch_verify_knowledge(items, rng=rng)
+
+    def test_wrong_commitment_rejected(self, test_group, rng):
+        from repro.crypto.schnorr import DlogProof, batch_verify_knowledge
+
+        items = self._proof_batch(test_group, rng, 4)
+        group, base, public, proof, context = items[0]
+        items[0] = (
+            group, base, public,
+            DlogProof(proof.challenge, proof.response, test_group.power(test_group.g, 99)),
+            context,
+        )
+        with pytest.raises(InvalidProof):
+            batch_verify_knowledge(items, rng=rng)
+
+    def test_non_subgroup_commitment_rejected(self, test_group, rng):
+        from repro.crypto.schnorr import DlogProof, batch_verify_knowledge
+
+        items = self._proof_batch(test_group, rng, 3)
+        group, base, public, proof, context = items[1]
+        items[1] = (
+            group, base, public,
+            DlogProof(proof.challenge, proof.response, test_group.p - proof.commitment),
+            context,
+        )
+        with pytest.raises(InvalidProof):
+            batch_verify_knowledge(items, rng=rng)
+
+    def test_legacy_proofs_without_commitment_fall_back(self, test_group, rng):
+        from repro import instrument
+        from repro.crypto.schnorr import DlogProof, batch_verify_knowledge
+
+        items = [
+            (group, base, public, DlogProof(proof.challenge, proof.response), context)
+            for group, base, public, proof, context in self._proof_batch(test_group, rng, 4)
+        ]
+        with instrument.measure() as ops:
+            batch_verify_knowledge(items, rng=rng)
+        # No aggregation possible: each proof verified by the scalar path.
+        assert ops.get("schnorr.batch_knowledge") == 0
+
+    def test_mixed_groups_rejected(self, test_group, rng):
+        from repro.crypto.groups import named_group
+        from repro.crypto.schnorr import batch_verify_knowledge
+
+        other = named_group("modp-1536")
+        other_key = generate_schnorr_key(other, rng=rng)
+        proof = prove_knowledge(
+            other, other.g, other_key.public_key.y, other_key.x, rng=rng
+        )
+        items = self._proof_batch(test_group, rng, 2)
+        items.append((other, other.g, other_key.public_key.y, proof, b""))
+        with pytest.raises(ParameterError):
+            batch_verify_knowledge(items, rng=rng)
+
+    def test_empty_and_singleton(self, test_group, rng):
+        from repro.crypto.schnorr import batch_verify_knowledge
+
+        batch_verify_knowledge([], rng=rng)
+        batch_verify_knowledge(self._proof_batch(test_group, rng, 1), rng=rng)
+
+    def test_proof_commitment_roundtrips(self, test_group, key, rng):
+        from repro.crypto.schnorr import DlogProof
+
+        proof = prove_knowledge(
+            test_group, test_group.g, key.public_key.y, key.x, rng=rng
+        )
+        assert proof.commitment is not None
+        parsed = DlogProof.from_dict(proof.as_dict())
+        assert parsed == proof
+        # Legacy dict without R still parses.
+        legacy = DlogProof.from_dict({"c": proof.challenge, "s": proof.response})
+        assert legacy.commitment is None

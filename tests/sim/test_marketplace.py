@@ -97,3 +97,72 @@ class TestPrefetch:
         # More certs than transactions: the cover traffic exists.
         transactions = report.purchases + report.transfers
         assert len(certifications) >= transactions
+
+
+class TestDeferredRedemption:
+    @pytest.fixture(scope="class")
+    def redemption_report(self):
+        from repro.sim.workload import (
+            ACTION_BUY,
+            ACTION_PLAY,
+            ACTION_REDEEM,
+            ACTION_TRANSFER,
+        )
+
+        config = small_config(
+            n_events=40,
+            seed=7,
+            action_weights={
+                ACTION_BUY: 0.40,
+                ACTION_PLAY: 0.15,
+                ACTION_TRANSFER: 0.30,
+                ACTION_REDEEM: 0.15,
+            },
+            redeem_batch_size=3,
+        )
+        simulator = MarketplaceSimulator(config, mode=MODE_P2DRM, rsa_bits=512)
+        return simulator, simulator.run()
+
+    def test_redemptions_happen_and_batch(self, redemption_report):
+        _, report = redemption_report
+        assert report.redemptions > 0
+        # With batch size 3 and enough parked licences, at least some
+        # redemption events went through the batched desk.
+        assert report.batched_redemptions > 0
+
+    def test_conservation_of_bearer_licenses(self, redemption_report):
+        """Every exchanged licence is either redeemed or still parked."""
+        _, report = redemption_report
+        assert (
+            report.redemptions + report.pending_redemptions == report.transfers
+        )
+
+    def test_events_accounted_with_redemptions(self, redemption_report):
+        _, report = redemption_report
+        total = (
+            report.purchases
+            + report.plays
+            + report.transfers
+            + report.skipped
+            + report.denials
+        )
+        # Redeem events drain the pool but are themselves one event;
+        # they show up as neither purchase/play/transfer nor denial.
+        redeem_events = 40 - total
+        assert redeem_events > 0
+
+    def test_ground_truth_covers_redeemed(self, redemption_report):
+        simulator, report = redemption_report
+        cards = {u.card.card_id for u in simulator._users.values()}
+        assert set(report.ground_truth.values()) <= cards
+        assert len(report.ground_truth) >= report.purchases + report.redemptions
+
+    def test_default_config_unchanged(self, p2drm_report):
+        """Without a redeem weight, transfers personalize inline."""
+        _, report = p2drm_report
+        assert report.pending_redemptions == 0
+        assert report.batched_redemptions == 0
+
+    def test_redeem_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            small_config(redeem_batch_size=0)

@@ -116,3 +116,25 @@ class TestDeviceSync:
         view = DeviceRevocationView(rsa512.public_key)
         assert view.apply_sync([], lrl.snapshot(rsa512)) == 0
         assert not view.check(b"anything")
+
+
+class TestRevokedSubset:
+    def test_one_pass_screen(self, lrl):
+        for index in range(12):
+            lrl.revoke(bytes([index]) * 4, at=index, reason="r")
+        queried = [bytes([i]) * 4 for i in range(0, 24, 2)]
+        revoked = lrl.revoked_subset(queried)
+        assert revoked == {bytes([i]) * 4 for i in range(0, 12, 2)}
+
+    def test_empty_query(self, lrl):
+        assert lrl.revoked_subset([]) == set()
+
+    def test_duplicates_collapse(self, lrl):
+        lrl.revoke(b"dup!", at=1, reason="r")
+        assert lrl.revoked_subset([b"dup!", b"dup!", b"none"]) == {b"dup!"}
+
+    def test_large_query_chunks(self, lrl):
+        """More ids than one SQL chunk (500) still screens correctly."""
+        lrl.revoke(b"needle", at=1, reason="r")
+        ids = [f"id-{i:05d}".encode() for i in range(1200)] + [b"needle"]
+        assert lrl.revoked_subset(ids) == {b"needle"}
