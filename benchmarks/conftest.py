@@ -31,6 +31,17 @@ BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
 _RESULT_TABLES: dict[str, list[dict]] = {}
 
 
+@pytest.fixture(autouse=True)
+def _fastexp_state_guard():
+    """No bench arm may leak the exp-mode/enabled switches into the
+    next test (tables stay warm on purpose — the cached deployments
+    rely on them; see :func:`repro.crypto.fastexp.switch_guard`)."""
+    from repro.crypto import fastexp
+
+    with fastexp.switch_guard():
+        yield
+
+
 class ExperimentRecorder:
     """Collects result rows for one experiment id."""
 

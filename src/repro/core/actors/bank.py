@@ -150,7 +150,7 @@ class Bank:
         if account_id not in self._balances:
             raise PaymentError(f"no account {account_id!r}")
         self.verify_coins(coins)
-        tokens = [coin.value.to_bytes(4, "big") + coin.serial for coin in coins]
+        tokens = [coin.spent_token() for coin in coins]
         seen: set[bytes] = set()
         for coin, token in zip(coins, tokens):
             if token in seen or self._spent.is_spent(token):
@@ -177,7 +177,7 @@ class Bank:
         transcript = codec.encode(
             {"depositor": account_id, "at": self._clock.now(), "value": coin.value}
         )
-        token = coin.value.to_bytes(4, "big") + coin.serial
+        token = coin.spent_token()
         previous = self._spent.try_spend(
             token, at=self._clock.now(), transcript=transcript
         )
@@ -186,7 +186,7 @@ class Bank:
         self._balances[account_id] += coin.value
 
     def is_spent(self, coin: Coin) -> bool:
-        return self._spent.is_spent(coin.value.to_bytes(4, "big") + coin.serial)
+        return self._spent.is_spent(coin.spent_token())
 
     def spent_count(self) -> int:
         return self._spent.count()

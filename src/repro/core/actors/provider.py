@@ -27,10 +27,13 @@ later mines that log exactly like a curious operator would.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ... import codec
 from ...clock import Clock
+from ...crypto.hashes import sha256
 from ...crypto.rand import RandomSource
-from ...crypto.rsa import RsaPublicKey, generate_rsa_key
+from ...crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
 from ...errors import (
     AuthenticationError,
     DoubleRedemptionError,
@@ -68,6 +71,36 @@ from ..messages import (
 REQUEST_FRESHNESS_WINDOW = 24 * 3600
 
 
+@dataclass
+class ProviderStores:
+    """The provider's six stores, bundled so deployments can swap them.
+
+    The default bundle (:func:`build_provider_stores`) puts every store
+    in one in-process database; the service layer substitutes sharded
+    views over per-shard files so many worker processes can run the
+    same :class:`ContentProvider` code against shared state.
+    """
+
+    contents: ContentStore
+    licenses: LicenseStore
+    revocations: RevocationList
+    spent_tokens: SpentTokenStore
+    request_nonces: SpentTokenStore
+    audit: AuditLog
+
+
+def build_provider_stores(database: Database) -> ProviderStores:
+    """The classic single-database store bundle."""
+    return ProviderStores(
+        contents=ContentStore(database),
+        licenses=LicenseStore(database),
+        revocations=RevocationList(database),
+        spent_tokens=SpentTokenStore(database, "anon-license"),
+        request_nonces=SpentTokenStore(database, "request-nonce"),
+        audit=AuditLog(database),
+    )
+
+
 class ContentProvider:
     """Catalog, licence issuance and the transfer machinery."""
 
@@ -79,29 +112,43 @@ class ContentProvider:
         issuer_certificate_key: RsaPublicKey,
         bank,
         db: Database | None = None,
+        stores: ProviderStores | None = None,
+        license_key: RsaPrivateKey | None = None,
         license_key_bits: int = 1024,
         name: str = "content-provider",
         bank_account: str | None = None,
+        deterministic_issuance: bool = False,
     ):
         self.name = name
         self._rng = rng
         self._clock = clock
         self._issuer_key = issuer_certificate_key
         self._bank = bank
-        database = db or Database()
-        self._contents = ContentStore(database)
-        self._licenses = LicenseStore(database)
-        self._revocations = RevocationList(database)
-        self._spent_tokens = SpentTokenStore(database, "anon-license")
-        self._request_nonces = SpentTokenStore(database, "request-nonce")
-        self._audit = AuditLog(database)
-        # Three-prime key (RFC 8017 multi-prime): licence signing is the
-        # one RSA private operation on the sell/redeem hot path that no
-        # batch check amortizes, and the narrower CRT primes make it
-        # ~2x cheaper at the same modulus size.
-        self._license_key = generate_rsa_key(
-            license_key_bits, rng=rng.fork("provider-license-key"), prime_count=3
-        )
+        if stores is None:
+            stores = build_provider_stores(db or Database())
+        self._contents = stores.contents
+        self._licenses = stores.licenses
+        self._revocations = stores.revocations
+        self._spent_tokens = stores.spent_tokens
+        self._request_nonces = stores.request_nonces
+        self._audit = stores.audit
+        #: When set, every issued licence's identifier, KEM ephemeral
+        #: and timestamp derive from the *request* (rng forked from the
+        #: signed payload digest, timestamp from the signed ``at``)
+        #: instead of from the provider's mutable rng/clock state.  The
+        #: output then depends only on (provider keys, request bytes) —
+        #: which is what lets N worker processes, in any interleaving,
+        #: produce byte-identical licences to the in-process desk.
+        self.deterministic_issuance = deterministic_issuance
+        if license_key is None:
+            # Three-prime key (RFC 8017 multi-prime): licence signing is
+            # the one RSA private operation on the sell/redeem hot path
+            # that no batch check amortizes, and the narrower CRT primes
+            # make it ~2x cheaper at the same modulus size.
+            license_key = generate_rsa_key(
+                license_key_bits, rng=rng.fork("provider-license-key"), prime_count=3
+            )
+        self._license_key = license_key
         self._bank_account = bank_account or f"{name}-account"
         if bank is not None:
             bank.open_account(self._bank_account)
@@ -268,17 +315,36 @@ class ContentProvider:
             check_signature=check_signature,
         )
 
+    def _request_entropy(self, request) -> tuple[RandomSource, int]:
+        """The (rng, timestamp) pair issuance draws from for ``request``.
+
+        Default: the provider's own rng stream and clock.  Under
+        :attr:`deterministic_issuance` both derive from the request —
+        the rng forked by the digest of the signed payload (unique per
+        request: the payload binds the nonce) and the timestamp from
+        the signed ``at`` — so the issued licence is a pure function of
+        the request and the provider's keys, independent of queue
+        order, batch boundaries, or which worker process handles it.
+        """
+        if not self.deterministic_issuance:
+            return self._rng, self._clock.now()
+        digest = sha256(request.signing_payload())
+        return self._rng.fork(f"request:{digest.hex()}"), request.at
+
     def _finalize_sale(self, request: PurchaseRequest) -> PersonalLicense:
         """Collect payment and issue the licence (after validation)."""
         self._collect_payment(request)
         rights = self._default_rights(request.content_id)
+        rng, now = self._request_entropy(request)
         license_ = self._issue_personal(
             content_id=request.content_id,
             rights=rights,
             pseudonym=request.certificate.pseudonym,
+            rng=rng,
+            now=now,
         )
         self._audit.append(
-            at=self._clock.now(),
+            at=now,
             actor=self.name,
             event="license_issued",
             payload={
@@ -310,9 +376,16 @@ class ContentProvider:
     def exchange(self, request: ExchangeRequest) -> AnonymousLicense:
         """Trade an active personalized licence for an anonymous one.
 
-        The old licence is revoked (LRL version bump) in the same
-        transaction scope as the anonymous issuance — the holder never
-        ends up with both usable.
+        The atomic step is the ACTIVE→EXCHANGED status transition (a
+        compare-and-swap on the licence's row): it happens before the
+        bearer licence is signed, so the holder can never end up with
+        both usable — not even when two workers race the request.  The
+        follow-up writes (LRL entry, bearer registration, audit) are
+        separate transactions; a crash between the CAS and the
+        issuance leaves an EXCHANGED licence with no successor, which
+        an operator reconciles from the register (every EXCHANGED
+        personal licence must have an anonymous sibling) — the
+        cross-shard sequencer on the ROADMAP would close that window.
         """
         record = self._licenses.get(request.license_id)
         if record is None:
@@ -349,36 +422,74 @@ class ContentProvider:
             if not outgoing_rights.is_subset_of(old_license.rights):
                 raise ProtocolError("restriction would widen rights")
 
-        now = self._clock.now()
-        token_id = self._rng.random_bytes(LICENSE_ID_SIZE)
-        anonymous = sign_anonymous_license(
-            self._license_key,
-            license_id=token_id,
-            content_id=old_license.content_id,
-            rights=outgoing_rights,
-            issued_at=now,
-        )
-        self._revocations.revoke(request.license_id, at=now, reason="exchanged")
-        self._licenses.set_status(request.license_id, license_store.STATUS_EXCHANGED)
-        self._licenses.insert(
-            token_id,
-            kind=license_store.KIND_ANONYMOUS,
-            content_id=old_license.content_id,
-            holder=None,
-            rights_text=rights_to_text(outgoing_rights),
-            issued_at=now,
-            blob=codec.encode(anonymous.as_dict()),
-        )
-        self._audit.append(
-            at=now,
-            actor=self.name,
-            event="license_exchanged",
-            payload={
-                "old_license": request.license_id,
-                "token": token_id,
-                "content": old_license.content_id,
-            },
-        )
+        rng, now = self._request_entropy(request)
+        # The exactly-once gate: a licence leaves ACTIVE atomically,
+        # *before* any bearer licence is minted.  Two workers racing
+        # exchange requests for the same licence serialize on this row
+        # at its home shard, so exactly one of them ever signs an
+        # anonymous licence — the exchange counterpart of the spent-
+        # token gate on redemption.
+        if not self._licenses.transition(
+            request.license_id,
+            from_status=license_store.STATUS_ACTIVE,
+            to_status=license_store.STATUS_EXCHANGED,
+        ):
+            current = self._licenses.get(request.license_id)
+            status = current.status if current is not None else "unknown"
+            raise RevokedLicenseError(f"licence is {status}")
+        try:
+            # Write order matters for the compensation below: the
+            # bearer registration comes LAST, so a failure anywhere in
+            # this block implies no redeemable bearer token exists and
+            # the CAS can be handed back safely.
+            token_id = rng.random_bytes(LICENSE_ID_SIZE)
+            anonymous = sign_anonymous_license(
+                self._license_key,
+                license_id=token_id,
+                content_id=old_license.content_id,
+                rights=outgoing_rights,
+                issued_at=now,
+            )
+            self._revocations.revoke(request.license_id, at=now, reason="exchanged")
+            self._audit.append(
+                at=now,
+                actor=self.name,
+                event="license_exchanged",
+                payload={
+                    "old_license": request.license_id,
+                    "token": token_id,
+                    "content": old_license.content_id,
+                },
+            )
+            self._licenses.insert(
+                token_id,
+                kind=license_store.KIND_ANONYMOUS,
+                content_id=old_license.content_id,
+                holder=None,
+                rights_text=rights_to_text(outgoing_rights),
+                issued_at=now,
+                blob=codec.encode(anonymous.as_dict()),
+            )
+        except BaseException:
+            # No bearer token was registered (it is the last write),
+            # so handing the status back is safe — a transient failure
+            # (a busy shard, say) must not burn the holder's licence.
+            # If the LRL entry already landed, the licence comes back
+            # ACTIVE but revoked-for-playback; retrying the exchange
+            # heals that (revoke is idempotent), and an audit entry
+            # whose token never reached the register records the
+            # aborted attempt.  Best effort: if the compensation
+            # itself fails the licence stays EXCHANGED for operator
+            # reconciliation, and the original error still propagates.
+            try:
+                self._licenses.transition(
+                    request.license_id,
+                    from_status=license_store.STATUS_EXCHANGED,
+                    to_status=license_store.STATUS_ACTIVE,
+                )
+            except Exception:
+                pass  # keep the original failure, not the compensation's
+            raise
         return anonymous
 
     # -- redemption: anonymous → personalized --------------------------------------
@@ -611,7 +722,7 @@ class ContentProvider:
     def _finalize_redemption(self, request: RedeemRequest) -> PersonalLicense:
         """Spend the token and issue the licence (after validation)."""
         anonymous = request.anonymous_license
-        now = self._clock.now()
+        rng, now = self._request_entropy(request)
         transcript = redemption_transcript(
             request.certificate, request.signature, request.nonce, request.at
         )
@@ -640,6 +751,8 @@ class ContentProvider:
             content_id=anonymous.content_id,
             rights=anonymous.rights,
             pseudonym=request.certificate.pseudonym,
+            rng=rng,
+            now=now,
         )
         self._licenses.set_status(anonymous.license_id, license_store.STATUS_REDEEMED)
         self._audit.append(
@@ -688,14 +801,23 @@ class ContentProvider:
 
     # -- internals ----------------------------------------------------------
 
-    def _issue_personal(self, *, content_id: str, rights, pseudonym) -> PersonalLicense:
-        now = self._clock.now()
-        license_id = self._rng.random_bytes(LICENSE_ID_SIZE)
+    def _issue_personal(
+        self,
+        *,
+        content_id: str,
+        rights,
+        pseudonym,
+        rng: RandomSource | None = None,
+        now: int | None = None,
+    ) -> PersonalLicense:
+        rng = rng if rng is not None else self._rng
+        now = now if now is not None else self._clock.now()
+        license_id = rng.random_bytes(LICENSE_ID_SIZE)
         content_key = self._contents.content_key(content_id)
         wrapped = pseudonym.kem_key.kem_wrap(
             content_key,
             context=kem_context(license_id, content_id),
-            rng=self._rng,
+            rng=rng,
         )
         license_ = sign_personal_license(
             self._license_key,

@@ -45,6 +45,18 @@ class Coin:
     def payload(self) -> bytes:
         return coin_payload(self.serial, self.value)
 
+    def spent_token(self) -> bytes:
+        """The exactly-once key this coin spends under.
+
+        Value-scoped (``value || serial``) so serials colliding across
+        denominations cannot shadow each other.  The ONE definition:
+        the bank's deposit desk, the service layer's sharded desk and
+        the gateway's shard-affinity routing must all agree on it, or
+        a coin spent through one desk would go unrecognized by
+        another.
+        """
+        return self.value.to_bytes(4, "big") + self.serial
+
     def as_dict(self) -> dict:
         return {"serial": self.serial, "value": self.value, "sig": self.signature}
 
@@ -54,6 +66,36 @@ class Coin:
             serial=bytes(data["serial"]),
             value=int(data["value"]),
             signature=bytes(data["sig"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
+@dataclass(frozen=True)
+class DepositRequest:
+    """A merchant's coin deposit, as it crosses the wire to the bank desk.
+
+    The in-process flow calls ``bank.deposit_batch(account, coins)``
+    directly; the service layer needs the same pair as one encodable
+    message so a gateway can hand a whole payment to a worker's deposit
+    desk.
+    """
+
+    account: str
+    coins: tuple[Coin, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "account": self.account,
+            "coins": [coin.as_dict() for coin in self.coins],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DepositRequest":
+        return cls(
+            account=data["account"],
+            coins=tuple(Coin.from_dict(c) for c in data["coins"]),
         )
 
     def wire_size(self) -> int:

@@ -33,6 +33,32 @@ from ..messages import (
 from .base import Transcript
 
 
+def build_exchange_request(
+    user, license_, *, restrict_to: tuple[str, ...] | None = None
+) -> ExchangeRequest:
+    """The user-side half of an exchange: fresh nonce, sign.
+
+    Split out (like :func:`build_redeem_request`) so callers — the
+    service gateway's batch paths, benches, tests — can assemble raw
+    requests without executing the protocol.  ``license_`` is the held
+    :class:`~repro.core.licenses.PersonalLicense` (the signature must
+    come from the pseudonym it is bound to).
+    """
+    card = user.require_card()
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = exchange_signing_payload(
+        license_.license_id, nonce, at, restrict_to
+    )
+    return ExchangeRequest(
+        license_id=license_.license_id,
+        nonce=nonce,
+        at=at,
+        signature=card.sign(license_.pseudonym, payload),
+        restrict_to=restrict_to,
+    )
+
+
 def exchange_for_anonymous(
     user,
     provider,
@@ -48,23 +74,12 @@ def exchange_for_anonymous(
     """
     if transcript is not None:
         transcript.protocol = transcript.protocol or "exchange"
-    card = user.require_card()
     license_ = user.licenses.get(license_id)
     if license_ is None:
         from ...errors import ProtocolError
 
         raise ProtocolError("user does not hold that licence")
-    nonce = user.rng.random_bytes(NONCE_SIZE)
-    at = user.clock.now()
-    payload = exchange_signing_payload(license_id, nonce, at, restrict_to)
-    signature = card.sign(license_.pseudonym, payload)
-    request = ExchangeRequest(
-        license_id=license_id,
-        nonce=nonce,
-        at=at,
-        signature=signature,
-        restrict_to=restrict_to,
-    )
+    request = build_exchange_request(user, license_, restrict_to=restrict_to)
     if transcript is not None:
         transcript.add("exchange-request", "user", "provider", request.as_dict())
 

@@ -222,6 +222,61 @@ def tables_disabled() -> Iterator[None]:
         set_tables_enabled(previous)
 
 
+def reset() -> None:
+    """Restore the module's pristine global state.
+
+    Drops every registered table, re-enables lookups and selects the
+    naive exponentiation mode.  Benchmark arms and service workers
+    mutate all three globals; a worker process (or a test following a
+    bench module) must not inherit whatever the previous occupant left
+    behind, so both call this before warming their own tables.
+    """
+    global _ENABLED, _EXP_MODE
+    _TABLES.clear()
+    _ENABLED = True
+    _EXP_MODE = MODE_NAIVE
+
+
+@contextmanager
+def switch_guard() -> Iterator[None]:
+    """Scope restoring the exp-mode and enabled switches only.
+
+    The narrower sibling of :func:`isolated_state` for test/benchmark
+    fixtures: the table registry is deliberately left alone, because
+    session-scoped deployments warm tables once and later tests rely
+    on them staying registered.
+    """
+    saved_enabled = _ENABLED
+    saved_mode = _EXP_MODE
+    try:
+        yield
+    finally:
+        set_tables_enabled(saved_enabled)
+        set_exp_mode(saved_mode)
+
+
+@contextmanager
+def isolated_state() -> Iterator[None]:
+    """Scope whose table/enabled/mode mutations do not leak out.
+
+    On exit the registry contents, the enabled switch and the
+    exponentiation mode are restored exactly as they were on entry —
+    the containment wrapper for anything that calls
+    :func:`set_exp_mode`, :func:`set_tables_enabled` or
+    :func:`precompute` and cannot be trusted to undo it.
+    """
+    saved_tables = dict(_TABLES)
+    saved_enabled = _ENABLED
+    saved_mode = _EXP_MODE
+    try:
+        yield
+    finally:
+        _TABLES.clear()
+        _TABLES.update(saved_tables)
+        set_tables_enabled(saved_enabled)
+        set_exp_mode(saved_mode)
+
+
 # ---------------------------------------------------------------------------
 # Exponentiation mode (naive vs windowed-NAF)
 # ---------------------------------------------------------------------------

@@ -123,6 +123,17 @@ class DeterministicRandomSource(RandomSource):
         out, self._buffer = self._buffer[:count], self._buffer[count:]
         return out
 
+    @property
+    def seed(self) -> bytes:
+        """The seed this stream expands.
+
+        Shipping the seed to another process and constructing a new
+        source from it reproduces the same *fork tree* (forks derive
+        from the seed, not the stream position) — which is how service
+        workers inherit the provider's deterministic-issuance rng.
+        """
+        return self._seed
+
     def fork(self, label: str) -> "DeterministicRandomSource":
         child_seed = hashlib.sha256(
             b"fork:" + self._seed + b"/" + label.encode("utf-8")

@@ -167,3 +167,17 @@ class UnknownContentError(ProtocolError):
 
 class EscrowError(ProtocolError):
     """Identity escrow could not be opened or evidence did not verify."""
+
+
+# ---------------------------------------------------------------------------
+# Service layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """The multi-process service layer failed operationally.
+
+    Distinct from protocol rejections: a :class:`ServiceError` means a
+    worker died, a response timed out, or the gateway was misused —
+    infrastructure trouble, not a verdict about the request.
+    """

@@ -1,0 +1,26 @@
+"""The sharded multi-process service layer.
+
+The paper's provider is one trusted desk; this package is the seam
+that lets the same protocol code serve heavy traffic:
+
+- :mod:`repro.service.wire` — canonical byte encodings (via the
+  signing codec) for every protocol request/response, so messages can
+  cross a process or network boundary;
+- :mod:`repro.service.sharding` — the provider's stores partitioned
+  across N per-shard SQLite files by token-id hash, behind views that
+  preserve the single-store APIs;
+- :mod:`repro.service.workers` — worker processes running the existing
+  batch pipelines (``sell_batch`` / ``redeem_batch`` /
+  ``deposit_batch``) against the shared shards, with warm fastexp
+  tables and batched queue hand-off;
+- :mod:`repro.service.gateway` — the front door: routes encoded
+  requests to shard-affine workers and exposes the familiar provider
+  surface, so users, devices and the marketplace simulator drive it
+  exactly like the in-process actor.
+"""
+
+from .gateway import ServiceGateway
+from .sharding import ShardSet, shard_index
+from .workers import ServiceConfig
+
+__all__ = ["ServiceGateway", "ServiceConfig", "ShardSet", "shard_index"]

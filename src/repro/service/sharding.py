@@ -1,0 +1,436 @@
+"""Per-shard stores behind the classic store APIs.
+
+One provider database cannot absorb millions of users; this module
+splits the provider's hot stores — spent tokens, request nonces, the
+licence register, the revocation list, the audit log — across N SQLite
+*files*, keyed by token-id hash.  Partitioning by hash means every
+token has exactly one home shard, so the exactly-once invariants stay
+local: a double redemption races two workers *on the same shard file*,
+where SQLite's write lock (plus the stores' immediate transactions)
+serializes them.
+
+The cross-shard views here preserve the single-store method surfaces,
+so :class:`~repro.core.actors.provider.ContentProvider` runs unchanged
+against a :class:`ShardSet` — in a worker process (writing), or in the
+gateway process (reading what the workers committed, via WAL).
+
+Shard count is a *data* parameter, worker count an *execution* one:
+``shards >= workers`` keeps every worker busy, and the hash keeps the
+mapping stable when either changes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Sequence
+
+from ..core.actors.provider import REQUEST_FRESHNESS_WINDOW
+from ..crypto.hashes import sha256
+from ..crypto.rsa import RsaPrivateKey
+from ..errors import ParameterError
+from ..storage.audit import AuditEntry, AuditLog
+from ..storage.engine import Database
+from ..storage.licenses import LicenseRecord, LicenseStore
+from ..storage.merkle import MerkleTree
+from ..storage.revocation import (
+    RevocationEntry,
+    RevocationList,
+    SignedSnapshot,
+    _snapshot_payload,
+)
+from ..storage.spent_tokens import SpentRecord, SpentTokenStore
+
+
+def shard_index(token: bytes, n_shards: int) -> int:
+    """The home shard of ``token`` — stable across processes and runs.
+
+    SHA-256 based, not ``hash()``: Python's string hashing is salted
+    per process, and two processes disagreeing about a token's home
+    shard would split the exactly-once gate.
+    """
+    if n_shards < 1:
+        raise ParameterError("need at least one shard")
+    return int.from_bytes(sha256(bytes(token))[:8], "big") % n_shards
+
+
+class ShardSet:
+    """N shard databases, opened once and closed together."""
+
+    def __init__(self, paths: Sequence[str]):
+        if not paths:
+            raise ParameterError("need at least one shard path")
+        self._paths = list(paths)
+        # check_same_thread=False: each process serializes its own
+        # access, but a gateway may touch its read views from whichever
+        # thread collects worker responses.
+        self._databases = [
+            Database(path, check_same_thread=False) for path in self._paths
+        ]
+
+    @staticmethod
+    def paths_in_directory(directory: str, count: int) -> list[str]:
+        """The canonical shard-file layout under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        return [
+            os.path.join(directory, f"shard-{i:03d}.sqlite") for i in range(count)
+        ]
+
+    @classmethod
+    def in_directory(cls, directory: str, count: int) -> "ShardSet":
+        """``count`` shard files under ``directory`` (created if absent)."""
+        return cls(cls.paths_in_directory(directory, count))
+
+    @classmethod
+    def in_memory(cls, count: int) -> "ShardSet":
+        """In-memory shards — single-process unit tests of the views."""
+        if count < 1:
+            raise ParameterError("need at least one shard")
+        shard_set = cls.__new__(cls)
+        shard_set._paths = [":memory:"] * count
+        shard_set._databases = [Database() for _ in range(count)]
+        return shard_set
+
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    @property
+    def paths(self) -> list[str]:
+        return list(self._paths)
+
+    @property
+    def databases(self) -> list[Database]:
+        return list(self._databases)
+
+    def index_for(self, token: bytes) -> int:
+        return shard_index(token, len(self._databases))
+
+    def database_for(self, token: bytes) -> Database:
+        return self._databases[self.index_for(token)]
+
+    def close(self) -> None:
+        for database in self._databases:
+            database.close()
+
+    def __enter__(self) -> "ShardSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedSpentTokenStore:
+    """:class:`~repro.storage.spent_tokens.SpentTokenStore` over shards."""
+
+    def __init__(self, shards: ShardSet, kind: str):
+        self._shards = shards
+        self._kind = kind
+        self._stores = [SpentTokenStore(db, kind) for db in shards.databases]
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    def _store_for(self, token_id: bytes) -> SpentTokenStore:
+        return self._stores[self._shards.index_for(token_id)]
+
+    def try_spend(
+        self, token_id: bytes, *, at: int, transcript: bytes = b""
+    ) -> SpentRecord | None:
+        return self._store_for(token_id).try_spend(
+            token_id, at=at, transcript=transcript
+        )
+
+    def is_spent(self, token_id: bytes) -> bool:
+        return self._store_for(token_id).is_spent(token_id)
+
+    def record_for(self, token_id: bytes) -> SpentRecord | None:
+        return self._store_for(token_id).record_for(token_id)
+
+    def unspend(self, token_id: bytes) -> bool:
+        return self._store_for(token_id).unspend(token_id)
+
+    def count(self) -> int:
+        return sum(store.count() for store in self._stores)
+
+    def spent_between(self, start: int, end: int) -> list[SpentRecord]:
+        merged: list[SpentRecord] = []
+        for store in self._stores:
+            merged.extend(store.spent_between(start, end))
+        merged.sort(key=lambda record: (record.spent_at, record.token_id))
+        return merged
+
+
+def _signed_snapshot(
+    ids: list[bytes], signing_key: RsaPrivateKey
+) -> tuple[SignedSnapshot, MerkleTree]:
+    """The one place a sharded LRL snapshot is assembled and signed.
+
+    Version, count, root and the returned tree all derive from the
+    same ``ids`` list — device sync and non-revocation proofs must
+    never be built from diverging copies of this logic.
+    """
+    tree = MerkleTree(ids)
+    count = len(ids)
+    payload = _snapshot_payload(count, tree.root, count)
+    snapshot = SignedSnapshot(
+        version=count,
+        merkle_root=tree.root,
+        count=count,
+        signature=signing_key.sign_pkcs1(payload),
+    )
+    return snapshot, tree
+
+
+#: How far a late revocation's timestamp may lag the merged order.
+#: Deterministic issuance stamps entries with the *request* time, and
+#: the provider's freshness check accepts stamps up to one window in
+#: EITHER direction (``abs(at - now) <= WINDOW``) — so the watermark
+#: entry may be stamped a window into the future while a later
+#: newcomer is stamped a window into the past.  The overlap must span
+#: both skews: 2x the freshness window, derived (not copied) so a
+#: change to the freshness policy widens the redelivery guarantee
+#: with it.
+_ENTRY_OVERLAP = 2 * REQUEST_FRESHNESS_WINDOW
+
+
+class ShardedRevocationList:
+    """:class:`~repro.storage.revocation.RevocationList` over shards.
+
+    Versions are the one API wrinkle: each shard numbers its own
+    entries, and the global version is the *total entry count* — still
+    strictly monotone (every revocation lands on exactly one shard), so
+    snapshot freshness comparisons keep working.  ``entries_since``
+    serves deltas against a merged, deterministically ordered view.
+    Because a new entry can sort *before* positions a device already
+    synced (equal or straggling timestamps from another shard), deltas
+    are deliberately **conservative**: they overlap the synced
+    watermark by the freshness window, redelivering recent entries the
+    device may already hold.  Devices dedup by licence id and verify
+    the signed Merkle root, so redelivery is harmless and any remaining
+    anomaly is detected, never silent.  (The merge is a full scan of
+    all shards — fine for the LRL, which is off the sell/redeem hot
+    path; an indexed global ordering needs the cross-shard sequencer
+    the ROADMAP lists as an open item.)
+    """
+
+    def __init__(self, shards: ShardSet):
+        self._shards = shards
+        self._lists = [RevocationList(db) for db in shards.databases]
+
+    def _list_for(self, license_id: bytes) -> RevocationList:
+        return self._lists[self._shards.index_for(license_id)]
+
+    def revoke(self, license_id: bytes, *, at: int, reason: str) -> int:
+        """Route to the home shard; returns that shard's new version.
+
+        Callers on the exchange hot path ignore the return value, so
+        this deliberately does NOT compute the global version (one
+        COUNT per shard) — :meth:`current_version` serves readers that
+        want it.
+        """
+        return self._list_for(license_id).revoke(license_id, at=at, reason=reason)
+
+    def is_revoked(self, license_id: bytes) -> bool:
+        return self._list_for(license_id).is_revoked(license_id)
+
+    def revoked_subset(self, license_ids: Iterable[bytes]) -> set[bytes]:
+        by_shard: dict[int, list[bytes]] = {}
+        for license_id in license_ids:
+            by_shard.setdefault(self._shards.index_for(license_id), []).append(
+                license_id
+            )
+        revoked: set[bytes] = set()
+        for index, ids in by_shard.items():
+            revoked.update(self._lists[index].revoked_subset(ids))
+        return revoked
+
+    def current_version(self) -> int:
+        return sum(lst.count() for lst in self._lists)
+
+    def count(self) -> int:
+        return sum(lst.count() for lst in self._lists)
+
+    def all_ids(self) -> list[bytes]:
+        merged: list[bytes] = []
+        for lst in self._lists:
+            merged.extend(lst.all_ids())
+        merged.sort()
+        return merged
+
+    def _merged_entries(self) -> list[RevocationEntry]:
+        entries: list[RevocationEntry] = []
+        for lst in self._lists:
+            entries.extend(lst.entries_since(0))
+        entries.sort(key=lambda entry: (entry.revoked_at, entry.license_id))
+        return [
+            RevocationEntry(
+                license_id=entry.license_id,
+                version=position,
+                revoked_at=entry.revoked_at,
+                reason=entry.reason,
+            )
+            for position, entry in enumerate(entries, start=1)
+        ]
+
+    def sync_since(
+        self, version: int, signing_key: RsaPrivateKey
+    ) -> tuple[list[RevocationEntry], SignedSnapshot]:
+        """Delta entries plus a signed snapshot, from ONE merged scan.
+
+        Workers revoke concurrently with gateway reads; computing the
+        delta and the snapshot from separate scans could sign a root
+        covering an entry the delta does not deliver, which a device
+        would (correctly) reject as an integrity failure.
+        """
+        merged = self._merged_entries()
+        entries = self._delta(merged, version)
+        snapshot, _ = _signed_snapshot(
+            sorted(entry.license_id for entry in merged), signing_key
+        )
+        return entries, snapshot
+
+    def entries_since(self, version: int) -> list[RevocationEntry]:
+        return self._delta(self._merged_entries(), version)
+
+    @staticmethod
+    def _delta(
+        merged: list[RevocationEntry], version: int
+    ) -> list[RevocationEntry]:
+        if version <= 0 or not merged:
+            return merged
+        # Everything past the synced position, plus every entry within
+        # the overlap window of that position's timestamp: an entry
+        # revoked *after* the device synced carries a stamp no older
+        # than watermark - overlap, so the union is guaranteed to be a
+        # superset of whatever the device is missing.
+        watermark_at = merged[min(version, len(merged)) - 1].revoked_at
+        cutoff = watermark_at - _ENTRY_OVERLAP
+        return [
+            entry
+            for entry in merged
+            if entry.version > version or entry.revoked_at >= cutoff
+        ]
+
+    # -- snapshot / distribution (same contract as the single store) ----
+
+    def merkle_tree(self) -> MerkleTree:
+        return MerkleTree(self.all_ids())
+
+    def snapshot_with_tree(
+        self, signing_key: RsaPrivateKey
+    ) -> tuple[SignedSnapshot, MerkleTree]:
+        """A signed snapshot plus the exact tree it was computed from.
+
+        One merged scan feeds version, count, root *and* the returned
+        tree: workers revoke concurrently with gateway reads, and a
+        snapshot assembled from two scans could sign a root that does
+        not match its own version/count — or worse, hand a caller a
+        proof computed against a different tree than the signed root.
+        (The global version *is* the entry count, so a single scan
+        covers all three fields.)
+        """
+        return _signed_snapshot(self.all_ids(), signing_key)
+
+    def snapshot(self, signing_key: RsaPrivateKey) -> SignedSnapshot:
+        snapshot, _ = self.snapshot_with_tree(signing_key)
+        return snapshot
+
+    def bloom_filter(self, fp_rate: float = 0.01):
+        from ..storage.bloom import BloomFilter
+
+        return BloomFilter.build(self.all_ids(), fp_rate=fp_rate)
+
+
+class ShardedLicenseStore:
+    """:class:`~repro.storage.licenses.LicenseStore` over shards."""
+
+    def __init__(self, shards: ShardSet):
+        self._shards = shards
+        self._stores = [LicenseStore(db) for db in shards.databases]
+
+    def _store_for(self, license_id: bytes) -> LicenseStore:
+        return self._stores[self._shards.index_for(license_id)]
+
+    def insert(self, license_id: bytes, **fields) -> None:
+        self._store_for(license_id).insert(license_id, **fields)
+
+    def get(self, license_id: bytes) -> LicenseRecord | None:
+        return self._store_for(license_id).get(license_id)
+
+    def set_status(self, license_id: bytes, status: str) -> None:
+        self._store_for(license_id).set_status(license_id, status)
+
+    def transition(
+        self, license_id: bytes, *, from_status: str, to_status: str
+    ) -> bool:
+        return self._store_for(license_id).transition(
+            license_id, from_status=from_status, to_status=to_status
+        )
+
+    def by_holder(self, holder: bytes) -> list[LicenseRecord]:
+        return self._merge(lambda store: store.by_holder(holder))
+
+    def by_content(self, content_id: str) -> list[LicenseRecord]:
+        return self._merge(lambda store: store.by_content(content_id))
+
+    def issued_between(self, start: int, end: int) -> list[LicenseRecord]:
+        return self._merge(lambda store: store.issued_between(start, end))
+
+    def count(self, *, kind: str | None = None, status: str | None = None) -> int:
+        return sum(store.count(kind=kind, status=status) for store in self._stores)
+
+    def distinct_holders(self) -> int:
+        holders: set[bytes] = set()
+        for database in self._shards.databases:
+            rows = database.query_all(
+                "SELECT DISTINCT holder FROM licenses WHERE holder IS NOT NULL"
+            )
+            holders.update(row[0] for row in rows)
+        return len(holders)
+
+    def _merge(self, select) -> list[LicenseRecord]:
+        merged: list[LicenseRecord] = []
+        for store in self._stores:
+            merged.extend(select(store))
+        merged.sort(key=lambda record: (record.issued_at, record.license_id))
+        return merged
+
+
+class ShardedAuditLog:
+    """Hash-chained audit logs, one chain per shard.
+
+    Each writer appends to its *preferred* shard's chain (workers get
+    distinct preferred shards, so chains are mostly single-writer and
+    never contended), while reads merge every chain into one timeline.
+    Tamper evidence is preserved per chain: :meth:`verify_chain` checks
+    all of them.
+    """
+
+    def __init__(self, shards: ShardSet, *, preferred_shard: int = 0):
+        self._shards = shards
+        self._logs = [AuditLog(db) for db in shards.databases]
+        self._preferred = preferred_shard % len(self._logs)
+
+    def append(self, *, at: int, actor: str, event: str, payload: dict) -> AuditEntry:
+        return self._logs[self._preferred].append(
+            at=at, actor=actor, event=event, payload=payload
+        )
+
+    def entries(self, *, event: str | None = None) -> list[AuditEntry]:
+        merged: list[tuple[int, int, int, AuditEntry]] = []
+        for shard, log in enumerate(self._logs):
+            merged.extend(
+                (entry.at, shard, entry.seq, entry)
+                for entry in log.entries(event=event)
+            )
+        merged.sort(key=lambda item: item[:3])
+        return [entry for *_, entry in merged]
+
+    def count(self) -> int:
+        return sum(log.count() for log in self._logs)
+
+    def verify_chain(self) -> int:
+        return sum(log.verify_chain() for log in self._logs)
+
+    def chains(self) -> Iterator[AuditLog]:
+        return iter(self._logs)

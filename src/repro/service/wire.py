@@ -1,0 +1,187 @@
+"""Wire format for the service layer: every request and response as
+canonical bytes.
+
+The protocol dataclasses in :mod:`repro.core.messages` already know
+their codec dict form (``as_dict``/``from_dict``); this module wraps
+them in a type-tagged envelope so a byte string is self-describing —
+a gateway can route it and a worker can decode it without out-of-band
+context.  The envelope rides the same canonical codec the signatures
+use, so encoding is deterministic: one object, one byte string,
+``decode(encode(x)) == x`` byte-for-byte.
+
+Errors are first-class wire citizens.  A worker cannot raise across a
+process boundary, so every exception the desks produce is encoded with
+its type, message and evidence payload (a
+:class:`~repro.core.messages.MisuseEvidence` survives the trip intact
+— the TTP needs it verbatim), and the gateway re-raises a faithful
+reconstruction on the caller's side.
+"""
+
+from __future__ import annotations
+
+from .. import codec
+from ..core.licenses import AnonymousLicense, PersonalLicense
+from ..core.messages import (
+    DepositRequest,
+    ExchangeRequest,
+    MisuseEvidence,
+    PurchaseRequest,
+    RedeemRequest,
+)
+from ..errors import (
+    CodecError,
+    DoubleRedemptionError,
+    DoubleSpendError,
+    ReproError,
+    RightsDenied,
+)
+
+# -- request envelopes -------------------------------------------------------
+
+KIND_SELL = "sell"
+KIND_REDEEM = "redeem"
+KIND_EXCHANGE = "exchange"
+KIND_DEPOSIT = "deposit"
+
+_REQUEST_WHAT = "service-request"
+_RESPONSE_WHAT = "service-response"
+
+_REQUEST_TYPES: dict[str, type] = {
+    KIND_SELL: PurchaseRequest,
+    KIND_REDEEM: RedeemRequest,
+    KIND_EXCHANGE: ExchangeRequest,
+    KIND_DEPOSIT: DepositRequest,
+}
+_KIND_OF_TYPE = {cls: kind for kind, cls in _REQUEST_TYPES.items()}
+
+
+def request_kind(request) -> str:
+    """The wire kind for a request object (routing key at the gateway)."""
+    try:
+        return _KIND_OF_TYPE[type(request)]
+    except KeyError:
+        raise CodecError(
+            f"not a service request: {type(request).__name__}"
+        ) from None
+
+
+def encode_request(request) -> bytes:
+    """Self-describing canonical bytes for any protocol request."""
+    return codec.encode(
+        {
+            "what": _REQUEST_WHAT,
+            "kind": request_kind(request),
+            "body": request.as_dict(),
+        }
+    )
+
+
+def decode_request(data: bytes):
+    """Inverse of :func:`encode_request`; returns the typed dataclass."""
+    envelope = codec.decode(data)
+    if not isinstance(envelope, dict) or envelope.get("what") != _REQUEST_WHAT:
+        raise CodecError("not a service request envelope")
+    request_type = _REQUEST_TYPES.get(envelope.get("kind"))
+    if request_type is None:
+        raise CodecError(f"unknown request kind {envelope.get('kind')!r}")
+    return request_type.from_dict(envelope["body"])
+
+
+# -- response envelopes ------------------------------------------------------
+
+RESPONSE_PERSONAL = "personal-license"
+RESPONSE_ANONYMOUS = "anonymous-license"
+RESPONSE_RECEIPT = "deposit-receipt"
+RESPONSE_ERROR = "error"
+
+
+def encode_response(result) -> bytes:
+    """Canonical bytes for a desk outcome — a licence, a deposit
+    receipt (``{"account", "credited"}`` dict), or an exception."""
+    if isinstance(result, PersonalLicense):
+        kind, body = RESPONSE_PERSONAL, result.as_dict()
+    elif isinstance(result, AnonymousLicense):
+        kind, body = RESPONSE_ANONYMOUS, result.as_dict()
+    elif isinstance(result, BaseException):
+        kind, body = RESPONSE_ERROR, _encode_error(result)
+    elif isinstance(result, dict):
+        kind, body = RESPONSE_RECEIPT, result
+    else:
+        raise CodecError(f"not a service response: {type(result).__name__}")
+    return codec.encode({"what": _RESPONSE_WHAT, "kind": kind, "body": body})
+
+
+def decode_response(data: bytes):
+    """Inverse of :func:`encode_response`.
+
+    Errors come back as exception *instances* (not raised): batch
+    callers keep queue semantics, where each slot is a result or the
+    exception that rejected it.
+    """
+    envelope = codec.decode(data)
+    if not isinstance(envelope, dict) or envelope.get("what") != _RESPONSE_WHAT:
+        raise CodecError("not a service response envelope")
+    kind = envelope.get("kind")
+    body = envelope["body"]
+    if kind == RESPONSE_PERSONAL:
+        return PersonalLicense.from_dict(body)
+    if kind == RESPONSE_ANONYMOUS:
+        return AnonymousLicense.from_dict(body)
+    if kind == RESPONSE_RECEIPT:
+        return body
+    if kind == RESPONSE_ERROR:
+        return _decode_error(body)
+    raise CodecError(f"unknown response kind {kind!r}")
+
+
+# -- error marshalling -------------------------------------------------------
+
+
+def _error_registry() -> dict[str, type]:
+    """Every concrete exception type the desks can raise, by name."""
+    from .. import errors as errors_module
+
+    registry: dict[str, type] = {}
+    for name in dir(errors_module):
+        candidate = getattr(errors_module, name)
+        if isinstance(candidate, type) and issubclass(candidate, ReproError):
+            registry[name] = candidate
+    return registry
+
+
+_ERRORS = _error_registry()
+
+
+def _encode_error(error: BaseException) -> dict:
+    body: dict = {"type": type(error).__name__, "message": str(error)}
+    if isinstance(error, DoubleSpendError):
+        body["coin_id"] = error.coin_id
+    if isinstance(error, DoubleRedemptionError):
+        body["token_id"] = error.token_id
+        evidence = getattr(error, "evidence", None)
+        if evidence is not None:
+            body["evidence"] = codec.encode(evidence.as_dict())
+    if isinstance(error, RightsDenied):
+        body["action"] = error.action
+        body["reason"] = error.reason
+    return body
+
+
+def _decode_error(body: dict) -> ReproError:
+    error_type = _ERRORS.get(body.get("type", ""))
+    if error_type is DoubleSpendError:
+        return DoubleSpendError(bytes(body["coin_id"]))
+    if error_type is DoubleRedemptionError:
+        error = DoubleRedemptionError(bytes(body["token_id"]))
+        if "evidence" in body:
+            error.evidence = MisuseEvidence.from_dict(
+                codec.decode(bytes(body["evidence"]))
+            )
+        return error
+    if error_type is RightsDenied:
+        return RightsDenied(body["action"], body["reason"])
+    if error_type is None:
+        # Version skew: an unknown type still surfaces as a ReproError
+        # carrying its original name, never a silent success.
+        return ReproError(f"{body.get('type')}: {body.get('message')}")
+    return error_type(body.get("message", ""))

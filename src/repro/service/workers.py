@@ -1,0 +1,474 @@
+"""Worker processes: the provider's desks, replicated and shard-backed.
+
+Each worker is a full provider desk — the *same*
+:class:`~repro.core.actors.provider.ContentProvider` and batch
+pipelines as the in-process deployment — wired to:
+
+- the shared per-shard store files (:mod:`repro.service.sharding`),
+  so state and the exactly-once gates are common to the whole pool;
+- a :class:`ShardedDepositDesk` standing in for the bank's deposit
+  side (signature verification needs only the bank's public keys);
+- deterministic issuance, so which worker handles a request never
+  changes the bytes that come back;
+- its own warm fastexp tables, built at startup after a
+  :func:`repro.crypto.fastexp.reset` — a worker must not inherit
+  whatever exponentiation mode or table registry the parent process
+  (a benchmark arm, say) happened to leave behind.
+
+Requests arrive on the worker's queue as ``(request_id, bytes)``
+pairs and are coalesced into batches (up to ``max_batch`` items,
+waiting at most ``max_wait`` seconds for stragglers) so the aggregate
+verification paths have something to amortize over even when the
+gateway submits one request at a time.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+
+from ..clock import SimClock
+from ..core.actors.provider import ContentProvider, ProviderStores
+from ..core.messages import Coin, DepositRequest, ExchangeRequest, PurchaseRequest, RedeemRequest
+from ..crypto import fastexp
+from ..crypto.blind_rsa import batch_verify_blind_signatures
+from ..crypto.groups import named_group
+from ..crypto.rand import DeterministicRandomSource, default_source
+from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from ..errors import DoubleSpendError, PaymentError, ServiceError
+from ..storage.contents import ContentStore
+from ..storage.engine import Database
+from . import wire
+from .sharding import (
+    ShardedAuditLog,
+    ShardedLicenseStore,
+    ShardedRevocationList,
+    ShardedSpentTokenStore,
+    ShardSet,
+)
+
+#: Default batch hand-off knobs: big enough for the aggregate checks to
+#: pay, short enough that a lone request is not held hostage.
+DEFAULT_MAX_BATCH = 32
+DEFAULT_MAX_WAIT = 0.02
+
+
+@dataclass(frozen=True)
+class CatalogItem:
+    """One published content item, as shipped to every worker."""
+
+    content_id: str
+    title: str
+    price_cents: int
+    added_at: int
+    package: bytes
+    content_key: bytes
+    rights_template: str
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a worker needs to become the provider.
+
+    Pure data (ints, bytes, frozen dataclasses), so it crosses the
+    process boundary under any multiprocessing start method.
+    """
+
+    shard_paths: tuple[str, ...]
+    rng_seed: bytes
+    clock_start: int
+    group_name: str
+    issuer_key: RsaPublicKey
+    license_key: RsaPrivateKey
+    bank_keys: dict[int, RsaPublicKey]
+    catalog: tuple[CatalogItem, ...]
+    provider_name: str = "content-provider"
+    bank_account: str = "content-provider-account"
+    escrow_key_element: int | None = None
+    max_batch: int = DEFAULT_MAX_BATCH
+    max_wait: float = DEFAULT_MAX_WAIT
+
+    @classmethod
+    def from_deployment(
+        cls,
+        deployment,
+        shard_paths,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait: float = DEFAULT_MAX_WAIT,
+    ) -> "ServiceConfig":
+        """Capture a built deployment's provider as a worker config.
+
+        The deployment stays usable; the service layer takes over the
+        provider *role* — same keys, same catalog, fresh sharded state.
+        """
+        provider = deployment.provider
+        rng = provider._rng
+        seed = getattr(rng, "seed", None)
+        if seed is None:
+            # Non-deterministic parent: issuance stays deterministic
+            # *across workers* by deriving every worker's rng from one
+            # fresh shared seed.
+            seed = default_source().random_bytes(32)
+        catalog = []
+        contents = provider._contents
+        for entry in provider.catalog():
+            catalog.append(
+                CatalogItem(
+                    content_id=entry.content_id,
+                    title=entry.title,
+                    price_cents=entry.price_cents,
+                    added_at=entry.added_at,
+                    package=contents.package(entry.content_id),
+                    content_key=contents.content_key(entry.content_id),
+                    rights_template=contents.rights_template(entry.content_id),
+                )
+            )
+        return cls(
+            shard_paths=tuple(shard_paths),
+            rng_seed=bytes(seed),
+            clock_start=deployment.clock.now(),
+            group_name=deployment.group.name,
+            issuer_key=deployment.issuer.certificate_key,
+            license_key=provider._license_key,
+            bank_keys=dict(deployment.bank.public_keys()),
+            catalog=tuple(catalog),
+            provider_name=provider.name,
+            bank_account=provider._bank_account,
+            escrow_key_element=deployment.issuer.escrow_key.y,
+            max_batch=max_batch,
+            max_wait=max_wait,
+        )
+
+
+class ShardedDepositDesk:
+    """The bank's deposit side, runnable in any worker.
+
+    Verification needs only the per-denomination *public* keys; the
+    exactly-once gate is the sharded ``ecash`` spent store, shared by
+    every worker through the shard files.  A payment's coins are spent
+    one at a time — when a later coin turns out already spent, the
+    earlier coins of that same (never credited) payment are released
+    again, so a refused deposit costs the payer nothing and the racing
+    winner's spends are untouched.
+    """
+
+    def __init__(
+        self,
+        *,
+        public_keys: dict[int, RsaPublicKey],
+        spent: ShardedSpentTokenStore,
+        clock,
+        name: str = "deposit-desk",
+    ):
+        self.name = name
+        self._keys = dict(public_keys)
+        self._spent = spent
+        self._clock = clock
+        self._credited: dict[str, int] = {}
+
+    def open_account(self, account_id: str, *, initial_balance: int = 0) -> None:
+        """Idempotent: accounts also auto-open on first deposit, so a
+        duplicate-open error would be meaningless here (unlike the real
+        bank's ledger, which stays authoritative for balances)."""
+        self._credited.setdefault(account_id, initial_balance)
+
+    def credited(self, account_id: str) -> int:
+        """Credits THIS worker's desk has accepted for the account.
+
+        Deliberately not called ``balance``: deposits for one account
+        spread over every worker in the pool (routing follows the
+        coins, not the account), so the pool-wide figure is the sum of
+        the workers' desks — the sharded ledger on the ROADMAP.
+        """
+        return self._credited.get(account_id, 0)
+
+    def public_key(self, denomination: int) -> RsaPublicKey:
+        key = self._keys.get(denomination)
+        if key is None:
+            raise PaymentError(f"unsupported denomination {denomination}")
+        return key
+
+    def verify_coins(self, coins: list[Coin]) -> None:
+        by_denomination: dict[int, list[Coin]] = {}
+        for coin in coins:
+            by_denomination.setdefault(coin.value, []).append(coin)
+        for denomination, batch in by_denomination.items():
+            key = self.public_key(denomination)
+            batch_verify_blind_signatures(
+                [(coin.payload(), coin.signature) for coin in batch], key
+            )
+
+    def deposit_batch(self, account_id: str, coins: list[Coin]) -> int:
+        """Verify and credit one payment's coins, exactly once each.
+
+        Returns the amount credited.  Raises
+        :class:`~repro.errors.DoubleSpendError` when any serial was
+        already spent — by this batch, another worker, or an earlier
+        payment — with the whole payment rolled back.
+
+        Crash window: a worker dying between spending a payment's
+        first coin and the credit/rollback leaves that coin durably
+        spent but never credited (its transcript records depositor and
+        time, so an operator can reconcile) — the cross-shard
+        sequencer on the ROADMAP is what would make the multi-coin
+        spend atomic across shard files.
+        """
+        coins = list(coins)
+        # Unknown accounts are opened on first deposit: a merchant
+        # account service-side is just a credit accumulator (this
+        # worker's view of it — the authoritative pool-wide ledger is
+        # the ROADMAP's sharded-accounts item), and requiring an
+        # out-of-band opening would make the deposit wire kind
+        # unusable for anyone but the provider.
+        self.open_account(account_id)
+        self.verify_coins(coins)
+        from .. import codec
+
+        now = self._clock.now()
+        # Canonical spend order, and a read-only pre-screen first: the
+        # common double-spend is caught before this payment touches any
+        # state, which keeps the compensation path below rare.
+        # key= keeps the sort off the Coin objects themselves: two coins
+        # tying on (value, serial) — craftable by varying signature
+        # bytes — must produce a double-spend verdict, not a TypeError.
+        ordered = sorted(
+            ((coin.spent_token(), coin) for coin in coins),
+            key=lambda pair: pair[0],
+        )
+        for token, coin in ordered:
+            if self._spent.is_spent(token):
+                raise DoubleSpendError(coin.serial)
+        spent_here: list[bytes] = []
+        for token, coin in ordered:
+            transcript = codec.encode(
+                {"depositor": account_id, "at": now, "value": coin.value}
+            )
+            previous = self._spent.try_spend(token, at=now, transcript=transcript)
+            if previous is not None:
+                # Another presenter (possibly on another worker) owns
+                # this serial: release what this payment spent so far.
+                # A concurrent payment sharing one of *those* coins can
+                # observe the transient spend and be refused — its
+                # retry succeeds (the coin was never credited and is
+                # released here), so the refusal is a retryable race
+                # verdict, not durable misuse evidence.  Making the
+                # multi-coin spend atomic across shard files needs the
+                # cross-shard sequencer on the ROADMAP.
+                for unwind in spent_here:
+                    try:
+                        self._spent.unspend(unwind)
+                    except Exception:
+                        # A busy shard must not mask the double-spend
+                        # verdict or stop the remaining releases; an
+                        # unreleased coin reconciles like the crash
+                        # window above (spent, never credited).
+                        pass
+                raise DoubleSpendError(coin.serial)
+            spent_here.append(token)
+        credited = sum(coin.value for coin in coins)
+        self._credited[account_id] += credited
+        return credited
+
+
+def build_worker_provider(
+    config: ServiceConfig, worker_index: int, shards: ShardSet
+) -> tuple[ContentProvider, ShardedDepositDesk, SimClock]:
+    """A full provider desk over the shared shards, for one worker."""
+    clock = SimClock(config.clock_start)
+    desk = ShardedDepositDesk(
+        public_keys=config.bank_keys,
+        spent=ShardedSpentTokenStore(shards, "ecash"),
+        clock=clock,
+    )
+    stores = ProviderStores(
+        contents=_catalog_store(config),
+        licenses=ShardedLicenseStore(shards),
+        revocations=ShardedRevocationList(shards),
+        spent_tokens=ShardedSpentTokenStore(shards, "anon-license"),
+        request_nonces=ShardedSpentTokenStore(shards, "request-nonce"),
+        audit=ShardedAuditLog(shards, preferred_shard=worker_index),
+    )
+    provider = ContentProvider(
+        rng=DeterministicRandomSource(config.rng_seed),
+        clock=clock,
+        issuer_certificate_key=config.issuer_key,
+        bank=desk,
+        stores=stores,
+        license_key=config.license_key,
+        name=config.provider_name,
+        bank_account=config.bank_account,
+        deterministic_issuance=True,
+    )
+    return provider, desk, clock
+
+
+def _catalog_store(config: ServiceConfig) -> ContentStore:
+    """The static catalog, rebuilt in worker-local memory.
+
+    Published content never changes under the pool (publishing happens
+    before the gateway starts), so every worker keeps a private copy —
+    reads of packages and content keys then never touch a shared file.
+    """
+    store = ContentStore(Database())
+    for item in config.catalog:
+        store.add(
+            item.content_id,
+            title=item.title,
+            price_cents=item.price_cents,
+            added_at=item.added_at,
+            package=item.package,
+            content_key=item.content_key,
+            rights_template=item.rights_template,
+        )
+    return store
+
+
+def warm_fastexp(config: ServiceConfig) -> None:
+    """Per-worker table warm-up from a clean slate."""
+    fastexp.reset()
+    group = named_group(config.group_name)
+    group.precompute_generator()
+    if config.escrow_key_element is not None:
+        group.precompute_base(config.escrow_key_element)
+
+
+@dataclass
+class _Drained:
+    """One coalesced queue batch plus whether shutdown was seen."""
+
+    items: list = field(default_factory=list)
+    shutdown: bool = False
+
+
+def _drain_batch(request_queue, max_batch: int, max_wait: float) -> _Drained:
+    drained = _Drained()
+    try:
+        first = request_queue.get()
+    except (EOFError, OSError):
+        drained.shutdown = True
+        return drained
+    if first is None:
+        drained.shutdown = True
+        return drained
+    drained.items.append(first)
+    deadline = time.monotonic() + max_wait
+    while len(drained.items) < max_batch:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            item = request_queue.get(timeout=remaining)
+        except queue_module.Empty:
+            break
+        except (EOFError, OSError):
+            drained.shutdown = True
+            break
+        if item is None:
+            drained.shutdown = True
+            break
+        drained.items.append(item)
+    return drained
+
+
+def worker_main(worker_index, config, request_queue, response_queue):
+    """Entry point of one worker process.
+
+    Builds the desk, then loops: drain a batch from the queue, run the
+    batch pipelines, push ``(request_id, response_bytes)`` results.  A
+    ``None`` queue item shuts the worker down cleanly.
+    """
+    warm_fastexp(config)
+    shards = ShardSet(config.shard_paths)
+    try:
+        provider, desk, clock = build_worker_provider(config, worker_index, shards)
+        while True:
+            drained = _drain_batch(request_queue, config.max_batch, config.max_wait)
+            if drained.items:
+                try:
+                    _process_batch(
+                        provider, desk, clock, drained.items, response_queue
+                    )
+                except Exception as exc:
+                    # The per-item pipelines catch their own failures;
+                    # anything escaping here is a shared-stage error
+                    # (a busy shard in an aggregate pass, say).  Fail
+                    # the batch, keep the worker: one transient error
+                    # must not permanently degrade the pool.  Items
+                    # already answered just produce a duplicate
+                    # response, which the gateway parks and bounds.
+                    failure = ServiceError(f"worker batch failed: {exc!r}")
+                    for request_id, *_ in drained.items:
+                        response_queue.put(
+                            (request_id, wire.encode_response(failure))
+                        )
+            if drained.shutdown:
+                return
+    finally:
+        shards.close()
+
+
+def _process_batch(provider, desk, clock, items, response_queue) -> None:
+    """Decode, dispatch per kind through the batch pipelines, respond."""
+    # The worker clock follows the *gateway's* stamps — time is
+    # distributed from the operator side of the wire.  Request bodies
+    # also carry timestamps, but those are client-controlled: trusting
+    # them here (even validated ones) would let signed-but-bogus
+    # stamps ratchet the clock and freshness-DoS honest traffic.
+    latest_stamp = max(stamp for _, _, stamp in items)
+    if latest_stamp > clock.now():
+        clock.set(latest_stamp)
+
+    decoded: list[tuple[int, object]] = []
+    for request_id, payload, _ in items:
+        try:
+            decoded.append((request_id, wire.decode_request(payload)))
+        except Exception as exc:
+            response_queue.put((request_id, wire.encode_response(exc)))
+
+    sells = [(rid, r) for rid, r in decoded if isinstance(r, PurchaseRequest)]
+    redeems = [(rid, r) for rid, r in decoded if isinstance(r, RedeemRequest)]
+    exchanges = [(rid, r) for rid, r in decoded if isinstance(r, ExchangeRequest)]
+    deposits = [(rid, r) for rid, r in decoded if isinstance(r, DepositRequest)]
+
+    if sells:
+        results = provider.sell_batch([request for _, request in sells])
+        for (request_id, _), result in zip(sells, results):
+            response_queue.put((request_id, wire.encode_response(result)))
+    if redeems:
+        results = provider.redeem_batch([request for _, request in redeems])
+        for (request_id, _), result in zip(redeems, results):
+            response_queue.put((request_id, wire.encode_response(result)))
+    for request_id, request in exchanges:
+        try:
+            result = provider.exchange(request)
+        except Exception as exc:
+            result = exc
+        response_queue.put((request_id, wire.encode_response(result)))
+    for request_id, request in deposits:
+        try:
+            credited = desk.deposit_batch(request.account, list(request.coins))
+            result = {"account": request.account, "credited": credited}
+        except Exception as exc:
+            result = exc
+        response_queue.put((request_id, wire.encode_response(result)))
+
+
+def require_start_method() -> str:
+    """The multiprocessing start method the pool uses on this host."""
+    import multiprocessing
+
+    import sys
+
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform == "linux" and "fork" in methods:
+        # Cheapest on Linux, and workers rebuild their own state anyway
+        # (warm_fastexp resets whatever was inherited).  Elsewhere —
+        # macOS in particular, where forked CPython children abort in
+        # system frameworks — spawn is the safe choice, which is why
+        # CPython itself switched those defaults.
+        return "fork"
+    if "spawn" in methods:
+        return "spawn"
+    raise ServiceError("no usable multiprocessing start method")

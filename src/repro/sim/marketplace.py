@@ -77,7 +77,19 @@ class SimulationReport:
 
 
 class MarketplaceSimulator:
-    """Drive one workload against one deployment mode."""
+    """Drive one workload against one deployment mode.
+
+    ``service_workers > 0`` (p2drm mode only) swaps the in-process
+    provider for the sharded multi-process service layer: the same
+    event stream is routed through a
+    :class:`~repro.service.gateway.ServiceGateway` over
+    ``service_workers`` desk processes and ``service_shards`` store
+    shards.  The report schema is unchanged — the privacy experiments
+    read the same operator knowledge either way — so the sim doubles
+    as the service layer's conformance harness.  Call :meth:`close`
+    (or use the instance as a context manager) to stop the pool and
+    delete the shard files.
+    """
 
     def __init__(
         self,
@@ -86,9 +98,13 @@ class MarketplaceSimulator:
         mode: str = MODE_P2DRM,
         rsa_bits: int = 768,
         group_name: str = "test-512",
+        service_workers: int = 0,
+        service_shards: int | None = None,
     ):
         if mode not in (MODE_P2DRM, MODE_BASELINE):
             raise ValueError(f"unknown mode {mode!r}")
+        if service_workers and mode != MODE_P2DRM:
+            raise ValueError("service_workers requires p2drm mode")
         self.config = config
         self.mode = mode
         self.workload = WorkloadGenerator(config)
@@ -102,10 +118,34 @@ class MarketplaceSimulator:
         #: ``(receiver index, AnonymousLicense)``.  Only populated in
         #: deferred-redemption runs (ACTION_REDEEM carries weight).
         self._pending_redemptions: list[tuple[int, object]] = []
+        self._gateway = None
+        self._service_dir: str | None = None
         self._publish_catalog()
         if mode == MODE_P2DRM:
             self.provider = self.deployment.provider
             self._setup_p2drm_users()
+            if service_workers:
+                import tempfile
+
+                from ..service.gateway import build_gateway
+
+                self._service_dir = tempfile.mkdtemp(prefix="p2drm-sim-shards-")
+                try:
+                    self._gateway = build_gateway(
+                        self.deployment,
+                        self._service_dir,
+                        workers=service_workers,
+                        shards=service_shards,
+                    )
+                except BaseException:
+                    # __init__ never completes, so close() would never
+                    # run — reclaim the shard directory here.
+                    import shutil
+
+                    shutil.rmtree(self._service_dir, ignore_errors=True)
+                    self._service_dir = None
+                    raise
+                self.provider = self._gateway
         else:
             self.provider = BaselineProvider(
                 rng=self.deployment.rng.fork("baseline-provider"),
@@ -116,6 +156,23 @@ class MarketplaceSimulator:
             self._publish_catalog(self.provider)
             self._setup_baseline_users()
         self.device = self._make_device()
+
+    def close(self) -> None:
+        """Stop the service pool (if any) and delete its shard files."""
+        if self._gateway is not None:
+            self._gateway.close()
+            self._gateway = None
+        if self._service_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._service_dir, ignore_errors=True)
+            self._service_dir = None
+
+    def __enter__(self) -> "MarketplaceSimulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- setup ------------------------------------------------------------
 

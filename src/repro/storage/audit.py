@@ -63,7 +63,9 @@ class AuditLog:
     def append(self, *, at: int, actor: str, event: str, payload: dict) -> AuditEntry:
         """Append an event; returns the stored entry with its chain hash."""
         payload_bytes = codec.encode(payload)
-        with self._db.transaction():
+        # Immediate: the prev-hash read and the insert must serialize
+        # against other processes appending to the same chain.
+        with self._db.transaction(immediate=True):
             prev = self._last_hash()
             entry_hash = _entry_hash(at, actor, event, payload_bytes, prev)
             cursor = self._db.execute(

@@ -17,23 +17,50 @@ from typing import Any, Iterator
 from ..errors import MigrationError, StorageError
 
 
+#: How long a connection waits on another process's write lock before
+#: giving up.  Service-layer workers share shard files, so a short
+#: contention window must block, not fail.
+DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+
 class Database:
     """A thin, explicit wrapper over one sqlite3 connection."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        check_same_thread: bool = True,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ):
         self._path = path
+        self._closed = False
         try:
             # isolation_level=None puts sqlite3 in autocommit mode; all
             # transaction boundaries are explicit BEGIN/COMMIT below.
             # (The legacy mode does not wrap DDL, which would make
             # failed migrations non-atomic.)
-            self._conn = sqlite3.connect(path, isolation_level=None)
+            # check_same_thread=False is safe here because every holder
+            # of a Database serializes access itself (one worker process
+            # or the single-threaded test/benchmark driver); the service
+            # layer's shard files need it so a gateway thread can read
+            # what a worker-owned connection opened.
+            self._conn = sqlite3.connect(
+                path, isolation_level=None, check_same_thread=check_same_thread
+            )
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open database {path!r}: {exc}") from exc
         self._conn.execute("PRAGMA foreign_keys = ON")
         # WAL only applies to file databases; in-memory silently ignores it.
         if path != ":memory:":
             self._conn.execute("PRAGMA journal_mode = WAL")
+            # WAL + NORMAL is the canonical pairing: commits stop
+            # fsyncing individually (the WAL is synced at checkpoints),
+            # which is what makes many small exactly-once transactions
+            # from several processes affordable.  A process crash loses
+            # nothing; only an OS/power crash can lose the tail.
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+            self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS _migrations ("
             " name TEXT PRIMARY KEY,"
@@ -47,21 +74,50 @@ class Database:
     def path(self) -> str:
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def migrate(self, name: str, statements: list[str]) -> bool:
-        """Apply a named migration once; returns True if it ran now."""
-        row = self._conn.execute(
-            "SELECT 1 FROM _migrations WHERE name = ?", (name,)
-        ).fetchone()
-        if row:
-            return False
-        self._conn.execute("BEGIN")
+        """Apply a named migration once; returns True if it ran now.
+
+        Safe against concurrent processes opening the same file: the
+        immediate transaction serializes appliers, and the check is
+        repeated under the lock so the loser sees the winner's record.
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT 1 FROM _migrations WHERE name = ?", (name,)
+            ).fetchone()
+            if row:
+                return False
+            self._conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.Error as exc:
+            raise MigrationError(f"migration {name!r} failed: {exc}") from exc
+        try:
+            row = self._conn.execute(
+                "SELECT 1 FROM _migrations WHERE name = ?", (name,)
+            ).fetchone()
+            if row:
+                self._conn.execute("COMMIT")
+                return False
+        except sqlite3.Error as exc:
+            # BEGIN succeeded: the write lock must not be left held.
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass  # connection is broken; the original error matters
+            raise MigrationError(f"migration {name!r} failed: {exc}") from exc
         try:
             for statement in statements:
                 self._conn.execute(statement)
             self._conn.execute("INSERT INTO _migrations(name) VALUES (?)", (name,))
             self._conn.execute("COMMIT")
         except sqlite3.Error as exc:
-            self._conn.execute("ROLLBACK")
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass  # connection is broken; the original error matters
             raise MigrationError(f"migration {name!r} failed: {exc}") from exc
         return True
 
@@ -73,18 +129,42 @@ class Database:
         return [row[0] for row in rows]
 
     @contextmanager
-    def transaction(self) -> Iterator[None]:
-        """All-or-nothing scope; nested use joins the outer transaction."""
+    def transaction(self, *, immediate: bool = False) -> Iterator[None]:
+        """All-or-nothing scope; nested use joins the outer transaction.
+
+        ``immediate=True`` takes the write lock up front (``BEGIN
+        IMMEDIATE``).  Read-then-write scopes that race other
+        *processes* on the same file — the spent-token gate under the
+        worker pool — need it: a deferred transaction would let two
+        processes both pass the read and then deadlock (or fail) on the
+        lock upgrade, instead of serializing cleanly at BEGIN.
+
+        Joining an outer transaction keeps the OUTER semantics: an
+        ``immediate=True`` scope nested inside a deferred one does not
+        upgrade the lock.  Don't wrap the exactly-once stores in an
+        outer deferred transaction on a multi-process file.
+        """
         if self._in_transaction:
             yield
             return
+        # BEGIN can itself fail (busy_timeout expiry under cross-process
+        # contention); the flag is only set once a transaction really
+        # is open, so a failed BEGIN cannot wedge this connection into
+        # treating every later scope as "nested" (which would silently
+        # drop atomicity — the exactly-once gates depend on it).
+        try:
+            self._conn.execute("BEGIN IMMEDIATE" if immediate else "BEGIN")
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot begin transaction: {exc}") from exc
         self._in_transaction = True
-        self._conn.execute("BEGIN")
         try:
             yield
             self._conn.execute("COMMIT")
         except BaseException:
-            self._conn.execute("ROLLBACK")
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass  # connection is broken; the original error matters
             raise
         finally:
             self._in_transaction = False
@@ -123,6 +203,15 @@ class Database:
         return default if row is None else row[0]
 
     def close(self) -> None:
+        """Release the connection; idempotent.
+
+        Per-shard service files are opened by every worker, so leaked
+        handles multiply by ``workers x shards`` — stores and tests
+        close what they open (or use the context-manager form).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._conn.close()
 
     def __enter__(self) -> "Database":

@@ -78,7 +78,10 @@ class LicenseStore:
     ) -> None:
         if kind not in (KIND_PERSONAL, KIND_ANONYMOUS, KIND_IDENTITY):
             raise StorageError(f"unknown licence kind {kind!r}")
-        with self._db.transaction():
+        # Immediate: the duplicate check and the insert must serialize
+        # against other worker processes writing the same shard file —
+        # a deferred scope would hit SQLITE_BUSY_SNAPSHOT on upgrade.
+        with self._db.transaction(immediate=True):
             if self.get(license_id) is not None:
                 raise StorageError(
                     f"licence {license_id.hex()[:16]} already registered"
@@ -116,6 +119,26 @@ class LicenseStore:
         )
         if cursor.rowcount != 1:
             raise StorageError(f"licence {license_id.hex()[:16]} not found")
+
+    def transition(
+        self, license_id: bytes, *, from_status: str, to_status: str
+    ) -> bool:
+        """Atomic compare-and-swap on the lifecycle status.
+
+        Returns whether the transition happened.  One UPDATE statement,
+        so two processes racing the same transition on the licence's
+        home shard serialize at the row — exactly one sees ``True``.
+        This is the exactly-once gate for ``exchange`` (a licence may
+        leave ACTIVE once), the counterpart of the spent-token store's
+        gate on redemption.
+        """
+        if to_status not in _VALID_STATUS:
+            raise StorageError(f"unknown status {to_status!r}")
+        cursor = self._db.execute(
+            "UPDATE licenses SET status = ? WHERE license_id = ? AND status = ?",
+            (to_status, license_id, from_status),
+        )
+        return cursor.rowcount == 1
 
     def by_holder(self, holder: bytes) -> list[LicenseRecord]:
         rows = self._db.query_all(

@@ -96,9 +96,10 @@ class RevocationList:
         """Add ``license_id``; returns the new list version.
 
         Idempotent: re-revoking returns the existing version without a
-        bump.
+        bump.  Immediate, so concurrent writers from different worker
+        processes serialize on the version read.
         """
-        with self._db.transaction():
+        with self._db.transaction(immediate=True):
             row = self._db.query_one(
                 "SELECT version FROM revoked_licenses WHERE license_id = ?",
                 (license_id,),

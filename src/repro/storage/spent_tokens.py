@@ -65,8 +65,12 @@ class SpentTokenStore:
         already spent, returns the **original** :class:`SpentRecord` —
         the caller pairs it with the new attempt as double-spend
         evidence.
+
+        The transaction is immediate: when several worker processes
+        share one shard file, racing spends of the same token serialize
+        at BEGIN, so exactly one caller ever sees ``None``.
         """
-        with self._db.transaction():
+        with self._db.transaction(immediate=True):
             row = self._db.query_one(
                 "SELECT spent_at, transcript FROM spent_tokens"
                 " WHERE kind = ? AND token_id = ?",
@@ -128,3 +132,20 @@ class SpentTokenStore:
             SpentRecord(kind=self._kind, token_id=r[0], spent_at=r[1], transcript=r[2])
             for r in rows
         ]
+
+    def unspend(self, token_id: bytes) -> bool:
+        """Compensation for a *failed composite operation only*.
+
+        The deposit desk spends a payment's coins one at a time; when a
+        later coin turns out double-spent the whole payment is refused,
+        and the earlier coins of that same payment — never credited —
+        are released here so the payer can respend them.  Returns
+        whether a record was removed.  Nothing else may call this: a
+        *credited* spend is permanent by design.
+        """
+        with self._db.transaction(immediate=True):
+            cursor = self._db.execute(
+                "DELETE FROM spent_tokens WHERE kind = ? AND token_id = ?",
+                (self._kind, token_id),
+            )
+            return cursor.rowcount > 0

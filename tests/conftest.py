@@ -16,6 +16,16 @@ from repro.crypto.rand import DeterministicRandomSource
 from repro.crypto.rsa import generate_rsa_key
 
 
+@pytest.fixture(autouse=True)
+def _fastexp_state_guard():
+    """Tests must not inherit (or leak) the exp-mode/enabled switches
+    (tables stay warm — see :func:`repro.crypto.fastexp.switch_guard`)."""
+    from repro.crypto import fastexp
+
+    with fastexp.switch_guard():
+        yield
+
+
 @pytest.fixture()
 def rng(request):
     """A deterministic random source, seeded per test.

@@ -17,6 +17,7 @@ from repro.errors import (
     PaymentError,
     ProtocolError,
     RevokedLicenseError,
+    StorageError,
     UnknownContentError,
 )
 
@@ -203,6 +204,33 @@ class TestExchange:
         )
         with pytest.raises(AuthenticationError):
             deployment.provider.exchange(forged)
+
+    def test_failed_issuance_hands_the_licence_back(self, deployment, users):
+        """A post-CAS failure (busy shard, say) must not burn the
+        holder's licence: the status compensates back to ACTIVE and a
+        retried exchange succeeds."""
+        from repro.storage import licenses as license_store
+
+        user = users["seller"]
+        license_ = self._buy(deployment, user)
+        user.add_license(license_)
+        request = self._exchange_request(deployment, user, license_)
+        original_insert = deployment.provider._licenses.insert
+
+        def failing_insert(*args, **kwargs):
+            raise StorageError("shard busy")
+
+        deployment.provider._licenses.insert = failing_insert
+        try:
+            with pytest.raises(StorageError):
+                deployment.provider.exchange(request)
+        finally:
+            deployment.provider._licenses.insert = original_insert
+        record = deployment.provider.license_register.get(license_.license_id)
+        assert record.status == license_store.STATUS_ACTIVE
+        retry = self._exchange_request(deployment, user, license_)
+        anonymous = deployment.provider.exchange(retry)
+        anonymous.verify(deployment.provider.license_key)
 
     def test_double_exchange_rejected(self, deployment, users):
         user = users["seller"]

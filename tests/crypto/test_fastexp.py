@@ -442,3 +442,38 @@ class TestExpMode:
         for base, exponent in pairs:
             expected = (expected * pow(base, exponent, test_group.p)) % test_group.p
         assert fastexp.multi_pow_shamir(pairs, test_group.p) == expected
+
+
+class TestStateReset:
+    def test_reset_restores_pristine_globals(self):
+        fastexp.precompute(3, 1009, exponent_bits=16)
+        fastexp.set_tables_enabled(False)
+        fastexp.set_exp_mode(fastexp.MODE_WNAF)
+        fastexp.reset()
+        assert fastexp.table_count() == 0
+        assert fastexp.tables_enabled() is True
+        assert fastexp.exp_mode() == fastexp.MODE_NAIVE
+
+    def test_isolated_state_contains_all_three_globals(self):
+        fastexp.reset()
+        fastexp.precompute(3, 1009, exponent_bits=16)
+        before = fastexp.table_count()
+        with fastexp.isolated_state():
+            fastexp.set_exp_mode(fastexp.MODE_WNAF)
+            fastexp.set_tables_enabled(False)
+            fastexp.precompute(5, 1009, exponent_bits=16)
+            fastexp.clear_tables()
+            assert fastexp.table_count() == 0
+        # Everything as it was on entry, including the table registry.
+        assert fastexp.table_count() == before
+        assert fastexp.has_table(3, 1009)
+        assert fastexp.tables_enabled() is True
+        assert fastexp.exp_mode() == fastexp.MODE_NAIVE
+
+    def test_isolated_state_restores_on_exception(self):
+        fastexp.reset()
+        with pytest.raises(RuntimeError):
+            with fastexp.isolated_state():
+                fastexp.set_exp_mode(fastexp.MODE_WNAF)
+                raise RuntimeError("boom")
+        assert fastexp.exp_mode() == fastexp.MODE_NAIVE

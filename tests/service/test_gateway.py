@@ -1,0 +1,376 @@
+"""End-to-end gateway tests: the worker pool against shared shards.
+
+These spawn real worker processes — this file is what the CI service
+lane runs with ``-m "not slow"``; the heavyweight byte-identity sweep
+is marked slow.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import codec
+from repro.core.messages import (
+    NONCE_SIZE,
+    PurchaseRequest,
+    purchase_signing_payload,
+)
+from repro.core.protocols.acquisition import accept_license, build_purchase_request
+from repro.core.protocols.transfer import (
+    accept_redeemed_license,
+    build_exchange_request,
+    build_redeem_request,
+)
+from repro.core.system import build_deployment
+from repro.errors import (
+    AuthenticationError,
+    DoubleRedemptionError,
+    DoubleSpendError,
+    ServiceError,
+)
+from repro.service.gateway import build_gateway
+
+
+def _deployment(seed="gateway-test"):
+    d = build_deployment(seed=seed, rsa_bits=512)
+    d.provider.publish("song-1", b"SONG-ONE" * 32, title="Song One", price=3)
+    return d
+
+
+@pytest.fixture(scope="module")
+def gateway_pair(tmp_path_factory):
+    """One deployment plus a 2-worker/4-shard gateway, shared by the
+    cheap tests (each test uses fresh users and tokens)."""
+    d = _deployment()
+    directory = tmp_path_factory.mktemp("gateway-shards")
+    gateway = build_gateway(d, str(directory), workers=2, shards=4)
+    yield d, gateway
+    gateway.close()
+
+
+def _same_coin_purchase(user, deployment, coins):
+    """A purchase request paying with externally chosen coins."""
+    certificate = user.certificate_for_transaction(deployment.issuer)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = purchase_signing_payload(
+        "song-1",
+        certificate.fingerprint,
+        [coin.serial for coin in coins],
+        nonce,
+        at,
+    )
+    return PurchaseRequest(
+        content_id="song-1",
+        certificate=certificate,
+        coins=tuple(coins),
+        nonce=nonce,
+        at=at,
+        signature=user.require_card().sign(certificate.pseudonym, payload),
+    )
+
+
+def test_sell_end_to_end(gateway_pair):
+    d, gateway = gateway_pair
+    user = d.add_user("e2e-buyer", balance=1_000)
+    request = build_purchase_request(user, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(user, gateway, request, license_)
+    assert user.owns_content("song-1")
+    assert gateway.license_register.get(license_.license_id) is not None
+
+
+def test_exchange_redeem_and_read_views(gateway_pair):
+    d, gateway = gateway_pair
+    sender = d.add_user("e2e-sender", balance=1_000)
+    receiver = d.add_user("e2e-receiver", balance=1_000)
+    request = build_purchase_request(sender, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(sender, gateway, request, license_)
+    anonymous = sender.transfer_out(license_.license_id, provider=gateway)
+    assert gateway.revocation_list.is_revoked(license_.license_id)
+    redeem = build_redeem_request(receiver, gateway, d.issuer, anonymous)
+    new_license = gateway.redeem(redeem)
+    accept_redeemed_license(receiver, gateway, redeem, new_license)
+    assert receiver.owns_content("song-1")
+    assert gateway.spent_tokens.is_spent(anonymous.license_id)
+    # Worker-written audit chains verify from the gateway side.
+    assert gateway.audit_log.verify_chain() >= 3
+
+
+def test_device_sync_against_gateway(gateway_pair):
+    d, gateway = gateway_pair
+    device = d.add_device()
+    sender = d.add_user("sync-sender", balance=1_000)
+    request = build_purchase_request(sender, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(sender, gateway, request, license_)
+    sender.transfer_out(license_.license_id, provider=gateway)
+    applied = device.sync_revocations(gateway)
+    assert applied >= 1
+
+
+def test_bad_signature_rejected_through_wire(gateway_pair):
+    d, gateway = gateway_pair
+    user = d.add_user("e2e-forger", balance=1_000)
+    request = build_purchase_request(user, gateway, d.issuer, d.bank, "song-1")
+    tampered = replace(request, at=request.at + 1)
+    with pytest.raises(AuthenticationError):
+        gateway.sell(tampered)
+
+
+def test_shard_affinity_is_stable(gateway_pair):
+    d, gateway = gateway_pair
+    sender = d.add_user("affinity-sender", balance=1_000)
+    receiver = d.add_user("affinity-receiver", balance=1_000)
+    request = build_purchase_request(sender, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(sender, gateway, request, license_)
+    anonymous = sender.transfer_out(license_.license_id, provider=gateway)
+    first = build_redeem_request(receiver, gateway, d.issuer, anonymous)
+    second = build_redeem_request(receiver, gateway, d.issuer, anonymous)
+    # Same bearer token, different envelopes: identical routing.
+    assert gateway.worker_for(first) == gateway.worker_for(second)
+    assert 0 <= gateway.worker_for(first) < gateway.workers
+
+
+def test_double_redemption_raced_on_two_workers(gateway_pair):
+    d, gateway = gateway_pair
+    sender = d.add_user("race-sender", balance=1_000)
+    receiver = d.add_user("race-receiver", balance=1_000)
+    request = build_purchase_request(sender, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(sender, gateway, request, license_)
+    anonymous = sender.transfer_out(license_.license_id, provider=gateway)
+    first = build_redeem_request(receiver, gateway, d.issuer, anonymous)
+    second = build_redeem_request(receiver, gateway, d.issuer, anonymous)
+    # Defeat affinity on purpose: the same token hits two workers.
+    tickets = [gateway.submit(first, worker=0), gateway.submit(second, worker=1)]
+    results = gateway.gather(tickets)
+    errors = [r for r in results if isinstance(r, Exception)]
+    assert len(errors) == 1, results
+    assert isinstance(errors[0], DoubleRedemptionError)
+    assert errors[0].evidence.token_id == anonymous.license_id
+    assert gateway.spent_tokens.is_spent(anonymous.license_id)
+
+
+def test_exchange_raced_on_two_workers_mints_once(gateway_pair):
+    """Two differently-nonced exchange requests for one licence, forced
+    onto two workers: the status CAS at the licence's home shard lets
+    exactly one bearer licence out."""
+    d, gateway = gateway_pair
+    holder = d.add_user("xr-holder", balance=1_000)
+    request = build_purchase_request(holder, gateway, d.issuer, d.bank, "song-1")
+    license_ = gateway.sell(request)
+    accept_license(holder, gateway, request, license_)
+    first = build_exchange_request(holder, license_)
+    second = build_exchange_request(holder, license_)
+    tickets = [gateway.submit(first, worker=0), gateway.submit(second, worker=1)]
+    results = gateway.gather(tickets)
+    errors = [r for r in results if isinstance(r, Exception)]
+    successes = [r for r in results if not isinstance(r, Exception)]
+    assert len(successes) == 1 and len(errors) == 1, results
+    assert gateway.license_register.count(kind="anonymous") >= 1
+    # The loser saw the post-CAS status, not a fresh bearer licence.
+    from repro.errors import RevokedLicenseError
+
+    assert isinstance(errors[0], RevokedLicenseError)
+
+
+def test_far_future_timestamp_cannot_poison_worker_clock(gateway_pair):
+    """A validly signed request with an absurd future timestamp is
+    rejected for freshness and must NOT drag the worker clock along —
+    the next honest request still succeeds on the same worker."""
+    d, gateway = gateway_pair
+    attacker = d.add_user("clock-attacker", balance=1_000)
+    honest = d.add_user("clock-honest", balance=1_000)
+    poisoned = replace(
+        build_purchase_request(attacker, gateway, d.issuer, d.bank, "song-1"),
+        at=d.clock.now() + 10 * 365 * 24 * 3600,
+    )
+    # Re-sign so only the timestamp (not the signature) is the issue.
+    certificate = poisoned.certificate
+    payload = purchase_signing_payload(
+        poisoned.content_id,
+        certificate.fingerprint,
+        [coin.serial for coin in poisoned.coins],
+        poisoned.nonce,
+        poisoned.at,
+    )
+    poisoned = replace(
+        poisoned,
+        signature=attacker.require_card().sign(certificate.pseudonym, payload),
+    )
+    target_worker = 0
+    [rejection] = gateway.gather([gateway.submit(poisoned, worker=target_worker)])
+    assert isinstance(rejection, AuthenticationError)
+    good = build_purchase_request(honest, gateway, d.issuer, d.bank, "song-1")
+    [result] = gateway.gather([gateway.submit(good, worker=target_worker)])
+    assert not isinstance(result, Exception), result
+
+
+def test_double_spend_raced_on_two_workers(gateway_pair):
+    d, gateway = gateway_pair
+    alice = d.add_user("ds-alice", balance=1_000)
+    bob = d.add_user("ds-bob", balance=1_000)
+    coins = alice.coins_for(3, d.bank)
+    spent_before = gateway.coin_spent_tokens.count()
+    first = _same_coin_purchase(alice, d, coins)
+    second = _same_coin_purchase(bob, d, coins)
+    tickets = [gateway.submit(first, worker=0), gateway.submit(second, worker=1)]
+    results = gateway.gather(tickets)
+    errors = [r for r in results if isinstance(r, Exception)]
+    successes = [r for r in results if not isinstance(r, Exception)]
+    assert len(successes) == 1 and len(errors) == 1, results
+    assert isinstance(errors[0], DoubleSpendError)
+    # Exactly one payment's coins ended up spent — no double credit,
+    # and the loser's rollback released nothing of the winner's.
+    assert gateway.coin_spent_tokens.count() == spent_before + len(coins)
+
+
+def test_deposit_request_credits_any_account(gateway_pair):
+    from repro.core.messages import DepositRequest
+    from repro.errors import DoubleSpendError
+
+    d, gateway = gateway_pair
+    payer = d.add_user("dep-payer", balance=1_000)
+    coins = payer.coins_for(6, d.bank)
+    receipt = gateway.deposit("merchant-x", coins)
+    assert receipt == {"account": "merchant-x", "credited": 6}
+    # Replaying the same coins (any account) is a double spend.
+    with pytest.raises(DoubleSpendError):
+        gateway.call(DepositRequest(account="merchant-y", coins=tuple(coins)))
+
+
+def test_offender_isolation_across_shards(gateway_pair):
+    d, gateway = gateway_pair
+    sender = d.add_user("iso-sender", balance=1_000)
+    receiver = d.add_user("iso-receiver", balance=1_000)
+    anonymous_licenses = []
+    for _ in range(5):
+        request = build_purchase_request(sender, gateway, d.issuer, d.bank, "song-1")
+        license_ = gateway.sell(request)
+        accept_license(sender, gateway, request, license_)
+        anonymous_licenses.append(
+            sender.transfer_out(license_.license_id, provider=gateway)
+        )
+    requests = [
+        build_redeem_request(receiver, gateway, d.issuer, anonymous)
+        for anonymous in anonymous_licenses
+    ]
+    # Burn one token up front; its re-presentation must be the only
+    # rejection in the batch, wherever the five tokens hash to.
+    gateway.redeem(
+        build_redeem_request(receiver, gateway, d.issuer,
+                             requests[2].anonymous_license)
+    )
+    results = gateway.redeem_batch(requests)
+    for index, result in enumerate(results):
+        if index == 2:
+            assert isinstance(result, DoubleRedemptionError)
+        else:
+            assert not isinstance(result, Exception), result
+
+
+def test_more_workers_than_shards_rejected(tmp_path):
+    d = _deployment(seed="gateway-overcommit")
+    with pytest.raises(ServiceError):
+        build_gateway(d, str(tmp_path / "shards"), workers=4, shards=2)
+
+
+def test_dead_worker_detected_and_partial_results_survive(tmp_path):
+    """Kill one worker mid-flight: the gather fails fast with
+    ServiceError naming the dead worker, while responses the healthy
+    worker produced are re-stashed and remain gatherable."""
+    import os
+    import signal
+    import time as time_module
+
+    d = _deployment(seed="gateway-dead-worker")
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=2)
+    try:
+        users = [d.add_user(f"dw{i}", balance=1_000) for i in range(2)]
+        healthy = build_purchase_request(users[0], gateway, d.issuer, d.bank, "song-1")
+        doomed = build_purchase_request(users[1], gateway, d.issuer, d.bank, "song-1")
+        healthy_ticket = gateway.submit(healthy, worker=1)
+        # Let worker 1 answer, then kill worker 0 before its request.
+        [healthy_result] = gateway.gather([healthy_ticket])
+        assert not isinstance(healthy_result, Exception)
+        os.kill(gateway._processes[0].pid, signal.SIGKILL)
+        time_module.sleep(0.2)
+        doomed_ticket = gateway.submit(doomed, worker=0)
+        start = time_module.monotonic()
+        with pytest.raises(ServiceError, match="died"):
+            gateway.gather([doomed_ticket])
+        assert time_module.monotonic() - start < 30  # fast, not RESPONSE_TIMEOUT
+        # The dead ticket is abandoned; the books stay bounded.
+        assert doomed_ticket in gateway._abandoned
+        # The healthy worker still serves its shard slot.
+        follow_up = build_purchase_request(
+            users[0], gateway, d.issuer, d.bank, "song-1"
+        )
+        [result] = gateway.gather([gateway.submit(follow_up, worker=1)])
+        assert not isinstance(result, Exception)
+    finally:
+        gateway.close()
+
+
+def test_closed_gateway_refuses_work(tmp_path):
+    d = _deployment(seed="gateway-close")
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=1)
+    gateway.close()
+    gateway.close()  # idempotent
+    user = d.add_user("late-user", balance=100)
+    request = build_purchase_request(user, gateway, d.issuer, d.bank, "song-1")
+    with pytest.raises(ServiceError):
+        gateway.sell(request)
+
+
+@pytest.mark.slow
+def test_multi_worker_output_byte_identical_to_in_process(tmp_path):
+    """The acceptance check: the same seeded workload through a
+    3-worker/4-shard gateway and through the in-process desk yields
+    byte-identical licences at every stage (sell, exchange, redeem)."""
+    seed = "byte-identical"
+    service_side = _deployment(seed=seed)
+    in_process = _deployment(seed=seed)
+    in_process.provider.deterministic_issuance = True
+
+    gateway = build_gateway(
+        service_side, str(tmp_path / "shards"), workers=3, shards=4
+    )
+    try:
+        users = [service_side.add_user(f"u{i}", balance=1_000) for i in range(4)]
+        purchase_requests = [
+            build_purchase_request(
+                user, gateway, service_side.issuer, service_side.bank, "song-1"
+            )
+            for user in users
+            for _ in range(2)
+        ]
+        # The same request objects go down both paths.
+        service_licenses = gateway.sell_batch(purchase_requests)
+        local_licenses = [in_process.provider.sell(r) for r in purchase_requests]
+        assert [codec.encode(lic.as_dict()) for lic in service_licenses] == [
+            codec.encode(lic.as_dict()) for lic in local_licenses
+        ]
+
+        owners = [user for user in users for _ in range(2)]
+        receiver = users[-1]
+        for owner, license_ in list(zip(owners, service_licenses))[:4]:
+            exchange = build_exchange_request(owner, license_)
+            anonymous_service = gateway.exchange(exchange)
+            anonymous_local = in_process.provider.exchange(exchange)
+            assert codec.encode(anonymous_service.as_dict()) == codec.encode(
+                anonymous_local.as_dict()
+            )
+            redeem = build_redeem_request(
+                receiver, gateway, service_side.issuer, anonymous_service
+            )
+            redeemed_service = gateway.redeem(redeem)
+            redeemed_local = in_process.provider.redeem(redeem)
+            assert codec.encode(redeemed_service.as_dict()) == codec.encode(
+                redeemed_local.as_dict()
+            )
+    finally:
+        gateway.close()

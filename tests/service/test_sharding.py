@@ -1,0 +1,276 @@
+"""The sharded store views: same APIs, same invariants, N files."""
+
+import pytest
+
+from repro.crypto.rand import DeterministicRandomSource
+from repro.crypto.rsa import generate_rsa_key
+from repro.errors import ParameterError
+from repro.service.sharding import (
+    ShardSet,
+    ShardedAuditLog,
+    ShardedLicenseStore,
+    ShardedRevocationList,
+    ShardedSpentTokenStore,
+    shard_index,
+)
+from repro.storage import licenses as license_store
+from repro.storage.merkle import verify_non_inclusion
+
+
+def _tokens(count, *, prefix=b"tok"):
+    return [prefix + i.to_bytes(4, "big") for i in range(count)]
+
+
+class TestShardIndex:
+    def test_stable_and_in_range(self):
+        for token in _tokens(50):
+            index = shard_index(token, 8)
+            assert 0 <= index < 8
+            assert shard_index(token, 8) == index  # deterministic
+
+    def test_spreads_tokens(self):
+        hit = {shard_index(token, 8) for token in _tokens(200)}
+        assert len(hit) == 8  # 200 hashed tokens cover all 8 shards
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ParameterError):
+            shard_index(b"x", 0)
+
+
+class TestShardSet:
+    def test_in_memory_routing(self):
+        with ShardSet.in_memory(4) as shards:
+            assert len(shards) == 4
+            token = b"some-token"
+            assert shards.database_for(token) is shards.databases[
+                shards.index_for(token)
+            ]
+
+    def test_file_backed_shares_state_between_open_sets(self, tmp_path):
+        first = ShardSet.in_directory(str(tmp_path), 3)
+        store = ShardedSpentTokenStore(first, "anon-license")
+        assert store.try_spend(b"shared-token", at=5, transcript=b"t") is None
+        # A second ShardSet over the same directory (another process,
+        # morally) sees the committed spend.
+        second = ShardSet(first.paths)
+        view = ShardedSpentTokenStore(second, "anon-license")
+        assert view.is_spent(b"shared-token")
+        record = view.record_for(b"shared-token")
+        assert record.transcript == b"t"
+        first.close()
+        second.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        shards = ShardSet.in_directory(str(tmp_path), 2)
+        shards.close()
+        shards.close()
+        assert all(db.closed for db in shards.databases)
+
+
+class TestShardedSpentTokenStore:
+    def test_exactly_once_across_shards(self):
+        with ShardSet.in_memory(4) as shards:
+            store = ShardedSpentTokenStore(shards, "anon-license")
+            tokens = _tokens(40)
+            for token in tokens:
+                assert store.try_spend(token, at=1, transcript=b"first") is None
+            assert store.count() == 40
+            for token in tokens:
+                previous = store.try_spend(token, at=2, transcript=b"second")
+                assert previous is not None
+                assert previous.transcript == b"first"
+            assert store.count() == 40
+
+    def test_spent_between_merges_shards(self):
+        with ShardSet.in_memory(3) as shards:
+            store = ShardedSpentTokenStore(shards, "ecash")
+            for at, token in enumerate(_tokens(12)):
+                store.try_spend(token, at=at)
+            window = store.spent_between(3, 9)
+            assert [record.spent_at for record in window] == sorted(
+                record.spent_at for record in window
+            )
+            assert len(window) == 6
+
+    def test_unspend_releases_exactly_that_token(self):
+        with ShardSet.in_memory(4) as shards:
+            store = ShardedSpentTokenStore(shards, "ecash")
+            a, b = b"coin-a", b"coin-b"
+            store.try_spend(a, at=1)
+            store.try_spend(b, at=1)
+            assert store.unspend(a) is True
+            assert not store.is_spent(a)
+            assert store.is_spent(b)
+            assert store.unspend(a) is False  # already released
+
+
+class TestShardedRevocationList:
+    def test_revocation_routing_and_subset(self):
+        with ShardSet.in_memory(4) as shards:
+            lrl = ShardedRevocationList(shards)
+            ids = _tokens(20, prefix=b"lic")
+            for at, license_id in enumerate(ids):
+                lrl.revoke(license_id, at=at, reason="test")
+            assert lrl.count() == 20
+            assert all(lrl.is_revoked(license_id) for license_id in ids)
+            other = _tokens(5, prefix=b"unrevoked")
+            subset = lrl.revoked_subset(ids[:7] + other)
+            assert subset == set(ids[:7])
+
+    def test_version_is_monotone_and_idempotent(self):
+        with ShardSet.in_memory(3) as shards:
+            lrl = ShardedRevocationList(shards)
+            ids = _tokens(10, prefix=b"v")
+            observed = []
+            for license_id in ids:
+                lrl.revoke(license_id, at=1, reason="r")
+                observed.append(lrl.current_version())
+            # The global version is the total count: +1 per revocation.
+            assert observed == list(range(1, 11))
+            # Re-revocation bumps nothing.
+            lrl.revoke(ids[0], at=2, reason="r")
+            assert lrl.current_version() == 10
+
+    def test_entries_since_and_signed_snapshot(self):
+        key = generate_rsa_key(512, rng=DeterministicRandomSource(b"lrl-shard"))
+        with ShardSet.in_memory(4) as shards:
+            lrl = ShardedRevocationList(shards)
+            ids = _tokens(12, prefix=b"snap")
+            # Spaced wider than the redelivery overlap, so the delta
+            # trimming is observable.
+            for position, license_id in enumerate(ids):
+                lrl.revoke(license_id, at=position * 200_000, reason="r")
+            entries = lrl.entries_since(0)
+            assert [entry.version for entry in entries] == list(range(1, 13))
+            # Deltas are conservative supersets: everything past the
+            # synced position, plus redelivery around the watermark.
+            delta = lrl.entries_since(8)
+            delta_ids = {entry.license_id for entry in delta}
+            assert delta_ids >= {entry.license_id for entry in entries[8:]}
+            assert len(delta) <= 5  # watermark redelivery only, no flood
+            snapshot = lrl.snapshot(key)
+            snapshot.verify(key.public_key)
+            assert snapshot.count == 12
+            assert snapshot.merkle_root == lrl.merkle_tree().root
+            # Non-inclusion proofs work against the merged tree.
+            outsider = b"not-revoked-....."[:16]
+            proof = lrl.merkle_tree().prove_non_inclusion(outsider)
+            assert verify_non_inclusion(
+                snapshot.merkle_root, snapshot.count, outsider, proof
+            )
+
+    def test_delta_sync_survives_straggler_reordering(self):
+        """A newcomer that sorts *before* already-synced positions
+        (same timestamp, smaller id, different shard) must still reach
+        a device that syncs deltas — the conservative overlap window
+        redelivers around the watermark instead of losing it."""
+        from repro.storage.revocation import DeviceRevocationView
+
+        key = generate_rsa_key(512, rng=DeterministicRandomSource(b"straggler"))
+        with ShardSet.in_memory(4) as shards:
+            lrl = ShardedRevocationList(shards)
+            lrl.revoke(b"\xffzzzz-late-sorting", at=100, reason="r")
+            device = DeviceRevocationView(key.public_key)
+            device.apply_sync(lrl.entries_since(0), lrl.snapshot(key))
+            assert device.version == 1
+            # Same timestamp, lexicographically smaller id: merges at
+            # position 1, *before* what the device already synced.
+            lrl.revoke(b"\x00aaaa-early-sorting", at=100, reason="r")
+            delta = lrl.entries_since(device.version)
+            assert any(
+                entry.license_id == b"\x00aaaa-early-sorting" for entry in delta
+            )
+            device.apply_sync(delta, lrl.snapshot(key))
+            assert device.check(b"\x00aaaa-early-sorting")
+            assert device.check(b"\xffzzzz-late-sorting")
+
+    def test_delta_sync_survives_full_freshness_skew(self):
+        """Worst-case stamp skew: the synced watermark is stamped a
+        freshness window in the FUTURE, the newcomer a window in the
+        PAST (both legal request stamps).  The 2x overlap must still
+        deliver the newcomer."""
+        from repro.core.actors.provider import REQUEST_FRESHNESS_WINDOW
+        from repro.storage.revocation import DeviceRevocationView
+
+        key = generate_rsa_key(512, rng=DeterministicRandomSource(b"skew"))
+        now = 10 * REQUEST_FRESHNESS_WINDOW
+        with ShardSet.in_memory(4) as shards:
+            lrl = ShardedRevocationList(shards)
+            lrl.revoke(b"\xff-future-stamped", at=now + REQUEST_FRESHNESS_WINDOW,
+                       reason="r")
+            device = DeviceRevocationView(key.public_key)
+            device.apply_sync(lrl.entries_since(0), lrl.snapshot(key))
+            lrl.revoke(b"\x00-past-stamped", at=now - REQUEST_FRESHNESS_WINDOW + 10,
+                       reason="r")
+            entries, snapshot = lrl.sync_since(device.version, key)
+            device.apply_sync(entries, snapshot)
+            assert device.check(b"\x00-past-stamped")
+            assert device.check(b"\xff-future-stamped")
+
+    def test_bloom_filter_covers_merged_ids(self):
+        with ShardSet.in_memory(2) as shards:
+            lrl = ShardedRevocationList(shards)
+            ids = _tokens(30, prefix=b"bloom")
+            for license_id in ids:
+                lrl.revoke(license_id, at=1, reason="r")
+            bloom = lrl.bloom_filter()
+            assert all(license_id in bloom for license_id in ids)
+
+
+class TestShardedLicenseStore:
+    def _insert(self, store, license_id, holder=b"holder-1", kind=None):
+        store.insert(
+            license_id,
+            kind=kind or license_store.KIND_PERSONAL,
+            content_id="song-1",
+            holder=holder,
+            rights_text="play",
+            issued_at=7,
+            blob=b"blob",
+        )
+
+    def test_insert_get_status_across_shards(self):
+        with ShardSet.in_memory(4) as shards:
+            store = ShardedLicenseStore(shards)
+            ids = _tokens(15, prefix=b"reg")
+            for license_id in ids:
+                self._insert(store, license_id)
+            assert store.count() == 15
+            record = store.get(ids[3])
+            assert record.content_id == "song-1"
+            store.set_status(ids[3], license_store.STATUS_REVOKED)
+            assert store.get(ids[3]).status == license_store.STATUS_REVOKED
+            assert store.count(status=license_store.STATUS_ACTIVE) == 14
+
+    def test_holder_views_merge(self):
+        with ShardSet.in_memory(3) as shards:
+            store = ShardedLicenseStore(shards)
+            for index, license_id in enumerate(_tokens(12, prefix=b"hold")):
+                self._insert(store, license_id, holder=b"h-%d" % (index % 3))
+            assert store.distinct_holders() == 3
+            assert len(store.by_holder(b"h-0")) == 4
+            assert len(store.by_content("song-1")) == 12
+
+
+class TestShardedAuditLog:
+    def test_preferred_shard_chains_and_merged_reads(self):
+        with ShardSet.in_memory(3) as shards:
+            worker_logs = [
+                ShardedAuditLog(shards, preferred_shard=i) for i in range(3)
+            ]
+            at = 0
+            for round_ in range(4):
+                for index, log in enumerate(worker_logs):
+                    log.append(
+                        at=at,
+                        actor=f"worker-{index}",
+                        event="license_issued",
+                        payload={"round": round_},
+                    )
+                    at += 1
+            view = ShardedAuditLog(shards)
+            assert view.count() == 12
+            assert view.verify_chain() == 12
+            entries = view.entries()
+            assert [entry.at for entry in entries] == list(range(12))
+            assert len(view.entries(event="license_issued")) == 12

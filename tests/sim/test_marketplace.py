@@ -166,3 +166,58 @@ class TestDeferredRedemption:
     def test_redeem_batch_size_validated(self):
         with pytest.raises(ValueError):
             small_config(redeem_batch_size=0)
+
+
+class TestServiceMode:
+    def test_service_workers_requires_p2drm(self):
+        with pytest.raises(ValueError):
+            MarketplaceSimulator(
+                small_config(), mode=MODE_BASELINE, service_workers=2
+            )
+
+    def test_small_run_through_gateway(self):
+        """The sim drives the 2-worker gateway end to end; the report
+        schema is byte-for-byte the in-process one."""
+        config = small_config(n_events=12, seed=23)
+        with MarketplaceSimulator(
+            config, rsa_bits=512, service_workers=2
+        ) as simulator:
+            from repro.service.gateway import ServiceGateway
+
+            assert isinstance(simulator.provider, ServiceGateway)
+            report = simulator.run()
+        assert report.mode == MODE_P2DRM
+        assert report.purchases + report.plays + report.transfers + report.skipped \
+            == config.n_events
+        assert set(report.summary()) >= {"purchases", "operator_identified"}
+
+    @pytest.mark.slow
+    def test_gateway_run_matches_in_process_run(self):
+        """Same seed, same workload: the service-layer run and the
+        in-process run produce the identical report — counts and
+        operator knowledge both."""
+        from repro.sim.workload import (
+            ACTION_BUY,
+            ACTION_PLAY,
+            ACTION_REDEEM,
+            ACTION_TRANSFER,
+        )
+
+        config = small_config(
+            n_events=30,
+            seed=31,
+            action_weights={
+                ACTION_BUY: 0.4,
+                ACTION_PLAY: 0.3,
+                ACTION_TRANSFER: 0.2,
+                ACTION_REDEEM: 0.1,
+            },
+            redeem_batch_size=3,
+        )
+        with MarketplaceSimulator(
+            config, rsa_bits=512, service_workers=2, service_shards=4
+        ) as service_sim:
+            service_report = service_sim.run()
+        in_process_report = MarketplaceSimulator(config, rsa_bits=512).run()
+        assert service_report.summary() == in_process_report.summary()
+        assert service_report.ground_truth == in_process_report.ground_truth

@@ -97,3 +97,62 @@ class TestLifecycle:
     def test_bad_path_raises(self):
         with pytest.raises(StorageError):
             Database("/nonexistent-dir-xyz/db.sqlite")
+
+    def test_close_is_idempotent_and_observable(self, tmp_path):
+        db = Database(str(tmp_path / "close.db"))
+        assert db.closed is False
+        db.close()
+        assert db.closed is True
+        db.close()  # second close is a no-op, not an error
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")
+
+    def test_cross_thread_use_when_opted_in(self, tmp_path):
+        import threading
+
+        db = Database(str(tmp_path / "threads.db"), check_same_thread=False)
+        db.migrate("t", ["CREATE TABLE t (x INTEGER)"])
+        errors = []
+
+        def insert():
+            try:
+                db.execute("INSERT INTO t VALUES (7)")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        worker = threading.Thread(target=insert)
+        worker.start()
+        worker.join()
+        assert not errors
+        assert db.query_value("SELECT COUNT(*) FROM t") == 1
+        db.close()
+
+
+class TestCrossProcessWrites:
+    def test_immediate_transaction_serializes_two_connections(self, tmp_path):
+        """Two connections to one file: immediate read-then-write scopes
+        must serialize instead of failing on lock upgrade (the
+        spent-token pattern under the worker pool)."""
+        path = str(tmp_path / "shared.db")
+        first = Database(path)
+        first.migrate("t", ["CREATE TABLE t (k TEXT PRIMARY KEY)"])
+        second = Database(path)
+        for db, key in ((first, "a"), (second, "b"), (first, "c")):
+            with db.transaction(immediate=True):
+                row = db.query_one("SELECT 1 FROM t WHERE k = ?", (key,))
+                assert row is None
+                db.execute("INSERT INTO t VALUES (?)", (key,))
+        assert second.query_value("SELECT COUNT(*) FROM t") == 3
+        first.close()
+        second.close()
+
+    def test_migrate_rechecks_under_the_lock(self, tmp_path):
+        """A second connection migrating the same name sees the winner's
+        record instead of colliding on the insert."""
+        path = str(tmp_path / "migrate.db")
+        first = Database(path)
+        second = Database(path)
+        assert first.migrate("m", ["CREATE TABLE t (x INTEGER)"]) is True
+        assert second.migrate("m", ["CREATE TABLE t (x INTEGER)"]) is False
+        first.close()
+        second.close()
