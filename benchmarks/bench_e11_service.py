@@ -31,6 +31,7 @@ from repro import codec
 from repro.core.protocols.acquisition import build_purchase_request
 from repro.core.protocols.transfer import build_exchange_request, build_redeem_request
 from repro.core.system import build_deployment
+from repro.crypto.backend import backend_name
 from repro.service.gateway import build_gateway
 
 BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
@@ -97,6 +98,7 @@ class TestServiceThroughput:
             workers=0,
             shards=0,
             cores=os.cpu_count(),
+            backend=backend_name(),
             sells_per_s=N_REQUESTS / sell_seconds,
             redemptions_per_s=N_REQUESTS / redeem_seconds,
             ops_per_s=2 * N_REQUESTS / (sell_seconds + redeem_seconds),
@@ -142,6 +144,7 @@ class TestServiceThroughput:
                 workers=workers,
                 shards=workers,
                 cores=os.cpu_count(),
+                backend=backend_name(),
                 sells_per_s=N_REQUESTS / sell_seconds,
                 redemptions_per_s=N_REQUESTS / redeem_seconds,
                 ops_per_s=ops_per_s,

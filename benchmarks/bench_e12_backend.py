@@ -1,0 +1,191 @@
+"""E12 — arithmetic-backend parity: pure Python vs gmpy2 on the core ops.
+
+Runs the E3/E11 core operation pipeline — batched sales, licence
+exchange, batched redemption, and spent-token screening — once per
+available arithmetic backend (:mod:`repro.crypto.backend`), from the
+same deterministic seed, and:
+
+- **asserts byte-identical protocol outputs** across backends (the
+  backend is a performance knob, never a correctness one: every
+  licence, anonymous licence and personalized licence must encode to
+  the same bytes whichever backend produced it);
+- reports wall time and modexp chains per op and backend, plus a
+  ``speedup`` row per op when more than one backend is available.
+
+The pure rows always exist (they are what the committed baseline
+pins, op counts enforced); the gmpy2 and speedup rows appear only
+where the package is installed — the ``backend-gmpy2`` CI lane and
+the nightly runner — and are marked ``conditional`` so
+``check_regression.py`` treats their absence as a warning, not lost
+coverage.  The backend is part of the row's ``arm`` label (rows of
+different arms are different rows); the modexp-dominated arms
+(screening, redemption) are where the C backend pays: the
+expectation recorded in the README is ≥3x.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import codec, instrument
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.protocols.transfer import build_exchange_request, build_redeem_request
+from repro.core.system import build_deployment
+from repro.crypto import backend as abackend
+from repro.crypto import fastexp
+from repro.errors import DoubleRedemptionError
+
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
+
+#: Requests per op and arm.  Big enough that the aggregated pipelines
+#: have something to fold; small enough that the pure arm stays quick.
+N_REQUESTS = 8 if BENCH_SMOKE else 32
+RSA_BITS = 512 if BENCH_SMOKE else 1024
+
+#: The core ops, in pipeline order.
+OPS = ("sell-batch", "exchange", "redeem-batch", "redeem-screen")
+
+
+def _timed(fn):
+    """``(seconds, modexp_chains, result)`` for one op invocation."""
+    with instrument.measure() as ops:
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+    return seconds, ops.get("modexp"), result
+
+
+def _core_ops(backend_name: str):
+    """One full sell→exchange→redeem→screen pass under ``backend_name``.
+
+    Everything — key generation, request building, validation — runs
+    under the selected backend with freshly warmed tables, from the
+    same deterministic seed, so two invocations differ **only** by
+    arithmetic implementation.  Returns per-op ``(seconds, modexp)``
+    and the canonical encodings of every protocol output.
+    """
+    with fastexp.isolated_state():
+        abackend.set_backend(backend_name)
+        fastexp.reset()
+        deployment = build_deployment(seed="bench-e12", rsa_bits=RSA_BITS)
+        deployment.provider.publish(
+            "bench-song", b"BENCH-PAYLOAD" * 256, title="Bench Song", price=3
+        )
+        deployment.provider.deterministic_issuance = True
+        senders = [
+            deployment.add_user(f"e12-sender-{i}", balance=1_000_000)
+            for i in range(4)
+        ]
+        receiver = deployment.add_user("e12-receiver", balance=1_000_000)
+        replayer = deployment.add_user("e12-replayer", balance=1_000_000)
+
+        purchase_requests = [
+            build_purchase_request(
+                senders[i % len(senders)],
+                deployment.provider,
+                deployment.issuer,
+                deployment.bank,
+                "bench-song",
+            )
+            for i in range(N_REQUESTS)
+        ]
+        timings: dict[str, tuple[float, int]] = {}
+
+        seconds, modexp, licenses = _timed(
+            lambda: deployment.provider.sell_batch(purchase_requests)
+        )
+        assert not any(isinstance(r, Exception) for r in licenses)
+        timings["sell-batch"] = (seconds, modexp)
+
+        exchange_requests = [
+            build_exchange_request(senders[i % len(senders)], license_)
+            for i, license_ in enumerate(licenses)
+        ]
+        seconds, modexp, anonymous = _timed(
+            lambda: [deployment.provider.exchange(r) for r in exchange_requests]
+        )
+        timings["exchange"] = (seconds, modexp)
+
+        redeem_requests = [
+            build_redeem_request(
+                receiver, deployment.provider, deployment.issuer, anon
+            )
+            for anon in anonymous
+        ]
+        seconds, modexp, redeemed = _timed(
+            lambda: deployment.provider.redeem_batch(redeem_requests)
+        )
+        assert not any(isinstance(r, Exception) for r in redeemed)
+        timings["redeem-batch"] = (seconds, modexp)
+
+        # Screening: replay the (now spent) bearer tokens through the
+        # full verification desk — every check runs, no licence is
+        # minted, so the row is pure modexp + hash throughput.
+        replay_requests = [
+            build_redeem_request(
+                replayer,
+                deployment.provider,
+                deployment.issuer,
+                request.anonymous_license,
+            )
+            for request in redeem_requests
+        ]
+        seconds, modexp, verdicts = _timed(
+            lambda: deployment.provider.redeem_batch(replay_requests)
+        )
+        assert all(isinstance(v, DoubleRedemptionError) for v in verdicts)
+        timings["redeem-screen"] = (seconds, modexp)
+
+        outputs = {
+            "licenses": [codec.encode(r.as_dict()) for r in licenses],
+            "anonymous": [codec.encode(a.as_dict()) for a in anonymous],
+            "redeemed": [codec.encode(r.as_dict()) for r in redeemed],
+        }
+    return timings, outputs
+
+
+class TestBackendParity:
+    def test_backend_parity_and_speedup(self, experiment):
+        backends = ["pure"]
+        if abackend.gmpy2_available():
+            backends.append("gmpy2")
+        timings: dict[str, dict[str, tuple[float, int]]] = {}
+        outputs: dict[str, dict[str, list[bytes]]] = {}
+        for name in backends:
+            timings[name], outputs[name] = _core_ops(name)
+            for op in OPS:
+                seconds, modexp = timings[name][op]
+                experiment.row(
+                    op=op,
+                    arm=name,
+                    seconds=seconds,
+                    ops_per_s=N_REQUESTS / seconds,
+                    modexp=modexp,
+                    # gmpy2 arms only exist where the package does;
+                    # the regression checker must not read their
+                    # absence on a pure-only host as lost coverage.
+                    conditional=name != "pure",
+                )
+
+        # Byte-identity across backends: whichever backend computed
+        # them, the protocol outputs must be the same bytes.
+        reference = outputs[backends[0]]
+        for name in backends[1:]:
+            for kind, encoded in reference.items():
+                assert outputs[name][kind] == encoded, (
+                    f"{kind} bytes diverge between {backends[0]} and {name}"
+                )
+
+        if len(backends) > 1:
+            for op in OPS:
+                pure_seconds, _ = timings["pure"][op]
+                fast_seconds, _ = timings[backends[-1]][op]
+                experiment.row(
+                    op=op,
+                    arm=f"speedup ({backends[-1]} vs pure)",
+                    seconds=None,
+                    ops_per_s=None,
+                    speedup=pure_seconds / fast_seconds,
+                    conditional=True,
+                )

@@ -61,8 +61,10 @@ def experiment(request):
 
 def _dump_json_tables(path: str) -> None:
     """Write the experiment tables (plus run metadata) as JSON."""
+    from repro.crypto.backend import backend_name
+
     payload = {
-        "meta": {"smoke": BENCH_SMOKE},
+        "meta": {"smoke": BENCH_SMOKE, "backend": backend_name()},
         "experiments": {
             experiment_id: [
                 {key: _jsonable(value) for key, value in row.items()}

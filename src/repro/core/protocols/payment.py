@@ -8,7 +8,7 @@ leaks amounts and timing, never identity-to-purchase links.
 
 from __future__ import annotations
 
-from ...crypto.blind_rsa import BlindingClient
+from ...crypto.blind_rsa import BlindingClient, blind_with_factors
 from ..messages import Coin, coin_payload
 from .base import Transcript
 
@@ -16,15 +16,40 @@ _SERIAL_SIZE = 16
 
 
 def withdraw_coins(user, bank, amount: int, *, transcript: Transcript | None = None) -> list[Coin]:
-    """Withdraw ``amount`` (in credits) as coins into the user's wallet."""
+    """Withdraw ``amount`` (in credits) as coins into the user's wallet.
+
+    Serials and blinding factors are drawn coin by coin (the exact rng
+    order sequential blinding used, so deterministic wallets are
+    unchanged), but the ``r^e`` blinding masks of each denomination
+    run as **one** batched exponentiation before the per-coin
+    request/response exchange with the bank.
+    """
     if transcript is not None:
         transcript.protocol = transcript.protocol or "withdrawal"
-    coins: list[Coin] = []
+    prepared: list[tuple[int, bytes, bytes, BlindingClient, int]] = []
     for denomination in bank.decompose(amount):
         serial = user.rng.random_bytes(_SERIAL_SIZE)
         payload = coin_payload(serial, denomination)
         client = BlindingClient(bank.public_key(denomination), rng=user.rng)
-        blinded, state = client.blind(payload)
+        factor = client.draw_blinding_factor()
+        prepared.append((denomination, serial, payload, client, factor))
+    # One powmod_base_list per denomination key (coins of one
+    # withdrawal usually share a denomination, so usually one total).
+    by_denomination: dict[int, list[int]] = {}
+    for position, (denomination, *_rest) in enumerate(prepared):
+        by_denomination.setdefault(denomination, []).append(position)
+    blinded_states: list = [None] * len(prepared)
+    for denomination, positions in by_denomination.items():
+        results = blind_with_factors(
+            [(prepared[i][2], prepared[i][4]) for i in positions],
+            bank.public_key(denomination),
+        )
+        for position, result in zip(positions, results):
+            blinded_states[position] = result
+    coins: list[Coin] = []
+    for (denomination, serial, _payload, client, _factor), (blinded, state) in zip(
+        prepared, blinded_states
+    ):
         if transcript is not None:
             transcript.add(
                 "withdraw-request",

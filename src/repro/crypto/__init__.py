@@ -7,6 +7,9 @@ content protection.  No third-party crypto package is available in the
 reproduction environment, so this package implements the toolbox
 directly on Python integers and ``hashlib``:
 
+- :mod:`repro.crypto.backend` — pluggable bigint arithmetic (pure
+  Python always, GMP via gmpy2 when installed/selected) serving every
+  modexp, inversion and Jacobi symbol below;
 - :mod:`repro.crypto.numbers` — primality, prime generation, CRT;
 - :mod:`repro.crypto.rand` — injectable randomness (deterministic in
   tests and benchmarks, system entropy otherwise);
@@ -30,6 +33,7 @@ directly on Python integers and ``hashlib``:
 and must not be used to protect real data.
 """
 
+from .backend import available_backends, backend_name, set_backend
 from .rand import SystemRandomSource, DeterministicRandomSource, RandomSource
 from .rsa import RsaPrivateKey, RsaPublicKey, generate_rsa_key
 from .blind_rsa import BlindSigner, BlindingClient
@@ -39,6 +43,9 @@ from .groups import PrimeGroup, named_group
 from .fastexp import FixedBaseExp, multi_pow, tables_disabled
 
 __all__ = [
+    "available_backends",
+    "backend_name",
+    "set_backend",
     "FixedBaseExp",
     "batch_verify",
     "multi_pow",

@@ -1,0 +1,319 @@
+"""Pluggable bigint-arithmetic backend (pure Python or gmpy2).
+
+Every protocol in the system bottoms out in a handful of bigint
+primitives — modular exponentiation, modular inversion, and the Jacobi
+symbol — and all of them exist in two qualities on a typical host:
+
+- **pure** — CPython's C ``pow`` and the binary Jacobi algorithm.
+  Always available; this is the historical behavior of the repo and
+  the semantics every other backend must reproduce bit-for-bit.
+
+- **gmpy2** — GMP's assembly kernels via the ``gmpy2`` package:
+  ``powmod`` / ``invert`` / ``jacobi`` plus ``mpz`` values that make
+  every ``*`` and ``%`` in the Python-level exponentiation chains run
+  in C.  3-10x on the modexp-dominated screening and redemption
+  paths, which is why the ROADMAP deferred the wNAF payoff until this
+  backend existed.
+
+The active backend is selected once at import from the
+``P2DRM_BACKEND`` environment variable (``pure`` / ``gmpy2``), or — if
+unset — defaults to ``gmpy2`` when the package is importable and
+``pure`` otherwise, and can be switched at runtime with
+:func:`set_backend` (same switch-guard discipline as
+``fastexp.set_exp_mode``: benchmarks and tests scope their switches
+with :func:`backend_set` or ``fastexp.switch_guard``).  Selecting
+``gmpy2`` when the package is missing is a loud
+:class:`~repro.errors.ParameterError`, never a silent fallback — the
+``backend-gmpy2`` CI lane depends on that.
+
+Two contracts keep backends interchangeable:
+
+- every API function takes and returns **plain ints** (protocol code
+  hashes, encodes and pickles the values; an ``mpz`` leaking out would
+  change bytes on the wire), and error behavior matches CPython's
+  (``invert`` raises :class:`ValueError` for a non-invertible value);
+
+- :meth:`residue` converts an int into the backend's *native* integer
+  type for tight arithmetic loops.  ``repro.crypto.fastexp`` keeps its
+  precomputed fixed-base tables resident in that type, so the
+  per-multiplication int↔mpz conversion cost is paid once per table,
+  not once per call.
+
+:func:`batch_invert` (Montgomery's trick) lives here too: ``n``
+modular inverses for the price of one inversion plus ``3(n-1)``
+multiplications — the aggregated verification paths use it so a wNAF
+batch costs one inversion instead of one per member.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from importlib import util as _importlib_util
+from typing import Iterator, Sequence
+
+from ..errors import ParameterError
+
+#: Environment variable consulted once at import for the process-wide
+#: default backend.
+BACKEND_ENV = "P2DRM_BACKEND"
+
+
+def _jacobi_pure(a: int, n: int) -> int:
+    """Binary Jacobi algorithm (``n`` odd and positive).
+
+    All factors of two are stripped in one shift per round and the
+    mod-8 / mod-4 sign rules are done bitwise — subgroup membership
+    checks run this on full-width elements on every verification path.
+    """
+    if n <= 0 or not n & 1:
+        raise ValueError("n must be odd and positive")
+    a %= n
+    result = 1
+    while a:
+        twos = (a & -a).bit_length() - 1
+        if twos:
+            a >>= twos
+            if twos & 1 and n & 7 in (3, 5):
+                result = -result
+        if a & 3 == 3 and n & 3 == 3:
+            result = -result
+        a, n = n % a, a
+    return result if n == 1 else 0
+
+
+class PureBackend:
+    """CPython-native arithmetic — the reference semantics."""
+
+    name = "pure"
+
+    @staticmethod
+    def residue(value: int) -> int:
+        """Identity: Python ints *are* the native type."""
+        return value
+
+    @staticmethod
+    def powmod(base: int, exponent: int, modulus: int) -> int:
+        return pow(base, exponent, modulus)
+
+    @staticmethod
+    def invert(value: int, modulus: int) -> int:
+        """Modular inverse; :class:`ValueError` when none exists."""
+        return pow(value, -1, modulus)
+
+    @staticmethod
+    def jacobi(a: int, n: int) -> int:
+        return _jacobi_pure(a, n)
+
+    @staticmethod
+    def powmod_base_list(
+        bases: Sequence[int], exponent: int, modulus: int
+    ) -> list[int]:
+        """``[base^exponent mod modulus for base in bases]``."""
+        return [pow(base, exponent, modulus) for base in bases]
+
+
+class Gmpy2Backend:
+    """GMP arithmetic via ``gmpy2``, with CPython-identical contracts."""
+
+    name = "gmpy2"
+
+    def __init__(self, gmpy2_module):
+        self._gmpy2 = gmpy2_module
+        # mpz itself is the residue constructor — one C call.
+        self.residue = gmpy2_module.mpz
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        # gmpy2 signals a non-invertible base for negative exponents
+        # with ZeroDivisionError where CPython raises ValueError.
+        try:
+            return int(self._gmpy2.powmod(base, exponent, modulus))
+        except ZeroDivisionError:
+            raise ValueError(
+                "base is not invertible for the given modulus"
+            ) from None
+
+    def invert(self, value: int, modulus: int) -> int:
+        if modulus == 1:
+            # Everything is ≡ 0 mod 1; CPython's pow returns 0 where
+            # GMP's mpz_invert behavior at 1 is edge-case territory.
+            return 0
+        try:
+            return int(self._gmpy2.invert(value, modulus))
+        except ZeroDivisionError:
+            raise ValueError(
+                "base is not invertible for the given modulus"
+            ) from None
+
+    def jacobi(self, a: int, n: int) -> int:
+        return int(self._gmpy2.jacobi(a, n))
+
+    def powmod_base_list(
+        self, bases: Sequence[int], exponent: int, modulus: int
+    ) -> list[int]:
+        batched = getattr(self._gmpy2, "powmod_base_list", None)
+        if batched is None:
+            # Older gmpy2 without the batched entry point: per-base
+            # powmod is still the C kernel, just with n Python calls.
+            return [self.powmod(base, exponent, modulus) for base in bases]
+        return [int(value) for value in batched(list(bases), exponent, modulus)]
+
+
+# ---------------------------------------------------------------------------
+# Registry and selection
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, object] = {"pure": PureBackend()}
+
+
+def register_backend(backend) -> None:
+    """Register a custom backend instance under ``backend.name``.
+
+    The extension point the "pluggable" in the module name promises:
+    tests register instrumented backends, and an alternative C library
+    could slot in without touching any call site.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ParameterError("backend must expose a non-empty string name")
+    _REGISTRY[name] = backend
+
+
+def gmpy2_available() -> bool:
+    """Whether the gmpy2 package is importable on this host."""
+    return _importlib_util.find_spec("gmpy2") is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names selectable on this host (registered, plus gmpy2 if importable)."""
+    names = list(_REGISTRY)
+    if "gmpy2" not in names and gmpy2_available():
+        names.append("gmpy2")
+    return tuple(names)
+
+
+def _instantiate(name: str):
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    if name == "gmpy2":
+        try:
+            import gmpy2
+        except ImportError:
+            raise ParameterError(
+                "backend 'gmpy2' requested but the gmpy2 package is not"
+                " importable (install it, or select P2DRM_BACKEND=pure)"
+            ) from None
+        backend = Gmpy2Backend(gmpy2)
+        _REGISTRY[name] = backend
+        return backend
+    raise ParameterError(f"unknown arithmetic backend {name!r}")
+
+
+def _default_name() -> str:
+    env = os.environ.get(BACKEND_ENV, "").strip()
+    if env:
+        # Explicit selection is strict: a CI lane that asked for gmpy2
+        # must fail loudly if the install silently didn't happen.
+        return env
+    return "gmpy2" if gmpy2_available() else "pure"
+
+
+_BACKEND = _instantiate(_default_name())
+
+
+def current():
+    """The active backend instance."""
+    return _BACKEND
+
+
+def backend_name() -> str:
+    """Name of the active backend (``pure`` / ``gmpy2`` / custom)."""
+    return _BACKEND.name
+
+
+def set_backend(name: str) -> None:
+    """Select the arithmetic backend for the whole process.
+
+    Precomputed fixed-base tables re-residence themselves lazily on
+    next use (see ``fastexp.lookup``), so switching is safe at any
+    point; like ``fastexp.set_exp_mode`` it is a performance knob,
+    never a correctness one.
+    """
+    global _BACKEND
+    _BACKEND = _instantiate(name)
+
+
+@contextmanager
+def backend_set(name: str) -> Iterator[None]:
+    """Scope with the given backend active (benchmark arms, tests)."""
+    global _BACKEND
+    previous = _BACKEND
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _BACKEND = previous
+
+
+# ---------------------------------------------------------------------------
+# Module-level conveniences (always dispatch on the *current* backend)
+# ---------------------------------------------------------------------------
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` through the active backend."""
+    return _BACKEND.powmod(base, exponent, modulus)
+
+
+def invert(value: int, modulus: int) -> int:
+    """Modular inverse through the active backend (:class:`ValueError`
+    when none exists, matching ``pow(value, -1, modulus)``)."""
+    return _BACKEND.invert(value, modulus)
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol ``(a/n)`` through the active backend."""
+    return _BACKEND.jacobi(a, n)
+
+
+def powmod_base_list(bases: Sequence[int], exponent: int, modulus: int) -> list[int]:
+    """Many bases, one exponent — batched where the backend can."""
+    return _BACKEND.powmod_base_list(bases, exponent, modulus)
+
+
+def batch_invert(values: Sequence[int], modulus: int) -> list[int]:
+    """Invert every value mod ``modulus`` with **one** modular inversion.
+
+    Montgomery's trick: multiply up the running prefix products, invert
+    the grand product once, then walk backwards peeling one inverse off
+    per step — ``3(n-1)`` multiplications plus a single inversion,
+    against ``n`` inversions done naively.  The aggregated verification
+    paths use this so a batch costs one inversion however many members
+    it folds.
+
+    Raises :class:`ValueError` if *any* value is non-invertible (the
+    grand product is then non-invertible too, so the failure cannot be
+    missed); callers with possibly-degenerate members catch it and fall
+    back to per-item inversion to identify the offender.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    backend = _BACKEND
+    reduced = [value % modulus for value in values]
+    if not reduced:
+        return []
+    residue = backend.residue
+    modulus_r = residue(modulus)
+    prefix: list[int] = []
+    acc = residue(1)
+    for value in reduced:
+        acc = (acc * residue(value)) % modulus_r
+        prefix.append(acc)
+    inverse = residue(backend.invert(int(acc), modulus))
+    out: list[int] = [0] * len(reduced)
+    for index in range(len(reduced) - 1, 0, -1):
+        out[index] = int((inverse * prefix[index - 1]) % modulus_r)
+        inverse = (inverse * residue(reduced[index])) % modulus_r
+    out[0] = int(inverse % modulus_r)
+    return out

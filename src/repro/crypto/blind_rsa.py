@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import InvalidSignature, ParameterError
+from . import backend as _backend
 from .hashes import hash_to_int
 from .numbers import gcd, modinv
 from .rand import RandomSource, default_source
@@ -54,16 +55,28 @@ class BlindingClient:
     def public_key(self) -> RsaPublicKey:
         return self._public_key
 
-    def blind(self, message: bytes) -> tuple[int, BlindingState]:
-        """Blind ``message``; returns the value to submit and secret state."""
+    def draw_blinding_factor(self) -> int:
+        """A fresh blinding factor coprime to the modulus.
+
+        Split out of :meth:`blind` so callers preparing a whole batch
+        (e-cash withdrawal) can draw each coin's factor in the same
+        rng order as sequential blinding, then run all the ``r^e``
+        masks through one batched exponentiation
+        (:func:`blind_with_factors`).
+        """
         n = self._public_key.n
-        digest = full_domain_hash(message, self._public_key)
         while True:
             factor = self._rng.randint_range(2, n - 1)
             if gcd(factor, n) == 1:
-                break
-        blinded = (digest * pow(factor, self._public_key.e, n)) % n
-        return blinded, BlindingState(message=message, blinding_factor=factor)
+                return factor
+
+    def blind(self, message: bytes) -> tuple[int, BlindingState]:
+        """Blind ``message``; returns the value to submit and secret state."""
+        factor = self.draw_blinding_factor()
+        [(blinded, state)] = blind_with_factors(
+            [(message, factor)], self._public_key
+        )
+        return blinded, state
 
     def unblind(self, blind_signature: int, state: BlindingState) -> bytes:
         """Remove the blinding factor and verify the resulting signature."""
@@ -74,6 +87,33 @@ class BlindingClient:
         raw = signature.to_bytes(self._public_key.byte_length, "big")
         verify_blind_signature(state.message, raw, self._public_key)
         return raw
+
+
+def blind_with_factors(
+    items: list[tuple[bytes, int]], public_key: RsaPublicKey
+) -> list[tuple[int, BlindingState]]:
+    """Blind many messages whose factors are already drawn, under one key.
+
+    The ``factor^e`` masks all share one exponent and modulus, so they
+    run as a single batched exponentiation
+    (:func:`repro.crypto.backend.powmod_base_list` — one C call under
+    gmpy2).  Returns ``(blinded, state)`` pairs in input order,
+    exactly as per-item :meth:`BlindingClient.blind` calls would.
+    """
+    n = public_key.n
+    masks = _backend.powmod_base_list(
+        [factor for _, factor in items], public_key.e, n
+    )
+    blinded_pairs: list[tuple[int, BlindingState]] = []
+    for (message, factor), mask in zip(items, masks):
+        digest = full_domain_hash(message, public_key)
+        blinded_pairs.append(
+            (
+                (digest * mask) % n,
+                BlindingState(message=message, blinding_factor=factor),
+            )
+        )
+    return blinded_pairs
 
 
 class BlindSigner:

@@ -41,6 +41,15 @@ The registry can be switched off globally (:func:`set_tables_enabled`,
 or the :func:`tables_disabled` context manager) so benchmarks can
 measure the speedup honestly.
 
+All arithmetic here runs through the pluggable bigint backend
+(:mod:`repro.crypto.backend`): cold exponentiations and inversions
+dispatch to the active backend's C kernels when gmpy2 is selected, and
+the precomputed tables keep their entries **resident** in the
+backend's native integer type (``mpz`` under gmpy2), so the tight
+multiply-reduce loops never pay a per-call int↔mpz conversion.  A
+table built under one backend re-residences itself lazily the first
+time it is used under another.
+
 Instrumentation happens at the call sites (``PrimeGroup.power`` /
 ``PrimeGroup.multi_power``), not here — this module is pure integer
 arithmetic.
@@ -52,6 +61,7 @@ from contextlib import contextmanager
 from typing import Iterable, Iterator
 
 from ..errors import ParameterError
+from . import backend as _backend
 
 #: Bases per combination table in :func:`multi_pow`.  2^chunk products
 #: are precomputed per chunk, so 4 keeps precomputation at 16 entries
@@ -87,7 +97,15 @@ class FixedBaseExp:
     table entry per non-zero window digit.
     """
 
-    __slots__ = ("base", "modulus", "window", "exponent_bits", "_rows")
+    __slots__ = (
+        "base",
+        "modulus",
+        "window",
+        "exponent_bits",
+        "_rows",
+        "_modulus_r",
+        "_backend_name",
+    )
 
     def __init__(
         self,
@@ -109,32 +127,53 @@ class FixedBaseExp:
         self.modulus = modulus
         self.window = window
         self.exponent_bits = exponent_bits
+        # Entries live in the active backend's native type (mpz under
+        # gmpy2), so the multiply-reduce loop in :meth:`pow` never
+        # converts per call.
+        active = _backend.current()
+        residue = active.residue
+        modulus_r = residue(modulus)
+        one = residue(1)
         radix = 1 << window
-        rows: list[list[int]] = []
-        row_base = self.base
+        rows: list[list] = []
+        row_base = residue(self.base)
         for _ in range((exponent_bits + window - 1) // window):
-            row = [1] * radix
+            row = [one] * radix
             for digit in range(1, radix):
-                row[digit] = (row[digit - 1] * row_base) % modulus
+                row[digit] = (row[digit - 1] * row_base) % modulus_r
             rows.append(row)
-            row_base = (row[radix - 1] * row_base) % modulus
+            row_base = (row[radix - 1] * row_base) % modulus_r
         self._rows = rows
+        self._modulus_r = modulus_r
+        self._backend_name = active.name
 
     @property
     def table_entries(self) -> int:
         """Total precomputed entries (memory diagnostic)."""
         return sum(len(row) for row in self._rows)
 
+    def rebind(self, active) -> None:
+        """Re-residence the table entries in ``active``'s native type.
+
+        Called lazily by :func:`lookup` / :func:`precompute` the first
+        time a table built under one backend is used under another —
+        a linear pass over the entries, far cheaper than rebuilding.
+        """
+        residue = active.residue
+        self._rows = [[residue(int(entry)) for entry in row] for row in self._rows]
+        self._modulus_r = residue(self.modulus)
+        self._backend_name = active.name
+
     def pow(self, exponent: int) -> int:
         """``base^exponent mod modulus``.
 
         Exponents outside the precomputed range (negative, or wider
-        than ``exponent_bits``) fall back to plain ``pow`` so the table
-        is never a correctness hazard.
+        than ``exponent_bits``) fall back to a plain backend ``powmod``
+        so the table is never a correctness hazard.
         """
         if exponent < 0 or exponent.bit_length() > self.exponent_bits:
-            return pow(self.base, exponent, self.modulus)
-        modulus = self.modulus
+            return _backend.powmod(self.base, exponent, self.modulus)
+        modulus = self._modulus_r
         mask = (1 << self.window) - 1
         acc = 1
         index = 0
@@ -144,7 +183,7 @@ class FixedBaseExp:
                 acc = (acc * self._rows[index][digit]) % modulus
             exponent >>= self.window
             index += 1
-        return acc % modulus
+        return int(acc % modulus)
 
 
 # ---------------------------------------------------------------------------
@@ -170,9 +209,16 @@ def precompute(
     key = (base % modulus, modulus)
     table = _TABLES.get(key)
     if table is not None and table.exponent_bits >= exponent_bits:
-        return table
+        return _rebound(table)
     table = FixedBaseExp(base, modulus, exponent_bits=exponent_bits, window=window)
     _TABLES[key] = table
+    return table
+
+
+def _rebound(table: FixedBaseExp) -> FixedBaseExp:
+    """``table``, re-residenced if the arithmetic backend has changed."""
+    if table._backend_name != _backend.backend_name():
+        table.rebind(_backend.current())
     return table
 
 
@@ -180,11 +226,17 @@ def lookup(base: int, modulus: int) -> FixedBaseExp | None:
     """The registered table for ``(base, modulus)``, or ``None``.
 
     Returns ``None`` while tables are disabled, which is how
-    benchmarks compare warm and cold paths.
+    benchmarks compare warm and cold paths.  A table built under a
+    different arithmetic backend is re-residenced before being
+    returned, so :func:`repro.crypto.backend.set_backend` never
+    invalidates the registry.
     """
     if not _ENABLED:
         return None
-    return _TABLES.get((base % modulus, modulus))
+    table = _TABLES.get((base % modulus, modulus))
+    if table is None:
+        return None
+    return _rebound(table)
 
 
 def has_table(base: int, modulus: int) -> bool:
@@ -229,7 +281,10 @@ def reset() -> None:
     naive exponentiation mode.  Benchmark arms and service workers
     mutate all three globals; a worker process (or a test following a
     bench module) must not inherit whatever the previous occupant left
-    behind, so both call this before warming their own tables.
+    behind, so both call this before warming their own tables.  The
+    arithmetic-backend selection is deliberately *not* touched — it is
+    a process-level deployment choice (workers pin it explicitly from
+    their :class:`~repro.service.workers.ServiceConfig`).
     """
     global _ENABLED, _EXP_MODE
     _TABLES.clear()
@@ -239,7 +294,7 @@ def reset() -> None:
 
 @contextmanager
 def switch_guard() -> Iterator[None]:
-    """Scope restoring the exp-mode and enabled switches only.
+    """Scope restoring the exp-mode, enabled and backend switches only.
 
     The narrower sibling of :func:`isolated_state` for test/benchmark
     fixtures: the table registry is deliberately left alone, because
@@ -248,26 +303,31 @@ def switch_guard() -> Iterator[None]:
     """
     saved_enabled = _ENABLED
     saved_mode = _EXP_MODE
+    saved_backend = _backend.backend_name()
     try:
         yield
     finally:
         set_tables_enabled(saved_enabled)
         set_exp_mode(saved_mode)
+        _backend.set_backend(saved_backend)
 
 
 @contextmanager
 def isolated_state() -> Iterator[None]:
-    """Scope whose table/enabled/mode mutations do not leak out.
+    """Scope whose table/enabled/mode/backend mutations do not leak out.
 
-    On exit the registry contents, the enabled switch and the
-    exponentiation mode are restored exactly as they were on entry —
-    the containment wrapper for anything that calls
-    :func:`set_exp_mode`, :func:`set_tables_enabled` or
-    :func:`precompute` and cannot be trusted to undo it.
+    On exit the registry contents, the enabled switch, the
+    exponentiation mode and the arithmetic backend are restored
+    exactly as they were on entry — the containment wrapper for
+    anything that calls :func:`set_exp_mode`,
+    :func:`set_tables_enabled`,
+    :func:`repro.crypto.backend.set_backend` or :func:`precompute`
+    and cannot be trusted to undo it.
     """
     saved_tables = dict(_TABLES)
     saved_enabled = _ENABLED
     saved_mode = _EXP_MODE
+    saved_backend = _backend.backend_name()
     try:
         yield
     finally:
@@ -275,6 +335,7 @@ def isolated_state() -> Iterator[None]:
         _TABLES.update(saved_tables)
         set_tables_enabled(saved_enabled)
         set_exp_mode(saved_mode)
+        _backend.set_backend(saved_backend)
 
 
 # ---------------------------------------------------------------------------
@@ -324,7 +385,7 @@ def cold_pow(base: int, exponent: int, modulus: int) -> int:
     """
     if _EXP_MODE == MODE_WNAF:
         return wnaf_pow(base, exponent, modulus)
-    return pow(base, exponent, modulus)
+    return _backend.powmod(base, exponent, modulus)
 
 
 # ---------------------------------------------------------------------------
@@ -364,13 +425,12 @@ def wnaf_digits(exponent: int, width: int = _WNAF_WIDTH) -> list[int]:
     return digits
 
 
-def _wnaf_odd_powers(base: int, modulus: int, width: int) -> list[int]:
-    """``[base^1, base^3, …, base^(2^(width-1)-1)] mod modulus``."""
-    base %= modulus
-    square = (base * base) % modulus
-    powers = [base]
+def _wnaf_odd_powers(base_r, modulus_r, width: int) -> list:
+    """``[base^1, base^3, …, base^(2^(width-1)-1)]`` over backend residues."""
+    square = (base_r * base_r) % modulus_r
+    powers = [base_r]
     for _ in range((1 << (width - 2)) - 1):
-        powers.append((powers[-1] * square) % modulus)
+        powers.append((powers[-1] * square) % modulus_r)
     return powers
 
 
@@ -380,30 +440,44 @@ def wnaf_pow(
     """``base^exponent mod modulus`` via width-``w`` NAF recoding.
 
     Negative digits multiply by precomputed inverse odd powers, so the
-    base must be invertible; when it is not (or the exponent is
-    negative), the call falls back to plain ``pow`` — the recoding is
-    never a correctness hazard.
+    base must be invertible; when it is not, the call falls back to a
+    plain backend ``powmod`` — the recoding is never a correctness
+    hazard.  A negative exponent inverts the base once (the inverse
+    the signed recoding needs anyway) and exponentiates the wNAF way,
+    raising :class:`ValueError` for a non-invertible base exactly as
+    ``pow`` would.
     """
     if modulus <= 1:
         raise ParameterError("modulus must exceed 1")
+    active = _backend.current()
     base %= modulus
-    if exponent < 0 or base == 0 or exponent.bit_length() < 2 * width:
-        # Tiny exponents never amortize the inverse; let pow have them.
-        return pow(base, exponent, modulus)
-    try:
-        inverse = pow(base, -1, modulus)
-    except ValueError:
-        return pow(base, exponent, modulus)
-    powers = _wnaf_odd_powers(base, modulus, width)
-    inverse_powers = _wnaf_odd_powers(inverse, modulus, width)
+    inverse = None
+    if exponent < 0:
+        # One inversion, then signed recoding of the positive exponent
+        # — and the pre-inversion base *is* the new base's inverse, so
+        # the negative digits below get their table for free.
+        base, inverse = active.invert(base, modulus), base
+        exponent = -exponent
+    if base == 0 or exponent.bit_length() < 2 * width:
+        # Tiny exponents never amortize the inverse; let powmod have them.
+        return active.powmod(base, exponent, modulus)
+    if inverse is None:
+        try:
+            inverse = active.invert(base, modulus)
+        except ValueError:
+            return active.powmod(base, exponent, modulus)
+    residue = active.residue
+    modulus_r = residue(modulus)
+    powers = _wnaf_odd_powers(residue(base), modulus_r, width)
+    inverse_powers = _wnaf_odd_powers(residue(inverse), modulus_r, width)
     acc = 1
     for digit in reversed(wnaf_digits(exponent, width)):
-        acc = (acc * acc) % modulus
+        acc = (acc * acc) % modulus_r
         if digit > 0:
-            acc = (acc * powers[digit >> 1]) % modulus
+            acc = (acc * powers[digit >> 1]) % modulus_r
         elif digit < 0:
-            acc = (acc * inverse_powers[(-digit) >> 1]) % modulus
-    return acc
+            acc = (acc * inverse_powers[(-digit) >> 1]) % modulus_r
+    return int(acc)
 
 
 def multi_pow_wnaf(
@@ -413,13 +487,17 @@ def multi_pow_wnaf(
 
     One shared squaring chain; every base contributes one multiplication
     per non-zero signed digit (density ``1/(width+1)``), against one per
-    set bit (density ``1/2``) for the binary interleaving.  Bases that
-    are not invertible fall back into a plain product, keeping the
-    contract of :func:`multi_pow` exactly.
+    set bit (density ``1/2``) for the binary interleaving.  The signed
+    digits need every base's inverse, and the whole batch gets them
+    from **one** modular inversion (Montgomery's trick,
+    :func:`repro.crypto.backend.batch_invert`) instead of one per
+    member.  Bases that are not invertible fall back into a plain
+    product, keeping the contract of :func:`multi_pow` exactly.
     """
     if modulus <= 0:
         raise ParameterError("modulus must be positive")
-    entries: list[tuple[int, int, int]] = []
+    active = _backend.current()
+    pending: list[tuple[int, int]] = []
     fallback = 1
     for base, exponent in pairs:
         if exponent < 0:
@@ -429,37 +507,53 @@ def multi_pow_wnaf(
             continue
         if base == 0:
             return 0
-        try:
-            inverse = pow(base, -1, modulus)
-        except ValueError:
-            fallback = (fallback * pow(base, exponent, modulus)) % modulus
-            continue
-        entries.append((base, inverse, exponent))
-    if not entries:
+        pending.append((base, exponent))
+    if not pending:
         return fallback % modulus
 
+    try:
+        inverses = _backend.batch_invert([base for base, _ in pending], modulus)
+    except ValueError:
+        # Some member shares a factor with the modulus: find it the
+        # slow way, folding non-invertible bases into a plain product.
+        inverses = []
+        invertible: list[tuple[int, int]] = []
+        for base, exponent in pending:
+            try:
+                inverse = active.invert(base, modulus)
+            except ValueError:
+                fallback = (fallback * active.powmod(base, exponent, modulus)) % modulus
+                continue
+            invertible.append((base, exponent))
+            inverses.append(inverse)
+        pending = invertible
+        if not pending:
+            return fallback % modulus
+
+    residue = active.residue
+    modulus_r = residue(modulus)
     prepared = []
-    for base, inverse, exponent in entries:
+    for (base, exponent), inverse in zip(pending, inverses):
         prepared.append(
             (
-                _wnaf_odd_powers(base, modulus, width),
-                _wnaf_odd_powers(inverse, modulus, width),
+                _wnaf_odd_powers(residue(base), modulus_r, width),
+                _wnaf_odd_powers(residue(inverse), modulus_r, width),
                 wnaf_digits(exponent, width),
             )
         )
     top = max(len(digits) for _, _, digits in prepared)
     acc = 1
     for position in range(top - 1, -1, -1):
-        acc = (acc * acc) % modulus
+        acc = (acc * acc) % modulus_r
         for powers, inverse_powers, digits in prepared:
             if position >= len(digits):
                 continue
             digit = digits[position]
             if digit > 0:
-                acc = (acc * powers[digit >> 1]) % modulus
+                acc = (acc * powers[digit >> 1]) % modulus_r
             elif digit < 0:
-                acc = (acc * inverse_powers[(-digit) >> 1]) % modulus
-    return (acc * fallback) % modulus
+                acc = (acc * inverse_powers[(-digit) >> 1]) % modulus_r
+    return int((acc * fallback) % modulus_r)
 
 
 # ---------------------------------------------------------------------------
@@ -501,30 +595,35 @@ def multi_pow_shamir(pairs: Iterable[tuple[int, int]], modulus: int) -> int:
     if not entries:
         return 1 % modulus
 
+    active = _backend.current()
+    residue = active.residue
+    modulus_r = residue(modulus)
     chunk_size = (
         _MULTI_CHUNK_WIDE if len(entries) >= _MULTI_WIDE_THRESHOLD else _MULTI_CHUNK
     )
     chunks = [
         entries[i : i + chunk_size] for i in range(0, len(entries), chunk_size)
     ]
-    prepared: list[tuple[list[int], list[int]]] = []
+    one = residue(1)
+    prepared: list[tuple[list, list[int]]] = []
     for chunk in chunks:
-        table = [1] * (1 << len(chunk))
+        bases = [residue(base) for base, _ in chunk]
+        table = [one] * (1 << len(chunk))
         for index in range(1, len(table)):
             low = index & -index
             table[index] = (
-                table[index ^ low] * chunk[low.bit_length() - 1][0]
-            ) % modulus
+                table[index ^ low] * bases[low.bit_length() - 1]
+            ) % modulus_r
         prepared.append((table, [exponent for _, exponent in chunk]))
 
     top = max(exponent.bit_length() for _, exponent in entries)
     acc = 1
     for bit in range(top - 1, -1, -1):
-        acc = (acc * acc) % modulus
+        acc = (acc * acc) % modulus_r
         for table, exponents in prepared:
             index = 0
             for position, exponent in enumerate(exponents):
                 index |= ((exponent >> bit) & 1) << position
             if index:
-                acc = (acc * table[index]) % modulus
-    return acc
+                acc = (acc * table[index]) % modulus_r
+    return int(acc % modulus_r)

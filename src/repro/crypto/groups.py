@@ -76,7 +76,8 @@ class PrimeGroup:
         For a safe prime ``p = 2q + 1`` the order-``q`` subgroup is
         exactly the set of quadratic residues, so membership reduces to
         a Jacobi-symbol computation — ``O(log² p)`` instead of the full
-        exponentiation ``element^q mod p``.
+        exponentiation ``element^q mod p`` — served by the active
+        arithmetic backend (GMP's kernel under gmpy2).
         """
         if not 1 <= element < self.p:
             return False
@@ -154,10 +155,11 @@ class PrimeGroup:
         Squaring lands any residue class in the QR subgroup, so encoded
         identity tags are always valid protocol values.
         """
+        from . import backend
         from .hashes import hash_to_int
 
         raw = hash_to_int(b"group-encode:" + value_bytes, self.p - 2) + 2
-        return pow(raw, 2, self.p)
+        return backend.powmod(raw, 2, self.p)
 
 
 _NAMED_GROUPS: dict[str, PrimeGroup] = {

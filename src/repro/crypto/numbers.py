@@ -1,13 +1,16 @@
 """Number-theoretic primitives: primality, prime generation, CRT.
 
-These routines back every public-key operation in the system.  They
-lean on CPython's C-level ``pow`` for modular exponentiation, which
-makes Miller–Rabin fast enough to generate 2048-bit RSA moduli in
-seconds on a laptop — adequate for a protocol reproduction.
+These routines back every public-key operation in the system.  Modular
+exponentiation, inversion and the Jacobi symbol dispatch through the
+pluggable arithmetic backend (:mod:`repro.crypto.backend`): CPython's
+C-level ``pow`` by default — fast enough to generate 2048-bit RSA
+moduli in seconds on a laptop — or GMP's kernels when the gmpy2
+backend is selected.
 """
 
 from __future__ import annotations
 
+from . import backend as _backend
 from .rand import RandomSource, default_source
 
 # Small primes for cheap trial division before Miller–Rabin.
@@ -40,7 +43,7 @@ def is_probable_prime(candidate: int, rng: RandomSource | None = None) -> bool:
         r += 1
     for _ in range(_MR_ROUNDS):
         base = rng.randint_range(2, candidate - 1)
-        x = pow(base, d, candidate)
+        x = _backend.powmod(base, d, candidate)
         if x in (1, candidate - 1):
             continue
         for _ in range(r - 1):
@@ -86,9 +89,10 @@ def generate_safe_prime(bits: int, rng: RandomSource | None = None) -> int:
 def modinv(value: int, modulus: int) -> int:
     """Modular inverse of ``value`` mod ``modulus``.
 
-    Raises :class:`ValueError` if the inverse does not exist.
+    Raises :class:`ValueError` if the inverse does not exist
+    (whichever backend serves the call).
     """
-    return pow(value, -1, modulus)
+    return _backend.invert(value, modulus)
 
 
 def crt_pair(remainder_p: int, prime_p: int, remainder_q: int, prime_q: int) -> int:
@@ -115,22 +119,13 @@ def lcm(a: int, b: int) -> int:
 def jacobi_symbol(a: int, n: int) -> int:
     """Jacobi symbol (a/n) for odd positive ``n``.
 
-    Binary algorithm with all factors of two stripped in one shift per
-    round and the mod-8 / mod-4 sign rules done bitwise — subgroup
-    membership checks run this on full-width elements on every
-    verification path, so constant factors matter.
+    Subgroup membership checks run this on full-width elements on
+    every verification path, so constant factors matter: the pure
+    backend uses a bitwise binary algorithm, the gmpy2 backend GMP's
+    C kernel.  The validation lives here so the documented contract
+    (``ValueError`` for even or non-positive ``n``) holds for every
+    backend.
     """
     if n <= 0 or not n & 1:
         raise ValueError("n must be odd and positive")
-    a %= n
-    result = 1
-    while a:
-        twos = (a & -a).bit_length() - 1
-        if twos:
-            a >>= twos
-            if twos & 1 and n & 7 in (3, 5):
-                result = -result
-        if a & 3 == 3 and n & 3 == 3:
-            result = -result
-        a, n = n % a, a
-    return result if n == 1 else 0
+    return _backend.jacobi(a, n)

@@ -7,8 +7,10 @@
 - **raw private operation** — the building block Chaum blinding needs
   (:mod:`repro.crypto.blind_rsa`).
 
-Private operations use the CRT form.  Implementation is pure Python on
-top of ``pow``; it is not constant-time (see package docstring).
+Private operations use the CRT form.  Every modular exponentiation
+dispatches through the pluggable arithmetic backend
+(:mod:`repro.crypto.backend`) — CPython ``pow`` by default, GMP via
+gmpy2 when selected.  Not constant-time (see package docstring).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import DecryptionError, InvalidSignature, ParameterError
+from . import backend as _backend
 from .hashes import (
     DIGEST_SIZE,
     bytes_to_int,
@@ -60,7 +63,7 @@ class RsaPublicKey:
         from ..instrument import tick
 
         tick("rsa.public_op")
-        return pow(value, self.e, self.n)
+        return _backend.powmod(value, self.e, self.n)
 
     # -- PKCS#1 v1.5 signatures ---------------------------------------------
 
@@ -181,7 +184,7 @@ class RsaPrivateKey:
         tick("rsa.private_op")
         primes = self._crt_primes
         residues = [
-            pow(value % prime, exponent, prime)
+            _backend.powmod(value % prime, exponent, prime)
             for prime, exponent in zip(primes, self._crt_exponents)
         ]
         # Garner recombination with the cached partial-product inverses.

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from ..clock import SimClock
 from ..core.actors.provider import ContentProvider, ProviderStores
 from ..core.messages import Coin, DepositRequest, ExchangeRequest, PurchaseRequest, RedeemRequest
+from ..crypto import backend as crypto_backend
 from ..crypto import fastexp
 from ..crypto.blind_rsa import batch_verify_blind_signatures
 from ..crypto.groups import named_group
@@ -88,6 +89,12 @@ class ServiceConfig:
     escrow_key_element: int | None = None
     max_batch: int = DEFAULT_MAX_BATCH
     max_wait: float = DEFAULT_MAX_WAIT
+    #: Arithmetic backend every worker pins before warming its tables
+    #: (captured from the parent's active backend at config-build
+    #: time), so a pool's throughput numbers are attributable to one
+    #: backend regardless of what each child process would have
+    #: defaulted to.
+    backend_name: str = field(default_factory=crypto_backend.backend_name)
 
     @classmethod
     def from_deployment(
@@ -325,13 +332,24 @@ def _catalog_store(config: ServiceConfig) -> ContentStore:
     return store
 
 
-def warm_fastexp(config: ServiceConfig) -> None:
-    """Per-worker table warm-up from a clean slate."""
+def warm_fastexp(config: ServiceConfig) -> str:
+    """Per-worker arithmetic warm-up from a clean slate.
+
+    Pins the config's arithmetic backend (so a spawn-started child
+    doesn't silently run a different backend than the pool was
+    configured for), resets the fastexp globals, and builds the warm
+    fixed-base tables resident in that backend's native integer type.
+    Returns the active backend name — the warm-up record E11 sweeps
+    and operator logs attribute throughput to.
+    """
+    if config.backend_name:
+        crypto_backend.set_backend(config.backend_name)
     fastexp.reset()
     group = named_group(config.group_name)
     group.precompute_generator()
     if config.escrow_key_element is not None:
         group.precompute_base(config.escrow_key_element)
+    return crypto_backend.backend_name()
 
 
 @dataclass

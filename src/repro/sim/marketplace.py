@@ -27,6 +27,7 @@ from ..baseline.identity_drm import (
 )
 from ..core.identity import SmartCard
 from ..core.system import Deployment, build_deployment
+from ..crypto.backend import backend_name
 from ..errors import ReproError
 from .workload import (
     ACTION_BUY,
@@ -55,6 +56,7 @@ class SimulationReport:
     denials: int = 0
     skipped: int = 0
     sim_seconds: int = 0
+    backend: str = ""  # arithmetic backend the run executed under
     ground_truth: dict[bytes, bytes] = field(default_factory=dict)
     user_of_card: dict[bytes, str] = field(default_factory=dict)
     operator_knowledge: dict = field(default_factory=dict)
@@ -72,6 +74,7 @@ class SimulationReport:
             "denials": self.denials,
             "skipped": self.skipped,
             "sim_seconds": self.sim_seconds,
+            "backend": self.backend,
             **{f"operator_{k}": v for k, v in self.operator_knowledge.items()},
         }
 
@@ -233,6 +236,7 @@ class MarketplaceSimulator:
     def run(self) -> SimulationReport:
         """Execute the configured number of events; returns the report."""
         report = SimulationReport(mode=self.mode, config=self.config)
+        report.backend = backend_name()
         start = self.deployment.clock.now()
         for _ in range(self.config.n_events):
             self.deployment.clock.advance(self.workload.next_gap())

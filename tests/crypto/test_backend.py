@@ -1,0 +1,332 @@
+"""The pluggable bigint-arithmetic backend (repro.crypto.backend).
+
+Covers selection semantics (strict names, context-manager restore,
+switch-guard integration), the pure backend's primitive contracts,
+Montgomery batch inversion, lazy re-residencing of fixed-base tables
+across backend switches, and — via a registered fake backend whose
+residue type is *not* an int — that the residency plumbing converts
+back to plain ints at every protocol boundary.  gmpy2-specific parity
+runs only where the package is installed (the ``backend-gmpy2`` CI
+lane); the round-trip byte-identity test also runs against the fake
+backend so the conversion paths are exercised everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import codec
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.protocols.transfer import build_exchange_request, build_redeem_request
+from repro.crypto import backend as abackend
+from repro.crypto import fastexp
+from repro.crypto.numbers import jacobi_symbol, modinv
+from repro.errors import ParameterError
+
+GMPY2 = abackend.gmpy2_available()
+
+_P = 0xFFFFFFFFFFFFFFC5  # a 64-bit prime
+
+
+class TestSelection:
+    def test_active_backend_is_selectable(self):
+        assert abackend.backend_name() in abackend.available_backends()
+
+    def test_pure_always_available(self):
+        assert "pure" in abackend.available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            abackend.set_backend("quantum")
+
+    @pytest.mark.skipif(GMPY2, reason="gmpy2 installed on this host")
+    def test_missing_gmpy2_is_loud(self):
+        """Selecting gmpy2 without the package must never silently
+        fall back — the backend-gmpy2 CI lane depends on the error."""
+        with pytest.raises(ParameterError):
+            abackend.set_backend("gmpy2")
+
+    def test_backend_set_restores(self):
+        before = abackend.backend_name()
+        with abackend.backend_set("pure"):
+            assert abackend.backend_name() == "pure"
+        assert abackend.backend_name() == before
+
+    def test_switch_guard_restores_backend(self):
+        before = abackend.backend_name()
+        with fastexp.switch_guard():
+            abackend.set_backend("pure")
+        assert abackend.backend_name() == before
+
+    def test_register_backend_requires_name(self):
+        class Nameless:
+            pass
+
+        with pytest.raises(ParameterError):
+            abackend.register_backend(Nameless())
+
+
+class TestPureBackend:
+    def test_powmod_matches_pow(self):
+        pure = abackend.PureBackend()
+        assert pure.powmod(7, 123, _P) == pow(7, 123, _P)
+        assert pure.powmod(7, -5, _P) == pow(7, -5, _P)
+
+    def test_invert_matches_pow(self):
+        pure = abackend.PureBackend()
+        assert pure.invert(7, _P) == pow(7, -1, _P)
+        with pytest.raises(ValueError):
+            pure.invert(6, 9)
+
+    def test_jacobi_known_values(self):
+        pure = abackend.PureBackend()
+        # (2/7) = 1, (3/7) = -1, (7/7) = 0.
+        assert pure.jacobi(2, 7) == 1
+        assert pure.jacobi(3, 7) == -1
+        assert pure.jacobi(7, 7) == 0
+        with pytest.raises(ValueError):
+            pure.jacobi(3, 8)
+
+    def test_powmod_base_list(self):
+        pure = abackend.PureBackend()
+        bases = [3, 5, 7, 11]
+        assert pure.powmod_base_list(bases, 65537, _P) == [
+            pow(base, 65537, _P) for base in bases
+        ]
+
+    def test_module_conveniences_dispatch(self):
+        with abackend.backend_set("pure"):
+            assert abackend.powmod(3, 10, 1009) == pow(3, 10, 1009)
+            assert abackend.invert(3, 1009) == pow(3, -1, 1009)
+            assert abackend.jacobi(3, 1009) == jacobi_symbol(3, 1009)
+            assert abackend.powmod_base_list([2, 3], 5, 1009) == [
+                pow(2, 5, 1009),
+                pow(3, 5, 1009),
+            ]
+
+
+class TestBatchInvert:
+    def test_empty(self):
+        assert abackend.batch_invert([], _P) == []
+
+    def test_singleton(self):
+        assert abackend.batch_invert([42], _P) == [pow(42, -1, _P)]
+
+    def test_many_match_individual_inverses(self, rng):
+        values = [rng.randint_range(1, _P) for _ in range(17)]
+        assert abackend.batch_invert(values, _P) == [
+            modinv(value, _P) for value in values
+        ]
+
+    def test_values_reduced_mod_modulus(self):
+        assert abackend.batch_invert([_P + 3, 2 * _P + 5], _P) == [
+            pow(3, -1, _P),
+            pow(5, -1, _P),
+        ]
+
+    def test_non_invertible_member_raises(self):
+        # 15 shares the factor 3 with 1005: the grand product cannot
+        # be inverted, so the batch fails exactly like pow(15, -1, m).
+        with pytest.raises(ValueError):
+            abackend.batch_invert([7, 15, 11], 1005)
+
+    def test_non_positive_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            abackend.batch_invert([3], 0)
+
+
+# ---------------------------------------------------------------------------
+# A fake backend with a non-int residue type: exercises the residency
+# conversion paths (mpz-shaped) without needing gmpy2 installed.
+# ---------------------------------------------------------------------------
+
+
+class FakeMpz:
+    """Minimal mpz stand-in: multiply/reduce/convert, nothing more."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, value):
+        self.v = int(value)
+
+    def __mul__(self, other):
+        return FakeMpz(self.v * int(other))
+
+    __rmul__ = __mul__
+
+    def __mod__(self, other):
+        return FakeMpz(self.v % int(other))
+
+    def __rmod__(self, other):
+        return FakeMpz(int(other) % self.v)
+
+    def __int__(self):
+        return self.v
+
+    def __index__(self):
+        return self.v
+
+    def __eq__(self, other):
+        return self.v == int(other)
+
+    def __hash__(self):
+        return hash(self.v)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"FakeMpz({self.v})"
+
+
+class FakeResidueBackend(abackend.PureBackend):
+    name = "fake-mpz"
+    residue = staticmethod(FakeMpz)
+
+
+def _sell_exchange_redeem(deployment):
+    """One sell→exchange→redeem pass; returns the canonical bytes."""
+    deployment.provider.deterministic_issuance = True
+    sender = deployment.add_user("backend-sender", balance=1_000_000)
+    receiver = deployment.add_user("backend-receiver", balance=1_000_000)
+    purchases = [
+        build_purchase_request(
+            sender,
+            deployment.provider,
+            deployment.issuer,
+            deployment.bank,
+            "song-1",
+        )
+        for _ in range(2)
+    ]
+    licenses = deployment.provider.sell_batch(purchases)
+    assert not any(isinstance(r, Exception) for r in licenses)
+    anonymous = [
+        deployment.provider.exchange(build_exchange_request(sender, license_))
+        for license_ in licenses
+    ]
+    redeemed = deployment.provider.redeem_batch(
+        [
+            build_redeem_request(
+                receiver, deployment.provider, deployment.issuer, anon
+            )
+            for anon in anonymous
+        ]
+    )
+    assert not any(isinstance(r, Exception) for r in redeemed)
+    return {
+        "licenses": [codec.encode(r.as_dict()) for r in licenses],
+        "anonymous": [codec.encode(a.as_dict()) for a in anonymous],
+        "redeemed": [codec.encode(r.as_dict()) for r in redeemed],
+    }
+
+
+def _round_trip_under(backend_name: str, fresh_deployment):
+    with fastexp.isolated_state():
+        abackend.set_backend(backend_name)
+        fastexp.reset()
+        return _sell_exchange_redeem(fresh_deployment(seed="backend-parity"))
+
+
+class TestResidueBackend:
+    @pytest.fixture(autouse=True)
+    def _registered(self):
+        abackend.register_backend(FakeResidueBackend())
+        yield
+        # The registry is process-global: leave no fake backend behind
+        # for later tests enumerating available_backends().
+        abackend._REGISTRY.pop("fake-mpz", None)
+
+    def test_table_results_are_plain_ints(self, test_group):
+        with fastexp.isolated_state():
+            abackend.set_backend("fake-mpz")
+            fastexp.reset()
+            table = test_group.precompute_generator()
+            result = table.pow(12345)
+            assert type(result) is int
+            assert result == pow(test_group.g, 12345, test_group.p)
+
+    def test_lookup_rebinds_tables_across_switch(self, test_group):
+        with fastexp.isolated_state():
+            abackend.set_backend("pure")
+            fastexp.reset()
+            test_group.precompute_generator()
+            abackend.set_backend("fake-mpz")
+            table = fastexp.lookup(test_group.g, test_group.p)
+            assert isinstance(table._rows[0][1], FakeMpz)
+            assert table.pow(999) == pow(test_group.g, 999, test_group.p)
+            abackend.set_backend("pure")
+            table = fastexp.lookup(test_group.g, test_group.p)
+            assert type(table._rows[0][1]) is int
+
+    def test_multi_pow_returns_plain_int(self, test_group, rng):
+        pairs = [
+            (pow(test_group.g, k, test_group.p), rng.randint_range(1, test_group.q))
+            for k in (2, 3, 5)
+        ]
+        expected = 1
+        for base, exponent in pairs:
+            expected = expected * pow(base, exponent, test_group.p) % test_group.p
+        with abackend.backend_set("fake-mpz"):
+            for mode in (fastexp.MODE_NAIVE, fastexp.MODE_WNAF):
+                with fastexp.exp_mode_set(mode):
+                    result = fastexp.multi_pow(pairs, test_group.p)
+                    assert type(result) is int and result == expected
+
+    @pytest.mark.slow
+    def test_round_trip_byte_identical_to_pure(self, fresh_deployment):
+        pure = _round_trip_under("pure", fresh_deployment)
+        fake = _round_trip_under("fake-mpz", fresh_deployment)
+        assert fake == pure
+
+
+@pytest.mark.skipif(not GMPY2, reason="gmpy2 not installed")
+class TestGmpy2Backend:
+    def test_selectable_and_listed(self):
+        assert "gmpy2" in abackend.available_backends()
+        with abackend.backend_set("gmpy2"):
+            assert abackend.backend_name() == "gmpy2"
+
+    def test_primitive_parity(self, rng):
+        pure = abackend.PureBackend()
+        fast = abackend._instantiate("gmpy2")
+        for _ in range(25):
+            base = rng.randint_range(1, _P)
+            exponent = rng.randint_range(1, _P)
+            assert fast.powmod(base, exponent, _P) == pure.powmod(base, exponent, _P)
+            assert fast.invert(base, _P) == pure.invert(base, _P)
+            assert fast.jacobi(base, _P) == pure.jacobi(base, _P)
+
+    def test_results_are_plain_ints(self):
+        fast = abackend._instantiate("gmpy2")
+        assert type(fast.powmod(3, 5, 1009)) is int
+        assert type(fast.invert(3, 1009)) is int
+        assert all(
+            type(v) is int for v in fast.powmod_base_list([2, 3], 5, 1009)
+        )
+
+    def test_non_invertible_raises_value_error(self):
+        fast = abackend._instantiate("gmpy2")
+        with pytest.raises(ValueError):
+            fast.invert(6, 9)
+        with pytest.raises(ValueError):
+            fast.powmod(6, -1, 9)
+
+    @pytest.mark.slow
+    def test_round_trip_byte_identical_to_pure(self, fresh_deployment):
+        """The satellite parity guarantee: a full sell→exchange→redeem
+        round trip produces the same bytes under both backends."""
+        pure = _round_trip_under("pure", fresh_deployment)
+        fast = _round_trip_under("gmpy2", fresh_deployment)
+        assert fast == pure
+
+
+class TestServiceBackendAttribution:
+    def test_config_captures_and_warmup_applies(self, fresh_deployment, tmp_path):
+        from repro.service.workers import ServiceConfig, warm_fastexp
+
+        deployment = fresh_deployment(seed="backend-service")
+        config = ServiceConfig.from_deployment(
+            deployment, [str(tmp_path / "shard-0.sqlite")]
+        )
+        assert config.backend_name == abackend.backend_name()
+        with fastexp.isolated_state():
+            assert warm_fastexp(config) == config.backend_name
+            assert abackend.backend_name() == config.backend_name

@@ -375,9 +375,54 @@ class TestWnaf:
             expected = (expected * pow(base, exponent, 1009)) % 1009
         assert fastexp.multi_pow_wnaf(pairs, 1009) == expected
 
+    @given(
+        base=st.integers(min_value=1, max_value=2**64),
+        exponent=st.integers(min_value=-(2**256), max_value=-1),
+        modulus=st.integers(min_value=2, max_value=2**64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_wnaf_pow_negative_exponents(self, base, exponent, modulus):
+        """Negative exponents invert once and recode — no pow fallback."""
+        try:
+            expected = pow(base, exponent, modulus)
+        except ValueError:
+            with pytest.raises(ValueError):
+                fastexp.wnaf_pow(base, exponent, modulus)
+            return
+        assert fastexp.wnaf_pow(base, exponent, modulus) == expected
+
+    def test_wnaf_pow_negative_group_sized(self, test_group, rng):
+        """A full-width negative exponent goes through the signed
+        recoding (the satellite fix), matching pow exactly."""
+        exponent = -test_group.random_exponent(rng)
+        base = pow(test_group.g, 7, test_group.p)
+        assert fastexp.wnaf_pow(base, exponent, test_group.p) == pow(
+            base, exponent, test_group.p
+        )
+
+    def test_wnaf_pow_negative_non_invertible_raises(self):
+        # pow(15, -77, 1005) raises ValueError; the recoded path must too.
+        with pytest.raises(ValueError):
+            fastexp.wnaf_pow(15, -77, 1005)
+
     def test_multi_pow_wnaf_negative_exponent_rejected(self):
         with pytest.raises(ParameterError):
             fastexp.multi_pow_wnaf([(3, -1)], 1009)
+
+    def test_multi_pow_wnaf_batch_inversion_wide(self, test_group, rng):
+        """A batch wide enough that Montgomery's trick covers many
+        bases still matches the naive product."""
+        pairs = [
+            (
+                pow(test_group.g, k + 2, test_group.p),
+                rng.randint_range(1, test_group.q),
+            )
+            for k in range(20)
+        ]
+        expected = 1
+        for base, exponent in pairs:
+            expected = expected * pow(base, exponent, test_group.p) % test_group.p
+        assert fastexp.multi_pow_wnaf(pairs, test_group.p) == expected
 
     def test_multi_pow_wnaf_non_invertible_base_falls_back(self):
         # 15 shares a factor with 1005; the product must still be exact.

@@ -8,6 +8,7 @@ exercising the algebra on hundreds of inputs.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.crypto.backend import gmpy2_available as _gmpy2_available
 from repro.crypto.blind_rsa import (
     BlindingClient,
     BlindSigner,
@@ -166,3 +167,84 @@ class TestModeProperties:
         blob[position % len(blob)] ^= 0x01
         with pytest.raises(DecryptionError):
             cipher.decrypt(bytes(blob))
+
+
+class TestBackendProperties:
+    """Parity of the arithmetic backends over random operands.
+
+    The pure-backend properties always run; the gmpy2 class below
+    re-runs the same algebra against GMP where the package exists
+    (the ``backend-gmpy2`` CI lane), pinning the two implementations
+    to bit-identical behavior including error semantics.
+    """
+
+    @given(
+        value=st.integers(min_value=0, max_value=2**256),
+        modulus=st.integers(min_value=2, max_value=2**256),
+    )
+    @settings(max_examples=80)
+    def test_batch_invert_matches_pow(self, value, modulus):
+        from repro.crypto import backend
+
+        values = [value % modulus, (value * 3 + 1) % modulus, (value + 7) % modulus]
+        try:
+            expected = [pow(v, -1, modulus) for v in values]
+        except ValueError:
+            with pytest.raises(ValueError):
+                backend.batch_invert(values, modulus)
+            return
+        assert backend.batch_invert(values, modulus) == expected
+
+
+@pytest.mark.skipif(not _gmpy2_available(), reason="gmpy2 not installed")
+class TestGmpy2ParityProperties:
+    """powmod / invert / jacobi parity between pure and gmpy2."""
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**512),
+        exponent=st.integers(min_value=-8, max_value=2**512),
+        modulus=st.integers(min_value=2, max_value=2**512),
+    )
+    @settings(max_examples=120)
+    def test_powmod_parity(self, base, exponent, modulus):
+        from repro.crypto import backend
+
+        pure = backend.PureBackend()
+        fast = backend._instantiate("gmpy2")
+        try:
+            expected = pure.powmod(base, exponent, modulus)
+        except ValueError:
+            with pytest.raises(ValueError):
+                fast.powmod(base, exponent, modulus)
+            return
+        assert fast.powmod(base, exponent, modulus) == expected
+
+    @given(
+        value=st.integers(min_value=0, max_value=2**512),
+        modulus=st.integers(min_value=1, max_value=2**512),
+    )
+    @settings(max_examples=120)
+    def test_invert_parity(self, value, modulus):
+        from repro.crypto import backend
+
+        pure = backend.PureBackend()
+        fast = backend._instantiate("gmpy2")
+        try:
+            expected = pure.invert(value, modulus)
+        except ValueError:
+            with pytest.raises(ValueError):
+                fast.invert(value, modulus)
+            return
+        assert fast.invert(value, modulus) == expected
+
+    @given(
+        a=st.integers(min_value=-(2**512), max_value=2**512),
+        n=st.integers(min_value=1, max_value=2**512).map(lambda v: v | 1),
+    )
+    @settings(max_examples=120)
+    def test_jacobi_parity(self, a, n):
+        from repro.crypto import backend
+
+        pure = backend.PureBackend()
+        fast = backend._instantiate("gmpy2")
+        assert fast.jacobi(a, n) == pure.jacobi(a, n)
