@@ -1,0 +1,238 @@
+"""E13 — network transport: the socket gateway under concurrent clients.
+
+Sweeps **client concurrency × worker count** over localhost TCP
+sockets (the asyncio :class:`~repro.service.netserver.NetServer` in
+front of the shared worker pool) against the in-process queue
+transport as the zero-socket baseline, plus the bare in-process desk
+as the zero-IPC reference.  The workload is prepared once (user-side
+certification, payment and signing are off the clock) and replayed
+against a fresh shard set per arm, so every arm validates and
+personalizes the *same* request bytes.
+
+Deterministic issuance makes the arms cross-check themselves: every
+transport, worker count and client interleaving must produce
+byte-identical licences for the same requests — the acceptance check
+for the transport refactor — and the ``byte_identical`` column
+records that the run actually verified it.
+
+Reading the numbers: the delta between a ``queue-w{N}`` row and its
+``net-w{N}-c{C}`` rows is the price of framing + TCP + the event
+loop; rising ``clients`` at fixed workers shows how far pipelined
+connections hide that latency.  Timings are advisory in the
+regression lane (runner-dependent); the rows' presence is enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from repro import codec
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.protocols.transfer import build_exchange_request, build_redeem_request
+from repro.core.system import build_deployment
+from repro.crypto.backend import backend_name
+from repro.service.gateway import build_gateway
+from repro.service.netserver import NetClient, NetServer
+
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
+
+WORKER_SWEEP = (1, 2) if BENCH_SMOKE else (1, 2, 4)
+CLIENT_SWEEP = (1, 4) if BENCH_SMOKE else (1, 4, 16)
+#: Requests per family and arm: every arm sells N and redeems N.
+N_REQUESTS = 12 if BENCH_SMOKE else 96
+RSA_BITS = 512 if BENCH_SMOKE else 1024
+
+
+def _run_partitioned(clients: list[NetClient], requests: list) -> tuple[list, float]:
+    """Fan ``requests`` round-robin over the clients, one thread per
+    connection (each pipelines its whole slice); returns results in
+    request order plus the wall-clock of the slowest thread."""
+    results: list = [None] * len(requests)
+    slices: list[tuple[NetClient, list[int]]] = [
+        (client, list(range(index, len(requests), len(clients))))
+        for index, client in enumerate(clients)
+    ]
+
+    def drive(client: NetClient, indices: list[int]) -> None:
+        answered = client.call_many([requests[i] for i in indices])
+        for position, result in zip(indices, answered):
+            results[position] = result
+
+    threads = [
+        threading.Thread(target=drive, args=(client, indices))
+        for client, indices in slices
+        if indices
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, time.perf_counter() - start
+
+
+class TestNetworkTransport:
+    def test_concurrency_sweep(self, experiment):
+        deployment = build_deployment(seed="bench-e13", rsa_bits=RSA_BITS)
+        deployment.provider.publish(
+            "bench-song", b"BENCH-PAYLOAD" * 256, title="Bench Song", price=3
+        )
+        deployment.provider.deterministic_issuance = True
+        senders = [
+            deployment.add_user(f"e13-sender-{i}", balance=1_000_000)
+            for i in range(4)
+        ]
+        receiver = deployment.add_user("e13-receiver", balance=1_000_000)
+
+        purchase_requests = [
+            build_purchase_request(
+                senders[i % len(senders)],
+                deployment.provider,
+                deployment.issuer,
+                deployment.bank,
+                "bench-song",
+            )
+            for i in range(N_REQUESTS)
+        ]
+
+        # -- in-process desk: zero-IPC reference + the identity oracle --
+        start = time.perf_counter()
+        local_licenses = deployment.provider.sell_batch(purchase_requests)
+        sell_seconds = time.perf_counter() - start
+        assert not any(isinstance(r, Exception) for r in local_licenses)
+        exchange_requests = [
+            build_exchange_request(senders[i % len(senders)], license_)
+            for i, license_ in enumerate(local_licenses)
+        ]
+        anonymous = [
+            deployment.provider.exchange(request) for request in exchange_requests
+        ]
+        redeem_requests = [
+            build_redeem_request(
+                receiver, deployment.provider, deployment.issuer, anon
+            )
+            for anon in anonymous
+        ]
+        start = time.perf_counter()
+        local_redeemed = deployment.provider.redeem_batch(redeem_requests)
+        redeem_seconds = time.perf_counter() - start
+        assert not any(isinstance(r, Exception) for r in local_redeemed)
+        reference = {
+            "licenses": [codec.encode(r.as_dict()) for r in local_licenses],
+            "anonymous": [codec.encode(a.as_dict()) for a in anonymous],
+            "redeemed": [codec.encode(r.as_dict()) for r in local_redeemed],
+        }
+        experiment.row(
+            case="in-process",
+            transport="none",
+            workers=0,
+            clients=0,
+            cores=os.cpu_count(),
+            backend=backend_name(),
+            sells_per_s=N_REQUESTS / sell_seconds,
+            redemptions_per_s=N_REQUESTS / redeem_seconds,
+            ops_per_s=2 * N_REQUESTS / (sell_seconds + redeem_seconds),
+        )
+
+        for workers in WORKER_SWEEP:
+            # -- queue-transport arm: same pool, no sockets -------------
+            directory = tempfile.mkdtemp(prefix=f"p2drm-e13-q{workers}-")
+            gateway = build_gateway(
+                deployment, directory, workers=workers, shards=workers
+            )
+            try:
+                start = time.perf_counter()
+                sold = gateway.sell_batch(purchase_requests)
+                sell_seconds = time.perf_counter() - start
+                exchanged = gateway.call_many(exchange_requests)
+                start = time.perf_counter()
+                redeemed = gateway.redeem_batch(redeem_requests)
+                redeem_seconds = time.perf_counter() - start
+            finally:
+                gateway.close()
+                shutil.rmtree(directory, ignore_errors=True)
+            byte_identical = self._identical(
+                reference, sold, exchanged, redeemed
+            )
+            assert byte_identical, (
+                f"queue transport at {workers} workers diverged from the desk"
+            )
+            queue_ops_per_s = 2 * N_REQUESTS / (sell_seconds + redeem_seconds)
+            experiment.row(
+                case=f"queue-w{workers}",
+                transport="queue",
+                workers=workers,
+                clients=0,
+                cores=os.cpu_count(),
+                backend=backend_name(),
+                sells_per_s=N_REQUESTS / sell_seconds,
+                redemptions_per_s=N_REQUESTS / redeem_seconds,
+                ops_per_s=queue_ops_per_s,
+                byte_identical=byte_identical,
+            )
+
+            # -- socket arms: client concurrency sweep ------------------
+            for client_count in CLIENT_SWEEP:
+                directory = tempfile.mkdtemp(
+                    prefix=f"p2drm-e13-n{workers}c{client_count}-"
+                )
+                gateway = build_gateway(
+                    deployment, directory, workers=workers, shards=workers
+                )
+                server = NetServer(gateway)
+                clients: list[NetClient] = []
+                try:
+                    address = server.start()
+                    clients = [
+                        NetClient(address) for _ in range(client_count)
+                    ]
+                    sold, sell_seconds = _run_partitioned(
+                        clients, purchase_requests
+                    )
+                    exchanged = clients[0].call_many(exchange_requests)
+                    redeemed, redeem_seconds = _run_partitioned(
+                        clients, redeem_requests
+                    )
+                finally:
+                    for client in clients:
+                        client.close()
+                    server.close()
+                    gateway.close()
+                    shutil.rmtree(directory, ignore_errors=True)
+                byte_identical = self._identical(
+                    reference, sold, exchanged, redeemed
+                )
+                assert byte_identical, (
+                    f"socket transport (workers={workers},"
+                    f" clients={client_count}) diverged from the desk"
+                )
+                ops_per_s = 2 * N_REQUESTS / (sell_seconds + redeem_seconds)
+                experiment.row(
+                    case=f"net-w{workers}-c{client_count}",
+                    transport="tcp",
+                    workers=workers,
+                    clients=client_count,
+                    cores=os.cpu_count(),
+                    backend=backend_name(),
+                    sells_per_s=N_REQUESTS / sell_seconds,
+                    redemptions_per_s=N_REQUESTS / redeem_seconds,
+                    ops_per_s=ops_per_s,
+                    net_vs_queue=ops_per_s / queue_ops_per_s,
+                    byte_identical=byte_identical,
+                )
+
+    @staticmethod
+    def _identical(reference, sold, exchanged, redeemed) -> bool:
+        if any(isinstance(r, Exception) for r in sold + exchanged + redeemed):
+            return False
+        return (
+            [codec.encode(r.as_dict()) for r in sold] == reference["licenses"]
+            and [codec.encode(a.as_dict()) for a in exchanged]
+            == reference["anonymous"]
+            and [codec.encode(r.as_dict()) for r in redeemed]
+            == reference["redeemed"]
+        )

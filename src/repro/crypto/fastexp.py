@@ -278,18 +278,20 @@ def reset() -> None:
     """Restore the module's pristine global state.
 
     Drops every registered table, re-enables lookups and selects the
-    naive exponentiation mode.  Benchmark arms and service workers
-    mutate all three globals; a worker process (or a test following a
-    bench module) must not inherit whatever the previous occupant left
-    behind, so both call this before warming their own tables.  The
-    arithmetic-backend selection is deliberately *not* touched — it is
-    a process-level deployment choice (workers pin it explicitly from
-    their :class:`~repro.service.workers.ServiceConfig`).
+    active backend's *default* cold-exponentiation mode (see
+    :func:`default_exp_mode` — ``naive`` for both built-in backends).
+    Benchmark arms and service workers mutate all three globals; a
+    worker process (or a test following a bench module) must not
+    inherit whatever the previous occupant left behind, so both call
+    this before warming their own tables.  The arithmetic-backend
+    selection is deliberately *not* touched — it is a process-level
+    deployment choice (workers pin it explicitly from their
+    :class:`~repro.service.workers.ServiceConfig`).
     """
     global _ENABLED, _EXP_MODE
     _TABLES.clear()
     _ENABLED = True
-    _EXP_MODE = MODE_NAIVE
+    _EXP_MODE = default_exp_mode()
 
 
 @contextmanager
@@ -351,6 +353,36 @@ MODE_WNAF = "wnaf"
 
 _EXP_MODES = (MODE_NAIVE, MODE_WNAF)
 _EXP_MODE = MODE_NAIVE
+
+#: The measured-best cold mode per arithmetic backend (the PR 4 open
+#: question, settled by the E3 wNAF and E12 rows — numbers in the
+#: README's "Choosing the cold-exponentiation default" section):
+#:
+#: - ``pure``: CPython's C ``pow`` already runs a left-to-right
+#:   windowed chain entirely in C; the Python-level wNAF loop pays
+#:   interpreter overhead per digit and *loses* on cold single
+#:   exponentiations (~0.8x at 512-bit, parity at 1536-bit).  Its only
+#:   wins are interleaved multi-exps at large moduli, which the warm
+#:   paths route through :func:`multi_pow_shamir`'s adaptive chunks
+#:   anyway.
+#: - ``gmpy2``: one ``powmod`` call keeps the whole chain inside GMP's
+#:   own sliding-window code; a Python-level recoded loop re-crosses
+#:   the interpreter boundary ~bits/(w+1) times per exponentiation and
+#:   cannot compete with a single C call.
+#:
+#: Both answers are ``naive``; the table exists so the decision is a
+#: recorded, per-backend fact (and the seam for a future backend whose
+#: answer differs) rather than a hard-coded accident.
+_DEFAULT_EXP_MODES = {"pure": MODE_NAIVE, "gmpy2": MODE_NAIVE}
+
+
+def default_exp_mode(backend: str | None = None) -> str:
+    """The measured-best cold mode for a backend (default: the active
+    one).  Unknown/custom backends get ``naive`` — the conservative
+    choice, since it delegates to whatever ``powmod`` the backend
+    provides."""
+    name = backend if backend is not None else _backend.backend_name()
+    return _DEFAULT_EXP_MODES.get(name, MODE_NAIVE)
 
 
 def exp_mode() -> str:

@@ -181,3 +181,32 @@ class ServiceError(ReproError):
     worker died, a response timed out, or the gateway was misused —
     infrastructure trouble, not a verdict about the request.
     """
+
+
+class WireError(ServiceError):
+    """Bytes on a service transport violated the framing protocol.
+
+    Raised by the frame codec on untrusted network input — bad magic,
+    unknown version or frame type, or a declared length the peer is
+    not allowed to send.  Always a reason to drop the connection; never
+    a verdict about any request that may have been inside the bytes.
+    """
+
+
+class FrameTooLargeError(WireError):
+    """A frame header declared a payload above the configured maximum.
+
+    Raised *from the header alone*, before any payload is buffered:
+    an attacker-controlled length field must cost the receiver a
+    16-byte read, not a multi-gigabyte allocation (``MemoryError``).
+    """
+
+
+class TruncatedFrameError(WireError):
+    """The byte stream ended in the middle of a frame.
+
+    A connection closing between frames is a normal goodbye; closing
+    *inside* one means the peer (or the network) lost data and whatever
+    request was in flight has no answer — callers see this error
+    instead of a silent hang.
+    """

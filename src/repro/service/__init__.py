@@ -13,14 +13,38 @@ that lets the same protocol code serve heavy traffic:
   batch pipelines (``sell_batch`` / ``redeem_batch`` /
   ``deposit_batch``) against the shared shards, with warm fastexp
   tables and batched queue hand-off;
-- :mod:`repro.service.gateway` — the front door: routes encoded
+- :mod:`repro.service.pool` — the transport-agnostic core: worker
+  process lifecycle, shard-affine routing, ticket bookkeeping and
+  dead-worker detection, shared by both front doors;
+- :mod:`repro.service.transport` — the pluggable-transport seam:
+  length-prefixed framing with a strict decoder, and the
+  ``Transport``/``Listener`` interfaces;
+- :mod:`repro.service.gateway` — the in-process front door: routes
   requests to shard-affine workers and exposes the familiar provider
   surface, so users, devices and the marketplace simulator drive it
-  exactly like the in-process actor.
+  exactly like the in-process actor;
+- :mod:`repro.service.netserver` — the network front door: one
+  asyncio process accepting many client connections over TCP, plus
+  the blocking ``NetClient`` that presents the same provider surface
+  from across the wire.
 """
 
 from .gateway import ServiceGateway
+from .netserver import NetClient, NetServer
+from .pool import WorkerPool
 from .sharding import ShardSet, shard_index
+from .transport import FrameDecoder, Listener, Transport
 from .workers import ServiceConfig
 
-__all__ = ["ServiceGateway", "ServiceConfig", "ShardSet", "shard_index"]
+__all__ = [
+    "ServiceGateway",
+    "ServiceConfig",
+    "ShardSet",
+    "shard_index",
+    "WorkerPool",
+    "NetServer",
+    "NetClient",
+    "Transport",
+    "Listener",
+    "FrameDecoder",
+]

@@ -1,13 +1,12 @@
 """The service gateway: the provider's front door over a worker pool.
 
-The gateway owns the pool: it encodes every request to wire bytes,
-routes it to a **shard-affine** worker (the worker whose slot covers
-the request's home shard — redemptions of one token always meet on the
-same worker queue, so its connection and page cache stay hot), and
-matches responses back to callers.  Correctness never depends on the
-routing: the per-shard stores serialize racing writers at the SQLite
-lock, so even a token deliberately submitted to two workers is spent
-exactly once.
+The heavy lifting — processes, queues, shard-affine routing, ticket
+bookkeeping, dead-worker detection — lives in the transport-agnostic
+:class:`~repro.service.pool.WorkerPool`; the gateway is the
+*in-process* :class:`~repro.service.transport.Transport` over it plus
+the provider-surface facade and the operator's read views.  The
+asyncio socket front-end (:mod:`repro.service.netserver`) shares the
+same pool core, which is why the two paths cannot drift apart.
 
 The public surface mirrors :class:`~repro.core.actors.provider.
 ContentProvider` for everything the rest of the system uses — users,
@@ -19,12 +18,6 @@ write, through WAL snapshots.
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_module
-import threading
-import time
-from typing import Iterable
-
 from ..core.content import ContentPackage
 from ..core.licenses import AnonymousLicense, PersonalLicense
 from ..core.messages import (
@@ -34,9 +27,9 @@ from ..core.messages import (
     PurchaseRequest,
     RedeemRequest,
 )
-from ..errors import RevokedLicenseError, ServiceError, StoreIntegrityError
+from ..errors import RevokedLicenseError, StoreIntegrityError
 from ..storage.contents import CatalogEntry, ContentStore
-from . import wire
+from .pool import RESPONSE_TIMEOUT, WorkerPool
 from .sharding import (
     ShardedAuditLog,
     ShardedLicenseStore,
@@ -44,19 +37,48 @@ from .sharding import (
     ShardedSpentTokenStore,
     ShardSet,
 )
-from .workers import ServiceConfig, _catalog_store, require_start_method, worker_main
+from .transport import Transport
+from .workers import ServiceConfig, _catalog_store
 
-#: How long the gateway waits for any worker response before declaring
-#: the pool broken.  Generous: smoke-sized crypto on a loaded CI box.
-RESPONSE_TIMEOUT = 300.0
+__all__ = [
+    "ServiceGateway",
+    "ServiceConfig",
+    "ProviderSurface",
+    "build_gateway",
+    "RESPONSE_TIMEOUT",
+]
 
-#: Upper bound on the unclaimed/abandoned ticket books (see
-#: ``ServiceGateway.__init__``).
-_BOOKKEEPING_CAP = 4096
+
+class ProviderSurface(Transport):
+    """The protocol half of the provider facade, written once.
+
+    Everything here reduces to :meth:`~repro.service.transport.
+    Transport.submit` / :meth:`~repro.service.transport.Transport.
+    gather`, so the in-process gateway and the network client present
+    the same surface by inheritance, not by parallel maintenance.
+    """
+
+    def sell(self, request: PurchaseRequest) -> PersonalLicense:
+        return self.call(request)
+
+    def sell_batch(self, requests: list[PurchaseRequest]) -> list:
+        return self.call_many(requests)
+
+    def exchange(self, request: ExchangeRequest) -> AnonymousLicense:
+        return self.call(request)
+
+    def redeem(self, request: RedeemRequest) -> PersonalLicense:
+        return self.call(request)
+
+    def redeem_batch(self, requests: list[RedeemRequest]) -> list:
+        return self.call_many(requests)
+
+    def deposit(self, account: str, coins: list[Coin]) -> dict:
+        return self.call(DepositRequest(account=account, coins=tuple(coins)))
 
 
-class ServiceGateway:
-    """Route wire-encoded requests to shard-affine desk workers."""
+class ServiceGateway(ProviderSurface):
+    """Route requests to shard-affine desk workers, in-process."""
 
     def __init__(
         self,
@@ -66,28 +88,10 @@ class ServiceGateway:
         start_method: str | None = None,
         clock=None,
     ):
-        if workers < 1:
-            raise ServiceError("need at least one worker")
-        if workers > len(config.shard_paths):
-            # Affinity maps shard -> worker, so surplus workers would
-            # never see a request; refuse rather than silently idle.
-            raise ServiceError(
-                f"{workers} workers but only {len(config.shard_paths)} shards;"
-                " use shards >= workers"
-            )
-        self._config = config
-        self._workers = workers
-        # The operator's clock.  Every queue item is stamped with it at
-        # submit time and workers follow *only* these stamps — time is
-        # distributed from the trusted side of the wire, never taken
-        # from client-controlled request fields (a signed-but-bogus
-        # timestamp must not be able to drag a worker's clock).
-        from ..clock import SimClock
-
-        self._clock = clock if clock is not None else SimClock(config.clock_start)
         # Open (and migrate) every shard *before* the pool starts: the
         # gateway's read views double as the schema bootstrap, so
         # workers never race each other on DDL.
+        self._config = config
         self._shards = ShardSet(config.shard_paths)
         self._licenses = ShardedLicenseStore(self._shards)
         self._revocations = ShardedRevocationList(self._shards)
@@ -95,68 +99,46 @@ class ServiceGateway:
         self._spent_tokens = ShardedSpentTokenStore(self._shards, "anon-license")
         self._coin_spent_tokens = ShardedSpentTokenStore(self._shards, "ecash")
         self._contents: ContentStore = _catalog_store(config)
-        self._next_request_id = 0
-        #: Guards ticket-id allocation so concurrent submitting threads
-        #: can never mint duplicate ids.  Gathers should stay on one
-        #: thread: concurrent gathers are *safe* (a response popped by
-        #: the wrong gather parks in the unclaimed book, which every
-        #: wait loop re-checks) but may serialize on the queue.
-        self._submit_lock = threading.Lock()
-        #: Which worker each outstanding ticket went to — lets a gather
-        #: detect that *its* worker died instead of waiting out the
-        #: full timeout (or raising on an unrelated worker's death).
-        self._ticket_worker: dict[int, int] = {}
-        self._unclaimed: dict[int, bytes] = {}
-        #: Tickets whose gather failed (timeout / dead worker): their
-        #: late responses are dropped on arrival instead of parking in
-        #: ``_unclaimed`` forever.  Both books are bounded (oldest
-        #: entries evicted past ``_BOOKKEEPING_CAP``) so a long-lived
-        #: gateway surviving repeated failures cannot leak memory —
-        #: an evicted abandoned id at worst re-parks one late response
-        #: in the (equally bounded) unclaimed book.
-        self._abandoned: set[int] = set()
         self._closed = False
-
-        context = multiprocessing.get_context(start_method or require_start_method())
-        self._request_queues = [context.Queue() for _ in range(workers)]
-        self._response_queue = context.Queue()
-        self._processes = []
-        for index in range(workers):
-            process = context.Process(
-                target=worker_main,
-                args=(index, config, self._request_queues[index], self._response_queue),
-                daemon=True,
-                name=f"p2drm-worker-{index}",
+        try:
+            self._pool = WorkerPool(
+                config, workers=workers, start_method=start_method, clock=clock
             )
-            process.start()
-            self._processes.append(process)
+        except BaseException:
+            self._shards.close()
+            raise
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
+    def pool(self) -> WorkerPool:
+        """The transport-agnostic core (shared with the socket server)."""
+        return self._pool
+
+    @property
     def workers(self) -> int:
-        return self._workers
+        return self._pool.workers
 
     @property
     def shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def _processes(self) -> list:
+        """Worker process handles (tests kill these deliberately)."""
+        return self._pool.processes
+
+    @property
+    def _abandoned(self) -> set:
+        """The pool's abandoned-ticket book (asserted on in tests)."""
+        return self._pool._abandoned
 
     def close(self) -> None:
         """Stop the pool and release the gateway's shard handles."""
         if self._closed:
             return
         self._closed = True
-        for request_queue in self._request_queues:
-            try:
-                request_queue.put(None)
-            except (OSError, ValueError):
-                pass
-        for process in self._processes:
-            process.join(timeout=30)
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
+        self._pool.close()
         self._shards.close()
 
     def __enter__(self) -> "ServiceGateway":
@@ -165,129 +147,12 @@ class ServiceGateway:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- routing and collection --------------------------------------------
-
-    def _affinity_token(self, request) -> bytes:
-        if isinstance(request, RedeemRequest):
-            return request.anonymous_license.license_id
-        if isinstance(request, ExchangeRequest):
-            return request.license_id
-        if isinstance(request, PurchaseRequest):
-            return request.certificate.fingerprint
-        if isinstance(request, DepositRequest):
-            # The actual spend key (value||serial), so the deposit
-            # lands on the worker whose slot owns the coin's shard.
-            return request.coins[0].spent_token() if request.coins else b"deposit"
-        raise ServiceError(f"unroutable request {type(request).__name__}")
+    # -- the transport -----------------------------------------------------
 
     def worker_for(self, request) -> int:
         """The shard-affine worker index for a request (exposed for
         tests that need to *defeat* affinity and race two workers)."""
-        return self._shards.index_for(self._affinity_token(request)) % self._workers
-
-    def _submit(self, request, *, worker: int | None = None) -> int:
-        if self._closed:
-            raise ServiceError("gateway is closed")
-        with self._submit_lock:
-            request_id = self._next_request_id
-            self._next_request_id += 1
-        target = self.worker_for(request) if worker is None else worker % self._workers
-        self._ticket_worker[request_id] = target
-        self._request_queues[target].put(
-            (request_id, wire.encode_request(request), self._clock.now())
-        )
-        return request_id
-
-    def _collect(self, request_ids: list[int]) -> list:
-        wanted = set(request_ids)
-        gathered: dict[int, bytes] = {}
-        deadline = time.monotonic() + RESPONSE_TIMEOUT
-        dead_since: float | None = None
-        while wanted:
-            # Re-checked every iteration, not just on entry: another
-            # gather (interleaved caller, or a concurrent thread on
-            # the shared response queue) may park our response in the
-            # unclaimed book while we wait.
-            for request_id in list(wanted):
-                if request_id in self._unclaimed:
-                    gathered[request_id] = self._unclaimed.pop(request_id)
-                    wanted.discard(request_id)
-            if not wanted:
-                break
-            # Liveness and deadline are checked every iteration (not
-            # only when the queue runs dry — steady unrelated traffic
-            # must not mask a dead worker or an expired deadline).
-            # Only the workers holding OUR tickets matter; a short
-            # grace lets a response the worker flushed just before
-            # dying drain out of the queue first.
-            dead = self._dead_wanted_workers(wanted)
-            if dead:
-                if dead_since is None:
-                    dead_since = time.monotonic()
-                elif time.monotonic() - dead_since > 2.0:
-                    self._fail_collect(wanted, gathered)
-                    raise ServiceError(
-                        f"worker(s) died with requests outstanding: {dead}"
-                    )
-            else:
-                dead_since = None
-            if time.monotonic() > deadline:
-                self._fail_collect(wanted, gathered)
-                raise ServiceError(
-                    f"no worker response within {RESPONSE_TIMEOUT}s"
-                )
-            try:
-                request_id, payload = self._response_queue.get(timeout=1.0)
-            except queue_module.Empty:
-                if dead:
-                    # Queue drained and the ticket's worker is gone —
-                    # its unflushed responses died with it.
-                    self._fail_collect(wanted, gathered)
-                    raise ServiceError(
-                        f"worker(s) died with requests outstanding: {dead}"
-                    ) from None
-                continue
-            if request_id in wanted:
-                gathered[request_id] = payload
-                wanted.discard(request_id)
-                self._ticket_worker.pop(request_id, None)
-            elif request_id in self._abandoned:
-                self._abandoned.discard(request_id)
-            else:
-                self._unclaimed[request_id] = payload
-                while len(self._unclaimed) > _BOOKKEEPING_CAP:
-                    self._unclaimed.pop(next(iter(self._unclaimed)))
-        for request_id in request_ids:
-            self._ticket_worker.pop(request_id, None)
-        return [wire.decode_response(gathered[rid]) for rid in request_ids]
-
-    def _dead_wanted_workers(self, wanted: set) -> list[str]:
-        """Names of dead workers that still owe a wanted response."""
-        owing = {
-            self._ticket_worker[rid]
-            for rid in wanted
-            if rid in self._ticket_worker
-        }
-        return [
-            self._processes[index].name
-            for index in sorted(owing)
-            if not self._processes[index].is_alive()
-        ]
-
-    def _fail_collect(self, wanted: set, gathered: dict) -> None:
-        """Bookkeeping for a gather that is about to raise: responses
-        already received go back to ``_unclaimed`` (their side effects
-        committed — a caller who kept the tickets can still gather
-        them), and the truly missing tickets are marked abandoned so a
-        late response is dropped instead of parked forever."""
-        self._unclaimed.update(gathered)
-        self._abandoned.update(wanted)
-        for request_id in wanted:
-            self._ticket_worker.pop(request_id, None)
-        while len(self._unclaimed) > _BOOKKEEPING_CAP:
-            self._unclaimed.pop(next(iter(self._unclaimed)))
-        while len(self._abandoned) > _BOOKKEEPING_CAP:
-            self._abandoned.discard(min(self._abandoned))
+        return self._pool.worker_for(request)
 
     def submit(self, request, *, worker: int | None = None) -> int:
         """Enqueue one request; returns a ticket for :meth:`gather`.
@@ -295,34 +160,14 @@ class ServiceGateway:
         ``worker`` overrides shard affinity — how tests race the same
         token onto two different workers on purpose.
         """
-        return self._submit(request, worker=worker)
+        return self._pool.submit(request, worker=worker)
 
     def gather(self, request_ids: list[int]) -> list:
         """Results (or rejecting exceptions) for submitted tickets,
         aligned with ``request_ids``."""
-        return self._collect(request_ids)
+        return self._pool.gather(request_ids)
 
-    def call(self, request):
-        """One request, synchronously; desk rejections are raised."""
-        result = self._collect([self._submit(request)])[0]
-        if isinstance(result, BaseException):
-            raise result
-        return result
-
-    def call_many(self, requests: Iterable, *, worker: int | None = None) -> list:
-        """A queue of requests with batch-desk semantics: the returned
-        list aligns with the inputs and holds results or the exception
-        that rejected each item — one offender never poisons the rest.
-
-        ``worker`` pins every request to one worker (tests use it to
-        stage double-spend races); default is shard affinity.
-        """
-        request_ids = [
-            self._submit(request, worker=worker) for request in requests
-        ]
-        return self._collect(request_ids)
-
-    # -- the provider surface ----------------------------------------------
+    # -- the provider read surface -----------------------------------------
 
     @property
     def name(self) -> str:
@@ -359,26 +204,13 @@ class ServiceGateway:
     def price(self, content_id: str) -> int:
         return self._contents.price(content_id)
 
+    def package(self, content_id: str) -> bytes:
+        """The sealed package bytes (what :meth:`download` parses —
+        and what the socket server ships to remote clients)."""
+        return self._contents.package(content_id)
+
     def download(self, content_id: str) -> ContentPackage:
-        return ContentPackage.from_bytes(self._contents.package(content_id))
-
-    def sell(self, request: PurchaseRequest) -> PersonalLicense:
-        return self.call(request)
-
-    def sell_batch(self, requests: list[PurchaseRequest]) -> list:
-        return self.call_many(requests)
-
-    def exchange(self, request: ExchangeRequest) -> AnonymousLicense:
-        return self.call(request)
-
-    def redeem(self, request: RedeemRequest) -> PersonalLicense:
-        return self.call(request)
-
-    def redeem_batch(self, requests: list[RedeemRequest]) -> list:
-        return self.call_many(requests)
-
-    def deposit(self, account: str, coins: list[Coin]) -> dict:
-        return self.call(DepositRequest(account=account, coins=tuple(coins)))
+        return ContentPackage.from_bytes(self.package(content_id))
 
     def revocation_sync(self, since_version: int):
         """Delta entries plus a signed snapshot for device sync.
@@ -439,6 +271,3 @@ def build_gateway(
         knobs["max_wait"] = max_wait
     config = ServiceConfig.from_deployment(deployment, paths, **knobs)
     return ServiceGateway(config, workers=workers, clock=deployment.clock)
-
-
-__all__ = ["ServiceGateway", "ServiceConfig", "build_gateway"]

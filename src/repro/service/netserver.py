@@ -1,0 +1,705 @@
+"""The asyncio socket front-end and its blocking client.
+
+One :class:`NetServer` process fronts a whole worker pool: it accepts
+many concurrent client connections on a single event loop, reads
+length-prefixed frames (:mod:`repro.service.transport`), and
+multiplexes every request onto the shared
+:class:`~repro.service.pool.WorkerPool` with the same shard-affine
+routing the in-process gateway uses.  Responses travel back as the
+*exact bytes* the worker produced — the server never re-encodes a
+protocol payload — so the socket path is byte-identical to the
+in-process path by construction, not by luck.
+
+Concurrency model:
+
+- the event loop owns all socket I/O; nothing on it ever blocks;
+- each request frame is handed to a small thread pool that performs
+  the blocking pool submit/gather (cheap waits on the pool's
+  condition variable), then the response frame is written back under
+  a per-connection lock;
+- **per-connection backpressure**: a connection may have at most
+  ``max_inflight`` requests outstanding.  The read loop stops pulling
+  bytes off the socket while at the limit, so a firehosing client is
+  throttled by TCP flow control instead of ballooning the server's
+  memory — and one greedy connection cannot starve the others.
+
+The read surface (catalog, prices, packages, revocation sync,
+non-revocation proofs) crosses as **control frames**: codec-encoded
+``{"op", "args"}`` bodies answered from the gateway's WAL read views.
+Errors cross with full fidelity via the wire error marshalling, so a
+remote client sees the same typed exceptions an in-process caller
+does.
+
+:class:`NetClient` is the blocking counterpart: it speaks the framing
+protocol over one TCP connection, pipelines freely (requests correlate
+by id, so batch submits don't wait turn-by-turn), and exposes the same
+provider-surface facade as :class:`~repro.service.gateway.
+ServiceGateway` — code written against one drives the other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket as socket_module
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.content import ContentPackage
+from ..errors import ReproError, ServiceError, TruncatedFrameError, WireError
+from ..storage.contents import CatalogEntry
+from ..storage.merkle import InclusionProof, NonInclusionProof
+from ..storage.revocation import RevocationEntry, SignedSnapshot
+from . import wire
+from .gateway import ProviderSurface, ServiceGateway
+from .transport import (
+    FRAME_CONTROL,
+    FRAME_CONTROL_REPLY,
+    FRAME_REQUEST,
+    FRAME_REQUEST_PINNED,
+    FRAME_RESPONSE,
+    MAX_FRAME_PAYLOAD,
+    FrameDecoder,
+    Listener,
+    decode_pinned,
+    encode_frame,
+    encode_pinned,
+)
+
+__all__ = ["NetServer", "NetClient", "DEFAULT_MAX_INFLIGHT"]
+
+#: Default per-connection ceiling on outstanding requests.  Matches a
+#: worker batch nicely: one pipelining client can fill a worker's
+#: coalescing window, but cannot queue unbounded work.
+DEFAULT_MAX_INFLIGHT = 32
+
+_READ_CHUNK = 65536
+
+
+# -- control-channel marshalling --------------------------------------------
+
+
+def _catalog_entry_dict(entry: CatalogEntry) -> dict:
+    return {
+        "content_id": entry.content_id,
+        "title": entry.title,
+        "price_cents": entry.price_cents,
+        "added_at": entry.added_at,
+        "package_size": entry.package_size,
+    }
+
+
+def _catalog_entry_from(data: dict) -> CatalogEntry:
+    return CatalogEntry(
+        content_id=str(data["content_id"]),
+        title=str(data["title"]),
+        price_cents=int(data["price_cents"]),
+        added_at=int(data["added_at"]),
+        package_size=int(data["package_size"]),
+    )
+
+
+def _revocation_entry_dict(entry: RevocationEntry) -> dict:
+    return {
+        "license_id": entry.license_id,
+        "version": entry.version,
+        "revoked_at": entry.revoked_at,
+        "reason": entry.reason,
+    }
+
+
+def _revocation_entry_from(data: dict) -> RevocationEntry:
+    return RevocationEntry(
+        license_id=bytes(data["license_id"]),
+        version=int(data["version"]),
+        revoked_at=int(data["revoked_at"]),
+        reason=str(data["reason"]),
+    )
+
+
+def _inclusion_dict(proof: InclusionProof | None) -> dict | None:
+    return None if proof is None else proof.as_dict()
+
+
+def _inclusion_from(data: dict | None) -> InclusionProof | None:
+    return None if data is None else InclusionProof.from_dict(data)
+
+
+def _non_inclusion_dict(proof: NonInclusionProof) -> dict:
+    return {
+        "left": proof.left_leaf,
+        "left_proof": _inclusion_dict(proof.left_proof),
+        "right": proof.right_leaf,
+        "right_proof": _inclusion_dict(proof.right_proof),
+    }
+
+
+def _non_inclusion_from(data: dict) -> NonInclusionProof:
+    return NonInclusionProof(
+        left_leaf=None if data["left"] is None else bytes(data["left"]),
+        left_proof=_inclusion_from(data["left_proof"]),
+        right_leaf=None if data["right"] is None else bytes(data["right"]),
+        right_proof=_inclusion_from(data["right_proof"]),
+    )
+
+
+# -- the server --------------------------------------------------------------
+
+
+class NetServer(Listener):
+    """Asyncio acceptor multiplexing client connections onto the pool."""
+
+    def __init__(
+        self,
+        gateway: ServiceGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_payload: int = MAX_FRAME_PAYLOAD,
+    ):
+        if max_inflight < 1:
+            raise ServiceError("need max_inflight >= 1")
+        self._gateway = gateway
+        self._host = host
+        self._port = port
+        self._max_inflight = max_inflight
+        self._max_payload = max_payload
+        # Sized for the blocking pool waits: every slot is a thread
+        # parked on a condition variable, so the cap is about bounding
+        # bookkeeping, not CPU.
+        self._executor = ThreadPoolExecutor(
+            max_workers=min(128, max(16, 4 * max_inflight)),
+            thread_name_prefix="p2drm-net",
+        )
+        #: Control ops touch the gateway's SQLite read views from
+        #: executor threads; one lock serializes them so the views
+        #: never see interleaved cross-thread statements.  They are
+        #: cheap local reads — contention here is not a hot path.
+        self._control_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a background event-loop thread; returns
+        the bound ``(host, port)`` (port 0 resolves to a real one)."""
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="p2drm-netserver", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise ServiceError("socket server failed to start in time")
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"socket server failed to bind: {self._startup_error!r}"
+            )
+        assert self._address is not None
+        return self._address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise ServiceError("server not started")
+        return self._address
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "NetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- event loop --------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if self._startup_error is None:
+                self._startup_error = exc
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._on_connection, self._host, self._port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        sockname = server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(max_payload=self._max_payload)
+        inflight = asyncio.Semaphore(self._max_inflight)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    # A close between frames is a normal goodbye; one
+                    # mid-frame lost a request, worth nothing more
+                    # than the typed error (nobody is left to tell).
+                    try:
+                        decoder.finish()
+                    except TruncatedFrameError:
+                        pass
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except WireError:
+                    # Framing violations are unrecoverable: the stream
+                    # has no trustworthy boundaries any more.  Drop the
+                    # connection; in-flight work still answers nothing
+                    # (its frames may be the corrupted ones).
+                    break
+                for frame in frames:
+                    if frame.type not in (
+                        FRAME_REQUEST,
+                        FRAME_REQUEST_PINNED,
+                        FRAME_CONTROL,
+                    ):
+                        # Clients must not send response-direction
+                        # frames; treat as a protocol violation.
+                        frames = None
+                        break
+                    # Backpressure: stop reading while at the limit.
+                    await inflight.acquire()
+                    task = asyncio.ensure_future(
+                        self._handle_frame(frame, writer, write_lock, inflight)
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                if frames is None:
+                    break
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: the loop is shutting down mid-close;
+                # nothing left to wait for.
+                pass
+
+    async def _handle_frame(
+        self,
+        frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        inflight: asyncio.Semaphore,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            if frame.type == FRAME_CONTROL:
+                reply_type = FRAME_CONTROL_REPLY
+                payload = await loop.run_in_executor(
+                    self._executor, self._serve_control, frame.payload
+                )
+            else:
+                reply_type = FRAME_RESPONSE
+                payload = await loop.run_in_executor(
+                    self._executor, self._serve_request, frame
+                )
+            try:
+                data = encode_frame(
+                    reply_type,
+                    frame.request_id,
+                    payload,
+                    max_payload=self._max_payload,
+                )
+            except WireError as exc:
+                # A reply too large for the frame ceiling (a huge
+                # package through a small-frame server, say) must
+                # still *answer* — a typed error beats a ticket the
+                # client waits out.
+                data = encode_frame(
+                    reply_type,
+                    frame.request_id,
+                    self._error_payload(reply_type, exc),
+                )
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; the pool side effects stand
+        finally:
+            inflight.release()
+
+    # -- blocking halves (executor threads) --------------------------------
+
+    def _serve_request(self, frame) -> bytes:
+        """Submit one client request frame to the pool; ALWAYS returns
+        response bytes — every failure mode becomes a typed error
+        envelope, never an unanswered ticket the client waits out.
+
+        The envelope crosses untouched, so whatever the worker answers
+        is what the client receives — byte-identity with the in-process
+        path needs no re-encoding step that could drift.
+        """
+        pool = self._gateway.pool
+        try:
+            worker = None
+            envelope = frame.payload
+            if frame.type == FRAME_REQUEST_PINNED:
+                worker, envelope = decode_pinned(envelope)
+            ticket = pool.submit_encoded(envelope, worker=worker)
+            [raw] = pool.gather_raw([ticket])
+            return raw
+        except ReproError as exc:
+            # Undecodable, unroutable, or pool trouble: answer directly
+            # (the same exception an in-process caller sees).
+            return wire.encode_response(exc)
+        except Exception as exc:
+            # Anything else is a server-side defect, but the client
+            # still deserves an answer instead of a timeout.
+            return wire.encode_response(
+                ServiceError(f"request failed: {exc!r}")
+            )
+
+    def _error_payload(self, reply_type: int, error: BaseException) -> bytes:
+        """A typed-error payload in whichever channel the reply uses."""
+        from .. import codec
+
+        failure = (
+            error
+            if isinstance(error, ReproError)
+            else ServiceError(f"reply failed: {error!r}")
+        )
+        if reply_type == FRAME_RESPONSE:
+            return wire.encode_response(failure)
+        return codec.encode({"ok": False, "error": wire.encode_error(failure)})
+
+    def _serve_control(self, payload: bytes) -> bytes:
+        """Answer one read-surface call from the gateway's read views."""
+        from .. import codec
+
+        try:
+            body = codec.decode(payload)
+            if not isinstance(body, dict):
+                raise WireError("control body must be a dict")
+            op = body.get("op")
+            args = body.get("args")
+            if not isinstance(args, dict):
+                raise WireError("control args must be a dict")
+            handler = _CONTROL_OPS.get(op)
+            if handler is None:
+                raise WireError(f"unknown control op {op!r}")
+            with self._control_lock:
+                value = handler(self._gateway, args)
+        except ReproError as exc:
+            return codec.encode({"ok": False, "error": wire.encode_error(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            failure = ServiceError(f"control op failed: {exc!r}")
+            return codec.encode({"ok": False, "error": wire.encode_error(failure)})
+        return codec.encode({"ok": True, "value": value})
+
+
+def _op_hello(gateway: ServiceGateway, args: dict) -> dict:
+    key = gateway.license_key
+    return {
+        "name": gateway.name,
+        "license_key": {"n": key.n, "e": key.e},
+        "workers": gateway.workers,
+        "shards": gateway.shards,
+    }
+
+
+def _op_catalog(gateway: ServiceGateway, args: dict) -> list:
+    return [_catalog_entry_dict(entry) for entry in gateway.catalog()]
+
+
+def _op_price(gateway: ServiceGateway, args: dict) -> int:
+    return gateway.price(str(args["content_id"]))
+
+
+def _op_package(gateway: ServiceGateway, args: dict) -> bytes:
+    return gateway.package(str(args["content_id"]))
+
+
+def _op_revocation_sync(gateway: ServiceGateway, args: dict) -> dict:
+    entries, snapshot = gateway.revocation_sync(int(args["since_version"]))
+    return {
+        "entries": [_revocation_entry_dict(entry) for entry in entries],
+        "snapshot": snapshot.as_dict(),
+    }
+
+
+def _op_prove_not_revoked(gateway: ServiceGateway, args: dict) -> dict:
+    snapshot, proof = gateway.prove_not_revoked(bytes(args["license_id"]))
+    return {
+        "snapshot": snapshot.as_dict(),
+        "proof": _non_inclusion_dict(proof),
+    }
+
+
+_CONTROL_OPS = {
+    "hello": _op_hello,
+    "catalog": _op_catalog,
+    "price": _op_price,
+    "package": _op_package,
+    "revocation_sync": _op_revocation_sync,
+    "prove_not_revoked": _op_prove_not_revoked,
+}
+
+
+# -- the client --------------------------------------------------------------
+
+
+class NetClient(ProviderSurface):
+    """Blocking client presenting the provider surface over one socket.
+
+    Pipelining: :meth:`submit` only writes; :meth:`gather` reads until
+    its tickets are answered, parking any responses that belong to
+    other outstanding tickets.  Responses correlate by request id, so
+    order on the wire never matters.  One instance serves one thread
+    (concurrent benchmark clients each open their own connection —
+    exactly what a real client would do).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        timeout: float = 300.0,
+        max_payload: int = MAX_FRAME_PAYLOAD,
+    ):
+        self._address = (str(address[0]), int(address[1]))
+        self._timeout = timeout
+        self._max_payload = max_payload
+        self._socket = socket_module.create_connection(self._address, timeout=timeout)
+        self._socket.setsockopt(
+            socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
+        )
+        self._decoder = FrameDecoder(max_payload=max_payload)
+        self._next_id = itertools.count()
+        #: Frames received but not yet claimed, by request id.
+        self._received: dict[int, tuple[int, bytes]] = {}
+        self._lock = threading.RLock()
+        self._hello: dict | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._socket.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+        self._socket.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- framing I/O -------------------------------------------------------
+
+    def _send(self, frame_type: int, request_id: int, payload: bytes) -> None:
+        if self._closed:
+            raise ServiceError("client is closed")
+        data = encode_frame(
+            frame_type, request_id, payload, max_payload=self._max_payload
+        )
+        try:
+            self._socket.sendall(data)
+        except OSError as exc:
+            raise ServiceError(f"send failed: {exc}") from exc
+        # Opportunistically drain replies the server already produced.
+        # A submit-all-then-gather batch would otherwise leave early
+        # responses unread while still writing: once they overflow the
+        # kernel buffers, the server's drain() blocks holding that
+        # connection's in-flight slots, its read loop pauses, and both
+        # sides stall until a timeout — a distributed deadlock.
+        # Consuming eagerly keeps the reply stream flowing no matter
+        # how deep the pipeline gets.
+        self._drain_ready_frames()
+
+    def _drain_ready_frames(self) -> None:
+        """Park whatever complete frames are already readable, without
+        blocking (the socket is briefly switched to non-blocking)."""
+        self._socket.setblocking(False)
+        try:
+            while True:
+                try:
+                    data = self._socket.recv(_READ_CHUNK)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError as exc:
+                    # Same typed contract as the blocking reads: a
+                    # reset mid-drain surfaces as ServiceError, not a
+                    # bare socket exception out of submit().
+                    raise ServiceError(f"receive failed: {exc}") from exc
+                if not data:
+                    # Server hung up; the next blocking read reports it
+                    # with the proper typed error.
+                    break
+                for frame in self._decoder.feed(data):
+                    self._received[frame.request_id] = (frame.type, frame.payload)
+        finally:
+            self._socket.settimeout(self._timeout)
+
+    def _receive_into_parked(self) -> None:
+        """Read one chunk off the socket; park every completed frame."""
+        try:
+            data = self._socket.recv(_READ_CHUNK)
+        except socket_module.timeout:
+            raise ServiceError(
+                f"no server response within {self._timeout}s"
+            ) from None
+        except OSError as exc:
+            raise ServiceError(f"receive failed: {exc}") from exc
+        if not data:
+            # Typed truncation beats a silent hang: mid-frame close is
+            # TruncatedFrameError, between-frames close a ServiceError.
+            self._decoder.finish()
+            raise ServiceError("server closed the connection")
+        for frame in self._decoder.feed(data):
+            self._received[frame.request_id] = (frame.type, frame.payload)
+
+    def _await_frame(self, request_id: int, expected_type: int) -> bytes:
+        with self._lock:
+            while request_id not in self._received:
+                self._receive_into_parked()
+            frame_type, payload = self._received.pop(request_id)
+        if frame_type != expected_type:
+            raise WireError(
+                f"server answered frame type 0x{frame_type:02x} where"
+                f" 0x{expected_type:02x} was expected"
+            )
+        return payload
+
+    # -- the transport -----------------------------------------------------
+
+    def submit(self, request, *, worker: int | None = None) -> int:
+        """Frame and send one request; returns the correlation ticket.
+
+        ``worker`` pins the request past shard affinity (the socket
+        twin of the gateway override tests use to stage races)."""
+        envelope = wire.encode_request(request)
+        with self._lock:
+            ticket = next(self._next_id)
+            if worker is None:
+                self._send(FRAME_REQUEST, ticket, envelope)
+            else:
+                self._send(
+                    FRAME_REQUEST_PINNED, ticket, encode_pinned(worker, envelope)
+                )
+        return ticket
+
+    def gather(self, tickets: list[int]) -> list:
+        """Decoded results (or rejecting exceptions) for ``tickets``."""
+        return [
+            wire.decode_response(self._await_frame(ticket, FRAME_RESPONSE))
+            for ticket in tickets
+        ]
+
+    # -- the control channel -----------------------------------------------
+
+    def _control(self, op: str, **args):
+        from .. import codec
+
+        with self._lock:
+            ticket = next(self._next_id)
+            self._send(
+                FRAME_CONTROL, ticket, codec.encode({"op": op, "args": args})
+            )
+        reply = codec.decode(self._await_frame(ticket, FRAME_CONTROL_REPLY))
+        # Untrusted shape, typed rejection: a version-skewed or hostile
+        # server must never leak a raw KeyError out of price()/hello.
+        if not isinstance(reply, dict) or not isinstance(reply.get("ok"), bool):
+            raise WireError("malformed control reply")
+        if not reply["ok"]:
+            if not isinstance(reply.get("error"), dict):
+                raise WireError("malformed control error reply")
+            raise wire.decode_error(reply["error"])
+        if "value" not in reply:
+            raise WireError("malformed control reply: no value")
+        return reply["value"]
+
+    def _hello_info(self) -> dict:
+        if self._hello is None:
+            self._hello = self._control("hello")
+        return self._hello
+
+    # -- the provider read surface -----------------------------------------
+
+    @property
+    def name(self) -> str:
+        return str(self._hello_info()["name"])
+
+    @property
+    def license_key(self):
+        from ..crypto.rsa import RsaPublicKey
+
+        key = self._hello_info()["license_key"]
+        return RsaPublicKey(n=int(key["n"]), e=int(key["e"]))
+
+    @property
+    def workers(self) -> int:
+        return int(self._hello_info()["workers"])
+
+    @property
+    def shards(self) -> int:
+        return int(self._hello_info()["shards"])
+
+    def catalog(self) -> list[CatalogEntry]:
+        return [_catalog_entry_from(entry) for entry in self._control("catalog")]
+
+    def price(self, content_id: str) -> int:
+        return int(self._control("price", content_id=content_id))
+
+    def package(self, content_id: str) -> bytes:
+        return bytes(self._control("package", content_id=content_id))
+
+    def download(self, content_id: str) -> ContentPackage:
+        return ContentPackage.from_bytes(self.package(content_id))
+
+    def revocation_sync(self, since_version: int):
+        body = self._control("revocation_sync", since_version=since_version)
+        entries = [_revocation_entry_from(entry) for entry in body["entries"]]
+        return entries, SignedSnapshot.from_dict(body["snapshot"])
+
+    def prove_not_revoked(self, license_id: bytes):
+        body = self._control("prove_not_revoked", license_id=license_id)
+        return (
+            SignedSnapshot.from_dict(body["snapshot"]),
+            _non_inclusion_from(body["proof"]),
+        )

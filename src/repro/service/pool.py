@@ -1,0 +1,360 @@
+"""The transport-agnostic worker-pool core.
+
+Everything the two front doors (the in-process
+:class:`~repro.service.gateway.ServiceGateway` and the asyncio socket
+server in :mod:`repro.service.netserver`) have in common lives here:
+starting the worker processes, shard-affine routing, ticket
+bookkeeping, response collection and dead-worker detection.  Neither
+front door touches a queue or a process directly — they submit
+requests and wait on tickets, which is exactly the discipline the
+network path needs anyway.
+
+One daemon **collector thread** owns the shared response queue.  It
+parks every response under its ticket and notifies waiters, so any
+number of threads — a blocking caller per ticket batch, or the socket
+server's per-request executor waits — can gather concurrently without
+stealing each other's responses off the queue.  The collector also
+watches worker liveness: a ticket whose worker died (after a short
+grace for responses the worker flushed before dying) fails fast with
+:class:`~repro.errors.ServiceError` instead of waiting out the full
+response timeout.
+
+Correctness never depends on the routing: the per-shard stores
+serialize racing writers at the SQLite lock, so even a token
+deliberately submitted to two workers is spent exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+
+from ..core.messages import (
+    DepositRequest,
+    ExchangeRequest,
+    PurchaseRequest,
+    RedeemRequest,
+)
+from ..errors import ServiceError
+from . import wire
+from .sharding import shard_index
+from .workers import ServiceConfig, require_start_method, worker_main
+
+#: How long a gather waits for any worker response before declaring
+#: the pool broken.  Generous: smoke-sized crypto on a loaded CI box.
+RESPONSE_TIMEOUT = 300.0
+
+#: Grace between noticing a worker died and failing its tickets —
+#: responses the worker flushed just before dying drain out first.
+_DEATH_GRACE = 2.0
+
+#: Upper bound on the parked/abandoned ticket books (see ``WorkerPool``).
+_BOOKKEEPING_CAP = 4096
+
+
+class WorkerPool:
+    """Worker processes plus the ticket discipline over them."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        workers: int = 2,
+        start_method: str | None = None,
+        clock=None,
+    ):
+        if workers < 1:
+            raise ServiceError("need at least one worker")
+        if workers > len(config.shard_paths):
+            # Affinity maps shard -> worker, so surplus workers would
+            # never see a request; refuse rather than silently idle.
+            raise ServiceError(
+                f"{workers} workers but only {len(config.shard_paths)} shards;"
+                " use shards >= workers"
+            )
+        self._config = config
+        self._workers = workers
+        self._shard_count = len(config.shard_paths)
+        # The operator's clock.  Every queue item is stamped with it at
+        # submit time and workers follow *only* these stamps — time is
+        # distributed from the trusted side of the wire, never taken
+        # from client-controlled request fields (a signed-but-bogus
+        # timestamp must not be able to drag a worker's clock).
+        from ..clock import SimClock
+
+        self._clock = clock if clock is not None else SimClock(config.clock_start)
+        self._next_request_id = 0
+        #: One condition guards every book below.  Ticket-id allocation
+        #: additionally never leaves this lock, so concurrent
+        #: submitting threads can never mint duplicate ids.
+        self._cond = threading.Condition()
+        #: Which worker each outstanding ticket went to — lets the
+        #: collector fail exactly the tickets a dead worker owed.
+        self._ticket_worker: dict[int, int] = {}
+        #: Responses parked by the collector until their gather claims
+        #: them (ticket -> raw payload bytes).
+        self._parked: dict[int, bytes] = {}
+        #: Tickets the collector failed (their worker died): gathers
+        #: raise the recorded error instead of timing out.
+        self._failed: dict[int, ServiceError] = {}
+        #: Tickets whose gather gave up (timeout / dead worker): their
+        #: late responses are dropped on arrival instead of parking in
+        #: ``_parked`` forever.  Both books are bounded (oldest entries
+        #: evicted past ``_BOOKKEEPING_CAP``) so a long-lived pool
+        #: surviving repeated failures cannot leak memory — an evicted
+        #: abandoned id at worst re-parks one late response in the
+        #: (equally bounded) parked book.
+        self._abandoned: set[int] = set()
+        #: When the collector first saw each worker dead (grace timer),
+        #: and when it last scanned at all (``is_alive`` is a syscall
+        #: per worker — at high throughput the scan is rate-limited
+        #: instead of running once per response).
+        self._dead_since: dict[int, float] = {}
+        self._last_liveness_scan = 0.0
+        self._closed = False
+
+        context = multiprocessing.get_context(start_method or require_start_method())
+        self._request_queues = [context.Queue() for _ in range(workers)]
+        self._response_queue = context.Queue()
+        self._processes = []
+        for index in range(workers):
+            process = context.Process(
+                target=worker_main,
+                args=(index, config, self._request_queues[index], self._response_queue),
+                daemon=True,
+                name=f"p2drm-worker-{index}",
+            )
+            process.start()
+            self._processes.append(process)
+        # Started only after every fork: the collector must exist in
+        # the parent alone (a forked child cloning a running thread's
+        # lock state is exactly the kind of inheritance workers avoid).
+        self._collector = threading.Thread(
+            target=self._collect_forever, name="p2drm-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def shards(self) -> int:
+        return self._shard_count
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @property
+    def processes(self) -> list:
+        """The live worker process handles (tests kill these)."""
+        return self._processes
+
+    def close(self) -> None:
+        """Stop the workers and the collector; idempotent."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for request_queue in self._request_queues:
+            try:
+                request_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=30)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._collector.join(timeout=5)
+
+    # -- routing -----------------------------------------------------------
+
+    def _affinity_token(self, request) -> bytes:
+        if isinstance(request, RedeemRequest):
+            return request.anonymous_license.license_id
+        if isinstance(request, ExchangeRequest):
+            return request.license_id
+        if isinstance(request, PurchaseRequest):
+            return request.certificate.fingerprint
+        if isinstance(request, DepositRequest):
+            # The actual spend key (value||serial), so the deposit
+            # lands on the worker whose slot owns the coin's shard.
+            return request.coins[0].spent_token() if request.coins else b"deposit"
+        raise ServiceError(f"unroutable request {type(request).__name__}")
+
+    def worker_for(self, request) -> int:
+        """The shard-affine worker index for a request (exposed so
+        tests can *defeat* affinity and race two workers)."""
+        return self._worker_for_token(self._affinity_token(request))
+
+    def _worker_for_token(self, token: bytes) -> int:
+        return shard_index(token, self._shard_count) % self._workers
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request, *, worker: int | None = None) -> int:
+        """Encode and enqueue one request; returns a gather ticket."""
+        return self._enqueue(
+            wire.encode_request(request),
+            self.worker_for(request) if worker is None else worker % self._workers,
+        )
+
+    def submit_encoded(self, payload: bytes, *, worker: int | None = None) -> int:
+        """Enqueue an already-encoded request envelope, verbatim.
+
+        The network path lands here: the client's bytes go onto the
+        worker queue untouched — routing reads only the affinity field
+        (:func:`~repro.service.wire.peek_routing_token`, byte-equal to
+        the typed request's token) instead of constructing the full
+        request the worker will decode anyway — so the socket
+        transport is byte-transparent end to end without paying the
+        deserialization twice.  Unroutable payloads raise — the caller
+        answers the peer directly instead of burning a worker round
+        trip.
+        """
+        return self._enqueue(
+            payload,
+            self._worker_for_token(wire.peek_routing_token(payload))
+            if worker is None
+            else worker % self._workers,
+        )
+
+    def _enqueue(self, payload: bytes, target: int) -> int:
+        with self._cond:
+            if self._closed:
+                raise ServiceError("worker pool is closed")
+            ticket = self._next_request_id
+            self._next_request_id += 1
+            self._ticket_worker[ticket] = target
+        self._request_queues[target].put((ticket, payload, self._clock.now()))
+        return ticket
+
+    # -- collection --------------------------------------------------------
+
+    def gather_raw(self, tickets: list[int]) -> list[bytes]:
+        """Raw response payloads aligned with ``tickets`` (blocking).
+
+        Raises :class:`~repro.errors.ServiceError` when a ticket's
+        worker died or nothing answered within ``RESPONSE_TIMEOUT``;
+        responses already claimed are re-parked first (their side
+        effects committed — a caller holding the tickets can still
+        gather them) and the missing tickets are marked abandoned so a
+        late response is dropped instead of parked forever.
+        """
+        wanted = set(tickets)
+        gathered: dict[int, bytes] = {}
+        deadline = time.monotonic() + RESPONSE_TIMEOUT
+        with self._cond:
+            while wanted:
+                for ticket in list(wanted):
+                    payload = self._parked.pop(ticket, None)
+                    if payload is not None:
+                        gathered[ticket] = payload
+                        wanted.discard(ticket)
+                        continue
+                    failure = self._failed.pop(ticket, None)
+                    if failure is not None:
+                        self._fail_locked(wanted, gathered)
+                        raise failure
+                if not wanted:
+                    break
+                if time.monotonic() > deadline:
+                    self._fail_locked(wanted, gathered)
+                    raise ServiceError(
+                        f"no worker response within {RESPONSE_TIMEOUT}s"
+                    )
+                if self._closed:
+                    self._fail_locked(wanted, gathered)
+                    raise ServiceError("worker pool is closed")
+                self._cond.wait(timeout=0.25)
+        return [gathered[ticket] for ticket in tickets]
+
+    def gather(self, tickets: list[int]) -> list:
+        """Decoded results (or rejecting exceptions) for ``tickets``."""
+        return [wire.decode_response(raw) for raw in self.gather_raw(tickets)]
+
+    def _fail_locked(self, wanted: set, gathered: dict) -> None:
+        """Bookkeeping for a gather about to raise (``_cond`` held)."""
+        self._parked.update(gathered)
+        self._abandoned.update(wanted)
+        for ticket in wanted:
+            self._ticket_worker.pop(ticket, None)
+        while len(self._parked) > _BOOKKEEPING_CAP:
+            self._parked.pop(next(iter(self._parked)))
+        while len(self._abandoned) > _BOOKKEEPING_CAP:
+            self._abandoned.discard(min(self._abandoned))
+
+    # -- the collector thread ---------------------------------------------
+
+    def _collect_forever(self) -> None:
+        """Drain the response queue and watch worker liveness."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+            try:
+                ticket, payload = self._response_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                ticket, payload = None, None
+            except (EOFError, OSError, ValueError):
+                # Queue torn down under us — close() is racing; loop
+                # around and observe the flag.
+                continue
+            with self._cond:
+                if ticket is not None:
+                    self._ticket_worker.pop(ticket, None)
+                    if ticket in self._abandoned:
+                        self._abandoned.discard(ticket)
+                    else:
+                        self._parked[ticket] = payload
+                        while len(self._parked) > _BOOKKEEPING_CAP:
+                            self._parked.pop(next(iter(self._parked)))
+                        self._cond.notify_all()
+                self._check_liveness_locked()
+
+    def _check_liveness_locked(self) -> None:
+        """Fail tickets owed by workers that stayed dead past grace."""
+        now = time.monotonic()
+        if now - self._last_liveness_scan < 0.2:
+            return
+        self._last_liveness_scan = now
+        expired: list[int] = []
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                self._dead_since.pop(index, None)
+                continue
+            first_seen = self._dead_since.setdefault(index, now)
+            if now - first_seen > _DEATH_GRACE:
+                expired.append(index)
+        if not expired:
+            return
+        dead_names = [self._processes[index].name for index in expired]
+        doomed = [
+            ticket
+            for ticket, owner in self._ticket_worker.items()
+            if owner in expired
+        ]
+        for ticket in doomed:
+            self._ticket_worker.pop(ticket, None)
+            self._failed[ticket] = ServiceError(
+                f"worker(s) died with requests outstanding: {dead_names}"
+            )
+        while len(self._failed) > _BOOKKEEPING_CAP:
+            self._failed.pop(next(iter(self._failed)))
+        if doomed:
+            self._cond.notify_all()
+
+
+__all__ = ["WorkerPool", "RESPONSE_TIMEOUT"]

@@ -1,0 +1,275 @@
+"""Pluggable transport: framing and the interfaces both paths share.
+
+The service layer's messages are already canonical bytes
+(:mod:`repro.service.wire`), but bytes on a stream socket have no
+boundaries — this module adds the missing layer: a fixed 16-byte
+header carrying magic, version, a frame-type tag, a caller-chosen
+correlation id and the payload length::
+
+    offset  size  field
+    0       2     magic  b"P2"
+    2       1     version (currently 1)
+    3       1     frame type (FRAME_* constants)
+    4       8     request id (big-endian; correlates responses to
+                  requests so a connection can pipeline freely)
+    12      4     payload length (big-endian)
+    16      ...   payload (a wire.py envelope, or a control body)
+
+Everything after the header is opaque to the framing layer: protocol
+requests and responses cross as the *same* envelope bytes the
+in-process queue path carries, which is what makes the two transports
+byte-identical by construction.
+
+:class:`FrameDecoder` is strict about untrusted input.  Bad magic, an
+unknown version or frame type, and an oversized declared length raise
+typed :class:`~repro.errors.WireError` subclasses — oversize is
+rejected from the header alone, before a single payload byte is
+buffered, so a hostile length field can never turn into a huge
+allocation.  A stream ending mid-frame surfaces as
+:class:`~repro.errors.TruncatedFrameError` via :meth:`FrameDecoder.
+finish` instead of a silent hang.
+
+:class:`Transport` and :class:`Listener` are the seam the gateway
+stack plugs into: the in-process queue path and the asyncio socket
+path (:mod:`repro.service.netserver`) both present a ``Transport`` to
+callers, so the provider-surface facade is written once.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import FrameTooLargeError, TruncatedFrameError, WireError
+
+# -- frame format ------------------------------------------------------------
+
+#: Stream magic: lets a decoder reject cross-protocol garbage (an HTTP
+#: request, say) on the first two bytes.
+WIRE_MAGIC = b"P2"
+
+#: Framing version.  Bumped only for incompatible header changes; the
+#: payload envelopes carry their own typing and evolve independently.
+WIRE_VERSION = 1
+
+#: A protocol request: payload is a ``wire.encode_request`` envelope.
+FRAME_REQUEST = 0x01
+#: A protocol request pinned to one worker: payload is a 2-byte
+#: big-endian worker index followed by the request envelope.  The
+#: socket twin of the gateway's ``worker=`` override — an operator/test
+#: hook for defeating shard affinity (racing one token onto two
+#: workers); correctness never depends on routing.
+FRAME_REQUEST_PINNED = 0x02
+#: A protocol response: payload is a ``wire.encode_response`` envelope,
+#: byte-for-byte as the worker produced it.
+FRAME_RESPONSE = 0x03
+#: A read-surface call (catalog, price, revocation sync, ...): payload
+#: is a codec-encoded ``{"op": ..., "args": ...}`` body.
+FRAME_CONTROL = 0x04
+#: The reply to a control call: codec-encoded result-or-error body.
+FRAME_CONTROL_REPLY = 0x05
+
+FRAME_TYPES = frozenset(
+    (
+        FRAME_REQUEST,
+        FRAME_REQUEST_PINNED,
+        FRAME_RESPONSE,
+        FRAME_CONTROL,
+        FRAME_CONTROL_REPLY,
+    )
+)
+
+_HEADER = struct.Struct("!2sBBQI")
+HEADER_SIZE = _HEADER.size  # 16
+
+#: Default ceiling on a frame payload.  Generous — the largest real
+#: envelope (a redeem request with certificate and proofs at real key
+#: sizes) is tens of kilobytes — while keeping the worst-case buffer an
+#: untrusted peer can demand far below anything that hurts.
+MAX_FRAME_PAYLOAD = 8 * 1024 * 1024
+
+_PIN = struct.Struct("!H")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: type tag, correlation id, payload bytes."""
+
+    type: int
+    request_id: int
+    payload: bytes
+
+
+def encode_frame(
+    frame_type: int,
+    request_id: int,
+    payload: bytes,
+    *,
+    max_payload: int = MAX_FRAME_PAYLOAD,
+) -> bytes:
+    """Header + payload bytes for one frame.
+
+    The sender enforces the same ceiling the receiver does: a payload
+    too large to be accepted is refused here with
+    :class:`~repro.errors.FrameTooLargeError` instead of being shipped
+    to certain rejection.
+    """
+    if frame_type not in FRAME_TYPES:
+        raise WireError(f"unknown frame type 0x{frame_type:02x}")
+    if not 0 <= request_id < 1 << 64:
+        raise WireError(f"request id {request_id} out of range")
+    if len(payload) > max_payload:
+        raise FrameTooLargeError(
+            f"payload of {len(payload)} bytes exceeds the"
+            f" {max_payload}-byte frame ceiling"
+        )
+    return (
+        _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, frame_type, request_id, len(payload))
+        + payload
+    )
+
+
+def encode_pinned(worker: int, envelope: bytes) -> bytes:
+    """The :data:`FRAME_REQUEST_PINNED` payload for a worker override."""
+    if not 0 <= worker < 1 << 16:
+        raise WireError(f"worker index {worker} out of range")
+    return _PIN.pack(worker) + envelope
+
+
+def decode_pinned(payload: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`encode_pinned`: ``(worker, envelope)``."""
+    if len(payload) < _PIN.size:
+        raise WireError("pinned request shorter than its worker index")
+    (worker,) = _PIN.unpack_from(payload)
+    return worker, payload[_PIN.size:]
+
+
+class FrameDecoder:
+    """Strict incremental decoder for a stream of frames.
+
+    Feed it whatever the socket hands you — single bytes, half a
+    header, three frames at once — and it returns every *complete*
+    frame, buffering the rest.  Violations raise typed errors and
+    poison the decoder (a stream is meaningless after a framing error;
+    the connection must be dropped, not resynchronized).
+    """
+
+    def __init__(self, *, max_payload: int = MAX_FRAME_PAYLOAD):
+        self._max_payload = max_payload
+        self._buffer = bytearray()
+        self._dead = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; returns the frames it completed (often none).
+
+        Raises :class:`~repro.errors.WireError` on bad magic/version/
+        type, :class:`~repro.errors.FrameTooLargeError` the moment a
+        header declares an over-limit payload — judged from the header
+        alone, so the oversized payload itself is never buffered.
+        """
+        if self._dead:
+            raise WireError("decoder poisoned by an earlier framing error")
+        self._buffer += data
+        frames: list[Frame] = []
+        try:
+            while len(self._buffer) >= HEADER_SIZE:
+                magic, version, frame_type, request_id, length = _HEADER.unpack_from(
+                    self._buffer
+                )
+                if magic != WIRE_MAGIC:
+                    raise WireError(f"bad frame magic {bytes(magic)!r}")
+                if version != WIRE_VERSION:
+                    raise WireError(f"unsupported framing version {version}")
+                if frame_type not in FRAME_TYPES:
+                    raise WireError(f"unknown frame type 0x{frame_type:02x}")
+                if length > self._max_payload:
+                    raise FrameTooLargeError(
+                        f"declared payload of {length} bytes exceeds the"
+                        f" {self._max_payload}-byte frame ceiling"
+                    )
+                if len(self._buffer) < HEADER_SIZE + length:
+                    break
+                payload = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+                del self._buffer[:HEADER_SIZE + length]
+                frames.append(Frame(frame_type, request_id, payload))
+        except WireError:
+            self._dead = True
+            raise
+        return frames
+
+    def finish(self) -> None:
+        """Declare end-of-stream; raises if it cut a frame in half."""
+        if self._buffer and not self._dead:
+            self._dead = True
+            raise TruncatedFrameError(
+                f"stream ended mid-frame with {len(self._buffer)} byte(s)"
+                " buffered"
+            )
+
+
+# -- the pluggable interfaces ------------------------------------------------
+
+
+class Transport(abc.ABC):
+    """A caller's path to the worker pool: submit tickets, gather results.
+
+    Two implementations exist: :class:`~repro.service.gateway.
+    ServiceGateway` hands requests straight to the pool's queues
+    in-process, and :class:`~repro.service.netserver.NetClient` frames
+    them over a TCP connection.  Both return results through the same
+    ticket discipline, so everything above (the provider-surface
+    facade, batch semantics, the tests shared between the paths) is
+    written once against this interface.
+    """
+
+    @abc.abstractmethod
+    def submit(self, request, *, worker: int | None = None) -> int:
+        """Enqueue one protocol request; returns a gather ticket.
+
+        ``worker`` overrides shard-affine routing (test/ops hook)."""
+
+    @abc.abstractmethod
+    def gather(self, tickets: list[int]) -> list:
+        """Results (or rejecting exceptions) aligned with ``tickets``."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the transport's resources; idempotent."""
+
+    def call(self, request):
+        """One request, synchronously; desk rejections are raised."""
+        result = self.gather([self.submit(request)])[0]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    def call_many(self, requests: Iterable, *, worker: int | None = None) -> list:
+        """Batch-desk semantics: the returned list aligns with the
+        inputs and holds results or the exception that rejected each
+        item — one offender never poisons the rest."""
+        tickets = [self.submit(request, worker=worker) for request in requests]
+        return self.gather(tickets)
+
+
+class Listener(abc.ABC):
+    """A server-side acceptor feeding a worker pool.
+
+    The asyncio socket front-end is the real implementation; the
+    in-process path needs none (callers hold the gateway directly).
+    """
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` clients connect to."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Stop accepting and release the listener; idempotent."""

@@ -77,14 +77,73 @@ def encode_request(request) -> bytes:
 
 
 def decode_request(data: bytes):
-    """Inverse of :func:`encode_request`; returns the typed dataclass."""
+    """Inverse of :func:`encode_request`; returns the typed dataclass.
+
+    Strictly :class:`~repro.errors.CodecError` on any malformed input:
+    a well-formed envelope carrying a garbage body (missing fields,
+    wrong types) must not leak a raw ``KeyError``/``TypeError`` — the
+    network path answers peers from the exception type, and only
+    ``ReproError`` subclasses are wired for the trip back.
+    """
     envelope = codec.decode(data)
     if not isinstance(envelope, dict) or envelope.get("what") != _REQUEST_WHAT:
         raise CodecError("not a service request envelope")
-    request_type = _REQUEST_TYPES.get(envelope.get("kind"))
+    kind = envelope.get("kind")
+    request_type = _REQUEST_TYPES.get(kind)
     if request_type is None:
-        raise CodecError(f"unknown request kind {envelope.get('kind')!r}")
-    return request_type.from_dict(envelope["body"])
+        raise CodecError(f"unknown request kind {kind!r}")
+    try:
+        return request_type.from_dict(envelope["body"])
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"malformed {kind} request body: {exc!r}") from exc
+
+
+def peek_routing_token(data: bytes) -> bytes:
+    """The shard-affinity token of an encoded request — without
+    constructing the full typed request.
+
+    The network gateway routes thousands of envelopes it never
+    otherwise inspects (worker desks decode for themselves), so the
+    peek reads just the affinity field from the decoded body dict:
+    redeem and exchange tokens *are* raw fields; sells derive the
+    certificate fingerprint through the same :class:`~repro.core.
+    identity.Pseudonym` the full decode would build; deposits build
+    one :class:`~repro.core.messages.Coin` so ``spent_token()`` keeps
+    sole ownership of the exactly-once key formula.  Every token is
+    byte-equal to what the typed request would yield, and any
+    malformed shape raises :class:`~repro.errors.CodecError` (deeper
+    garbage is the worker's decode to refuse).
+    """
+    envelope = codec.decode(data)
+    if not isinstance(envelope, dict) or envelope.get("what") != _REQUEST_WHAT:
+        raise CodecError("not a service request envelope")
+    kind = envelope.get("kind")
+    if kind not in _REQUEST_TYPES:
+        raise CodecError(f"unknown request kind {kind!r}")
+    try:
+        body = envelope["body"]
+        if kind == KIND_REDEEM:
+            return bytes(body["anon"]["id"])
+        if kind == KIND_EXCHANGE:
+            return bytes(body["license"])
+        if kind == KIND_SELL:
+            from ..core.identity import Pseudonym
+
+            return Pseudonym.from_dict(body["cert"]["pseudonym"]).fingerprint
+        coins = body["coins"]
+        if not coins:
+            return b"deposit"
+        from ..core.messages import Coin
+
+        return Coin.from_dict(coins[0]).spent_token()
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise CodecError(
+            f"malformed {kind} request routing fields: {exc!r}"
+        ) from exc
 
 
 # -- response envelopes ------------------------------------------------------
@@ -122,19 +181,53 @@ def decode_response(data: bytes):
     if not isinstance(envelope, dict) or envelope.get("what") != _RESPONSE_WHAT:
         raise CodecError("not a service response envelope")
     kind = envelope.get("kind")
+    if "body" not in envelope:
+        raise CodecError("service response envelope missing body")
     body = envelope["body"]
-    if kind == RESPONSE_PERSONAL:
-        return PersonalLicense.from_dict(body)
-    if kind == RESPONSE_ANONYMOUS:
-        return AnonymousLicense.from_dict(body)
-    if kind == RESPONSE_RECEIPT:
-        return body
-    if kind == RESPONSE_ERROR:
-        return _decode_error(body)
+    try:
+        if kind == RESPONSE_PERSONAL:
+            return PersonalLicense.from_dict(body)
+        if kind == RESPONSE_ANONYMOUS:
+            return AnonymousLicense.from_dict(body)
+        if kind == RESPONSE_RECEIPT:
+            return body
+        if kind == RESPONSE_ERROR:
+            return _decode_error(body)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"malformed {kind} response body: {exc!r}") from exc
     raise CodecError(f"unknown response kind {kind!r}")
 
 
 # -- error marshalling -------------------------------------------------------
+
+
+def encode_error(error: BaseException) -> dict:
+    """An exception as a codec-friendly dict body.
+
+    The response envelopes use this internally; the network control
+    channel reuses it so read-surface failures (a revoked licence in a
+    non-revocation proof, say) cross the socket with the same fidelity
+    as desk rejections.
+    """
+    return _encode_error(error)
+
+
+def decode_error(body: dict) -> ReproError:
+    """Inverse of :func:`encode_error`; returns the exception *instance*.
+
+    Strict on untrusted shapes: an error body whose advertised type
+    does not match its fields (a ``DoubleSpendError`` without its coin
+    id, say) decodes to :class:`~repro.errors.CodecError` instead of
+    leaking the shape mismatch as a raw ``KeyError``.
+    """
+    try:
+        return _decode_error(body)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"malformed error body: {exc!r}") from exc
 
 
 def _error_registry() -> dict[str, type]:

@@ -317,8 +317,13 @@ def _catalog_store(config: ServiceConfig) -> ContentStore:
     Published content never changes under the pool (publishing happens
     before the gateway starts), so every worker keeps a private copy —
     reads of packages and content keys then never touch a shared file.
+    ``check_same_thread=False``: the gateway's copy answers catalog
+    reads from whichever thread serves them (the socket front-end's
+    control channel in particular); the store is read-only once built
+    and CPython's sqlite3 runs serialized, so cross-thread reads are
+    safe.
     """
-    store = ContentStore(Database())
+    store = ContentStore(Database(check_same_thread=False))
     for item in config.catalog:
         store.add(
             item.content_id,
@@ -337,10 +342,12 @@ def warm_fastexp(config: ServiceConfig) -> str:
 
     Pins the config's arithmetic backend (so a spawn-started child
     doesn't silently run a different backend than the pool was
-    configured for), resets the fastexp globals, and builds the warm
-    fixed-base tables resident in that backend's native integer type.
-    Returns the active backend name — the warm-up record E11 sweeps
-    and operator logs attribute throughput to.
+    configured for), resets the fastexp globals — which also selects
+    that backend's default cold-exponentiation mode (see
+    :func:`repro.crypto.fastexp.default_exp_mode`) — and builds the
+    warm fixed-base tables resident in that backend's native integer
+    type.  Returns the active backend name — the warm-up record E11
+    sweeps and operator logs attribute throughput to.
     """
     if config.backend_name:
         crypto_backend.set_backend(config.backend_name)

@@ -87,11 +87,19 @@ class MarketplaceSimulator:
     event stream is routed through a
     :class:`~repro.service.gateway.ServiceGateway` over
     ``service_workers`` desk processes and ``service_shards`` store
-    shards.  The report schema is unchanged — the privacy experiments
-    read the same operator knowledge either way — so the sim doubles
-    as the service layer's conformance harness.  Call :meth:`close`
-    (or use the instance as a context manager) to stop the pool and
-    delete the shard files.
+    shards.  ``service_transport`` picks the transport in front of the
+    pool: ``"queue"`` (default) drives the gateway's in-process
+    queues; ``"tcp"`` additionally starts an asyncio
+    :class:`~repro.service.netserver.NetServer` on localhost and
+    drives every protocol call through a
+    :class:`~repro.service.netserver.NetClient` — the whole event
+    stream crosses real sockets.  The report schema is unchanged —
+    the privacy experiments read the same operator knowledge either
+    way (mined from the operator-side shard stores, exactly what a
+    real operator would hold) — so the sim doubles as the transport
+    layer's conformance harness.  Call :meth:`close` (or use the
+    instance as a context manager) to stop the pool and delete the
+    shard files.
     """
 
     def __init__(
@@ -103,11 +111,16 @@ class MarketplaceSimulator:
         group_name: str = "test-512",
         service_workers: int = 0,
         service_shards: int | None = None,
+        service_transport: str = "queue",
     ):
         if mode not in (MODE_P2DRM, MODE_BASELINE):
             raise ValueError(f"unknown mode {mode!r}")
         if service_workers and mode != MODE_P2DRM:
             raise ValueError("service_workers requires p2drm mode")
+        if service_transport not in ("queue", "tcp"):
+            raise ValueError(f"unknown service transport {service_transport!r}")
+        if service_transport == "tcp" and not service_workers:
+            raise ValueError("service_transport='tcp' requires service_workers > 0")
         self.config = config
         self.mode = mode
         self.workload = WorkloadGenerator(config)
@@ -122,6 +135,8 @@ class MarketplaceSimulator:
         #: deferred-redemption runs (ACTION_REDEEM carries weight).
         self._pending_redemptions: list[tuple[int, object]] = []
         self._gateway = None
+        self._net_server = None
+        self._net_client = None
         self._service_dir: str | None = None
         self._publish_catalog()
         if mode == MODE_P2DRM:
@@ -140,15 +155,24 @@ class MarketplaceSimulator:
                         workers=service_workers,
                         shards=service_shards,
                     )
+                    if service_transport == "tcp":
+                        from ..service.netserver import NetClient, NetServer
+
+                        self._net_server = NetServer(self._gateway)
+                        self._net_client = NetClient(self._net_server.start())
                 except BaseException:
                     # __init__ never completes, so close() would never
-                    # run — reclaim the shard directory here.
+                    # run — reclaim the pool and shard directory here.
                     import shutil
 
+                    self._teardown_service()
                     shutil.rmtree(self._service_dir, ignore_errors=True)
                     self._service_dir = None
                     raise
-                self.provider = self._gateway
+                # Protocol traffic goes through the chosen transport;
+                # operator-side analytics always read the shard stores
+                # via the gateway (see ``_operator_view``).
+                self.provider = self._net_client or self._gateway
         else:
             self.provider = BaselineProvider(
                 rng=self.deployment.rng.fork("baseline-provider"),
@@ -160,11 +184,21 @@ class MarketplaceSimulator:
             self._setup_baseline_users()
         self.device = self._make_device()
 
-    def close(self) -> None:
-        """Stop the service pool (if any) and delete its shard files."""
+    def _teardown_service(self) -> None:
+        """Close client, server and pool in dependency order."""
+        if self._net_client is not None:
+            self._net_client.close()
+            self._net_client = None
+        if self._net_server is not None:
+            self._net_server.close()
+            self._net_server = None
         if self._gateway is not None:
             self._gateway.close()
             self._gateway = None
+
+    def close(self) -> None:
+        """Stop the service stack (if any) and delete its shard files."""
+        self._teardown_service()
         if self._service_dir is not None:
             import shutil
 
@@ -394,14 +428,23 @@ class MarketplaceSimulator:
 
     # -- what the operator knows at the end ---------------------------------------
 
+    @property
+    def _operator_view(self):
+        """Where operator analytics read from: the gateway's shard
+        stores when the service layer runs (the NetClient is a *user*
+        of the operator, not the operator — profiling happens on the
+        operator's side of the wire), else the in-process provider."""
+        return self._gateway if self._gateway is not None else self.provider
+
     def _operator_knowledge(self) -> dict:
         from ..baseline.tracking import ProfileBuilder
 
-        tracking = ProfileBuilder(self.provider).build().summary()
+        operator = self._operator_view
+        tracking = ProfileBuilder(operator).build().summary()
         if self.mode == MODE_P2DRM:
             from ..analysis.linkability import build_transaction_graph
 
             tracking.update(
-                {"graph_" + k: v for k, v in build_transaction_graph(self.provider).stats().items()}
+                {"graph_" + k: v for k, v in build_transaction_graph(operator).stats().items()}
             )
         return tracking

@@ -435,6 +435,22 @@ class TestExpMode:
     def test_default_is_naive(self):
         assert fastexp.exp_mode() == fastexp.MODE_NAIVE
 
+    def test_per_backend_default_is_recorded(self):
+        """The PR 4 open question has a written-down answer: both
+        built-in backends default to naive (C ``pow``/GMP ``powmod``
+        beat a Python-level wNAF loop — numbers in the README), and
+        unknown backends get the conservative choice."""
+        assert fastexp.default_exp_mode("pure") == fastexp.MODE_NAIVE
+        assert fastexp.default_exp_mode("gmpy2") == fastexp.MODE_NAIVE
+        assert fastexp.default_exp_mode("some-future-backend") == fastexp.MODE_NAIVE
+        # No argument = the active backend's default.
+        assert fastexp.default_exp_mode() == fastexp.MODE_NAIVE
+
+    def test_reset_applies_the_backend_default(self):
+        fastexp.set_exp_mode(fastexp.MODE_WNAF)
+        fastexp.reset()
+        assert fastexp.exp_mode() == fastexp.default_exp_mode()
+
     def test_unknown_mode_rejected(self):
         with pytest.raises(ParameterError):
             fastexp.set_exp_mode("montgomery")

@@ -1,0 +1,571 @@
+"""The socket transport end to end: asyncio server, blocking client.
+
+Two layers of coverage:
+
+- **shared-surface tests** parametrized over both transports — the
+  same test body drives the in-process :class:`ServiceGateway` and a
+  :class:`NetClient` talking to a :class:`NetServer` over localhost
+  TCP, proving the provider facade behaves identically through either
+  path (the point of the pluggable-transport refactor);
+- **socket-specific tests** — byte-identity against the queue path,
+  cross-worker races staged *through the network*, backpressure,
+  malformed/oversized frames, truncated streams, concurrent clients.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro import codec
+from repro.core.messages import (
+    NONCE_SIZE,
+    DepositRequest,
+    PurchaseRequest,
+    purchase_signing_payload,
+)
+from repro.core.protocols.acquisition import accept_license, build_purchase_request
+from repro.core.protocols.transfer import (
+    accept_redeemed_license,
+    build_exchange_request,
+    build_redeem_request,
+)
+from repro.core.system import build_deployment
+from repro.errors import (
+    AuthenticationError,
+    DoubleRedemptionError,
+    DoubleSpendError,
+    FrameTooLargeError,
+    ServiceError,
+    TruncatedFrameError,
+    WireError,
+)
+from repro.service import wire
+from repro.service.gateway import build_gateway
+from repro.service.netserver import NetClient, NetServer
+from repro.service.transport import (
+    FRAME_REQUEST,
+    FRAME_REQUEST_PINNED,
+    FRAME_RESPONSE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    encode_frame,
+)
+
+
+def _deployment(seed="netserver-test"):
+    d = build_deployment(seed=seed, rsa_bits=512)
+    d.provider.publish("song-1", b"SONG-ONE" * 32, title="Song One", price=3)
+    return d
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """One deployment, one 2-worker/4-shard gateway, one socket server
+    and one long-lived client — shared by the cheap tests (each test
+    uses fresh users and tokens)."""
+    d = _deployment()
+    directory = tmp_path_factory.mktemp("netserver-shards")
+    gateway = build_gateway(d, str(directory), workers=2, shards=4)
+    server = NetServer(gateway)
+    address = server.start()
+    client = NetClient(address)
+    yield d, gateway, server, client
+    client.close()
+    server.close()
+    gateway.close()
+
+
+@pytest.fixture(params=["queue", "tcp"])
+def surface(request, stack):
+    """The same provider surface through either transport."""
+    d, gateway, _server, client = stack
+    return d, (gateway if request.param == "queue" else client)
+
+
+def _same_coin_purchase(user, deployment, coins):
+    """A purchase request paying with externally chosen coins."""
+    certificate = user.certificate_for_transaction(deployment.issuer)
+    nonce = user.rng.random_bytes(NONCE_SIZE)
+    at = user.clock.now()
+    payload = purchase_signing_payload(
+        "song-1",
+        certificate.fingerprint,
+        [coin.serial for coin in coins],
+        nonce,
+        at,
+    )
+    return PurchaseRequest(
+        content_id="song-1",
+        certificate=certificate,
+        coins=tuple(coins),
+        nonce=nonce,
+        at=at,
+        signature=user.require_card().sign(certificate.pseudonym, payload),
+    )
+
+
+# -- shared-surface tests (one body, both transports) ------------------------
+
+
+def test_sell_end_to_end(surface):
+    d, provider = surface
+    user = d.add_user(f"net-buyer-{provider.__class__.__name__}", balance=1_000)
+    request = build_purchase_request(user, provider, d.issuer, d.bank, "song-1")
+    license_ = provider.sell(request)
+    accept_license(user, provider, request, license_)
+    assert user.owns_content("song-1")
+
+
+def test_exchange_redeem_and_proofs(surface):
+    d, provider = surface
+    tag = provider.__class__.__name__
+    sender = d.add_user(f"net-sender-{tag}", balance=1_000)
+    receiver = d.add_user(f"net-receiver-{tag}", balance=1_000)
+    request = build_purchase_request(sender, provider, d.issuer, d.bank, "song-1")
+    license_ = provider.sell(request)
+    accept_license(sender, provider, request, license_)
+    anonymous = sender.transfer_out(license_.license_id, provider=provider)
+    redeem = build_redeem_request(receiver, provider, d.issuer, anonymous)
+    new_license = provider.redeem(redeem)
+    accept_redeemed_license(receiver, provider, redeem, new_license)
+    assert receiver.owns_content("song-1")
+    # The read surface agrees through either path: the old licence is
+    # revoked (non-revocation proof refused), the new one provable.
+    from repro.errors import RevokedLicenseError
+
+    with pytest.raises(RevokedLicenseError):
+        provider.prove_not_revoked(license_.license_id)
+    snapshot, proof = provider.prove_not_revoked(new_license.license_id)
+    snapshot.verify(provider.license_key)
+
+
+def test_batch_offender_isolation(surface):
+    d, provider = surface
+    tag = provider.__class__.__name__
+    sender = d.add_user(f"iso-sender-{tag}", balance=1_000)
+    receiver = d.add_user(f"iso-receiver-{tag}", balance=1_000)
+    anonymous_licenses = []
+    for _ in range(3):
+        request = build_purchase_request(sender, provider, d.issuer, d.bank, "song-1")
+        license_ = provider.sell(request)
+        accept_license(sender, provider, request, license_)
+        anonymous_licenses.append(
+            sender.transfer_out(license_.license_id, provider=provider)
+        )
+    requests = [
+        build_redeem_request(receiver, provider, d.issuer, anonymous)
+        for anonymous in anonymous_licenses
+    ]
+    # Burn the middle token; its re-presentation must be the only
+    # rejection in the pipelined batch.
+    provider.redeem(
+        build_redeem_request(receiver, provider, d.issuer, anonymous_licenses[1])
+    )
+    results = provider.redeem_batch(requests)
+    assert isinstance(results[1], DoubleRedemptionError)
+    assert not isinstance(results[0], Exception)
+    assert not isinstance(results[2], Exception)
+
+
+def test_bad_signature_rejected_with_typed_error(surface):
+    from dataclasses import replace
+
+    d, provider = surface
+    user = d.add_user(f"forger-{provider.__class__.__name__}", balance=1_000)
+    request = build_purchase_request(user, provider, d.issuer, d.bank, "song-1")
+    with pytest.raises(AuthenticationError):
+        provider.sell(replace(request, at=request.at + 1))
+
+
+def test_deposit_and_replay(surface):
+    d, provider = surface
+    tag = provider.__class__.__name__
+    payer = d.add_user(f"dep-payer-{tag}", balance=1_000)
+    coins = payer.coins_for(5, d.bank)
+    receipt = provider.deposit(f"merchant-{tag}", coins)
+    assert receipt == {"account": f"merchant-{tag}", "credited": 5}
+    with pytest.raises(DoubleSpendError):
+        provider.call(
+            DepositRequest(account="any-other", coins=tuple(coins))
+        )
+
+
+def test_read_surface_parity(stack):
+    """Catalog, prices, packages and hello metadata agree across the
+    wire with the gateway's local answers."""
+    _d, gateway, _server, client = stack
+    assert client.name == gateway.name
+    assert client.workers == gateway.workers
+    assert client.shards == gateway.shards
+    assert (client.license_key.n, client.license_key.e) == (
+        gateway.license_key.n,
+        gateway.license_key.e,
+    )
+    assert client.catalog() == gateway.catalog()
+    assert client.price("song-1") == gateway.price("song-1")
+    assert client.package("song-1") == gateway.package("song-1")
+    assert client.download("song-1").content_id == "song-1"
+    entries_client, snapshot_client = client.revocation_sync(0)
+    entries_local, snapshot_local = gateway.revocation_sync(0)
+    assert entries_client == entries_local
+    assert snapshot_client.version == snapshot_local.version
+
+
+# -- socket-specific behaviour ----------------------------------------------
+
+
+def test_byte_identity_with_queue_transport(tmp_path):
+    """The acceptance check: identical requests through the socket
+    path and the in-process queue path yield byte-identical protocol
+    outputs at every stage (fresh shard sets on both sides)."""
+    seed = "net-byte-identity"
+    d = _deployment(seed=seed)
+    users = [d.add_user(f"bi-{i}", balance=1_000) for i in range(3)]
+    receiver = d.add_user("bi-receiver", balance=1_000)
+    requests = [
+        build_purchase_request(user, d.provider, d.issuer, d.bank, "song-1")
+        for user in users
+        for _ in range(2)
+    ]
+
+    queue_gateway = build_gateway(d, str(tmp_path / "queue"), workers=2, shards=4)
+    net_gateway = build_gateway(d, str(tmp_path / "net"), workers=2, shards=4)
+    server = NetServer(net_gateway)
+    try:
+        client = NetClient(server.start())
+        try:
+            sold_queue = queue_gateway.sell_batch(requests)
+            sold_net = client.sell_batch(requests)
+            assert [codec.encode(r.as_dict()) for r in sold_net] == [
+                codec.encode(r.as_dict()) for r in sold_queue
+            ]
+            owners = [user for user in users for _ in range(2)]
+            exchanges = [
+                build_exchange_request(owner, license_)
+                for owner, license_ in zip(owners, sold_queue)
+            ]
+            exchanged_queue = queue_gateway.call_many(exchanges)
+            exchanged_net = client.call_many(exchanges)
+            assert [codec.encode(a.as_dict()) for a in exchanged_net] == [
+                codec.encode(a.as_dict()) for a in exchanged_queue
+            ]
+            redeems = [
+                build_redeem_request(receiver, queue_gateway, d.issuer, anonymous)
+                for anonymous in exchanged_queue
+            ]
+            redeemed_queue = queue_gateway.redeem_batch(redeems)
+            redeemed_net = client.redeem_batch(redeems)
+            assert [codec.encode(r.as_dict()) for r in redeemed_net] == [
+                codec.encode(r.as_dict()) for r in redeemed_queue
+            ]
+            # Deposits too: same coins, same receipt, then exactly-once
+            # on replay through the *other* transport.
+            payer = d.add_user("bi-payer", balance=1_000)
+            coins = payer.coins_for(4, d.bank)
+            assert client.deposit("m", coins) == queue_gateway.deposit("m", coins)
+            with pytest.raises(DoubleSpendError):
+                client.deposit("m", coins)
+            with pytest.raises(DoubleSpendError):
+                queue_gateway.deposit("m", coins)
+        finally:
+            client.close()
+    finally:
+        server.close()
+        net_gateway.close()
+        queue_gateway.close()
+
+
+def test_double_redemption_race_through_sockets(stack):
+    """One bearer token pinned onto BOTH workers through the network
+    path: exactly one personalization, one typed evidence-carrying
+    rejection — the exactly-once gate holds across the wire."""
+    d, _gateway, _server, client = stack
+    sender = d.add_user("net-race-sender", balance=1_000)
+    receiver = d.add_user("net-race-receiver", balance=1_000)
+    request = build_purchase_request(sender, client, d.issuer, d.bank, "song-1")
+    license_ = client.sell(request)
+    accept_license(sender, client, request, license_)
+    anonymous = sender.transfer_out(license_.license_id, provider=client)
+    first = build_redeem_request(receiver, client, d.issuer, anonymous)
+    second = build_redeem_request(receiver, client, d.issuer, anonymous)
+    tickets = [client.submit(first, worker=0), client.submit(second, worker=1)]
+    results = client.gather(tickets)
+    errors = [r for r in results if isinstance(r, Exception)]
+    assert len(errors) == 1, results
+    assert isinstance(errors[0], DoubleRedemptionError)
+    assert errors[0].evidence.token_id == anonymous.license_id
+
+
+def test_double_spend_race_through_sockets(stack):
+    d, gateway, _server, client = stack
+    alice = d.add_user("net-ds-alice", balance=1_000)
+    bob = d.add_user("net-ds-bob", balance=1_000)
+    coins = alice.coins_for(3, d.bank)
+    spent_before = gateway.coin_spent_tokens.count()
+    first = _same_coin_purchase(alice, d, coins)
+    second = _same_coin_purchase(bob, d, coins)
+    tickets = [client.submit(first, worker=0), client.submit(second, worker=1)]
+    results = client.gather(tickets)
+    errors = [r for r in results if isinstance(r, Exception)]
+    successes = [r for r in results if not isinstance(r, Exception)]
+    assert len(successes) == 1 and len(errors) == 1, results
+    assert isinstance(errors[0], DoubleSpendError)
+    # Exactly one payment's coins ended up spent.
+    assert gateway.coin_spent_tokens.count() == spent_before + len(coins)
+
+
+def test_backpressure_pipelined_batch_completes(tmp_path):
+    """max_inflight=1 throttles the read loop to one outstanding
+    request, but a pipelined batch still completes in order."""
+    d = _deployment(seed="net-backpressure")
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=1)
+    server = NetServer(gateway, max_inflight=1)
+    try:
+        client = NetClient(server.start())
+        try:
+            users = [d.add_user(f"bp-{i}", balance=1_000) for i in range(4)]
+            requests = [
+                build_purchase_request(u, gateway, d.issuer, d.bank, "song-1")
+                for u in users
+            ]
+            results = client.sell_batch(requests)
+            assert not any(isinstance(r, Exception) for r in results)
+        finally:
+            client.close()
+    finally:
+        server.close()
+        gateway.close()
+
+
+def test_concurrent_clients(stack):
+    """Several connections sell at once on one event loop; every
+    request lands exactly once."""
+    d, gateway, server, _client = stack
+    users = [d.add_user(f"cc-{i}", balance=1_000) for i in range(4)]
+    requests = [
+        build_purchase_request(u, gateway, d.issuer, d.bank, "song-1")
+        for u in users
+    ]
+    results: list = [None] * len(requests)
+
+    def drive(index: int) -> None:
+        with NetClient(server.address) as mine:
+            results[index] = mine.sell(requests[index])
+
+    threads = [
+        threading.Thread(target=drive, args=(i,)) for i in range(len(requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(r is not None and not isinstance(r, Exception) for r in results)
+    for request, license_ in zip(requests, results):
+        assert license_.holder_fingerprint == request.certificate.fingerprint
+
+
+def test_malformed_bytes_drop_the_connection(stack):
+    """Garbage on the wire closes the connection (no resync attempts);
+    the server keeps serving other clients."""
+    _d, _gateway, server, client = stack
+    raw = socket.create_connection(server.address, timeout=10)
+    try:
+        raw.sendall(b"NOT-A-P2DRM-FRAME" * 4)
+        assert raw.recv(65536) == b""  # server hung up
+    finally:
+        raw.close()
+    # The long-lived client's connection is unaffected.
+    assert client.price("song-1") == 3
+
+
+def test_oversized_frame_dropped_not_buffered(stack):
+    """A header declaring a huge payload gets the connection dropped
+    from the 16 header bytes alone — the payload never needs to exist."""
+    _d, _gateway, server, _client = stack
+    raw = socket.create_connection(server.address, timeout=10)
+    try:
+        raw.sendall(
+            struct.pack("!2sBBQI", WIRE_MAGIC, WIRE_VERSION, 0x01, 0, 1 << 31)
+        )
+        assert raw.recv(65536) == b""
+    finally:
+        raw.close()
+
+
+def test_client_refuses_oversized_send():
+    """The sender-side ceiling is enforced before bytes leave: no
+    connection needed to prove it."""
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(0x01, 0, b"x" * 200, max_payload=100)
+
+
+def test_malformed_control_reply_is_typed():
+    """A version-skewed/hostile server answering a control frame with
+    a wrong-shaped body gets a typed WireError, not a raw KeyError."""
+    from repro.service.transport import FRAME_CONTROL_REPLY, FrameDecoder
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def wrong_shape():
+        conn, _ = listener.accept()
+        decoder = FrameDecoder()
+        frames = []
+        while not frames:
+            frames = decoder.feed(conn.recv(65536))
+        # ok:false but no error body — the shape the client must refuse.
+        conn.sendall(
+            encode_frame(
+                FRAME_CONTROL_REPLY, frames[0].request_id, codec.encode({"ok": False})
+            )
+        )
+        conn.close()
+
+    thread = threading.Thread(target=wrong_shape, daemon=True)
+    thread.start()
+    client = NetClient(listener.getsockname(), timeout=10)
+    try:
+        with pytest.raises(WireError):
+            client._control("hello")
+    finally:
+        client.close()
+        thread.join(timeout=5)
+        listener.close()
+
+
+def test_truncated_server_stream_is_typed_not_a_hang():
+    """A server dying mid-frame surfaces as TruncatedFrameError."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def half_answer():
+        conn, _ = listener.accept()
+        conn.recv(65536)
+        # Half a response frame, then a hard close.
+        frame = encode_frame(0x03, 0, b"never-finished-payload")
+        conn.sendall(frame[: len(frame) - 5])
+        conn.close()
+
+    thread = threading.Thread(target=half_answer, daemon=True)
+    thread.start()
+    client = NetClient(listener.getsockname(), timeout=10)
+    try:
+        with pytest.raises(TruncatedFrameError):
+            client._control("hello")
+    finally:
+        client.close()
+        thread.join(timeout=5)
+        listener.close()
+
+
+def _raw_request(client: NetClient, frame_type: int, payload: bytes):
+    """Send one hand-built request frame; returns the decoded answer."""
+    with client._lock:
+        ticket = next(client._next_id)
+        client._send(frame_type, ticket, payload)
+    return wire.decode_response(client._await_frame(ticket, FRAME_RESPONSE))
+
+
+def test_malformed_request_body_is_answered_not_hung(stack):
+    """A well-framed envelope whose body is garbage must come back as
+    a typed error response — never an unanswered ticket that leaves
+    the client waiting out its timeout."""
+    _d, _gateway, server, _client = stack
+    client = NetClient(server.address, timeout=30)
+    try:
+        hollow = codec.encode(
+            {"what": "service-request", "kind": "sell", "body": {}}
+        )
+        result = _raw_request(client, FRAME_REQUEST, hollow)
+        from repro.errors import CodecError
+
+        assert isinstance(result, CodecError), result
+        # The connection is still perfectly serviceable afterwards.
+        assert client.price("song-1") == 3
+    finally:
+        client.close()
+
+
+def test_short_pinned_payload_is_answered_not_hung(stack):
+    """A pinned frame too short to carry its worker index gets a typed
+    error answer, not a dropped ticket."""
+    _d, _gateway, server, _client = stack
+    client = NetClient(server.address, timeout=30)
+    try:
+        result = _raw_request(client, FRAME_REQUEST_PINNED, b"\x01")
+        assert isinstance(result, WireError), result
+    finally:
+        client.close()
+
+
+def test_oversized_reply_becomes_typed_error(tmp_path):
+    """A reply above the server's frame ceiling (a big package through
+    a small-frame server) is answered with a typed error instead of
+    silently never arriving."""
+    d = _deployment(seed="net-oversize-reply")
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=1)
+    server = NetServer(gateway, max_payload=256)
+    try:
+        client = NetClient(server.start(), timeout=30)
+        try:
+            assert client.price("song-1") == 3  # small replies still flow
+            with pytest.raises(ServiceError):
+                client.package("song-1")  # ~390 B package > 256 B ceiling
+        finally:
+            client.close()
+    finally:
+        server.close()
+        gateway.close()
+
+
+def test_deep_pipeline_does_not_deadlock(stack):
+    """Thousands of pipelined requests on one connection, submitted
+    before a single reply is read: the client's opportunistic drain
+    keeps the reply stream flowing, so neither side wedges on full
+    kernel buffers (the submit-all-then-gather distributed deadlock)."""
+    _d, _gateway, server, _client = stack
+    client = NetClient(server.address, timeout=60)
+    try:
+        hollow = codec.encode(
+            {"what": "service-request", "kind": "sell", "body": {}}
+        )
+        tickets = []
+        with client._lock:
+            for _ in range(3000):
+                ticket = next(client._next_id)
+                client._send(FRAME_REQUEST, ticket, hollow)
+                tickets.append(ticket)
+        results = client.gather(tickets)
+        from repro.errors import CodecError
+
+        assert len(results) == 3000
+        assert all(isinstance(r, CodecError) for r in results)
+    finally:
+        client.close()
+
+
+def test_unknown_control_op_is_typed(stack):
+    _d, _gateway, _server, client = stack
+    with pytest.raises(WireError):
+        client._control("no-such-op")
+
+
+def test_closed_client_refuses_work(stack):
+    d, _gateway, server, _client = stack
+    mine = NetClient(server.address)
+    mine.close()
+    mine.close()  # idempotent
+    user = d.add_user("late-net-user", balance=100)
+    request = build_purchase_request(user, _gateway, d.issuer, d.bank, "song-1")
+    with pytest.raises(ServiceError):
+        mine.sell(request)
+
+
+def test_server_start_is_single_shot(stack):
+    _d, _gateway, server, _client = stack
+    with pytest.raises(ServiceError):
+        server.start()

@@ -1,0 +1,200 @@
+"""Frame codec: strict decoding of untrusted stream bytes.
+
+The decoder must reassemble frames from arbitrary chunkings (partial
+and pipelined reads), reject garbage with typed errors before
+buffering attacker-declared payloads, and turn a mid-frame stream end
+into :class:`~repro.errors.TruncatedFrameError` instead of a hang.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameTooLargeError, TruncatedFrameError, WireError
+from repro.service.transport import (
+    FRAME_CONTROL,
+    FRAME_REQUEST,
+    FRAME_REQUEST_PINNED,
+    FRAME_RESPONSE,
+    FRAME_TYPES,
+    HEADER_SIZE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    Frame,
+    FrameDecoder,
+    decode_pinned,
+    encode_frame,
+    encode_pinned,
+)
+
+
+def test_round_trip_single_frame():
+    data = encode_frame(FRAME_REQUEST, 7, b"payload-bytes")
+    [frame] = FrameDecoder().feed(data)
+    assert frame == Frame(FRAME_REQUEST, 7, b"payload-bytes")
+
+
+def test_empty_payload_frame():
+    [frame] = FrameDecoder().feed(encode_frame(FRAME_RESPONSE, 0, b""))
+    assert frame.payload == b""
+
+
+def test_byte_by_byte_reassembly():
+    data = encode_frame(FRAME_CONTROL, 123456789, b"x" * 300)
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(data)):
+        frames += decoder.feed(data[i:i + 1])
+    assert [f.payload for f in frames] == [b"x" * 300]
+    assert decoder.buffered == 0
+
+
+def test_pipelined_frames_in_one_feed():
+    data = b"".join(
+        encode_frame(FRAME_REQUEST, i, bytes([i]) * i) for i in range(5)
+    )
+    frames = FrameDecoder().feed(data)
+    assert [f.request_id for f in frames] == [0, 1, 2, 3, 4]
+    assert all(f.payload == bytes([f.request_id]) * f.request_id for f in frames)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(WireError):
+        FrameDecoder().feed(b"GET / HTTP/1.1\r\n\r\n")
+
+
+def test_bad_version_rejected():
+    data = struct.pack("!2sBBQI", WIRE_MAGIC, WIRE_VERSION + 1, FRAME_REQUEST, 0, 0)
+    with pytest.raises(WireError):
+        FrameDecoder().feed(data)
+
+
+def test_unknown_frame_type_rejected():
+    data = struct.pack("!2sBBQI", WIRE_MAGIC, WIRE_VERSION, 0x7E, 0, 0)
+    with pytest.raises(WireError):
+        FrameDecoder().feed(data)
+
+
+def test_oversized_declared_length_rejected_from_header_alone():
+    """A hostile length field is refused before ANY payload arrives —
+    the 16 header bytes are all the attacker gets buffered."""
+    header = struct.pack(
+        "!2sBBQI", WIRE_MAGIC, WIRE_VERSION, FRAME_REQUEST, 0, 1 << 31
+    )
+    decoder = FrameDecoder()
+    with pytest.raises(FrameTooLargeError):
+        decoder.feed(header)  # no payload bytes ever sent
+
+
+def test_oversized_payload_refused_at_the_sender():
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(FRAME_REQUEST, 0, b"x" * 100, max_payload=64)
+
+
+def test_decoder_poisoned_after_error():
+    decoder = FrameDecoder()
+    with pytest.raises(WireError):
+        decoder.feed(b"XXXXXXXXXXXXXXXXXX")
+    with pytest.raises(WireError):
+        decoder.feed(encode_frame(FRAME_REQUEST, 0, b"fine"))
+
+
+def test_truncated_stream_is_typed():
+    data = encode_frame(FRAME_REQUEST, 9, b"half-of-me")
+    decoder = FrameDecoder()
+    assert decoder.feed(data[:-3]) == []
+    with pytest.raises(TruncatedFrameError):
+        decoder.finish()
+
+
+def test_clean_end_of_stream_is_silent():
+    decoder = FrameDecoder()
+    decoder.feed(encode_frame(FRAME_REQUEST, 1, b"whole"))
+    decoder.finish()  # no buffered remainder: a normal goodbye
+
+
+def test_encode_rejects_unknown_type_and_bad_id():
+    with pytest.raises(WireError):
+        encode_frame(0x77, 0, b"")
+    with pytest.raises(WireError):
+        encode_frame(FRAME_REQUEST, -1, b"")
+    with pytest.raises(WireError):
+        encode_frame(FRAME_REQUEST, 1 << 64, b"")
+
+
+def test_pinned_round_trip():
+    payload = encode_pinned(3, b"envelope")
+    assert decode_pinned(payload) == (3, b"envelope")
+    with pytest.raises(WireError):
+        decode_pinned(b"\x01")  # shorter than the worker index
+    with pytest.raises(WireError):
+        encode_pinned(1 << 16, b"")
+
+
+# -- properties --------------------------------------------------------------
+
+_frames = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(FRAME_TYPES)),
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.binary(max_size=2048),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(frames=_frames, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_chunking_reassembles_the_pipeline(frames, data):
+    """Round trip under arbitrary split/partial/pipelined reads: however
+    the stream is cut, the same frames come out in order."""
+    stream = b"".join(
+        encode_frame(frame_type, request_id, payload)
+        for frame_type, request_id, payload in frames
+    )
+    decoder = FrameDecoder()
+    decoded = []
+    position = 0
+    while position < len(stream):
+        step = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - position),
+            label="chunk",
+        )
+        decoded += decoder.feed(stream[position:position + step])
+        position += step
+    decoder.finish()
+    assert [(f.type, f.request_id, f.payload) for f in decoded] == frames
+
+
+@given(
+    garbage=st.binary(min_size=HEADER_SIZE, max_size=64).filter(
+        lambda b: b[:2] != WIRE_MAGIC
+    ),
+    payload=st.binary(max_size=128),
+)
+@settings(max_examples=60, deadline=None)
+def test_garbage_prefix_never_yields_a_frame(garbage, payload):
+    """A stream not starting with the magic is rejected, and nothing
+    after the garbage is ever (mis)parsed as a frame."""
+    decoder = FrameDecoder()
+    with pytest.raises(WireError):
+        decoder.feed(garbage + encode_frame(FRAME_REQUEST, 5, payload))
+    with pytest.raises(WireError):
+        decoder.feed(b"")  # poisoned for good
+
+
+@given(cut=st.integers(min_value=1, max_value=HEADER_SIZE + 64 - 1))
+@settings(max_examples=40, deadline=None)
+def test_every_truncation_point_is_detected(cut):
+    """Cutting the stream at ANY interior byte yields the typed
+    truncation error on finish — no silent acceptance."""
+    stream = encode_frame(FRAME_REQUEST_PINNED, 11, encode_pinned(2, b"q" * 64))
+    assert len(stream) == HEADER_SIZE + 66  # pin prefix + payload
+    decoder = FrameDecoder()
+    decoder.feed(stream[:cut])
+    if cut < len(stream):
+        with pytest.raises(TruncatedFrameError):
+            decoder.finish()

@@ -78,6 +78,44 @@ class TestRequestRoundTrips:
         with pytest.raises(CodecError):
             wire.encode_request(object())
 
+    def test_peek_routing_token_matches_typed_request(self, messages):
+        """The routing peek must yield byte-equal tokens to the ones
+        the typed requests carry — shard affinity through the network
+        gateway and through the in-process gateway is one formula."""
+        expected = {
+            "purchase": messages["purchase"].certificate.fingerprint,
+            "exchange": messages["exchange"].license_id,
+            "redeem": messages["redeem"].anonymous_license.license_id,
+            "deposit": messages["deposit"].coins[0].spent_token(),
+        }
+        for kind, token in expected.items():
+            encoded = wire.encode_request(messages[kind])
+            assert wire.peek_routing_token(encoded) == token, kind
+
+    def test_peek_rejects_malformed_shapes(self, messages):
+        with pytest.raises(CodecError):
+            wire.peek_routing_token(codec.encode({"what": "nope"}))
+        with pytest.raises(CodecError):
+            wire.peek_routing_token(
+                codec.encode(
+                    {"what": "service-request", "kind": "sell", "body": {}}
+                )
+            )
+
+    def test_malformed_bodies_decode_to_codec_error(self):
+        hollow = codec.encode(
+            {"what": "service-request", "kind": "redeem", "body": {"nonce": b"x"}}
+        )
+        with pytest.raises(CodecError):
+            wire.decode_request(hollow)
+        with pytest.raises(CodecError):
+            wire.decode_response(
+                codec.encode({"what": "service-response", "kind": "deposit-receipt"})
+            )
+        # A mistyped error body decodes to CodecError, not KeyError.
+        with pytest.raises(CodecError):
+            wire.decode_error({"type": "DoubleSpendError"})
+
     def test_garbage_envelope_rejected(self, messages):
         with pytest.raises(CodecError):
             wire.decode_request(codec.encode({"what": "something-else"}))

@@ -191,6 +191,37 @@ class TestServiceMode:
             == config.n_events
         assert set(report.summary()) >= {"purchases", "operator_identified"}
 
+    def test_tcp_transport_requires_workers(self):
+        with pytest.raises(ValueError):
+            MarketplaceSimulator(small_config(), service_transport="tcp")
+        with pytest.raises(ValueError):
+            MarketplaceSimulator(
+                small_config(), service_workers=2, service_transport="carrier-pigeon"
+            )
+
+    def test_small_run_over_tcp_matches_queue_transport(self):
+        """The same workload through real localhost sockets and through
+        the in-process queues: identical report, identical ground
+        truth — the transport is invisible to the protocol."""
+        config = small_config(n_events=12, seed=23)
+        with MarketplaceSimulator(
+            config, rsa_bits=512, service_workers=2, service_shards=4
+        ) as queue_sim:
+            queue_report = queue_sim.run()
+        with MarketplaceSimulator(
+            config,
+            rsa_bits=512,
+            service_workers=2,
+            service_shards=4,
+            service_transport="tcp",
+        ) as tcp_sim:
+            from repro.service.netserver import NetClient
+
+            assert isinstance(tcp_sim.provider, NetClient)
+            tcp_report = tcp_sim.run()
+        assert tcp_report.summary() == queue_report.summary()
+        assert tcp_report.ground_truth == queue_report.ground_truth
+
     @pytest.mark.slow
     def test_gateway_run_matches_in_process_run(self):
         """Same seed, same workload: the service-layer run and the
