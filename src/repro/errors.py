@@ -183,6 +183,24 @@ class ServiceError(ReproError):
     """
 
 
+class OverloadedError(ServiceError):
+    """The service shed this request instead of queuing it unbounded.
+
+    Raised at admission — by the pool when an inflight ceiling or a
+    worker queue bound is full, or by the socket server at its own
+    ceiling — *before* any desk touches the request, so a shed request
+    has no side effects and is always safe to retry.  Carries a
+    ``retry_after_ms`` hint (integer milliseconds; the wire codec has
+    no float type) and crosses every transport as a typed error
+    envelope like any other :class:`ServiceError`: a flooded server
+    answers fast and honest instead of slow and eventually.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int = 100):
+        super().__init__(message)
+        self.retry_after_ms = int(retry_after_ms)
+
+
 class WireError(ServiceError):
     """Bytes on a service transport violated the framing protocol.
 

@@ -26,10 +26,23 @@ that lets the same protocol code serve heavy traffic:
 - :mod:`repro.service.netserver` — the network front door: one
   asyncio process accepting many client connections over TCP, plus
   the blocking ``NetClient`` that presents the same provider surface
-  from across the wire.
+  from across the wire;
+- :mod:`repro.service.metrics` — the dependency-free observability
+  surface: counters, gauges and latency histograms shared by the pool
+  and the socket server, rendered as a Prometheus text exposition and
+  a codec snapshot, and feeding the admission-control ceilings that
+  shed overload with a typed ``OverloadedError``.
+
+``docs/architecture.md`` is the map of how these fit; ``docs/
+metrics.md`` documents every exported metric name.
 """
 
 from .gateway import ServiceGateway
+from .metrics import (
+    SERVICE_METRIC_SPECS,
+    MetricsRegistry,
+    build_service_registry,
+)
 from .netserver import NetClient, NetServer
 from .pool import WorkerPool
 from .sharding import ShardSet, shard_index
@@ -47,4 +60,7 @@ __all__ = [
     "Transport",
     "Listener",
     "FrameDecoder",
+    "MetricsRegistry",
+    "SERVICE_METRIC_SPECS",
+    "build_service_registry",
 ]

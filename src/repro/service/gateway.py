@@ -87,6 +87,9 @@ class ServiceGateway(ProviderSurface):
         workers: int = 2,
         start_method: str | None = None,
         clock=None,
+        max_inflight: int | None = None,
+        max_pending: int | None = None,
+        registry=None,
     ):
         # Open (and migrate) every shard *before* the pool starts: the
         # gateway's read views double as the schema bootstrap, so
@@ -102,7 +105,13 @@ class ServiceGateway(ProviderSurface):
         self._closed = False
         try:
             self._pool = WorkerPool(
-                config, workers=workers, start_method=start_method, clock=clock
+                config,
+                workers=workers,
+                start_method=start_method,
+                clock=clock,
+                max_inflight=max_inflight,
+                max_pending=max_pending,
+                registry=registry,
             )
         except BaseException:
             self._shards.close()
@@ -118,6 +127,12 @@ class ServiceGateway(ProviderSurface):
     @property
     def workers(self) -> int:
         return self._pool.workers
+
+    @property
+    def metrics(self):
+        """The pool's :class:`~repro.service.metrics.MetricsRegistry`
+        (shared with whatever socket front-end wraps this gateway)."""
+        return self._pool.metrics
 
     @property
     def shards(self) -> int:
@@ -254,13 +269,17 @@ def build_gateway(
     shards: int | None = None,
     max_batch: int | None = None,
     max_wait: float | None = None,
+    max_inflight: int | None = None,
+    max_pending: int | None = None,
 ) -> ServiceGateway:
     """One-call gateway over a deployment's provider role.
 
     Shard files land under ``directory``; ``shards`` defaults to the
     worker count (one hot file per worker, the balanced choice).  The
     gateway shares the deployment's clock, so simulated time drives
-    the workers' freshness windows.
+    the workers' freshness windows.  ``max_inflight``/``max_pending``
+    bound the pool's admission (``None`` keeps it unbounded, the
+    pre-overload-control behaviour).
     """
     shard_count = shards if shards is not None else workers
     paths = ShardSet.paths_in_directory(directory, shard_count)
@@ -270,4 +289,10 @@ def build_gateway(
     if max_wait is not None:
         knobs["max_wait"] = max_wait
     config = ServiceConfig.from_deployment(deployment, paths, **knobs)
-    return ServiceGateway(config, workers=workers, clock=deployment.clock)
+    return ServiceGateway(
+        config,
+        workers=workers,
+        clock=deployment.clock,
+        max_inflight=max_inflight,
+        max_pending=max_pending,
+    )

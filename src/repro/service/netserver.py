@@ -46,7 +46,13 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.content import ContentPackage
-from ..errors import ReproError, ServiceError, TruncatedFrameError, WireError
+from ..errors import (
+    OverloadedError,
+    ReproError,
+    ServiceError,
+    TruncatedFrameError,
+    WireError,
+)
 from ..storage.contents import CatalogEntry
 from ..storage.merkle import InclusionProof, NonInclusionProof
 from ..storage.revocation import RevocationEntry, SignedSnapshot
@@ -74,6 +80,29 @@ __all__ = ["NetServer", "NetClient", "DEFAULT_MAX_INFLIGHT"]
 DEFAULT_MAX_INFLIGHT = 32
 
 _READ_CHUNK = 65536
+
+#: Frame-type label values for ``p2drm_net_frames_total``.
+_FRAME_NAMES = {
+    FRAME_REQUEST: "request",
+    FRAME_REQUEST_PINNED: "request_pinned",
+    FRAME_CONTROL: "control",
+    FRAME_RESPONSE: "response",
+    FRAME_CONTROL_REPLY: "control_reply",
+}
+
+
+def _peek_kind(payload: bytes) -> str:
+    """Best-effort op kind of an encoded request (for shed labels);
+    never raises — an overloaded server must not pay a full decode,
+    let alone crash, to label a request it is refusing."""
+    from .. import codec
+
+    try:
+        envelope = codec.decode(payload)
+        kind = envelope.get("kind")
+        return kind if isinstance(kind, str) else "unknown"
+    except Exception:
+        return "unknown"
 
 
 # -- control-channel marshalling --------------------------------------------
@@ -157,14 +186,36 @@ class NetServer(Listener):
         *,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         max_payload: int = MAX_FRAME_PAYLOAD,
+        max_server_inflight: int | None = None,
+        metrics_port: int | None = None,
     ):
         if max_inflight < 1:
             raise ServiceError("need max_inflight >= 1")
+        if max_server_inflight is not None and max_server_inflight < 1:
+            raise ServiceError("need max_server_inflight >= 1 (or None)")
         self._gateway = gateway
         self._host = host
         self._port = port
         self._max_inflight = max_inflight
         self._max_payload = max_payload
+        #: Whole-server ceiling on request frames dispatched to the
+        #: pool at once (None = unbounded).  The per-connection limit
+        #: throttles one greedy client; this one bounds the *sum* over
+        #: many polite clients, shedding with a typed retry-later
+        #: error instead of queueing without bound.
+        self._max_server_inflight = max_server_inflight
+        #: Loop-confined: touched only on the event-loop thread.
+        self._server_inflight = 0
+        self._metrics_port = metrics_port
+        self._metrics_address: tuple[str, int] | None = None
+        self._conn_ids = itertools.count()
+        registry = gateway.metrics
+        self._registry = registry
+        self._m_connections = registry.get("p2drm_net_connections")
+        self._m_conn_inflight = registry.get("p2drm_net_connection_inflight")
+        self._m_frames = registry.get("p2drm_net_frames_total")
+        self._m_shed = registry.get("p2drm_shed_total")
+        self._m_requests = registry.get("p2drm_requests_total")
         # Sized for the blocking pool waits: every slot is a thread
         # parked on a condition variable, so the cap is about bounding
         # bookkeeping, not CPU.
@@ -211,6 +262,19 @@ class NetServer(Listener):
             raise ServiceError("server not started")
         return self._address
 
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the Prometheus scrape endpoint
+        (only exists when the server was built with ``metrics_port``)."""
+        if self._metrics_address is None:
+            raise ServiceError("server has no metrics endpoint")
+        return self._metrics_address
+
+    @property
+    def metrics(self):
+        """The registry shared with the gateway's worker pool."""
+        return self._registry
+
     def close(self) -> None:
         if self._closed:
             return
@@ -252,11 +316,30 @@ class NetServer(Listener):
             self._startup_error = exc
             self._started.set()
             return
+        metrics_server = None
+        if self._metrics_port is not None:
+            try:
+                metrics_server = await asyncio.start_server(
+                    self._on_metrics_connection, self._host, self._metrics_port
+                )
+            except OSError as exc:
+                server.close()
+                await server.wait_closed()
+                self._startup_error = exc
+                self._started.set()
+                return
+            msockname = metrics_server.sockets[0].getsockname()
+            self._metrics_address = (msockname[0], msockname[1])
         sockname = server.sockets[0].getsockname()
         self._address = (sockname[0], sockname[1])
         self._started.set()
-        async with server:
-            await self._stop.wait()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -265,6 +348,9 @@ class NetServer(Listener):
         inflight = asyncio.Semaphore(self._max_inflight)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        conn = f"c{next(self._conn_ids)}"
+        self._m_connections.inc()
+        self._m_conn_inflight.set(0, conn=conn)
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -286,6 +372,10 @@ class NetServer(Listener):
                     # (its frames may be the corrupted ones).
                     break
                 for frame in frames:
+                    self._m_frames.inc(
+                        type=_FRAME_NAMES.get(frame.type, "unknown"),
+                        direction="in",
+                    )
                     if frame.type not in (
                         FRAME_REQUEST,
                         FRAME_REQUEST_PINNED,
@@ -297,8 +387,11 @@ class NetServer(Listener):
                         break
                     # Backpressure: stop reading while at the limit.
                     await inflight.acquire()
+                    self._m_conn_inflight.inc(1, conn=conn)
                     task = asyncio.ensure_future(
-                        self._handle_frame(frame, writer, write_lock, inflight)
+                        self._handle_frame(
+                            frame, writer, write_lock, inflight, conn
+                        )
                     )
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
@@ -307,6 +400,8 @@ class NetServer(Listener):
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
+            self._m_connections.dec()
+            self._m_conn_inflight.remove(conn=conn)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -321,16 +416,40 @@ class NetServer(Listener):
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         inflight: asyncio.Semaphore,
+        conn: str,
     ) -> None:
         loop = asyncio.get_running_loop()
+        counted = False
         try:
             if frame.type == FRAME_CONTROL:
                 reply_type = FRAME_CONTROL_REPLY
                 payload = await loop.run_in_executor(
                     self._executor, self._serve_control, frame.payload
                 )
+            elif (
+                self._max_server_inflight is not None
+                and self._server_inflight >= self._max_server_inflight
+            ):
+                # Whole-server ceiling: answer a typed retry-later shed
+                # right here on the loop — no executor slot, no pool
+                # submit, no side effects, so the request is safe to
+                # retry.  The ceiling counter is loop-confined, so the
+                # check needs no lock.
+                reply_type = FRAME_RESPONSE
+                kind = _peek_kind(frame.payload)
+                self._m_shed.inc(op=kind, reason="server")
+                self._m_requests.inc(op=kind, outcome="shed")
+                payload = wire.encode_response(
+                    OverloadedError(
+                        "server overloaded"
+                        f" ({self._server_inflight} requests in flight);"
+                        " retry later"
+                    )
+                )
             else:
                 reply_type = FRAME_RESPONSE
+                self._server_inflight += 1
+                counted = True
                 payload = await loop.run_in_executor(
                     self._executor, self._serve_request, frame
                 )
@@ -351,13 +470,72 @@ class NetServer(Listener):
                     frame.request_id,
                     self._error_payload(reply_type, exc),
                 )
+            self._m_frames.inc(
+                type=_FRAME_NAMES.get(reply_type, "unknown"), direction="out"
+            )
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
         except (ConnectionError, OSError):
             pass  # client went away; the pool side effects stand
         finally:
+            if counted:
+                self._server_inflight -= 1
+            self._m_conn_inflight.dec(conn=conn)
             inflight.release()
+
+    # -- the Prometheus scrape endpoint ------------------------------------
+
+    async def _on_metrics_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP/1.1 request on the metrics port.
+
+        Deliberately minimal: the only resource is ``GET /metrics``
+        (text exposition 0.0.4), the connection always closes after
+        one response, and a malformed request head costs the server
+        nothing but the 404.  This is a scrape target, not a web
+        server.
+        """
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10
+                )
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+            parts = request_line.split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) >= 2 else ""
+            if method == "GET" and path in ("/metrics", "/"):
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(
+                    self._executor, self._registry.render_text
+                )
+                body = text.encode("utf-8")
+                status = b"200 OK"
+                ctype = b"text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"try GET /metrics\n"
+                status = b"404 Not Found"
+                ctype = b"text/plain; charset=utf-8"
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: " + ctype + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n"
+                b"\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass  # scraper went away; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
 
     # -- blocking halves (executor threads) --------------------------------
 
@@ -466,6 +644,14 @@ def _op_prove_not_revoked(gateway: ServiceGateway, args: dict) -> dict:
     }
 
 
+def _op_metrics(gateway: ServiceGateway, args: dict) -> dict:
+    return gateway.metrics.snapshot()
+
+
+def _op_metrics_text(gateway: ServiceGateway, args: dict) -> str:
+    return gateway.metrics.render_text()
+
+
 _CONTROL_OPS = {
     "hello": _op_hello,
     "catalog": _op_catalog,
@@ -473,6 +659,8 @@ _CONTROL_OPS = {
     "package": _op_package,
     "revocation_sync": _op_revocation_sync,
     "prove_not_revoked": _op_prove_not_revoked,
+    "metrics": _op_metrics,
+    "metrics_text": _op_metrics_text,
 }
 
 
@@ -703,3 +891,14 @@ class NetClient(ProviderSurface):
             SignedSnapshot.from_dict(body["snapshot"]),
             _non_inclusion_from(body["proof"]),
         )
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot (codec form: numeric values as
+        ``repr`` strings — see :meth:`~repro.service.metrics.
+        MetricsRegistry.snapshot`)."""
+        return self._control("metrics")
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition, over the control
+        channel (same bytes the HTTP scrape endpoint serves)."""
+        return str(self._control("metrics_text"))

@@ -22,6 +22,16 @@ response timeout.
 Correctness never depends on the routing: the per-shard stores
 serialize racing writers at the SQLite lock, so even a token
 deliberately submitted to two workers is spent exactly once.
+
+The pool is also where the service stack *measures and bounds* itself
+(see ``docs/metrics.md`` / ``docs/runbook.md``): every ticket feeds
+per-op latency histograms and outcome counters in a
+:class:`~repro.service.metrics.MetricsRegistry`, queue-depth and
+inflight gauges track the books, and **admission control** sheds load
+at submit time — a pool-wide ``max_inflight`` ceiling and a per-worker
+``max_pending`` queue bound refuse further requests with a typed
+:class:`~repro.errors.OverloadedError` (retry-later, no side effects)
+instead of buffering without bound.
 """
 
 from __future__ import annotations
@@ -37,8 +47,9 @@ from ..core.messages import (
     PurchaseRequest,
     RedeemRequest,
 )
-from ..errors import ServiceError
+from ..errors import OverloadedError, ServiceError
 from . import wire
+from .metrics import MetricsRegistry, ensure_service_metrics
 from .sharding import shard_index
 from .workers import ServiceConfig, require_start_method, worker_main
 
@@ -64,9 +75,16 @@ class WorkerPool:
         workers: int = 2,
         start_method: str | None = None,
         clock=None,
+        max_inflight: int | None = None,
+        max_pending: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if workers < 1:
             raise ServiceError("need at least one worker")
+        if max_inflight is not None and max_inflight < 1:
+            raise ServiceError("need max_inflight >= 1 (or None for unbounded)")
+        if max_pending is not None and max_pending < 1:
+            raise ServiceError("need max_pending >= 1 (or None for unbounded)")
         if workers > len(config.shard_paths):
             # Affinity maps shard -> worker, so surplus workers would
             # never see a request; refuse rather than silently idle.
@@ -90,9 +108,31 @@ class WorkerPool:
         #: additionally never leaves this lock, so concurrent
         #: submitting threads can never mint duplicate ids.
         self._cond = threading.Condition()
+        #: Admission ceilings (``None`` = unbounded, the pre-overload
+        #: behaviour): total outstanding tickets, and outstanding per
+        #: worker queue.  Checked in ``_enqueue`` under ``_cond``.
+        self._max_inflight = max_inflight
+        self._max_pending = max_pending
+        self._pending_per_worker = [0] * workers
         #: Which worker each outstanding ticket went to — lets the
         #: collector fail exactly the tickets a dead worker owed.
         self._ticket_worker: dict[int, int] = {}
+        #: Per-ticket metrics context: ``(op kind, submit monotonic)``.
+        self._ticket_meta: dict[int, tuple[str, float]] = {}
+        #: The stack's metrics registry (shared with the socket
+        #: front-end; rendered by the Prometheus endpoint and the
+        #: ``metrics`` control frame).
+        self._registry = ensure_service_metrics(
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_requests = self._registry.get("p2drm_requests_total")
+        self._m_errors = self._registry.get("p2drm_errors_total")
+        self._m_shed = self._registry.get("p2drm_shed_total")
+        self._m_latency = self._registry.get("p2drm_request_latency_seconds")
+        self._m_queue_depth = self._registry.get("p2drm_queue_depth")
+        self._m_inflight = self._registry.get("p2drm_inflight_requests")
+        self._m_workers_alive = self._registry.get("p2drm_workers_alive")
+        self._m_workers_alive.set(workers)
         #: Responses parked by the collector until their gather claims
         #: them (ticket -> raw payload bytes).
         self._parked: dict[int, bytes] = {}
@@ -159,6 +199,12 @@ class WorkerPool:
         """The live worker process handles (tests kill these)."""
         return self._processes
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The stack's metrics registry (shared with the socket
+        front-end; see ``docs/metrics.md`` for every exported name)."""
+        return self._registry
+
     def close(self) -> None:
         """Stop the workers and the collector; idempotent."""
         with self._cond:
@@ -205,10 +251,16 @@ class WorkerPool:
     # -- submission --------------------------------------------------------
 
     def submit(self, request, *, worker: int | None = None) -> int:
-        """Encode and enqueue one request; returns a gather ticket."""
+        """Encode and enqueue one request; returns a gather ticket.
+
+        Raises :class:`~repro.errors.OverloadedError` when an
+        admission ceiling is full — before the request touches any
+        queue or store, so a shed submit is always safe to retry.
+        """
         return self._enqueue(
             wire.encode_request(request),
             self.worker_for(request) if worker is None else worker % self._workers,
+            wire.request_kind(request),
         )
 
     def submit_encoded(self, payload: bytes, *, worker: int | None = None) -> int:
@@ -224,22 +276,60 @@ class WorkerPool:
         answers the peer directly instead of burning a worker round
         trip.
         """
+        kind, token = wire.peek_routing(payload)
         return self._enqueue(
             payload,
-            self._worker_for_token(wire.peek_routing_token(payload))
+            self._worker_for_token(token)
             if worker is None
             else worker % self._workers,
+            kind,
         )
 
-    def _enqueue(self, payload: bytes, target: int) -> int:
+    def _enqueue(self, payload: bytes, target: int, kind: str) -> int:
         with self._cond:
             if self._closed:
                 raise ServiceError("worker pool is closed")
+            # Admission control: shed *here*, before the ticket exists,
+            # so an over-ceiling request has no side effects anywhere —
+            # the typed refusal is the whole transaction.
+            if (
+                self._max_inflight is not None
+                and len(self._ticket_worker) >= self._max_inflight
+            ):
+                self._shed_locked(kind, "pool", f"{self._max_inflight} in flight")
+            if (
+                self._max_pending is not None
+                and self._pending_per_worker[target] >= self._max_pending
+            ):
+                self._shed_locked(
+                    kind, "worker",
+                    f"worker {target} at {self._max_pending} pending",
+                )
             ticket = self._next_request_id
             self._next_request_id += 1
             self._ticket_worker[ticket] = target
+            self._ticket_meta[ticket] = (kind, time.monotonic())
+            self._pending_per_worker[target] += 1
+            self._m_queue_depth.set(self._pending_per_worker[target], worker=target)
+            self._m_inflight.set(len(self._ticket_worker))
         self._request_queues[target].put((ticket, payload, self._clock.now()))
         return ticket
+
+    def _shed_locked(self, kind: str, reason: str, detail: str) -> None:
+        """Refuse admission: count the shed and raise the typed error."""
+        self._m_shed.inc(op=kind, reason=reason)
+        self._m_requests.inc(op=kind, outcome="shed")
+        raise OverloadedError(f"service overloaded ({detail}); retry later")
+
+    def _resolve_ticket_locked(self, ticket: int) -> tuple[str, float] | None:
+        """Retire one outstanding ticket from every book and gauge;
+        returns its ``(kind, submitted_at)`` meta (``_cond`` held)."""
+        target = self._ticket_worker.pop(ticket, None)
+        if target is not None:
+            self._pending_per_worker[target] -= 1
+            self._m_queue_depth.set(self._pending_per_worker[target], worker=target)
+            self._m_inflight.set(len(self._ticket_worker))
+        return self._ticket_meta.pop(ticket, None)
 
     # -- collection --------------------------------------------------------
 
@@ -290,7 +380,9 @@ class WorkerPool:
         self._parked.update(gathered)
         self._abandoned.update(wanted)
         for ticket in wanted:
-            self._ticket_worker.pop(ticket, None)
+            meta = self._resolve_ticket_locked(ticket)
+            if meta is not None:
+                self._m_requests.inc(op=meta[0], outcome="abandoned")
         while len(self._parked) > _BOOKKEEPING_CAP:
             self._parked.pop(next(iter(self._parked)))
         while len(self._abandoned) > _BOOKKEEPING_CAP:
@@ -312,9 +404,22 @@ class WorkerPool:
                 # Queue torn down under us — close() is racing; loop
                 # around and observe the flag.
                 continue
+            if ticket is not None:
+                # Classify before taking the lock: the outcome peek
+                # decodes the envelope, and submitters must not wait on
+                # that behind the condition variable.
+                outcome, error_type = wire.peek_response_outcome(payload)
             with self._cond:
                 if ticket is not None:
-                    self._ticket_worker.pop(ticket, None)
+                    meta = self._resolve_ticket_locked(ticket)
+                    if meta is not None:
+                        kind, submitted_at = meta
+                        self._m_latency.observe(
+                            time.monotonic() - submitted_at, op=kind
+                        )
+                        self._m_requests.inc(op=kind, outcome=outcome)
+                        if error_type is not None:
+                            self._m_errors.inc(op=kind, type=error_type)
                     if ticket in self._abandoned:
                         self._abandoned.discard(ticket)
                     else:
@@ -331,13 +436,16 @@ class WorkerPool:
             return
         self._last_liveness_scan = now
         expired: list[int] = []
+        alive = 0
         for index, process in enumerate(self._processes):
             if process.is_alive():
+                alive += 1
                 self._dead_since.pop(index, None)
                 continue
             first_seen = self._dead_since.setdefault(index, now)
             if now - first_seen > _DEATH_GRACE:
                 expired.append(index)
+        self._m_workers_alive.set(alive)
         if not expired:
             return
         dead_names = [self._processes[index].name for index in expired]
@@ -347,7 +455,10 @@ class WorkerPool:
             if owner in expired
         ]
         for ticket in doomed:
-            self._ticket_worker.pop(ticket, None)
+            meta = self._resolve_ticket_locked(ticket)
+            if meta is not None:
+                self._m_requests.inc(op=meta[0], outcome="error")
+                self._m_errors.inc(op=meta[0], type="ServiceError")
             self._failed[ticket] = ServiceError(
                 f"worker(s) died with requests outstanding: {dead_names}"
             )

@@ -17,6 +17,9 @@ gateway process (reading what the workers committed, via WAL).
 Shard count is a *data* parameter, worker count an *execution* one:
 ``shards >= workers`` keeps every worker busy, and the hash keeps the
 mapping stable when either changes.
+
+Where this sits in the stack: ``docs/architecture.md`` (service
+layer — the partitioning the pool's shard-affine routing targets).
 """
 
 from __future__ import annotations

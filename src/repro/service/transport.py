@@ -33,6 +33,9 @@ finish` instead of a silent hang.
 stack plugs into: the in-process queue path and the asyncio socket
 path (:mod:`repro.service.netserver`) both present a ``Transport`` to
 callers, so the provider-surface facade is written once.
+
+Where this sits in the stack: ``docs/architecture.md`` (transport
+layer) and ``docs/transport.md`` (framing and server deep-dive).
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ from ..errors import (
     CodecError,
     DoubleRedemptionError,
     DoubleSpendError,
+    OverloadedError,
     ReproError,
     RightsDenied,
 )
@@ -100,8 +101,8 @@ def decode_request(data: bytes):
         raise CodecError(f"malformed {kind} request body: {exc!r}") from exc
 
 
-def peek_routing_token(data: bytes) -> bytes:
-    """The shard-affinity token of an encoded request — without
+def peek_routing(data: bytes) -> tuple[str, bytes]:
+    """``(kind, affinity token)`` of an encoded request — without
     constructing the full typed request.
 
     The network gateway routes thousands of envelopes it never
@@ -125,25 +126,30 @@ def peek_routing_token(data: bytes) -> bytes:
     try:
         body = envelope["body"]
         if kind == KIND_REDEEM:
-            return bytes(body["anon"]["id"])
+            return kind, bytes(body["anon"]["id"])
         if kind == KIND_EXCHANGE:
-            return bytes(body["license"])
+            return kind, bytes(body["license"])
         if kind == KIND_SELL:
             from ..core.identity import Pseudonym
 
-            return Pseudonym.from_dict(body["cert"]["pseudonym"]).fingerprint
+            return kind, Pseudonym.from_dict(body["cert"]["pseudonym"]).fingerprint
         coins = body["coins"]
         if not coins:
-            return b"deposit"
+            return kind, b"deposit"
         from ..core.messages import Coin
 
-        return Coin.from_dict(coins[0]).spent_token()
+        return kind, Coin.from_dict(coins[0]).spent_token()
     except ReproError:
         raise
     except Exception as exc:
         raise CodecError(
             f"malformed {kind} request routing fields: {exc!r}"
         ) from exc
+
+
+def peek_routing_token(data: bytes) -> bytes:
+    """The affinity token alone (see :func:`peek_routing`)."""
+    return peek_routing(data)[1]
 
 
 # -- response envelopes ------------------------------------------------------
@@ -198,6 +204,28 @@ def decode_response(data: bytes):
     except Exception as exc:
         raise CodecError(f"malformed {kind} response body: {exc!r}") from exc
     raise CodecError(f"unknown response kind {kind!r}")
+
+
+def peek_response_outcome(data: bytes) -> tuple[str, str | None]:
+    """``(outcome, error_type)`` of an encoded response, cheaply.
+
+    The pool's metrics path classifies every response it parks without
+    reconstructing licences: ``("ok", None)`` for results,
+    ``("error", <type name>)`` for error envelopes.  Never raises —
+    an unclassifiable payload (which a worker will not produce, but a
+    counter must not crash the collector over) is ``("unknown",
+    None)``.
+    """
+    try:
+        envelope = codec.decode(data)
+        kind = envelope.get("kind")
+        if kind == RESPONSE_ERROR:
+            return "error", str(envelope["body"].get("type"))
+        if kind in (RESPONSE_PERSONAL, RESPONSE_ANONYMOUS, RESPONSE_RECEIPT):
+            return "ok", None
+        return "unknown", None
+    except Exception:
+        return "unknown", None
 
 
 # -- error marshalling -------------------------------------------------------
@@ -257,6 +285,8 @@ def _encode_error(error: BaseException) -> dict:
     if isinstance(error, RightsDenied):
         body["action"] = error.action
         body["reason"] = error.reason
+    if isinstance(error, OverloadedError):
+        body["retry_after_ms"] = error.retry_after_ms
     return body
 
 
@@ -273,6 +303,11 @@ def _decode_error(body: dict) -> ReproError:
         return error
     if error_type is RightsDenied:
         return RightsDenied(body["action"], body["reason"])
+    if error_type is OverloadedError:
+        return OverloadedError(
+            body.get("message", ""),
+            retry_after_ms=int(body.get("retry_after_ms", 100)),
+        )
     if error_type is None:
         # Version skew: an unknown type still surfaces as a ReproError
         # carrying its original name, never a silent success.

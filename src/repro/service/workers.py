@@ -20,6 +20,9 @@ pairs and are coalesced into batches (up to ``max_batch`` items,
 waiting at most ``max_wait`` seconds for stragglers) so the aggregate
 verification paths have something to amortize over even when the
 gateway submits one request at a time.
+
+Where this sits in the stack: ``docs/architecture.md`` (service
+layer — the desks the pool's routing and admission control feed).
 """
 
 from __future__ import annotations

@@ -93,7 +93,10 @@ class MarketplaceSimulator:
     :class:`~repro.service.netserver.NetServer` on localhost and
     drives every protocol call through a
     :class:`~repro.service.netserver.NetClient` — the whole event
-    stream crosses real sockets.  The report schema is unchanged —
+    stream crosses real sockets.  ``service_max_inflight`` bounds the
+    pool's admission (the sim's closed-loop callers never trip a sane
+    ceiling; the knob exists so overload experiments reuse this
+    harness).  The report schema is unchanged —
     the privacy experiments read the same operator knowledge either
     way (mined from the operator-side shard stores, exactly what a
     real operator would hold) — so the sim doubles as the transport
@@ -112,6 +115,7 @@ class MarketplaceSimulator:
         service_workers: int = 0,
         service_shards: int | None = None,
         service_transport: str = "queue",
+        service_max_inflight: int | None = None,
     ):
         if mode not in (MODE_P2DRM, MODE_BASELINE):
             raise ValueError(f"unknown mode {mode!r}")
@@ -154,6 +158,7 @@ class MarketplaceSimulator:
                         self._service_dir,
                         workers=service_workers,
                         shards=service_shards,
+                        max_inflight=service_max_inflight,
                     )
                     if service_transport == "tcp":
                         from ..service.netserver import NetClient, NetServer

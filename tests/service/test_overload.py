@@ -1,0 +1,183 @@
+"""Overload control end to end: flood a deliberately tiny service and
+prove shedding is loud, typed, side-effect-free and exactly-once.
+
+The stack under test is one worker behind an inflight ceiling of one —
+every pipelined burst *must* shed — and the witness for "no side
+effects" is e-cash: a deposit's coin is spent exactly once, so if a
+shed request had touched a store, its retry would be a
+``DoubleSpendError`` instead of a success.  The same flood runs over
+the in-process queue transport (shed raised synchronously at submit)
+and over TCP (shed crossing the socket as a typed error envelope).
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.core.messages import DepositRequest
+from repro.core.system import build_deployment
+from repro.errors import OverloadedError, ServiceError
+from repro.service import wire
+from repro.service.gateway import build_gateway
+from repro.service.metrics import SERVICE_METRIC_SPECS
+from repro.service.netserver import NetClient, NetServer
+
+FLOOD = 12
+
+
+@pytest.fixture(scope="module")
+def tiny_stack(tmp_path_factory):
+    """One worker, pool ceiling of one, server ceiling of one: the
+    smallest service that can still answer — and must shed a burst."""
+    d = build_deployment(seed="overload-test", rsa_bits=512)
+    directory = tmp_path_factory.mktemp("overload-shards")
+    gateway = build_gateway(
+        d, str(directory), workers=1, shards=1, max_inflight=1
+    )
+    server = NetServer(gateway, max_server_inflight=1, metrics_port=0)
+    address = server.start()
+    yield d, gateway, server, address
+    server.close()
+    gateway.close()
+
+
+def _deposit_requests(d, tag: str, count: int) -> list[DepositRequest]:
+    payer = d.add_user(f"flood-{tag}", balance=1_000)
+    return [
+        DepositRequest(
+            account=f"sink-{tag}", coins=tuple(payer.coins_for(1, d.bank))
+        )
+        for _ in range(count)
+    ]
+
+
+def test_overloaded_error_round_trips_the_wire():
+    error = OverloadedError("busy", retry_after_ms=250)
+    decoded = wire.decode_response(wire.encode_response(error))
+    assert isinstance(decoded, OverloadedError)
+    assert isinstance(decoded, ServiceError)  # callers catch the base too
+    assert decoded.retry_after_ms == 250
+    assert "busy" in str(decoded)
+
+
+def test_pool_and_server_reject_bad_ceilings(tiny_stack, tmp_path):
+    d, gateway, _server, _address = tiny_stack
+    with pytest.raises(ServiceError):
+        build_gateway(d, str(tmp_path), workers=1, max_inflight=0)
+    with pytest.raises(ServiceError):
+        NetServer(gateway, max_server_inflight=0)
+
+
+def test_queue_flood_sheds_typed_and_applies_exactly_once(tiny_stack):
+    d, gateway, _server, _address = tiny_stack
+    requests = _deposit_requests(d, "queue", FLOOD)
+    spent_before = gateway.coin_spent_tokens.count()
+    shed_before = gateway.metrics.get("p2drm_shed_total").value(
+        op="deposit", reason="pool"
+    )
+    tickets, shed = [], []
+    for request in requests:
+        try:
+            tickets.append(gateway.submit(request))
+        except OverloadedError as exc:
+            assert exc.retry_after_ms >= 0
+            shed.append(request)
+    # One-deep ceiling, microsecond submit gaps, millisecond desks:
+    # the burst cannot fit.
+    assert shed, "a 12-deep burst against a 1-deep ceiling must shed"
+    for receipt in gateway.gather(tickets):
+        assert receipt["credited"] == 1
+    # Shed requests left no trace: the retry succeeds (a shed with
+    # side effects would come back DoubleSpendError here).
+    for request in shed:
+        for _ in range(200):
+            try:
+                ticket = gateway.submit(request)
+                break
+            except OverloadedError:
+                import time
+
+                time.sleep(0.01)
+        else:
+            pytest.fail("shed request never admitted")
+        [receipt] = gateway.gather([ticket])
+        assert receipt["credited"] == 1
+    assert gateway.coin_spent_tokens.count() == spent_before + FLOOD
+    assert (
+        gateway.metrics.get("p2drm_shed_total").value(op="deposit", reason="pool")
+        == shed_before + len(shed)
+    )
+    # The answered deposits fed the latency histogram.
+    assert gateway.metrics.get("p2drm_request_latency_seconds").count(
+        op="deposit"
+    ) >= FLOOD
+
+
+def test_tcp_flood_sheds_typed_and_applies_exactly_once(tiny_stack):
+    d, gateway, _server, address = tiny_stack
+    requests = _deposit_requests(d, "tcp", FLOOD)
+    spent_before = gateway.coin_spent_tokens.count()
+    with NetClient(address) as client:
+        tickets = [client.submit(request) for request in requests]
+        results = client.gather(tickets)
+        shed = [
+            request
+            for request, result in zip(requests, results)
+            if isinstance(result, OverloadedError)
+        ]
+        for result in results:
+            if isinstance(result, OverloadedError):
+                # The typed envelope carried the retry hint intact.
+                assert result.retry_after_ms >= 0
+            else:
+                assert not isinstance(result, Exception)
+                assert result["credited"] == 1
+        assert shed, "a pipelined burst against a 1-deep server must shed"
+        # Retry every shed request over the same socket until admitted;
+        # exactly-once means each retry eventually credits — never a
+        # DoubleSpendError from a half-applied shed.
+        import time
+
+        for request in shed:
+            for _ in range(200):
+                [result] = client.gather([client.submit(request)])
+                if not isinstance(result, OverloadedError):
+                    break
+                time.sleep(0.01)
+            assert not isinstance(result, Exception)
+            assert result["credited"] == 1
+    assert gateway.coin_spent_tokens.count() == spent_before + FLOOD
+    # Both ceilings are one deep; whichever shed first, the total on
+    # the shed counter accounts for every refused admission.
+    shed_counter = gateway.metrics.get("p2drm_shed_total")
+    total_shed = (
+        shed_counter.value(op="deposit", reason="pool")
+        + shed_counter.value(op="deposit", reason="worker")
+        + shed_counter.value(op="deposit", reason="server")
+    )
+    assert total_shed >= len(shed)
+
+
+def test_metrics_endpoint_serves_the_whole_declared_surface(tiny_stack):
+    _d, _gateway, server, _address = tiny_stack
+    host, port = server.metrics_address
+    page = (
+        urllib.request.urlopen(f"http://{host}:{port}/metrics", timeout=30)
+        .read()
+        .decode("utf-8")
+    )
+    for spec in SERVICE_METRIC_SPECS:
+        assert f"# TYPE {spec.name} {spec.kind}" in page
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=30)
+
+
+def test_control_channel_metrics_match_the_scrape(tiny_stack):
+    _d, _gateway, server, address = tiny_stack
+    with NetClient(address) as client:
+        snapshot = client.metrics()
+        text = client.metrics_text()
+    assert sorted(snapshot) == sorted(spec.name for spec in SERVICE_METRIC_SPECS)
+    for spec in SERVICE_METRIC_SPECS:
+        assert snapshot[spec.name]["kind"] == spec.kind
+        assert f"# TYPE {spec.name} {spec.kind}" in text

@@ -1,0 +1,228 @@
+"""The metrics layer in isolation: bucket math, quantile estimates,
+exposition text, codec snapshots.
+
+The round-trip test carries its own minimal Prometheus text parser —
+enough of format 0.0.4 (``# TYPE`` headers, label escaping, histogram
+``_bucket``/``_sum``/``_count`` series) to prove the renderer emits
+what a scraper would actually ingest, without depending on a
+prometheus client library the container does not have.
+"""
+
+import re
+
+import pytest
+
+from repro import codec
+from repro.errors import ParameterError
+from repro.service.metrics import (
+    SERVICE_METRIC_SPECS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    build_service_registry,
+    ensure_service_metrics,
+)
+
+
+# -- a minimal exposition parser ---------------------------------------------
+
+_LABEL_ITEM = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return re.sub(
+        r"\\(.)", lambda m: {"n": "\n"}.get(m.group(1), m.group(1)), value
+    )
+
+
+def parse_exposition(text: str):
+    """``(types, samples)``: metric kinds by name, and sample values
+    keyed by ``(name, sorted label items)``."""
+    types: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_part, value = rest.rsplit("} ", 1)
+            labels = tuple(
+                sorted(
+                    (key, _unescape(raw))
+                    for key, raw in _LABEL_ITEM.findall(labels_part)
+                )
+            )
+        else:
+            name, value = line.rsplit(" ", 1)
+            labels = ()
+        key = (name, labels)
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(value)
+    return types, samples
+
+
+# -- counters and gauges -----------------------------------------------------
+
+
+def test_counter_counts_and_refuses_decrements():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help", ("op",))
+    counter.inc(op="sell")
+    counter.inc(2, op="sell")
+    counter.inc(op="redeem")
+    assert counter.value(op="sell") == 3
+    assert counter.value(op="redeem") == 1
+    assert counter.value(op="never") == 0
+    with pytest.raises(ParameterError):
+        counter.inc(-1, op="sell")
+    with pytest.raises(ParameterError):
+        counter.inc(op="sell", bogus="label")
+
+
+def test_gauge_moves_both_ways_and_forgets_label_sets():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help", ("conn",))
+    gauge.set(5, conn="c1")
+    gauge.inc(conn="c1")
+    gauge.dec(2, conn="c1")
+    assert gauge.value(conn="c1") == 4
+    gauge.remove(conn="c1")
+    assert ("g", (("conn", "c1"),)) not in dict(
+        parse_exposition(registry.render_text())[1]
+    )
+
+
+# -- histogram math ----------------------------------------------------------
+
+
+def test_histogram_bucket_bounds_are_inclusive():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "help", buckets=(0.01, 0.1, 1.0))
+    hist.observe(0.01)  # exactly on a bound: le semantics, this bucket
+    hist.observe(0.011)  # just past: next bucket
+    _, samples = parse_exposition(registry.render_text())
+    assert samples[("h_bucket", (("le", "0.01"),))] == 1
+    assert samples[("h_bucket", (("le", "0.1"),))] == 2  # cumulative
+    assert samples[("h_bucket", (("le", "1"),))] == 2
+    assert samples[("h_bucket", (("le", "+Inf"),))] == 2
+    assert samples[("h_count", ())] == 2
+    assert samples[("h_sum", ())] == pytest.approx(0.021)
+
+
+def test_histogram_quantile_interpolates_within_owning_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+    for _ in range(10):
+        hist.observe(0.5)  # bucket [0, 1]
+    for _ in range(10):
+        hist.observe(1.5)  # bucket (1, 2]
+    # rank 10 of 20 lands exactly at the top of the first bucket.
+    assert hist.quantile(0.5) == pytest.approx(1.0)
+    # rank 15: halfway through the (1, 2] bucket's 10 observations.
+    assert hist.quantile(0.75) == pytest.approx(1.5)
+    # rank 19.98 of 20: 0.998 of the way through the second bucket.
+    assert hist.quantile(0.999) == pytest.approx(1.998)
+
+
+def test_histogram_quantile_edges():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "help", buckets=(1.0, 2.0))
+    assert hist.quantile(0.5) is None  # no observations yet
+    hist.observe(50.0)  # +Inf bucket
+    # The estimate cannot see past the last finite bound: clamp.
+    assert hist.quantile(0.5) == pytest.approx(2.0)
+    with pytest.raises(ParameterError):
+        hist.quantile(0.0)
+    with pytest.raises(ParameterError):
+        hist.quantile(1.0)
+    with pytest.raises(ParameterError):
+        registry.histogram("h2", "help", buckets=(2.0, 1.0))
+
+
+# -- the registry ------------------------------------------------------------
+
+
+def test_registry_is_idempotent_but_loud_on_disagreement():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help", ("op",))
+    assert registry.counter("x_total", "help", ("op",)) is first
+    with pytest.raises(ParameterError):
+        registry.gauge("x_total", "help", ("op",))  # kind mismatch
+    with pytest.raises(ParameterError):
+        registry.counter("x_total", "help", ("other",))  # label mismatch
+    with pytest.raises(ParameterError):
+        registry.get("nonexistent")
+    with pytest.raises(ParameterError):
+        registry.counter("bad name!", "help")
+
+
+def test_service_registry_covers_every_spec_twice_over():
+    registry = build_service_registry()
+    assert sorted(registry.names()) == sorted(
+        spec.name for spec in SERVICE_METRIC_SPECS
+    )
+    # A second ensure pass is a no-op, not a conflict.
+    ensure_service_metrics(registry)
+    assert len(registry.names()) == len(SERVICE_METRIC_SPECS)
+    kinds = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+    for spec in SERVICE_METRIC_SPECS:
+        metric = registry.get(spec.name)
+        assert kinds[type(metric)] == spec.kind
+        assert metric.label_names == spec.labels
+
+
+def test_exposition_round_trips_through_a_parser():
+    registry = build_service_registry()
+    registry.get("p2drm_requests_total").inc(op="sell", outcome="ok")
+    registry.get("p2drm_requests_total").inc(3, op="redeem", outcome="shed")
+    registry.get("p2drm_queue_depth").set(7, worker="0")
+    registry.get("p2drm_request_latency_seconds").observe(0.03, op="sell")
+    types, samples = parse_exposition(registry.render_text())
+    # Every declared metric carries a TYPE header even before samples.
+    for spec in SERVICE_METRIC_SPECS:
+        assert types[spec.name] == spec.kind
+    assert samples[
+        ("p2drm_requests_total", (("op", "sell"), ("outcome", "ok")))
+    ] == 1
+    assert samples[
+        ("p2drm_requests_total", (("op", "redeem"), ("outcome", "shed")))
+    ] == 3
+    assert samples[("p2drm_queue_depth", (("worker", "0"),))] == 7
+    # Histogram series: +Inf cumulative equals the count.
+    inf = samples[
+        ("p2drm_request_latency_seconds_bucket", (("le", "+Inf"), ("op", "sell")))
+    ]
+    assert inf == samples[
+        ("p2drm_request_latency_seconds_count", (("op", "sell"),))
+    ] == 1
+    assert samples[
+        ("p2drm_request_latency_seconds_sum", (("op", "sell"),))
+    ] == pytest.approx(0.03)
+
+
+def test_exposition_escapes_hostile_label_values():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help", ("who",))
+    hostile = 'a"b\\c\nd'
+    gauge.set(1, who=hostile)
+    _, samples = parse_exposition(registry.render_text())
+    assert samples[("g", (("who", hostile),))] == 1
+
+
+def test_snapshot_survives_the_canonical_codec():
+    registry = build_service_registry()
+    registry.get("p2drm_requests_total").inc(op="sell", outcome="ok")
+    registry.get("p2drm_request_latency_seconds").observe(0.2, op="sell")
+    snapshot = registry.snapshot()
+    assert codec.decode(codec.encode(snapshot)) == snapshot
+    hist = snapshot["p2drm_request_latency_seconds"]["samples"][0]
+    assert hist["count"] == "1"
+    assert hist["buckets"][-1] == ["+Inf", "1"]
+    # Values are strings throughout (the codec has no float type).
+    sell = snapshot["p2drm_requests_total"]["samples"][0]
+    assert sell["value"] == "1"

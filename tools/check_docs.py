@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Docs lint: links must resolve, docs/metrics.md must match the code.
+
+Two checks, both cheap and both stdlib-only, run by the CI lint lane
+after ruff:
+
+1. **Link existence** — every relative markdown link in ``README.md``
+   and ``docs/*.md`` must point at a file (or directory) that exists
+   in the checkout.  External (``http``/``https``/``mailto``) links
+   and pure in-page anchors are skipped; fragments are stripped before
+   the filesystem check.
+
+2. **Metrics cross-check** — the set of ``p2drm_*`` metric names
+   documented in ``docs/metrics.md`` must equal the set exported by
+   ``repro.service.metrics.SERVICE_METRIC_SPECS``, in both
+   directions.  Histogram series suffixes (``_bucket`` / ``_sum`` /
+   ``_count``) are accepted wherever the base name is a histogram
+   spec.  Any other ``p2drm_*`` token anywhere in the scanned docs
+   (a typo'd name in the runbook, say) also fails.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.metrics import SERVICE_METRIC_SPECS  # noqa: E402
+
+#: Inline markdown links: [text](target).  Deliberately simple — the
+#: docs do not use reference-style links or angle-bracket targets.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_METRIC_RE = re.compile(r"\bp2drm_[a-z0-9_]+\b")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(files: list[Path]) -> list[str]:
+    problems = []
+    for doc in files:
+        for match in _LINK_RE.finditer(doc.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: dead link -> {target}"
+                )
+    return problems
+
+
+def check_metrics(files: list[Path]) -> list[str]:
+    spec_names = {spec.name for spec in SERVICE_METRIC_SPECS}
+    histogram_names = {
+        spec.name for spec in SERVICE_METRIC_SPECS if spec.kind == "histogram"
+    }
+
+    def known(token: str) -> bool:
+        if token in spec_names:
+            return True
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if token.endswith(suffix) and token[: -len(suffix)] in histogram_names:
+                return True
+        return False
+
+    problems = []
+    reference = REPO_ROOT / "docs" / "metrics.md"
+    documented: set[str] = set()
+    for doc in files:
+        for match in _METRIC_RE.finditer(doc.read_text(encoding="utf-8")):
+            token = match.group(0)
+            if not known(token):
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: metric {token!r} is not"
+                    " exported by SERVICE_METRIC_SPECS"
+                )
+            elif doc == reference:
+                documented.add(token)
+    for name in sorted(spec_names):
+        if name not in documented:
+            problems.append(
+                f"docs/metrics.md: exported metric {name!r} is undocumented"
+            )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = check_links(files) + check_metrics(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
