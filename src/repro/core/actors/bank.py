@@ -31,12 +31,37 @@ from ...crypto.blind_rsa import (
 )
 from ...crypto.rand import RandomSource
 from ...crypto.rsa import RsaPublicKey, generate_rsa_key
-from ...errors import DoubleSpendError, PaymentError
+from ...errors import DoubleSpendError, ParameterError, PaymentError
 from ...storage.engine import Database
+from ...storage.ledger import LedgerEntry, LedgerStore
 from ...storage.spent_tokens import SpentTokenStore
 from ..messages import Coin
 
 DEFAULT_DENOMINATIONS = (1, 5, 20)
+
+
+def decompose_amount(amount: int, denominations: tuple[int, ...]) -> list[int]:
+    """Greedy denomination split of ``amount`` (raises if impossible).
+
+    The ONE definition: the in-process bank, the service desks and the
+    client-side surfaces (gateway / socket client) must split amounts
+    identically, or a withdrawal planned against one surface would not
+    be spendable through another.
+    """
+    if amount <= 0:
+        raise PaymentError("amount must be positive")
+    remaining = amount
+    coins: list[int] = []
+    for denomination in denominations:
+        while remaining >= denomination:
+            coins.append(denomination)
+            remaining -= denomination
+    if remaining:
+        raise PaymentError(
+            f"amount {amount} not representable in denominations"
+            f" {denominations}"
+        )
+    return coins
 
 
 class Bank:
@@ -60,8 +85,13 @@ class Bank:
         for denomination in self._denominations:
             key = generate_rsa_key(key_bits, rng=rng.fork(f"bank-denom-{denomination}"))
             self._signers[denomination] = BlindSigner(key)
-        self._balances: dict[str, int] = {}
-        self._spent = SpentTokenStore(db or Database(), "ecash")
+        self._db = db or Database()
+        # Balances moved out of a process dict into the durable ledger
+        # store (same database as the spent-token gate), so an
+        # in-process bank survives a restart over a file-backed
+        # Database exactly like the sharded service ledger does.
+        self._ledger = LedgerStore(self._db)
+        self._spent = SpentTokenStore(self._db, "ecash")
 
     # -- public parameters ---------------------------------------------------
 
@@ -80,17 +110,31 @@ class Bank:
     def public_keys(self) -> dict[int, RsaPublicKey]:
         return {d: s.public_key for d, s in self._signers.items()}
 
+    def signing_keys(self) -> dict:
+        """Per-denomination private keys — what a service pool's
+        withdrawal desks are provisioned with (the blind signer is
+        stateless, so exporting the keys IS exporting the mint)."""
+        return {d: s._private_key for d, s in self._signers.items()}
+
     # -- accounts ------------------------------------------------------------
 
     def open_account(self, account_id: str, *, initial_balance: int = 0) -> None:
-        if account_id in self._balances:
-            raise PaymentError(f"account {account_id!r} exists")
-        self._balances[account_id] = initial_balance
+        self._ledger.open_account(
+            account_id, at=self._clock.now(), initial_balance=initial_balance
+        )
 
     def balance(self, account_id: str) -> int:
-        if account_id not in self._balances:
+        balance = self._ledger.balance(account_id)
+        if balance is None:
             raise PaymentError(f"no account {account_id!r}")
-        return self._balances[account_id]
+        return balance
+
+    def statement(self, account_id: str, *, limit: int | None = None) -> list[LedgerEntry]:
+        """The account's journal (every credit and debit, with deposit
+        transcripts) — the read half of the BankSurface API."""
+        if not self._ledger.has_account(account_id):
+            raise PaymentError(f"no account {account_id!r}")
+        return self._ledger.statement(account_id, limit=limit)
 
     # -- withdrawal (blind) -----------------------------------------------------
 
@@ -100,17 +144,17 @@ class Bank:
         The bank sees the *account* but not the coin serial hidden in
         ``blinded`` — this is the unlinkability anchor for payments.
         """
-        if account_id not in self._balances:
+        if not self._ledger.has_account(account_id):
             raise PaymentError(f"no account {account_id!r}")
         signer = self._signers.get(denomination)
         if signer is None:
             raise PaymentError(f"unsupported denomination {denomination}")
-        if self._balances[account_id] < denomination:
-            raise PaymentError(
-                f"insufficient funds: balance {self._balances[account_id]}"
-                f" < {denomination}"
-            )
-        self._balances[account_id] -= denomination
+        # Validate the blind request BEFORE debiting: the ledger debit
+        # is durable, so a range failure after it would burn the
+        # customer's money for a request that produced no signature.
+        if not 0 <= blinded < signer.public_key.n:
+            raise ParameterError("blinded value out of range")
+        self._ledger.debit(account_id, denomination, at=self._clock.now())
         return signer.sign_blinded(blinded)
 
     # -- deposit ----------------------------------------------------------------
@@ -147,7 +191,7 @@ class Bank:
         including a serial repeated within the batch itself.
         """
         coins = list(coins)
-        if account_id not in self._balances:
+        if not self._ledger.has_account(account_id):
             raise PaymentError(f"no account {account_id!r}")
         self.verify_coins(coins)
         tokens = [coin.spent_token() for coin in coins]
@@ -157,12 +201,24 @@ class Bank:
                 raise DoubleSpendError(coin.serial)
             seen.add(token)
         now = self._clock.now()
-        for coin, token in zip(coins, tokens):
-            transcript = codec.encode(
-                {"depositor": account_id, "at": now, "value": coin.value}
+        # One transaction for the whole payment: spends and credit land
+        # together or not at all, so a crash mid-batch cannot leave a
+        # coin spent without its credit (single database — the sharded
+        # service needs the intent protocol for the same guarantee).
+        with self._db.transaction(immediate=True):
+            for coin, token in zip(coins, tokens):
+                transcript = codec.encode(
+                    {"depositor": account_id, "at": now, "value": coin.value}
+                )
+                self._spent.try_spend(token, at=now, transcript=transcript)
+            self._ledger.credit(
+                account_id,
+                sum(coin.value for coin in coins),
+                at=now,
+                transcript=codec.encode(
+                    {"depositor": account_id, "at": now, "coins": sorted(tokens)}
+                ),
             )
-            self._spent.try_spend(token, at=now, transcript=transcript)
-            self._balances[account_id] += coin.value
 
     def deposit(self, account_id: str, coin: Coin) -> None:
         """Verify and credit; exactly once per serial.
@@ -171,19 +227,22 @@ class Bank:
         serial, carrying the coin id; the original transcript stays in
         the spent store as evidence.
         """
-        if account_id not in self._balances:
+        if not self._ledger.has_account(account_id):
             raise PaymentError(f"no account {account_id!r}")
         self.verify_coin(coin)
         transcript = codec.encode(
             {"depositor": account_id, "at": self._clock.now(), "value": coin.value}
         )
         token = coin.spent_token()
-        previous = self._spent.try_spend(
-            token, at=self._clock.now(), transcript=transcript
-        )
-        if previous is not None:
-            raise DoubleSpendError(coin.serial)
-        self._balances[account_id] += coin.value
+        with self._db.transaction(immediate=True):
+            previous = self._spent.try_spend(
+                token, at=self._clock.now(), transcript=transcript
+            )
+            if previous is not None:
+                raise DoubleSpendError(coin.serial)
+            self._ledger.credit(
+                account_id, coin.value, at=self._clock.now(), transcript=transcript
+            )
 
     def is_spent(self, coin: Coin) -> bool:
         return self._spent.is_spent(coin.spent_token())
@@ -204,31 +263,24 @@ class Bank:
         if amount <= 0:
             raise PaymentError("amount must be positive")
         for account in (from_account, to_account):
-            if account not in self._balances:
+            if not self._ledger.has_account(account):
                 raise PaymentError(f"no account {account!r}")
-        if self._balances[from_account] < amount:
-            raise PaymentError(
-                f"insufficient funds: balance {self._balances[from_account]}"
-                f" < {amount}"
+        now = self._clock.now()
+        transcript = codec.encode(
+            {"from": from_account, "to": to_account, "at": now, "amount": amount}
+        )
+        with self._db.transaction(immediate=True):
+            self._ledger.debit(
+                from_account, amount, at=now,
+                kind="transfer-out", transcript=transcript,
             )
-        self._balances[from_account] -= amount
-        self._balances[to_account] += amount
+            self._ledger.credit(
+                to_account, amount, at=now,
+                kind="transfer-in", transcript=transcript,
+            )
 
     # -- helpers ------------------------------------------------------------------
 
     def decompose(self, amount: int) -> list[int]:
         """Greedy denomination split of ``amount`` (raises if impossible)."""
-        if amount <= 0:
-            raise PaymentError("amount must be positive")
-        remaining = amount
-        coins: list[int] = []
-        for denomination in self._denominations:
-            while remaining >= denomination:
-                coins.append(denomination)
-                remaining -= denomination
-        if remaining:
-            raise PaymentError(
-                f"amount {amount} not representable in denominations"
-                f" {self._denominations}"
-            )
-        return coins
+        return decompose_amount(amount, self._denominations)

@@ -102,6 +102,40 @@ class DepositRequest:
         return len(codec.encode(self.as_dict()))
 
 
+@dataclass(frozen=True)
+class WithdrawRequest:
+    """A customer's blind withdrawal, as it crosses the wire to the bank.
+
+    The bank sees the account and the denomination but only the
+    *blinded* coin request — the unlinkability anchor survives the
+    service layer untouched.  The in-process flow calls
+    ``bank.withdraw_blind(account, denomination, blinded)`` directly;
+    this message is that triple as one encodable envelope.
+    """
+
+    account: str
+    denomination: int
+    blinded: int
+
+    def as_dict(self) -> dict:
+        return {
+            "account": self.account,
+            "denomination": self.denomination,
+            "blinded": self.blinded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WithdrawRequest":
+        return cls(
+            account=str(data["account"]),
+            denomination=int(data["denomination"]),
+            blinded=int(data["blinded"]),
+        )
+
+    def wire_size(self) -> int:
+        return len(codec.encode(self.as_dict()))
+
+
 # ---------------------------------------------------------------------------
 # Purchase
 # ---------------------------------------------------------------------------

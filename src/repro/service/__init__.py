@@ -19,10 +19,16 @@ that lets the same protocol code serve heavy traffic:
 - :mod:`repro.service.transport` — the pluggable-transport seam:
   length-prefixed framing with a strict decoder, and the
   ``Transport``/``Listener`` interfaces;
+- :mod:`repro.service.ledger` — the bank's durable money layer:
+  per-shard SQLite ledger stores (restart-safe balances, auditable
+  entries, deposit transcripts) behind a sharded view, plus the
+  cross-shard deposit sequencer whose durable-intent two-phase commit
+  closes the spend-then-crash window;
 - :mod:`repro.service.gateway` — the in-process front door: routes
   requests to shard-affine workers and exposes the familiar provider
-  surface, so users, devices and the marketplace simulator drive it
-  exactly like the in-process actor;
+  surface *and* the ``BankSurface`` (withdraw / deposit / balance /
+  statement), so users, devices and the marketplace simulator drive
+  it exactly like the in-process actors;
 - :mod:`repro.service.netserver` — the network front door: one
   asyncio process accepting many client connections over TCP, plus
   the blocking ``NetClient`` that presents the same provider surface
@@ -37,7 +43,8 @@ that lets the same protocol code serve heavy traffic:
 metrics.md`` documents every exported metric name.
 """
 
-from .gateway import ServiceGateway
+from .gateway import BankSurface, ProviderSurface, ServiceGateway
+from .ledger import DepositSequencer, ShardedLedger, recover_intents
 from .metrics import (
     SERVICE_METRIC_SPECS,
     MetricsRegistry,
@@ -52,6 +59,11 @@ from .workers import ServiceConfig
 __all__ = [
     "ServiceGateway",
     "ServiceConfig",
+    "ProviderSurface",
+    "BankSurface",
+    "ShardedLedger",
+    "DepositSequencer",
+    "recover_intents",
     "ShardSet",
     "shard_index",
     "WorkerPool",

@@ -18,6 +18,9 @@ write, through WAL snapshots.
 
 from __future__ import annotations
 
+import time
+
+from ..core.actors.bank import decompose_amount
 from ..core.content import ContentPackage
 from ..core.licenses import AnonymousLicense, PersonalLicense
 from ..core.messages import (
@@ -26,9 +29,14 @@ from ..core.messages import (
     ExchangeRequest,
     PurchaseRequest,
     RedeemRequest,
+    WithdrawRequest,
 )
-from ..errors import RevokedLicenseError, StoreIntegrityError
+from ..crypto.blind_rsa import verify_blind_signature
+from ..errors import PaymentError, RevokedLicenseError, StoreIntegrityError
 from ..storage.contents import CatalogEntry, ContentStore
+from ..storage.ledger import LedgerEntry
+from .ledger import ShardedLedger, recover_intents
+from .metrics import MetricsRegistry, ensure_service_metrics
 from .pool import RESPONSE_TIMEOUT, WorkerPool
 from .sharding import (
     ShardedAuditLog,
@@ -44,6 +52,7 @@ __all__ = [
     "ServiceGateway",
     "ServiceConfig",
     "ProviderSurface",
+    "BankSurface",
     "build_gateway",
     "RESPONSE_TIMEOUT",
 ]
@@ -77,7 +86,44 @@ class ProviderSurface(Transport):
         return self.call(DepositRequest(account=account, coins=tuple(coins)))
 
 
-class ServiceGateway(ProviderSurface):
+class BankSurface(Transport):
+    """The bank half of the facade: withdraw / deposit / balance /
+    statement, written once against the transport seam.
+
+    Parallels :class:`ProviderSurface`: the write operations reduce to
+    :meth:`~repro.service.transport.Transport.submit` /
+    :meth:`~repro.service.transport.Transport.gather` (so they run on
+    the worker desks over either transport, with typed error
+    envelopes), while the read half — :meth:`balance` and
+    :meth:`statement` — is served by each concrete transport from the
+    sharded ledger (the gateway reads the shard files directly; the
+    socket client asks over control frames).  Together with the key
+    surface (``denominations`` / ``public_key`` / ``decompose`` /
+    ``verify_coin``) a gateway or socket client is a drop-in ``bank``
+    argument for :func:`~repro.core.protocols.payment.withdraw_coins`.
+    """
+
+    def withdraw_blind(self, account: str, denomination: int, blinded: int) -> int:
+        """Debit ``account`` and blind-sign one coin request on a
+        worker desk; returns the blind signature value."""
+        receipt = self.call(
+            WithdrawRequest(
+                account=account, denomination=denomination, blinded=blinded
+            )
+        )
+        return int(receipt["signature"])
+
+    def deposit(self, account: str, coins: list[Coin]) -> dict:
+        return self.call(DepositRequest(account=account, coins=tuple(coins)))
+
+    def balance(self, account: str) -> int:
+        raise NotImplementedError
+
+    def statement(self, account: str, *, limit: int | None = None) -> list[LedgerEntry]:
+        raise NotImplementedError
+
+
+class ServiceGateway(ProviderSurface, BankSurface):
     """Route requests to shard-affine desk workers, in-process."""
 
     def __init__(
@@ -101,9 +147,38 @@ class ServiceGateway(ProviderSurface):
         self._audit = ShardedAuditLog(self._shards)
         self._spent_tokens = ShardedSpentTokenStore(self._shards, "anon-license")
         self._coin_spent_tokens = ShardedSpentTokenStore(self._shards, "ecash")
+        self._ledger = ShardedLedger(self._shards)
         self._contents: ContentStore = _catalog_store(config)
         self._closed = False
+        self._registry = ensure_service_metrics(
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_ledger_latency = self._registry.get("p2drm_ledger_latency_seconds")
+        self._m_ledger_2pc = self._registry.get("p2drm_ledger_2pc_total")
+        self._m_ledger_intents = self._registry.get("p2drm_ledger_intents")
+        #: Last durable 2PC counts folded into the counter (the refresh
+        #: publishes deltas; intent rows are never deleted, so the scan
+        #: counts are monotone).
+        self._ledger_2pc_seen = {"prepare": 0, "commit": 0, "abort": 0}
         try:
+            # Presumed-abort recovery BEFORE any worker starts: a
+            # pending intent left by a crashed pool never reached its
+            # commit point, so its coin spends are released and the
+            # intent aborted — the payer's retry then goes through
+            # cleanly and no coin stays spent without a credit.
+            started = time.perf_counter()
+            now = clock.now() if clock is not None else config.clock_start
+            self._recovery = recover_intents(
+                self._ledger, self._coin_spent_tokens, at=now
+            )
+            self._m_ledger_latency.observe(
+                time.perf_counter() - started, op="recover"
+            )
+            # The provider's own account always exists (deposits only
+            # *ensure* accounts, and an operator reading revenue before
+            # the first sale deserves 0, not a typed refusal).
+            self._ledger.ensure_account(config.bank_account, at=now)
+            self.refresh_ledger_metrics()
             self._pool = WorkerPool(
                 config,
                 workers=workers,
@@ -111,7 +186,7 @@ class ServiceGateway(ProviderSurface):
                 clock=clock,
                 max_inflight=max_inflight,
                 max_pending=max_pending,
-                registry=registry,
+                registry=self._registry,
             )
         except BaseException:
             self._shards.close()
@@ -259,6 +334,105 @@ class ServiceGateway(ProviderSurface):
                 f"licence {license_id.hex()[:16]} is revoked"
             ) from None
         return snapshot, proof
+
+    # -- the bank surface --------------------------------------------------
+
+    @property
+    def bank_account(self) -> str:
+        """The provider's ledger account (deposits land here)."""
+        return self._config.bank_account
+
+    @property
+    def denominations(self) -> list[int]:
+        """Supported coin denominations, largest first."""
+        return sorted(self._config.bank_keys, reverse=True)
+
+    def public_key(self, denomination: int):
+        try:
+            return self._config.bank_keys[denomination]
+        except KeyError:
+            raise PaymentError(
+                f"unsupported denomination {denomination}"
+            ) from None
+
+    def decompose(self, amount: int) -> list[int]:
+        return decompose_amount(amount, self.denominations)
+
+    def verify_coin(self, coin: Coin) -> None:
+        """Signature-only check, same contract as the in-process bank
+        (raises :class:`~repro.errors.InvalidSignature` on mismatch)."""
+        verify_blind_signature(
+            coin.payload(), coin.signature, self.public_key(coin.value)
+        )
+
+    @property
+    def ledger(self) -> ShardedLedger:
+        """The gateway-side read view over the sharded ledger files."""
+        return self._ledger
+
+    @property
+    def recovery_summary(self) -> dict:
+        """What presumed-abort startup recovery did: ``{"aborted": n,
+        "released": k}`` (both zero on a clean start)."""
+        return dict(self._recovery)
+
+    def open_account(self, account_id: str, *, initial_balance: int = 0) -> None:
+        """Open a ledger account on its home shard (operator path; the
+        worker desks only *ensure* accounts on deposit)."""
+        self._ledger.open_account(
+            account_id,
+            at=self._pool.clock.now(),
+            initial_balance=initial_balance,
+        )
+
+    def balance(self, account: str) -> int:
+        started = time.perf_counter()
+        try:
+            return self._ledger.balance(account)
+        finally:
+            self._m_ledger_latency.observe(
+                time.perf_counter() - started, op="balance"
+            )
+
+    def statement(
+        self, account: str, *, limit: int | None = None
+    ) -> list[LedgerEntry]:
+        started = time.perf_counter()
+        try:
+            return self._ledger.statement(account, limit=limit)
+        finally:
+            self._m_ledger_latency.observe(
+                time.perf_counter() - started, op="statement"
+            )
+
+    def refresh_ledger_metrics(self) -> dict:
+        """Fold the durable intent-row counts into the 2PC metrics.
+
+        The sequencer runs inside worker processes whose registries the
+        operator cannot see, so the pool-wide truth is read from the
+        shard files instead: intent rows are immutable once terminal
+        and never deleted, which makes the scanned counts monotone and
+        the counter publishable by delta.  Returns the current state
+        counts (what the gauge now shows).
+        """
+        started = time.perf_counter()
+        counts = self._ledger.intent_counts()
+        totals = {
+            "prepare": sum(counts.values()),
+            "commit": counts.get("committed", 0),
+            "abort": counts.get("aborted", 0),
+        }
+        for phase, total in totals.items():
+            delta = total - self._ledger_2pc_seen[phase]
+            if delta > 0:
+                self._m_ledger_2pc.inc(delta, phase=phase)
+                self._ledger_2pc_seen[phase] = total
+        for state in ("pending", "committed", "aborted"):
+            self._m_ledger_intents.set(counts.get(state, 0), state=state)
+        self._m_ledger_latency.observe(
+            time.perf_counter() - started, op="refresh"
+        )
+        return counts
 
 
 def build_gateway(

@@ -491,6 +491,32 @@ SERVICE_METRIC_SPECS: tuple[MetricSpec, ...] = (
         " direction (in / out).",
         ("type", "direction"),
     ),
+    MetricSpec(
+        "p2drm_ledger_2pc_total",
+        "counter",
+        "Deposit-intent 2PC transitions by phase (prepare / commit /"
+        " abort), refreshed by delta from the durable intent rows on"
+        " the shard files — intent rows are never deleted, so the"
+        " counts survive worker crashes and pool restarts.",
+        ("phase",),
+    ),
+    MetricSpec(
+        "p2drm_ledger_intents",
+        "gauge",
+        "Deposit-intent records currently on the shard files, by state"
+        " (pending / committed / aborted).  Pending intents resolve in"
+        " milliseconds; a sustained nonzero pending count is the"
+        " LedgerIntentStuck alert.",
+        ("state",),
+    ),
+    MetricSpec(
+        "p2drm_ledger_latency_seconds",
+        "histogram",
+        "Gateway-side ledger operation latency, per op (balance /"
+        " statement / recover / refresh).",
+        ("op",),
+        DEFAULT_LATENCY_BUCKETS,
+    ),
 )
 
 

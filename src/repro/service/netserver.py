@@ -45,8 +45,12 @@ import socket as socket_module
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from ..core.actors.bank import decompose_amount
 from ..core.content import ContentPackage
+from ..core.messages import Coin
+from ..crypto.blind_rsa import verify_blind_signature
 from ..errors import (
+    PaymentError,
     OverloadedError,
     ReproError,
     ServiceError,
@@ -54,10 +58,11 @@ from ..errors import (
     WireError,
 )
 from ..storage.contents import CatalogEntry
+from ..storage.ledger import LedgerEntry
 from ..storage.merkle import InclusionProof, NonInclusionProof
 from ..storage.revocation import RevocationEntry, SignedSnapshot
 from . import wire
-from .gateway import ProviderSurface, ServiceGateway
+from .gateway import BankSurface, ProviderSurface, ServiceGateway
 from .transport import (
     FRAME_CONTROL,
     FRAME_CONTROL_REPLY,
@@ -511,7 +516,7 @@ class NetServer(Listener):
             if method == "GET" and path in ("/metrics", "/"):
                 loop = asyncio.get_running_loop()
                 text = await loop.run_in_executor(
-                    self._executor, self._registry.render_text
+                    self._executor, self._render_metrics_text
                 )
                 body = text.encode("utf-8")
                 status = b"200 OK"
@@ -538,6 +543,14 @@ class NetServer(Listener):
                 pass
 
     # -- blocking halves (executor threads) --------------------------------
+
+    def _render_metrics_text(self) -> str:
+        """Prometheus text with the ledger 2PC counts freshly folded
+        in (the sequencer runs in worker processes; only a durable
+        shard scan sees the pool-wide truth)."""
+        with self._control_lock:
+            self._gateway.refresh_ledger_metrics()
+        return self._registry.render_text()
 
     def _serve_request(self, frame) -> bytes:
         """Submit one client request frame to the pool; ALWAYS returns
@@ -613,6 +626,14 @@ def _op_hello(gateway: ServiceGateway, args: dict) -> dict:
         "license_key": {"n": key.n, "e": key.e},
         "workers": gateway.workers,
         "shards": gateway.shards,
+        "bank_account": gateway.bank_account,
+        # Largest-first, matching gateway.denominations; the client
+        # rebuilds its coin-verification keyring from this one reply.
+        "bank_keys": [
+            [denom, {"n": pub.n, "e": pub.e}]
+            for denom in gateway.denominations
+            for pub in (gateway.public_key(denom),)
+        ],
     }
 
 
@@ -644,11 +665,25 @@ def _op_prove_not_revoked(gateway: ServiceGateway, args: dict) -> dict:
     }
 
 
+def _op_bank_balance(gateway: ServiceGateway, args: dict) -> int:
+    return gateway.balance(str(args["account"]))
+
+
+def _op_bank_statement(gateway: ServiceGateway, args: dict) -> list:
+    limit = args.get("limit")
+    entries = gateway.statement(
+        str(args["account"]), limit=None if limit is None else int(limit)
+    )
+    return [entry.as_dict() for entry in entries]
+
+
 def _op_metrics(gateway: ServiceGateway, args: dict) -> dict:
+    gateway.refresh_ledger_metrics()
     return gateway.metrics.snapshot()
 
 
 def _op_metrics_text(gateway: ServiceGateway, args: dict) -> str:
+    gateway.refresh_ledger_metrics()
     return gateway.metrics.render_text()
 
 
@@ -659,6 +694,8 @@ _CONTROL_OPS = {
     "package": _op_package,
     "revocation_sync": _op_revocation_sync,
     "prove_not_revoked": _op_prove_not_revoked,
+    "bank_balance": _op_bank_balance,
+    "bank_statement": _op_bank_statement,
     "metrics": _op_metrics,
     "metrics_text": _op_metrics_text,
 }
@@ -667,8 +704,9 @@ _CONTROL_OPS = {
 # -- the client --------------------------------------------------------------
 
 
-class NetClient(ProviderSurface):
-    """Blocking client presenting the provider surface over one socket.
+class NetClient(ProviderSurface, BankSurface):
+    """Blocking client presenting the provider and bank surfaces over
+    one socket.
 
     Pipelining: :meth:`submit` only writes; :meth:`gather` reads until
     its tickets are answered, parking any responses that belong to
@@ -891,6 +929,44 @@ class NetClient(ProviderSurface):
             SignedSnapshot.from_dict(body["snapshot"]),
             _non_inclusion_from(body["proof"]),
         )
+
+    # -- the bank read surface ---------------------------------------------
+
+    @property
+    def bank_account(self) -> str:
+        """The provider's ledger account, from the hello reply."""
+        return str(self._hello_info()["bank_account"])
+
+    @property
+    def denominations(self) -> list[int]:
+        return [int(denom) for denom, _key in self._hello_info()["bank_keys"]]
+
+    def public_key(self, denomination: int):
+        from ..crypto.rsa import RsaPublicKey
+
+        for denom, key in self._hello_info()["bank_keys"]:
+            if int(denom) == denomination:
+                return RsaPublicKey(n=int(key["n"]), e=int(key["e"]))
+        raise PaymentError(f"unsupported denomination {denomination}")
+
+    def decompose(self, amount: int) -> list[int]:
+        return decompose_amount(amount, self.denominations)
+
+    def verify_coin(self, coin: Coin) -> None:
+        """Signature-only check against the hello keyring (raises
+        :class:`~repro.errors.InvalidSignature` on mismatch)."""
+        verify_blind_signature(
+            coin.payload(), coin.signature, self.public_key(coin.value)
+        )
+
+    def balance(self, account: str) -> int:
+        return int(self._control("bank_balance", account=account))
+
+    def statement(
+        self, account: str, *, limit: int | None = None
+    ) -> list[LedgerEntry]:
+        entries = self._control("bank_statement", account=account, limit=limit)
+        return [LedgerEntry.from_dict(entry) for entry in entries]
 
     def metrics(self) -> dict:
         """The server's metrics snapshot (codec form: numeric values as

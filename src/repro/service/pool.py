@@ -46,6 +46,7 @@ from ..core.messages import (
     ExchangeRequest,
     PurchaseRequest,
     RedeemRequest,
+    WithdrawRequest,
 )
 from ..errors import OverloadedError, ServiceError
 from . import wire
@@ -238,6 +239,10 @@ class WorkerPool:
             # The actual spend key (value||serial), so the deposit
             # lands on the worker whose slot owns the coin's shard.
             return request.coins[0].spent_token() if request.coins else b"deposit"
+        if isinstance(request, WithdrawRequest):
+            # Account-affine: the debit lands on the account's home
+            # shard, so route to the worker whose slot owns it.
+            return request.account.encode("utf-8")
         raise ServiceError(f"unroutable request {type(request).__name__}")
 
     def worker_for(self, request) -> int:

@@ -27,6 +27,7 @@ from ..core.messages import (
     MisuseEvidence,
     PurchaseRequest,
     RedeemRequest,
+    WithdrawRequest,
 )
 from ..errors import (
     CodecError,
@@ -43,6 +44,7 @@ KIND_SELL = "sell"
 KIND_REDEEM = "redeem"
 KIND_EXCHANGE = "exchange"
 KIND_DEPOSIT = "deposit"
+KIND_WITHDRAW = "withdraw"
 
 _REQUEST_WHAT = "service-request"
 _RESPONSE_WHAT = "service-response"
@@ -52,6 +54,7 @@ _REQUEST_TYPES: dict[str, type] = {
     KIND_REDEEM: RedeemRequest,
     KIND_EXCHANGE: ExchangeRequest,
     KIND_DEPOSIT: DepositRequest,
+    KIND_WITHDRAW: WithdrawRequest,
 }
 _KIND_OF_TYPE = {cls: kind for kind, cls in _REQUEST_TYPES.items()}
 
@@ -133,6 +136,11 @@ def peek_routing(data: bytes) -> tuple[str, bytes]:
             from ..core.identity import Pseudonym
 
             return kind, Pseudonym.from_dict(body["cert"]["pseudonym"]).fingerprint
+        if kind == KIND_WITHDRAW:
+            # Withdrawals route by account: the debit serializes at the
+            # account's home-shard write lock wherever it runs, so the
+            # affinity is a cache-locality choice, not a correctness one.
+            return kind, str(body["account"]).encode("utf-8")
         coins = body["coins"]
         if not coins:
             return kind, b"deposit"
@@ -161,8 +169,10 @@ RESPONSE_ERROR = "error"
 
 
 def encode_response(result) -> bytes:
-    """Canonical bytes for a desk outcome — a licence, a deposit
-    receipt (``{"account", "credited"}`` dict), or an exception."""
+    """Canonical bytes for a desk outcome — a licence, a receipt dict
+    (``{"account", "credited"}`` for deposits, ``{"account",
+    "denomination", "signature"}`` for blind withdrawals), or an
+    exception."""
     if isinstance(result, PersonalLicense):
         kind, body = RESPONSE_PERSONAL, result.as_dict()
     elif isinstance(result, AnonymousLicense):

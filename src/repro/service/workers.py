@@ -32,18 +32,28 @@ import time
 from dataclasses import dataclass, field
 
 from ..clock import SimClock
+from ..core.actors.bank import decompose_amount
 from ..core.actors.provider import ContentProvider, ProviderStores
-from ..core.messages import Coin, DepositRequest, ExchangeRequest, PurchaseRequest, RedeemRequest
+from ..core.messages import (
+    Coin,
+    DepositRequest,
+    ExchangeRequest,
+    PurchaseRequest,
+    RedeemRequest,
+    WithdrawRequest,
+)
 from ..crypto import backend as crypto_backend
 from ..crypto import fastexp
-from ..crypto.blind_rsa import batch_verify_blind_signatures
+from ..crypto.blind_rsa import BlindSigner, batch_verify_blind_signatures
 from ..crypto.groups import named_group
 from ..crypto.rand import DeterministicRandomSource, default_source
 from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
-from ..errors import DoubleSpendError, PaymentError, ServiceError
+from ..errors import ParameterError, PaymentError, ServiceError
 from ..storage.contents import ContentStore
 from ..storage.engine import Database
+from ..storage.ledger import LedgerEntry
 from . import wire
+from .ledger import DepositSequencer, ShardedLedger
 from .sharding import (
     ShardedAuditLog,
     ShardedLicenseStore,
@@ -87,6 +97,11 @@ class ServiceConfig:
     license_key: RsaPrivateKey
     bank_keys: dict[int, RsaPublicKey]
     catalog: tuple[CatalogItem, ...]
+    #: Per-denomination private keys for the withdrawal desks (None
+    #: builds a deposit-only pool — verification needs only the public
+    #: keys above, and not every deployment wants its mint in every
+    #: worker process).
+    bank_signing_keys: dict[int, RsaPrivateKey] | None = None
     provider_name: str = "content-provider"
     bank_account: str = "content-provider-account"
     escrow_key_element: int | None = None
@@ -143,6 +158,11 @@ class ServiceConfig:
             issuer_key=deployment.issuer.certificate_key,
             license_key=provider._license_key,
             bank_keys=dict(deployment.bank.public_keys()),
+            bank_signing_keys=(
+                dict(deployment.bank.signing_keys())
+                if hasattr(deployment.bank, "signing_keys")
+                else None
+            ),
             catalog=tuple(catalog),
             provider_name=provider.name,
             bank_account=provider._bank_account,
@@ -153,15 +173,19 @@ class ServiceConfig:
 
 
 class ShardedDepositDesk:
-    """The bank's deposit side, runnable in any worker.
+    """The bank's account-facing side, runnable in any worker.
 
-    Verification needs only the per-denomination *public* keys; the
-    exactly-once gate is the sharded ``ecash`` spent store, shared by
-    every worker through the shard files.  A payment's coins are spent
-    one at a time — when a later coin turns out already spent, the
-    earlier coins of that same (never credited) payment are released
-    again, so a refused deposit costs the payer nothing and the racing
-    winner's spends are untouched.
+    Deposits verify with the per-denomination *public* keys and commit
+    through the :class:`~repro.service.ledger.DepositSequencer`: a
+    durable intent record on the account's home shard, coin spends on
+    their home shards under the intent id, then one commit transaction
+    that credits the balance — so a multi-coin payment lands atomically
+    across shard files and a worker crash mid-deposit is recovered (not
+    reconciled by hand) at the next pool start.  Withdrawals debit the
+    same sharded ledger and blind-sign with the provisioned private
+    keys.  Every balance read is the pool-wide durable figure — the
+    per-worker ``credited()`` tally this desk used to keep is gone
+    (kept only as a deprecated alias of :meth:`balance`).
     """
 
     def __init__(
@@ -169,36 +193,115 @@ class ShardedDepositDesk:
         *,
         public_keys: dict[int, RsaPublicKey],
         spent: ShardedSpentTokenStore,
+        ledger: ShardedLedger,
         clock,
+        signing_keys: dict[int, RsaPrivateKey] | None = None,
         name: str = "deposit-desk",
     ):
         self.name = name
         self._keys = dict(public_keys)
         self._spent = spent
+        self._ledger = ledger
         self._clock = clock
-        self._credited: dict[str, int] = {}
+        self._signers = (
+            None
+            if signing_keys is None
+            else {d: BlindSigner(key) for d, key in signing_keys.items()}
+        )
+        self._sequencer = DepositSequencer(
+            ledger=ledger, spent=spent, clock=clock
+        )
+
+    # -- accounts (the BankSurface read half) ------------------------------
 
     def open_account(self, account_id: str, *, initial_balance: int = 0) -> None:
         """Idempotent: accounts also auto-open on first deposit, so a
-        duplicate-open error would be meaningless here (unlike the real
-        bank's ledger, which stays authoritative for balances)."""
-        self._credited.setdefault(account_id, initial_balance)
+        duplicate-open error would be meaningless here.  A nonzero
+        ``initial_balance`` needs a real opening (duplicate-checked),
+        same as the in-process bank."""
+        if initial_balance:
+            self._ledger.open_account(
+                account_id, at=self._clock.now(), initial_balance=initial_balance
+            )
+        else:
+            self._ledger.ensure_account(account_id, at=self._clock.now())
+
+    def balance(self, account_id: str) -> int:
+        """The pool-wide durable balance from the sharded ledger —
+        every worker (and the gateway) reads the same figure."""
+        return self._ledger.balance(account_id)
+
+    def statement(self, account_id: str, *, limit: int | None = None) -> list[LedgerEntry]:
+        """The account's journal (deposits with transcripts, withdrawals,
+        opens), oldest first."""
+        return self._ledger.statement(account_id, limit=limit)
 
     def credited(self, account_id: str) -> int:
-        """Credits THIS worker's desk has accepted for the account.
+        """Deprecated alias of :meth:`balance`.
 
-        Deliberately not called ``balance``: deposits for one account
-        spread over every worker in the pool (routing follows the
-        coins, not the account), so the pool-wide figure is the sum of
-        the workers' desks — the sharded ledger on the ROADMAP.
+        The per-worker credit tally it used to return is gone: the
+        sharded ledger makes the pool-wide balance durable and readable
+        from any worker, which is what every caller actually wanted.
+        Unknown accounts still answer 0 (the old accumulator's shape).
         """
-        return self._credited.get(account_id, 0)
+        import warnings
+
+        warnings.warn(
+            "ShardedDepositDesk.credited() is deprecated; use balance()"
+            " (the pool-wide BankSurface figure)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return self.balance(account_id)
+        except PaymentError:
+            return 0
+
+    # -- withdrawal (blind) ------------------------------------------------
+
+    @property
+    def denominations(self) -> tuple[int, ...]:
+        """Supported coin values, largest first (same contract as the
+        in-process bank — ``withdraw_coins`` greedy-splits on these)."""
+        return tuple(sorted(self._keys, reverse=True))
+
+    def decompose(self, amount: int) -> list[int]:
+        """Greedy denomination split of ``amount`` (raises if impossible)."""
+        return decompose_amount(amount, self.denominations)
+
+    def withdraw_blind(self, account_id: str, denomination: int, blinded: int) -> int:
+        """Debit the account on its home shard and blind-sign one coin
+        request — the service twin of ``Bank.withdraw_blind``, with the
+        debit durable and funds-checked under the shard's write lock."""
+        if self._signers is None:
+            raise ServiceError(
+                "pool has no withdrawal keys (deposit-only deployment)"
+            )
+        if not self._ledger.has_account(account_id):
+            raise PaymentError(f"no account {account_id!r}")
+        signer = self._signers.get(denomination)
+        if signer is None:
+            raise PaymentError(f"unsupported denomination {denomination}")
+        if not 0 <= blinded < signer.public_key.n:
+            raise ParameterError("blinded value out of range")
+        self._ledger.debit(account_id, denomination, at=self._clock.now())
+        return signer.sign_blinded(blinded)
+
+    # -- deposit -----------------------------------------------------------
 
     def public_key(self, denomination: int) -> RsaPublicKey:
         key = self._keys.get(denomination)
         if key is None:
             raise PaymentError(f"unsupported denomination {denomination}")
         return key
+
+    def verify_coin(self, coin: Coin) -> None:
+        """Signature-only check (no spend state change)."""
+        from ..crypto.blind_rsa import verify_blind_signature
+
+        verify_blind_signature(
+            coin.payload(), coin.signature, self.public_key(coin.value)
+        )
 
     def verify_coins(self, coins: list[Coin]) -> None:
         by_denomination: dict[int, list[Coin]] = {}
@@ -214,72 +317,20 @@ class ShardedDepositDesk:
         """Verify and credit one payment's coins, exactly once each.
 
         Returns the amount credited.  Raises
-        :class:`~repro.errors.DoubleSpendError` when any serial was
-        already spent — by this batch, another worker, or an earlier
-        payment — with the whole payment rolled back.
-
-        Crash window: a worker dying between spending a payment's
-        first coin and the credit/rollback leaves that coin durably
-        spent but never credited (its transcript records depositor and
-        time, so an operator can reconcile) — the cross-shard
-        sequencer on the ROADMAP is what would make the multi-coin
-        spend atomic across shard files.
+        :class:`~repro.errors.DoubleSpendError` when any serial is
+        genuinely owned by a committed deposit — with this payment's
+        own spends released and its intent aborted, so a refused
+        deposit costs the payer nothing.  A coin transiently held by
+        another payment's *pending* intent is waited out, not refused
+        (see :class:`~repro.service.ledger.DepositSequencer`).
         """
         coins = list(coins)
         # Unknown accounts are opened on first deposit: a merchant
-        # account service-side is just a credit accumulator (this
-        # worker's view of it — the authoritative pool-wide ledger is
-        # the ROADMAP's sharded-accounts item), and requiring an
+        # account service-side is a ledger row, and requiring an
         # out-of-band opening would make the deposit wire kind
         # unusable for anyone but the provider.
-        self.open_account(account_id)
         self.verify_coins(coins)
-        from .. import codec
-
-        now = self._clock.now()
-        # Canonical spend order, and a read-only pre-screen first: the
-        # common double-spend is caught before this payment touches any
-        # state, which keeps the compensation path below rare.
-        # key= keeps the sort off the Coin objects themselves: two coins
-        # tying on (value, serial) — craftable by varying signature
-        # bytes — must produce a double-spend verdict, not a TypeError.
-        ordered = sorted(
-            ((coin.spent_token(), coin) for coin in coins),
-            key=lambda pair: pair[0],
-        )
-        for token, coin in ordered:
-            if self._spent.is_spent(token):
-                raise DoubleSpendError(coin.serial)
-        spent_here: list[bytes] = []
-        for token, coin in ordered:
-            transcript = codec.encode(
-                {"depositor": account_id, "at": now, "value": coin.value}
-            )
-            previous = self._spent.try_spend(token, at=now, transcript=transcript)
-            if previous is not None:
-                # Another presenter (possibly on another worker) owns
-                # this serial: release what this payment spent so far.
-                # A concurrent payment sharing one of *those* coins can
-                # observe the transient spend and be refused — its
-                # retry succeeds (the coin was never credited and is
-                # released here), so the refusal is a retryable race
-                # verdict, not durable misuse evidence.  Making the
-                # multi-coin spend atomic across shard files needs the
-                # cross-shard sequencer on the ROADMAP.
-                for unwind in spent_here:
-                    try:
-                        self._spent.unspend(unwind)
-                    except Exception:
-                        # A busy shard must not mask the double-spend
-                        # verdict or stop the remaining releases; an
-                        # unreleased coin reconciles like the crash
-                        # window above (spent, never credited).
-                        pass
-                raise DoubleSpendError(coin.serial)
-            spent_here.append(token)
-        credited = sum(coin.value for coin in coins)
-        self._credited[account_id] += credited
-        return credited
+        return self._sequencer.deposit(account_id, coins)
 
 
 def build_worker_provider(
@@ -290,7 +341,9 @@ def build_worker_provider(
     desk = ShardedDepositDesk(
         public_keys=config.bank_keys,
         spent=ShardedSpentTokenStore(shards, "ecash"),
+        ledger=ShardedLedger(shards),
         clock=clock,
+        signing_keys=config.bank_signing_keys,
     )
     stores = ProviderStores(
         contents=_catalog_store(config),
@@ -459,6 +512,7 @@ def _process_batch(provider, desk, clock, items, response_queue) -> None:
     redeems = [(rid, r) for rid, r in decoded if isinstance(r, RedeemRequest)]
     exchanges = [(rid, r) for rid, r in decoded if isinstance(r, ExchangeRequest)]
     deposits = [(rid, r) for rid, r in decoded if isinstance(r, DepositRequest)]
+    withdraws = [(rid, r) for rid, r in decoded if isinstance(r, WithdrawRequest)]
 
     if sells:
         results = provider.sell_batch([request for _, request in sells])
@@ -478,6 +532,19 @@ def _process_batch(provider, desk, clock, items, response_queue) -> None:
         try:
             credited = desk.deposit_batch(request.account, list(request.coins))
             result = {"account": request.account, "credited": credited}
+        except Exception as exc:
+            result = exc
+        response_queue.put((request_id, wire.encode_response(result)))
+    for request_id, request in withdraws:
+        try:
+            signature = desk.withdraw_blind(
+                request.account, request.denomination, request.blinded
+            )
+            result = {
+                "account": request.account,
+                "denomination": request.denomination,
+                "signature": signature,
+            }
         except Exception as exc:
             result = exc
         response_queue.put((request_id, wire.encode_response(result)))

@@ -57,6 +57,11 @@ class SimulationReport:
     skipped: int = 0
     sim_seconds: int = 0
     backend: str = ""  # arithmetic backend the run executed under
+    #: The provider's closing ledger balance — read back through the
+    #: BankSurface (gateway/socket) in service mode, straight from the
+    #: in-process bank otherwise, so every mode reconciles revenue
+    #: against the same durable money layer the deposits landed in.
+    provider_revenue: int = 0
     ground_truth: dict[bytes, bytes] = field(default_factory=dict)
     user_of_card: dict[bytes, str] = field(default_factory=dict)
     operator_knowledge: dict = field(default_factory=dict)
@@ -75,6 +80,7 @@ class SimulationReport:
             "skipped": self.skipped,
             "sim_seconds": self.sim_seconds,
             "backend": self.backend,
+            "provider_revenue": self.provider_revenue,
             **{f"operator_{k}": v for k, v in self.operator_knowledge.items()},
         }
 
@@ -295,8 +301,16 @@ class MarketplaceSimulator:
                 report.denials += 1
         report.pending_redemptions = len(self._pending_redemptions)
         report.sim_seconds = self.deployment.clock.now() - start
+        report.provider_revenue = self._provider_revenue()
         report.operator_knowledge = self._operator_knowledge()
         return report
+
+    def _provider_revenue(self) -> int:
+        """The provider's closing balance in whichever ledger the run
+        actually credited (sharded service ledger or in-process bank)."""
+        if self._gateway is not None:
+            return self._gateway.balance(self._gateway.bank_account)
+        return self.deployment.bank.balance(self.provider._bank_account)
 
     def _run_prefetches(self) -> None:
         """Certificate cover traffic: random users stock up credentials

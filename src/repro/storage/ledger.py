@@ -1,0 +1,493 @@
+"""Account ledger: durable balances, auditable entries, deposit intents.
+
+The bank's money lived in a process dict until the service layer needed
+restart-safe credits; this store is the durable replacement.  Three
+tables, one invariant chain:
+
+- ``ledger_accounts`` — the balance authority.  A balance is never a
+  free-floating number: every change appends a row to
+- ``ledger_entries`` — the append-only journal (signed amounts, sim
+  timestamp, a ``kind`` tag and the deposit transcript), so
+  ``balance == SUM(entries.amount)`` holds at every commit point and an
+  offline auditor can recompute any account from its history;
+- ``ledger_intents`` — the two-phase-commit records for multi-shard
+  deposits.  An intent is written *pending* before any coin is spent,
+  flips to *committed* in the same transaction as the credit, or to
+  *aborted* after its spends are released.  Rows are immutable once
+  terminal and never deleted — which is what makes the 2PC counters in
+  the metrics registry refreshable from a durable scan.
+
+One :class:`LedgerStore` covers one database; the service layer routes
+accounts across N shard files by ``sha256(account_id)`` (see
+:mod:`repro.service.ledger`), the same partitioning the spent-token
+gate uses for coins.
+
+Insufficient funds and unknown accounts raise
+:class:`~repro.errors.PaymentError` here, not a storage error: the
+ledger *is* the balance authority, so "not enough money" is a payment
+verdict the protocol layer passes through verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PaymentError, StoreIntegrityError
+from .engine import Database
+
+_MIGRATION = [
+    """
+    CREATE TABLE ledger_accounts (
+        account_id TEXT    PRIMARY KEY,
+        balance    INTEGER NOT NULL,
+        opened_at  INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE ledger_entries (
+        seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+        account_id TEXT    NOT NULL,
+        amount     INTEGER NOT NULL,
+        at         INTEGER NOT NULL,
+        kind       TEXT    NOT NULL,
+        intent_id  BLOB,
+        transcript BLOB    NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_ledger_entries_account ON ledger_entries(account_id, seq)",
+    "CREATE INDEX idx_ledger_entries_intent ON ledger_entries(intent_id)",
+    """
+    CREATE TABLE ledger_intents (
+        intent_id  BLOB    PRIMARY KEY,
+        account_id TEXT    NOT NULL,
+        amount     INTEGER NOT NULL,
+        state      TEXT    NOT NULL,
+        created_at INTEGER NOT NULL,
+        updated_at INTEGER NOT NULL,
+        payload    BLOB    NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_ledger_intents_state ON ledger_intents(state, created_at)",
+]
+
+#: Intent lifecycle: ``pending`` -> ``committed`` | ``aborted``.
+#: Terminal states are immutable; transitions are CAS-guarded.
+INTENT_PENDING = "pending"
+INTENT_COMMITTED = "committed"
+INTENT_ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One journal row: a signed balance change with its evidence."""
+
+    seq: int
+    account_id: str
+    amount: int
+    at: int
+    kind: str
+    intent_id: bytes | None
+    transcript: bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "account": self.account_id,
+            "amount": self.amount,
+            "at": self.at,
+            "kind": self.kind,
+            "intent": self.intent_id,
+            "transcript": self.transcript,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LedgerEntry":
+        intent = data.get("intent")
+        return cls(
+            seq=int(data["seq"]),
+            account_id=str(data["account"]),
+            amount=int(data["amount"]),
+            at=int(data["at"]),
+            kind=str(data["kind"]),
+            intent_id=None if intent is None else bytes(intent),
+            transcript=bytes(data["transcript"]),
+        )
+
+
+@dataclass(frozen=True)
+class IntentRecord:
+    """One deposit intent: the durable 2PC coordination record."""
+
+    intent_id: bytes
+    account_id: str
+    amount: int
+    state: str
+    created_at: int
+    updated_at: int
+    payload: bytes
+
+
+class LedgerStore:
+    """Balances + journal + deposit intents over one database."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        db.migrate("ledger_v1", _MIGRATION)
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    # -- accounts ----------------------------------------------------------
+
+    def open_account(
+        self, account_id: str, *, at: int, initial_balance: int = 0
+    ) -> None:
+        """Create an account; raises on duplicates (the bank's contract)."""
+        if initial_balance < 0:
+            raise PaymentError("initial balance must not be negative")
+        with self._db.transaction(immediate=True):
+            if self._balance_row(account_id) is not None:
+                raise PaymentError(f"account {account_id!r} exists")
+            self._db.execute(
+                "INSERT INTO ledger_accounts(account_id, balance, opened_at)"
+                " VALUES (?, ?, ?)",
+                (account_id, initial_balance, at),
+            )
+            if initial_balance:
+                self._append_entry(
+                    account_id, initial_balance, at, "open", None, b""
+                )
+
+    def ensure_account(self, account_id: str, *, at: int) -> bool:
+        """Idempotent open with a zero balance; returns whether a row
+        was created.  Merchant accounts service-side auto-open on first
+        deposit (an out-of-band opening step would make the deposit
+        wire kind unusable for anyone but the provider)."""
+        with self._db.transaction(immediate=True):
+            if self._balance_row(account_id) is not None:
+                return False
+            self._db.execute(
+                "INSERT INTO ledger_accounts(account_id, balance, opened_at)"
+                " VALUES (?, 0, ?)",
+                (account_id, at),
+            )
+            return True
+
+    def has_account(self, account_id: str) -> bool:
+        return self._balance_row(account_id) is not None
+
+    def balance(self, account_id: str) -> int | None:
+        """The durable balance, or ``None`` for an unknown account (the
+        protocol layers translate that to their own typed refusal)."""
+        row = self._balance_row(account_id)
+        return None if row is None else int(row[0])
+
+    def accounts(self) -> list[str]:
+        rows = self._db.query_all(
+            "SELECT account_id FROM ledger_accounts ORDER BY account_id"
+        )
+        return [row[0] for row in rows]
+
+    def _balance_row(self, account_id: str) -> tuple | None:
+        return self._db.query_one(
+            "SELECT balance FROM ledger_accounts WHERE account_id = ?",
+            (account_id,),
+        )
+
+    # -- balance changes ---------------------------------------------------
+
+    def credit(
+        self,
+        account_id: str,
+        amount: int,
+        *,
+        at: int,
+        kind: str = "deposit",
+        transcript: bytes = b"",
+        intent_id: bytes | None = None,
+    ) -> int:
+        """Add ``amount`` and journal it; returns the new balance."""
+        if amount < 0:
+            raise PaymentError("credit amount must not be negative")
+        return self._adjust(account_id, amount, at, kind, transcript, intent_id)
+
+    def debit(
+        self,
+        account_id: str,
+        amount: int,
+        *,
+        at: int,
+        kind: str = "withdraw",
+        transcript: bytes = b"",
+    ) -> int:
+        """Subtract ``amount`` (funds-checked atomically); returns the
+        new balance.  The check and the write share one immediate
+        transaction, so two processes debiting the same account
+        serialize at the shard file's write lock — no overdraft window."""
+        if amount < 0:
+            raise PaymentError("debit amount must not be negative")
+        return self._adjust(account_id, -amount, at, kind, transcript, None)
+
+    def _adjust(
+        self,
+        account_id: str,
+        amount: int,
+        at: int,
+        kind: str,
+        transcript: bytes,
+        intent_id: bytes | None,
+    ) -> int:
+        with self._db.transaction(immediate=True):
+            row = self._balance_row(account_id)
+            if row is None:
+                raise PaymentError(f"no account {account_id!r}")
+            balance = int(row[0])
+            if amount < 0 and balance < -amount:
+                raise PaymentError(
+                    f"insufficient funds: balance {balance} < {-amount}"
+                )
+            new_balance = balance + amount
+            self._db.execute(
+                "UPDATE ledger_accounts SET balance = ? WHERE account_id = ?",
+                (new_balance, account_id),
+            )
+            self._append_entry(account_id, amount, at, kind, intent_id, transcript)
+            return new_balance
+
+    def _append_entry(
+        self,
+        account_id: str,
+        amount: int,
+        at: int,
+        kind: str,
+        intent_id: bytes | None,
+        transcript: bytes,
+    ) -> None:
+        self._db.execute(
+            "INSERT INTO ledger_entries"
+            "(account_id, amount, at, kind, intent_id, transcript)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (account_id, amount, at, kind, intent_id, transcript),
+        )
+
+    # -- the journal -------------------------------------------------------
+
+    def statement(
+        self, account_id: str, *, limit: int | None = None
+    ) -> list[LedgerEntry]:
+        """The account's journal, oldest first (``limit`` keeps the
+        newest N — a statement is read backwards from today)."""
+        if limit is None:
+            rows = self._db.query_all(
+                "SELECT seq, account_id, amount, at, kind, intent_id, transcript"
+                " FROM ledger_entries WHERE account_id = ? ORDER BY seq",
+                (account_id,),
+            )
+        else:
+            rows = self._db.query_all(
+                "SELECT seq, account_id, amount, at, kind, intent_id, transcript"
+                " FROM ledger_entries WHERE account_id = ?"
+                " ORDER BY seq DESC LIMIT ?",
+                (account_id, limit),
+            )
+            rows = list(reversed(rows))
+        return [
+            LedgerEntry(
+                seq=row[0],
+                account_id=row[1],
+                amount=row[2],
+                at=row[3],
+                kind=row[4],
+                intent_id=row[5],
+                transcript=row[6],
+            )
+            for row in rows
+        ]
+
+    def entry_sum(self, account_id: str) -> int:
+        """``SUM(amount)`` over the journal — the auditor's recomputed
+        balance (must equal :meth:`balance` at any commit point)."""
+        return int(
+            self._db.query_value(
+                "SELECT COALESCE(SUM(amount), 0) FROM ledger_entries"
+                " WHERE account_id = ?",
+                (account_id,),
+                default=0,
+            )
+        )
+
+    def entries_for_intent(self, intent_id: bytes) -> list[LedgerEntry]:
+        rows = self._db.query_all(
+            "SELECT seq, account_id, amount, at, kind, intent_id, transcript"
+            " FROM ledger_entries WHERE intent_id = ? ORDER BY seq",
+            (intent_id,),
+        )
+        return [
+            LedgerEntry(
+                seq=row[0],
+                account_id=row[1],
+                amount=row[2],
+                at=row[3],
+                kind=row[4],
+                intent_id=row[5],
+                transcript=row[6],
+            )
+            for row in rows
+        ]
+
+    # -- deposit intents (2PC) ---------------------------------------------
+
+    def create_intent(
+        self,
+        intent_id: bytes,
+        account_id: str,
+        amount: int,
+        *,
+        at: int,
+        payload: bytes,
+    ) -> IntentRecord:
+        """Durably record a pending deposit intent (2PC prepare).
+
+        Idempotent by id: re-creating an existing intent returns the
+        stored record unchanged, so a crashed attempt's retry *adopts*
+        its own prior prepare instead of forking a second record.
+        """
+        with self._db.transaction(immediate=True):
+            existing = self._intent_row(intent_id)
+            if existing is not None:
+                return existing
+            self._db.execute(
+                "INSERT INTO ledger_intents"
+                "(intent_id, account_id, amount, state, created_at,"
+                " updated_at, payload)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (intent_id, account_id, amount, INTENT_PENDING, at, at, payload),
+            )
+            return IntentRecord(
+                intent_id=intent_id,
+                account_id=account_id,
+                amount=amount,
+                state=INTENT_PENDING,
+                created_at=at,
+                updated_at=at,
+                payload=payload,
+            )
+
+    def intent(self, intent_id: bytes) -> IntentRecord | None:
+        return self._intent_row(intent_id)
+
+    def intent_state(self, intent_id: bytes) -> str | None:
+        row = self._db.query_one(
+            "SELECT state FROM ledger_intents WHERE intent_id = ?",
+            (intent_id,),
+        )
+        return None if row is None else str(row[0])
+
+    def commit_intent(
+        self, intent_id: bytes, *, at: int, transcript: bytes = b""
+    ) -> bool:
+        """2PC commit point: flip pending->committed AND credit the
+        account in ONE transaction.  Returns whether this call won the
+        transition (False when the intent is already terminal — a twin
+        attempt of the same payment committed first).
+
+        Atomicity here is the whole design: after this transaction the
+        deposit is credited and every spent coin is attributable to a
+        committed intent; before it, recovery treats the intent as
+        presumed-abort and releases the spends.  There is no state in
+        between.
+        """
+        with self._db.transaction(immediate=True):
+            record = self._intent_row(intent_id)
+            if record is None:
+                raise StoreIntegrityError(
+                    f"commit of unknown intent {intent_id.hex()[:16]}"
+                )
+            if record.state != INTENT_PENDING:
+                return False
+            self._db.execute(
+                "UPDATE ledger_intents SET state = ?, updated_at = ?"
+                " WHERE intent_id = ? AND state = ?",
+                (INTENT_COMMITTED, at, intent_id, INTENT_PENDING),
+            )
+            row = self._balance_row(record.account_id)
+            if row is None:
+                raise StoreIntegrityError(
+                    f"intent {intent_id.hex()[:16]} names unopened account"
+                    f" {record.account_id!r}"
+                )
+            self._db.execute(
+                "UPDATE ledger_accounts SET balance = balance + ?"
+                " WHERE account_id = ?",
+                (record.amount, record.account_id),
+            )
+            self._append_entry(
+                record.account_id,
+                record.amount,
+                at,
+                "deposit",
+                intent_id,
+                transcript,
+            )
+            return True
+
+    def abort_intent(self, intent_id: bytes, *, at: int) -> bool:
+        """Flip pending->aborted (CAS); returns whether this call won.
+        The caller releases the intent's spent coins FIRST — an aborted
+        intent must never still own live spends (the audit flags any
+        such row as a leaked spend)."""
+        with self._db.transaction(immediate=True):
+            cursor = self._db.execute(
+                "UPDATE ledger_intents SET state = ?, updated_at = ?"
+                " WHERE intent_id = ? AND state = ?",
+                (INTENT_ABORTED, at, intent_id, INTENT_PENDING),
+            )
+            return cursor.rowcount > 0
+
+    def intents(self, state: str | None = None) -> list[IntentRecord]:
+        if state is None:
+            rows = self._db.query_all(
+                "SELECT intent_id, account_id, amount, state, created_at,"
+                " updated_at, payload FROM ledger_intents ORDER BY created_at"
+            )
+        else:
+            rows = self._db.query_all(
+                "SELECT intent_id, account_id, amount, state, created_at,"
+                " updated_at, payload FROM ledger_intents"
+                " WHERE state = ? ORDER BY created_at",
+                (state,),
+            )
+        return [self._record_from(row) for row in rows]
+
+    def intent_counts(self) -> dict[str, int]:
+        """Row counts by state — the durable truth the 2PC metrics are
+        refreshed from (rows are never deleted, so every count is
+        monotone except ``pending``, which is reported as a gauge)."""
+        counts = {INTENT_PENDING: 0, INTENT_COMMITTED: 0, INTENT_ABORTED: 0}
+        rows = self._db.query_all(
+            "SELECT state, COUNT(*) FROM ledger_intents GROUP BY state"
+        )
+        for state, count in rows:
+            counts[str(state)] = int(count)
+        return counts
+
+    def _intent_row(self, intent_id: bytes) -> IntentRecord | None:
+        row = self._db.query_one(
+            "SELECT intent_id, account_id, amount, state, created_at,"
+            " updated_at, payload FROM ledger_intents WHERE intent_id = ?",
+            (intent_id,),
+        )
+        return None if row is None else self._record_from(row)
+
+    @staticmethod
+    def _record_from(row: tuple) -> IntentRecord:
+        return IntentRecord(
+            intent_id=row[0],
+            account_id=row[1],
+            amount=row[2],
+            state=row[3],
+            created_at=row[4],
+            updated_at=row[5],
+            payload=row[6],
+        )

@@ -1,0 +1,175 @@
+"""LedgerStore: durable accounts, the journal, and the intent rows."""
+
+import pytest
+
+from repro.errors import PaymentError, StoreIntegrityError
+from repro.storage.engine import Database
+from repro.storage.ledger import (
+    INTENT_ABORTED,
+    INTENT_COMMITTED,
+    INTENT_PENDING,
+    LedgerEntry,
+    LedgerStore,
+)
+
+
+@pytest.fixture()
+def store():
+    return LedgerStore(Database())
+
+
+class TestAccounts:
+    def test_open_and_balance(self, store):
+        store.open_account("alice", at=100, initial_balance=50)
+        assert store.balance("alice") == 50
+        assert store.has_account("alice")
+
+    def test_duplicate_open_refused(self, store):
+        store.open_account("alice", at=100)
+        with pytest.raises(PaymentError, match="exists"):
+            store.open_account("alice", at=200)
+
+    def test_negative_initial_balance_refused(self, store):
+        with pytest.raises(PaymentError):
+            store.open_account("alice", at=100, initial_balance=-1)
+
+    def test_unknown_account_balance_is_none(self, store):
+        assert store.balance("nobody") is None
+        assert not store.has_account("nobody")
+
+    def test_ensure_account_idempotent(self, store):
+        assert store.ensure_account("alice", at=100)
+        assert not store.ensure_account("alice", at=200)
+        assert store.balance("alice") == 0
+
+    def test_ensure_does_not_reset_existing(self, store):
+        store.open_account("alice", at=100, initial_balance=30)
+        store.ensure_account("alice", at=200)
+        assert store.balance("alice") == 30
+
+    def test_accounts_sorted(self, store):
+        for name in ("carol", "alice", "bob"):
+            store.open_account(name, at=100)
+        assert store.accounts() == ["alice", "bob", "carol"]
+
+
+class TestJournal:
+    def test_credit_debit_and_sum(self, store):
+        store.open_account("alice", at=100)
+        assert store.credit("alice", 20, at=110) == 20
+        assert store.debit("alice", 5, at=120) == 15
+        assert store.balance("alice") == 15
+        assert store.entry_sum("alice") == 15
+
+    def test_overdraft_refused_atomically(self, store):
+        store.open_account("alice", at=100, initial_balance=3)
+        with pytest.raises(PaymentError, match="insufficient funds"):
+            store.debit("alice", 4, at=110)
+        assert store.balance("alice") == 3
+        assert store.entry_sum("alice") == 3
+
+    def test_credit_unknown_account_refused(self, store):
+        with pytest.raises(PaymentError, match="no account"):
+            store.credit("nobody", 1, at=100)
+
+    def test_statement_oldest_first_limit_keeps_newest(self, store):
+        store.open_account("alice", at=100)
+        for i in range(5):
+            store.credit("alice", i + 1, at=200 + i)
+        full = store.statement("alice")
+        assert [e.amount for e in full] == [1, 2, 3, 4, 5]
+        tail = store.statement("alice", limit=2)
+        assert [e.amount for e in tail] == [4, 5]
+
+    def test_initial_balance_journaled_as_open(self, store):
+        store.open_account("alice", at=100, initial_balance=7)
+        [entry] = store.statement("alice")
+        assert entry.kind == "open"
+        assert entry.amount == 7
+
+    def test_entry_dict_round_trip(self, store):
+        store.open_account("alice", at=100)
+        store.credit(
+            "alice", 9, at=110, transcript=b"evidence", intent_id=b"i" * 16
+        )
+        [entry] = store.statement("alice")
+        assert LedgerEntry.from_dict(entry.as_dict()) == entry
+
+    def test_restart_survival(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        first = LedgerStore(Database(path))
+        first.open_account("alice", at=100, initial_balance=11)
+        first.credit("alice", 4, at=110)
+        first.database.close()
+        reopened = LedgerStore(Database(path))
+        assert reopened.balance("alice") == 15
+        assert [e.amount for e in reopened.statement("alice")] == [11, 4]
+
+
+class TestIntents:
+    def test_create_is_idempotent_by_id(self, store):
+        store.open_account("alice", at=100)
+        first = store.create_intent(b"i" * 16, "alice", 10, at=100, payload=b"p")
+        again = store.create_intent(b"i" * 16, "alice", 99, at=200, payload=b"q")
+        assert again == first
+        assert again.amount == 10
+        assert store.intent_state(b"i" * 16) == INTENT_PENDING
+
+    def test_commit_credits_and_flips_in_one_step(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"i" * 16, "alice", 10, at=100, payload=b"p")
+        assert store.commit_intent(b"i" * 16, at=110, transcript=b"t")
+        assert store.intent_state(b"i" * 16) == INTENT_COMMITTED
+        assert store.balance("alice") == 10
+        [entry] = store.entries_for_intent(b"i" * 16)
+        assert entry.amount == 10
+        assert entry.kind == "deposit"
+
+    def test_commit_loses_to_terminal_state(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"i" * 16, "alice", 10, at=100, payload=b"p")
+        assert store.commit_intent(b"i" * 16, at=110)
+        # The twin attempt must NOT double-credit.
+        assert not store.commit_intent(b"i" * 16, at=120)
+        assert store.balance("alice") == 10
+        assert len(store.entries_for_intent(b"i" * 16)) == 1
+
+    def test_abort_then_commit_refused(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"i" * 16, "alice", 10, at=100, payload=b"p")
+        assert store.abort_intent(b"i" * 16, at=110)
+        assert not store.commit_intent(b"i" * 16, at=120)
+        assert store.balance("alice") == 0
+        assert store.intent_state(b"i" * 16) == INTENT_ABORTED
+
+    def test_abort_is_idempotent(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"i" * 16, "alice", 10, at=100, payload=b"p")
+        assert store.abort_intent(b"i" * 16, at=110)
+        assert not store.abort_intent(b"i" * 16, at=120)
+
+    def test_commit_unknown_intent_is_integrity_error(self, store):
+        with pytest.raises(StoreIntegrityError):
+            store.commit_intent(b"?" * 16, at=100)
+
+    def test_intent_counts(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"a" * 16, "alice", 1, at=100, payload=b"")
+        store.create_intent(b"b" * 16, "alice", 2, at=100, payload=b"")
+        store.create_intent(b"c" * 16, "alice", 3, at=100, payload=b"")
+        store.commit_intent(b"a" * 16, at=110)
+        store.abort_intent(b"b" * 16, at=110)
+        assert store.intent_counts() == {
+            INTENT_PENDING: 1,
+            INTENT_COMMITTED: 1,
+            INTENT_ABORTED: 1,
+        }
+
+    def test_intents_filter_by_state(self, store):
+        store.open_account("alice", at=100)
+        store.create_intent(b"a" * 16, "alice", 1, at=100, payload=b"")
+        store.create_intent(b"b" * 16, "alice", 2, at=101, payload=b"")
+        store.commit_intent(b"a" * 16, at=110)
+        [pending] = store.intents(INTENT_PENDING)
+        assert pending.intent_id == b"b" * 16
+        assert len(store.intents()) == 2

@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Offline ledger integrity scan over a service shard directory.
+
+Run with the worker pool **stopped** — the scan reads every shard file
+directly and cross-checks the three durable artefacts a deposit
+leaves behind (coin spend rows, intent rows, ledger entries) against
+the 2PC invariants:
+
+1. **balance drift** — every account's stored balance must equal the
+   sum of its journal entries;
+2. **lost credit** — a committed intent must have exactly one ledger
+   entry crediting it (the commit transaction writes both rows
+   atomically, so zero means a torn store);
+3. **double credit** — more than one entry for one intent id;
+4. **committed amount mismatch** — a committed intent's recorded
+   amount must equal both its credit entry and the sum of the coin
+   values in its payload;
+5. **leaked aborted spend** — a coin spend row attributed to an
+   aborted intent (abort releases its spends; a leftover row would
+   refuse an honest respend);
+6. **stuck pending intent** — with the pool stopped, any pending
+   intent is a crash leftover.  ``--repair`` resolves these the same
+   way gateway startup does (presumed-abort: release the intent's own
+   spends, mark it aborted);
+7. **unaccounted spend** — a coin spend row naming an intent id that
+   no shard knows.
+
+Exit status 0 when clean (after repairs, if requested); 1 with one
+line per problem otherwise.  ``--json`` emits the machine-readable
+report the CI service lane archives.  ``--selfcheck`` stages a broken
+in-memory ledger and asserts the scan catches every class above — the
+CI proof that a green audit means something.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.ledger import (  # noqa: E402
+    ShardedLedger,
+    decode_intent_payload,
+    recover_intents,
+    spend_transcript_fields,
+)
+from repro.service.sharding import ShardedSpentTokenStore, ShardSet  # noqa: E402
+from repro.storage.ledger import (  # noqa: E402
+    INTENT_ABORTED,
+    INTENT_COMMITTED,
+    INTENT_PENDING,
+)
+
+#: Wide-open spent_at window: sim clocks are arbitrary ints.
+_ALL_TIME = (-(2**62), 2**62)
+
+COIN_KIND = "ecash"
+
+
+def shard_paths(directory: str) -> list[str]:
+    paths = sorted(glob.glob(os.path.join(directory, "shard-*.sqlite")))
+    if not paths:
+        raise SystemExit(f"ledger_audit: no shard-*.sqlite files in {directory!r}")
+    return paths
+
+
+def audit(shards: ShardSet) -> dict:
+    """The full scan; returns ``{"problems": [...], "stats": {...}}``."""
+    ledger = ShardedLedger(shards)
+    spent = ShardedSpentTokenStore(shards, COIN_KIND)
+    problems: list[str] = []
+
+    # -- per-account balance vs journal ---------------------------------
+    accounts = ledger.accounts()
+    for account in accounts:
+        balance = ledger.store_for(account).balance(account)
+        entry_sum = ledger.entry_sum(account)
+        if balance != entry_sum:
+            problems.append(
+                f"balance drift: account {account!r} balance {balance}"
+                f" != journal sum {entry_sum}"
+            )
+
+    # -- intent/entry cross-check ---------------------------------------
+    intents = ledger.intents()
+    by_id = {record.intent_id: record for record in intents}
+    state_counts = ledger.intent_counts()
+    for record in intents:
+        hexid = record.intent_id.hex()[:16]
+        entries = ledger.store_for(record.account_id).entries_for_intent(
+            record.intent_id
+        )
+        if record.state == INTENT_COMMITTED:
+            if not entries:
+                problems.append(
+                    f"lost credit: committed intent {hexid} has no ledger entry"
+                )
+            elif len(entries) > 1:
+                problems.append(
+                    f"double credit: intent {hexid} has {len(entries)} entries"
+                )
+            else:
+                credited = entries[0].amount
+                if credited != record.amount:
+                    problems.append(
+                        f"amount mismatch: intent {hexid} recorded"
+                        f" {record.amount}, credited {credited}"
+                    )
+            try:
+                payload_sum = sum(
+                    value for _t, value in decode_intent_payload(record.payload)
+                )
+            except Exception:
+                payload_sum = None
+            if payload_sum is not None and payload_sum != record.amount:
+                problems.append(
+                    f"amount mismatch: intent {hexid} payload sums to"
+                    f" {payload_sum}, recorded {record.amount}"
+                )
+        else:
+            if entries:
+                problems.append(
+                    f"phantom credit: {record.state} intent {hexid} has"
+                    f" {len(entries)} ledger entries"
+                )
+            if record.state == INTENT_PENDING:
+                problems.append(
+                    f"stuck pending intent {hexid}"
+                    f" (account {record.account_id!r}, amount {record.amount})"
+                )
+
+    # -- spend rows vs their owning intents -----------------------------
+    spends = 0
+    for store in spent._stores:  # noqa: SLF001 - offline scan reads all shards
+        for record in store.spent_between(*_ALL_TIME):
+            spends += 1
+            fields = spend_transcript_fields(record.transcript)
+            if fields is None or "intent" not in fields:
+                continue  # pre-intent legacy row: settled by definition
+            intent_id = bytes(fields["intent"])
+            owner = by_id.get(intent_id)
+            if owner is None:
+                problems.append(
+                    "unaccounted spend: token"
+                    f" {record.token_id.hex()[:16]} names unknown intent"
+                    f" {intent_id.hex()[:16]}"
+                )
+            elif owner.state == INTENT_ABORTED:
+                problems.append(
+                    "leaked aborted spend: token"
+                    f" {record.token_id.hex()[:16]} still spent under aborted"
+                    f" intent {intent_id.hex()[:16]}"
+                )
+
+    return {
+        "problems": problems,
+        "stats": {
+            "shards": len(shards),
+            "accounts": len(accounts),
+            "total_balance": ledger.total_balance(),
+            "intents": state_counts,
+            "coin_spends": spends,
+        },
+    }
+
+
+def repair(shards: ShardSet) -> dict:
+    """Offline presumed-abort: what gateway startup recovery would do."""
+    ledger = ShardedLedger(shards)
+    spent = ShardedSpentTokenStore(shards, COIN_KIND)
+    at = max(
+        [record.updated_at for record in ledger.intents()] + [0]
+    )
+    return recover_intents(ledger, spent, at=at)
+
+
+def selfcheck() -> int:
+    """Stage every problem class in-memory; the scan must catch each."""
+    from repro import codec
+    from repro.service.ledger import intent_payload
+
+    shards = ShardSet.in_memory(2)
+    ledger = ShardedLedger(shards)
+    spent = ShardedSpentTokenStore(shards, COIN_KIND)
+
+    # A healthy account first: open, credit under a committed intent.
+    good = "alice"
+    ledger.open_account(good, at=1)
+    store = ledger.store_for(good)
+    intent_ok = b"I" * 16
+    store.create_intent(
+        intent_ok, good, 5, at=2, payload=intent_payload([(b"t1", 5)])
+    )
+    spent.try_spend(
+        b"t1",
+        at=2,
+        transcript=codec.encode(
+            {"depositor": good, "at": 2, "value": 5, "intent": intent_ok}
+        ),
+    )
+    store.commit_intent(intent_ok, at=3, transcript=b"")
+    clean = audit(shards)
+    if clean["problems"]:
+        print("selfcheck: clean ledger reported problems:")
+        for problem in clean["problems"]:
+            print(f"  {problem}")
+        return 1
+
+    # Now break it, one invariant per staged fault.
+    bob = "bob"
+    ledger.open_account(bob, at=4)
+    bob_store = ledger.store_for(bob)
+    # stuck pending intent + leaked aborted spend + unaccounted spend
+    pending = b"P" * 16
+    bob_store.create_intent(
+        pending, bob, 3, at=5, payload=intent_payload([(b"t2", 3)])
+    )
+    aborted = b"A" * 16
+    bob_store.create_intent(
+        aborted, bob, 2, at=5, payload=intent_payload([(b"t3", 2)])
+    )
+    bob_store.abort_intent(aborted, at=6)
+    spent.try_spend(
+        b"t3",
+        at=5,
+        transcript=codec.encode(
+            {"depositor": bob, "at": 5, "value": 2, "intent": aborted}
+        ),
+    )
+    spent.try_spend(
+        b"t4",
+        at=5,
+        transcript=codec.encode(
+            {"depositor": bob, "at": 5, "value": 1, "intent": b"X" * 16}
+        ),
+    )
+    # balance drift: poke the stored balance directly
+    bob_store.database.execute(
+        "UPDATE ledger_accounts SET balance = balance + 7"
+        " WHERE account_id = ?",
+        (bob,),
+    )
+    report = audit(shards)
+    expected = (
+        "balance drift",
+        "stuck pending intent",
+        "leaked aborted spend",
+        "unaccounted spend",
+    )
+    missed = [
+        label
+        for label in expected
+        if not any(problem.startswith(label) for problem in report["problems"])
+    ]
+    if missed:
+        print(f"selfcheck: scan missed staged faults: {missed}")
+        for problem in report["problems"]:
+            print(f"  found: {problem}")
+        return 1
+
+    # --repair must clear the pending intent and release its spends...
+    spent.try_spend(
+        b"t2",
+        at=5,
+        transcript=codec.encode(
+            {"depositor": bob, "at": 5, "value": 3, "intent": pending}
+        ),
+    )
+    summary = repair(shards)
+    if summary != {"aborted": 1, "released": 1}:
+        print(f"selfcheck: repair did {summary}, wanted 1 abort / 1 release")
+        return 1
+    after = audit(shards)
+    if any(p.startswith("stuck pending intent") for p in after["problems"]):
+        print("selfcheck: pending intent survived --repair")
+        return 1
+    print("selfcheck ok: staged faults caught, repair resolves pending intents")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        help="service shard directory (containing shard-*.sqlite)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="presumed-abort pending intents before scanning"
+        " (pool MUST be stopped)",
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="verify the scan catches staged faults (no directory needed)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selfcheck:
+        return selfcheck()
+    if not args.directory:
+        parser.error("a shard directory is required (or --selfcheck)")
+
+    shards = ShardSet(shard_paths(args.directory))
+    try:
+        repaired = repair(shards) if args.repair else None
+        report = audit(shards)
+    finally:
+        shards.close()
+    if repaired is not None:
+        report["repaired"] = repaired
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for problem in report["problems"]:
+            print(f"PROBLEM: {problem}")
+        stats = report["stats"]
+        print(
+            f"scanned {stats['shards']} shards, {stats['accounts']} accounts,"
+            f" {stats['coin_spends']} coin spends; intents {stats['intents']};"
+            f" total balance {stats['total_balance']}"
+        )
+        if repaired is not None:
+            print(
+                f"repair: aborted {repaired['aborted']} pending intents,"
+                f" released {repaired['released']} spends"
+            )
+        print("ledger audit:", "CLEAN" if not report["problems"] else "DIRTY")
+    return 1 if report["problems"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
