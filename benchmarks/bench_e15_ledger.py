@@ -148,7 +148,9 @@ class TestLedger:
         directory = tempfile.mkdtemp(prefix="p2drm-e15-tcp-")
         gateway = build_gateway(tcp_side, directory, workers=2, shards=4)
         try:
-            with NetServer(gateway) as server:
+            # This arm IS the trusted-client case the withdraw opt-in
+            # exists for (the TCP surface is deposit-only by default).
+            with NetServer(gateway, allow_withdraw=True) as server:
                 with NetClient(server.address) as client:
                     start = time.perf_counter()
                     for index in range(N_PAYMENTS):

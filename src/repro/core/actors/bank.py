@@ -210,7 +210,17 @@ class Bank:
                 transcript = codec.encode(
                     {"depositor": account_id, "at": now, "value": coin.value}
                 )
-                self._spent.try_spend(token, at=now, transcript=transcript)
+                # The is_spent pre-screen above ran outside this
+                # transaction: over a shared file-backed Database
+                # another process can spend a coin in the gap, and
+                # silently skipping the conflict here would credit an
+                # already-spent coin.  The raise rolls the whole batch
+                # back — same contract as the single-coin path.
+                previous = self._spent.try_spend(
+                    token, at=now, transcript=transcript
+                )
+                if previous is not None:
+                    raise DoubleSpendError(coin.serial)
             self._ledger.credit(
                 account_id,
                 sum(coin.value for coin in coins),

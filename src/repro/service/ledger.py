@@ -36,6 +36,18 @@ finding a coin spent under another payment's *pending* intent no
 longer refuses the deposit outright — the sequencer waits (bounded)
 for the owner to commit or abort, then either inherits the released
 coin or reports a truthful double spend against a committed owner.
+An owner still pending when the wait budget runs out gets a
+*retryable* :class:`~repro.errors.ServiceError`, never a double-spend
+verdict: a stuck peer is infrastructure trouble, not evidence of
+misuse by the waiting payer.
+
+Every compensating release is a compare-and-delete against the spend
+record the releaser actually observed
+(:meth:`~repro.storage.spent_tokens.SpentTokenStore.unspend_if`): two
+workers that both read the same stale spend cannot both release it,
+so a released-and-immediately-respent coin can never have its *fresh*
+spend erased by the second releaser — "a credited spend is permanent"
+survives concurrent self-healing.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ import os
 import time
 
 from .. import codec
-from ..errors import DoubleSpendError, PaymentError
+from ..errors import DoubleSpendError, PaymentError, ServiceError
 from ..storage.ledger import (
     INTENT_ABORTED,
     INTENT_COMMITTED,
@@ -66,7 +78,9 @@ __all__ = [
 #: intent before giving up.  In-flight owners resolve in milliseconds;
 #: an owner that stays pending this long is crashed or stuck (the
 #: ``LedgerIntentStuck`` alert's territory), and the waiting payment is
-#: refused with the same verdict the pre-sequencer desk gave.
+#: refused with a retryable :class:`~repro.errors.ServiceError` — the
+#: coins stay the payer's to present again once the stuck owner is
+#: recovered.
 DEFAULT_WAIT_BUDGET = 2.0
 _POLL_INTERVAL = 0.01
 
@@ -246,6 +260,11 @@ class DepositSequencer:
         genuinely owned by a committed deposit (including a replay of
         this same payment), with this payment's own spends released and
         its intent aborted — a refused deposit costs the payer nothing.
+        Raises a retryable :class:`~repro.errors.ServiceError` when a
+        coin is held by a pending intent that never resolves within the
+        wait budget, or when this payment's own intent is aborted out
+        from under it (an operator repair racing a live pool) — in both
+        cases, again, with this payment's spends released.
         """
         coins = list(coins)
         now = self._clock.now()
@@ -270,7 +289,7 @@ class DepositSequencer:
             intent_id, account_id, amount, at=now, payload=intent_payload(pairs)
         )
 
-        spent_here: list[bytes] = []
+        spent_here: list[tuple[bytes, bytes]] = []
         for token, coin in ordered:
             transcript = codec.encode(
                 {
@@ -283,9 +302,25 @@ class DepositSequencer:
             self._spend_one(
                 token, coin, intent_id, account_id, now, transcript, spent_here
             )
-        self._ledger.store_for(account_id).commit_intent(
+        if not self._ledger.store_for(account_id).commit_intent(
             intent_id, at=now, transcript=intent_payload(pairs)
-        )
+        ):
+            # The intent left pending state under us — only an operator
+            # repair or a recovery run racing the live pool does that
+            # (intent ids are private to this call, so no twin attempt
+            # exists).  Whatever aborted it has released (or will
+            # release) the spends; finish our own share and refuse
+            # retryably.  Never report success: no balance changed, and
+            # returning `amount` here would be a phantom credit.
+            state = self._ledger.intent_state(account_id, intent_id)
+            if state != INTENT_COMMITTED:
+                self._release(spent_here)
+                raise ServiceError(
+                    f"deposit intent {intent_id.hex()[:16]} was"
+                    f" {state or 'removed'} before its commit point"
+                    " (recovery or repair ran against the live pool);"
+                    " no credit happened — retry the deposit"
+                )
         return amount
 
     # -- the spend loop ----------------------------------------------------
@@ -294,13 +329,13 @@ class DepositSequencer:
         self, token, coin, intent_id, account_id, now, transcript, spent_here
     ) -> None:
         """Spend one coin under the intent, waiting out transient
-        owners; appends to ``spent_here`` on success or aborts the
-        whole payment on a genuine conflict."""
+        owners; appends ``(token, transcript)`` to ``spent_here`` on
+        success or aborts the whole payment on a genuine conflict."""
         deadline = time.monotonic() + self._wait_budget
         while True:
             previous = self._spent.try_spend(token, at=now, transcript=transcript)
             if previous is None:
-                spent_here.append(token)
+                spent_here.append((token, transcript))
                 return
             fields = spend_transcript_fields(previous.transcript)
             owner = None if fields is None else fields.get("intent")
@@ -313,10 +348,14 @@ class DepositSequencer:
                 # The owner aborted but its release of this coin failed
                 # (a busy shard mid-compensation).  An aborted intent
                 # can never commit, so the spend is inert — finish the
-                # release on its behalf and retry.  This self-heals the
-                # "unreleased coin" leak the per-worker desk could only
-                # document.
-                self._spent.unspend(token)
+                # release on its behalf and retry.  The release is a
+                # compare-and-delete against the exact record observed:
+                # another payment racing this same self-heal may already
+                # have released AND respent the coin, and deleting by
+                # token alone would erase that winner's fresh — possibly
+                # committed — spend (a coin credited twice).  Losing the
+                # CAS just means the next try_spend reads the new owner.
+                self._spent.unspend_if(token, previous.transcript)
                 continue
             if owner_state == INTENT_PENDING:
                 # The documented race: an in-flight payment transiently
@@ -326,9 +365,23 @@ class DepositSequencer:
                 if time.monotonic() < deadline:
                     time.sleep(_POLL_INTERVAL)
                     continue
-            # Committed, unattributable, or stuck past the budget: a
-            # truthful double spend.  Release what this payment spent
-            # and abort its intent before surfacing the verdict.
+                # Still pending past the budget: the owner is stuck or
+                # crashed, which is *infrastructure* trouble.  Refuse
+                # retryably — a double-spend verdict here would brand an
+                # honest payer with a misuse finding over a peer's
+                # crash.  Once recovery aborts the stuck owner, the
+                # retry inherits the coin cleanly.
+                self._abort(intent_id, account_id, now, spent_here)
+                raise ServiceError(
+                    f"coin {coin.serial.hex()[:16]} is held by deposit"
+                    f" intent {owner.hex()[:16] if isinstance(owner, bytes) else '?'}"
+                    " that did not resolve within"
+                    f" {self._wait_budget:g}s; no verdict on the coin —"
+                    " retry after the stuck deposit is recovered"
+                )
+            # Committed or unattributable: a truthful double spend.
+            # Release what this payment spent and abort its intent
+            # before surfacing the verdict.
             self._abort(intent_id, account_id, now, spent_here)
             raise DoubleSpendError(coin.serial)
 
@@ -343,16 +396,23 @@ class DepositSequencer:
             return INTENT_COMMITTED
         return self._ledger.intent_state(depositor, bytes(owner))
 
-    def _abort(self, intent_id, account_id, now, spent_here) -> None:
-        for token in spent_here:
+    def _release(self, spent_here) -> None:
+        """Release this payment's own spends — conditional on each
+        record still being the one this payment wrote (another process
+        may have legitimately released-and-respent a coin after our
+        intent went terminal)."""
+        for token, transcript in spent_here:
             try:
-                self._spent.unspend(token)
+                self._spent.unspend_if(token, transcript)
             except Exception:
-                # A busy shard must not mask the double-spend verdict or
+                # A busy shard must not mask the refusal verdict or
                 # stop the remaining releases; the coin's spend still
                 # names this (now aborted) intent, so any later payment
                 # — or recovery, or the audit — can release it safely.
                 pass
+
+    def _abort(self, intent_id, account_id, now, spent_here) -> None:
+        self._release(spent_here)
         self._ledger.store_for(account_id).abort_intent(intent_id, at=now)
 
 
@@ -379,7 +439,11 @@ def recover_intents(
             fields = spend_transcript_fields(spend.transcript)
             if fields is None or fields.get("intent") != record.intent_id:
                 continue  # owned by someone else; not ours to touch
-            if spent.unspend(token):
+            # CAS on the observed record: recovery runs exclusively by
+            # contract, but if that contract is ever broken a racing
+            # payment's fresh re-spend must not be deleted by token
+            # alone.
+            if spent.unspend_if(token, spend.transcript):
                 released += 1
         if ledger.store_for(record.account_id).abort_intent(
             record.intent_id, at=at

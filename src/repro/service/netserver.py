@@ -30,6 +30,13 @@ Errors cross with full fidelity via the wire error marshalling, so a
 remote client sees the same typed exceptions an in-process caller
 does.
 
+Trust boundary: the TCP surface is **deposit-only by default**.  The
+``withdraw`` wire kind debits a named account with no credential
+beyond the name, which is the in-process bank's library-level trust
+model — fine inside one process, remotely drainable balances on an
+open socket.  ``NetServer(allow_withdraw=True)`` opts a deployment in
+when every client is trusted.
+
 :class:`NetClient` is the blocking counterpart: it speaks the framing
 protocol over one TCP connection, pipelines freely (requests correlate
 by id, so batch submits don't wait turn-by-turn), and exposes the same
@@ -193,12 +200,22 @@ class NetServer(Listener):
         max_payload: int = MAX_FRAME_PAYLOAD,
         max_server_inflight: int | None = None,
         metrics_port: int | None = None,
+        allow_withdraw: bool = False,
     ):
         if max_inflight < 1:
             raise ServiceError("need max_inflight >= 1")
         if max_server_inflight is not None and max_server_inflight < 1:
             raise ServiceError("need max_server_inflight >= 1 (or None)")
         self._gateway = gateway
+        #: The TCP surface is deposit-only by default.  Withdrawals
+        #: debit a *named* account on nothing but the account name —
+        #: the in-process bank's library-level trust model — so serving
+        #: them to arbitrary network clients would make every balance
+        #: (the provider's revenue account in the hello reply included)
+        #: remotely drainable.  ``allow_withdraw=True`` opts in for
+        #: deployments whose clients are trusted (a benchmark arm, a
+        #: private network); the queue transport is unaffected.
+        self._allow_withdraw = allow_withdraw
         self._host = host
         self._port = port
         self._max_inflight = max_inflight
@@ -567,6 +584,20 @@ class NetServer(Listener):
             envelope = frame.payload
             if frame.type == FRAME_REQUEST_PINNED:
                 worker, envelope = decode_pinned(envelope)
+            if (
+                not self._allow_withdraw
+                and _peek_kind(envelope) == wire.KIND_WITHDRAW
+            ):
+                # Unauthenticated network clients must not reach the
+                # mint: see the allow_withdraw note in __init__.
+                return wire.encode_response(
+                    ServiceError(
+                        "this server is deposit-only: network"
+                        " withdrawals are disabled (the operator must"
+                        " start NetServer(allow_withdraw=True) to serve"
+                        " the mint, and only to trusted clients)"
+                    )
+                )
             ticket = pool.submit_encoded(envelope, worker=worker)
             [raw] = pool.gather_raw([ticket])
             return raw

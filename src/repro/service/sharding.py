@@ -152,6 +152,9 @@ class ShardedSpentTokenStore:
     def unspend(self, token_id: bytes) -> bool:
         return self._store_for(token_id).unspend(token_id)
 
+    def unspend_if(self, token_id: bytes, transcript: bytes) -> bool:
+        return self._store_for(token_id).unspend_if(token_id, transcript)
+
     def count(self) -> int:
         return sum(store.count() for store in self._stores)
 

@@ -321,7 +321,9 @@ class ShardedDepositDesk:
         genuinely owned by a committed deposit — with this payment's
         own spends released and its intent aborted, so a refused
         deposit costs the payer nothing.  A coin transiently held by
-        another payment's *pending* intent is waited out, not refused
+        another payment's *pending* intent is waited out, not refused;
+        an owner stuck past the wait budget surfaces as a retryable
+        :class:`~repro.errors.ServiceError`, never a misuse verdict
         (see :class:`~repro.service.ledger.DepositSequencer`).
         """
         coins = list(coins)

@@ -142,10 +142,32 @@ class SpentTokenStore:
         are released here so the payer can respend them.  Returns
         whether a record was removed.  Nothing else may call this: a
         *credited* spend is permanent by design.
+
+        Callers releasing a spend they merely *observed* (rather than
+        wrote themselves) must use :meth:`unspend_if` — an unconditional
+        delete races a concurrent re-spend and can erase another
+        payment's fresh record.
         """
         with self._db.transaction(immediate=True):
             cursor = self._db.execute(
                 "DELETE FROM spent_tokens WHERE kind = ? AND token_id = ?",
                 (self._kind, token_id),
+            )
+            return cursor.rowcount > 0
+
+    def unspend_if(self, token_id: bytes, transcript: bytes) -> bool:
+        """Release a spend only if it still carries ``transcript``.
+
+        The compare-and-delete shares one immediate transaction, so two
+        processes that both read the same stale record (a spend owned by
+        an aborted intent, say) cannot both release it: the first delete
+        wins, the second sees the winner's *fresh* transcript and leaves
+        it alone.  Returns whether a record was removed.
+        """
+        with self._db.transaction(immediate=True):
+            cursor = self._db.execute(
+                "DELETE FROM spent_tokens"
+                " WHERE kind = ? AND token_id = ? AND transcript = ?",
+                (self._kind, token_id, transcript),
             )
             return cursor.rowcount > 0

@@ -105,6 +105,39 @@ class TestDeposits:
             bank.deposit("merchant", coin)
         assert err.value.coin_id == coin.serial
 
+    def test_batch_detects_spend_landing_after_prescreen(self, bank, user):
+        """The is_spent pre-screen runs outside the write transaction;
+        a coin spent in the gap (another process on a shared file) must
+        still be refused by the in-transaction try_spend check — and the
+        refusal must roll back the whole batch, crediting nothing."""
+        coins = withdraw_coins(user, bank, 6)  # a 5 and a 1
+        before = bank.balance("merchant")
+        screened = bank._spent.is_spent
+        staged = {"done": False}
+
+        def racing_is_spent(token):
+            # Models the cross-process race: the screen sees every coin
+            # unspent, but a rival's spend lands before our BEGIN.
+            if not staged["done"]:
+                staged["done"] = True
+                bank._spent.try_spend(
+                    coins[-1].spent_token(), at=0, transcript=b"rival-process"
+                )
+            return False
+
+        bank._spent.is_spent = racing_is_spent
+        try:
+            with pytest.raises(DoubleSpendError) as err:
+                bank.deposit_batch("merchant", coins)
+        finally:
+            bank._spent.is_spent = screened
+        assert err.value.coin_id == coins[-1].serial
+        assert bank.balance("merchant") == before  # nothing credited
+        # The batch's other coin was rolled back too: respendable.
+        assert not bank.is_spent(coins[0])
+        # The rival's spend record survives as the double-spend evidence.
+        assert bank.is_spent(coins[-1])
+
     def test_forged_coin_rejected(self, bank, rng):
         forged = Coin(serial=rng.random_bytes(16), value=1, signature=b"\x01" * 64)
         with pytest.raises(InvalidSignature):

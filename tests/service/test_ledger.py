@@ -11,7 +11,7 @@ from repro.clock import SimClock
 from repro.core.messages import Coin
 from repro.core.protocols.payment import withdraw_coins
 from repro.core.system import build_deployment
-from repro.errors import DoubleSpendError, PaymentError
+from repro.errors import DoubleSpendError, PaymentError, ServiceError
 from repro.service.gateway import build_gateway
 from repro.service.ledger import (
     DepositSequencer,
@@ -204,7 +204,9 @@ class TestDepositSequencer:
         assert polls["n"] >= 3  # it actually waited through the race
         assert ledger.balance("merchant") == 5
 
-    def test_owner_stuck_past_budget_is_refused(self, sequencer, ledger, spent):
+    def test_owner_stuck_past_budget_is_retryable_not_misuse(
+        self, sequencer, ledger, spent
+    ):
         c = coin(b"s1", 5)
         ledger.ensure_account("other", at=1)
         foreign = b"F" * 16
@@ -219,10 +221,72 @@ class TestDepositSequencer:
                 {"depositor": "other", "at": 1, "value": 5, "intent": foreign}
             ),
         )
-        with pytest.raises(DoubleSpendError):
-            sequencer.deposit("merchant", [c])  # 0.25s budget, never resolves
+        # 0.25s budget, never resolves: an honest payer racing a stuck
+        # peer gets infrastructure trouble, NOT a misuse verdict.
+        with pytest.raises(ServiceError, match="did not resolve") as excinfo:
+            sequencer.deposit("merchant", [c])
+        assert not isinstance(excinfo.value, DoubleSpendError)
         # The refused payment left nothing pending of its own.
         assert ledger.intent_counts()[INTENT_PENDING] == 1  # the stuck owner
+        # Once recovery aborts the stuck owner, the retry goes through.
+        recover_intents(ledger, spent, at=2)
+        assert sequencer.deposit("merchant", [c]) == 5
+
+    def test_commit_denied_refuses_instead_of_phantom_credit(
+        self, ledger, spent
+    ):
+        """An operator repair (or a recovery run breaking the pool-
+        stopped contract) aborts the intent between spend and commit:
+        the deposit must surface a retryable failure, never report the
+        amount as credited."""
+        intent_id = b"A" * 16
+
+        class AbortingSpent:
+            def __getattr__(self, name):
+                return getattr(spent, name)
+
+            def try_spend(self, token, *, at, transcript=b""):
+                result = spent.try_spend(token, at=at, transcript=transcript)
+                ledger.store_for("merchant").abort_intent(intent_id, at=at)
+                return result
+
+        sequencer = DepositSequencer(
+            ledger=ledger,
+            spent=AbortingSpent(),
+            clock=SimClock(1_000),
+            intent_ids=lambda: intent_id,
+        )
+        c = coin(b"s1", 5)
+        with pytest.raises(ServiceError, match="before its commit point"):
+            sequencer.deposit("merchant", [c])
+        assert ledger.balance("merchant") == 0
+        # The payment's own spends were released on the way out.
+        assert not spent.is_spent(c.spent_token())
+
+    def test_self_heal_release_is_cas_on_observed_record(self, ledger, spent):
+        """Two payments both observe a spend owned by an aborted intent;
+        the slower one's release must not delete the faster one's fresh
+        (already committed) re-spend."""
+        c = coin(b"s1", 5)
+        stale_transcript = codec.encode(
+            {"depositor": "other", "at": 1, "value": 5, "intent": b"F" * 16}
+        )
+        ledger.ensure_account("other", at=1)
+        ledger.store_for("other").create_intent(
+            b"F" * 16, "other", 5, at=1,
+            payload=intent_payload([(c.spent_token(), 5)]),
+        )
+        spent.try_spend(c.spent_token(), at=1, transcript=stale_transcript)
+        ledger.store_for("other").abort_intent(b"F" * 16, at=2)
+        # The fast payment self-heals and commits.
+        fast = DepositSequencer(ledger=ledger, spent=spent, clock=SimClock(1_000))
+        assert fast.deposit("merchant", [c]) == 5
+        # The slow payment acts on its STALE read of the spend record:
+        # the conditional release must refuse (record changed), leaving
+        # the winner's spend — and its credit — intact.
+        assert spent.unspend_if(c.spent_token(), stale_transcript) is False
+        assert spent.is_spent(c.spent_token())
+        assert ledger.balance("merchant") == 5
 
     def test_committed_owner_is_truthful_double_spend(
         self, sequencer, ledger
@@ -364,7 +428,7 @@ class TestBankSurfaceEndToEnd:
         d, gateway = bank_gateway
         user = d.add_user("tcp-bank-user", balance=1_000)
         gateway.open_account(user.bank_account, initial_balance=300)
-        with NetServer(gateway) as server:
+        with NetServer(gateway, allow_withdraw=True) as server:
             with NetClient(server.address) as client:
                 assert client.bank_account == gateway.bank_account
                 assert client.denominations == gateway.denominations
@@ -389,6 +453,22 @@ class TestBankSurfaceEndToEnd:
                 )
                 with pytest.raises(PaymentError, match="no account"):
                     client.balance("nobody")
+
+    def test_tcp_surface_is_deposit_only_by_default(self, bank_gateway):
+        """Without the explicit opt-in, a network client must not be
+        able to debit a named account — the mint stays off the open
+        socket (the queue/in-process surface is unaffected)."""
+        d, gateway = bank_gateway
+        user = d.add_user("deposit-only-user", balance=1_000)
+        gateway.open_account(user.bank_account, initial_balance=100)
+        with NetServer(gateway) as server:
+            with NetClient(server.address) as client:
+                with pytest.raises(ServiceError, match="deposit-only"):
+                    withdraw_coins(user, client, 26)
+                # Nothing was debited: the request never reached a desk.
+                assert gateway.balance(user.bank_account) == 100
+                # Deposits and the read surface still work as before.
+                assert client.balance(user.bank_account) == 100
 
     def test_ledger_metrics_refresh(self, bank_gateway):
         d, gateway = bank_gateway

@@ -103,6 +103,21 @@ class TestShardedSpentTokenStore:
             assert store.is_spent(b)
             assert store.unspend(a) is False  # already released
 
+    def test_unspend_if_is_cas_on_the_observed_transcript(self):
+        with ShardSet.in_memory(4) as shards:
+            store = ShardedSpentTokenStore(shards, "ecash")
+            token = b"coin-a"
+            store.try_spend(token, at=1, transcript=b"stale-owner")
+            # Releaser A observed the stale record and wins the CAS.
+            assert store.unspend_if(token, b"stale-owner") is True
+            # The coin is immediately respent by a fresh payment.
+            assert store.try_spend(token, at=2, transcript=b"fresh") is None
+            # Releaser B acted on the SAME stale read: its delete must
+            # not touch the fresh record.
+            assert store.unspend_if(token, b"stale-owner") is False
+            record = store.record_for(token)
+            assert record is not None and record.transcript == b"fresh"
+
 
 class TestShardedRevocationList:
     def test_revocation_routing_and_subset(self):
