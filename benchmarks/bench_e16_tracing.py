@@ -1,0 +1,131 @@
+"""E16 — tracing overhead: the span recorder's price at the median.
+
+The same prepared workload (individual sells plus one multi-coin
+deposit, the 2PC-heavy path) runs against two otherwise identical
+gateways: tracing off, and tracing on at the production threshold
+(nothing kept — the always-on recording cost is what we meter, not
+the keep path).  Every protocol output must stay byte-identical
+across the arms — the tracing switch may never reach the bytes — and
+the on-arm's p50 must stay within budget of the off-arm's.
+
+The roadmap budget is **< 3% p50 overhead**; the asserted ceiling here
+is deliberately looser (shared CI runners jitter far more than 3% on
+millisecond medians), so the hard gate catches "tracing made requests
+half again slower" regressions while the recorded ``p50_overhead``
+column tracks the real number run to run.  Timings are advisory in
+the regression lane; the rows' presence is enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro import codec
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.system import build_deployment
+from repro.crypto.backend import backend_name
+from repro.service import tracing
+from repro.service.gateway import build_gateway
+
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
+
+N_REQUESTS = 12 if BENCH_SMOKE else 64
+N_WARMUP = 2 if BENCH_SMOKE else 8
+DEPOSIT_COINS = 4 if BENCH_SMOKE else 12
+RSA_BITS = 512 if BENCH_SMOKE else 1024
+#: Hard ceiling on p50(on)/p50(off).  The documented target is 1.03;
+#: this gate only fails on order-of-magnitude regressions that no
+#: amount of runner noise explains.
+OVERHEAD_CEILING = 1.5
+
+
+class TestTracingOverhead:
+    def test_tracing_on_vs_off(self, experiment):
+        deployment = build_deployment(seed="bench-e16", rsa_bits=RSA_BITS)
+        deployment.provider.publish(
+            "bench-song", b"BENCH-PAYLOAD" * 256, title="Bench Song", price=3
+        )
+        deployment.provider.deterministic_issuance = True
+        users = [
+            deployment.add_user(f"e16-user-{i}", balance=1_000_000)
+            for i in range(4)
+        ]
+        requests = [
+            build_purchase_request(
+                users[i % len(users)],
+                deployment.provider,
+                deployment.issuer,
+                deployment.bank,
+                "bench-song",
+            )
+            for i in range(N_WARMUP + N_REQUESTS)
+        ]
+        depositor = deployment.add_user("e16-depositor", balance=1_000_000)
+        coins = depositor.coins_for(DEPOSIT_COINS, deployment.bank)
+
+        results: dict[str, dict] = {}
+        for arm in ("off", "on"):
+            directory = tempfile.mkdtemp(prefix=f"p2drm-e16-{arm}-")
+            gateway = build_gateway(
+                deployment,
+                directory,
+                workers=2,
+                shards=2,
+                tracing=(arm == "on"),
+            )
+            try:
+                for request in requests[:N_WARMUP]:
+                    gateway.sell(request)
+                latencies = []
+                licenses = []
+                start = time.perf_counter()
+                for request in requests[N_WARMUP:]:
+                    t0 = time.perf_counter()
+                    licenses.append(gateway.sell(request))
+                    latencies.append(time.perf_counter() - t0)
+                elapsed = time.perf_counter() - start
+                receipt = gateway.deposit("e16-merchant", coins)
+                results[arm] = {
+                    "licenses": [
+                        codec.encode(lic.as_dict()) for lic in licenses
+                    ],
+                    "receipt": receipt,
+                    "p50": statistics.median(latencies),
+                    "ops_per_s": N_REQUESTS / elapsed,
+                }
+            finally:
+                gateway.close()
+                shutil.rmtree(directory, ignore_errors=True)
+                tracing.disable()
+
+        # Byte-identity across the switch: tracing must never reach the
+        # protocol outputs (deterministic issuance makes them exact).
+        byte_identical = (
+            results["on"]["licenses"] == results["off"]["licenses"]
+            and results["on"]["receipt"] == results["off"]["receipt"]
+        )
+        assert byte_identical, "tracing changed protocol outputs"
+        assert results["off"]["receipt"]["credited"] == DEPOSIT_COINS
+
+        overhead = results["on"]["p50"] / results["off"]["p50"]
+        assert overhead < OVERHEAD_CEILING, (
+            f"tracing p50 overhead {overhead:.2f}x exceeds the"
+            f" {OVERHEAD_CEILING}x ceiling"
+        )
+        for arm in ("off", "on"):
+            experiment.row(
+                case=f"tracing-{arm}",
+                tracing=(arm == "on"),
+                workers=2,
+                requests=N_REQUESTS,
+                cores=os.cpu_count(),
+                backend=backend_name(),
+                p50_ms=results[arm]["p50"] * 1_000,
+                ops_per_s=results[arm]["ops_per_s"],
+                p50_overhead=overhead if arm == "on" else 1.0,
+                byte_identical=byte_identical,
+            )

@@ -27,6 +27,7 @@ later mines that log exactly like a curious operator would.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ... import codec
@@ -140,6 +141,13 @@ class ContentProvider:
         #: which is what lets N worker processes, in any interleaving,
         #: produce byte-identical licences to the in-process desk.
         self.deterministic_issuance = deterministic_issuance
+        #: Optional batch-pipeline timing hook (the service workers
+        #: install one per batch): a callable receiving one
+        #: ``(op, stage, start_monotonic, duration, n)`` tuple per
+        #: pipeline stage.  ``None`` — the default — costs one
+        #: attribute read per stage and nothing else; the provider
+        #: itself never records timings.
+        self.stage_hook = None
         if license_key is None:
             # Three-prime key (RFC 8017 multi-prime): licence signing is
             # the one RSA private operation on the sell/redeem hot path
@@ -236,6 +244,12 @@ class ContentProvider:
         self._presell_checks(request)
         return self._finalize_sale(request)
 
+    def _mark_stage(self, op: str, stage: str, start: float, n: int) -> None:
+        """Report one batch-pipeline stage to :attr:`stage_hook`."""
+        hook = self.stage_hook
+        if hook is not None:
+            hook((op, stage, start, time.monotonic() - start, n))
+
     def sell_batch(self, requests: list[PurchaseRequest]) -> list:
         """Validate and fulfil a queue of purchase requests together.
 
@@ -257,6 +271,7 @@ class ContentProvider:
         requests = list(requests)
         results: list = [None] * len(requests)
         pending: list[int] = []
+        stage_start = time.monotonic()
         for index, request in enumerate(requests):
             try:
                 self._presell_checks(request, check_signature=False)
@@ -264,6 +279,7 @@ class ContentProvider:
                 results[index] = exc
             else:
                 pending.append(index)
+        self._mark_stage("sell", "precheck", stage_start, len(requests))
 
         def _signature_item(request: PurchaseRequest):
             return (
@@ -272,6 +288,7 @@ class ContentProvider:
                 request.signature,
             )
 
+        stage_start = time.monotonic()
         try:
             batch_verify(
                 [_signature_item(requests[index]) for index in pending],
@@ -292,12 +309,15 @@ class ContentProvider:
                 else:
                     survivors.append(index)
             pending = survivors
+        self._mark_stage("sell", "schnorr", stage_start, len(pending))
 
+        stage_start = time.monotonic()
         for index in pending:
             try:
                 results[index] = self._finalize_sale(requests[index])
             except Exception as exc:
                 results[index] = exc
+        self._mark_stage("sell", "finalize", stage_start, len(pending))
         return results
 
     def _presell_checks(
@@ -542,6 +562,7 @@ class ContentProvider:
         requests = list(requests)
         results: list = [None] * len(requests)
         pending: list[int] = []
+        stage_start = time.monotonic()
         for index, request in enumerate(requests):
             try:
                 self._preredeem_checks(
@@ -555,6 +576,7 @@ class ContentProvider:
                 results[index] = exc
             else:
                 pending.append(index)
+        self._mark_stage("redeem", "precheck", stage_start, len(requests))
 
         def _screen(indices: list[int], batch_check, item_check) -> list[int]:
             """Run the aggregate check; on failure isolate offenders."""
@@ -584,6 +606,7 @@ class ContentProvider:
                     f"anonymous licence invalid: {exc}"
                 ) from exc
 
+        stage_start = time.monotonic()
         pending = _screen(
             pending,
             lambda batch: batch_verify_pkcs1(
@@ -595,8 +618,10 @@ class ContentProvider:
             ),
             _check_own_signature,
         )
+        self._mark_stage("redeem", "screen_license", stage_start, len(pending))
 
         # Stage 2: one revocation-list pass for the whole queue.
+        stage_start = time.monotonic()
         revoked = self._revocations.revoked_subset(
             requests[index].anonymous_license.license_id for index in pending
         )
@@ -610,6 +635,7 @@ class ContentProvider:
                 else:
                     survivors.append(index)
             pending = survivors
+        self._mark_stage("redeem", "revocation", stage_start, len(pending))
 
         # Stage 3: blind-signature screening + aggregated escrow
         # binding proofs for the pseudonym certificates.
@@ -621,6 +647,7 @@ class ContentProvider:
                     f"pseudonym certificate invalid: {exc}"
                 ) from exc
 
+        stage_start = time.monotonic()
         pending = _screen(
             pending,
             lambda batch: batch_verify_certificates(
@@ -628,12 +655,14 @@ class ContentProvider:
             ),
             _check_certificate,
         )
+        self._mark_stage("redeem", "certificates", stage_start, len(pending))
 
         # One-shot request nonces, spent only now that the licence and
         # certificate have checked out — the single-item path orders it
         # the same way, so a request rejected for a provider-side
         # reason (stale issuer key, tampered licence) never burns its
         # nonce and can be resubmitted verbatim.
+        stage_start = time.monotonic()
         survivors = []
         for index in pending:
             request = requests[index]
@@ -644,6 +673,7 @@ class ContentProvider:
             else:
                 survivors.append(index)
         pending = survivors
+        self._mark_stage("redeem", "nonces", stage_start, len(pending))
 
         # Stage 4: the Schnorr request envelopes, folded into one
         # random linear combination (legacy commitment-less signatures
@@ -658,6 +688,7 @@ class ContentProvider:
                     f"request signature invalid: {exc}"
                 ) from exc
 
+        stage_start = time.monotonic()
         pending = _screen(
             pending,
             lambda batch: batch_verify(
@@ -673,15 +704,18 @@ class ContentProvider:
             ),
             _check_envelope,
         )
+        self._mark_stage("redeem", "schnorr", stage_start, len(pending))
 
         # Stage 5: spend each token and issue the personalized licences
         # (per-item: the spent store is the atomic exactly-once gate and
         # every licence wraps the key to a different pseudonym).
+        stage_start = time.monotonic()
         for index in pending:
             try:
                 results[index] = self._finalize_redemption(requests[index])
             except Exception as exc:
                 results[index] = exc
+        self._mark_stage("redeem", "finalize", stage_start, len(pending))
         return results
 
     def _preredeem_checks(

@@ -35,6 +35,7 @@ from ..crypto.blind_rsa import verify_blind_signature
 from ..errors import PaymentError, RevokedLicenseError, StoreIntegrityError
 from ..storage.contents import CatalogEntry, ContentStore
 from ..storage.ledger import LedgerEntry
+from . import tracing as tracing_module
 from .ledger import ShardedLedger, recover_intents
 from .metrics import MetricsRegistry, ensure_service_metrics
 from .pool import RESPONSE_TIMEOUT, WorkerPool
@@ -445,6 +446,9 @@ def build_gateway(
     max_wait: float | None = None,
     max_inflight: int | None = None,
     max_pending: int | None = None,
+    tracing: bool = False,
+    trace_threshold: float = 0.25,
+    trace_keep: int = 64,
 ) -> ServiceGateway:
     """One-call gateway over a deployment's provider role.
 
@@ -454,6 +458,15 @@ def build_gateway(
     the workers' freshness windows.  ``max_inflight``/``max_pending``
     bound the pool's admission (``None`` keeps it unbounded, the
     pre-overload-control behaviour).
+
+    ``tracing=True`` turns on end-to-end span capture: this process
+    gets a :class:`~repro.service.tracing.SpanRecorder` (installed
+    *before* construction, so startup intent recovery is traced and
+    the pool can register its exemplar hook) and every worker installs
+    a :class:`~repro.service.tracing.SpanCollector`.  A trace is kept
+    when its boundary span runs at least ``trace_threshold`` seconds,
+    errors, or is forced (recovery); the newest ``trace_keep`` kept
+    traces survive.
     """
     shard_count = shards if shards is not None else workers
     paths = ShardSet.paths_in_directory(directory, shard_count)
@@ -462,7 +475,11 @@ def build_gateway(
         knobs["max_batch"] = max_batch
     if max_wait is not None:
         knobs["max_wait"] = max_wait
-    config = ServiceConfig.from_deployment(deployment, paths, **knobs)
+    if tracing:
+        tracing_module.configure(latency_threshold=trace_threshold, keep=trace_keep)
+    config = ServiceConfig.from_deployment(
+        deployment, paths, tracing=tracing, **knobs
+    )
     return ServiceGateway(
         config,
         workers=workers,

@@ -65,6 +65,7 @@ from ..storage.ledger import (
     LedgerEntry,
     LedgerStore,
 )
+from . import tracing
 from .sharding import ShardedSpentTokenStore, ShardSet
 
 __all__ = [
@@ -102,7 +103,12 @@ class ShardedLedger:
     def store_for(self, account_id: str) -> LedgerStore:
         """The account's home-shard store (exposed for the audit tool
         and tests that stage partial states deliberately)."""
-        return self._stores[self._shards.index_for(account_id.encode("utf-8"))]
+        return self._stores[self.shard_for(account_id)]
+
+    def shard_for(self, account_id: str) -> int:
+        """The account's home shard index (also a trace attribute —
+        the index is routing structure, not identity)."""
+        return self._shards.index_for(account_id.encode("utf-8"))
 
     @property
     def stores(self) -> list[LedgerStore]:
@@ -285,9 +291,11 @@ class DepositSequencer:
         amount = sum(coin.value for coin in coins)
         intent_id = bytes(self._intent_ids())
         pairs = [(token, coin.value) for token, coin in ordered]
-        self._ledger.store_for(account_id).create_intent(
-            intent_id, account_id, amount, at=now, payload=intent_payload(pairs)
-        )
+        home_shard = self._ledger.shard_for(account_id)
+        with tracing.span("ledger.intent.create", shard=home_shard, coins=len(coins)):
+            self._ledger.store_for(account_id).create_intent(
+                intent_id, account_id, amount, at=now, payload=intent_payload(pairs)
+            )
 
         spent_here: list[tuple[bytes, bytes]] = []
         for token, coin in ordered:
@@ -299,12 +307,17 @@ class DepositSequencer:
                     "intent": intent_id,
                 }
             )
-            self._spend_one(
-                token, coin, intent_id, account_id, now, transcript, spent_here
+            with tracing.span("ledger.spend", shard=self._spent.shard_for(token)):
+                self._spend_one(
+                    token, coin, intent_id, account_id, now, transcript, spent_here
+                )
+        with tracing.span("ledger.commit", shard=home_shard) as commit_span:
+            committed = self._ledger.store_for(account_id).commit_intent(
+                intent_id, at=now, transcript=intent_payload(pairs)
             )
-        if not self._ledger.store_for(account_id).commit_intent(
-            intent_id, at=now, transcript=intent_payload(pairs)
-        ):
+            if not committed:
+                commit_span.mark_error("ServiceError")
+        if not committed:
             # The intent left pending state under us — only an operator
             # repair or a recovery run racing the live pool does that
             # (intent ids are private to this call, so no twin attempt
@@ -401,19 +414,24 @@ class DepositSequencer:
         record still being the one this payment wrote (another process
         may have legitimately released-and-respent a coin after our
         intent went terminal)."""
-        for token, transcript in spent_here:
-            try:
-                self._spent.unspend_if(token, transcript)
-            except Exception:
-                # A busy shard must not mask the refusal verdict or
-                # stop the remaining releases; the coin's spend still
-                # names this (now aborted) intent, so any later payment
-                # — or recovery, or the audit — can release it safely.
-                pass
+        with tracing.span("ledger.release", n=len(spent_here)):
+            for token, transcript in spent_here:
+                try:
+                    self._spent.unspend_if(token, transcript)
+                except Exception:
+                    # A busy shard must not mask the refusal verdict or
+                    # stop the remaining releases; the coin's spend
+                    # still names this (now aborted) intent, so any
+                    # later payment — or recovery, or the audit — can
+                    # release it safely.
+                    pass
 
     def _abort(self, intent_id, account_id, now, spent_here) -> None:
         self._release(spent_here)
-        self._ledger.store_for(account_id).abort_intent(intent_id, at=now)
+        with tracing.span(
+            "ledger.abort", shard=self._ledger.shard_for(account_id)
+        ):
+            self._ledger.store_for(account_id).abort_intent(intent_id, at=now)
 
 
 def recover_intents(
@@ -428,25 +446,42 @@ def recover_intents(
     release whichever of its coins got spent under it and mark it
     aborted.  The payer's retry then goes through cleanly.  Returns
     ``{"aborted": ..., "released": ...}`` for the operator's log.
+
+    With tracing enabled the sweep is its own force-kept trace — the
+    ``ledger.recover`` root with one ``ledger.recover.intent`` span per
+    presumed-aborted intent — so a crash's recovery reads as a causal
+    story next to the error trace the crash produced.
     """
     aborted = 0
     released = 0
-    for record in ledger.intents(INTENT_PENDING):
-        for token, _value in decode_intent_payload(record.payload):
-            spend = spent.record_for(token)
-            if spend is None:
-                continue
-            fields = spend_transcript_fields(spend.transcript)
-            if fields is None or fields.get("intent") != record.intent_id:
-                continue  # owned by someone else; not ours to touch
-            # CAS on the observed record: recovery runs exclusively by
-            # contract, but if that contract is ever broken a racing
-            # payment's fresh re-spend must not be deleted by token
-            # alone.
-            if spent.unspend_if(token, spend.transcript):
-                released += 1
-        if ledger.store_for(record.account_id).abort_intent(
-            record.intent_id, at=at
-        ):
-            aborted += 1
+    with tracing.span(
+        "ledger.recover", root=True, boundary=True, force_keep=True
+    ) as sweep:
+        for record in ledger.intents(INTENT_PENDING):
+            with tracing.span(
+                "ledger.recover.intent",
+                shard=ledger.shard_for(record.account_id),
+            ) as intent_span:
+                intent_released = 0
+                for token, _value in decode_intent_payload(record.payload):
+                    spend = spent.record_for(token)
+                    if spend is None:
+                        continue
+                    fields = spend_transcript_fields(spend.transcript)
+                    if fields is None or fields.get("intent") != record.intent_id:
+                        continue  # owned by someone else; not ours to touch
+                    # CAS on the observed record: recovery runs
+                    # exclusively by contract, but if that contract is
+                    # ever broken a racing payment's fresh re-spend must
+                    # not be deleted by token alone.
+                    if spent.unspend_if(token, spend.transcript):
+                        released += 1
+                        intent_released += 1
+                intent_span.set("released", intent_released)
+                if ledger.store_for(record.account_id).abort_intent(
+                    record.intent_id, at=at
+                ):
+                    aborted += 1
+        sweep.set("aborted", aborted)
+        sweep.set("released", released)
     return {"aborted": aborted, "released": released}

@@ -202,12 +202,18 @@ class Gauge(Metric):
 class _HistogramState:
     """Per-label-set histogram state: bucket counts, sum, count."""
 
-    __slots__ = ("bucket_counts", "total", "count")
+    __slots__ = ("bucket_counts", "total", "count", "exemplars")
 
     def __init__(self, bucket_count: int):
         self.bucket_counts = [0] * bucket_count  # +Inf bucket included
         self.total = 0.0
         self.count = 0
+        #: bucket index -> (value, trace id hex); written only by the
+        #: tracing keep-hook, last writer wins per bucket.  Deliberately
+        #: absent from ``render``/``snapshot`` — the text exposition and
+        #: the codec snapshot are frozen shapes; exemplars surface on
+        #: the ``GET /traces`` JSON endpoint instead.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
 
 class Histogram(Metric):
@@ -232,6 +238,30 @@ class Histogram(Metric):
             state.bucket_counts[index] += 1
             state.total += value
             state.count += 1
+
+    def annotate_exemplar(self, value: float, exemplar: str, **labels) -> None:
+        """Attach an exemplar (a kept trace id) to ``value``'s bucket.
+
+        A no-op for label sets that never observed anything: an
+        exemplar without a distribution would render a phantom series.
+        """
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._children.get(self._key(labels))
+            if state is not None:
+                state.exemplars[index] = (float(value), str(exemplar))
+
+    def exemplars(self, **labels) -> dict[str, dict]:
+        """Exemplars by bucket upper bound (``le`` string form)."""
+        with self._lock:
+            state = self._children.get(self._key(labels))
+            items = dict(state.exemplars) if state is not None else {}
+        out: dict[str, dict] = {}
+        for index, (value, trace_hex) in sorted(items.items()):
+            le = ("+Inf" if index >= len(self.buckets)
+                  else format_value(self.buckets[index]))
+            out[le] = {"value": value, "trace": trace_hex}
+        return out
 
     def count(self, **labels) -> int:
         with self._lock:

@@ -50,6 +50,7 @@ import asyncio
 import itertools
 import socket as socket_module
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.actors.bank import decompose_amount
@@ -68,7 +69,7 @@ from ..storage.contents import CatalogEntry
 from ..storage.ledger import LedgerEntry
 from ..storage.merkle import InclusionProof, NonInclusionProof
 from ..storage.revocation import RevocationEntry, SignedSnapshot
-from . import wire
+from . import tracing, wire
 from .gateway import BankSurface, ProviderSurface, ServiceGateway
 from .transport import (
     FRAME_CONTROL,
@@ -385,6 +386,7 @@ class NetServer(Listener):
                     except TruncatedFrameError:
                         pass
                     break
+                decode_start = time.monotonic() if tracing.enabled() else 0.0
                 try:
                     frames = decoder.feed(data)
                 except WireError:
@@ -393,6 +395,10 @@ class NetServer(Listener):
                     # connection; in-flight work still answers nothing
                     # (its frames may be the corrupted ones).
                     break
+                if tracing.enabled() and frames:
+                    self._record_decode(
+                        frames, decode_start, time.monotonic() - decode_start
+                    )
                 for frame in frames:
                     self._m_frames.inc(
                         type=_FRAME_NAMES.get(frame.type, "unknown"),
@@ -431,6 +437,35 @@ class NetServer(Listener):
                 # CancelledError: the loop is shutting down mid-close;
                 # nothing left to wait for.
                 pass
+
+    def _record_decode(self, frames, start: float, duration: float) -> None:
+        """Attribute one ``decoder.feed`` call's cost to the first traced
+        request frame it produced (``net.frame.decode``).  The event loop
+        decodes whole chunks, so the span carries the frame count rather
+        than pretending per-frame timing exists."""
+        ctx = None
+        for frame in frames:
+            if frame.type not in (FRAME_REQUEST, FRAME_REQUEST_PINNED):
+                continue
+            envelope = frame.payload
+            if frame.type == FRAME_REQUEST_PINNED:
+                try:
+                    _worker, envelope = decode_pinned(envelope)
+                except Exception:
+                    continue
+            ctx = wire.peek_trace(envelope)
+            if ctx is not None:
+                break
+        if ctx is None:
+            return
+        tracing.record_span(
+            "net.frame.decode",
+            trace_id=ctx.trace_id,
+            parent_id=ctx.span_id,
+            start=start,
+            duration=duration,
+            attrs={"frames": len(frames)},
+        )
 
     async def _handle_frame(
         self,
@@ -538,6 +573,14 @@ class NetServer(Listener):
                 body = text.encode("utf-8")
                 status = b"200 OK"
                 ctype = b"text/plain; version=0.0.4; charset=utf-8"
+            elif method == "GET" and path == "/traces":
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(
+                    self._executor, self._render_traces_json
+                )
+                body = text.encode("utf-8")
+                status = b"200 OK"
+                ctype = b"application/json; charset=utf-8"
             else:
                 body = b"try GET /metrics\n"
                 status = b"404 Not Found"
@@ -569,6 +612,26 @@ class NetServer(Listener):
             self._gateway.refresh_ledger_metrics()
         return self._registry.render_text()
 
+    def _render_traces_json(self) -> str:
+        """``GET /traces``: kept traces plus latency-histogram exemplars.
+
+        The exemplar block is the join key back into ``/metrics``: each
+        request-latency label set lists which kept trace exemplifies
+        which bucket, so an operator staring at a slow histogram can
+        jump straight to a representative trace."""
+        import json
+
+        exemplars = []
+        latency = self._registry.get("p2drm_request_latency_seconds")
+        for labels, _state in latency.samples():
+            buckets = latency.exemplars(**labels)
+            if buckets:
+                exemplars.append({"labels": labels, "buckets": buckets})
+        return json.dumps(
+            {"traces": tracing.kept_traces(), "exemplars": exemplars},
+            sort_keys=True,
+        )
+
     def _serve_request(self, frame) -> bytes:
         """Submit one client request frame to the pool; ALWAYS returns
         response bytes — every failure mode becomes a typed error
@@ -598,8 +661,30 @@ class NetServer(Listener):
                         " the mint, and only to trusted clients)"
                     )
                 )
-            ticket = pool.submit_encoded(envelope, worker=worker)
-            [raw] = pool.gather_raw([ticket])
+            ctx = wire.peek_trace(envelope) if tracing.enabled() else None
+            if ctx is None:
+                ticket = pool.submit_encoded(envelope, worker=worker)
+                [raw] = pool.gather_raw([ticket])
+                return raw
+            # The server-side boundary span: parented to the client's
+            # root, it owns the tail-based keep decision for requests
+            # arriving without a co-resident client.call span.  Typed
+            # failures escape through it (auto-marked) before the
+            # except arms below turn them into response bytes.
+            with tracing.span(
+                "net.request",
+                ctx=ctx,
+                boundary=True,
+                op=_peek_kind(envelope),
+                frame=_FRAME_NAMES.get(frame.type, "unknown"),
+            ) as sp:
+                ticket = pool.submit_encoded(
+                    envelope, worker=worker, trace=tracing.current_context()
+                )
+                [raw] = pool.gather_raw([ticket])
+                outcome, error_type = wire.peek_response_outcome(raw)
+                if outcome == "error" and error_type:
+                    sp.mark_error(error_type)
             return raw
         except ReproError as exc:
             # Undecodable, unroutable, or pool trouble: answer directly
@@ -708,6 +793,12 @@ def _op_bank_statement(gateway: ServiceGateway, args: dict) -> list:
     return [entry.as_dict() for entry in entries]
 
 
+def _op_traces(gateway: ServiceGateway, args: dict) -> list:
+    """Kept traces from this process's tail-based recorder (empty when
+    tracing is off — the op itself is always available)."""
+    return tracing.kept_traces()
+
+
 def _op_metrics(gateway: ServiceGateway, args: dict) -> dict:
     gateway.refresh_ledger_metrics()
     return gateway.metrics.snapshot()
@@ -729,6 +820,7 @@ _CONTROL_OPS = {
     "bank_statement": _op_bank_statement,
     "metrics": _op_metrics,
     "metrics_text": _op_metrics_text,
+    "traces": _op_traces,
 }
 
 
@@ -870,7 +962,7 @@ class NetClient(ProviderSurface, BankSurface):
 
         ``worker`` pins the request past shard affinity (the socket
         twin of the gateway override tests use to stage races)."""
-        envelope = wire.encode_request(request)
+        envelope = wire.encode_request(request, trace=tracing.current_context())
         with self._lock:
             ticket = next(self._next_id)
             if worker is None:
@@ -1009,3 +1101,8 @@ class NetClient(ProviderSurface, BankSurface):
         """The server's Prometheus text exposition, over the control
         channel (same bytes the HTTP scrape endpoint serves)."""
         return str(self._control("metrics_text"))
+
+    def traces(self) -> list:
+        """Kept traces from the server's tail-based recorder (hex ids,
+        integer-microsecond timings; empty when tracing is off)."""
+        return list(self._control("traces"))

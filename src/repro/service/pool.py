@@ -49,7 +49,7 @@ from ..core.messages import (
     WithdrawRequest,
 )
 from ..errors import OverloadedError, ServiceError
-from . import wire
+from . import tracing, wire
 from .metrics import MetricsRegistry, ensure_service_metrics
 from .sharding import shard_index
 from .workers import ServiceConfig, require_start_method, worker_main
@@ -118,8 +118,9 @@ class WorkerPool:
         #: Which worker each outstanding ticket went to — lets the
         #: collector fail exactly the tickets a dead worker owed.
         self._ticket_worker: dict[int, int] = {}
-        #: Per-ticket metrics context: ``(op kind, submit monotonic)``.
-        self._ticket_meta: dict[int, tuple[str, float]] = {}
+        #: Per-ticket metrics/trace context:
+        #: ``(op kind, submit monotonic, trace context or None)``.
+        self._ticket_meta: dict[int, tuple[str, float, tracing.TraceContext | None]] = {}
         #: The stack's metrics registry (shared with the socket
         #: front-end; rendered by the Prometheus endpoint and the
         #: ``metrics`` control frame).
@@ -134,6 +135,12 @@ class WorkerPool:
         self._m_inflight = self._registry.get("p2drm_inflight_requests")
         self._m_workers_alive = self._registry.get("p2drm_workers_alive")
         self._m_workers_alive.set(workers)
+        # Tail-based capture: when a trace is kept, stamp its pool
+        # latency as an exemplar on the request-latency histogram so a
+        # slow bucket links to an inspectable trace.
+        trace_recorder = tracing.recorder()
+        if trace_recorder is not None:
+            trace_recorder.on_keep(self._annotate_exemplars)
         #: Responses parked by the collector until their gather claims
         #: them (ticket -> raw payload bytes).
         self._parked: dict[int, bytes] = {}
@@ -262,13 +269,21 @@ class WorkerPool:
         admission ceiling is full — before the request touches any
         queue or store, so a shed submit is always safe to retry.
         """
+        ctx = tracing.current_context()
         return self._enqueue(
-            wire.encode_request(request),
+            wire.encode_request(request, trace=ctx),
             self.worker_for(request) if worker is None else worker % self._workers,
             wire.request_kind(request),
+            ctx,
         )
 
-    def submit_encoded(self, payload: bytes, *, worker: int | None = None) -> int:
+    def submit_encoded(
+        self,
+        payload: bytes,
+        *,
+        worker: int | None = None,
+        trace: tracing.TraceContext | None = None,
+    ) -> int:
         """Enqueue an already-encoded request envelope, verbatim.
 
         The network path lands here: the client's bytes go onto the
@@ -280,6 +295,11 @@ class WorkerPool:
         deserialization twice.  Unroutable payloads raise — the caller
         answers the peer directly instead of burning a worker round
         trip.
+
+        ``trace`` attaches the caller's span context to the ticket
+        (the payload bytes stay verbatim — the socket path's trace
+        context rides the envelope's own ``meta`` field, written by
+        the *client*, not rewritten here).
         """
         kind, token = wire.peek_routing(payload)
         return self._enqueue(
@@ -288,9 +308,16 @@ class WorkerPool:
             if worker is None
             else worker % self._workers,
             kind,
+            trace,
         )
 
-    def _enqueue(self, payload: bytes, target: int, kind: str) -> int:
+    def _enqueue(
+        self,
+        payload: bytes,
+        target: int,
+        kind: str,
+        ctx: tracing.TraceContext | None = None,
+    ) -> int:
         with self._cond:
             if self._closed:
                 raise ServiceError("worker pool is closed")
@@ -312,12 +339,18 @@ class WorkerPool:
                 )
             ticket = self._next_request_id
             self._next_request_id += 1
+            submitted_at = time.monotonic()
             self._ticket_worker[ticket] = target
-            self._ticket_meta[ticket] = (kind, time.monotonic())
+            self._ticket_meta[ticket] = (kind, submitted_at, ctx)
             self._pending_per_worker[target] += 1
             self._m_queue_depth.set(self._pending_per_worker[target], worker=target)
             self._m_inflight.set(len(self._ticket_worker))
-        self._request_queues[target].put((ticket, payload, self._clock.now()))
+        # The fourth element is the submit monotonic: CLOCK_MONOTONIC is
+        # system-wide on the platforms the pool supports, so the worker
+        # can measure queue wait as (its drain time - this stamp).
+        self._request_queues[target].put(
+            (ticket, payload, self._clock.now(), submitted_at)
+        )
         return ticket
 
     def _shed_locked(self, kind: str, reason: str, detail: str) -> None:
@@ -326,15 +359,19 @@ class WorkerPool:
         self._m_requests.inc(op=kind, outcome="shed")
         raise OverloadedError(f"service overloaded ({detail}); retry later")
 
-    def _resolve_ticket_locked(self, ticket: int) -> tuple[str, float] | None:
+    def _resolve_ticket_locked(self, ticket: int):
         """Retire one outstanding ticket from every book and gauge;
-        returns its ``(kind, submitted_at)`` meta (``_cond`` held)."""
+        returns ``(kind, submitted_at, trace ctx, worker)`` or ``None``
+        (``_cond`` held)."""
         target = self._ticket_worker.pop(ticket, None)
         if target is not None:
             self._pending_per_worker[target] -= 1
             self._m_queue_depth.set(self._pending_per_worker[target], worker=target)
             self._m_inflight.set(len(self._ticket_worker))
-        return self._ticket_meta.pop(ticket, None)
+        meta = self._ticket_meta.pop(ticket, None)
+        if meta is None:
+            return None
+        return (*meta, target if target is not None else -1)
 
     # -- collection --------------------------------------------------------
 
@@ -348,6 +385,10 @@ class WorkerPool:
         gather them) and the missing tickets are marked abandoned so a
         late response is dropped instead of parked forever.
         """
+        with tracing.span("pool.collect", n=len(tickets)):
+            return self._gather_raw(tickets)
+
+    def _gather_raw(self, tickets: list[int]) -> list[bytes]:
         wanted = set(tickets)
         gathered: dict[int, bytes] = {}
         deadline = time.monotonic() + RESPONSE_TIMEOUT
@@ -402,9 +443,11 @@ class WorkerPool:
                 if self._closed:
                     return
             try:
-                ticket, payload = self._response_queue.get(timeout=0.25)
+                item = self._response_queue.get(timeout=0.25)
+                ticket, payload = item[0], item[1]
+                spans = item[2] if len(item) > 2 else ()
             except queue_module.Empty:
-                ticket, payload = None, None
+                ticket, payload, spans = None, None, ()
             except (EOFError, OSError, ValueError):
                 # Queue torn down under us — close() is racing; loop
                 # around and observe the flag.
@@ -414,17 +457,36 @@ class WorkerPool:
                 # decodes the envelope, and submitters must not wait on
                 # that behind the condition variable.
                 outcome, error_type = wire.peek_response_outcome(payload)
+                if spans:
+                    # Worker-side spans land in the recorder *before*
+                    # the waiting gather is notified, so a boundary
+                    # span ending right after sees the full trace.
+                    trace_recorder = tracing.recorder()
+                    if trace_recorder is not None:
+                        trace_recorder.ingest(spans)
             with self._cond:
                 if ticket is not None:
                     meta = self._resolve_ticket_locked(ticket)
                     if meta is not None:
-                        kind, submitted_at = meta
+                        kind, submitted_at, ctx, target = meta
                         self._m_latency.observe(
                             time.monotonic() - submitted_at, op=kind
                         )
                         self._m_requests.inc(op=kind, outcome=outcome)
                         if error_type is not None:
                             self._m_errors.inc(op=kind, type=error_type)
+                        if ctx is not None:
+                            tracing.record_span(
+                                "pool.request",
+                                trace_id=ctx.trace_id,
+                                parent_id=ctx.span_id,
+                                start=submitted_at,
+                                duration=time.monotonic() - submitted_at,
+                                status="error" if error_type is not None else "ok",
+                                error=error_type or "",
+                                attrs={"op": kind, "worker": target,
+                                       "outcome": outcome},
+                            )
                     if ticket in self._abandoned:
                         self._abandoned.discard(ticket)
                     else:
@@ -462,8 +524,23 @@ class WorkerPool:
         for ticket in doomed:
             meta = self._resolve_ticket_locked(ticket)
             if meta is not None:
-                self._m_requests.inc(op=meta[0], outcome="error")
-                self._m_errors.inc(op=meta[0], type="ServiceError")
+                kind, submitted_at, ctx, target = meta
+                self._m_requests.inc(op=kind, outcome="error")
+                self._m_errors.inc(op=kind, type="ServiceError")
+                if ctx is not None:
+                    # A SIGKILLed worker cannot ship its spans; this
+                    # error span is what makes the trace a *kept* error
+                    # trace, pointing at the worker that died.
+                    tracing.record_span(
+                        "pool.request",
+                        trace_id=ctx.trace_id,
+                        parent_id=ctx.span_id,
+                        start=submitted_at,
+                        duration=now - submitted_at,
+                        status="error",
+                        error="ServiceError",
+                        attrs={"op": kind, "worker": target, "outcome": "dead"},
+                    )
             self._failed[ticket] = ServiceError(
                 f"worker(s) died with requests outstanding: {dead_names}"
             )
@@ -471,6 +548,15 @@ class WorkerPool:
             self._failed.pop(next(iter(self._failed)))
         if doomed:
             self._cond.notify_all()
+
+    def _annotate_exemplars(self, trace_id: bytes, entry: dict) -> None:
+        """On-keep hook: link the latency histogram to the kept trace."""
+        trace_hex = trace_id.hex()
+        for rec in list(entry["spans"]):
+            if rec["name"] == "pool.request":
+                self._m_latency.annotate_exemplar(
+                    rec["duration"], trace_hex, op=rec["attrs"].get("op", "unknown")
+                )
 
 
 __all__ = ["WorkerPool", "RESPONSE_TIMEOUT"]

@@ -136,9 +136,25 @@ class ShardedSpentTokenStore:
     def _store_for(self, token_id: bytes) -> SpentTokenStore:
         return self._stores[self._shards.index_for(token_id)]
 
+    def shard_for(self, token_id: bytes) -> int:
+        """The token's home shard index (also a trace attribute — the
+        index is routing structure, the token itself never leaves)."""
+        return self._shards.index_for(token_id)
+
     def try_spend(
         self, token_id: bytes, *, at: int, transcript: bytes = b""
     ) -> SpentRecord | None:
+        from . import tracing
+
+        if tracing.enabled() and tracing.current_context() is not None:
+            with tracing.span(
+                "shard.spend",
+                kind=self._kind,
+                shard=self._shards.index_for(token_id),
+            ):
+                return self._store_for(token_id).try_spend(
+                    token_id, at=at, transcript=transcript
+                )
         return self._store_for(token_id).try_spend(
             token_id, at=at, transcript=transcript
         )

@@ -1,0 +1,562 @@
+"""Privacy-first distributed tracing for the service layer.
+
+Dependency-free span recorder: every span carries a 16-byte trace id,
+an 8-byte span id, an optional parent span id, a monotonic start and
+duration, and a **typed attribute allowlist** enforced at record time.
+The paper's core claim is functionality *without surveillance*, so the
+allowlist is the load-bearing part: spans may describe operation
+structure and timing (op kind, shard index, pipeline stage, batch
+size) but can never carry tokens, pseudonyms, account ids, or coin
+serials.  The validator rejects
+
+* span names and attribute keys that are not declared in
+  :data:`SPAN_SPECS`,
+* ``bytes`` values outright (ids in this codebase are byte strings),
+* strings longer than 64 characters, strings outside a conservative
+  charset, and strings that *look like* hex material (16+ hex chars) —
+  the shape every token/serial/account digest in the system takes,
+* error payloads that are not bare exception class names (exception
+  *messages* routinely embed coin serials).
+
+Capture is tail-based: spans are always recorded into bounded
+per-process buffers (cheap), but a full trace is only *kept* when its
+boundary span ends slow (duration >= the configured threshold), when
+any span in the trace ended in a typed error, or when retention is
+forced (recovery traces).  Kept traces live in a bounded ring; the
+newest ``keep`` survive.  Non-kept traces linger in a bounded pending
+map so a later-ending boundary (e.g. ``client.call`` wrapping
+``net.request``) can still promote them.
+
+Two sinks exist:
+
+* :class:`SpanRecorder` — the gateway/client process.  Owns the keep
+  decision, the kept ring, the pending map, and on-keep hooks (used to
+  stamp latency-histogram exemplars).
+* :class:`SpanCollector` — worker processes.  A bounded staging area;
+  the worker drains a trace's spans and ships them back on the
+  response queue, where the pool's collector thread ingests them into
+  the recorder *before* the waiting caller is woken.
+
+Setting the environment variable ``P2DRM_TRACE_DUMP`` to a file path
+makes every finished span append one JSON line (``O_APPEND`` writes
+are atomic for these sizes, so multi-process dumps interleave whole
+lines).  ``tools/trace_lint.py`` re-validates such dumps in strict
+mode in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = [
+    "SPAN_SPECS",
+    "SpanCollector",
+    "SpanRecorder",
+    "TraceContext",
+    "activate",
+    "configure",
+    "current_context",
+    "disable",
+    "enabled",
+    "install",
+    "kept_traces",
+    "new_span_id",
+    "record_span",
+    "recorder",
+    "span",
+    "validate_attrs",
+]
+
+TRACE_ID_BYTES = 16
+SPAN_ID_BYTES = 8
+
+# ---------------------------------------------------------------------------
+# Span registry (the allowlist).
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """One allowed span name and its typed attribute allowlist."""
+
+    name: str
+    help: str
+    attrs: tuple[tuple[str, type], ...] = ()
+
+
+SPAN_SPECS: tuple[SpanSpec, ...] = (
+    SpanSpec("client.call", "Transport.call/call_many boundary (root of a trace)",
+             (("op", str), ("n", int))),
+    SpanSpec("net.request", "TCP server handling of one request frame",
+             (("op", str), ("frame", str))),
+    SpanSpec("net.frame.decode", "frame decode time on the server event loop",
+             (("frames", int),)),
+    SpanSpec("pool.queue", "request queue wait (submit to worker drain)",
+             (("worker", int),)),
+    SpanSpec("pool.request", "ticket lifetime seen by the pool collector",
+             (("op", str), ("worker", int), ("outcome", str))),
+    SpanSpec("pool.collect", "gather wait for outstanding tickets",
+             (("n", int),)),
+    SpanSpec("worker.request", "one request processed inside a worker",
+             (("op", str), ("worker", int))),
+    SpanSpec("worker.stage", "one pipeline stage of a batched sell/redeem",
+             (("op", str), ("stage", str), ("n", int))),
+    SpanSpec("shard.spend", "spent-token store write on one shard",
+             (("kind", str), ("shard", int))),
+    SpanSpec("ledger.intent.create", "2PC phase 0: durable pending intent",
+             (("shard", int), ("coins", int))),
+    SpanSpec("ledger.spend", "2PC phase 1: one coin spent on its home shard",
+             (("shard", int),)),
+    SpanSpec("ledger.commit", "2PC commit point (single shard transaction)",
+             (("shard", int),)),
+    SpanSpec("ledger.release", "2PC failure path: release own spends",
+             (("n", int),)),
+    SpanSpec("ledger.abort", "2PC failure path: durable abort of the intent",
+             (("shard", int),)),
+    SpanSpec("ledger.recover", "presumed-abort recovery sweep at gateway start",
+             (("aborted", int), ("released", int))),
+    SpanSpec("ledger.recover.intent", "one pending intent presumed aborted",
+             (("shard", int), ("released", int))),
+)
+
+_SPECS_BY_NAME: dict[str, dict[str, type]] = {
+    spec.name: dict(spec.attrs) for spec in SPAN_SPECS
+}
+
+_SAFE_STR = re.compile(r"[A-Za-z0-9_.:\- ]*\Z")
+_HEXISH = re.compile(r"[0-9a-fA-F]{16,}")
+_MAX_STR = 64
+
+
+def validate_attrs(name: str, attrs: dict) -> None:
+    """Reject spans that stray outside the privacy allowlist.
+
+    Raises :class:`ParameterError` — tracing bugs must fail loudly in
+    tests rather than silently leak identifiers into the trace surface.
+    """
+
+    allowed = _SPECS_BY_NAME.get(name)
+    if allowed is None:
+        raise ParameterError(f"span name not in registry: {name!r}")
+    for key, value in attrs.items():
+        want = allowed.get(key)
+        if want is None:
+            raise ParameterError(f"span {name!r}: attribute {key!r} not in allowlist")
+        if want is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ParameterError(f"span {name!r}: attribute {key!r} must be int")
+        elif want is str:
+            if not isinstance(value, str):
+                raise ParameterError(f"span {name!r}: attribute {key!r} must be str")
+            if len(value) > _MAX_STR:
+                raise ParameterError(f"span {name!r}: attribute {key!r} too long")
+            if not _SAFE_STR.match(value):
+                raise ParameterError(f"span {name!r}: attribute {key!r} has unsafe characters")
+            if _HEXISH.search(value):
+                raise ParameterError(
+                    f"span {name!r}: attribute {key!r} looks like hex id material"
+                )
+        else:  # pragma: no cover - registry only declares int/str today
+            raise ParameterError(f"span {name!r}: unsupported attribute type for {key!r}")
+
+
+def validate_error(name: str, error: str) -> None:
+    """Error fields carry bare exception class names, never messages."""
+
+    if error and not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]{0,63}", error):
+        raise ParameterError(f"span {name!r}: error must be a bare exception class name")
+
+
+# ---------------------------------------------------------------------------
+# Trace context + ambient propagation.
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace id, current span id) pair that crosses hop boundaries."""
+
+    trace_id: bytes
+    span_id: bytes
+
+
+_local = threading.local()
+
+
+def _stack() -> list[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_context() -> TraceContext | None:
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate(ctx: TraceContext | None):
+    """Make ``ctx`` the ambient context without opening a span."""
+
+    if ctx is None:
+        yield
+        return
+    stack = _stack()
+    stack.append(ctx)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def new_span_id() -> bytes:
+    return os.urandom(SPAN_ID_BYTES)
+
+
+def _new_trace_id() -> bytes:
+    return os.urandom(TRACE_ID_BYTES)
+
+
+# ---------------------------------------------------------------------------
+# Sinks.
+
+
+def _record(trace_id: bytes, span_id: bytes, parent_id: bytes, name: str,
+            start: float, duration: float, status: str, error: str,
+            attrs: dict) -> dict:
+    validate_attrs(name, attrs)
+    validate_error(name, error)
+    return {
+        "trace": trace_id,
+        "span": span_id,
+        "parent": parent_id,
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "status": status,
+        "error": error,
+        "attrs": attrs,
+    }
+
+
+def public_span(rec: dict) -> dict:
+    """Codec/JSON-friendly projection: hex ids, integer microseconds."""
+
+    return {
+        "span": rec["span"].hex(),
+        "parent": rec["parent"].hex() if rec["parent"] else "",
+        "name": rec["name"],
+        "start_micros": int(rec["start"] * 1_000_000),
+        "duration_micros": int(rec["duration"] * 1_000_000),
+        "status": rec["status"],
+        "error": rec["error"],
+        "attrs": dict(rec["attrs"]),
+    }
+
+
+_DUMP_ENV = "P2DRM_TRACE_DUMP"
+_dump_lock = threading.Lock()
+_dump_fd: int | None = None
+_dump_path: str | None = None
+
+
+def _dump(rec: dict) -> None:
+    path = os.environ.get(_DUMP_ENV)
+    if not path:
+        return
+    global _dump_fd, _dump_path
+    line = json.dumps({"trace": rec["trace"].hex(), **public_span(rec)},
+                      sort_keys=True) + "\n"
+    with _dump_lock:
+        if _dump_fd is None or _dump_path != path:
+            _dump_fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            _dump_path = path
+        os.write(_dump_fd, line.encode("ascii"))
+
+
+class SpanCollector:
+    """Worker-side staging buffer: spans grouped by trace, drained per
+    response and shipped back on the response queue."""
+
+    def __init__(self, *, max_spans: int = 2048):
+        self._lock = threading.Lock()
+        self._by_trace: OrderedDict[bytes, list[dict]] = OrderedDict()
+        self._count = 0
+        self._max = max_spans
+        self.dropped = 0
+
+    def record(self, rec: dict) -> None:
+        _dump(rec)
+        with self._lock:
+            if self._count >= self._max:
+                # Evict the stalest trace wholesale; a trace missing its
+                # oldest spans is worse than a dropped trace.
+                _, evicted = self._by_trace.popitem(last=False)
+                self._count -= len(evicted)
+                self.dropped += len(evicted)
+            spans = self._by_trace.get(rec["trace"])
+            if spans is None:
+                spans = self._by_trace[rec["trace"]] = []
+            spans.append(rec)
+            self._count += 1
+
+    def drain(self, trace_id: bytes) -> list[dict]:
+        with self._lock:
+            spans = self._by_trace.pop(trace_id, None)
+            if not spans:
+                return []
+            self._count -= len(spans)
+            return spans
+
+
+class SpanRecorder:
+    """Gateway/client-side sink with the tail-based keep decision."""
+
+    def __init__(self, *, latency_threshold: float = 0.25, keep: int = 64,
+                 max_pending: int = 512, max_spans_per_trace: int = 256):
+        self._lock = threading.Lock()
+        self._pending: OrderedDict[bytes, list[dict]] = OrderedDict()
+        self._kept: OrderedDict[bytes, dict] = OrderedDict()
+        self._hooks: list = []
+        self.latency_threshold = float(latency_threshold)
+        self._keep = int(keep)
+        self._max_pending = int(max_pending)
+        self._max_spans = int(max_spans_per_trace)
+        self.dropped_spans = 0
+        self.dropped_traces = 0
+
+    def on_keep(self, hook) -> None:
+        """Register ``hook(trace_id, entry)`` called when a trace is kept."""
+
+        with self._lock:
+            self._hooks.append(hook)
+
+    def record(self, rec: dict, *, dump: bool = True) -> None:
+        if dump:
+            _dump(rec)
+        with self._lock:
+            self._store_locked(rec)
+
+    def ingest(self, recs) -> None:
+        """Absorb span records shipped from a worker (already dumped there)."""
+
+        with self._lock:
+            for rec in recs:
+                self._store_locked(rec)
+
+    def _store_locked(self, rec: dict) -> None:
+        trace_id = rec["trace"]
+        kept = self._kept.get(trace_id)
+        if kept is not None:
+            if len(kept["spans"]) < self._max_spans:
+                kept["spans"].append(rec)
+            else:
+                self.dropped_spans += 1
+            return
+        spans = self._pending.get(trace_id)
+        if spans is None:
+            while len(self._pending) >= self._max_pending:
+                _, evicted = self._pending.popitem(last=False)
+                self.dropped_spans += len(evicted)
+                self.dropped_traces += 1
+            spans = self._pending[trace_id] = []
+        if len(spans) < self._max_spans:
+            spans.append(rec)
+        else:
+            self.dropped_spans += 1
+
+    def finish_boundary(self, rec: dict, *, force: bool = False) -> None:
+        """Record a boundary span and run the tail-based keep decision."""
+
+        _dump(rec)
+        trace_id = rec["trace"]
+        hooks: list = []
+        entry: dict | None = None
+        with self._lock:
+            self._store_locked(rec)
+            if trace_id in self._kept:
+                return
+            spans = self._pending.get(trace_id, ())
+            errored = any(s["status"] == "error" for s in spans)
+            slow = rec["duration"] >= self.latency_threshold
+            if not (force or errored or slow):
+                return
+            reason = "forced" if force else ("error" if errored else "slow")
+            entry = {"reason": reason, "spans": self._pending.pop(trace_id, [])}
+            self._kept[trace_id] = entry
+            while len(self._kept) > self._keep:
+                self._kept.popitem(last=False)
+            hooks = list(self._hooks)
+        for hook in hooks:
+            hook(trace_id, entry)
+
+    def keep_count(self) -> int:
+        with self._lock:
+            return len(self._kept)
+
+    def traces(self) -> list[dict]:
+        """Kept traces, oldest first, in codec/JSON-friendly form."""
+
+        with self._lock:
+            items = [(tid, entry["reason"], list(entry["spans"]))
+                     for tid, entry in self._kept.items()]
+        return [
+            {
+                "trace": tid.hex(),
+                "reason": reason,
+                "spans": [public_span(rec) for rec in spans],
+            }
+            for tid, reason, spans in items
+        ]
+
+    def all_spans(self) -> list[dict]:
+        """Every span currently held (pending + kept) — test/audit hook."""
+
+        with self._lock:
+            out = []
+            for spans in self._pending.values():
+                out.extend(spans)
+            for entry in self._kept.values():
+                out.extend(entry["spans"])
+            return list(out)
+
+
+# ---------------------------------------------------------------------------
+# Module-level sink + the span API.
+
+_SINK = None
+
+
+def configure(*, latency_threshold: float = 0.25, keep: int = 64) -> SpanRecorder:
+    """Install a :class:`SpanRecorder` as this process's sink."""
+
+    global _SINK
+    sink = SpanRecorder(latency_threshold=latency_threshold, keep=keep)
+    _SINK = sink
+    return sink
+
+
+def install(sink) -> None:
+    """Install an explicit sink (workers install a :class:`SpanCollector`)."""
+
+    global _SINK
+    _SINK = sink
+
+
+def disable() -> None:
+    global _SINK
+    _SINK = None
+
+
+def enabled() -> bool:
+    return _SINK is not None
+
+
+def sink():
+    return _SINK
+
+
+def recorder() -> SpanRecorder | None:
+    return _SINK if isinstance(_SINK, SpanRecorder) else None
+
+
+def collector() -> SpanCollector | None:
+    return _SINK if isinstance(_SINK, SpanCollector) else None
+
+
+def kept_traces() -> list[dict]:
+    rec = recorder()
+    return rec.traces() if rec is not None else []
+
+
+class _Span:
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "_attrs",
+                 "_error", "_status")
+
+    def __init__(self, trace_id, span_id, parent_id, name, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self._attrs = attrs
+        self._error = ""
+        self._status = "ok"
+
+    def set(self, key: str, value) -> None:
+        self._attrs[key] = value
+
+    def mark_error(self, error_type: str) -> None:
+        self._status = "error"
+        self._error = error_type
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def set(self, key, value):
+        pass
+
+    def mark_error(self, error_type):
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+@contextmanager
+def span(name: str, *, root: bool = False, boundary: bool = False,
+         force_keep: bool = False, ctx: TraceContext | None = None, **attrs):
+    """Open a span.  No-op when tracing is disabled, or when there is no
+    ambient/explicit parent and ``root`` is false."""
+
+    sink = _SINK
+    parent = ctx if ctx is not None else current_context()
+    if sink is None or (parent is None and not root):
+        yield _NOOP
+        return
+    trace_id = parent.trace_id if parent is not None else _new_trace_id()
+    parent_id = parent.span_id if parent is not None else b""
+    sp = _Span(trace_id, new_span_id(), parent_id, name, attrs)
+    stack = _stack()
+    stack.append(TraceContext(trace_id, sp.span_id))
+    start = time.monotonic()
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.mark_error(type(exc).__name__)
+        raise
+    finally:
+        duration = time.monotonic() - start
+        stack.pop()
+        rec = _record(trace_id, sp.span_id, parent_id, name, start, duration,
+                      sp._status, sp._error, sp._attrs)
+        if boundary and isinstance(sink, SpanRecorder):
+            sink.finish_boundary(rec, force=force_keep)
+        else:
+            sink.record(rec)
+
+
+def record_span(name: str, *, trace_id: bytes, parent_id: bytes,
+                start: float, duration: float, span_id: bytes | None = None,
+                status: str = "ok", error: str = "",
+                attrs: dict | None = None) -> dict | None:
+    """Record a span with externally-measured timing (queue waits, frame
+    decode, replicated batch stages).  Returns the record, or ``None``
+    when tracing is disabled."""
+
+    sink = _SINK
+    if sink is None:
+        return None
+    rec = _record(trace_id, span_id if span_id is not None else new_span_id(),
+                  parent_id, name, start, max(0.0, duration), status, error,
+                  attrs if attrs is not None else {})
+    sink.record(rec)
+    return rec

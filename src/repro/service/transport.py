@@ -220,6 +220,15 @@ class FrameDecoder:
 # -- the pluggable interfaces ------------------------------------------------
 
 
+def _op_name(wire, request) -> str:
+    """The wire kind as a span attribute; never raises (bad requests
+    still get refused by the real encode, with a clean trace)."""
+    try:
+        return wire.request_kind(request)
+    except Exception:
+        return "unknown"
+
+
 class Transport(abc.ABC):
     """A caller's path to the worker pool: submit tickets, gather results.
 
@@ -247,8 +256,22 @@ class Transport(abc.ABC):
         """Release the transport's resources; idempotent."""
 
     def call(self, request):
-        """One request, synchronously; desk rejections are raised."""
-        result = self.gather([self.submit(request)])[0]
+        """One request, synchronously; desk rejections are raised.
+
+        When tracing is enabled this opens the ``client.call`` root
+        boundary span: every hop below (frame decode, queue wait,
+        worker stages, 2PC phases) parents into the trace it starts,
+        and its end runs the tail-based keep decision.
+        """
+        from . import tracing, wire
+
+        with tracing.span(
+            "client.call", root=True, boundary=True,
+            op=_op_name(wire, request), n=1,
+        ) as sp:
+            result = self.gather([self.submit(request)])[0]
+            if isinstance(result, BaseException):
+                sp.mark_error(type(result).__name__)
         if isinstance(result, BaseException):
             raise result
         return result
@@ -257,8 +280,20 @@ class Transport(abc.ABC):
         """Batch-desk semantics: the returned list aligns with the
         inputs and holds results or the exception that rejected each
         item — one offender never poisons the rest."""
-        tickets = [self.submit(request, worker=worker) for request in requests]
-        return self.gather(tickets)
+        from . import tracing, wire
+
+        requests = list(requests)
+        op = _op_name(wire, requests[0]) if requests else "empty"
+        with tracing.span(
+            "client.call", root=True, boundary=True, op=op, n=len(requests)
+        ) as sp:
+            tickets = [self.submit(request, worker=worker) for request in requests]
+            results = self.gather(tickets)
+            for result in results:
+                if isinstance(result, BaseException):
+                    sp.mark_error(type(result).__name__)
+                    break
+        return results
 
 
 class Listener(abc.ABC):

@@ -69,15 +69,24 @@ def request_kind(request) -> str:
         ) from None
 
 
-def encode_request(request) -> bytes:
-    """Self-describing canonical bytes for any protocol request."""
-    return codec.encode(
-        {
-            "what": _REQUEST_WHAT,
-            "kind": request_kind(request),
-            "body": request.as_dict(),
-        }
-    )
+def encode_request(request, trace=None) -> bytes:
+    """Self-describing canonical bytes for any protocol request.
+
+    ``trace`` (a :class:`~repro.service.tracing.TraceContext`) adds an
+    optional ``meta`` key carrying the caller's trace/span ids so the
+    worker can parent its spans to the client's root span.  Decoders
+    ignore ``meta`` entirely — the typed request round-trips unchanged
+    — and *responses* never carry it, which preserves the byte-identity
+    guarantee between the queue, TCP, and in-process arms.
+    """
+    envelope = {
+        "what": _REQUEST_WHAT,
+        "kind": request_kind(request),
+        "body": request.as_dict(),
+    }
+    if trace is not None:
+        envelope["meta"] = {"trace": trace.trace_id, "span": trace.span_id}
+    return codec.encode(envelope)
 
 
 def decode_request(data: bytes):
@@ -158,6 +167,28 @@ def peek_routing(data: bytes) -> tuple[str, bytes]:
 def peek_routing_token(data: bytes) -> bytes:
     """The affinity token alone (see :func:`peek_routing`)."""
     return peek_routing(data)[1]
+
+
+def peek_trace(data: bytes):
+    """The trace context embedded in an encoded request, or ``None``.
+
+    Never raises: an envelope without ``meta`` (every pre-tracing
+    client), or with a malformed one, is simply untraced.
+    """
+    from .tracing import SPAN_ID_BYTES, TRACE_ID_BYTES, TraceContext
+
+    try:
+        envelope = codec.decode(data)
+        meta = envelope.get("meta")
+        if not isinstance(meta, dict):
+            return None
+        trace_id = bytes(meta["trace"])
+        span_id = bytes(meta["span"])
+        if len(trace_id) != TRACE_ID_BYTES or len(span_id) != SPAN_ID_BYTES:
+            return None
+        return TraceContext(trace_id, span_id)
+    except Exception:
+        return None
 
 
 # -- response envelopes ------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue as queue_module
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..clock import SimClock
@@ -52,7 +53,7 @@ from ..errors import ParameterError, PaymentError, ServiceError
 from ..storage.contents import ContentStore
 from ..storage.engine import Database
 from ..storage.ledger import LedgerEntry
-from . import wire
+from . import tracing, wire
 from .ledger import DepositSequencer, ShardedLedger
 from .sharding import (
     ShardedAuditLog,
@@ -107,6 +108,11 @@ class ServiceConfig:
     escrow_key_element: int | None = None
     max_batch: int = DEFAULT_MAX_BATCH
     max_wait: float = DEFAULT_MAX_WAIT
+    #: Worker-side tracing switch: when true each worker installs a
+    #: :class:`~repro.service.tracing.SpanCollector` and ships spans
+    #: back on the response queue (the gateway's recorder makes the
+    #: keep decision; workers never decide retention).
+    tracing: bool = False
     #: Arithmetic backend every worker pins before warming its tables
     #: (captured from the parent's active backend at config-build
     #: time), so a pool's throughput numbers are attributable to one
@@ -122,6 +128,7 @@ class ServiceConfig:
         *,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait: float = DEFAULT_MAX_WAIT,
+        tracing: bool = False,
     ) -> "ServiceConfig":
         """Capture a built deployment's provider as a worker config.
 
@@ -169,6 +176,7 @@ class ServiceConfig:
             escrow_key_element=deployment.issuer.escrow_key.y,
             max_batch=max_batch,
             max_wait=max_wait,
+            tracing=tracing,
         )
 
 
@@ -183,9 +191,9 @@ class ShardedDepositDesk:
     across shard files and a worker crash mid-deposit is recovered (not
     reconciled by hand) at the next pool start.  Withdrawals debit the
     same sharded ledger and blind-sign with the provisioned private
-    keys.  Every balance read is the pool-wide durable figure — the
-    per-worker ``credited()`` tally this desk used to keep is gone
-    (kept only as a deprecated alias of :meth:`balance`).
+    keys.  Every balance read is the pool-wide durable figure from
+    :meth:`balance` — the per-worker ``credited()`` tally this desk
+    used to keep (and its deprecated alias) is gone.
     """
 
     def __init__(
@@ -235,27 +243,6 @@ class ShardedDepositDesk:
         """The account's journal (deposits with transcripts, withdrawals,
         opens), oldest first."""
         return self._ledger.statement(account_id, limit=limit)
-
-    def credited(self, account_id: str) -> int:
-        """Deprecated alias of :meth:`balance`.
-
-        The per-worker credit tally it used to return is gone: the
-        sharded ledger makes the pool-wide balance durable and readable
-        from any worker, which is what every caller actually wanted.
-        Unknown accounts still answer 0 (the old accumulator's shape).
-        """
-        import warnings
-
-        warnings.warn(
-            "ShardedDepositDesk.credited() is deprecated; use balance()"
-            " (the pool-wide BankSurface figure)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        try:
-            return self.balance(account_id)
-        except PaymentError:
-            return 0
 
     # -- withdrawal (blind) ------------------------------------------------
 
@@ -463,6 +450,8 @@ def worker_main(worker_index, config, request_queue, response_queue):
     ``None`` queue item shuts the worker down cleanly.
     """
     warm_fastexp(config)
+    if config.tracing:
+        tracing.install(tracing.SpanCollector())
     shards = ShardSet(config.shard_paths)
     try:
         provider, desk, clock = build_worker_provider(config, worker_index, shards)
@@ -471,7 +460,8 @@ def worker_main(worker_index, config, request_queue, response_queue):
             if drained.items:
                 try:
                     _process_batch(
-                        provider, desk, clock, drained.items, response_queue
+                        provider, desk, clock, drained.items, response_queue,
+                        worker_index=worker_index,
                     )
                 except Exception as exc:
                     # The per-item pipelines catch their own failures;
@@ -492,23 +482,132 @@ def worker_main(worker_index, config, request_queue, response_queue):
         shards.close()
 
 
-def _process_batch(provider, desk, clock, items, response_queue) -> None:
+class _BatchTraces:
+    """Per-batch trace bookkeeping inside a worker.
+
+    For every traced request the batch holds a pre-allocated
+    ``worker.request`` span id: spans recorded while the request is
+    being processed (2PC phases, shard spends) parent under it via
+    :func:`~repro.service.tracing.activate`, and the span itself is
+    recorded when the response is enqueued.  Responses for traced
+    requests cross the queue as ``(request_id, payload, spans)``
+    3-tuples; untraced ones stay 2-tuples.
+    """
+
+    def __init__(self, items, worker_index: int, batch_start: float):
+        self._collector = tracing.collector()
+        self._worker = worker_index
+        self._batch_start = batch_start
+        self._states: dict[int, tuple[tracing.TraceContext, bytes]] = {}
+        self._kinds: dict[int, str] = {}
+        if self._collector is None:
+            return
+        for item in items:
+            request_id, payload = item[0], item[1]
+            ctx = wire.peek_trace(payload)
+            if ctx is None:
+                continue
+            self._states[request_id] = (ctx, tracing.new_span_id())
+            submit_mono = item[3] if len(item) > 3 else None
+            if submit_mono is not None:
+                tracing.record_span(
+                    "pool.queue",
+                    trace_id=ctx.trace_id,
+                    parent_id=ctx.span_id,
+                    start=submit_mono,
+                    duration=batch_start - submit_mono,
+                    attrs={"worker": worker_index},
+                )
+
+    @property
+    def any_traced(self) -> bool:
+        return bool(self._states)
+
+    def note_kind(self, request_id: int, request) -> None:
+        try:
+            self._kinds[request_id] = wire.request_kind(request)
+        except Exception:
+            pass
+
+    def scope(self, request_id: int):
+        """Ambient context for one request's processing: children (2PC
+        phase spans, shard spends) parent under its worker span."""
+        state = self._states.get(request_id)
+        if state is None:
+            return nullcontext()
+        ctx, span_id = state
+        return tracing.activate(tracing.TraceContext(ctx.trace_id, span_id))
+
+    def replicate_stages(self, stage_log, members) -> None:
+        """Copy batch-wide stage timings onto each traced member: the
+        aggregate pipeline ran once, but every member's trace should
+        read as a complete story."""
+        if not stage_log:
+            return
+        for request_id, _ in members:
+            state = self._states.get(request_id)
+            if state is None:
+                continue
+            ctx, span_id = state
+            for op, stage, start, duration, n in stage_log:
+                tracing.record_span(
+                    "worker.stage",
+                    trace_id=ctx.trace_id,
+                    parent_id=span_id,
+                    start=start,
+                    duration=duration,
+                    attrs={"op": op, "stage": stage, "n": n},
+                )
+
+    def respond(self, response_queue, request_id: int, payload: bytes) -> None:
+        state = self._states.pop(request_id, None)
+        if state is None:
+            response_queue.put((request_id, payload))
+            return
+        ctx, span_id = state
+        outcome, error_type = wire.peek_response_outcome(payload)
+        tracing.record_span(
+            "worker.request",
+            trace_id=ctx.trace_id,
+            parent_id=ctx.span_id,
+            span_id=span_id,
+            start=self._batch_start,
+            duration=time.monotonic() - self._batch_start,
+            status="error" if outcome == "error" else "ok",
+            error=error_type or "",
+            attrs={"op": self._kinds.get(request_id, "unknown"),
+                   "worker": self._worker},
+        )
+        response_queue.put(
+            (request_id, payload, self._collector.drain(ctx.trace_id))
+        )
+
+
+def _process_batch(
+    provider, desk, clock, items, response_queue, worker_index: int = 0
+) -> None:
     """Decode, dispatch per kind through the batch pipelines, respond."""
+    batch_start = time.monotonic()
     # The worker clock follows the *gateway's* stamps — time is
     # distributed from the operator side of the wire.  Request bodies
     # also carry timestamps, but those are client-controlled: trusting
     # them here (even validated ones) would let signed-but-bogus
     # stamps ratchet the clock and freshness-DoS honest traffic.
-    latest_stamp = max(stamp for _, _, stamp in items)
+    latest_stamp = max(item[2] for item in items)
     if latest_stamp > clock.now():
         clock.set(latest_stamp)
 
+    traces = _BatchTraces(items, worker_index, batch_start)
+
     decoded: list[tuple[int, object]] = []
-    for request_id, payload, _ in items:
+    for item in items:
+        request_id, payload = item[0], item[1]
         try:
             decoded.append((request_id, wire.decode_request(payload)))
         except Exception as exc:
-            response_queue.put((request_id, wire.encode_response(exc)))
+            traces.respond(response_queue, request_id, wire.encode_response(exc))
+    for request_id, request in decoded:
+        traces.note_kind(request_id, request)
 
     sells = [(rid, r) for rid, r in decoded if isinstance(r, PurchaseRequest)]
     redeems = [(rid, r) for rid, r in decoded if isinstance(r, RedeemRequest)]
@@ -517,39 +616,69 @@ def _process_batch(provider, desk, clock, items, response_queue) -> None:
     withdraws = [(rid, r) for rid, r in decoded if isinstance(r, WithdrawRequest)]
 
     if sells:
-        results = provider.sell_batch([request for _, request in sells])
+        with _stage_log(provider, traces.any_traced) as stage_log:
+            results = provider.sell_batch([request for _, request in sells])
+        traces.replicate_stages(stage_log, sells)
         for (request_id, _), result in zip(sells, results):
-            response_queue.put((request_id, wire.encode_response(result)))
+            traces.respond(response_queue, request_id, wire.encode_response(result))
     if redeems:
-        results = provider.redeem_batch([request for _, request in redeems])
+        with _stage_log(provider, traces.any_traced) as stage_log:
+            results = provider.redeem_batch([request for _, request in redeems])
+        traces.replicate_stages(stage_log, redeems)
         for (request_id, _), result in zip(redeems, results):
-            response_queue.put((request_id, wire.encode_response(result)))
+            traces.respond(response_queue, request_id, wire.encode_response(result))
     for request_id, request in exchanges:
-        try:
-            result = provider.exchange(request)
-        except Exception as exc:
-            result = exc
-        response_queue.put((request_id, wire.encode_response(result)))
+        with traces.scope(request_id):
+            try:
+                result = provider.exchange(request)
+            except Exception as exc:
+                result = exc
+        traces.respond(response_queue, request_id, wire.encode_response(result))
     for request_id, request in deposits:
-        try:
-            credited = desk.deposit_batch(request.account, list(request.coins))
-            result = {"account": request.account, "credited": credited}
-        except Exception as exc:
-            result = exc
-        response_queue.put((request_id, wire.encode_response(result)))
+        with traces.scope(request_id):
+            try:
+                credited = desk.deposit_batch(request.account, list(request.coins))
+                result = {"account": request.account, "credited": credited}
+            except Exception as exc:
+                result = exc
+        traces.respond(response_queue, request_id, wire.encode_response(result))
     for request_id, request in withdraws:
-        try:
-            signature = desk.withdraw_blind(
-                request.account, request.denomination, request.blinded
-            )
-            result = {
-                "account": request.account,
-                "denomination": request.denomination,
-                "signature": signature,
-            }
-        except Exception as exc:
-            result = exc
-        response_queue.put((request_id, wire.encode_response(result)))
+        with traces.scope(request_id):
+            try:
+                signature = desk.withdraw_blind(
+                    request.account, request.denomination, request.blinded
+                )
+                result = {
+                    "account": request.account,
+                    "denomination": request.denomination,
+                    "signature": signature,
+                }
+            except Exception as exc:
+                result = exc
+        traces.respond(response_queue, request_id, wire.encode_response(result))
+
+
+class _stage_log:
+    """Context manager installing the provider's batch stage hook.
+
+    Yields the list the hook appends ``(op, stage, start, duration, n)``
+    timing records to; always uninstalls, so an exploding pipeline
+    never leaves a stale hook on the shared provider.
+    """
+
+    def __init__(self, provider, enabled: bool):
+        self._provider = provider
+        self._log: list = []
+        self._enabled = enabled
+
+    def __enter__(self):
+        if self._enabled:
+            self._provider.stage_hook = self._log.append
+        return self._log
+
+    def __exit__(self, *exc_info):
+        self._provider.stage_hook = None
+        return False
 
 
 def require_start_method() -> str:

@@ -102,7 +102,10 @@ class MarketplaceSimulator:
     stream crosses real sockets.  ``service_max_inflight`` bounds the
     pool's admission (the sim's closed-loop callers never trip a sane
     ceiling; the knob exists so overload experiments reuse this
-    harness).  The report schema is unchanged —
+    harness).  ``service_tracing`` turns on end-to-end span capture
+    (:mod:`repro.service.tracing`) with tail-based keep at
+    ``service_trace_threshold`` seconds — the privacy tests run a full
+    sim with tracing on and audit every recorded span.  The report schema is unchanged —
     the privacy experiments read the same operator knowledge either
     way (mined from the operator-side shard stores, exactly what a
     real operator would hold) — so the sim doubles as the transport
@@ -122,6 +125,8 @@ class MarketplaceSimulator:
         service_shards: int | None = None,
         service_transport: str = "queue",
         service_max_inflight: int | None = None,
+        service_tracing: bool = False,
+        service_trace_threshold: float = 0.25,
     ):
         if mode not in (MODE_P2DRM, MODE_BASELINE):
             raise ValueError(f"unknown mode {mode!r}")
@@ -148,6 +153,7 @@ class MarketplaceSimulator:
         self._net_server = None
         self._net_client = None
         self._service_dir: str | None = None
+        self._service_tracing = bool(service_tracing)
         self._publish_catalog()
         if mode == MODE_P2DRM:
             self.provider = self.deployment.provider
@@ -165,6 +171,8 @@ class MarketplaceSimulator:
                         workers=service_workers,
                         shards=service_shards,
                         max_inflight=service_max_inflight,
+                        tracing=service_tracing,
+                        trace_threshold=service_trace_threshold,
                     )
                     if service_transport == "tcp":
                         from ..service.netserver import NetClient, NetServer
@@ -206,6 +214,14 @@ class MarketplaceSimulator:
         if self._gateway is not None:
             self._gateway.close()
             self._gateway = None
+        if self._service_tracing:
+            # The recorder is a process-global sink installed by
+            # build_gateway; uninstall it so a traced sim cannot leak
+            # spans into whatever runs next in this process.
+            from ..service import tracing
+
+            tracing.disable()
+            self._service_tracing = False
 
     def close(self) -> None:
         """Stop the service stack (if any) and delete its shard files."""

@@ -363,16 +363,17 @@ class TestRecovery:
 
 
 class TestDeskSurface:
-    def test_credited_is_deprecated_alias_of_balance(self, shards, ledger, spent):
+    def test_balance_is_the_only_read(self, shards, ledger, spent):
         desk = ShardedDepositDesk(
             public_keys={}, spent=spent, ledger=ledger, clock=SimClock(1_000)
         )
         desk.open_account("merchant", initial_balance=40)
-        with pytest.warns(DeprecationWarning, match="balance"):
-            assert desk.credited("merchant") == 40
-        with pytest.warns(DeprecationWarning):
-            assert desk.credited("nobody") == 0  # the old accumulator shape
         assert desk.balance("merchant") == 40
+        # The deprecated credited() alias is gone; unknown accounts are
+        # a typed refusal, not the old accumulator's silent 0.
+        assert not hasattr(desk, "credited")
+        with pytest.raises(PaymentError, match="no account"):
+            desk.balance("nobody")
 
 
 # -- end to end over a real pool ---------------------------------------------

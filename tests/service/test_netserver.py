@@ -12,9 +12,11 @@ Two layers of coverage:
   malformed/oversized frames, truncated streams, concurrent clients.
 """
 
+import re
 import socket
 import struct
 import threading
+import urllib.request
 
 import pytest
 
@@ -569,3 +571,112 @@ def test_server_start_is_single_shot(stack):
     _d, _gateway, server, _client = stack
     with pytest.raises(ServiceError):
         server.start()
+
+
+_SAMPLE_LINE_RE = re.compile(
+    r"^[a-z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9a-zA-Z+.eE\-]*$"
+)
+
+
+def _requests_total(text: str, failures: list) -> float:
+    """Sum of ``p2drm_requests_total`` in one exposition; any line that
+    does not parse as a whole sample is a torn scrape."""
+    total = 0.0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not _SAMPLE_LINE_RE.match(line):
+            failures.append(f"torn exposition line: {line!r}")
+            continue
+        if line.startswith("p2drm_requests_total"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def test_concurrent_metrics_scrape_untorn_and_monotone(tmp_path):
+    """GET /metrics and the metrics control frame hammered from four
+    threads while deposits flow on a fifth: every exposition parses
+    whole (no torn text) and every scraper sees the request counter
+    move only forwards."""
+    d = _deployment(seed="net-scrape")
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=2, shards=4)
+    server = NetServer(gateway, metrics_port=0)
+    address = server.start()
+    host, port = server.metrics_address
+    url = f"http://{host}:{port}/metrics"
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def http_scraper():
+        last = 0.0
+        try:
+            for _ in range(200):
+                with urllib.request.urlopen(url, timeout=30) as response:
+                    text = response.read().decode("utf-8")
+                total = _requests_total(text, failures)
+                if total < last:
+                    failures.append(f"http total went back: {last}->{total}")
+                last = total
+                if stop.is_set():
+                    break
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failures.append(f"http scraper: {exc!r}")
+
+    def control_scraper():
+        last = 0.0
+        try:
+            with NetClient(address) as scraper:
+                for _ in range(200):
+                    snapshot = scraper.metrics()
+                    samples = snapshot["p2drm_requests_total"]["samples"]
+                    total = sum(float(s["value"]) for s in samples)
+                    _requests_total(scraper.metrics_text(), failures)
+                    if total < last:
+                        failures.append(
+                            f"control total went back: {last}->{total}"
+                        )
+                    last = total
+                    if stop.is_set():
+                        break
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failures.append(f"control scraper: {exc!r}")
+
+    # Withdraw on this thread (the deployment bank's SQLite handle is
+    # thread-bound); the workload thread only drives the socket.
+    batches = []
+    for index in range(12):
+        payer = d.add_user(f"scrape-payer-{index}", balance=50)
+        batches.append(payer.coins_for(1, d.bank))
+
+    def workload():
+        try:
+            with NetClient(address) as mine:
+                for coins in batches:
+                    mine.deposit("scrape-merch", coins)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failures.append(f"workload: {exc!r}")
+        finally:
+            stop.set()
+
+    threads = [
+        threading.Thread(target=fn)
+        for fn in (http_scraper, http_scraper, control_scraper,
+                   control_scraper, workload)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures[:10]
+        # Every deposit the workload drove is visible in a final scrape.
+        with urllib.request.urlopen(url, timeout=30) as response:
+            final = _requests_total(
+                response.read().decode("utf-8"), failures
+            )
+        assert not failures, failures[:10]
+        assert final >= 12
+    finally:
+        stop.set()
+        server.close()
+        gateway.close()

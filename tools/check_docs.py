@@ -18,6 +18,12 @@ after ruff:
    spec.  Any other ``p2drm_*`` token anywhere in the scanned docs
    (a typo'd name in the runbook, say) also fails.
 
+3. **Span cross-check** — the span names documented in the
+   ``span-registry`` block of ``docs/tracing.md`` must equal the
+   names registered in ``repro.service.tracing.SPAN_SPECS``, both
+   directions: an undocumented span and a documented-but-unregistered
+   span each fail.
+
 Exit status 0 when clean; 1 with one line per problem otherwise.
 """
 
@@ -31,6 +37,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.service.metrics import SERVICE_METRIC_SPECS  # noqa: E402
+from repro.service.tracing import SPAN_SPECS  # noqa: E402
 
 #: Inline markdown links: [text](target).  Deliberately simple — the
 #: docs do not use reference-style links or angle-bracket targets.
@@ -98,9 +105,44 @@ def check_metrics(files: list[Path]) -> list[str]:
     return problems
 
 
+_SPAN_BLOCK_RE = re.compile(
+    r"<!--\s*span-registry:begin\s*-->(.*?)<!--\s*span-registry:end\s*-->",
+    re.DOTALL,
+)
+#: Backticked dotted lowercase names inside the registry block — the
+#: shape every span name takes (and module paths do not: those carry
+#: uppercase or underscores at the segment level the specs never use).
+_SPAN_NAME_RE = re.compile(r"`([a-z]+(?:\.[a-z]+)+)`")
+
+
+def check_spans(files: list[Path]) -> list[str]:
+    spec_names = {spec.name for spec in SPAN_SPECS}
+    reference = REPO_ROOT / "docs" / "tracing.md"
+    if not reference.is_file():
+        return ["docs/tracing.md: missing (the span registry must be documented)"]
+    text = reference.read_text(encoding="utf-8")
+    block = _SPAN_BLOCK_RE.search(text)
+    if block is None:
+        return [
+            "docs/tracing.md: no span-registry:begin/end block to cross-check"
+        ]
+    documented = set(_SPAN_NAME_RE.findall(block.group(1)))
+    problems = []
+    for name in sorted(documented - spec_names):
+        problems.append(
+            f"docs/tracing.md: span {name!r} is documented but not registered"
+            " in SPAN_SPECS"
+        )
+    for name in sorted(spec_names - documented):
+        problems.append(
+            f"docs/tracing.md: registered span {name!r} is undocumented"
+        )
+    return problems
+
+
 def main() -> int:
     files = doc_files()
-    problems = check_links(files) + check_metrics(files)
+    problems = check_links(files) + check_metrics(files) + check_spans(files)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:

@@ -90,6 +90,11 @@ def audit(shards: ShardSet) -> dict:
     intents = ledger.intents()
     by_id = {record.intent_id: record for record in intents}
     state_counts = ledger.intent_counts()
+    #: Reference "now" for pending ages: the newest intent activity the
+    #: shard files have seen (the same clock basis repair() aborts at —
+    #: sim clocks are arbitrary ints, so wall time would be meaningless).
+    now = max([record.updated_at for record in intents] + [0])
+    stuck: list[dict] = []
     for record in intents:
         hexid = record.intent_id.hex()[:16]
         entries = ledger.store_for(record.account_id).entries_for_intent(
@@ -129,9 +134,20 @@ def audit(shards: ShardSet) -> dict:
                     f" {len(entries)} ledger entries"
                 )
             if record.state == INTENT_PENDING:
+                age = now - record.created_at
                 problems.append(
                     f"stuck pending intent {hexid}"
-                    f" (account {record.account_id!r}, amount {record.amount})"
+                    f" (account {record.account_id!r}, amount {record.amount},"
+                    f" pending {age}s)"
+                )
+                stuck.append(
+                    {
+                        "intent": hexid,
+                        "account": record.account_id,
+                        "amount": record.amount,
+                        "created_at": record.created_at,
+                        "age_seconds": age,
+                    }
                 )
 
     # -- spend rows vs their owning intents -----------------------------
@@ -165,6 +181,7 @@ def audit(shards: ShardSet) -> dict:
             "total_balance": ledger.total_balance(),
             "intents": state_counts,
             "coin_spends": spends,
+            "stuck_intents": stuck,
         },
     }
 

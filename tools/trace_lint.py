@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Re-validate a trace dump against the span-attribute allowlist.
+
+The recorder already enforces the allowlist at record time, but that
+proof lives inside the process being traced.  This tool is the
+outside auditor CI runs over the whole test suite's
+``P2DRM_TRACE_DUMP`` output: every JSONL line must be a span whose
+name is registered, whose attributes re-pass
+:func:`repro.service.tracing.validate_attrs`, whose error field is a
+bare exception class name, and whose ids/timings have the declared
+shapes.  Any line that fails means identifier material could have
+reached the trace surface — in ``--strict`` mode that is a build
+failure, not a warning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.errors import ParameterError  # noqa: E402
+from repro.service.tracing import (  # noqa: E402
+    SPAN_ID_BYTES,
+    TRACE_ID_BYTES,
+    validate_attrs,
+    validate_error,
+)
+
+_STATUSES = ("ok", "error")
+
+
+def _check_hex(value, nbytes: int, *, empty_ok: bool = False) -> str | None:
+    if not isinstance(value, str):
+        return "not a string"
+    if value == "":
+        return None if empty_ok else "empty"
+    if len(value) != 2 * nbytes:
+        return f"expected {2 * nbytes} hex chars, got {len(value)}"
+    try:
+        bytes.fromhex(value)
+    except ValueError:
+        return "not hex"
+    return None
+
+
+def lint_span(span: dict) -> list[str]:
+    """Every violation in one dumped span record (empty = clean)."""
+    problems: list[str] = []
+    name = span.get("name")
+    if not isinstance(name, str):
+        return ["span has no name"]
+    for field, nbytes, empty_ok in (
+        ("trace", TRACE_ID_BYTES, False),
+        ("span", SPAN_ID_BYTES, False),
+        ("parent", SPAN_ID_BYTES, True),
+    ):
+        fault = _check_hex(span.get(field), nbytes, empty_ok=empty_ok)
+        if fault is not None:
+            problems.append(f"{field} id: {fault}")
+    for field in ("start_micros", "duration_micros"):
+        value = span.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{field}: not a non-negative integer")
+    if span.get("status") not in _STATUSES:
+        problems.append(f"status {span.get('status')!r} not in {_STATUSES}")
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        problems.append("attrs: not a dict")
+    else:
+        try:
+            validate_attrs(name, attrs)
+        except ParameterError as exc:
+            problems.append(str(exc))
+    error = span.get("error", "")
+    try:
+        validate_error(name, error if isinstance(error, str) else "?bad?")
+    except ParameterError as exc:
+        problems.append(str(exc))
+    if span.get("status") == "error" and not error:
+        problems.append("status=error with empty error type")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSONL trace dump (P2DRM_TRACE_DUMP output)")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any violation (CI mode); default reports only",
+    )
+    args = parser.parse_args(argv)
+
+    spans = 0
+    bad = 0
+    names: set[str] = set()
+    with open(args.path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            spans += 1
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                bad += 1
+                print(f"line {lineno}: not JSON: {exc}")
+                continue
+            if not isinstance(span, dict):
+                bad += 1
+                print(f"line {lineno}: not a span object")
+                continue
+            problems = lint_span(span)
+            if problems:
+                bad += 1
+                for problem in problems:
+                    print(f"line {lineno}: {problem}")
+            elif isinstance(span.get("name"), str):
+                names.add(span["name"])
+    print(
+        f"trace lint: {spans} spans, {len(names)} distinct names,"
+        f" {bad} violating"
+    )
+    if bad:
+        return 1 if args.strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Render captured traces: span trees, critical paths, stage breakdowns.
+
+Stdlib-only on purpose — this is the operator's terminal companion to
+the trace surface, runnable on any box with the JSON in hand.  Input
+is either
+
+* a ``P2DRM_TRACE_DUMP`` JSONL file (one span object per line, each
+  carrying its ``trace`` id), or
+* the ``GET /traces`` / ``NetClient.traces()`` JSON document
+  (``{"traces": [{"trace", "reason", "spans": [...]}], ...}``).
+
+With no flags it lists every trace (id, root op, span count, total
+duration, keep reason when known).  ``--trace PREFIX`` selects one
+trace and prints its span tree with a ``*`` on every span of the
+critical path — the root-to-leaf chain that dominates the end-to-end
+latency — followed by the path itself with per-hop self time.
+``--stages`` aggregates ``worker.stage`` spans across the selection
+into a per-(op, stage) breakdown, the batch pipeline's cost profile.
+
+All timings print in microseconds (the ints the trace surface carries;
+no float parsing, no precision loss).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_spans(path: str) -> dict[str, list[dict]]:
+    """Spans grouped by trace id hex, plus ``reason`` stitched onto the
+    group when the document form carries one."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    traces: dict[str, list[dict]] = defaultdict(list)
+    reasons: dict[str, str] = {}
+    stripped = text.lstrip()
+    if stripped.startswith("{") and not _looks_jsonl(stripped):
+        document = json.loads(text)
+        for entry in document.get("traces", []):
+            tid = str(entry.get("trace", ""))
+            reasons[tid] = str(entry.get("reason", ""))
+            for span in entry.get("spans", []):
+                traces[tid].append(dict(span))
+    else:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            span = json.loads(line)
+            traces[str(span.get("trace", ""))].append(span)
+    for tid, reason in reasons.items():
+        for span in traces.get(tid, ()):
+            span.setdefault("_reason", reason)
+    return dict(traces)
+
+
+def _looks_jsonl(stripped: str) -> bool:
+    first = stripped.split("\n", 1)[0].strip()
+    try:
+        parsed = json.loads(first)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(parsed, dict) and "span" in parsed
+
+
+def _children(spans: list[dict]) -> dict[str, list[dict]]:
+    by_parent: dict[str, list[dict]] = defaultdict(list)
+    for span in spans:
+        by_parent[str(span.get("parent", ""))].append(span)
+    for group in by_parent.values():
+        group.sort(key=lambda s: int(s.get("start_micros", 0)))
+    return by_parent
+
+
+def _roots(spans: list[dict]) -> list[dict]:
+    ids = {str(s.get("span", "")) for s in spans}
+    return sorted(
+        (s for s in spans if str(s.get("parent", "")) not in ids),
+        key=lambda s: int(s.get("start_micros", 0)),
+    )
+
+
+def critical_path(spans: list[dict]) -> list[dict]:
+    """Root-to-leaf chain dominating latency: from each span, descend
+    into the child whose duration is largest, until there is none."""
+    roots = _roots(spans)
+    if not roots:
+        return []
+    by_parent = _children(spans)
+    path = [max(roots, key=lambda s: int(s.get("duration_micros", 0)))]
+    while True:
+        kids = by_parent.get(str(path[-1].get("span", "")), [])
+        if not kids:
+            return path
+        path.append(max(kids, key=lambda s: int(s.get("duration_micros", 0))))
+
+
+def _span_label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    attr_text = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    status = span.get("status", "ok")
+    error = f" error={span.get('error')}" if status == "error" else ""
+    return (
+        f"{span.get('name', '?'):<22} {int(span.get('duration_micros', 0)):>9}us"
+        f"  {attr_text}{error}"
+    )
+
+
+def print_tree(spans: list[dict], out) -> None:
+    by_parent = _children(spans)
+    on_path = {id(s) for s in critical_path(spans)}
+
+    def walk(span: dict, depth: int) -> None:
+        marker = "*" if id(span) in on_path else " "
+        out.write(f"{marker} {'  ' * depth}{_span_label(span)}\n")
+        for child in by_parent.get(str(span.get("span", "")), []):
+            walk(child, depth + 1)
+
+    for root in _roots(spans):
+        walk(root, 0)
+    path = critical_path(spans)
+    if not path:
+        return
+    out.write("\ncritical path:\n")
+    for index, span in enumerate(path):
+        duration = int(span.get("duration_micros", 0))
+        child = int(path[index + 1].get("duration_micros", 0)) if index + 1 < len(path) else 0
+        out.write(
+            f"  {span.get('name', '?'):<22} {duration:>9}us"
+            f"  (self {max(0, duration - child):>9}us)\n"
+        )
+
+
+def print_stages(traces: dict[str, list[dict]], out) -> None:
+    totals: dict[tuple[str, str], list[int]] = defaultdict(lambda: [0, 0])
+    for spans in traces.values():
+        for span in spans:
+            if span.get("name") != "worker.stage":
+                continue
+            attrs = span.get("attrs", {})
+            key = (str(attrs.get("op", "?")), str(attrs.get("stage", "?")))
+            totals[key][0] += 1
+            totals[key][1] += int(span.get("duration_micros", 0))
+    if not totals:
+        out.write("no worker.stage spans in selection\n")
+        return
+    out.write(f"{'op':<10} {'stage':<16} {'count':>6} {'total us':>10} {'mean us':>9}\n")
+    for (op, stage), (count, total) in sorted(
+        totals.items(), key=lambda item: -item[1][1]
+    ):
+        out.write(
+            f"{op:<10} {stage:<16} {count:>6} {total:>10} {total // count:>9}\n"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace dump (JSONL) or GET /traces JSON")
+    parser.add_argument(
+        "--trace", help="hex trace-id prefix to render as a span tree"
+    )
+    parser.add_argument(
+        "--stages",
+        action="store_true",
+        help="per-(op, stage) worker.stage breakdown over the selection",
+    )
+    args = parser.parse_args(argv)
+
+    traces = load_spans(args.path)
+    if not traces:
+        print("no traces found")
+        return 1
+    if args.trace:
+        selected = {
+            tid: spans
+            for tid, spans in traces.items()
+            if tid.startswith(args.trace)
+        }
+        if not selected:
+            print(f"no trace matching {args.trace!r}")
+            return 1
+        if len(selected) > 1 and not args.stages:
+            print(f"prefix {args.trace!r} matches {len(selected)} traces:")
+            for tid in selected:
+                print(f"  {tid}")
+            return 1
+        traces = selected
+
+    if args.stages:
+        print_stages(traces, sys.stdout)
+        return 0
+    if args.trace:
+        [(tid, spans)] = traces.items()
+        reason = spans[0].get("_reason", "") if spans else ""
+        suffix = f" (kept: {reason})" if reason else ""
+        print(f"trace {tid}{suffix}")
+        print_tree(spans, sys.stdout)
+        return 0
+    for tid, spans in sorted(
+        traces.items(),
+        key=lambda item: min(
+            int(s.get("start_micros", 0)) for s in item[1]
+        ) if item[1] else 0,
+    ):
+        roots = _roots(spans)
+        root = roots[0] if roots else {}
+        attrs = root.get("attrs", {})
+        reason = spans[0].get("_reason", "") if spans else ""
+        print(
+            f"{tid}  {root.get('name', '?'):<14} op={attrs.get('op', '?'):<10}"
+            f" spans={len(spans):<4}"
+            f" duration={int(root.get('duration_micros', 0))}us"
+            + (f"  kept={reason}" if reason else "")
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
