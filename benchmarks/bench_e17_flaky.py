@@ -1,0 +1,302 @@
+"""E17 — exactly-once money over a flaky network.
+
+The robustness acceptance run: a fleet of reconnecting clients pushes
+deposits through a deterministic fault-injection proxy
+(:class:`~repro.service.faults.ChaosListener` — resets, mid-frame
+truncations, blackholes, duplicates, delays on a seeded schedule) and
+every receipt must still be **byte-identical** to a clean same-seeded
+queue-transport reference, with zero lost and zero double-applied
+credits certified two ways: per-account balances, and the offline
+``tools/ledger_audit.py`` scan (which now also cross-checks every
+surviving replay-cache record against the ledger).
+
+Second arm: the post-commit kill.  A deposit lands, the whole service
+is torn down (the client "never learned" whether its receipt was
+real), the pool restarts over the same shard files, and the retry —
+same coins, same idempotency nonce — must be answered with the
+**original receipt** by the durable replay cache, not the false
+``DoubleSpendError`` a cache-less server would produce.
+
+Wall-clock figures are advisory; the asserted signal is identity and
+conservation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro import codec
+from repro.core.protocols.payment import withdraw_coins
+from repro.core.system import build_deployment
+from repro.crypto.backend import backend_name
+from repro.service.faults import ChaosListener, FaultPlan, FaultSpec
+from repro.service.gateway import build_gateway
+from repro.service.netserver import NetServer
+from repro.service.retry import ReconnectingNetClient, RetryPolicy
+
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
+
+RSA_BITS = 512 if BENCH_SMOKE else 1024
+N_CLIENTS = 6 if BENCH_SMOKE else 48
+DEPOSITS_PER_CLIENT = 2 if BENCH_SMOKE else 4
+PAYMENT_AMOUNT = 26  # decomposes to [20, 5, 1]: every deposit is multi-coin
+SEED = "bench-e17"
+FAULT_SEED = 7
+
+#: The network under test: roughly one frame in seven is harmed.
+FAULTS = FaultSpec(
+    reset_rate=0.03,
+    truncate_rate=0.02,
+    drop_rate=0.03,
+    duplicate_rate=0.03,
+    delay_rate=0.05,
+    delay_s=0.001,
+)
+
+_AUDIT_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "ledger_audit.py",
+)
+
+
+def _deployment():
+    return build_deployment(seed=SEED, rsa_bits=RSA_BITS)
+
+
+def _policy(index: int) -> RetryPolicy:
+    return RetryPolicy(
+        deadline_s=60.0,
+        attempt_timeout_s=0.5,
+        max_attempts=30,
+        rng=random.Random(index),
+    )
+
+
+def _withdrawals(deployment):
+    """Every client's coins, withdrawn same-seeded and in one fixed
+    order so both arms see byte-identical wallets."""
+    plan = []
+    for index in range(N_CLIENTS):
+        user = deployment.add_user(f"e17-payer-{index:02d}", balance=1_000)
+        coins = [
+            withdraw_coins(user, deployment.bank, PAYMENT_AMOUNT)
+            for _ in range(DEPOSITS_PER_CLIENT)
+        ]
+        plan.append((f"e17-merchant-{index:02d}", coins))
+    return plan
+
+
+def _run_audit(directory: str) -> dict:
+    completed = subprocess.run(
+        [sys.executable, _AUDIT_TOOL, directory, "--json"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    report = json.loads(completed.stdout)
+    report["exit_code"] = completed.returncode
+    return report
+
+
+class TestFlaky:
+    def test_fleet_through_chaos_is_exactly_once(self, experiment):
+        # -- clean queue-transport reference ----------------------------
+        reference = _deployment()
+        directory = tempfile.mkdtemp(prefix="p2drm-e17-ref-")
+        gateway = build_gateway(reference, directory, workers=2, shards=4)
+        ref_receipts: dict[str, list[bytes]] = {}
+        try:
+            for account, wallets in _withdrawals(reference):
+                ref_receipts[account] = [
+                    codec.encode(gateway.deposit(account, coins))
+                    for coins in wallets
+                ]
+        finally:
+            gateway.close()
+            shutil.rmtree(directory, ignore_errors=True)
+
+        # -- the fleet, through the chaos proxy --------------------------
+        flaky = _deployment()
+        directory = tempfile.mkdtemp(prefix="p2drm-e17-chaos-")
+        gateway = build_gateway(flaky, directory, workers=2, shards=4)
+        plan = FaultPlan(FAULTS, seed=FAULT_SEED)
+        receipts: dict[str, list[bytes]] = {}
+        failures: list[str] = []
+        reconnects = retries = 0
+        try:
+            with NetServer(gateway) as server:
+                with ChaosListener(server.address, plan) as proxy:
+                    lock = threading.Lock()
+
+                    def run_client(index, account, wallets):
+                        nonlocal reconnects, retries
+                        client = ReconnectingNetClient(
+                            proxy.address,
+                            policy=_policy(index),
+                            timeout=10.0,
+                        )
+                        mine = []
+                        try:
+                            for coins in wallets:
+                                try:
+                                    receipt = client.deposit(account, coins)
+                                except Exception as exc:  # noqa: BLE001
+                                    with lock:
+                                        failures.append(
+                                            f"{account}: {type(exc).__name__}:"
+                                            f" {exc}"
+                                        )
+                                    continue
+                                mine.append(codec.encode(receipt))
+                        finally:
+                            local = client.local_metrics
+                            with lock:
+                                receipts[account] = mine
+                                reconnects += local.get(
+                                    "p2drm_reconnects_total"
+                                ).value()
+                                retries += sum(
+                                    count
+                                    for _labels, count in local.get(
+                                        "p2drm_retries_total"
+                                    ).samples()
+                                )
+                            client.close()
+
+                    start = time.perf_counter()
+                    threads = [
+                        threading.Thread(
+                            target=run_client, args=(i, account, wallets)
+                        )
+                        for i, (account, wallets) in enumerate(
+                            _withdrawals(flaky)
+                        )
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join(timeout=300)
+                    elapsed = time.perf_counter() - start
+                    connections = proxy.connections_accepted
+            replay_hits = gateway.metrics.get("p2drm_replay_hits_total").value()
+
+            assert failures == [], failures
+            # Byte identity: every receipt equals the queue reference's.
+            for account, expected in ref_receipts.items():
+                assert receipts[account] == expected, account
+            # Zero lost, zero double-applied: the durable balances say
+            # exactly one credit per receipt.
+            for account in ref_receipts:
+                assert gateway.balance(account) == (
+                    DEPOSITS_PER_CLIENT * PAYMENT_AMOUNT
+                ), account
+        finally:
+            gateway.close()
+
+        # The offline auditor must agree from the shard files alone —
+        # including the replay-cache consistency scan.
+        try:
+            report = _run_audit(directory)
+            assert report["exit_code"] == 0, report
+            assert report["problems"] == [], report["problems"]
+            assert report["stats"]["total_balance"] == (
+                N_CLIENTS * DEPOSITS_PER_CLIENT * PAYMENT_AMOUNT
+            )
+            replay_records = report["stats"]["replay_records"]
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+        total = N_CLIENTS * DEPOSITS_PER_CLIENT
+        experiment.row(
+            case="fleet-chaos",
+            transport="tcp-chaos",
+            clients=N_CLIENTS,
+            deposits=total,
+            deposits_per_s=total / elapsed,
+            connections=connections,
+            reconnects=reconnects,
+            retries=retries,
+            replay_hits_front_door=replay_hits,
+            replay_records=replay_records,
+            lost_credits=0,
+            double_credits=0,
+            audit_problems=0,
+            byte_identical=True,
+            backend=backend_name(),
+        )
+
+    def test_post_commit_kill_serves_original_receipt(self, experiment):
+        deployment = _deployment()
+        directory = tempfile.mkdtemp(prefix="p2drm-e17-kill-")
+        user = deployment.add_user("e17-kill-payer", balance=1_000)
+        coins = withdraw_coins(user, deployment.bank, PAYMENT_AMOUNT)
+        nonce = b"E17-KILL-NONCE-0"  # 16 bytes, fixed across both lives
+        account = "e17-kill-merchant"
+        try:
+            gateway = build_gateway(deployment, directory, workers=2, shards=4)
+            try:
+                with NetServer(gateway) as server:
+                    client = ReconnectingNetClient(
+                        server.address,
+                        policy=_policy(0),
+                        nonces=lambda: nonce,
+                    )
+                    try:
+                        first = client.deposit(account, coins)
+                    finally:
+                        client.close()
+                assert first == {
+                    "account": account,
+                    "credited": PAYMENT_AMOUNT,
+                }
+            finally:
+                gateway.close()  # the kill: deposit is past its commit point
+
+            # Restart over the same shard files; retry the same payment
+            # with the same idempotency nonce.
+            gateway = build_gateway(deployment, directory, workers=2, shards=4)
+            try:
+                with NetServer(gateway) as server:
+                    client = ReconnectingNetClient(
+                        server.address,
+                        policy=_policy(0),
+                        nonces=lambda: nonce,
+                    )
+                    try:
+                        retried = client.deposit(account, coins)
+                    finally:
+                        client.close()
+                # The original receipt — NOT DoubleSpendError.
+                assert retried == first
+                assert gateway.balance(account) == PAYMENT_AMOUNT
+                replay_hits = gateway.metrics.get(
+                    "p2drm_replay_hits_total"
+                ).value()
+                assert replay_hits >= 1
+            finally:
+                gateway.close()
+
+            report = _run_audit(directory)
+            assert report["exit_code"] == 0, report
+            assert report["problems"] == [], report["problems"]
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        experiment.row(
+            case="post-commit-kill-retry",
+            transport="tcp",
+            payments=1,
+            replay_hits_front_door=replay_hits,
+            credited_once=True,
+            original_receipt_served=True,
+            audit_problems=0,
+            backend=backend_name(),
+        )

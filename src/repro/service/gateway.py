@@ -38,6 +38,7 @@ from ..storage.ledger import LedgerEntry
 from . import tracing as tracing_module
 from .ledger import ShardedLedger, recover_intents
 from .metrics import MetricsRegistry, ensure_service_metrics
+from .replay import ReplayCache
 from .pool import RESPONSE_TIMEOUT, WorkerPool
 from .sharding import (
     ShardedAuditLog,
@@ -149,6 +150,13 @@ class ServiceGateway(ProviderSurface, BankSurface):
         self._spent_tokens = ShardedSpentTokenStore(self._shards, "anon-license")
         self._coin_spent_tokens = ShardedSpentTokenStore(self._shards, "ecash")
         self._ledger = ShardedLedger(self._shards)
+        # Front-door view of the workers' idempotent-replay cache
+        # (same shard files, so a retry the socket server answers here
+        # never reaches a worker queue).  The wait budget is short:
+        # the socket server consults this under its control lock, so a
+        # mid-commit original must refuse-retryably fast, not camp on
+        # the lock — the worker-side cache owns the patient wait.
+        self._replay = ReplayCache(self._shards, self._ledger, wait_budget=0.25)
         self._contents: ContentStore = _catalog_store(config)
         self._closed = False
         self._registry = ensure_service_metrics(
@@ -245,13 +253,17 @@ class ServiceGateway(ProviderSurface, BankSurface):
         tests that need to *defeat* affinity and race two workers)."""
         return self._pool.worker_for(request)
 
-    def submit(self, request, *, worker: int | None = None) -> int:
+    def submit(
+        self, request, *, worker: int | None = None, nonce: bytes | None = None
+    ) -> int:
         """Enqueue one request; returns a ticket for :meth:`gather`.
 
         ``worker`` overrides shard affinity — how tests race the same
-        token onto two different workers on purpose.
+        token onto two different workers on purpose.  ``nonce``
+        stamps an idempotency key for retry-safe resubmission (see
+        :mod:`repro.service.replay`).
         """
-        return self._pool.submit(request, worker=worker)
+        return self._pool.submit(request, worker=worker, nonce=nonce)
 
     def gather(self, request_ids: list[int]) -> list:
         """Results (or rejecting exceptions) for submitted tickets,
@@ -370,6 +382,13 @@ class ServiceGateway(ProviderSurface, BankSurface):
     def ledger(self) -> ShardedLedger:
         """The gateway-side read view over the sharded ledger files."""
         return self._ledger
+
+    @property
+    def replay(self) -> ReplayCache:
+        """The idempotent-replay cache over the same shard files the
+        workers write (the socket front door short-circuits retries
+        whose original landed)."""
+        return self._replay
 
     @property
     def recovery_summary(self) -> dict:

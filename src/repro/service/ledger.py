@@ -258,9 +258,20 @@ class DepositSequencer:
         # byte-identical to the in-process reference.
         self._intent_ids = intent_ids or (lambda: os.urandom(16))
 
-    def deposit(self, account_id: str, coins: list) -> int:
+    def deposit(self, account_id: str, coins: list, *, pre_commit=None) -> int:
         """Spend ``coins`` across their home shards and credit
         ``account_id`` atomically; returns the amount credited.
+
+        ``pre_commit(intent_id)``, when given, runs after every coin is
+        spent but *before* the commit point.  It is the seam the
+        idempotent-replay cache uses to make its record durable strictly
+        earlier than the credit it describes: a crash between the two
+        leaves a record pointing at a pending intent, which recovery
+        aborts — the record is then stale and lookups treat it as a
+        miss.  The converse order would open a window where a committed
+        deposit has no replay record and a retry earns a false
+        ``DoubleSpendError``.  An exception from the hook aborts the
+        intent, releases this payment's spends, and propagates.
 
         Raises :class:`~repro.errors.DoubleSpendError` when any coin is
         genuinely owned by a committed deposit (including a replay of
@@ -311,6 +322,12 @@ class DepositSequencer:
                 self._spend_one(
                     token, coin, intent_id, account_id, now, transcript, spent_here
                 )
+        if pre_commit is not None:
+            try:
+                pre_commit(intent_id)
+            except BaseException:
+                self._abort(intent_id, account_id, now, spent_here)
+                raise
         with tracing.span("ledger.commit", shard=home_shard) as commit_span:
             committed = self._ledger.store_for(account_id).commit_intent(
                 intent_id, at=now, transcript=intent_payload(pairs)

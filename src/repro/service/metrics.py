@@ -547,6 +547,27 @@ SERVICE_METRIC_SPECS: tuple[MetricSpec, ...] = (
         ("op",),
         DEFAULT_LATENCY_BUCKETS,
     ),
+    MetricSpec(
+        "p2drm_reconnects_total",
+        "counter",
+        "Successful client re-dials after a connection failure"
+        " (client-side registry; a sustained climb means the network"
+        " or the server is flapping).",
+    ),
+    MetricSpec(
+        "p2drm_retries_total",
+        "counter",
+        "Client request retries, per op and per reason (the bare"
+        " error class that made the attempt retryable).",
+        ("op", "reason"),
+    ),
+    MetricSpec(
+        "p2drm_replay_hits_total",
+        "counter",
+        "Retries answered from the idempotent-replay cache with the"
+        " original receipt instead of re-execution (front-door hits;"
+        " worker-side hits surface as fast deposits, not here).",
+    ),
 )
 
 

@@ -232,6 +232,11 @@ class NetServer(Listener):
         self._metrics_port = metrics_port
         self._metrics_address: tuple[str, int] | None = None
         self._conn_ids = itertools.count()
+        #: Loop-confined: live connection handlers (task -> writer),
+        #: registered at accept and retired in each handler's finally;
+        #: shutdown closes the writers and awaits the tasks so no
+        #: handler is ever left for blanket task cancellation.
+        self._conns: dict[asyncio.Task, asyncio.StreamWriter] = {}
         registry = gateway.metrics
         self._registry = registry
         self._m_connections = registry.get("p2drm_net_connections")
@@ -239,6 +244,7 @@ class NetServer(Listener):
         self._m_frames = registry.get("p2drm_net_frames_total")
         self._m_shed = registry.get("p2drm_shed_total")
         self._m_requests = registry.get("p2drm_requests_total")
+        self._m_replay_hits = registry.get("p2drm_replay_hits_total")
         # Sized for the blocking pool waits: every slot is a thread
         # parked on a condition variable, so the cap is about bounding
         # bookkeeping, not CPU.
@@ -363,6 +369,18 @@ class NetServer(Listener):
             if metrics_server is not None:
                 metrics_server.close()
                 await metrics_server.wait_closed()
+            # Both listeners are closed: no new connections can arrive.
+            # Retire the live ones by closing their transports — the
+            # handlers see EOF and exit their normal path — instead of
+            # leaving them for asyncio.run's blanket task cancellation
+            # (which 3.11's streams machinery reports as an unhandled
+            # exception per connection).
+            for writer in self._conns.values():
+                writer.close()
+            if self._conns:
+                await asyncio.gather(
+                    *self._conns, return_exceptions=True
+                )
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -372,6 +390,9 @@ class NetServer(Listener):
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         conn = f"c{next(self._conn_ids)}"
+        me = asyncio.current_task()
+        assert me is not None
+        self._conns[me] = writer
         self._m_connections.inc()
         self._m_conn_inflight.set(0, conn=conn)
         try:
@@ -425,7 +446,16 @@ class NetServer(Listener):
                     task.add_done_callback(tasks.discard)
                 if frames is None:
                     break
+        except OSError:
+            # A peer reset mid-stream is the abrupt spelling of the
+            # mid-frame close above: any half-sent request is lost and
+            # nobody is left to answer.  The read loop is the only
+            # place the reset surfaces (response writes park behind
+            # the gather below), so catching it here keeps the event
+            # loop's log clean without hiding a real defect.
+            pass
         finally:
+            self._conns.pop(me, None)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             self._m_connections.dec()
@@ -554,6 +584,9 @@ class NetServer(Listener):
         nothing but the 404.  This is a scrape target, not a web
         server.
         """
+        me = asyncio.current_task()
+        assert me is not None
+        self._conns[me] = writer
         try:
             try:
                 head = await asyncio.wait_for(
@@ -596,6 +629,7 @@ class NetServer(Listener):
         except (ConnectionError, OSError, asyncio.TimeoutError):
             pass  # scraper went away; nothing to clean up
         finally:
+            self._conns.pop(me, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -661,6 +695,20 @@ class NetServer(Listener):
                         " the mint, and only to trusted clients)"
                     )
                 )
+            nonce = wire.peek_nonce(envelope)
+            if nonce is not None:
+                # Front-door idempotent replay: a retry whose original
+                # already committed is answered with the original bytes
+                # right here — no worker round trip, no second 2PC run.
+                # A lookup refusal (original still mid-commit) raises a
+                # retryable ServiceError that the arms below encode.
+                # Same lock as the control ops: the gateway's SQLite
+                # views must not see interleaved cross-thread reads.
+                with self._control_lock:
+                    cached = self._gateway.replay.lookup(nonce)
+                if cached is not None:
+                    self._m_replay_hits.inc()
+                    return cached
             ctx = wire.peek_trace(envelope) if tracing.enabled() else None
             if ctx is None:
                 ticket = pool.submit_encoded(envelope, worker=worker)
@@ -849,17 +897,33 @@ class NetClient(ProviderSurface, BankSurface):
         self._address = (str(address[0]), int(address[1]))
         self._timeout = timeout
         self._max_payload = max_payload
-        self._socket = socket_module.create_connection(self._address, timeout=timeout)
-        self._socket.setsockopt(
-            socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
-        )
-        self._decoder = FrameDecoder(max_payload=max_payload)
         self._next_id = itertools.count()
         #: Frames received but not yet claimed, by request id.
         self._received: dict[int, tuple[int, bytes]] = {}
         self._lock = threading.RLock()
         self._hello: dict | None = None
         self._closed = False
+        #: Sticky connection failure.  Once the stream breaks, every
+        #: outstanding correlation must resolve to the same typed
+        #: error instead of hanging on a dead socket — and new work
+        #: must be refused until (a subclass) re-dials.
+        self._broken: ServiceError | None = None
+        self._connect()
+
+    def _connect(self) -> None:
+        """Dial (or re-dial) the server: fresh socket, fresh decoder.
+
+        Parked frames in ``self._received`` survive on purpose — a
+        fully received response is a valid answer no matter what
+        happened to the connection afterwards."""
+        self._socket = socket_module.create_connection(
+            self._address, timeout=self._timeout
+        )
+        self._socket.setsockopt(
+            socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
+        )
+        self._decoder = FrameDecoder(max_payload=self._max_payload)
+        self._broken = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -884,13 +948,16 @@ class NetClient(ProviderSurface, BankSurface):
     def _send(self, frame_type: int, request_id: int, payload: bytes) -> None:
         if self._closed:
             raise ServiceError("client is closed")
+        if self._broken is not None:
+            raise self._broken
         data = encode_frame(
             frame_type, request_id, payload, max_payload=self._max_payload
         )
         try:
             self._socket.sendall(data)
         except OSError as exc:
-            raise ServiceError(f"send failed: {exc}") from exc
+            self._broken = ServiceError(f"send failed: {exc}")
+            raise self._broken from exc
         # Opportunistically drain replies the server already produced.
         # A submit-all-then-gather batch would otherwise leave early
         # responses unread while still writing: once they overflow the
@@ -915,7 +982,8 @@ class NetClient(ProviderSurface, BankSurface):
                     # Same typed contract as the blocking reads: a
                     # reset mid-drain surfaces as ServiceError, not a
                     # bare socket exception out of submit().
-                    raise ServiceError(f"receive failed: {exc}") from exc
+                    self._broken = ServiceError(f"receive failed: {exc}")
+                    raise self._broken from exc
                 if not data:
                     # Server hung up; the next blocking read reports it
                     # with the proper typed error.
@@ -926,20 +994,37 @@ class NetClient(ProviderSurface, BankSurface):
             self._socket.settimeout(self._timeout)
 
     def _receive_into_parked(self) -> None:
-        """Read one chunk off the socket; park every completed frame."""
+        """Read one chunk off the socket; park every completed frame.
+
+        Connection failures are **sticky**: the first one poisons the
+        client (``self._broken``), and every later wait for a frame
+        that never arrived re-raises the *same* typed error — so a
+        mid-gather disconnect resolves all outstanding correlations
+        instead of hanging the next one on a dead socket.
+        """
+        if self._broken is not None:
+            raise self._broken
         try:
             data = self._socket.recv(_READ_CHUNK)
         except socket_module.timeout:
+            # A timeout is not a broken stream: the decoder is still
+            # frame-aligned and a slow server may yet answer.
             raise ServiceError(
                 f"no server response within {self._timeout}s"
             ) from None
         except OSError as exc:
-            raise ServiceError(f"receive failed: {exc}") from exc
+            self._broken = ServiceError(f"receive failed: {exc}")
+            raise self._broken from exc
         if not data:
             # Typed truncation beats a silent hang: mid-frame close is
             # TruncatedFrameError, between-frames close a ServiceError.
-            self._decoder.finish()
-            raise ServiceError("server closed the connection")
+            try:
+                self._decoder.finish()
+            except TruncatedFrameError as exc:
+                self._broken = exc
+                raise
+            self._broken = ServiceError("server closed the connection")
+            raise self._broken
         for frame in self._decoder.feed(data):
             self._received[frame.request_id] = (frame.type, frame.payload)
 
@@ -963,6 +1048,14 @@ class NetClient(ProviderSurface, BankSurface):
         ``worker`` pins the request past shard affinity (the socket
         twin of the gateway override tests use to stage races)."""
         envelope = wire.encode_request(request, trace=tracing.current_context())
+        return self.submit_encoded(envelope, worker=worker)
+
+    def submit_encoded(self, envelope: bytes, *, worker: int | None = None) -> int:
+        """Frame and send already-encoded request bytes, verbatim.
+
+        The reconnecting client retries through here: replaying the
+        *same* envelope bytes keeps retries byte-identical (same
+        idempotency nonce, same trace ids) across re-dials."""
         with self._lock:
             ticket = next(self._next_id)
             if worker is None:

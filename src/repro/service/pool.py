@@ -262,16 +262,23 @@ class WorkerPool:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, request, *, worker: int | None = None) -> int:
+    def submit(
+        self, request, *, worker: int | None = None, nonce: bytes | None = None
+    ) -> int:
         """Encode and enqueue one request; returns a gather ticket.
 
         Raises :class:`~repro.errors.OverloadedError` when an
         admission ceiling is full — before the request touches any
         queue or store, so a shed submit is always safe to retry.
+
+        ``nonce`` stamps the envelope with an idempotency key (see
+        :mod:`repro.service.replay`) so queue-path retries — chaos
+        transports, the sim — get the same exactly-once replay the
+        socket clients do.
         """
         ctx = tracing.current_context()
         return self._enqueue(
-            wire.encode_request(request, trace=ctx),
+            wire.encode_request(request, trace=ctx, nonce=nonce),
             self.worker_for(request) if worker is None else worker % self._workers,
             wire.request_kind(request),
             ctx,

@@ -1,0 +1,211 @@
+"""Idempotent-replay response cache: retry-safety for committed money.
+
+A client that loses its connection after submitting a deposit cannot
+know whether the 2PC commit point was crossed.  Retrying blind risks a
+false :class:`~repro.errors.DoubleSpendError` — the coins *are* spent,
+by the client's own first attempt.  This module closes that window: a
+bounded cache maps each request's idempotency nonce (see
+``wire.encode_request(..., nonce=...)``) to the completed response
+bytes, so a retry whose original landed is answered with the original
+receipt instead of being re-executed.
+
+The cache rides the same exactly-once machinery as the bearer tokens:
+records live in a :class:`ShardedSpentTokenStore` under the
+``replay-cache`` kind, with the nonce as the token id and the durable
+truth — which intent the receipt describes — in the transcript.
+
+Correctness does **not** rest on the cache row alone.  A record is
+written *before* the intent commits (via the sequencer's ``pre_commit``
+seam), so a crash between the two leaves a record pointing at an intent
+that startup recovery aborts.  Every lookup therefore re-validates
+against the ledger:
+
+- intent **committed** → the receipt is real, serve the cached bytes;
+- intent **pending**   → the original attempt is mid-commit on another
+  worker; wait briefly, then refuse retryably rather than guess;
+- intent **aborted** or unknown → the record is stale; release it with
+  a compare-and-delete and report a miss so the retry re-executes.
+
+Eviction is honest about its one limitation: a retry arriving after its
+record was pruned re-executes and earns a *truthful*
+``DoubleSpendError`` — the standard failure mode of any bounded
+idempotency window, and strictly no worse than having no cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .. import codec
+from ..errors import ServiceError
+from .sharding import ShardedSpentTokenStore, ShardSet
+
+#: Per-shard cap on cached responses.  Nonces hash uniformly, so the
+#: effective window is ~``shards * this`` most-recent completed
+#: requests — sized to dwarf any plausible retry horizon (a client
+#: retries within its deadline, seconds, not thousands of requests).
+DEFAULT_MAX_RECORDS_PER_SHARD = 4096
+
+#: How long a lookup waits for a pending twin's commit point before
+#: refusing retryably.  Mirrors the sequencer's pending-owner wait.
+DEFAULT_WAIT_BUDGET = 2.0
+
+_POLL_INTERVAL = 0.01
+
+#: The spent-token ``kind`` namespacing replay records.  Audit tools
+#: key off this to apply cache semantics (pruning allowed, staleness
+#: possible) instead of bearer-token semantics.
+REPLAY_KIND = "replay-cache"
+
+
+def encode_replay_record(
+    *, response: bytes, intent_id: bytes, account: str, amount: int
+) -> bytes:
+    """Canonical transcript for one cached response."""
+    return codec.encode(
+        {
+            "response": bytes(response),
+            "intent": bytes(intent_id),
+            "account": account,
+            "amount": amount,
+        }
+    )
+
+
+def decode_replay_record(transcript: bytes) -> dict | None:
+    """The fields of a replay transcript, or ``None`` if malformed.
+
+    Offline audit uses the ``None`` path to flag corrupt rows; the
+    runtime never writes one.
+    """
+    try:
+        fields = codec.decode(transcript)
+    except Exception:
+        return None
+    if not isinstance(fields, dict):
+        return None
+    if not (
+        isinstance(fields.get("response"), bytes)
+        and isinstance(fields.get("intent"), bytes)
+        and isinstance(fields.get("account"), str)
+        and isinstance(fields.get("amount"), int)
+    ):
+        return None
+    return fields
+
+
+class ReplayConflictError(ServiceError):
+    """Two *live* requests presented the same nonce.
+
+    Either a duplicate delivery raced its twin (the twin's record wins
+    and the retry will be served from it), or a buggy client reused a
+    nonce for a distinct request.  Both resolve the same way: this
+    attempt backs out before its commit point and the caller re-checks
+    the cache.  Retryable by construction — no state changed.
+    """
+
+
+class ReplayCache:
+    """Bounded nonce → completed-response cache over the shard set."""
+
+    def __init__(
+        self,
+        shards: ShardSet,
+        ledger,
+        *,
+        max_records_per_shard: int = DEFAULT_MAX_RECORDS_PER_SHARD,
+        wait_budget: float = DEFAULT_WAIT_BUDGET,
+    ):
+        self._store = ShardedSpentTokenStore(shards, REPLAY_KIND)
+        self._ledger = ledger
+        self._max_records_per_shard = max_records_per_shard
+        self._wait_budget = wait_budget
+
+    @property
+    def store(self) -> ShardedSpentTokenStore:
+        return self._store
+
+    def record(
+        self,
+        nonce: bytes,
+        *,
+        response: bytes,
+        intent_id: bytes,
+        account: str,
+        amount: int,
+        at: int,
+    ) -> None:
+        """Durably bind ``nonce`` to the completed response.
+
+        For deposits this is called from the sequencer's ``pre_commit``
+        hook, so the record exists strictly before the credit it
+        describes.  Non-2PC operations record *bare* (``intent_id=b""``,
+        empty account, zero amount) after completion — weaker (a crash
+        between completion and record loses the receipt) but strictly
+        better than no cache, and with no false-success window: a bare
+        record is only ever written after the operation finished.
+        Raises :class:`ReplayConflictError` if the nonce is already
+        bound — the caller backs out and the twin's record is
+        authoritative.
+        """
+        transcript = encode_replay_record(
+            response=response, intent_id=intent_id, account=account, amount=amount
+        )
+        existing = self._store.try_spend(nonce, at=at, transcript=transcript)
+        if existing is not None:
+            raise ReplayConflictError(
+                "idempotency nonce already bound to another in-flight"
+                " request; backing out — the first attempt's receipt"
+                " is authoritative, retry to receive it"
+            )
+        # Keep the cache bounded as it grows: pruning the nonce's home
+        # shard on every write amortises to O(1) deletes per insert.
+        self._store.stores[self._store.shard_for(nonce)].prune_oldest(
+            self._max_records_per_shard
+        )
+
+    def lookup(self, nonce: bytes) -> bytes | None:
+        """The original response bytes for ``nonce``, or ``None``.
+
+        ``None`` means "no valid completed original" — the request must
+        be (re-)executed.  A record whose intent never left pending
+        within the wait budget raises a retryable
+        :class:`~repro.errors.ServiceError` instead of guessing.
+        """
+        record = self._store.record_for(nonce)
+        if record is None:
+            return None
+        fields = decode_replay_record(record.transcript)
+        if fields is None:
+            # Corrupt row: never serve it, never trust it.  Release so
+            # the slot heals; the request re-executes.
+            self._store.unspend_if(nonce, record.transcript)
+            return None
+        if fields["intent"] == b"":
+            # A *bare* record: a non-2PC operation (sell, redeem,
+            # exchange, withdraw) recorded after completion.  There is
+            # no commit point to gate on — the record's existence is
+            # the completion evidence.
+            return fields["response"]
+        deadline = time.monotonic() + self._wait_budget
+        while True:
+            state = self._ledger.intent_state(fields["account"], fields["intent"])
+            if state == "committed":
+                return fields["response"]
+            if state == "pending":
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        "original request with this nonce is still"
+                        " mid-commit; retry shortly"
+                    )
+                time.sleep(_POLL_INTERVAL)
+                continue
+            # Aborted or unknown: the original never credited (crash
+            # before commit, then recovery).  Compare-and-delete so a
+            # racing writer's fresh record survives, and re-execute.
+            self._store.unspend_if(nonce, record.transcript)
+            return None
+
+    def prune(self) -> int:
+        """Explicit full-sweep prune (tests and offline tools)."""
+        return self._store.prune_oldest(self._max_records_per_shard)

@@ -1,0 +1,374 @@
+"""Reconnecting client with exactly-once retry over flaky networks.
+
+The base :class:`~repro.service.netserver.NetClient` is honest about
+failure — every lost correlation resolves to a typed error — but it
+does not *recover*: one reset and the connection is poisoned for good.
+This module adds the recovery half:
+
+- :class:`RetryPolicy` — deadline, attempt budget, capped exponential
+  backoff with full jitter from an injected rng (deterministic under
+  test), honoring :class:`~repro.errors.OverloadedError`'s
+  ``retry_after_ms`` hint as a floor.
+- :func:`retry_reason` — the one classification of every error the
+  stack can produce into *retryable* (with a label) or *terminal*.
+- :class:`ReconnectingNetClient` — a drop-in ``NetClient`` that
+  re-dials on connection failure, replays unacknowledged requests
+  **byte-identically** (same envelope, same idempotency nonce, same
+  correlation ticket), and keeps retrying response-level retryable
+  errors until the policy says stop.
+
+Why byte-identical replay is safe: every request is stamped with an
+idempotency nonce (:func:`repro.service.wire.encode_request`), and the
+server's replay cache (:mod:`repro.service.replay`) answers a retry
+whose original committed with the original receipt — so at-least-once
+delivery at this layer composes into exactly-once *effect*.  The
+client can therefore retry blindly on any ambiguous failure instead of
+having to guess whether the first attempt landed.
+
+What the client never does is *invent* an answer: an exhausted budget
+or a terminal error surfaces as that typed error in the result slot —
+wrong answers are the only forbidden outcome.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from ..errors import OverloadedError, ServiceError, TruncatedFrameError, WireError
+from . import tracing, wire
+from .metrics import MetricsRegistry, ensure_service_metrics
+from .netserver import NetClient
+from .transport import FRAME_RESPONSE, MAX_FRAME_PAYLOAD
+
+__all__ = ["RetryPolicy", "ReconnectingNetClient", "retry_reason"]
+
+
+def retry_reason(error: BaseException) -> str | None:
+    """The retry label for ``error``, or ``None`` when it is terminal.
+
+    The classification is subclass-ordered:
+
+    - :class:`OverloadedError` — the server *asked* for a retry;
+    - :class:`TruncatedFrameError` — the stream died mid-frame, the
+      request's fate is unknown, and the nonce makes re-asking safe;
+    - any other :class:`WireError` — the peer is speaking garbage;
+      retrying into a protocol violation can only repeat it;
+    - any other :class:`ServiceError` — operational trouble (worker
+      death, timeouts, shed queues): retryable by that class's
+      contract;
+    - everything else (protocol verdicts like
+      :class:`~repro.errors.DoubleSpendError`, payment refusals,
+      parameter misuse) — a truthful answer, not a failure; retrying
+      would just re-earn it.
+
+    The label is the bare exception class name — safe for metric
+    labels and span attributes (no free-form text, no identifiers).
+    """
+    if isinstance(error, OverloadedError):
+        return "OverloadedError"
+    if isinstance(error, TruncatedFrameError):
+        return "TruncatedFrameError"
+    if isinstance(error, WireError):
+        return None
+    if isinstance(error, ServiceError):
+        return type(error).__name__
+    return None
+
+
+class RetryPolicy:
+    """When to retry, how long to wait, and when to give up."""
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float = 30.0,
+        attempt_timeout_s: float = 1.0,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 0.5,
+        max_attempts: int = 10,
+        rng: random.Random | None = None,
+    ):
+        if deadline_s <= 0 or attempt_timeout_s <= 0:
+            raise ServiceError("deadline_s and attempt_timeout_s must be > 0")
+        if max_attempts < 1:
+            raise ServiceError("need max_attempts >= 1")
+        self.deadline_s = deadline_s
+        #: How long one attempt waits for its response before treating
+        #: it as lost (a blackholed reply must not eat the whole
+        #: deadline in a single silent wait).
+        self.attempt_timeout_s = attempt_timeout_s
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.max_attempts = max_attempts
+        #: Injected rng: deterministic jitter under test, and never
+        #: the issuance rng (jitter must not perturb protocol bytes).
+        self._rng = rng if rng is not None else random.Random()
+
+    def backoff(self, attempt: int, error: BaseException | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based).
+
+        Capped exponential with **full jitter** — ``uniform(0, cap)``
+        — so a fleet of clients that failed together does not retry
+        together.  An :class:`OverloadedError`'s ``retry_after_ms`` is
+        honored as a floor: the server's hint beats our schedule.
+        """
+        cap = min(self.max_delay_s, self.base_delay_s * (2 ** max(0, attempt - 1)))
+        delay = self._rng.uniform(0.0, cap)
+        if isinstance(error, OverloadedError):
+            delay = max(delay, error.retry_after_ms / 1000.0)
+        return delay
+
+
+class ReconnectingNetClient(NetClient):
+    """A :class:`NetClient` that survives the network it runs on.
+
+    Differences from the base client, all confined to failure paths:
+
+    - a connection failure triggers a re-dial and a byte-identical
+      replay of every unacknowledged outstanding request, on the same
+      correlation tickets (a fresh connection has no memory of ids,
+      and tickets stay unique client-side);
+    - :meth:`gather` retries retryable outcomes under the
+      :class:`RetryPolicy` and **returns** the typed error in the slot
+      when the budget runs out — one doomed request cannot hang or
+      kill a whole batch;
+    - every request is stamped with an idempotency nonce, so a retry
+      whose original landed is served the original receipt by the
+      server's replay cache instead of a false refusal;
+    - read-only control calls (catalog, balance, metrics…) retry the
+      same way on fresh tickets — they are idempotent by nature.
+
+    The client keeps its own metrics registry (``local_metrics``):
+    ``p2drm_reconnects_total`` and ``p2drm_retries_total{op,reason}``
+    count *this* client's view of the network, which no server-side
+    registry can see.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        policy: RetryPolicy | None = None,
+        timeout: float = 300.0,
+        max_payload: int = MAX_FRAME_PAYLOAD,
+        registry: MetricsRegistry | None = None,
+        nonces=None,
+    ):
+        self._policy = policy if policy is not None else RetryPolicy()
+        #: ticket -> (worker pin, envelope bytes, op kind) for every
+        #: request not yet claimed by gather.  The envelope is the
+        #: exact bytes to replay — never re-encoded.
+        self._outstanding: dict[int, tuple[int | None, bytes, str]] = {}
+        self._nonces = nonces if nonces is not None else (
+            lambda: os.urandom(wire.NONCE_BYTES)
+        )
+        self._local = ensure_service_metrics(
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._m_reconnects = self._local.get("p2drm_reconnects_total")
+        self._m_retries = self._local.get("p2drm_retries_total")
+        super().__init__(address, timeout=timeout, max_payload=max_payload)
+
+    @property
+    def local_metrics(self) -> MetricsRegistry:
+        """This client's own registry (reconnects and retries happen
+        on the client's side of the wire)."""
+        return self._local
+
+    # -- reconnection ------------------------------------------------------
+
+    def _redial_and_replay(self) -> None:
+        """Fresh connection, then byte-identical replay of every
+        outstanding request that has no parked response yet.
+
+        Raises (typed) if the dial or a replay send fails — the caller
+        owns the backoff-and-try-again loop.
+        """
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        try:
+            self._connect()
+        except OSError as exc:
+            # Leave the client poisoned until a later attempt gets
+            # through; every waiter sees the typed error meanwhile.
+            self._broken = ServiceError(f"reconnect failed: {exc}")
+            raise self._broken from exc
+        self._m_reconnects.inc()
+        for ticket, (worker, envelope, _kind) in sorted(self._outstanding.items()):
+            if ticket not in self._received:
+                self._send_request_frame(ticket, worker, envelope)
+
+    def _send_request_frame(
+        self, ticket: int, worker: int | None, envelope: bytes
+    ) -> None:
+        from .transport import FRAME_REQUEST, FRAME_REQUEST_PINNED, encode_pinned
+
+        if worker is None:
+            self._send(FRAME_REQUEST, ticket, envelope)
+        else:
+            self._send(FRAME_REQUEST_PINNED, ticket, encode_pinned(worker, envelope))
+
+    # -- the transport -----------------------------------------------------
+
+    def submit(self, request, *, worker: int | None = None) -> int:
+        envelope = wire.encode_request(
+            request,
+            trace=tracing.current_context(),
+            nonce=bytes(self._nonces()),
+        )
+        return self.submit_encoded(
+            envelope, worker=worker, op=wire.request_kind(request)
+        )
+
+    def submit_encoded(
+        self, envelope: bytes, *, worker: int | None = None, op: str = "unknown"
+    ) -> int:
+        """Register and send one envelope; tolerant of a down network.
+
+        A send failure here does **not** raise: the request is parked
+        as outstanding and the gather loop owns recovery — submit is
+        called in bursts and must not make the burst's fate depend on
+        which instant the network flapped.
+        """
+        with self._lock:
+            ticket = next(self._next_id)
+            self._outstanding[ticket] = (worker, envelope, op)
+            try:
+                self._send_request_frame(ticket, worker, envelope)
+            except ServiceError:
+                pass  # gather re-dials and replays
+        return ticket
+
+    def gather(self, tickets: list[int]) -> list:
+        """Results for ``tickets``: decoded values, truthful protocol
+        errors, or — new versus the base class — a typed retryable
+        error *instance* when the retry budget ran out for that slot."""
+        return [self._gather_one(ticket) for ticket in tickets]
+
+    def _gather_one(self, ticket: int):
+        with self._lock:
+            if ticket not in self._outstanding and ticket not in self._received:
+                raise ServiceError(f"unknown gather ticket {ticket}")
+            worker, envelope, op = self._outstanding.get(
+                ticket, (None, b"", "unknown")
+            )
+            deadline = time.monotonic() + self._policy.deadline_s
+            attempt = 1
+            last_error: BaseException = ServiceError("request never attempted")
+            while True:
+                outcome = self._await_response(ticket, deadline)
+                if not isinstance(outcome, BaseException):
+                    self._outstanding.pop(ticket, None)
+                    return outcome
+                reason = retry_reason(outcome)
+                if reason is None:
+                    # Terminal: a truthful verdict (or unrecoverable
+                    # protocol trouble) — hand it back as the answer.
+                    self._outstanding.pop(ticket, None)
+                    return outcome
+                last_error = outcome
+                attempt += 1
+                if attempt > self._policy.max_attempts or not envelope:
+                    break
+                delay = self._policy.backoff(attempt, outcome)
+                if time.monotonic() + delay >= deadline:
+                    break
+                self._m_retries.inc(op=op, reason=reason)
+                with tracing.span(
+                    "client.retry", op=op, attempt=attempt, reason=reason
+                ):
+                    time.sleep(delay)
+                    try:
+                        if self._broken is not None:
+                            self._redial_and_replay()
+                        else:
+                            # The connection is healthy; the failure
+                            # was response-level.  Re-ask on the same
+                            # ticket with the same bytes.
+                            self._send_request_frame(ticket, worker, envelope)
+                    except ServiceError:
+                        continue  # next lap re-dials again
+            self._outstanding.pop(ticket, None)
+            if isinstance(last_error, ServiceError) and retry_reason(last_error):
+                return ServiceError(
+                    f"retry budget exhausted after {attempt - 1} attempts"
+                    f" (last: {type(last_error).__name__}:"
+                    f" {last_error})"
+                )
+            return last_error
+
+    def _await_response(self, ticket: int, deadline: float):
+        """One attempt's wait: a decoded result, or the error that
+        ended the attempt (never raises for retryable trouble)."""
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return ServiceError("retry deadline exhausted")
+        try:
+            self._socket.settimeout(
+                max(0.01, min(self._policy.attempt_timeout_s, remaining))
+            )
+        except OSError:
+            pass
+        try:
+            payload = self._await_frame(ticket, FRAME_RESPONSE)
+        except (ServiceError, OSError) as exc:
+            return exc if isinstance(exc, ServiceError) else ServiceError(str(exc))
+        finally:
+            try:
+                self._socket.settimeout(self._timeout)
+            except OSError:
+                pass
+        decoded = wire.decode_response(payload)
+        return decoded
+
+    # -- the control channel -----------------------------------------------
+
+    def _control(self, op: str, **args):
+        """Control calls with the same recovery loop, on fresh tickets.
+
+        Every control op is a read (catalog, price, balance, metrics,
+        traces), so re-asking after an ambiguous failure cannot change
+        state — no nonce needed.
+        """
+        deadline = time.monotonic() + self._policy.deadline_s
+        attempt = 1
+        while True:
+            try:
+                if self._broken is not None:
+                    self._redial_and_replay()
+                try:
+                    # Bound the reply wait: a blackholed control reply
+                    # must cost one attempt, not the whole deadline.
+                    # (Socket timeouts are per-recv, so a large reply
+                    # that keeps streaming chunks is unaffected.)
+                    self._socket.settimeout(
+                        max(
+                            0.01,
+                            min(
+                                4 * self._policy.attempt_timeout_s,
+                                deadline - time.monotonic(),
+                            ),
+                        )
+                    )
+                    return super()._control(op, **args)
+                finally:
+                    try:
+                        self._socket.settimeout(self._timeout)
+                    except OSError:
+                        pass
+            except ServiceError as exc:
+                reason = retry_reason(exc)
+                if reason is None:
+                    raise
+                attempt += 1
+                if attempt > self._policy.max_attempts:
+                    raise
+                delay = self._policy.backoff(attempt, exc)
+                if time.monotonic() + delay >= deadline:
+                    raise
+                self._m_retries.inc(op="control", reason=reason)
+                time.sleep(delay)

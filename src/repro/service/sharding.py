@@ -174,6 +174,24 @@ class ShardedSpentTokenStore:
     def count(self) -> int:
         return sum(store.count() for store in self._stores)
 
+    def prune_oldest(self, max_records_per_shard: int) -> int:
+        """Bound each shard to ``max_records_per_shard`` rows of this kind.
+
+        Cache-flavoured kinds only (the idempotent-replay response
+        cache); see :meth:`SpentTokenStore.prune_oldest`.  The bound is
+        per shard — tokens hash uniformly, so the global cap is
+        approximately ``shards * max_records_per_shard`` without any
+        cross-shard coordination.  Returns total rows deleted.
+        """
+        return sum(
+            store.prune_oldest(max_records_per_shard) for store in self._stores
+        )
+
+    @property
+    def stores(self) -> list[SpentTokenStore]:
+        """Per-shard stores in shard order (offline audit iteration)."""
+        return list(self._stores)
+
     def spent_between(self, start: int, end: int) -> list[SpentRecord]:
         merged: list[SpentRecord] = []
         for store in self._stores:

@@ -125,6 +125,8 @@ SPAN_SPECS: tuple[SpanSpec, ...] = (
              (("aborted", int), ("released", int))),
     SpanSpec("ledger.recover.intent", "one pending intent presumed aborted",
              (("shard", int), ("released", int))),
+    SpanSpec("client.retry", "one retry attempt inside the reconnecting client",
+             (("op", str), ("attempt", int), ("reason", str))),
 )
 
 _SPECS_BY_NAME: dict[str, dict[str, type]] = {

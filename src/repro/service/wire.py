@@ -69,23 +69,45 @@ def request_kind(request) -> str:
         ) from None
 
 
-def encode_request(request, trace=None) -> bytes:
+#: Length of an idempotency nonce (bytes).  16 random bytes make
+#: accidental collision between two *distinct* requests negligible;
+#: the nonce is a client-chosen retry-correlation key, never a secret.
+NONCE_BYTES = 16
+
+
+def encode_request(request, trace=None, nonce: bytes | None = None) -> bytes:
     """Self-describing canonical bytes for any protocol request.
 
     ``trace`` (a :class:`~repro.service.tracing.TraceContext`) adds an
     optional ``meta`` key carrying the caller's trace/span ids so the
-    worker can parent its spans to the client's root span.  Decoders
-    ignore ``meta`` entirely — the typed request round-trips unchanged
-    — and *responses* never carry it, which preserves the byte-identity
-    guarantee between the queue, TCP, and in-process arms.
+    worker can parent its spans to the client's root span.  ``nonce``
+    rides the same ``meta`` dict: a client-chosen idempotency key the
+    server's replay cache dedupes retries on (see
+    :mod:`repro.service.replay`) — a resent envelope carrying the same
+    nonce byte-identically is answered with the original response
+    instead of being applied twice.  Decoders ignore ``meta`` entirely
+    — the typed request round-trips unchanged — and *responses* never
+    carry it, which preserves the byte-identity guarantee between the
+    queue, TCP, and in-process arms.
     """
     envelope = {
         "what": _REQUEST_WHAT,
         "kind": request_kind(request),
         "body": request.as_dict(),
     }
+    meta: dict = {}
     if trace is not None:
-        envelope["meta"] = {"trace": trace.trace_id, "span": trace.span_id}
+        meta["trace"] = trace.trace_id
+        meta["span"] = trace.span_id
+    if nonce is not None:
+        if len(nonce) != NONCE_BYTES:
+            raise CodecError(
+                f"idempotency nonce must be {NONCE_BYTES} bytes,"
+                f" got {len(nonce)}"
+            )
+        meta["nonce"] = bytes(nonce)
+    if meta:
+        envelope["meta"] = meta
     return codec.encode(envelope)
 
 
@@ -187,6 +209,26 @@ def peek_trace(data: bytes):
         if len(trace_id) != TRACE_ID_BYTES or len(span_id) != SPAN_ID_BYTES:
             return None
         return TraceContext(trace_id, span_id)
+    except Exception:
+        return None
+
+
+def peek_nonce(data: bytes) -> bytes | None:
+    """The idempotency nonce embedded in an encoded request, or ``None``.
+
+    Never raises: an envelope without ``meta`` (every pre-retry
+    client), or with a malformed one, is simply not idempotent-keyed —
+    it flows through the ordinary exactly-once gates instead.
+    """
+    try:
+        envelope = codec.decode(data)
+        meta = envelope.get("meta")
+        if not isinstance(meta, dict):
+            return None
+        nonce = meta.get("nonce")
+        if not isinstance(nonce, bytes) or len(nonce) != NONCE_BYTES:
+            return None
+        return nonce
     except Exception:
         return None
 

@@ -49,12 +49,13 @@ from ..crypto.blind_rsa import BlindSigner, batch_verify_blind_signatures
 from ..crypto.groups import named_group
 from ..crypto.rand import DeterministicRandomSource, default_source
 from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
-from ..errors import ParameterError, PaymentError, ServiceError
+from ..errors import DoubleSpendError, ParameterError, PaymentError, ServiceError
 from ..storage.contents import ContentStore
 from ..storage.engine import Database
 from ..storage.ledger import LedgerEntry
 from . import tracing, wire
 from .ledger import DepositSequencer, ShardedLedger
+from .replay import ReplayCache, ReplayConflictError
 from .sharding import (
     ShardedAuditLog,
     ShardedLicenseStore,
@@ -205,12 +206,14 @@ class ShardedDepositDesk:
         clock,
         signing_keys: dict[int, RsaPrivateKey] | None = None,
         name: str = "deposit-desk",
+        replay: ReplayCache | None = None,
     ):
         self.name = name
         self._keys = dict(public_keys)
         self._spent = spent
         self._ledger = ledger
         self._clock = clock
+        self._replay = replay
         self._signers = (
             None
             if signing_keys is None
@@ -219,6 +222,10 @@ class ShardedDepositDesk:
         self._sequencer = DepositSequencer(
             ledger=ledger, spent=spent, clock=clock
         )
+
+    @property
+    def replay(self) -> ReplayCache | None:
+        return self._replay
 
     # -- accounts (the BankSurface read half) ------------------------------
 
@@ -321,18 +328,93 @@ class ShardedDepositDesk:
         self.verify_coins(coins)
         return self._sequencer.deposit(account_id, coins)
 
+    def deposit_idempotent(
+        self, account_id: str, coins: list[Coin], nonce: bytes
+    ) -> bytes:
+        """Deposit keyed on an idempotency nonce; returns response bytes.
+
+        The replay path deals in *encoded* responses so a served retry
+        is byte-identical to the original receipt.  Three outcomes:
+
+        - the nonce has a valid completed record → the cached bytes,
+          no re-execution;
+        - fresh request → executes, with the response recorded at the
+          sequencer's ``pre_commit`` seam (durable strictly before the
+          credit), then the same bytes returned;
+        - the execution hits :class:`~repro.errors.DoubleSpendError`
+          or a nonce conflict → one re-lookup, because the losing race
+          arm's *twin may be the original*: if a record validates now,
+          the refusal was a retry artifact and the original receipt is
+          the truthful answer.  Only when the re-lookup misses is the
+          refusal genuine and re-raised.
+        """
+        if self._replay is None:
+            raise ServiceError("this desk has no replay cache configured")
+        coins = list(coins)
+        cached = self._replay.lookup(nonce)
+        if cached is not None:
+            return cached
+        self.verify_coins(coins)
+        amount = sum(coin.value for coin in coins)
+        response = wire.encode_response({"account": account_id, "credited": amount})
+
+        def _record(intent_id: bytes) -> None:
+            self._replay.record(
+                nonce,
+                response=response,
+                intent_id=intent_id,
+                account=account_id,
+                amount=amount,
+                at=self._clock.now(),
+            )
+
+        try:
+            self._sequencer.deposit(account_id, coins, pre_commit=_record)
+            return response
+        except (DoubleSpendError, ReplayConflictError):
+            cached = self._replay.lookup(nonce)
+            if cached is not None:
+                return cached
+            raise
+
+    def record_completed(self, nonce: bytes, response: bytes) -> bytes:
+        """Bind ``nonce`` to a completed non-2PC operation's response.
+
+        Returns the bytes to answer with: normally ``response``, but a
+        lost record race (a duplicate delivery's twin recorded first)
+        yields the twin's bytes — both executions answered identically
+        beats two answers diverging.
+        """
+        if self._replay is None:
+            return response
+        try:
+            self._replay.record(
+                nonce,
+                response=response,
+                intent_id=b"",
+                account="",
+                amount=0,
+                at=self._clock.now(),
+            )
+            return response
+        except ReplayConflictError:
+            cached = self._replay.lookup(nonce)
+            return cached if cached is not None else response
+
 
 def build_worker_provider(
     config: ServiceConfig, worker_index: int, shards: ShardSet
 ) -> tuple[ContentProvider, ShardedDepositDesk, SimClock]:
     """A full provider desk over the shared shards, for one worker."""
     clock = SimClock(config.clock_start)
+    ledger = ShardedLedger(shards)
     desk = ShardedDepositDesk(
         public_keys=config.bank_keys,
         spent=ShardedSpentTokenStore(shards, "ecash"),
-        ledger=ShardedLedger(shards),
+        ledger=ledger,
         clock=clock,
         signing_keys=config.bank_signing_keys,
+        replay=ReplayCache(shards, ledger),
     )
     stores = ProviderStores(
         contents=_catalog_store(config),
@@ -583,6 +665,60 @@ class _BatchTraces:
         )
 
 
+def _precheck_replay(desk, entries, payload_by_id, traces, response_queue):
+    """Answer any entry whose idempotency nonce already resolved;
+    returns the entries that still need execution.
+
+    A lookup refusal (a deposit record mid-commit under the same
+    nonce) answers that entry with the typed retryable error — the
+    client re-asks rather than this batch guessing.
+    """
+    if desk.replay is None:
+        return entries
+    survivors = []
+    for request_id, request in entries:
+        nonce = wire.peek_nonce(payload_by_id[request_id])
+        if nonce is None:
+            survivors.append((request_id, request))
+            continue
+        try:
+            cached = desk.replay.lookup(nonce)
+        except ServiceError as exc:
+            traces.respond(response_queue, request_id, wire.encode_response(exc))
+            continue
+        if cached is None:
+            survivors.append((request_id, request))
+        else:
+            traces.respond(response_queue, request_id, cached)
+    return survivors
+
+
+def _respond_completed(
+    desk, traces, response_queue, request_id, nonce, result
+) -> None:
+    """Encode and send one non-2PC result, with replay bookkeeping.
+
+    Success with a nonce records the response (bare — completion *is*
+    the evidence).  Failure with a nonce re-checks the cache first: a
+    duplicate delivery's twin may have completed between our precheck
+    and our execution, making this refusal a retry artifact — the
+    twin's recorded response is then the truthful answer.  Errors are
+    never cached: a transient refusal must not become sticky.
+    """
+    response = wire.encode_response(result)
+    if nonce is not None and desk.replay is not None:
+        if isinstance(result, BaseException):
+            try:
+                cached = desk.replay.lookup(nonce)
+            except ServiceError:
+                cached = None
+            if cached is not None:
+                response = cached
+        else:
+            response = desk.record_completed(nonce, response)
+    traces.respond(response_queue, request_id, response)
+
+
 def _process_batch(
     provider, desk, clock, items, response_queue, worker_index: int = 0
 ) -> None:
@@ -615,33 +751,67 @@ def _process_batch(
     deposits = [(rid, r) for rid, r in decoded if isinstance(r, DepositRequest)]
     withdraws = [(rid, r) for rid, r in decoded if isinstance(r, WithdrawRequest)]
 
+    payload_by_id = {item[0]: item[1] for item in items}
+    # Idempotent replay for the non-2PC kinds: a nonce whose original
+    # already completed answers from the cache *before* re-execution
+    # (which would burn its one-shot request nonce and turn an honest
+    # retry into a replay verdict).  Deposits run their own, stronger
+    # intent-gated path below.
+    sells = _precheck_replay(desk, sells, payload_by_id, traces, response_queue)
+    redeems = _precheck_replay(desk, redeems, payload_by_id, traces, response_queue)
+    exchanges = _precheck_replay(
+        desk, exchanges, payload_by_id, traces, response_queue
+    )
+    withdraws = _precheck_replay(
+        desk, withdraws, payload_by_id, traces, response_queue
+    )
+
     if sells:
         with _stage_log(provider, traces.any_traced) as stage_log:
             results = provider.sell_batch([request for _, request in sells])
         traces.replicate_stages(stage_log, sells)
         for (request_id, _), result in zip(sells, results):
-            traces.respond(response_queue, request_id, wire.encode_response(result))
+            _respond_completed(
+                desk, traces, response_queue, request_id,
+                wire.peek_nonce(payload_by_id[request_id]), result,
+            )
     if redeems:
         with _stage_log(provider, traces.any_traced) as stage_log:
             results = provider.redeem_batch([request for _, request in redeems])
         traces.replicate_stages(stage_log, redeems)
         for (request_id, _), result in zip(redeems, results):
-            traces.respond(response_queue, request_id, wire.encode_response(result))
+            _respond_completed(
+                desk, traces, response_queue, request_id,
+                wire.peek_nonce(payload_by_id[request_id]), result,
+            )
     for request_id, request in exchanges:
         with traces.scope(request_id):
             try:
                 result = provider.exchange(request)
             except Exception as exc:
                 result = exc
-        traces.respond(response_queue, request_id, wire.encode_response(result))
+        _respond_completed(
+            desk, traces, response_queue, request_id,
+            wire.peek_nonce(payload_by_id[request_id]), result,
+        )
     for request_id, request in deposits:
+        nonce = wire.peek_nonce(payload_by_id[request_id])
         with traces.scope(request_id):
             try:
-                credited = desk.deposit_batch(request.account, list(request.coins))
-                result = {"account": request.account, "credited": credited}
+                if nonce is not None and desk.replay is not None:
+                    response = desk.deposit_idempotent(
+                        request.account, list(request.coins), nonce
+                    )
+                else:
+                    credited = desk.deposit_batch(
+                        request.account, list(request.coins)
+                    )
+                    response = wire.encode_response(
+                        {"account": request.account, "credited": credited}
+                    )
             except Exception as exc:
-                result = exc
-        traces.respond(response_queue, request_id, wire.encode_response(result))
+                response = wire.encode_response(exc)
+        traces.respond(response_queue, request_id, response)
     for request_id, request in withdraws:
         with traces.scope(request_id):
             try:
@@ -655,7 +825,10 @@ def _process_batch(
                 }
             except Exception as exc:
                 result = exc
-        traces.respond(response_queue, request_id, wire.encode_response(result))
+        _respond_completed(
+            desk, traces, response_queue, request_id,
+            wire.peek_nonce(payload_by_id[request_id]), result,
+        )
 
 
 class _stage_log:

@@ -127,15 +127,20 @@ class MarketplaceSimulator:
         service_max_inflight: int | None = None,
         service_tracing: bool = False,
         service_trace_threshold: float = 0.25,
+        service_fault_spec=None,
+        service_fault_seed: int = 0,
     ):
         if mode not in (MODE_P2DRM, MODE_BASELINE):
             raise ValueError(f"unknown mode {mode!r}")
         if service_workers and mode != MODE_P2DRM:
             raise ValueError("service_workers requires p2drm mode")
-        if service_transport not in ("queue", "tcp"):
+        if service_transport not in ("queue", "tcp", "tcp-chaos"):
             raise ValueError(f"unknown service transport {service_transport!r}")
-        if service_transport == "tcp" and not service_workers:
-            raise ValueError("service_transport='tcp' requires service_workers > 0")
+        if service_transport in ("tcp", "tcp-chaos") and not service_workers:
+            raise ValueError(
+                f"service_transport={service_transport!r} requires"
+                " service_workers > 0"
+            )
         self.config = config
         self.mode = mode
         self.workload = WorkloadGenerator(config)
@@ -152,6 +157,7 @@ class MarketplaceSimulator:
         self._gateway = None
         self._net_server = None
         self._net_client = None
+        self._chaos_proxy = None
         self._service_dir: str | None = None
         self._service_tracing = bool(service_tracing)
         self._publish_catalog()
@@ -179,6 +185,40 @@ class MarketplaceSimulator:
 
                         self._net_server = NetServer(self._gateway)
                         self._net_client = NetClient(self._net_server.start())
+                    elif service_transport == "tcp-chaos":
+                        # The adversarial-network arm: the same socket
+                        # stack, but every frame crosses a seeded
+                        # fault-injection proxy and the client is the
+                        # reconnecting/retrying one — the sim's event
+                        # stream doubles as a robustness conformance
+                        # run (same report, flaky wire).
+                        from ..service.faults import (
+                            ChaosListener,
+                            FaultPlan,
+                            FaultSpec,
+                        )
+                        from ..service.netserver import NetServer
+                        from ..service.retry import ReconnectingNetClient
+
+                        spec = (
+                            service_fault_spec
+                            if service_fault_spec is not None
+                            else FaultSpec(
+                                reset_rate=0.02,
+                                truncate_rate=0.01,
+                                drop_rate=0.02,
+                                duplicate_rate=0.02,
+                                delay_rate=0.05,
+                            )
+                        )
+                        self._net_server = NetServer(self._gateway)
+                        self._chaos_proxy = ChaosListener(
+                            self._net_server.start(),
+                            FaultPlan(spec, seed=service_fault_seed),
+                        )
+                        self._net_client = ReconnectingNetClient(
+                            self._chaos_proxy.address, timeout=10.0
+                        )
                 except BaseException:
                     # __init__ never completes, so close() would never
                     # run — reclaim the pool and shard directory here.
@@ -208,6 +248,9 @@ class MarketplaceSimulator:
         if self._net_client is not None:
             self._net_client.close()
             self._net_client = None
+        if self._chaos_proxy is not None:
+            self._chaos_proxy.close()
+            self._chaos_proxy = None
         if self._net_server is not None:
             self._net_server.close()
             self._net_server = None

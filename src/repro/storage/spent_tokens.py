@@ -155,6 +155,31 @@ class SpentTokenStore:
             )
             return cursor.rowcount > 0
 
+    def prune_oldest(self, max_records: int) -> int:
+        """Delete the oldest records past ``max_records`` of this kind.
+
+        This is for *cache*-flavoured kinds only (the idempotent-replay
+        response cache bounds itself with it); the bearer-token kinds
+        (``ecash``, ``anon-license``) must never be pruned — dropping a
+        spend row would re-open double spending.  Eviction order is
+        ``spent_at`` (the indexed column), oldest first; ties break on
+        token id so the sweep is deterministic.  Returns how many rows
+        were deleted.
+        """
+        if max_records < 0:
+            raise ValueError("max_records must be >= 0")
+        with self._db.transaction(immediate=True):
+            surplus = self.count() - max_records
+            if surplus <= 0:
+                return 0
+            cursor = self._db.execute(
+                "DELETE FROM spent_tokens WHERE kind = ? AND token_id IN ("
+                " SELECT token_id FROM spent_tokens WHERE kind = ?"
+                " ORDER BY spent_at ASC, token_id ASC LIMIT ?)",
+                (self._kind, self._kind, surplus),
+            )
+            return cursor.rowcount
+
     def unspend_if(self, token_id: bytes, transcript: bytes) -> bool:
         """Release a spend only if it still carries ``transcript``.
 

@@ -12,10 +12,12 @@ Two layers of coverage:
   malformed/oversized frames, truncated streams, concurrent clients.
 """
 
+import logging
 import re
 import socket
 import struct
 import threading
+import time
 import urllib.request
 
 import pytest
@@ -679,4 +681,89 @@ def test_concurrent_metrics_scrape_untorn_and_monotone(tmp_path):
     finally:
         stop.set()
         server.close()
+        gateway.close()
+
+
+# -- abrupt peers and shutdown hygiene ---------------------------------------
+
+
+class _AsyncioErrors(logging.Handler):
+    """Captures ERROR records on the ``asyncio`` logger — where the
+    event loop's default exception handler reports handler tasks that
+    died unhandled ("Unhandled exception in client_connected_cb")."""
+
+    def __init__(self):
+        super().__init__(level=logging.ERROR)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+    def __enter__(self):
+        logging.getLogger("asyncio").addHandler(self)
+        return self
+
+    def __exit__(self, *exc_info):
+        logging.getLogger("asyncio").removeHandler(self)
+
+    @property
+    def messages(self):
+        return [record.getMessage() for record in self.records]
+
+
+def _rst_close(sock):
+    """Abortive close: SO_LINGER zero turns close() into a RST."""
+    sock.setsockopt(
+        socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+    )
+    sock.close()
+
+
+def test_peer_reset_mid_stream_is_quiet_and_survivable(stack):
+    """A client that resets its connection mid-frame (exactly what the
+    chaos proxy does on a `reset` fault) must cost the server nothing:
+    the handler retires through its normal path (connection gauge back
+    to baseline), later requests on other connections work, and no
+    handler task dies unhandled into the event loop's logger."""
+    d, gateway, server, client = stack
+    gauge = gateway.metrics.get("p2drm_net_connections")
+    baseline = gauge.value()
+    with _AsyncioErrors() as errors:
+        for _ in range(3):
+            sock = socket.create_connection(server.address, timeout=5)
+            sock.sendall(b"P2")  # a valid frame prefix: decoder stays fed
+            _rst_close(sock)
+        deadline = time.monotonic() + 10
+        while gauge.value() != baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # The unhandled-exception report (the failure this test exists
+        # to catch) lands one loop tick AFTER the handler's finally
+        # moves the gauge — give it time to surface before detaching.
+        time.sleep(0.3)
+    assert gauge.value() == baseline
+    assert client.catalog()  # the shared connection is unharmed
+    assert errors.messages == []
+
+
+def test_shutdown_with_open_connections_is_quiet(tmp_path):
+    """Closing the server while connections are still open must retire
+    the handlers gracefully (transport close -> EOF -> normal exit),
+    not leave them to blanket task cancellation — which asyncio 3.11
+    reports as one unhandled-exception log line per connection."""
+    d = build_deployment(seed="netserver-shutdown", rsa_bits=512)
+    gateway = build_gateway(d, str(tmp_path / "shards"), workers=1, shards=2)
+    try:
+        with _AsyncioErrors() as errors:
+            server = NetServer(gateway)
+            address = server.start()
+            client = NetClient(address)
+            idle = socket.create_connection(address, timeout=5)
+            try:
+                assert client.catalog() == []
+                server.close()  # both connections still open
+            finally:
+                idle.close()
+                client.close()
+        assert errors.messages == []
+    finally:
         gateway.close()

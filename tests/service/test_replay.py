@@ -1,0 +1,259 @@
+"""The idempotent-replay cache: record/lookup semantics against the
+ledger's intent states, the sequencer's ``pre_commit`` seam, and the
+end-to-end queue-path guarantee — a retried request whose original
+landed is served the original receipt, never a false refusal.
+"""
+
+import pytest
+
+from repro import codec
+from repro.core.messages import DepositRequest
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.protocols.payment import withdraw_coins
+from repro.core.system import build_deployment
+from repro.errors import DoubleSpendError, ServiceError
+from repro.service import wire
+from repro.service.gateway import build_gateway
+from repro.service.ledger import DepositSequencer, ShardedLedger, intent_payload
+from repro.service.replay import (
+    REPLAY_KIND,
+    ReplayCache,
+    ReplayConflictError,
+    decode_replay_record,
+    encode_replay_record,
+)
+from repro.service.sharding import ShardedSpentTokenStore, ShardSet
+
+NONCE = b"N" * 16
+
+
+class _Clock:
+    def __init__(self):
+        self._now = 0
+
+    def now(self):
+        self._now += 1
+        return self._now
+
+
+@pytest.fixture()
+def cache_env():
+    shards = ShardSet.in_memory(2)
+    ledger = ShardedLedger(shards)
+    cache = ReplayCache(shards, ledger, wait_budget=0.05)
+    yield shards, ledger, cache
+    shards.close()
+
+
+# -- record / lookup against intent states -----------------------------------
+
+
+def test_bare_record_round_trips(cache_env):
+    _shards, _ledger, cache = cache_env
+    cache.record(
+        NONCE, response=b"receipt", intent_id=b"", account="", amount=0, at=1
+    )
+    assert cache.lookup(NONCE) == b"receipt"
+
+
+def test_duplicate_record_conflicts(cache_env):
+    _shards, _ledger, cache = cache_env
+    cache.record(NONCE, response=b"a", intent_id=b"", account="", amount=0, at=1)
+    with pytest.raises(ReplayConflictError):
+        cache.record(
+            NONCE, response=b"b", intent_id=b"", account="", amount=0, at=2
+        )
+    # The first record stays authoritative.
+    assert cache.lookup(NONCE) == b"a"
+
+
+def test_committed_intent_serves_cached_response(cache_env):
+    _shards, ledger, cache = cache_env
+    ledger.open_account("alice", at=1)
+    store = ledger.store_for("alice")
+    intent = b"I" * 16
+    store.create_intent(
+        intent, "alice", 5, at=2, payload=intent_payload([(b"t", 5)])
+    )
+    cache.record(
+        NONCE, response=b"receipt", intent_id=intent, account="alice",
+        amount=5, at=2,
+    )
+    store.commit_intent(intent, at=3, transcript=b"")
+    assert cache.lookup(NONCE) == b"receipt"
+
+
+def test_pending_intent_refuses_retryably(cache_env):
+    _shards, ledger, cache = cache_env
+    ledger.open_account("alice", at=1)
+    intent = b"P" * 16
+    ledger.store_for("alice").create_intent(
+        intent, "alice", 5, at=2, payload=intent_payload([(b"t", 5)])
+    )
+    cache.record(
+        NONCE, response=b"receipt", intent_id=intent, account="alice",
+        amount=5, at=2,
+    )
+    with pytest.raises(ServiceError, match="mid-commit"):
+        cache.lookup(NONCE)
+
+
+def test_aborted_intent_is_a_released_miss(cache_env):
+    """Crash-before-commit: recovery aborts the intent, the record is
+    stale — lookup misses and the slot is released for re-execution."""
+    _shards, ledger, cache = cache_env
+    ledger.open_account("alice", at=1)
+    store = ledger.store_for("alice")
+    intent = b"A" * 16
+    store.create_intent(
+        intent, "alice", 5, at=2, payload=intent_payload([(b"t", 5)])
+    )
+    cache.record(
+        NONCE, response=b"receipt", intent_id=intent, account="alice",
+        amount=5, at=2,
+    )
+    store.abort_intent(intent, at=3)
+    assert cache.lookup(NONCE) is None
+    # Released: the retry's re-execution can record the same nonce.
+    cache.record(
+        NONCE, response=b"second", intent_id=b"", account="", amount=0, at=4
+    )
+    assert cache.lookup(NONCE) == b"second"
+
+
+def test_corrupt_record_is_a_released_miss(cache_env):
+    shards, _ledger, cache = cache_env
+    raw = ShardedSpentTokenStore(shards, REPLAY_KIND)
+    raw.try_spend(NONCE, at=1, transcript=b"\x00garbage")
+    assert cache.lookup(NONCE) is None
+
+
+def test_eviction_bounds_and_misses(cache_env):
+    """A pruned nonce is an honest miss — the bounded-window caveat."""
+    shards, _ledger, cache = cache_env
+    for i in range(8):
+        cache.record(
+            bytes([i]) * 16, response=b"r%d" % i, intent_id=b"",
+            account="", amount=0, at=i,
+        )
+    assert cache.store.count() <= 8
+    cache.store.prune_oldest(0)
+    assert cache.store.count() == 0
+    assert cache.lookup(bytes([3]) * 16) is None
+
+
+def test_record_codec_rejects_malformed():
+    good = encode_replay_record(
+        response=b"r", intent_id=b"i" * 16, account="a", amount=3
+    )
+    fields = decode_replay_record(good)
+    assert fields["response"] == b"r" and fields["amount"] == 3
+    assert decode_replay_record(b"junk") is None
+    assert decode_replay_record(codec.encode({"response": b"r"})) is None
+    assert decode_replay_record(codec.encode([1, 2])) is None
+
+
+# -- the sequencer's pre_commit seam -----------------------------------------
+
+
+class _FakeCoin:
+    def __init__(self, serial: bytes, value: int):
+        self.serial = serial
+        self.value = value
+
+    def spent_token(self) -> bytes:
+        return self.serial
+
+
+def test_pre_commit_runs_before_commit_point(cache_env):
+    shards, ledger, _cache = cache_env
+    spent = ShardedSpentTokenStore(shards, "ecash")
+    sequencer = DepositSequencer(ledger=ledger, spent=spent, clock=_Clock())
+    seen = {}
+
+    def hook(intent_id):
+        seen["state"] = ledger.intent_state("alice", intent_id)
+
+    sequencer.deposit("alice", [_FakeCoin(b"c1" * 8, 5)], pre_commit=hook)
+    # The hook observed its own intent still pending: the record is
+    # durable strictly before the commit point.
+    assert seen["state"] == "pending"
+    assert ledger.balance("alice") == 5
+
+
+def test_pre_commit_failure_aborts_and_releases(cache_env):
+    shards, ledger, _cache = cache_env
+    spent = ShardedSpentTokenStore(shards, "ecash")
+    sequencer = DepositSequencer(ledger=ledger, spent=spent, clock=_Clock())
+    coin = _FakeCoin(b"c2" * 8, 7)
+
+    def boom(intent_id):
+        raise RuntimeError("staged crash before commit")
+
+    with pytest.raises(RuntimeError):
+        sequencer.deposit("alice", [coin], pre_commit=boom)
+    assert ledger.balance("alice") == 0
+    # The coin was released with the abort: an honest respend works.
+    assert sequencer.deposit("alice", [coin]) == 7
+
+
+# -- end to end over the queue path ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    d = build_deployment(seed="replay-test", rsa_bits=512)
+    d.provider.publish("song-1", b"SONG-ONE" * 32, title="Song One", price=3)
+    directory = tmp_path_factory.mktemp("replay-shards")
+    gateway = build_gateway(d, str(directory), workers=2, shards=4)
+    yield d, gateway
+    gateway.close()
+
+
+def test_retried_deposit_serves_original_receipt(stack):
+    d, gateway = stack
+    user = d.add_user("replay-depositor", balance=1_000)
+    coins = withdraw_coins(user, d.bank, 26)
+    account = gateway.bank_account
+    before = gateway.balance(account)
+    request = DepositRequest(account=account, coins=tuple(coins))
+    nonce = b"D" * 16
+
+    first = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    assert first == {"account": account, "credited": 26}
+    # The retry: same request, same nonce.  Without the cache this is
+    # a textbook false DoubleSpendError.
+    second = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    assert second == first
+    assert gateway.balance(account) - before == 26  # credited exactly once
+
+
+def test_retried_sell_serves_original_license(stack):
+    """Non-2PC ops replay too: without the bare record, the provider's
+    one-shot request-nonce filter turns a duplicate delivery into a
+    terminal AuthenticationError."""
+    d, gateway = stack
+    user = d.add_user("replay-buyer", balance=1_000)
+    request = build_purchase_request(user, gateway, d.issuer, d.bank, "song-1")
+    nonce = b"S" * 16
+
+    first = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    second = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    assert not isinstance(first, BaseException)
+    assert wire.encode_response(first) == wire.encode_response(second)
+
+
+def test_evicted_nonce_earns_truthful_double_spend(stack):
+    d, gateway = stack
+    user = d.add_user("replay-evicted", balance=1_000)
+    coins = withdraw_coins(user, d.bank, 26)
+    request = DepositRequest(account=gateway.bank_account, coins=tuple(coins))
+    nonce = b"E" * 16
+
+    first = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    assert first["credited"] == 26
+    gateway.replay.store.prune_oldest(0)  # the bounded window moved on
+    second = gateway.gather([gateway.submit(request, nonce=nonce)])[0]
+    # Truthful: the coins ARE spent, and the window that knew whose
+    # receipt this was is gone.  Standard bounded-idempotency behavior.
+    assert isinstance(second, DoubleSpendError)

@@ -1,0 +1,376 @@
+"""The retry stack: error classification, backoff policy, and the
+reconnecting client surviving a deterministic hostile network —
+including the acceptance case for the whole layer: a deposit retried
+across a server kill at the post-commit point returns the **original
+receipt**, not a false ``DoubleSpendError``.
+"""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import DepositRequest
+from repro.core.protocols.payment import withdraw_coins
+from repro.core.system import build_deployment
+from repro.errors import (
+    DoubleSpendError,
+    FrameTooLargeError,
+    OverloadedError,
+    PaymentError,
+    ServiceError,
+    TruncatedFrameError,
+)
+from repro.service.faults import ChaosListener, FaultPlan, FaultSpec
+from repro.service.gateway import build_gateway
+from repro.service.netserver import NetClient, NetServer
+from repro.service.retry import ReconnectingNetClient, RetryPolicy, retry_reason
+
+PAYMENT = 26  # decomposes to [20, 5, 1]
+
+
+# -- classification ----------------------------------------------------------
+
+
+def test_retry_reason_classification():
+    assert retry_reason(OverloadedError("shed")) == "OverloadedError"
+    assert retry_reason(TruncatedFrameError("cut")) == "TruncatedFrameError"
+    # Other wire errors are protocol violations: terminal.
+    assert retry_reason(FrameTooLargeError("huge")) is None
+    # Operational service trouble is retryable, labeled by class.
+    assert retry_reason(ServiceError("worker died")) == "ServiceError"
+    # Truthful verdicts are answers, not failures.
+    assert retry_reason(DoubleSpendError(b"serial")) is None
+    assert retry_reason(PaymentError("no account")) is None
+    assert retry_reason(ValueError("nonsense")) is None
+
+
+# -- policy ------------------------------------------------------------------
+
+
+def test_policy_rejects_nonsense():
+    with pytest.raises(ServiceError):
+        RetryPolicy(deadline_s=0)
+    with pytest.raises(ServiceError):
+        RetryPolicy(attempt_timeout_s=-1)
+    with pytest.raises(ServiceError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_backoff_is_capped_jittered_exponential():
+    policy = RetryPolicy(
+        base_delay_s=0.01, max_delay_s=0.08, rng=random.Random(7)
+    )
+    for attempt in range(1, 12):
+        cap = min(0.08, 0.01 * 2 ** (attempt - 1))
+        for _ in range(20):
+            assert 0.0 <= policy.backoff(attempt) <= cap
+
+
+def test_backoff_is_deterministic_under_injected_rng():
+    a = RetryPolicy(rng=random.Random(3))
+    b = RetryPolicy(rng=random.Random(3))
+    assert [a.backoff(i) for i in range(1, 8)] == [
+        b.backoff(i) for i in range(1, 8)
+    ]
+
+
+def test_backoff_honors_retry_after_floor():
+    policy = RetryPolicy(
+        base_delay_s=0.001, max_delay_s=0.002, rng=random.Random(1)
+    )
+    error = OverloadedError("shed", retry_after_ms=150)
+    assert policy.backoff(1, error) >= 0.15
+
+
+# -- the reconnecting client over a hostile network --------------------------
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    d = build_deployment(seed="retry-test", rsa_bits=512)
+    d.provider.publish("song-1", b"SONG-ONE" * 32, title="Song One", price=3)
+    directory = tmp_path_factory.mktemp("retry-shards")
+    gateway = build_gateway(d, str(directory), workers=2, shards=4)
+    server = NetServer(gateway)
+    address = server.start()
+    yield d, gateway, address
+    server.close()
+    gateway.close()
+
+
+def _policy(seed=1, **overrides):
+    defaults = dict(
+        deadline_s=20.0,
+        attempt_timeout_s=0.5,
+        max_attempts=20,
+        rng=random.Random(seed),
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def test_clean_network_is_a_plain_client(stack):
+    d, gateway, address = stack
+    with ChaosListener(address, FaultPlan(FaultSpec(), seed=0)) as proxy:
+        client = ReconnectingNetClient(proxy.address, policy=_policy())
+        try:
+            user = d.add_user("retry-clean-user", balance=1_000)
+            coins = withdraw_coins(user, d.bank, PAYMENT)
+            receipt = client.deposit(gateway.bank_account, coins)
+            assert receipt["credited"] == PAYMENT
+            assert client.local_metrics.get("p2drm_reconnects_total").value() == 0
+        finally:
+            client.close()
+
+
+def test_deposits_survive_a_flaky_network_exactly_once(stack):
+    """The tentpole invariant, end to end: heavy deterministic faults,
+    every deposit lands exactly once, nothing lost, nothing doubled."""
+    d, gateway, address = stack
+    plan = FaultPlan(
+        FaultSpec(
+            reset_rate=0.05,
+            truncate_rate=0.03,
+            drop_rate=0.05,
+            duplicate_rate=0.05,
+            delay_rate=0.1,
+        ),
+        seed=7,
+    )
+    account = gateway.bank_account
+    before = gateway.balance(account)
+    with ChaosListener(address, plan) as proxy:
+        client = ReconnectingNetClient(
+            proxy.address, policy=_policy(), timeout=5.0
+        )
+        try:
+            user = d.add_user("retry-flaky-user", balance=1_000)
+            for _ in range(12):
+                coins = withdraw_coins(user, d.bank, PAYMENT)
+                receipt = client.deposit(account, coins)
+                assert receipt == {"account": account, "credited": PAYMENT}
+        finally:
+            snapshot = {
+                "reconnects": client.local_metrics.get(
+                    "p2drm_reconnects_total"
+                ).value(),
+            }
+            client.close()
+    # Zero lost, zero double-applied: the durable balance moved by
+    # exactly the sum of the receipts the client holds.
+    assert gateway.balance(account) - before == 12 * PAYMENT
+    assert snapshot["reconnects"] >= 0  # counter exists and is sane
+
+
+def test_reconnect_replays_outstanding_requests(stack):
+    """A reset with requests in flight: the client re-dials and replays
+    the same envelopes, and every slot still gets a real answer."""
+    d, gateway, address = stack
+    plan = FaultPlan(FaultSpec(reset_rate=0.15), seed=11)
+    account = gateway.bank_account
+    before = gateway.balance(account)
+    with ChaosListener(address, plan) as proxy:
+        client = ReconnectingNetClient(
+            proxy.address, policy=_policy(seed=2), timeout=5.0
+        )
+        try:
+            user = d.add_user("retry-replay-user", balance=1_000)
+            batches = []
+            for _ in range(4):
+                coins = withdraw_coins(user, d.bank, PAYMENT)
+                batches.append(
+                    client.submit(
+                        DepositRequest(account=account, coins=tuple(coins))
+                    )
+                )
+            results = client.gather(batches)
+            for result in results:
+                assert result == {"account": account, "credited": PAYMENT}, result
+        finally:
+            client.close()
+    assert gateway.balance(account) - before == 4 * PAYMENT
+
+
+def test_control_calls_retry_on_fresh_tickets(stack):
+    _d, gateway, address = stack
+    plan = FaultPlan(FaultSpec(reset_rate=0.1, drop_rate=0.05), seed=5)
+    with ChaosListener(address, plan) as proxy:
+        client = ReconnectingNetClient(
+            proxy.address,
+            policy=_policy(seed=3, attempt_timeout_s=0.15),
+            timeout=5.0,
+        )
+        try:
+            for _ in range(6):
+                assert client.balance(gateway.bank_account) == gateway.balance(
+                    gateway.bank_account
+                )
+        finally:
+            client.close()
+
+
+# -- the acceptance case: retry across a server kill -------------------------
+
+
+def test_deposit_retried_across_server_kill_returns_original_receipt(tmp_path):
+    d = build_deployment(seed="retry-kill-test", rsa_bits=512)
+    directory = str(tmp_path / "shards")
+    user = d.add_user("kill-user", balance=1_000)
+    coins = withdraw_coins(user, d.bank, PAYMENT)
+    nonce = b"K" * 16
+
+    gateway = build_gateway(d, directory, workers=2, shards=4)
+    server = NetServer(gateway)
+    client = ReconnectingNetClient(
+        server.start(), policy=_policy(), nonces=lambda: nonce
+    )
+    account = gateway.bank_account
+    try:
+        first = client.deposit(account, coins)
+        assert first == {"account": account, "credited": PAYMENT}
+    finally:
+        client.close()
+        server.close()
+        gateway.close()  # the kill: the deposit is past its commit point
+
+    # Restart over the same shard files (startup recovery runs), then
+    # retry the same request with the same idempotency nonce — the
+    # client never learned whether its receipt was real.
+    gateway = build_gateway(d, directory, workers=2, shards=4)
+    server = NetServer(gateway)
+    client = ReconnectingNetClient(
+        server.start(), policy=_policy(), nonces=lambda: nonce
+    )
+    try:
+        retried = client.deposit(account, coins)
+        # NOT DoubleSpendError: the replay record survived the kill
+        # (it was durable before the commit point) and the restarted
+        # server serves the original receipt.
+        assert retried == first
+        assert gateway.balance(account) == PAYMENT  # credited exactly once
+        assert gateway.metrics.get("p2drm_replay_hits_total").value() >= 1
+    finally:
+        client.close()
+        server.close()
+        gateway.close()
+
+
+# -- satellite: mid-gather disconnect resolves every correlation -------------
+
+
+class _AbruptServer:
+    """Accepts one connection, swallows requests for a moment (long
+    enough for the client to park several), then slams it shut."""
+
+    def __init__(self, hold_s=0.3):
+        self._hold_s = hold_s
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(1)
+        self.address = self._listen.getsockname()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        conn, _addr = self._listen.accept()
+        deadline = time.monotonic() + self._hold_s
+        try:
+            conn.settimeout(0.05)
+            while time.monotonic() < deadline:
+                try:
+                    conn.recv(65536)
+                except socket.timeout:
+                    pass
+        except OSError:
+            pass
+        finally:
+            conn.close()
+            self._listen.close()
+
+
+def test_base_client_mid_gather_disconnect_is_typed_and_sticky():
+    server = _AbruptServer()
+    client = NetClient(server.address, timeout=5.0)
+    try:
+        tickets = [client.submit_encoded(b"envelope-%d" % i) for i in range(3)]
+        # Every parked correlation resolves to a typed error — no hang,
+        # no leak, no bare OSError.
+        with pytest.raises(ServiceError):
+            client.gather(tickets)
+        # And the brokenness is sticky *and instant*: later waiters
+        # fail typed immediately instead of waiting out a timeout.
+        start = time.monotonic()
+        with pytest.raises(ServiceError):
+            client.gather([tickets[-1]])
+        assert time.monotonic() - start < 1.0
+    finally:
+        client.close()
+
+
+# -- property: a hostile network never produces a wrong answer ---------------
+
+
+@pytest.mark.slow
+@given(
+    reset=st.floats(0.0, 0.12),
+    truncate=st.floats(0.0, 0.08),
+    drop=st.floats(0.0, 0.12),
+    duplicate=st.floats(0.0, 0.12),
+    delay=st.floats(0.0, 0.2),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_fault_schedules_never_yield_wrong_answers(
+    stack, reset, truncate, drop, duplicate, delay, seed
+):
+    """Under ANY fault schedule the client returns either the correct
+    receipt or a typed retryable/budget error — never a false
+    ``DoubleSpendError``, never a fabricated receipt."""
+    d, gateway, address = stack
+    plan = FaultPlan(
+        FaultSpec(
+            reset_rate=reset,
+            truncate_rate=truncate,
+            drop_rate=drop,
+            duplicate_rate=duplicate,
+            delay_rate=delay,
+        ),
+        seed=seed,
+    )
+    account = gateway.bank_account
+    user = d.add_user(f"retry-prop-user-{seed}-{id(plan)}", balance=1_000)
+    coins = withdraw_coins(user, d.bank, PAYMENT)
+    before = gateway.balance(account)
+    with ChaosListener(address, plan) as proxy:
+        client = ReconnectingNetClient(
+            proxy.address,
+            policy=_policy(seed=seed, deadline_s=15.0),
+            timeout=5.0,
+        )
+        try:
+            try:
+                receipt = client.deposit(account, coins)
+            except ServiceError:
+                # Ambiguous failure after an exhausted budget: allowed.
+                # The deposit may or may not have landed — but it can
+                # never have landed more than once (checked below).
+                receipt = None
+            if receipt is not None:
+                assert receipt == {"account": account, "credited": PAYMENT}
+        finally:
+            client.close()
+    # Zero double-applied, receipt or not: the balance moved by at
+    # most one payment (give late in-flight work a moment to settle).
+    for _ in range(100):
+        delta = gateway.balance(account) - before
+        if delta in (0, PAYMENT):
+            break
+        time.sleep(0.05)
+    assert delta in (0, PAYMENT), delta
+    if receipt is not None:
+        assert delta == PAYMENT

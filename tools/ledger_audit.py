@@ -23,7 +23,13 @@ the 2PC invariants:
    way gateway startup does (presumed-abort: release the intent's own
    spends, mark it aborted);
 7. **unaccounted spend** — a coin spend row naming an intent id that
-   no shard knows.
+   no shard knows;
+8. **replay-cache consistency** — a cached idempotent receipt must
+   tell the truth: corrupt records, records naming an intent no shard
+   knows, and committed-intent records whose cached amount disagrees
+   with the intent are all flagged.  Stale records pointing at aborted
+   intents are *expected* (crash-before-commit leftovers the runtime
+   releases lazily on lookup) and only counted.
 
 Exit status 0 when clean (after repairs, if requested); 1 with one
 line per problem otherwise.  ``--json`` emits the machine-readable
@@ -48,6 +54,10 @@ from repro.service.ledger import (  # noqa: E402
     decode_intent_payload,
     recover_intents,
     spend_transcript_fields,
+)
+from repro.service.replay import (  # noqa: E402
+    REPLAY_KIND,
+    decode_replay_record,
 )
 from repro.service.sharding import ShardedSpentTokenStore, ShardSet  # noqa: E402
 from repro.storage.ledger import (  # noqa: E402
@@ -173,6 +183,55 @@ def audit(shards: ShardSet) -> dict:
                     f" intent {intent_id.hex()[:16]}"
                 )
 
+    # -- replay-cache receipts vs the intents they describe -------------
+    replay = ShardedSpentTokenStore(shards, REPLAY_KIND)
+    replay_records = 0
+    replay_bare = 0
+    replay_stale = 0
+    for store in replay._stores:  # noqa: SLF001 - offline scan reads all shards
+        for record in store.spent_between(*_ALL_TIME):
+            replay_records += 1
+            hexnonce = record.token_id.hex()[:16]
+            fields = decode_replay_record(record.transcript)
+            if fields is None:
+                problems.append(
+                    f"corrupt replay record: nonce {hexnonce} transcript"
+                    " does not decode"
+                )
+                continue
+            intent_id = fields["intent"]
+            if intent_id == b"":
+                # Bare record: completion evidence for a non-2PC
+                # operation.  Nothing in the ledger to cross-check.
+                replay_bare += 1
+                continue
+            owner = by_id.get(intent_id)
+            if owner is None:
+                problems.append(
+                    f"dangling replay record: nonce {hexnonce} names"
+                    f" unknown intent {intent_id.hex()[:16]}"
+                )
+                continue
+            if owner.state == INTENT_COMMITTED:
+                if fields["amount"] != owner.amount:
+                    problems.append(
+                        f"replay amount mismatch: nonce {hexnonce} caches"
+                        f" {fields['amount']} for intent"
+                        f" {intent_id.hex()[:16]} recorded {owner.amount}"
+                    )
+                if fields["account"] != owner.account_id:
+                    problems.append(
+                        f"replay account mismatch: nonce {hexnonce} caches"
+                        f" account {fields['account']!r} for intent"
+                        f" {intent_id.hex()[:16]} owned by"
+                        f" {owner.account_id!r}"
+                    )
+            else:
+                # Aborted (or, with the pool stopped, a stuck pending
+                # already flagged above): a stale record the runtime
+                # treats as a miss and releases on next lookup.
+                replay_stale += 1
+
     return {
         "problems": problems,
         "stats": {
@@ -182,6 +241,9 @@ def audit(shards: ShardSet) -> dict:
             "intents": state_counts,
             "coin_spends": spends,
             "stuck_intents": stuck,
+            "replay_records": replay_records,
+            "replay_bare": replay_bare,
+            "replay_stale": replay_stale,
         },
     }
 
@@ -200,6 +262,7 @@ def selfcheck() -> int:
     """Stage every problem class in-memory; the scan must catch each."""
     from repro import codec
     from repro.service.ledger import intent_payload
+    from repro.service.replay import encode_replay_record
 
     shards = ShardSet.in_memory(2)
     ledger = ShardedLedger(shards)
@@ -221,6 +284,23 @@ def selfcheck() -> int:
         ),
     )
     store.commit_intent(intent_ok, at=3, transcript=b"")
+    # Healthy replay-cache rows: a truthful receipt for the committed
+    # intent and a bare (non-2PC) completion record.
+    replay = ShardedSpentTokenStore(shards, REPLAY_KIND)
+    replay.try_spend(
+        b"N" * 16,
+        at=3,
+        transcript=encode_replay_record(
+            response=b"receipt", intent_id=intent_ok, account=good, amount=5
+        ),
+    )
+    replay.try_spend(
+        b"B" * 16,
+        at=3,
+        transcript=encode_replay_record(
+            response=b"bare-receipt", intent_id=b"", account="", amount=0
+        ),
+    )
     clean = audit(shards)
     if clean["problems"]:
         print("selfcheck: clean ledger reported problems:")
@@ -262,12 +342,32 @@ def selfcheck() -> int:
         " WHERE account_id = ?",
         (bob,),
     )
+    # replay-cache faults: a corrupt row, a receipt lying about a
+    # committed amount, and a receipt naming an intent nobody knows.
+    replay.try_spend(b"C" * 16, at=7, transcript=b"\x00not-a-record")
+    replay.try_spend(
+        b"M" * 16,
+        at=7,
+        transcript=encode_replay_record(
+            response=b"liar", intent_id=intent_ok, account=good, amount=9
+        ),
+    )
+    replay.try_spend(
+        b"D" * 16,
+        at=7,
+        transcript=encode_replay_record(
+            response=b"orphan", intent_id=b"Z" * 16, account=bob, amount=1
+        ),
+    )
     report = audit(shards)
     expected = (
         "balance drift",
         "stuck pending intent",
         "leaked aborted spend",
         "unaccounted spend",
+        "corrupt replay record",
+        "replay amount mismatch",
+        "dangling replay record",
     )
     missed = [
         label
