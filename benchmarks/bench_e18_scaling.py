@@ -1,0 +1,265 @@
+"""E18 — pool scaling economics: one table build, N workers, zero-copy
+frames.
+
+Two tables:
+
+- **Warmup**: mean per-worker fastexp warmup seconds and worker RSS
+  for each of the three warm routes — ``build`` (spawn, no segment:
+  every worker computes its own comb tables), ``attach`` (spawn +
+  the gateway's shared-memory segment, rows materialized lazily) and
+  ``cow`` (fork: the registry arrives by copy-on-write, zero work).
+  The interesting ratio is ``build / attach`` — the shared segment
+  must make a spawned worker's warmup several times cheaper, since
+  deserializing fixed-width rows on demand replaces computing
+  ``2^window`` products per table row.
+- **Throughput**: requests/s through the queue transport and over
+  localhost TCP (one pipelined connection per worker), swept over
+  worker count × available arithmetic backend, against the in-process
+  desk as the zero-IPC reference.  Deterministic issuance makes every
+  arm self-checking: the ``byte_identical`` column records that the
+  arm's licences matched the reference byte for byte.
+
+Timings are advisory in the regression lane (runner-dependent, and a
+1-core runner shows queueing overhead instead of speedup — the honest
+number for that machine); the rows' presence is enforced.  The
+nightly expectation on a multi-core runner is 4-worker TCP throughput
+around 3-4x the single-worker arm and attach-mode warmup >= 5x
+cheaper than build mode.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+
+from repro import codec
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.system import build_deployment
+from repro.crypto.backend import available_backends, backend_name, set_backend
+from repro.service.gateway import build_gateway
+from repro.service.netserver import NetClient, NetServer
+from repro.service.pool import WorkerPool
+from repro.service.sharding import ShardSet
+from repro.service.workers import ServiceConfig, publish_shared_tables
+
+BENCH_SMOKE = os.environ.get("P2DRM_BENCH_SMOKE", "") not in ("", "0")
+
+WORKER_SWEEP = (1, 2) if BENCH_SMOKE else (1, 2, 4)
+#: Worker count for the warmup-route comparison (fixed: the routes are
+#: per-worker costs, the worker count only averages them).
+WARMUP_WORKERS = 2
+N_REQUESTS = 12 if BENCH_SMOKE else 64
+RSA_BITS = 512 if BENCH_SMOKE else 1024
+
+
+def _worker_rss_mb(processes) -> float:
+    """Peak per-worker resident set in MiB (0.0 where /proc is absent)."""
+    peak_kb = 0
+    for process in processes:
+        try:
+            with open(f"/proc/{process.pid}/status") as status:
+                for line in status:
+                    if line.startswith("VmRSS:"):
+                        peak_kb = max(peak_kb, int(line.split()[1]))
+                        break
+        except (OSError, ValueError):
+            continue
+    return peak_kb / 1024
+
+
+def _run_partitioned(clients, requests):
+    """Round-robin ``requests`` over pipelined connections; returns
+    results in request order plus the slowest thread's wall-clock."""
+    results = [None] * len(requests)
+    slices = [
+        (client, list(range(index, len(requests), len(clients))))
+        for index, client in enumerate(clients)
+    ]
+
+    def drive(client, indices):
+        answered = client.call_many([requests[i] for i in indices])
+        for position, result in zip(indices, answered):
+            results[position] = result
+
+    threads = [
+        threading.Thread(target=drive, args=(client, indices))
+        for client, indices in slices
+        if indices
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, time.perf_counter() - start
+
+
+class TestWarmupRoutes:
+    def test_build_vs_attach_vs_cow(self, experiment):
+        deployment = build_deployment(seed="bench-e18-warm", rsa_bits=RSA_BITS)
+        deployment.provider.publish(
+            "bench-song", b"BENCH-PAYLOAD" * 64, title="Bench Song", price=3
+        )
+        directory = tempfile.mkdtemp(prefix="p2drm-e18-warm-")
+        paths = ShardSet.paths_in_directory(directory, WARMUP_WORKERS)
+        base_config = ServiceConfig.from_deployment(deployment, paths)
+        shared_config, segment = publish_shared_tables(base_config)
+        arms = [
+            # (label, config, start method) — "build" spawns with no
+            # segment, "attach" spawns against it, "cow" forks from
+            # this (already warm) process.
+            ("build", base_config, "spawn"),
+            ("attach", shared_config, "spawn"),
+            ("cow", shared_config, "fork"),
+        ]
+        try:
+            for label, config, start_method in arms:
+                import multiprocessing
+
+                if start_method not in multiprocessing.get_all_start_methods():
+                    continue
+                pool = WorkerPool(
+                    config, workers=WARMUP_WORKERS, start_method=start_method
+                )
+                try:
+                    reports = pool.wait_warmup(timeout=300.0)
+                    modes = sorted({mode for mode, _ in reports.values()})
+                    seconds = [s for _, s in reports.values()]
+                    rss_mb = _worker_rss_mb(pool.processes)
+                finally:
+                    pool.close()
+                assert modes == [label], (
+                    f"expected every worker on the {label!r} route, got {modes}"
+                )
+                experiment.row(
+                    case=f"warmup-{label}",
+                    mode=label,
+                    workers=WARMUP_WORKERS,
+                    cores=os.cpu_count(),
+                    backend=backend_name(),
+                    mean_warmup_s=statistics.mean(seconds),
+                    max_warmup_s=max(seconds),
+                    worker_rss_mb=rss_mb,
+                )
+        finally:
+            if segment is not None:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+class TestScalingSweep:
+    def test_workers_by_backend(self, experiment):
+        from repro.crypto import fastexp
+
+        original = backend_name()
+        try:
+            for backend in available_backends():
+                # Isolated registry per arm: each backend warms its own
+                # tables (E12 does the same), and nothing leaks into
+                # the next bench module.
+                with fastexp.isolated_state():
+                    set_backend(backend)
+                    fastexp.reset()
+                    self._sweep_backend(experiment, backend)
+        finally:
+            set_backend(original)
+
+    def _sweep_backend(self, experiment, backend):
+        deployment = build_deployment(seed="bench-e18-scale", rsa_bits=RSA_BITS)
+        deployment.provider.publish(
+            "bench-song", b"BENCH-PAYLOAD" * 64, title="Bench Song", price=3
+        )
+        deployment.provider.deterministic_issuance = True
+        senders = [
+            deployment.add_user(f"e18-sender-{i}", balance=1_000_000)
+            for i in range(4)
+        ]
+        purchase_requests = [
+            build_purchase_request(
+                senders[i % len(senders)],
+                deployment.provider,
+                deployment.issuer,
+                deployment.bank,
+                "bench-song",
+            )
+            for i in range(N_REQUESTS)
+        ]
+        start = time.perf_counter()
+        local_licenses = deployment.provider.sell_batch(purchase_requests)
+        local_seconds = time.perf_counter() - start
+        assert not any(isinstance(r, Exception) for r in local_licenses)
+        reference = [codec.encode(r.as_dict()) for r in local_licenses]
+        experiment.row(
+            case=f"in-process-{backend}",
+            transport="none",
+            arm=backend,
+            workers=0,
+            cores=os.cpu_count(),
+            requests_per_s=N_REQUESTS / local_seconds,
+        )
+
+        baselines: dict[str, float] = {}
+        for workers in WORKER_SWEEP:
+            for transport in ("queue", "tcp"):
+                directory = tempfile.mkdtemp(
+                    prefix=f"p2drm-e18-{transport}{workers}-"
+                )
+                gateway = build_gateway(
+                    deployment, directory, workers=workers, shards=workers
+                )
+                server = None
+                clients = []
+                try:
+                    if transport == "tcp":
+                        server = NetServer(gateway)
+                        address = server.start()
+                        clients = [NetClient(address) for _ in range(workers)]
+                        sold, seconds = _run_partitioned(
+                            clients, purchase_requests
+                        )
+                    else:
+                        start = time.perf_counter()
+                        sold = gateway.sell_batch(purchase_requests)
+                        seconds = time.perf_counter() - start
+                    warmups = list(gateway.pool.warmup_reports.values())
+                    rss_mb = _worker_rss_mb(gateway.pool.processes)
+                finally:
+                    for client in clients:
+                        client.close()
+                    if server is not None:
+                        server.close()
+                    gateway.close()
+                    shutil.rmtree(directory, ignore_errors=True)
+                byte_identical = not any(
+                    isinstance(r, Exception) for r in sold
+                ) and [codec.encode(r.as_dict()) for r in sold] == reference
+                assert byte_identical, (
+                    f"{transport} arm (backend={backend},"
+                    f" workers={workers}) diverged from the desk"
+                )
+                requests_per_s = N_REQUESTS / seconds
+                baselines.setdefault(transport, requests_per_s)
+                experiment.row(
+                    case=f"{transport}-{backend}-w{workers}",
+                    transport=transport,
+                    arm=backend,
+                    workers=workers,
+                    cores=os.cpu_count(),
+                    requests_per_s=requests_per_s,
+                    speedup_vs_1=requests_per_s / baselines[transport],
+                    mean_warmup_s=(
+                        statistics.mean(s for _mode, s in warmups)
+                        if warmups
+                        else 0.0
+                    ),
+                    worker_rss_mb=rss_mb,
+                    byte_identical=byte_identical,
+                )

@@ -71,9 +71,17 @@ class CompliantDevice:
     # -- revocation sync ----------------------------------------------------
 
     def sync_revocations(self, provider) -> int:
-        """Pull the LRL delta from the provider; returns entries applied."""
-        entries, snapshot = provider.revocation_sync(self._revocation_view.version)
-        return self._revocation_view.apply_sync(entries, snapshot)
+        """Pull the LRL delta from the provider; returns entries applied.
+
+        Resumes from the opaque cursor the previous sync returned (an
+        int version against the in-process provider, a per-shard tuple
+        against the service surfaces) — the exact indexed delta, no
+        overlap redelivery.
+        """
+        entries, snapshot, cursor = provider.revocation_sync(
+            self._revocation_view.cursor
+        )
+        return self._revocation_view.apply_sync(entries, snapshot, cursor)
 
     # -- rendering ------------------------------------------------------------
 

@@ -148,6 +148,17 @@ class ContentProvider:
         #: attribute read per stage and nothing else; the provider
         #: itself never records timings.
         self.stage_hook = None
+        #: Optional ``concurrent.futures`` executor for the *per-item*
+        #: arms of the batch screening stages (re-verifying members
+        #: after an aggregate check fails).  Those arms are pure
+        #: verification — no store writes, no rng, no clock — so
+        #: fanning them across threads is byte-identical to the serial
+        #: loop; it pays only under an arithmetic backend whose modular
+        #: exponentiation releases the GIL (gmpy2).  The stateful
+        #: stages (precheck, nonces, finalize) never use it.  The
+        #: service workers install one when
+        #: ``ServiceConfig.screening_threads > 0``.
+        self.screening_executor = None
         if license_key is None:
             # Three-prime key (RFC 8017 multi-prime): licence signing is
             # the one RSA private operation on the sell/redeem hot path
@@ -250,6 +261,28 @@ class ContentProvider:
         if hook is not None:
             hook((op, stage, start, time.monotonic() - start, n))
 
+    def _screen_items(self, item_check, items: list) -> list:
+        """Run a pure per-item verification over ``items``.
+
+        Returns a list aligned with ``items``: ``None`` where the check
+        passed, the raised exception where it failed.  With
+        :attr:`screening_executor` installed the checks run across its
+        threads via an order-preserving ``map`` — same outcomes in the
+        same slots as the serial loop, just wall-clock-overlapped.
+        """
+
+        def _arm(item):
+            try:
+                item_check(item)
+            except Exception as exc:
+                return exc
+            return None
+
+        pool = self.screening_executor
+        if pool is None:
+            return [_arm(item) for item in items]
+        return list(pool.map(_arm, items))
+
     def sell_batch(self, requests: list[PurchaseRequest]) -> list:
         """Validate and fulfil a queue of purchase requests together.
 
@@ -296,18 +329,26 @@ class ContentProvider:
             )
         except Exception:
             # At least one bad signature: re-check individually so only
-            # the offenders are rejected.
-            survivors: list[int] = []
-            for index in pending:
-                key, payload, signature = _signature_item(requests[index])
+            # the offenders are rejected (threaded when a screening
+            # executor is installed — the checks are pure).
+            def _check_signature(request: PurchaseRequest) -> None:
+                key, payload, signature = _signature_item(request)
                 try:
                     key.verify(payload, signature)
                 except Exception as exc:
-                    results[index] = AuthenticationError(
+                    raise AuthenticationError(
                         f"request signature invalid: {exc}"
-                    )
-                else:
+                    ) from exc
+
+            survivors: list[int] = []
+            outcomes = self._screen_items(
+                _check_signature, [requests[index] for index in pending]
+            )
+            for index, outcome in zip(pending, outcomes):
+                if outcome is None:
                     survivors.append(index)
+                else:
+                    results[index] = outcome
             pending = survivors
         self._mark_stage("sell", "schnorr", stage_start, len(pending))
 
@@ -579,20 +620,25 @@ class ContentProvider:
         self._mark_stage("redeem", "precheck", stage_start, len(requests))
 
         def _screen(indices: list[int], batch_check, item_check) -> list[int]:
-            """Run the aggregate check; on failure isolate offenders."""
+            """Run the aggregate check; on failure isolate offenders.
+
+            The per-item arm goes through :meth:`_screen_items`, so an
+            installed screening executor overlaps the re-checks.
+            """
             if not indices:
                 return indices
             try:
                 batch_check([requests[index] for index in indices])
             except Exception:
                 survivors: list[int] = []
-                for index in indices:
-                    try:
-                        item_check(requests[index])
-                    except Exception as exc:
-                        results[index] = exc
-                    else:
+                outcomes = self._screen_items(
+                    item_check, [requests[index] for index in indices]
+                )
+                for index, outcome in zip(indices, outcomes):
+                    if outcome is None:
                         survivors.append(index)
+                    else:
+                        results[index] = outcome
                 return survivors
             return indices
 
@@ -805,12 +851,19 @@ class ContentProvider:
     # -- revocation distribution ----------------------------------------------------
 
     def revocation_sync(
-        self, since_version: int
-    ) -> tuple[list[RevocationEntry], SignedSnapshot]:
-        """Delta entries plus a signed snapshot for device sync."""
-        entries = self._revocations.entries_since(since_version)
+        self, cursor: int = 0
+    ) -> tuple[list[RevocationEntry], SignedSnapshot, int]:
+        """Delta entries, a signed snapshot and the advanced cursor.
+
+        For the single-store LRL the cursor *is* the list version — an
+        exact indexed watermark already — so the device hands back
+        whatever it last received (``0`` = everything).  The sharded
+        service surface returns a per-shard tuple in the same slot; the
+        device treats the cursor as opaque either way.
+        """
+        entries = self._revocations.entries_since(int(cursor))
         snapshot = self._revocations.snapshot(self._license_key)
-        return entries, snapshot
+        return entries, snapshot, snapshot.version
 
     def prove_not_revoked(self, license_id: bytes):
         """Signed snapshot plus a Merkle non-inclusion proof.

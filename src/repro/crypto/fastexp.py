@@ -57,6 +57,7 @@ arithmetic.
 
 from __future__ import annotations
 
+import struct
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -147,10 +148,40 @@ class FixedBaseExp:
         self._modulus_r = modulus_r
         self._backend_name = active.name
 
+    @classmethod
+    def _from_serialized(
+        cls,
+        base: int,
+        modulus: int,
+        *,
+        exponent_bits: int,
+        window: int,
+        rows,
+    ) -> "FixedBaseExp":
+        """A table over already-computed rows — no precomputation.
+
+        The shared-table path (:func:`load_shared_tables`) lands here
+        with a :class:`_SharedRows` view into a shared-memory segment;
+        nothing is exponentiated, so "building" the table is O(header).
+        """
+        table = object.__new__(cls)
+        table.base = base % modulus
+        table.modulus = modulus
+        table.window = window
+        table.exponent_bits = exponent_bits
+        active = _backend.current()
+        table._rows = rows
+        table._modulus_r = active.residue(modulus)
+        table._backend_name = active.name
+        return table
+
     @property
     def table_entries(self) -> int:
         """Total precomputed entries (memory diagnostic)."""
-        return sum(len(row) for row in self._rows)
+        rows = self._rows
+        if isinstance(rows, _SharedRows):
+            return len(rows) * rows.radix
+        return sum(len(row) for row in rows)
 
     def rebind(self, active) -> None:
         """Re-residence the table entries in ``active``'s native type.
@@ -158,9 +189,15 @@ class FixedBaseExp:
         Called lazily by :func:`lookup` / :func:`precompute` the first
         time a table built under one backend is used under another —
         a linear pass over the entries, far cheaper than rebuilding.
+        Shared (lazily materialized) rows simply drop their caches and
+        re-materialize under the new backend on next use.
         """
         residue = active.residue
-        self._rows = [[residue(int(entry)) for entry in row] for row in self._rows]
+        rows = self._rows
+        if isinstance(rows, _SharedRows):
+            self._rows = rows.rebound(residue)
+        else:
+            self._rows = [[residue(int(entry)) for entry in row] for row in rows]
         self._modulus_r = residue(self.modulus)
         self._backend_name = active.name
 
@@ -288,9 +325,10 @@ def reset() -> None:
     deployment choice (workers pin it explicitly from their
     :class:`~repro.service.workers.ServiceConfig`).
     """
-    global _ENABLED, _EXP_MODE
+    global _ENABLED, _EXP_MODE, _WARM_TOKEN
     _TABLES.clear()
     _ENABLED = True
+    _WARM_TOKEN = None
     _EXP_MODE = default_exp_mode()
 
 
@@ -338,6 +376,191 @@ def isolated_state() -> Iterator[None]:
         set_tables_enabled(saved_enabled)
         set_exp_mode(saved_mode)
         _backend.set_backend(saved_backend)
+
+
+# ---------------------------------------------------------------------------
+# Shared tables: serialization and lazy attachment
+# ---------------------------------------------------------------------------
+#
+# The service's worker processes all warm the *same* tables (the group
+# generator, the escrow key).  Building them costs one exponentiation
+# per entry — per process.  Instead, the gateway builds once and shares:
+#
+# - **fork** (Linux default): children inherit the parent's registry by
+#   copy-on-write; nothing to do.  The warm *token* below is how a
+#   child recognizes the inheritance (module globals survive fork, so a
+#   matching token means the tables in ``_TABLES`` are the gateway's).
+# - **spawn**: children start from a blank interpreter.  The gateway
+#   serializes the registry (:func:`serialize_tables`) into a
+#   ``multiprocessing.shared_memory`` segment; children map it and
+#   register lazily-materializing tables (:func:`load_shared_tables`)
+#   whose rows decode out of the shared page into the active backend's
+#   native type on first use — attach cost is O(bytes mapped), not
+#   O(exponentiations).
+#
+# Layout (all integers big-endian)::
+#
+#     b"P2FX"  u8 version  u8 reserved  u16 table count
+#     per table:
+#       u16 window   u32 exponent_bits   u32 row count   u32 entry size
+#       modulus  (entry-size bytes)
+#       base     (entry-size bytes, already reduced mod modulus)
+#       rows     (row count × 2^window entries, entry-size bytes each)
+#
+# Entries are fixed-width at the modulus byte length, so row ``j`` digit
+# ``d`` lives at a computable offset — exactly what lazy row
+# materialization needs.
+
+_SHARED_MAGIC = b"P2FX"
+_SHARED_VERSION = 1
+_SHARED_HEADER = struct.Struct("!4sBBH")
+_SHARED_TABLE_HEADER = struct.Struct("!HIII")
+
+#: Opaque marker identifying *whose* warm tables this process holds
+#: (set by ``warm_fastexp`` after a build; compared by forked workers
+#: to detect copy-on-write inheritance).  ``None`` = nobody warmed us.
+_WARM_TOKEN: str | None = None
+
+
+def warm_token() -> str | None:
+    """The warm marker stamped by the last full table build, if any."""
+    return _WARM_TOKEN
+
+
+def set_warm_token(token: str | None) -> None:
+    """Stamp (or clear) the warm marker (see ``warm_fastexp``)."""
+    global _WARM_TOKEN
+    _WARM_TOKEN = token
+
+
+class _SharedRows:
+    """The rows of one table, materialized lazily out of a shared buffer.
+
+    Presents just enough of the list-of-lists protocol for
+    :meth:`FixedBaseExp.pow`: ``len()`` and indexing.  A row is decoded
+    from its fixed-width entries into the bound backend's residue type
+    the first time any digit of it is touched, then cached — a worker
+    that only ever exponentiates 256-bit exponents against a 2048-bit
+    table materializes a quarter of the rows and shares the rest as
+    untouched page-cache bytes.
+    """
+
+    __slots__ = ("_buffer", "_offset", "_entry_size", "radix", "_rows", "_residue")
+
+    def __init__(self, buffer, offset: int, entry_size: int, radix: int,
+                 count: int, residue):
+        self._buffer = buffer
+        self._offset = offset
+        self._entry_size = entry_size
+        self.radix = radix
+        self._rows: list = [None] * count
+        self._residue = residue
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int):
+        row = self._rows[index]
+        if row is None:
+            size = self._entry_size
+            start = self._offset + index * self.radix * size
+            buffer = self._buffer
+            residue = self._residue
+            row = [
+                residue(int.from_bytes(
+                    buffer[start + digit * size: start + (digit + 1) * size],
+                    "big",
+                ))
+                for digit in range(self.radix)
+            ]
+            self._rows[index] = row
+        return row
+
+    def rebound(self, residue) -> "_SharedRows":
+        """A fresh lazy view bound to another backend's residue type."""
+        return _SharedRows(
+            self._buffer, self._offset, self._entry_size, self.radix,
+            len(self._rows), residue,
+        )
+
+
+def serialize_tables() -> bytes:
+    """Every registered table as one relocatable blob.
+
+    The inverse is :func:`load_shared_tables`; the blob is position-
+    independent, so it can live in a shared-memory segment, a file, or
+    a plain bytes object.  Table order is deterministic (sorted by
+    registry key) — two processes holding the same registry serialize
+    byte-identically.
+    """
+    out = bytearray()
+    tables = sorted(_TABLES.items())
+    out += _SHARED_HEADER.pack(_SHARED_MAGIC, _SHARED_VERSION, 0, len(tables))
+    for (base, modulus), table in tables:
+        entry_size = (modulus.bit_length() + 7) // 8
+        rows = table._rows
+        radix = 1 << table.window
+        out += _SHARED_TABLE_HEADER.pack(
+            table.window, table.exponent_bits, len(rows), entry_size
+        )
+        out += modulus.to_bytes(entry_size, "big")
+        out += base.to_bytes(entry_size, "big")
+        for index in range(len(rows)):
+            for entry in rows[index]:
+                out += int(entry).to_bytes(entry_size, "big")
+    return bytes(out)
+
+
+def load_shared_tables(buffer) -> int:
+    """Register lazily-materializing tables from a serialized blob.
+
+    ``buffer`` is anything sliceable to bytes — typically a
+    ``memoryview`` over a shared-memory segment, which the registered
+    tables keep referencing: the caller must keep the mapping alive
+    for the life of the registry (workers park the segment in a
+    module-level holder).  Existing registrations under the same key
+    are replaced.  Returns the number of tables registered.
+
+    Raises :class:`~repro.errors.ParameterError` on a malformed blob —
+    wrong magic, unknown version, or truncation.
+    """
+    view = memoryview(buffer)
+    if len(view) < _SHARED_HEADER.size:
+        raise ParameterError("shared-table blob shorter than its header")
+    magic, version, _reserved, count = _SHARED_HEADER.unpack_from(view)
+    if magic != _SHARED_MAGIC:
+        raise ParameterError(f"bad shared-table magic {bytes(magic)!r}")
+    if version != _SHARED_VERSION:
+        raise ParameterError(f"unsupported shared-table version {version}")
+    active = _backend.current()
+    offset = _SHARED_HEADER.size
+    registered = 0
+    for _ in range(count):
+        if len(view) < offset + _SHARED_TABLE_HEADER.size:
+            raise ParameterError("truncated shared-table blob (table header)")
+        window, exponent_bits, row_count, entry_size = (
+            _SHARED_TABLE_HEADER.unpack_from(view, offset)
+        )
+        offset += _SHARED_TABLE_HEADER.size
+        radix = 1 << window
+        body = 2 * entry_size + row_count * radix * entry_size
+        if len(view) < offset + body:
+            raise ParameterError("truncated shared-table blob (table body)")
+        modulus = int.from_bytes(view[offset:offset + entry_size], "big")
+        offset += entry_size
+        base = int.from_bytes(view[offset:offset + entry_size], "big")
+        offset += entry_size
+        if modulus <= 1:
+            raise ParameterError("shared table carries a degenerate modulus")
+        rows = _SharedRows(
+            view, offset, entry_size, radix, row_count, active.residue
+        )
+        offset += row_count * radix * entry_size
+        _TABLES[(base % modulus, modulus)] = FixedBaseExp._from_serialized(
+            base, modulus, exponent_bits=exponent_bits, window=window, rows=rows
+        )
+        registered += 1
+    return registered
 
 
 # ---------------------------------------------------------------------------

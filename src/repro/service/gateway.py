@@ -19,6 +19,7 @@ write, through WAL snapshots.
 from __future__ import annotations
 
 import time
+from dataclasses import replace as _replace
 
 from ..core.actors.bank import decompose_amount
 from ..core.content import ContentPackage
@@ -48,7 +49,7 @@ from .sharding import (
     ShardSet,
 )
 from .transport import Transport
-from .workers import ServiceConfig, _catalog_store
+from .workers import ServiceConfig, _catalog_store, publish_shared_tables
 
 __all__ = [
     "ServiceGateway",
@@ -139,6 +140,12 @@ class ServiceGateway(ProviderSurface, BankSurface):
         max_pending: int | None = None,
         registry=None,
     ):
+        # Warm the fastexp tables ONCE, here, and publish them: forked
+        # workers inherit the registry copy-on-write, spawned workers
+        # attach the shared-memory segment — either way the pool pays
+        # for one table build, not one per worker.  The gateway owns
+        # the segment and unlinks it in :meth:`close`.
+        config, self._fastexp_segment = publish_shared_tables(config)
         # Open (and migrate) every shard *before* the pool starts: the
         # gateway's read views double as the schema bootstrap, so
         # workers never race each other on DDL.
@@ -199,6 +206,7 @@ class ServiceGateway(ProviderSurface, BankSurface):
             )
         except BaseException:
             self._shards.close()
+            self._release_shared_tables()
             raise
 
     # -- lifecycle ---------------------------------------------------------
@@ -232,6 +240,23 @@ class ServiceGateway(ProviderSurface, BankSurface):
         """The pool's abandoned-ticket book (asserted on in tests)."""
         return self._pool._abandoned
 
+    def _release_shared_tables(self) -> None:
+        """Unmap and unlink the published table segment (idempotent).
+
+        Only the gateway unlinks: workers — including SIGKILL'd ones —
+        unregister the name from their resource trackers at attach
+        time, so the segment's lifetime is exactly the gateway's.
+        """
+        segment = self._fastexp_segment
+        if segment is None:
+            return
+        self._fastexp_segment = None
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
     def close(self) -> None:
         """Stop the pool and release the gateway's shard handles."""
         if self._closed:
@@ -239,6 +264,7 @@ class ServiceGateway(ProviderSurface, BankSurface):
         self._closed = True
         self._pool.close()
         self._shards.close()
+        self._release_shared_tables()
 
     def __enter__(self) -> "ServiceGateway":
         return self
@@ -315,16 +341,18 @@ class ServiceGateway(ProviderSurface, BankSurface):
     def download(self, content_id: str) -> ContentPackage:
         return ContentPackage.from_bytes(self.package(content_id))
 
-    def revocation_sync(self, since_version: int):
-        """Delta entries plus a signed snapshot for device sync.
+    def revocation_sync(self, cursor=0):
+        """Delta entries, signed snapshot and advanced cursor for sync.
 
-        One merged scan feeds both (see
+        ``cursor`` is what the last sync returned — a per-shard version
+        tuple (a legacy ``int`` watermark degrades to a full resync).
+        The snapshot is bounded by the returned cursor (see
         :meth:`~repro.service.sharding.ShardedRevocationList.sync_since`)
         so a concurrent worker revocation cannot produce a snapshot
         whose root covers an entry the delta omits.
         """
         return self._revocations.sync_since(
-            since_version, self._config.license_key
+            cursor, self._config.license_key
         )
 
     def prove_not_revoked(self, license_id: bytes):
@@ -468,6 +496,7 @@ def build_gateway(
     tracing: bool = False,
     trace_threshold: float = 0.25,
     trace_keep: int = 64,
+    screening_threads: int = 0,
 ) -> ServiceGateway:
     """One-call gateway over a deployment's provider role.
 
@@ -486,6 +515,11 @@ def build_gateway(
     when its boundary span runs at least ``trace_threshold`` seconds,
     errors, or is forced (recovery); the newest ``trace_keep`` kept
     traces survive.
+
+    ``screening_threads`` sizes each worker's screening thread pool
+    (0 = serial): the per-item arms of the batch screening stages run
+    across those threads, byte-identically to the serial path (see
+    ``docs/fastexp.md`` for when this pays).
     """
     shard_count = shards if shards is not None else workers
     paths = ShardSet.paths_in_directory(directory, shard_count)
@@ -499,6 +533,8 @@ def build_gateway(
     config = ServiceConfig.from_deployment(
         deployment, paths, tracing=tracing, **knobs
     )
+    if screening_threads:
+        config = _replace(config, screening_threads=screening_threads)
     return ServiceGateway(
         config,
         workers=workers,

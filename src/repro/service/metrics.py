@@ -568,6 +568,24 @@ SERVICE_METRIC_SPECS: tuple[MetricSpec, ...] = (
         " original receipt instead of re-execution (front-door hits;"
         " worker-side hits surface as fast deposits, not here).",
     ),
+    MetricSpec(
+        "p2drm_worker_warmup_seconds",
+        "histogram",
+        "Per-worker fastexp warmup cost, by how the tables were"
+        " obtained: mode=build (computed from scratch), attach"
+        " (deserialized lazily from the gateway's shared-memory"
+        " segment) or cow (inherited by fork, zero work).",
+        ("mode",),
+        DEFAULT_LATENCY_BUCKETS,
+    ),
+    MetricSpec(
+        "p2drm_frames_zero_copy_total",
+        "counter",
+        "Frames whose payload was handed to the server as a view into"
+        " the read buffer (the decoder's zero-copy fast path) instead"
+        " of a copied slice; compare against p2drm_net_frames_total to"
+        " see how often frames straddle reads.",
+    ),
 )
 
 

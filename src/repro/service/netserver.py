@@ -245,6 +245,7 @@ class NetServer(Listener):
         self._m_shed = registry.get("p2drm_shed_total")
         self._m_requests = registry.get("p2drm_requests_total")
         self._m_replay_hits = registry.get("p2drm_replay_hits_total")
+        self._m_zero_copy = registry.get("p2drm_frames_zero_copy_total")
         # Sized for the blocking pool waits: every slot is a thread
         # parked on a condition variable, so the cap is about bounding
         # bookkeeping, not CPU.
@@ -386,6 +387,7 @@ class NetServer(Listener):
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder(max_payload=self._max_payload)
+        zero_copy_seen = 0
         inflight = asyncio.Semaphore(self._max_inflight)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
@@ -420,6 +422,9 @@ class NetServer(Listener):
                     self._record_decode(
                         frames, decode_start, time.monotonic() - decode_start
                     )
+                if decoder.zero_copy_frames != zero_copy_seen:
+                    self._m_zero_copy.inc(decoder.zero_copy_frames - zero_copy_seen)
+                    zero_copy_seen = decoder.zero_copy_frames
                 for frame in frames:
                     self._m_frames.inc(
                         type=_FRAME_NAMES.get(frame.type, "unknown"),
@@ -814,10 +819,20 @@ def _op_package(gateway: ServiceGateway, args: dict) -> bytes:
 
 
 def _op_revocation_sync(gateway: ServiceGateway, args: dict) -> dict:
-    entries, snapshot = gateway.revocation_sync(int(args["since_version"]))
+    # "cursor" is the resume token (int watermark or per-shard version
+    # list); older clients send "since_version", which degrades to a
+    # full resync on the sharded LRL.
+    if "cursor" in args:
+        cursor = args["cursor"]
+        if not isinstance(cursor, int):
+            cursor = tuple(int(version) for version in cursor)
+    else:
+        cursor = int(args.get("since_version", 0))
+    entries, snapshot, new_cursor = gateway.revocation_sync(cursor)
     return {
         "entries": [_revocation_entry_dict(entry) for entry in entries],
         "snapshot": snapshot.as_dict(),
+        "cursor": list(new_cursor),
     }
 
 
@@ -1134,10 +1149,19 @@ class NetClient(ProviderSurface, BankSurface):
     def download(self, content_id: str) -> ContentPackage:
         return ContentPackage.from_bytes(self.package(content_id))
 
-    def revocation_sync(self, since_version: int):
-        body = self._control("revocation_sync", since_version=since_version)
+    def revocation_sync(self, cursor=0):
+        """Delta entries, signed snapshot, advanced cursor — the same
+        3-tuple surface as the gateway; ``cursor`` is opaque (int
+        watermark or the per-shard tuple a previous call returned)."""
+        if isinstance(cursor, int):
+            body = self._control("revocation_sync", cursor=cursor)
+        else:
+            body = self._control(
+                "revocation_sync", cursor=[int(v) for v in cursor]
+            )
         entries = [_revocation_entry_from(entry) for entry in body["entries"]]
-        return entries, SignedSnapshot.from_dict(body["snapshot"])
+        new_cursor = tuple(int(version) for version in body["cursor"])
+        return entries, SignedSnapshot.from_dict(body["snapshot"]), new_cursor
 
     def prove_not_revoked(self, license_id: bytes):
         body = self._control("prove_not_revoked", license_id=license_id)

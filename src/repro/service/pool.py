@@ -135,6 +135,12 @@ class WorkerPool:
         self._m_inflight = self._registry.get("p2drm_inflight_requests")
         self._m_workers_alive = self._registry.get("p2drm_workers_alive")
         self._m_workers_alive.set(workers)
+        self._m_warmup = self._registry.get("p2drm_worker_warmup_seconds")
+        #: Worker warmup reports (worker index -> (mode, seconds)),
+        #: filled by the collector as each worker finishes
+        #: ``warm_fastexp`` and announces how it got its tables
+        #: ("build" / "attach" / "cow").  Read via ``warmup_reports``.
+        self._warmup: dict[int, tuple[str, float]] = {}
         # Tail-based capture: when a trace is kept, stamp its pool
         # latency as an exemplar on the request-latency histogram so a
         # slow bucket links to an inspectable trace.
@@ -213,6 +219,26 @@ class WorkerPool:
         front-end; see ``docs/metrics.md`` for every exported name)."""
         return self._registry
 
+    @property
+    def warmup_reports(self) -> dict[int, tuple[str, float]]:
+        """Worker index -> ``(mode, seconds)`` warmup announcements
+        collected so far ("build" / "attach" / "cow")."""
+        with self._cond:
+            return dict(self._warmup)
+
+    def wait_warmup(self, timeout: float = 60.0) -> dict[int, tuple[str, float]]:
+        """Block until every worker announced its warmup (or timeout);
+        returns the reports.  Benches use this to separate warmup cost
+        from steady-state throughput."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._warmup) < self._workers and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=min(remaining, 0.25))
+            return dict(self._warmup)
+
     def close(self) -> None:
         """Stop the workers and the collector; idempotent."""
         with self._cond:
@@ -286,7 +312,7 @@ class WorkerPool:
 
     def submit_encoded(
         self,
-        payload: bytes,
+        payload: bytes | memoryview,
         *,
         worker: int | None = None,
         trace: tracing.TraceContext | None = None,
@@ -299,7 +325,12 @@ class WorkerPool:
         the typed request's token) instead of constructing the full
         request the worker will decode anyway — so the socket
         transport is byte-transparent end to end without paying the
-        deserialization twice.  Unroutable payloads raise — the caller
+        deserialization twice.  ``payload`` may be a ``memoryview``
+        straight out of :class:`~repro.service.transport.FrameDecoder`:
+        the peek reads through the view and the bytes are materialized
+        exactly once, at the process-queue boundary (``_enqueue``),
+        which is the first place an owned copy is unavoidable (the
+        queue pickles).  Unroutable payloads raise — the caller
         answers the peer directly instead of burning a worker round
         trip.
 
@@ -320,11 +351,16 @@ class WorkerPool:
 
     def _enqueue(
         self,
-        payload: bytes,
+        payload: bytes | memoryview,
         target: int,
         kind: str,
         ctx: tracing.TraceContext | None = None,
     ) -> int:
+        if not isinstance(payload, bytes):
+            # The one deliberate copy on the zero-copy path: the mp
+            # queue pickles its items, so the view must become owned
+            # bytes here — and nowhere earlier.
+            payload = bytes(payload)
         with self._cond:
             if self._closed:
                 raise ServiceError("worker pool is closed")
@@ -458,6 +494,19 @@ class WorkerPool:
             except (EOFError, OSError, ValueError):
                 # Queue torn down under us — close() is racing; loop
                 # around and observe the flag.
+                continue
+            if ticket is None and payload is not None:
+                # A worker's warmup announcement (no ticket): record
+                # how it obtained its fastexp tables and at what cost.
+                try:
+                    tag, index, mode, seconds = payload
+                except (TypeError, ValueError):
+                    tag = None
+                if tag == "warmup":
+                    self._m_warmup.observe(seconds, mode=mode)
+                    with self._cond:
+                        self._warmup[index] = (mode, seconds)
+                        self._cond.notify_all()
                 continue
             if ticket is not None:
                 # Classify before taking the lock: the outcome peek

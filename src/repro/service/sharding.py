@@ -27,7 +27,6 @@ from __future__ import annotations
 import os
 from typing import Iterable, Iterator, Sequence
 
-from ..core.actors.provider import REQUEST_FRESHNESS_WINDOW
 from ..crypto.hashes import sha256
 from ..crypto.rsa import RsaPrivateKey
 from ..errors import ParameterError
@@ -221,36 +220,31 @@ def _signed_snapshot(
     return snapshot, tree
 
 
-#: How far a late revocation's timestamp may lag the merged order.
-#: Deterministic issuance stamps entries with the *request* time, and
-#: the provider's freshness check accepts stamps up to one window in
-#: EITHER direction (``abs(at - now) <= WINDOW``) — so the watermark
-#: entry may be stamped a window into the future while a later
-#: newcomer is stamped a window into the past.  The overlap must span
-#: both skews: 2x the freshness window, derived (not copied) so a
-#: change to the freshness policy widens the redelivery guarantee
-#: with it.
-_ENTRY_OVERLAP = 2 * REQUEST_FRESHNESS_WINDOW
-
-
 class ShardedRevocationList:
     """:class:`~repro.storage.revocation.RevocationList` over shards.
 
     Versions are the one API wrinkle: each shard numbers its own
     entries, and the global version is the *total entry count* — still
     strictly monotone (every revocation lands on exactly one shard), so
-    snapshot freshness comparisons keep working.  ``entries_since``
-    serves deltas against a merged, deterministically ordered view.
-    Because a new entry can sort *before* positions a device already
-    synced (equal or straggling timestamps from another shard), deltas
-    are deliberately **conservative**: they overlap the synced
-    watermark by the freshness window, redelivering recent entries the
-    device may already hold.  Devices dedup by licence id and verify
-    the signed Merkle root, so redelivery is harmless and any remaining
-    anomaly is detected, never silent.  (The merge is a full scan of
-    all shards — fine for the LRL, which is off the sell/redeem hot
-    path; an indexed global ordering needs the cross-shard sequencer
-    the ROADMAP lists as an open item.)
+    snapshot freshness comparisons keep working.  Device sync is driven
+    by a **per-shard cursor**: a tuple with one shard-local version per
+    shard.  Each shard's versions are contiguous and assigned under an
+    immediate transaction, so ``version > cursor[i]`` on shard ``i`` is
+    *exactly* the set that cursor has not seen — one indexed range scan
+    per shard, no full-list merge, and none of the
+    freshness-window-overlap redelivery the previous timestamp-ordered
+    scheme needed.  The signed snapshot that rides with a delta is
+    bounded by the *new* cursor (``version <= cursor'[i]`` per shard),
+    so a revocation landing concurrently with the sync can never be
+    covered by the signed root yet missing from the delta — the
+    integrity property a device's
+    :meth:`~repro.storage.revocation.DeviceRevocationView.apply_sync`
+    root check depends on.
+
+    A legacy ``int`` watermark (or a cursor whose arity does not match
+    the shard count) cannot be mapped onto per-shard versions and
+    degrades to a full resync — devices dedup by licence id, so
+    redelivery is harmless, just larger.
     """
 
     def __init__(self, shards: ShardSet):
@@ -297,59 +291,66 @@ class ShardedRevocationList:
         merged.sort()
         return merged
 
-    def _merged_entries(self) -> list[RevocationEntry]:
+    def _normalize_cursor(self, cursor) -> tuple[int, ...]:
+        """A per-shard cursor tuple, or all-zeros (= full resync).
+
+        Legacy ``int`` watermarks and cursors from a different shard
+        topology are not mappable onto per-shard versions; both degrade
+        to a full redelivery, which devices absorb by licence-id dedup.
+        """
+        shard_count = len(self._lists)
+        if cursor is None or isinstance(cursor, int):
+            return (0,) * shard_count
+        cursor = tuple(int(version) for version in cursor)
+        if len(cursor) != shard_count:
+            return (0,) * shard_count
+        return cursor
+
+    def delta_since(self, cursor) -> tuple[list[RevocationEntry], tuple[int, ...]]:
+        """Exact delta past ``cursor``: ``(entries, new_cursor)``.
+
+        One indexed range scan per shard (``version > cursor[i]``);
+        entry ``version`` fields are shard-local.  The merged delta is
+        ordered by ``(revoked_at, license_id)`` so the stream a device
+        sees is deterministic regardless of shard interleaving.
+        """
+        cursor = self._normalize_cursor(cursor)
         entries: list[RevocationEntry] = []
-        for lst in self._lists:
-            entries.extend(lst.entries_since(0))
+        new_cursor = list(cursor)
+        for index, lst in enumerate(self._lists):
+            delta = lst.entries_since(cursor[index])
+            if delta:
+                # entries_since orders by version; the last one is the
+                # shard's new high-water mark.
+                new_cursor[index] = delta[-1].version
+                entries.extend(delta)
         entries.sort(key=lambda entry: (entry.revoked_at, entry.license_id))
-        return [
-            RevocationEntry(
-                license_id=entry.license_id,
-                version=position,
-                revoked_at=entry.revoked_at,
-                reason=entry.reason,
-            )
-            for position, entry in enumerate(entries, start=1)
-        ]
+        return entries, tuple(new_cursor)
 
     def sync_since(
-        self, version: int, signing_key: RsaPrivateKey
-    ) -> tuple[list[RevocationEntry], SignedSnapshot]:
-        """Delta entries plus a signed snapshot, from ONE merged scan.
+        self, cursor, signing_key: RsaPrivateKey
+    ) -> tuple[list[RevocationEntry], SignedSnapshot, tuple[int, ...]]:
+        """Delta entries, a signed snapshot, and the advanced cursor.
 
-        Workers revoke concurrently with gateway reads; computing the
-        delta and the snapshot from separate scans could sign a root
-        covering an entry the delta does not deliver, which a device
-        would (correctly) reject as an integrity failure.
+        The snapshot is bounded by the *new* cursor — per shard, only
+        entries with ``version <= new_cursor[i]`` are covered — so it
+        describes exactly (device's synced set ∪ this delta) even while
+        workers keep revoking concurrently: a late entry has a version
+        past the cursor and is excluded from the signed root just as it
+        is absent from the delta.  A snapshot root covering an entry
+        the delta omits is therefore impossible by construction, not by
+        scan timing.
         """
-        merged = self._merged_entries()
-        entries = self._delta(merged, version)
-        snapshot, _ = _signed_snapshot(
-            sorted(entry.license_id for entry in merged), signing_key
-        )
-        return entries, snapshot
+        entries, new_cursor = self.delta_since(cursor)
+        ids: list[bytes] = []
+        for version, lst in zip(new_cursor, self._lists):
+            ids.extend(lst.ids_through(version))
+        snapshot, _ = _signed_snapshot(sorted(ids), signing_key)
+        return entries, snapshot, new_cursor
 
-    def entries_since(self, version: int) -> list[RevocationEntry]:
-        return self._delta(self._merged_entries(), version)
-
-    @staticmethod
-    def _delta(
-        merged: list[RevocationEntry], version: int
-    ) -> list[RevocationEntry]:
-        if version <= 0 or not merged:
-            return merged
-        # Everything past the synced position, plus every entry within
-        # the overlap window of that position's timestamp: an entry
-        # revoked *after* the device synced carries a stamp no older
-        # than watermark - overlap, so the union is guaranteed to be a
-        # superset of whatever the device is missing.
-        watermark_at = merged[min(version, len(merged)) - 1].revoked_at
-        cutoff = watermark_at - _ENTRY_OVERLAP
-        return [
-            entry
-            for entry in merged
-            if entry.version > version or entry.revoked_at >= cutoff
-        ]
+    def entries_since(self, cursor) -> list[RevocationEntry]:
+        """Delta entries past ``cursor`` (see :meth:`delta_since`)."""
+        return self.delta_since(cursor)[0]
 
     # -- snapshot / distribution (same contract as the single store) ----
 

@@ -98,11 +98,19 @@ _PIN = struct.Struct("!H")
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: type tag, correlation id, payload bytes."""
+    """One decoded frame: type tag, correlation id, payload bytes.
+
+    ``payload`` may be a read-only :class:`memoryview` into the buffer
+    the decoder was fed (the zero-copy fast path) rather than an owned
+    ``bytes`` object.  Views compare equal to the same bytes and slice
+    without copying; callers that need an owned copy (to outlive the
+    frame, to pickle) take ``bytes(frame.payload)`` explicitly — that
+    is the *one* place the copy happens.
+    """
 
     type: int
     request_id: int
-    payload: bytes
+    payload: bytes | memoryview
 
 
 def encode_frame(
@@ -141,12 +149,17 @@ def encode_pinned(worker: int, envelope: bytes) -> bytes:
     return _PIN.pack(worker) + envelope
 
 
-def decode_pinned(payload: bytes) -> tuple[int, bytes]:
-    """Inverse of :func:`encode_pinned`: ``(worker, envelope)``."""
+def decode_pinned(payload: bytes | memoryview) -> tuple[int, bytes | memoryview]:
+    """Inverse of :func:`encode_pinned`: ``(worker, envelope)``.
+
+    The envelope comes back as a view into ``payload`` — stripping the
+    2-byte pin prefix never copies the request bytes.
+    """
     if len(payload) < _PIN.size:
         raise WireError("pinned request shorter than its worker index")
     (worker,) = _PIN.unpack_from(payload)
-    return worker, payload[_PIN.size:]
+    view = payload if isinstance(payload, memoryview) else memoryview(payload)
+    return worker, view[_PIN.size:]
 
 
 class FrameDecoder:
@@ -157,19 +170,50 @@ class FrameDecoder:
     frame, buffering the rest.  Violations raise typed errors and
     poison the decoder (a stream is meaningless after a framing error;
     the connection must be dropped, not resynchronized).
+
+    Copy discipline (the TCP hot path): when a ``feed()`` call starts
+    with an empty buffer — the steady state of a well-formed stream —
+    every completed frame's payload is returned as a read-only
+    :class:`memoryview` *into the fed buffer itself*; no payload byte
+    is copied (:attr:`zero_copy_frames` counts these).  Only when a
+    frame straddles ``feed()`` calls does the decoder buffer, and then
+    the completed prefix is snapshotted exactly once (a single
+    ``bytes`` of the consumed region, views into it per frame) before
+    being dropped from the buffer — never a per-frame bytearray slice.
+    The returned views alias the caller's buffer, so a caller that
+    recycles its read buffer must consume frames before the next feed.
     """
 
     def __init__(self, *, max_payload: int = MAX_FRAME_PAYLOAD):
         self._max_payload = max_payload
         self._buffer = bytearray()
         self._dead = False
+        self.zero_copy_frames = 0
 
     @property
     def buffered(self) -> int:
         """Bytes held back waiting for the rest of their frame."""
         return len(self._buffer)
 
-    def feed(self, data: bytes) -> list[Frame]:
+    def _parse_header(self, buffer, offset: int) -> tuple[int, int, int]:
+        """Validate one header at ``offset``; ``(type, id, length)``."""
+        magic, version, frame_type, request_id, length = _HEADER.unpack_from(
+            buffer, offset
+        )
+        if magic != WIRE_MAGIC:
+            raise WireError(f"bad frame magic {bytes(magic)!r}")
+        if version != WIRE_VERSION:
+            raise WireError(f"unsupported framing version {version}")
+        if frame_type not in FRAME_TYPES:
+            raise WireError(f"unknown frame type 0x{frame_type:02x}")
+        if length > self._max_payload:
+            raise FrameTooLargeError(
+                f"declared payload of {length} bytes exceeds the"
+                f" {self._max_payload}-byte frame ceiling"
+            )
+        return frame_type, request_id, length
+
+    def feed(self, data: bytes | bytearray | memoryview) -> list[Frame]:
         """Absorb ``data``; returns the frames it completed (often none).
 
         Raises :class:`~repro.errors.WireError` on bad magic/version/
@@ -179,29 +223,53 @@ class FrameDecoder:
         """
         if self._dead:
             raise WireError("decoder poisoned by an earlier framing error")
-        self._buffer += data
         frames: list[Frame] = []
         try:
-            while len(self._buffer) >= HEADER_SIZE:
-                magic, version, frame_type, request_id, length = _HEADER.unpack_from(
-                    self._buffer
+            if not self._buffer:
+                # Zero-copy fast path: parse complete frames straight
+                # out of ``data`` and hand back views into it.  Pin the
+                # bytes down first if the caller fed a mutable buffer.
+                if not isinstance(data, bytes):
+                    data = bytes(data)
+                size = len(data)
+                offset = 0
+                while size - offset >= HEADER_SIZE:
+                    frame_type, request_id, length = self._parse_header(data, offset)
+                    end = offset + HEADER_SIZE + length
+                    if size < end:
+                        break
+                    payload = memoryview(data)[offset + HEADER_SIZE:end]
+                    frames.append(Frame(frame_type, request_id, payload))
+                    self.zero_copy_frames += 1
+                    offset = end
+                if offset < size:
+                    self._buffer += memoryview(data)[offset:]
+                return frames
+            self._buffer += data
+            # A frame straddled feeds: parse out of the buffer, then
+            # snapshot the entire consumed region in ONE copy and
+            # return views into the snapshot (del-after-view).
+            consumed = 0
+            headers: list[tuple[int, int, int]] = []
+            while len(self._buffer) - consumed >= HEADER_SIZE:
+                frame_type, request_id, length = self._parse_header(
+                    self._buffer, consumed
                 )
-                if magic != WIRE_MAGIC:
-                    raise WireError(f"bad frame magic {bytes(magic)!r}")
-                if version != WIRE_VERSION:
-                    raise WireError(f"unsupported framing version {version}")
-                if frame_type not in FRAME_TYPES:
-                    raise WireError(f"unknown frame type 0x{frame_type:02x}")
-                if length > self._max_payload:
-                    raise FrameTooLargeError(
-                        f"declared payload of {length} bytes exceeds the"
-                        f" {self._max_payload}-byte frame ceiling"
-                    )
-                if len(self._buffer) < HEADER_SIZE + length:
+                end = consumed + HEADER_SIZE + length
+                if len(self._buffer) < end:
                     break
-                payload = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
-                del self._buffer[:HEADER_SIZE + length]
-                frames.append(Frame(frame_type, request_id, payload))
+                headers.append((frame_type, request_id, consumed + HEADER_SIZE))
+                consumed = end
+            if consumed:
+                with memoryview(self._buffer) as whole:
+                    block = bytes(whole[:consumed])
+                del self._buffer[:consumed]
+                for index, (frame_type, request_id, start) in enumerate(headers):
+                    end = headers[index + 1][2] - HEADER_SIZE \
+                        if index + 1 < len(headers) else consumed
+                    frames.append(
+                        Frame(frame_type, request_id, memoryview(block)[start:end])
+                    )
         except WireError:
             self._dead = True
             raise

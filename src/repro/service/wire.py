@@ -38,6 +38,11 @@ from ..errors import (
     RightsDenied,
 )
 
+#: What the decoders and peeks accept: the hot path hands them
+#: ``memoryview`` slices straight out of the frame decoder, and the
+#: canonical codec reads through any bytes-like object.
+Buffer = bytes | bytearray | memoryview
+
 # -- request envelopes -------------------------------------------------------
 
 KIND_SELL = "sell"
@@ -111,7 +116,7 @@ def encode_request(request, trace=None, nonce: bytes | None = None) -> bytes:
     return codec.encode(envelope)
 
 
-def decode_request(data: bytes):
+def decode_request(data: Buffer):
     """Inverse of :func:`encode_request`; returns the typed dataclass.
 
     Strictly :class:`~repro.errors.CodecError` on any malformed input:
@@ -135,7 +140,7 @@ def decode_request(data: bytes):
         raise CodecError(f"malformed {kind} request body: {exc!r}") from exc
 
 
-def peek_routing(data: bytes) -> tuple[str, bytes]:
+def peek_routing(data: Buffer) -> tuple[str, bytes]:
     """``(kind, affinity token)`` of an encoded request — without
     constructing the full typed request.
 
@@ -186,12 +191,12 @@ def peek_routing(data: bytes) -> tuple[str, bytes]:
         ) from exc
 
 
-def peek_routing_token(data: bytes) -> bytes:
+def peek_routing_token(data: Buffer) -> bytes:
     """The affinity token alone (see :func:`peek_routing`)."""
     return peek_routing(data)[1]
 
 
-def peek_trace(data: bytes):
+def peek_trace(data: Buffer):
     """The trace context embedded in an encoded request, or ``None``.
 
     Never raises: an envelope without ``meta`` (every pre-tracing
@@ -213,7 +218,7 @@ def peek_trace(data: bytes):
         return None
 
 
-def peek_nonce(data: bytes) -> bytes | None:
+def peek_nonce(data: Buffer) -> bytes | None:
     """The idempotency nonce embedded in an encoded request, or ``None``.
 
     Never raises: an envelope without ``meta`` (every pre-retry
@@ -259,7 +264,7 @@ def encode_response(result) -> bytes:
     return codec.encode({"what": _RESPONSE_WHAT, "kind": kind, "body": body})
 
 
-def decode_response(data: bytes):
+def decode_response(data: Buffer):
     """Inverse of :func:`encode_response`.
 
     Errors come back as exception *instances* (not raised): batch
@@ -289,7 +294,7 @@ def decode_response(data: bytes):
     raise CodecError(f"unknown response kind {kind!r}")
 
 
-def peek_response_outcome(data: bytes) -> tuple[str, str | None]:
+def peek_response_outcome(data: Buffer) -> tuple[str, str | None]:
     """``(outcome, error_type)`` of an encoded response, cheaply.
 
     The pool's metrics path classifies every response it parks without

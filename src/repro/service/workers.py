@@ -27,10 +27,11 @@ layer — the desks the pool's routing and admission control feed).
 
 from __future__ import annotations
 
+import hashlib
 import queue as queue_module
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..clock import SimClock
 from ..core.actors.bank import decompose_amount
@@ -120,6 +121,23 @@ class ServiceConfig:
     #: backend regardless of what each child process would have
     #: defaulted to.
     backend_name: str = field(default_factory=crypto_backend.backend_name)
+    #: Name of the gateway's shared-memory segment holding the
+    #: serialized fastexp tables (``None`` = no segment; workers build
+    #: their own).  See :func:`warm_fastexp` for the build/attach/cow
+    #: decision.
+    fastexp_shm: str | None = None
+    #: Marker stamped on the fastexp module by whoever built the warm
+    #: tables for *this* config.  A forked worker that finds the same
+    #: token in its (copy-on-write-inherited) fastexp globals knows the
+    #: registry it holds is the gateway's and skips warmup entirely.
+    warm_token: str | None = None
+    #: Size of the per-worker screening thread pool (0 = serial).  The
+    #: per-item arms of the batch screening stages (re-verifying
+    #: members after an aggregate check fails) fan out across these
+    #: threads; it pays only under the gmpy2 backend, whose ``powmod``
+    #: releases the GIL, but is byte-identical to the serial path under
+    #: any backend (see docs/fastexp.md).
+    screening_threads: int = 0
 
     @classmethod
     def from_deployment(
@@ -464,26 +482,169 @@ def _catalog_store(config: ServiceConfig) -> ContentStore:
     return store
 
 
-def warm_fastexp(config: ServiceConfig) -> str:
-    """Per-worker arithmetic warm-up from a clean slate.
+#: The shared-memory segment a worker attached its lazy tables to.
+#: Module-level on purpose: the registry's :class:`~repro.crypto.
+#: fastexp._SharedRows` views point into this mapping, so it must stay
+#: alive as long as the tables are registered (released only by
+#: :func:`_detach_shared_tables` on clean worker exit).
+_SHARED_SEGMENT = None
+
+
+def _attach_shared_tables(name: str) -> int:
+    """Map the gateway's table segment and register its tables lazily.
+
+    Returns the number of tables registered.  Ownership notes: the
+    *gateway* owns the unlink.  Workers (fork or spawn) inherit the
+    gateway's ``resource_tracker`` process, so the attach's implicit
+    registration is a set-add of an already-registered name — it must
+    NOT be unregistered here, or the gateway's own registration would
+    vanish from the shared cache (unmatched-unregister noise at
+    unlink time, and no leaked-segment cleanup if the whole tree
+    crashes).  A worker dying — even by SIGKILL — cannot tear the
+    name out from under its siblings either way: the shared tracker
+    only reclaims names once *every* participant is gone.
+    """
+    global _SHARED_SEGMENT
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    count = fastexp.load_shared_tables(segment.buf)
+    _SHARED_SEGMENT = segment
+    return count
+
+
+def _detach_shared_tables() -> None:
+    """Drop the lazy tables and close this process's mapping.
+
+    Clean-shutdown path only (``worker_main``'s ``finally``): the
+    registry's ``_SharedRows`` views must die before the segment can
+    close, otherwise ``SharedMemory.__del__`` spews ``BufferError:
+    cannot close exported pointers exist`` at interpreter teardown.
+    The name itself is untouched — unlinking is the gateway's job.
+    """
+    global _SHARED_SEGMENT
+    segment = _SHARED_SEGMENT
+    if segment is None:
+        return
+    _SHARED_SEGMENT = None
+    fastexp.reset()  # releases every exported view into the mapping
+    try:
+        segment.close()
+    except BufferError:  # a stray table survived reset(); leave it to
+        pass             # the OS — unlink still reclaims the memory
+
+
+def warm_fastexp(config: ServiceConfig) -> tuple[str, str]:
+    """Per-worker arithmetic warm-up: build, attach, or inherit.
 
     Pins the config's arithmetic backend (so a spawn-started child
     doesn't silently run a different backend than the pool was
-    configured for), resets the fastexp globals — which also selects
-    that backend's default cold-exponentiation mode (see
-    :func:`repro.crypto.fastexp.default_exp_mode`) — and builds the
-    warm fixed-base tables resident in that backend's native integer
-    type.  Returns the active backend name — the warm-up record E11
-    sweeps and operator logs attribute throughput to.
+    configured for), then takes the cheapest route to warm tables:
+
+    - ``"cow"`` — the fastexp module already carries ``config.
+      warm_token``: this process was forked from the gateway after it
+      built the tables, and copy-on-write inheritance means the
+      registry is *already warm*.  Only the mode/enabled switches are
+      normalized; zero exponentiations, zero copies.
+    - ``"attach"`` — ``config.fastexp_shm`` names a shared-memory
+      segment (the spawn path, or a fork that lost the token): map it
+      and register lazily-materializing tables — O(map) now, rows
+      decoded on first use.
+    - ``"build"`` — no segment (direct :class:`WorkerPool` use, tests):
+      reset and compute the tables from scratch, exactly as before.
+
+    Returns ``(backend name, mode)`` — the warm-up record the E11/E18
+    sweeps and the ``p2drm_worker_warmup_seconds{mode}`` metric
+    attribute costs to.
     """
     if config.backend_name:
         crypto_backend.set_backend(config.backend_name)
+    if (
+        config.warm_token is not None
+        and fastexp.warm_token() == config.warm_token
+        and fastexp.table_count() > 0
+    ):
+        # Inherited the gateway's warm registry across fork.  Restore
+        # the switches a worker expects without dropping the tables.
+        fastexp.set_tables_enabled(True)
+        fastexp.set_exp_mode(fastexp.default_exp_mode())
+        return crypto_backend.backend_name(), "cow"
     fastexp.reset()
+    if config.fastexp_shm is not None:
+        try:
+            count = _attach_shared_tables(config.fastexp_shm)
+        except (OSError, ValueError, ParameterError):
+            # Segment gone or malformed: fall through to a local build
+            # — the shared tables are an optimization, never a
+            # correctness dependency.
+            count = 0
+        if count:
+            fastexp.set_warm_token(config.warm_token)
+            return crypto_backend.backend_name(), "attach"
     group = named_group(config.group_name)
     group.precompute_generator()
     if config.escrow_key_element is not None:
         group.precompute_base(config.escrow_key_element)
-    return crypto_backend.backend_name()
+    fastexp.set_warm_token(config.warm_token)
+    return crypto_backend.backend_name(), "build"
+
+
+def _warm_token_for(config: ServiceConfig) -> str:
+    """Deterministic warm-token for a config's table *spec*.
+
+    Two configs that would build the same tables (same group, same
+    escrow element, same backend) share a token — all the COW check
+    needs is "the registry this process carries was warmed for exactly
+    this spec", not segment identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(config.group_name.encode())
+    digest.update(str(config.escrow_key_element).encode())
+    digest.update((config.backend_name or "").encode())
+    return digest.hexdigest()
+
+
+def publish_shared_tables(config: ServiceConfig):
+    """Build the warm tables once, here, and publish them for workers.
+
+    Runs the same build :func:`warm_fastexp` would run in every worker
+    — but in the *gateway* process, exactly once — then serializes the
+    registry into a fresh ``multiprocessing.shared_memory`` segment and
+    stamps the warm token on this process's fastexp module.  Returns
+    ``(config', segment)`` where ``config'`` carries the segment name
+    and token, so:
+
+    - forked workers find the token in their copy-on-write-inherited
+      globals and skip warmup entirely (``mode="cow"``);
+    - spawned workers attach the segment and materialize rows lazily
+      (``mode="attach"``);
+    - the caller owns ``segment`` and must ``close()`` + ``unlink()``
+      it when the pool stops (workers deliberately never unlink — see
+      :func:`_attach_shared_tables`).
+
+    If the host cannot create shared memory the original config comes
+    back with ``segment=None`` and every worker simply builds its own
+    tables, the pre-shared behaviour.
+    """
+    if config.backend_name:
+        crypto_backend.set_backend(config.backend_name)
+    token = _warm_token_for(config)
+    if fastexp.warm_token() != token or fastexp.table_count() == 0:
+        fastexp.reset()
+        group = named_group(config.group_name)
+        group.precompute_generator()
+        if config.escrow_key_element is not None:
+            group.precompute_base(config.escrow_key_element)
+        fastexp.set_warm_token(token)
+    blob = fastexp.serialize_tables()
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    except (ImportError, OSError):
+        return config, None
+    segment.buf[: len(blob)] = blob
+    return replace(config, fastexp_shm=segment.name, warm_token=token), segment
 
 
 @dataclass
@@ -530,13 +691,35 @@ def worker_main(worker_index, config, request_queue, response_queue):
     Builds the desk, then loops: drain a batch from the queue, run the
     batch pipelines, push ``(request_id, response_bytes)`` results.  A
     ``None`` queue item shuts the worker down cleanly.
+
+    The first thing on the response queue is a ticketless warmup
+    announcement ``(None, ("warmup", index, mode, seconds))`` — the
+    collector turns it into the ``p2drm_worker_warmup_seconds{mode}``
+    histogram and the pool's ``warmup_reports``.
     """
-    warm_fastexp(config)
+    warm_start = time.monotonic()
+    _backend_name, warm_mode = warm_fastexp(config)
+    try:
+        response_queue.put(
+            (None, ("warmup", worker_index, warm_mode,
+                    time.monotonic() - warm_start))
+        )
+    except (OSError, ValueError):
+        pass  # pool torn down before we finished warming; exit via loop
     if config.tracing:
         tracing.install(tracing.SpanCollector())
+    screen_pool = None
     shards = ShardSet(config.shard_paths)
     try:
         provider, desk, clock = build_worker_provider(config, worker_index, shards)
+        if config.screening_threads > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            screen_pool = ThreadPoolExecutor(
+                max_workers=config.screening_threads,
+                thread_name_prefix=f"p2drm-screen-{worker_index}",
+            )
+            provider.screening_executor = screen_pool
         while True:
             drained = _drain_batch(request_queue, config.max_batch, config.max_wait)
             if drained.items:
@@ -561,7 +744,10 @@ def worker_main(worker_index, config, request_queue, response_queue):
             if drained.shutdown:
                 return
     finally:
+        if screen_pool is not None:
+            screen_pool.shutdown(wait=False)
         shards.close()
+        _detach_shared_tables()
 
 
 class _BatchTraces:
@@ -855,12 +1041,26 @@ class _stage_log:
 
 
 def require_start_method() -> str:
-    """The multiprocessing start method the pool uses on this host."""
-    import multiprocessing
+    """The multiprocessing start method the pool uses on this host.
 
+    ``P2DRM_START_METHOD`` (``fork`` / ``spawn`` / ``forkserver``)
+    overrides the platform default — CI uses it to force the spawn
+    path (and therefore the shared-memory table attach) on Linux,
+    where fork would otherwise always win.
+    """
+    import multiprocessing
+    import os
     import sys
 
     methods = multiprocessing.get_all_start_methods()
+    forced = os.environ.get("P2DRM_START_METHOD")
+    if forced:
+        if forced not in methods:
+            raise ServiceError(
+                f"P2DRM_START_METHOD={forced!r} is not available on this"
+                f" host (have {methods})"
+            )
+        return forced
     if sys.platform == "linux" and "fork" in methods:
         # Cheapest on Linux, and workers rebuild their own state anyway
         # (warm_fastexp resets whatever was inherited).  Elsewhere —

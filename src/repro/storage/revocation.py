@@ -158,7 +158,13 @@ class RevocationList:
         return [row[0] for row in rows]
 
     def entries_since(self, version: int) -> list[RevocationEntry]:
-        """Delta for device sync: entries with version > ``version``."""
+        """Delta for device sync: entries with version > ``version``.
+
+        Exact, not conservative: versions are assigned contiguously
+        under an immediate transaction, so ``version > v`` is precisely
+        the set a device that synced through ``v`` has not seen.  One
+        indexed range scan (``idx_revoked_version``).
+        """
         rows = self._db.query_all(
             "SELECT license_id, version, revoked_at, reason FROM revoked_licenses"
             " WHERE version > ? ORDER BY version",
@@ -170,6 +176,20 @@ class RevocationList:
             )
             for r in rows
         ]
+
+    def ids_through(self, version: int) -> list[bytes]:
+        """Licence ids of the version-prefix ``<= version`` (unsorted).
+
+        The sharded LRL builds its cursor-bounded snapshots from this:
+        bounding by the *cursor's* version (instead of scanning
+        everything) keeps a snapshot consistent with the delta it rode
+        in with even while workers keep revoking concurrently.
+        """
+        rows = self._db.query_all(
+            "SELECT license_id FROM revoked_licenses WHERE version <= ?",
+            (version,),
+        )
+        return [row[0] for row in rows]
 
     # -- snapshot / distribution ------------------------------------------
 
@@ -208,19 +228,31 @@ class DeviceRevocationView:
         self._ids: set[bytes] = set()
         self._bloom = BloomFilter(capacity=64, fp_rate=fp_rate)
         self.version = 0
+        #: Opaque resume token for the next ``revocation_sync`` call.
+        #: ``0`` initially (= "send everything"); thereafter whatever
+        #: the provider returned with the last applied delta — an int
+        #: version for a single-store LRL, a per-shard version tuple
+        #: for the sharded one.  The device never interprets it.
+        self.cursor = 0
 
     @property
     def count(self) -> int:
         return len(self._ids)
 
     def apply_sync(
-        self, entries: list[RevocationEntry], snapshot: SignedSnapshot
+        self,
+        entries: list[RevocationEntry],
+        snapshot: SignedSnapshot,
+        cursor=None,
     ) -> int:
         """Ingest a delta plus signed snapshot; returns entries applied.
 
         Verifies the provider signature and that the local set now
         matches the signed Merkle root — a lying or lossy channel is
         detected here (:class:`~repro.errors.StoreIntegrityError`).
+        ``cursor`` (when given) is stored as :attr:`cursor` for the
+        next sync — but only after the integrity checks pass, so a bad
+        delta never advances the resume point.
         """
         from ..errors import StoreIntegrityError
 
@@ -239,6 +271,8 @@ class DeviceRevocationView:
         if local_root != snapshot.merkle_root:
             raise StoreIntegrityError("LRL sync root mismatch")
         self.version = snapshot.version
+        if cursor is not None:
+            self.cursor = cursor
         self._rebuild_bloom()
         return applied
 

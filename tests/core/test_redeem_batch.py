@@ -257,3 +257,55 @@ class TestRedeemBatch:
         assert isinstance(results[2], AuthenticationError)
         assert not isinstance(results[0], Exception)
         assert not isinstance(results[1], Exception)
+
+    # -- threaded screening -------------------------------------------------
+
+    def test_threaded_screening_byte_identical_to_serial(self, fresh_deployment):
+        """The per-item screening arms on a thread pool must produce
+        the exact bytes (licences AND rejections) the serial loop
+        produces.  The queue carries one forged licence signature
+        (stage-1 arm) and one forged Schnorr envelope (stage-4 arm), so
+        both fallback loops actually run."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro import codec
+
+        outputs = []
+        for threads in (0, 2):
+            d = fresh_deployment(seed="rb-screen-threads")
+            receiver, requests = _redeem_queue(d, 4)
+            forged_license = dataclasses.replace(
+                requests[1].anonymous_license,
+                signature=bytes(len(requests[1].anonymous_license.signature)),
+            )
+            requests[1] = dataclasses.replace(
+                requests[1], anonymous_license=forged_license
+            )
+            requests[2] = dataclasses.replace(
+                requests[2],
+                signature=SchnorrSignature(
+                    challenge=requests[2].signature.challenge,
+                    response=(requests[2].signature.response + 1) % d.group.q,
+                    commitment=requests[2].signature.commitment,
+                ),
+            )
+            pool = ThreadPoolExecutor(max_workers=threads) if threads else None
+            d.provider.screening_executor = pool
+            try:
+                results = d.provider.redeem_batch(requests)
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True)
+            outputs.append(
+                [
+                    (type(result).__name__, str(result))
+                    if isinstance(result, Exception)
+                    else codec.encode(result.as_dict())
+                    for result in results
+                ]
+            )
+        serial, threaded = outputs
+        assert serial == threaded
+        assert serial[1][0] == "AuthenticationError"
+        assert serial[2][0] == "AuthenticationError"
+        assert isinstance(serial[0], bytes) and isinstance(serial[3], bytes)

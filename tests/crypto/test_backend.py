@@ -328,5 +328,7 @@ class TestServiceBackendAttribution:
         )
         assert config.backend_name == abackend.backend_name()
         with fastexp.isolated_state():
-            assert warm_fastexp(config) == config.backend_name
+            backend_name, mode = warm_fastexp(config)
+            assert backend_name == config.backend_name
+            assert mode == "build"
             assert abackend.backend_name() == config.backend_name

@@ -211,10 +211,11 @@ def test_read_surface_parity(stack):
     assert client.price("song-1") == gateway.price("song-1")
     assert client.package("song-1") == gateway.package("song-1")
     assert client.download("song-1").content_id == "song-1"
-    entries_client, snapshot_client = client.revocation_sync(0)
-    entries_local, snapshot_local = gateway.revocation_sync(0)
+    entries_client, snapshot_client, cursor_client = client.revocation_sync(0)
+    entries_local, snapshot_local, cursor_local = gateway.revocation_sync(0)
     assert entries_client == entries_local
     assert snapshot_client.version == snapshot_local.version
+    assert cursor_client == tuple(cursor_local)
 
 
 # -- socket-specific behaviour ----------------------------------------------

@@ -146,24 +146,24 @@ class TestShardedRevocationList:
             lrl.revoke(ids[0], at=2, reason="r")
             assert lrl.current_version() == 10
 
-    def test_entries_since_and_signed_snapshot(self):
+    def test_cursor_delta_and_signed_snapshot(self):
         key = generate_rsa_key(512, rng=DeterministicRandomSource(b"lrl-shard"))
         with ShardSet.in_memory(4) as shards:
             lrl = ShardedRevocationList(shards)
             ids = _tokens(12, prefix=b"snap")
-            # Spaced wider than the redelivery overlap, so the delta
-            # trimming is observable.
             for position, license_id in enumerate(ids):
                 lrl.revoke(license_id, at=position * 200_000, reason="r")
-            entries = lrl.entries_since(0)
-            assert [entry.version for entry in entries] == list(range(1, 13))
-            # Deltas are conservative supersets: everything past the
-            # synced position, plus redelivery around the watermark.
-            delta = lrl.entries_since(8)
-            delta_ids = {entry.license_id for entry in delta}
-            assert delta_ids >= {entry.license_id for entry in entries[8:]}
-            assert len(delta) <= 5  # watermark redelivery only, no flood
-            snapshot = lrl.snapshot(key)
+            entries, snapshot, cursor = lrl.sync_since(0, key)
+            assert {entry.license_id for entry in entries} == set(ids)
+            # Merged delta order is deterministic: (revoked_at, id).
+            assert [entry.license_id for entry in entries] == [
+                entry.license_id
+                for entry in sorted(
+                    entries, key=lambda e: (e.revoked_at, e.license_id)
+                )
+            ]
+            # Per-shard versions total the global count.
+            assert len(cursor) == 4 and sum(cursor) == 12
             snapshot.verify(key.public_key)
             assert snapshot.count == 12
             assert snapshot.merkle_root == lrl.merkle_tree().root
@@ -173,12 +173,27 @@ class TestShardedRevocationList:
             assert verify_non_inclusion(
                 snapshot.merkle_root, snapshot.count, outsider, proof
             )
+            # Deltas are exact: re-syncing from the cursor is empty...
+            delta, cursor2 = lrl.delta_since(cursor)
+            assert delta == [] and cursor2 == cursor
+            # ...and after three more revocations, exactly those three
+            # — no watermark redelivery.
+            more = _tokens(3, prefix=b"more")
+            for license_id in more:
+                lrl.revoke(license_id, at=5_000_000, reason="r")
+            delta, cursor3 = lrl.delta_since(cursor)
+            assert {entry.license_id for entry in delta} == set(more)
+            assert len(delta) == 3
+            assert sum(cursor3) == 15
+            # A legacy int watermark cannot be mapped onto per-shard
+            # versions: it degrades to a full resync.
+            assert len(lrl.entries_since(8)) == 15
 
-    def test_delta_sync_survives_straggler_reordering(self):
+    def test_cursor_sync_survives_straggler_reordering(self):
         """A newcomer that sorts *before* already-synced positions
         (same timestamp, smaller id, different shard) must still reach
-        a device that syncs deltas — the conservative overlap window
-        redelivers around the watermark instead of losing it."""
+        a device that syncs deltas — per-shard version cursors make the
+        delta exact, so merge order never decides delivery."""
         from repro.storage.revocation import DeviceRevocationView
 
         key = generate_rsa_key(512, rng=DeterministicRandomSource(b"straggler"))
@@ -186,24 +201,28 @@ class TestShardedRevocationList:
             lrl = ShardedRevocationList(shards)
             lrl.revoke(b"\xffzzzz-late-sorting", at=100, reason="r")
             device = DeviceRevocationView(key.public_key)
-            device.apply_sync(lrl.entries_since(0), lrl.snapshot(key))
+            entries, snapshot, cursor = lrl.sync_since(device.cursor, key)
+            device.apply_sync(entries, snapshot, cursor)
             assert device.version == 1
-            # Same timestamp, lexicographically smaller id: merges at
-            # position 1, *before* what the device already synced.
+            # Same timestamp, lexicographically smaller id: would merge
+            # *before* what the device already synced in the old
+            # timestamp-ordered scheme.
             lrl.revoke(b"\x00aaaa-early-sorting", at=100, reason="r")
-            delta = lrl.entries_since(device.version)
-            assert any(
-                entry.license_id == b"\x00aaaa-early-sorting" for entry in delta
-            )
-            device.apply_sync(delta, lrl.snapshot(key))
+            entries, snapshot, cursor = lrl.sync_since(device.cursor, key)
+            # Exactly the newcomer — nothing redelivered.
+            assert [entry.license_id for entry in entries] == [
+                b"\x00aaaa-early-sorting"
+            ]
+            device.apply_sync(entries, snapshot, cursor)
             assert device.check(b"\x00aaaa-early-sorting")
             assert device.check(b"\xffzzzz-late-sorting")
 
-    def test_delta_sync_survives_full_freshness_skew(self):
+    def test_cursor_sync_survives_full_freshness_skew(self):
         """Worst-case stamp skew: the synced watermark is stamped a
         freshness window in the FUTURE, the newcomer a window in the
-        PAST (both legal request stamps).  The 2x overlap must still
-        deliver the newcomer."""
+        PAST (both legal request stamps).  Version cursors do not
+        consult timestamps at all, so the newcomer arrives exactly
+        once."""
         from repro.core.actors.provider import REQUEST_FRESHNESS_WINDOW
         from repro.storage.revocation import DeviceRevocationView
 
@@ -214,11 +233,13 @@ class TestShardedRevocationList:
             lrl.revoke(b"\xff-future-stamped", at=now + REQUEST_FRESHNESS_WINDOW,
                        reason="r")
             device = DeviceRevocationView(key.public_key)
-            device.apply_sync(lrl.entries_since(0), lrl.snapshot(key))
+            entries, snapshot, cursor = lrl.sync_since(device.cursor, key)
+            device.apply_sync(entries, snapshot, cursor)
             lrl.revoke(b"\x00-past-stamped", at=now - REQUEST_FRESHNESS_WINDOW + 10,
                        reason="r")
-            entries, snapshot = lrl.sync_since(device.version, key)
-            device.apply_sync(entries, snapshot)
+            entries, snapshot, cursor = lrl.sync_since(device.cursor, key)
+            assert len(entries) == 1
+            device.apply_sync(entries, snapshot, cursor)
             assert device.check(b"\x00-past-stamped")
             assert device.check(b"\xff-future-stamped")
 

@@ -1,0 +1,156 @@
+"""Shared fastexp tables: build once in the gateway, attach or inherit
+in every worker, unlink exactly once.
+
+What is pinned here:
+
+- spawn-started workers ATTACH the gateway's shared-memory segment
+  (they do not rebuild), and still produce byte-identical licences to
+  the in-process deterministic-issuance reference;
+- fork-started workers take the copy-on-write route (``mode="cow"``);
+- the segment's lifetime is the gateway's: ``close()`` unlinks it, and
+  a SIGKILL'd worker must NOT tear it out from under its siblings
+  (workers share the gateway's resource tracker, which reclaims names
+  only once the whole process tree is gone).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import replace
+from multiprocessing import resource_tracker, shared_memory
+
+import pytest
+
+from repro import codec
+from repro.core.protocols.acquisition import build_purchase_request
+from repro.core.system import build_deployment
+from repro.service.gateway import ServiceGateway
+from repro.service.sharding import ShardSet
+from repro.service.workers import ServiceConfig
+
+
+def _deployment(seed="shared-tables"):
+    d = build_deployment(seed=seed, rsa_bits=512)
+    d.provider.publish("song-1", b"SONG-ONE" * 32, title="Song One", price=3)
+    return d
+
+
+def _gateway(d, directory, *, workers=2, start_method=None, **config_overrides):
+    paths = ShardSet.paths_in_directory(str(directory), 4)
+    config = ServiceConfig.from_deployment(d, paths)
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return ServiceGateway(
+        config, workers=workers, start_method=start_method, clock=d.clock
+    )
+
+
+def _probe_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without letting THIS process's resource tracker
+    adopt (and later unlink) it — the gateway under test owns it."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    return segment
+
+
+def test_spawn_workers_attach_and_match_reference(tmp_path):
+    """The spawn path: no COW inheritance possible, so every worker
+    must report ``mode="attach"`` — and the lazily-materialized shared
+    tables must change nothing about the bytes coming back."""
+    seed = "shm-spawn"
+    service_side = _deployment(seed=seed)
+    reference = _deployment(seed=seed)
+    reference.provider.deterministic_issuance = True
+
+    gateway = _gateway(
+        service_side, tmp_path / "spawn", workers=2, start_method="spawn"
+    )
+    try:
+        assert gateway._fastexp_segment is not None
+        reports = gateway.pool.wait_warmup(timeout=120.0)
+        assert len(reports) == gateway.workers
+        assert {mode for mode, _seconds in reports.values()} == {"attach"}
+        users = [
+            service_side.add_user(f"spawn-{i}", balance=1_000) for i in range(2)
+        ]
+        requests = [
+            build_purchase_request(
+                user, gateway, service_side.issuer, service_side.bank, "song-1"
+            )
+            for user in users
+        ]
+        service_licenses = gateway.sell_batch(requests)
+        local_licenses = [reference.provider.sell(r) for r in requests]
+        assert [codec.encode(lic.as_dict()) for lic in service_licenses] == [
+            codec.encode(lic.as_dict()) for lic in local_licenses
+        ]
+    finally:
+        gateway.close()
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method not available",
+)
+def test_fork_workers_inherit_tables_copy_on_write(tmp_path):
+    """On the fork path the gateway's freshly built registry is already
+    in the child: workers must report ``mode="cow"`` (zero warmup
+    exponentiations), not rebuild or attach."""
+    d = _deployment(seed="shm-fork")
+    gateway = _gateway(d, tmp_path / "fork", workers=2, start_method="fork")
+    try:
+        reports = gateway.pool.wait_warmup(timeout=120.0)
+        assert len(reports) == gateway.workers
+        assert {mode for mode, _seconds in reports.values()} == {"cow"}
+    finally:
+        gateway.close()
+
+
+def test_segment_unlinked_on_gateway_close(tmp_path):
+    d = _deployment(seed="shm-close")
+    gateway = _gateway(d, tmp_path / "close", workers=1)
+    assert gateway._fastexp_segment is not None
+    name = gateway._fastexp_segment.name
+    # Attachable while the gateway lives...
+    probe = _probe_segment(name)
+    probe.close()
+    gateway.close()
+    # ...and gone once it is closed: the gateway owns the unlink.
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    gateway.close()  # idempotent: no double-unlink error
+
+
+def test_sigkilled_worker_does_not_unlink_segment(tmp_path):
+    """A worker killed with SIGKILL exits without cleanup handlers —
+    and nothing it did at attach time may cause the segment to be
+    unlinked while siblings still use it.  (Workers inherit the
+    gateway's resource tracker, which reclaims names only when the
+    whole tree exits; this test pins the surviving-siblings behavior
+    whatever the mechanism.)"""
+    d = _deployment(seed="shm-kill")
+    # spawn: workers actually attach (fork's COW route never maps the
+    # segment, so killing a forked worker would prove nothing).
+    gateway = _gateway(
+        d, tmp_path / "kill", workers=2, start_method="spawn"
+    )
+    try:
+        reports = gateway.pool.wait_warmup(timeout=120.0)
+        assert {mode for mode, _ in reports.values()} == {"attach"}
+        name = gateway._fastexp_segment.name
+        victim = gateway._processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        assert not victim.is_alive()
+        # Give any (wrong) tracker-side cleanup a moment to happen.
+        time.sleep(0.5)
+        probe = _probe_segment(name)
+        probe.close()
+    finally:
+        gateway.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)

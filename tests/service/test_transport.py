@@ -169,6 +169,55 @@ def test_any_chunking_reassembles_the_pipeline(frames, data):
     assert [(f.type, f.request_id, f.payload) for f in decoded] == frames
 
 
+@given(frames=_frames, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_chunked_feed_matches_whole_stream_feed(frames, data):
+    """Chunked feeds yield payloads identical to one whole-stream feed:
+    the zero-copy fast path (views into the fed buffer) and the
+    buffered slow path must be indistinguishable to the caller."""
+    stream = b"".join(
+        encode_frame(frame_type, request_id, payload)
+        for frame_type, request_id, payload in frames
+    )
+    whole = FrameDecoder()
+    expected = whole.feed(stream)
+    whole.finish()
+    # A complete stream in one feed is pure fast path: every frame is
+    # a view, none was assembled in the spill buffer.
+    assert whole.zero_copy_frames == len(expected)
+
+    chunked = FrameDecoder()
+    decoded = []
+    position = 0
+    while position < len(stream):
+        step = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - position),
+            label="chunk",
+        )
+        decoded += chunked.feed(stream[position:position + step])
+        position += step
+    chunked.finish()
+    assert [(f.type, f.request_id, bytes(f.payload)) for f in decoded] == [
+        (f.type, f.request_id, bytes(f.payload)) for f in expected
+    ]
+    assert 0 <= chunked.zero_copy_frames <= len(decoded)
+
+
+def test_zero_copy_counter_tracks_fast_path_only():
+    frames = [encode_frame(FRAME_REQUEST, i, bytes([i]) * 40) for i in range(3)]
+    stream = b"".join(frames)
+    decoder = FrameDecoder()
+    assert len(decoder.feed(stream)) == 3
+    assert decoder.zero_copy_frames == 3
+    # Byte-by-byte everything lands in the spill buffer: no view frames.
+    slow = FrameDecoder()
+    count = 0
+    for i in range(len(stream)):
+        count += len(slow.feed(stream[i:i + 1]))
+    assert count == 3
+    assert slow.zero_copy_frames == 0
+
+
 @given(
     garbage=st.binary(min_size=HEADER_SIZE, max_size=64).filter(
         lambda b: b[:2] != WIRE_MAGIC
